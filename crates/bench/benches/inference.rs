@@ -1,0 +1,63 @@
+//! Criterion benches for the ML substrate: LSTM forward/BPTT, GBDT training,
+//! and end-to-end extraction on a pre-trained pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ml::gbdt::{GbdtBinaryClassifier, GbdtConfig};
+use ml::lstm::LstmLayer;
+use ml::matrix::Matrix;
+use ml::seq::{SeqClassifierConfig, SequenceClassifier};
+use ml::SeqExample;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn lstm_forward_backward(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let layer = LstmLayer::new(26, 64, &mut rng);
+    let xs = Matrix::uniform(200, 26, 1.0, &mut rng);
+    c.bench_function("lstm64/forward_200_steps", |b| {
+        b.iter(|| layer.forward(&xs).h.sum())
+    });
+    let cache = layer.forward(&xs);
+    let dh = Matrix::filled(200, 64, 0.01);
+    c.bench_function("lstm64/bptt_200_steps", |b| {
+        b.iter(|| layer.backward(&cache, &dh).0.b[0])
+    });
+}
+
+fn sequence_training(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let data: Vec<SeqExample> = (0..8)
+        .map(|_| {
+            let features: Vec<Vec<f32>> =
+                (0..120).map(|_| (0..26).map(|_| rng.gen_range(0.0..1.0)).collect()).collect();
+            let labels: Vec<usize> = features.iter().map(|f| usize::from(f[0] > 0.5)).collect();
+            SeqExample::new(features, labels)
+        })
+        .collect();
+    c.bench_function("seq_classifier/fit_1_epoch_8x120", |b| {
+        b.iter(|| {
+            let mut cfg = SeqClassifierConfig::new(26, 32, 2);
+            cfg.epochs = 1;
+            let mut clf = SequenceClassifier::new(cfg);
+            clf.fit(&data).accuracy
+        })
+    });
+}
+
+fn gbdt_training(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let rows: Vec<Vec<f32>> = (0..2000)
+        .map(|_| (0..30).map(|_| rng.gen_range(0.0..1.0)).collect())
+        .collect();
+    let labels: Vec<bool> = rows.iter().map(|r| r[0] + r[1] > 1.0).collect();
+    c.bench_function("gbdt/fit_40_rounds_2000x30", |b| {
+        b.iter(|| GbdtBinaryClassifier::fit(&rows, &labels, &GbdtConfig::default()).tree_count())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = lstm_forward_backward, sequence_training, gbdt_training
+}
+criterion_main!(benches);

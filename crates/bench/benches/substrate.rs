@@ -1,0 +1,81 @@
+//! Criterion benches for the simulation substrate: GPU engine stepping,
+//! side-channel trace collection, and the TF-style planner/lowering.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dnn_sim::{lower_op, plan_iteration, zoo, TrainingConfig, TrainingSession};
+use gpu_sim::{Gpu, GpuConfig, SchedulerMode};
+use moscons::trace::{collect_trace, CollectionConfig};
+use moscons::SpyKernelKind;
+use rand::SeedableRng;
+
+fn engine_step(c: &mut Criterion) {
+    c.bench_function("engine/20ms_two_contexts", |b| {
+        b.iter(|| {
+            let cfg = GpuConfig::gtx_1080_ti();
+            let mut gpu = Gpu::new(cfg.clone(), SchedulerMode::TimeSliced);
+            let victim = gpu.add_context("victim");
+            let spy = gpu.add_context("spy");
+            gpu.monitor(spy);
+            gpu.set_auto_repeat(spy, SpyKernelKind::Conv200.kernel(1.24, &cfg));
+            let ops = plan_iteration(&zoo::tested_mlp(), 16);
+            for (i, op) in ops.iter().enumerate() {
+                gpu.enqueue(victim, lower_op(op, i, &cfg));
+            }
+            gpu.run_for(20_000.0);
+            gpu.now_us()
+        })
+    });
+}
+
+fn trace_collection(c: &mut Criterion) {
+    let model = zoo::tested_mlp().with_input(dnn_sim::InputSpec::Image {
+        height: 64,
+        width: 64,
+        channels: 3,
+    });
+    let session = TrainingSession::new(model, TrainingConfig::new(16, 2));
+    c.bench_function("collect_trace/mlp_2_iterations", |b| {
+        b.iter(|| {
+            collect_trace(&session, &CollectionConfig::paper(), &GpuConfig::gtx_1080_ti())
+                .samples
+                .len()
+        })
+    });
+}
+
+fn planner(c: &mut Criterion) {
+    c.bench_function("planner/vgg16_batch64", |b| {
+        b.iter(|| plan_iteration(&zoo::vgg16(), 64).len())
+    });
+    let cfg = GpuConfig::gtx_1080_ti();
+    let ops = plan_iteration(&zoo::vgg16(), 64);
+    c.bench_function("lower/vgg16_full_iteration", |b| {
+        b.iter(|| {
+            ops.iter()
+                .enumerate()
+                .map(|(i, op)| lower_op(op, i, &cfg).footprint.stream_bytes())
+                .sum::<f64>()
+        })
+    });
+}
+
+fn training_enqueue(c: &mut Criterion) {
+    let session = TrainingSession::new(zoo::vgg16(), TrainingConfig::new(64, 4));
+    c.bench_function("trainer/enqueue_vgg16_4_iterations", |b| {
+        b.iter(|| {
+            let cfg = GpuConfig::gtx_1080_ti();
+            let mut gpu = Gpu::new(cfg, SchedulerMode::TimeSliced);
+            let ctx = gpu.add_context("victim");
+            let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+            session.enqueue(&mut gpu, ctx, &mut rng);
+            gpu.has_pending_work()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = engine_step, trace_collection, planner, training_enqueue
+}
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Combined evaluation: trains MoSConS once and regenerates Tables VII,
+//! VIII and IX in a single run (the individual `tableN` bins retrain from
+//! scratch; this bin exists because profiling dominates the wall time).
+
+use bench::{attack_tested_models, print_table7, print_table8, print_table9, train_moscons, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("training MoSConS on the profiling suite (once for all tables)...");
+    let t0 = std::time::Instant::now();
+    let moscons = train_moscons(scale);
+    eprintln!("profiling + training took {:?}", t0.elapsed());
+    let evals = attack_tested_models(&moscons, scale);
+    print_table7(&evals);
+    print_table8(&moscons, scale);
+    print_table9(&evals);
+}

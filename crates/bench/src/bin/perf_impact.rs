@@ -1,0 +1,52 @@
+//! §V-F — performance impact of the attack on the victim.
+//!
+//! Paper numbers (VGG16, batch 64, 224px): 431.18 ms per iteration alone,
+//! 637.78 ms with one spy kernel (1.48x), 20.9 s with the 8-kernel slow-down
+//! (48.5x). We reproduce the sweep's *shape*: monotone growth with the
+//! number of spy kernels, small overhead at one kernel, an order of
+//! magnitude at eight.
+
+use bench::{print_header, print_row, Scale};
+use dnn_sim::zoo;
+use gpu_sim::GpuConfig;
+use moscons::trace::{collect_trace, CollectionConfig};
+use moscons::{SlowdownConfig, SpyKernelKind};
+
+fn main() {
+    let scale = Scale::from_env();
+    let session = scale.session(zoo::vgg16());
+    let gpu = GpuConfig::gtx_1080_ti();
+    let baseline = session.baseline_iteration_us(gpu.clone());
+    println!(
+        "victim: VGG16 (batch {}, {}px); baseline iteration = {:.1} ms",
+        scale.batch_for(session.model()),
+        scale.image,
+        baseline / 1000.0
+    );
+
+    print_header(
+        "§V-F — victim slow-down vs number of spy kernels",
+        &["spy kernels", "iteration (ms)", "slow-down"],
+        &[12, 15, 10],
+    );
+    for hogs in [0usize, 1, 2, 4, 7] {
+        // `hogs` contention kernels + the always-present sampler = the
+        // paper's "N kernels" (1 kernel = sampler only).
+        let cfg = CollectionConfig {
+            spy_kernel: SpyKernelKind::Conv200,
+            slowdown: SlowdownConfig { kernels: hogs },
+            ..CollectionConfig::paper()
+        };
+        let trace = collect_trace(&session, &cfg, &gpu);
+        print_row(
+            &[
+                format!("{}", hogs + 1),
+                format!("{:.1}", trace.mean_iteration_us / 1000.0),
+                format!("{:.1}x", trace.mean_iteration_us / baseline),
+            ],
+            &[12, 15, 10],
+        );
+    }
+    println!("\npaper reference: 1 kernel -> 1.48x, 8 kernels -> 48.5x (§V-F);");
+    println!("§IV reports the victim ~17x slower under the 8-kernel group setting.");
+}

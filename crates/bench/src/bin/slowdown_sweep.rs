@@ -1,0 +1,125 @@
+//! §IV slow-down parameter study: how `<#kernels, #blocks, #threads>`
+//! affect the victim and spy slow-down, and where the effect saturates.
+//!
+//! Paper findings: "there is an upper-bound of the slow-down ratio, such
+//! that higher numbers of kernels/blocks/threads are not always more
+//! effective"; with the chosen 8-kernel grouping the victim slows ~17x while
+//! the spy slows <3x relative to its co-located-only baseline.
+
+use bench::{print_header, print_row};
+use gpu_sim::{Gpu, GpuConfig, KernelDesc, KernelFootprint, SchedulerMode};
+use moscons::{SlowdownConfig, SpyKernelKind};
+
+/// Wall time of a fixed victim workload with `hogs` hog contexts of given
+/// geometry, plus the Conv200 sampler; also returns the sampler's mean
+/// launch wall time.
+fn measure(hogs: usize, blocks: u32, tpb: u32) -> (f64, f64) {
+    let mut cfg = GpuConfig::gtx_1080_ti();
+    cfg.slice_jitter = 0.0;
+    cfg.counter_noise = 0.0;
+    let mut gpu = Gpu::new(cfg.clone(), SchedulerMode::TimeSliced);
+    let victim = gpu.add_context("victim");
+    let work_us = 20_000.0;
+    let fp = KernelFootprint {
+        flops: cfg.compute_throughput * work_us,
+        ..KernelFootprint::empty()
+    };
+    gpu.enqueue(victim, KernelDesc::new("victim", 56, 1024, fp));
+    let sampler = gpu.add_context("sampler");
+    gpu.set_auto_repeat(sampler, SpyKernelKind::Conv200.kernel(1.24, &cfg));
+    for i in 0..hogs {
+        let ctx = gpu.add_context(format!("hog{}", i));
+        let occ = gpu_sim::Occupancy::of_launch(blocks, tpb, &cfg).fraction().max(1e-3);
+        let hfp = KernelFootprint {
+            flops: cfg.compute_throughput * occ * 3.0 * cfg.time_slice_us,
+            read_bytes: 8.0 * 1024.0,
+            working_set: 8.0 * 1024.0,
+            ..KernelFootprint::empty()
+        };
+        gpu.set_auto_repeat(ctx, KernelDesc::new(format!("hog{}", i), blocks, tpb, hfp));
+    }
+    gpu.run_until_queues_drain();
+    let victim_wall = gpu
+        .kernel_log()
+        .iter()
+        .find(|r| r.name == "victim")
+        .expect("victim ran")
+        .duration_us();
+    let spy_launches: Vec<f64> = gpu
+        .kernel_log()
+        .iter()
+        .filter(|r| r.name.starts_with("spy_"))
+        .map(|r| r.duration_us())
+        .collect();
+    let spy_mean = if spy_launches.is_empty() {
+        0.0
+    } else {
+        spy_launches.iter().sum::<f64>() / spy_launches.len() as f64
+    };
+    (victim_wall / work_us, spy_mean)
+}
+
+fn main() {
+    // Sampler-only baseline for the spy's own launch time.
+    let (_, spy_alone) = measure(0, 4, 32);
+
+    print_header(
+        "§IV sweep — #kernels (paper grouping G_i: 4*2^i blocks, 32 tpb)",
+        &["kernels", "victim slow-down", "spy launch (ms)", "spy slow-down"],
+        &[8, 17, 16, 14],
+    );
+    for hogs in [0usize, 2, 4, 6, 8, 12, 16] {
+        // Use the paper's per-slot geometry via SlowdownConfig.
+        let mut cfg = GpuConfig::gtx_1080_ti();
+        cfg.slice_jitter = 0.0;
+        cfg.counter_noise = 0.0;
+        let mut gpu = Gpu::new(cfg.clone(), SchedulerMode::TimeSliced);
+        let victim = gpu.add_context("victim");
+        let work_us = 20_000.0;
+        let fp = KernelFootprint {
+            flops: cfg.compute_throughput * work_us,
+            ..KernelFootprint::empty()
+        };
+        gpu.enqueue(victim, KernelDesc::new("victim", 56, 1024, fp));
+        let sampler = gpu.add_context("sampler");
+        gpu.set_auto_repeat(sampler, SpyKernelKind::Conv200.kernel(1.24, &cfg));
+        SlowdownConfig { kernels: hogs }.launch(&mut gpu);
+        gpu.run_until_queues_drain();
+        let victim_wall = gpu
+            .kernel_log()
+            .iter()
+            .find(|r| r.name == "victim")
+            .expect("victim ran")
+            .duration_us();
+        let spy: Vec<f64> = gpu
+            .kernel_log()
+            .iter()
+            .filter(|r| r.name.starts_with("spy_Conv"))
+            .map(|r| r.duration_us())
+            .collect();
+        let spy_mean = if spy.is_empty() { 0.0 } else { spy.iter().sum::<f64>() / spy.len() as f64 };
+        print_row(
+            &[
+                format!("{}", hogs + 1),
+                format!("{:.1}x", victim_wall / work_us),
+                format!("{:.1}", spy_mean / 1000.0),
+                format!("{:.1}x", spy_mean / spy_alone),
+            ],
+            &[8, 17, 16, 14],
+        );
+    }
+
+    print_header(
+        "§IV sweep — blocks/threads of a single hog (saturation)",
+        &["blocks", "tpb", "victim slow-down"],
+        &[8, 6, 17],
+    );
+    for (blocks, tpb) in [(4u32, 32u32), (8, 32), (16, 32), (32, 32), (32, 256), (64, 1024), (512, 1024)] {
+        let (v, _) = measure(1, blocks, tpb);
+        print_row(
+            &[format!("{}", blocks), format!("{}", tpb), format!("{:.2}x", v)],
+            &[8, 6, 17],
+        );
+    }
+    println!("\npaper: slow-down saturates once a kernel covers every SM; more blocks/threads stop helping.");
+}

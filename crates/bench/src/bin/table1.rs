@@ -1,0 +1,66 @@
+//! Table I: CUPTI readings of the five candidate spy kernels while the
+//! victim runs `MatMul` in a loop. Event 1 is `fb_subp1_write_sectors`,
+//! Event 2 is `fb_subp0_read_sectors`; cells are "mean(std)" per sample.
+//!
+//! Expected shape (paper): readings grow and stabilize with the spy's probe
+//! footprint; `Conv200` has the largest mean and the smallest relative σ,
+//! making it the best probe.
+
+use bench::{print_header, print_row};
+use dnn_sim::{lower_op, plan_iteration, zoo, OpKind};
+use gpu_sim::{CounterId, GpuConfig};
+use ml::MeanStd;
+use moscons::trace::collect_microbench;
+use moscons::SpyKernelKind;
+
+fn main() {
+    let gpu = GpuConfig::gtx_1080_ti();
+    // The victim loops a large fully-connected MatMul (as in the paper's
+    // microbenchmark).
+    let ops = plan_iteration(&zoo::profiled_mlp(), 128);
+    let matmul = ops
+        .iter()
+        .find(|o| o.kind == OpKind::MatMul && o.weight_elems > 1 << 24)
+        .expect("profiled MLP has a large MatMul");
+    let victim = lower_op(matmul, 0, &gpu);
+
+    print_header(
+        "Table I — spy kernel readings, victim = MatMul",
+        &["Spy Kernel", "Event1 fb_subp1_write", "Event2 fb_subp0_read", "rel. std E2"],
+        &[12, 22, 22, 12],
+    );
+
+    let mut best: Option<(SpyKernelKind, f64)> = None;
+    for spy in SpyKernelKind::ALL {
+        let samples = collect_microbench(Some(victim.clone()), spy, 400_000.0, 1_000.0, &gpu, 17);
+        let e1: Vec<f64> = samples
+            .iter()
+            .map(|s| s.counters.get(CounterId::FbSubp1WriteSectors))
+            .collect();
+        let e2: Vec<f64> = samples
+            .iter()
+            .map(|s| s.counters.get(CounterId::FbSubp0ReadSectors))
+            .collect();
+        let m1 = MeanStd::of(&e1);
+        let m2 = MeanStd::of(&e2);
+        let rel = if m2.mean > 0.0 { m2.std / m2.mean } else { f64::INFINITY };
+        print_row(
+            &[
+                spy.name().to_string(),
+                m1.to_string(),
+                m2.to_string(),
+                format!("{:.3}", rel),
+            ],
+            &[12, 22, 22, 12],
+        );
+        // "Best" probe = largest mean reading weighted by stability, as the
+        // paper argues for Conv200.
+        let score = m2.mean / (1.0 + rel);
+        if best.map_or(true, |(_, s)| score > s) {
+            best = Some((spy, score));
+        }
+    }
+    let (winner, _) = best.expect("five probes evaluated");
+    println!("\nbest probe by mean/(1+rel.std): {}", winner);
+    println!("paper's choice: Conv200");
+}

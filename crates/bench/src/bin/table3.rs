@@ -1,0 +1,63 @@
+//! Table III: structures of the five LSTM inference models.
+//!
+//! Prints the paper's geometry (LSTM-256 / LSTM-128) next to the geometry
+//! this reproduction trains by default (smaller hidden sizes — the simulated
+//! counter space is lower-dimensional than real CUPTI).
+
+use bench::{print_header, print_row};
+use moscons::attack::AttackConfig;
+use moscons::LstmTrainConfig;
+
+fn main() {
+    let cfg = AttackConfig::default();
+    let paper = LstmTrainConfig::paper();
+
+    print_header(
+        "Table III — inference model structures",
+        &["Model", "Paper", "This reproduction", "Loss customization"],
+        &[8, 12, 18, 44],
+    );
+    let rows = [
+        (
+            "Mlong",
+            format!("LSTM {}", paper.hidden),
+            format!("LSTM {}", cfg.op_lstm.hidden),
+            "weighted softmax + cross-entropy (minority amplified)",
+        ),
+        (
+            "Mop",
+            format!("LSTM {}", paper.hidden),
+            format!("LSTM {}", cfg.op_lstm.hidden),
+            "cross-entropy masked to OtherOp samples (Sum_if)",
+        ),
+        (
+            "Vlong",
+            format!("LSTM {}", paper.hidden),
+            format!("LSTM {}", cfg.voting_lstm.hidden),
+            "softmax + cross-entropy over stacked one-hots",
+        ),
+        (
+            "Vop",
+            format!("LSTM {}", paper.hidden),
+            format!("LSTM {}", cfg.voting_lstm.hidden),
+            "masked cross-entropy over stacked one-hots (Sum_if)",
+        ),
+        (
+            "Mhp",
+            "LSTM 128".to_string(),
+            format!("LSTM {}", cfg.hp_lstm.hidden),
+            "label on each layer's last sample, rest masked",
+        ),
+    ];
+    for (name, p, ours, loss) in rows {
+        print_row(
+            &[name.to_string(), p, ours, loss.to_string()],
+            &[8, 12, 18, 44],
+        );
+    }
+    println!(
+        "\nall models: per-timestep FC head + softmax; voting input is a {}-iteration stack (paper: 5)",
+        cfg.voting_iterations
+    );
+    println!("Mgap: histogram GBDT (LightGBM-style), not an LSTM — as in the paper.");
+}

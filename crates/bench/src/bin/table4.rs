@@ -1,0 +1,35 @@
+//! Table IV: the selected CUPTI events & metrics counters, in their three
+//! hardware groups, plus the replay cost of enabling each group.
+
+use bench::{print_header, print_row};
+use cupti_sim::{replay_factor, table_iv_groups};
+
+fn main() {
+    print_header(
+        "Table IV — selected CUPTI counters",
+        &["Group(#)", "Counter", "Description"],
+        &[9, 30, 55],
+    );
+    for g in table_iv_groups() {
+        let mut first = true;
+        for c in &g.counters {
+            print_row(
+                &[
+                    if first {
+                        format!("{}({})", g.id, g.counters.len())
+                    } else {
+                        String::new()
+                    },
+                    c.event_name().to_string(),
+                    if first { g.description.to_string() } else { String::new() },
+                ],
+                &[9, 30, 55],
+            );
+            first = false;
+        }
+    }
+    println!("\nspy-kernel replay factor by enabled group count:");
+    for n in 1..=3 {
+        println!("  {} group(s): x{:.2}", n, replay_factor(n));
+    }
+}

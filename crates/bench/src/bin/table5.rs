@@ -1,0 +1,27 @@
+//! Table V: the profiled model zoo (structures and sizes).
+
+use bench::{print_header, print_row};
+use dnn_sim::zoo;
+
+fn main() {
+    print_header(
+        "Table V — profiled models",
+        &["Model", "Layers", "Params(224px)", "Optimizer"],
+        &[20, 8, 14, 10],
+    );
+    for m in zoo::profiled_models() {
+        print_row(
+            &[
+                m.name.clone(),
+                m.layers.len().to_string(),
+                format!("{:.1}M", m.parameter_count(1) as f64 / 1e6),
+                m.optimizer.name().to_string(),
+            ],
+            &[20, 8, 14, 10],
+        );
+    }
+    println!("\nstructures:");
+    for m in zoo::profiled_models() {
+        println!("  {:<22} {}", m.name, m.structure_string());
+    }
+}

@@ -1,0 +1,92 @@
+//! Table VI: iteration-splitting (`Mgap`) accuracy on the tested models,
+//! plus the paper's batch-size/image-size side study (§V-B reports the
+//! impact is small).
+
+use bench::{collection, pct, print_header, print_row, profiling_suite, tested_models, Scale};
+use dnn_sim::{TrainingConfig, TrainingSession};
+use gpu_sim::GpuConfig;
+use moscons::dataset::fit_scaler;
+use moscons::trace::collect_trace;
+use moscons::{GapConfig, GapModel, LabeledTrace};
+
+fn main() {
+    let scale = Scale::from_env();
+    let gpu = GpuConfig::gtx_1080_ti();
+
+    // Profiling phase.
+    eprintln!("collecting profiling traces...");
+    let mut traces = Vec::new();
+    for (i, session) in profiling_suite(scale).iter().enumerate() {
+        let raw = collect_trace(session, &collection().with_seed(1000 + i as u64), &gpu);
+        traces.push(LabeledTrace::from_raw(&raw, session.model().name.clone()));
+    }
+    let refs: Vec<&LabeledTrace> = traces.iter().collect();
+    let scaler = fit_scaler(&refs);
+    let gap = GapModel::train(&refs, &scaler, GapConfig::default());
+
+    print_header(
+        "Table VI — iteration splitting on the tested models",
+        &["Model", "Op", "# samples", "Accuracy"],
+        &[20, 6, 10, 9],
+    );
+    for model in tested_models() {
+        let session = scale.session(model.clone());
+        let raw = collect_trace(&session, &collection().with_seed(77), &gpu);
+        let trace = LabeledTrace::from_raw(&raw, model.name.clone());
+        let eval = gap.evaluate(&trace, &scaler);
+        print_row(
+            &[
+                model.name.clone(),
+                "NOP".into(),
+                eval.nop_total.to_string(),
+                pct(eval.nop_accuracy()),
+            ],
+            &[20, 6, 10, 9],
+        );
+        print_row(
+            &[
+                String::new(),
+                "BUSY".into(),
+                eval.busy_total.to_string(),
+                pct(eval.busy_accuracy()),
+            ],
+            &[20, 6, 10, 9],
+        );
+        // And the splitter finds the right number of iterations.
+        let feats: Vec<Vec<f32>> = trace.samples.iter().map(|s| s.features.clone()).collect();
+        let found = gap.split_iterations(&feats, &scaler).len();
+        println!(
+            "    iterations recovered: {} (ground truth enqueued: {})",
+            found, scale.iterations
+        );
+    }
+
+    // Side study: batch and image size (paper: NOP accuracy 96-98% on VGG16
+    // across batch 16-512 and image 32-384 — "their impact is quite small").
+    print_header(
+        "Table VI side study — batch/image sensitivity (ZFNet)",
+        &["batch", "image", "NOP acc", "BUSY acc"],
+        &[6, 6, 9, 9],
+    );
+    for (batch, image) in [(8usize, 64usize), (16, 112), (32, 96)] {
+        let model = dnn_sim::zoo::zfnet().with_input(dnn_sim::InputSpec::Image {
+            height: image,
+            width: image,
+            channels: 3,
+        });
+        let session = TrainingSession::new(model, TrainingConfig::new(batch, scale.iterations));
+        let raw = collect_trace(&session, &collection().with_seed(5000 + batch as u64), &gpu);
+        let trace = LabeledTrace::from_raw(&raw, "zfnet-side");
+        let eval = gap.evaluate(&trace, &scaler);
+        print_row(
+            &[
+                batch.to_string(),
+                image.to_string(),
+                pct(eval.nop_accuracy()),
+                pct(eval.busy_accuracy()),
+            ],
+            &[6, 6, 9, 9],
+        );
+    }
+    println!("\npaper reference: all accuracies > 94%; batch/image impact small.");
+}

@@ -1,0 +1,13 @@
+//! Table VII: per-class op-inference accuracy on the tested models, before
+//! voting ("Pre Vt.") and with LSTM voting ("W/ Vt."), plus a plain
+//! majority-vote ablation row. See `bench::print_table7`.
+
+use bench::{attack_tested_models, print_table7, train_moscons, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("training MoSConS on the profiling suite...");
+    let moscons = train_moscons(scale);
+    let evals = attack_tested_models(&moscons, scale);
+    print_table7(&evals);
+}

@@ -1,0 +1,13 @@
+//! Table VIII: hyper-parameter inference accuracy per kind (HP1 filters,
+//! HP2 filter size, HP3 neurons, HP4 stride, HP5 optimizer), evaluated at
+//! each layer\'s ground-truth forward position as in the paper\'s §V-D.
+//! See `bench::print_table8`.
+
+use bench::{print_table8, train_moscons, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("training MoSConS on the profiling suite...");
+    let moscons = train_moscons(scale);
+    print_table8(&moscons, scale);
+}

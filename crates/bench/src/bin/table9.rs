@@ -1,0 +1,12 @@
+//! Table IX: ground-truth vs recovered structure strings for the three
+//! tested models, with AccuracyL and AccuracyHP. See `bench::print_table9`.
+
+use bench::{attack_tested_models, print_table9, train_moscons, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("training MoSConS on the profiling suite...");
+    let moscons = train_moscons(scale);
+    let evals = attack_tested_models(&moscons, scale);
+    print_table9(&evals);
+}

@@ -1,0 +1,70 @@
+//! End-to-end probe: profile two small models, attack a third, print
+//! recovered vs ground-truth structure.
+use dnn_sim::{Activation, InputSpec, Layer, Model, Optimizer, TrainingConfig, TrainingSession};
+#[allow(unused_imports)] use dnn_sim as _;
+use moscons::attack::{AttackConfig, Moscons};
+use moscons::report::score_structure;
+
+fn input() -> InputSpec {
+    InputSpec::Image { height: 32, width: 32, channels: 3 }
+}
+
+fn main() {
+    let profiled = moscons::random_profiling_models(10, input(), 20260704);
+    let sessions: Vec<TrainingSession> = profiled
+        .into_iter()
+        .map(|m| TrainingSession::new(m, TrainingConfig::new(32, 8)))
+        .collect();
+
+    let t0 = std::time::Instant::now();
+    let moscons = Moscons::profile(&sessions, AttackConfig::default());
+    eprintln!("profiling + training took {:?}", t0.elapsed());
+
+    let victim_model = Model::new("v-cnn", input(), vec![
+        Layer::conv(3, 128, 1), Layer::MaxPool,
+        Layer::conv(5, 256, 1), Layer::MaxPool,
+        Layer::dense(1024, Activation::Relu),
+        Layer::dense(512, Activation::Relu),
+    ], Optimizer::Gd);
+    let truth_string = victim_model.structure_string();
+    let victim = TrainingSession::new(victim_model.clone(), TrainingConfig::new(32, 8));
+    let t0 = std::time::Instant::now();
+    let (extraction, _raw) = moscons.attack(&victim, 991);
+    eprintln!("attack took {:?}", t0.elapsed());
+
+    println!("iterations found : {}", extraction.iterations.len());
+    println!("truth            : {}", truth_string);
+    println!("recovered        : {}", extraction.structure);
+    let score = score_structure(&victim_model, &extraction.layers, extraction.optimizer);
+    println!("AccuracyL = {:.1}%  AccuracyHP = {:.1}% ({}/{})",
+        100.0 * score.layers, 100.0 * score.hyper_params, score.hp_correct, score.hp_total);
+    use moscons::report::{class_accuracy, overall_op_accuracy};
+    use dnn_sim::OpClass;
+    // Table-VII-style eval of fused classes vs ground truth on base iteration.
+    let labeled = moscons::LabeledTrace::from_raw(&_raw, "victim");
+    let gt_iters = labeled.split_iterations_ground_truth(6);
+    if let (Some(base), false) = (extraction.iterations.first(), extraction.fused_classes.is_empty()) {
+        // find gt iteration matching base
+        if let Some(gt) = gt_iters.iter().find(|g| g.start.abs_diff(base.start) < 8) {
+            let truth: Vec<OpClass> = labeled.samples[gt.clone()].iter().map(|s| s.class).collect();
+            let m = truth.len().min(extraction.fused_classes.len());
+            let fused = &extraction.fused_classes[..m];
+            let pre = &extraction.pre_voting_classes[..m];
+            let truth = &truth[..m];
+            println!("overall op acc: pre-voting {:.1}%, voted {:.1}%",
+                100.0*overall_op_accuracy(pre, truth), 100.0*overall_op_accuracy(fused, truth));
+            for c in [OpClass::Conv, OpClass::MatMul, OpClass::BiasAdd, OpClass::Relu, OpClass::Pool, OpClass::Optimizer] {
+                if let Some(a) = class_accuracy(fused, truth, c) {
+                    print!(" {}={:.0}%", c.letter(), 100.0*a);
+                }
+            }
+            println!();
+            let ts: String = truth.iter().map(|c| c.letter()).collect();
+            let fs: String = fused.iter().map(|c| c.letter()).collect();
+            let ps: String = pre.iter().map(|c| c.letter()).collect();
+            println!("truth: {}", ts);
+            println!("fused: {}", fs);
+            println!("pre  : {}", ps);
+        }
+    }
+}

@@ -1,0 +1,440 @@
+//! End-to-end MoSConS orchestration (Figure 4).
+//!
+//! **Profiling phase**: the adversary trains several models of her own on
+//! the shared GPU, collects spy traces, labels them against the TensorFlow
+//! timeline, and trains `Mgap`, `Mlong`, `Mop`, `Vlong`, `Vop` and the five
+//! `Mhp` heads.
+//!
+//! **Attack phase**: she waits for the victim's training to start, runs the
+//! spy + slow-down kernels, splits the sample stream into iterations with
+//! `Mgap`, classifies ops per iteration, votes across iterations, collapses
+//! and parses the OpSeq into layers, attaches hyper-parameters, and applies
+//! DNN-syntax correction.
+
+use dnn_sim::{OpClass, Optimizer, TrainingSession};
+use gpu_sim::GpuConfig;
+use ml::MinMaxScaler;
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::{fit_scaler, LabeledTrace};
+use crate::gap::{GapConfig, GapModel};
+use crate::hyperparams::{HpKind, HpModel};
+use crate::long_ops::{LongClass, LongOpModel, LstmTrainConfig};
+use crate::opseq::{
+    collapse, forward_boundary, merge_predictions, parse_forward_layers_lenient,
+    structure_string, RecoveredKind, RecoveredLayer,
+};
+use crate::other_ops::{OtherClass, OtherOpModel};
+use crate::syntax::{correct, SyntaxConfig};
+use crate::trace::{collect_trace, CollectionConfig, RawTrace};
+use crate::voting::{VotingExample, VotingModel};
+
+/// Full attack configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttackConfig {
+    /// Spy/slow-down/sampling configuration.
+    pub collection: CollectionConfig,
+    /// Iteration-splitting parameters.
+    pub gap: GapConfig,
+    /// `Mlong`/`Mop` training configuration.
+    pub op_lstm: LstmTrainConfig,
+    /// `Vlong`/`Vop` training configuration.
+    pub voting_lstm: LstmTrainConfig,
+    /// `Mhp` training configuration (paper: LSTM-128).
+    pub hp_lstm: LstmTrainConfig,
+    /// Iterations fused by voting (paper §V-B: 5).
+    pub voting_iterations: usize,
+    /// Syntax-correction rules.
+    pub syntax: SyntaxConfig,
+    /// Simulated GPU.
+    pub gpu: GpuConfig,
+}
+
+impl Default for AttackConfig {
+    fn default() -> Self {
+        AttackConfig {
+            collection: CollectionConfig::paper(),
+            gap: GapConfig::default(),
+            op_lstm: LstmTrainConfig::default(),
+            voting_lstm: LstmTrainConfig {
+                hidden: 24,
+                epochs: 24,
+                ..LstmTrainConfig::default()
+            },
+            hp_lstm: LstmTrainConfig {
+                hidden: 40,
+                epochs: 24,
+                ..LstmTrainConfig::default()
+            },
+            voting_iterations: 5,
+            syntax: SyntaxConfig::default(),
+            gpu: GpuConfig::gtx_1080_ti(),
+        }
+    }
+}
+
+/// A trained MoSConS instance.
+#[derive(Debug)]
+pub struct Moscons {
+    config: AttackConfig,
+    scaler: MinMaxScaler,
+    gap: GapModel,
+    m_long: LongOpModel,
+    m_op: OtherOpModel,
+    v_long: VotingModel,
+    v_op: VotingModel,
+    hp: Vec<HpModel>,
+}
+
+/// The product of one extraction.
+#[derive(Debug, Clone)]
+pub struct Extraction {
+    /// Recovered layers after syntax correction.
+    pub layers: Vec<RecoveredLayer>,
+    /// Recovered optimizer.
+    pub optimizer: Option<Optimizer>,
+    /// Structure string in Table IX format.
+    pub structure: String,
+    /// Valid iteration ranges found by `Mgap`.
+    pub iterations: Vec<std::ops::Range<usize>>,
+    /// Fused per-sample classes on the base iteration's timeline.
+    pub fused_classes: Vec<OpClass>,
+    /// Pre-voting per-sample classes of the base iteration.
+    pub pre_voting_classes: Vec<OpClass>,
+    /// Plain per-position majority vote across the group (the non-learned
+    /// baseline, for the voting ablation).
+    pub majority_classes: Vec<OpClass>,
+    /// Number of syntax edits applied.
+    pub syntax_edits: usize,
+}
+
+impl Moscons {
+    /// Profiles the given training sessions (the adversary's own models) and
+    /// trains the full inference stack.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sessions` is empty or any profiling run produces fewer
+    /// than `voting_iterations` valid iterations.
+    pub fn profile(sessions: &[TrainingSession], config: AttackConfig) -> Self {
+        assert!(!sessions.is_empty(), "profiling needs at least one model");
+        // Collect + label every profiling model.
+        let mut traces: Vec<LabeledTrace> = Vec::new();
+        for (i, session) in sessions.iter().enumerate() {
+            let raw = collect_trace(
+                session,
+                &config.collection.with_seed(config.collection.seed ^ (i as u64 * 7919)),
+                &config.gpu,
+            );
+            traces.push(LabeledTrace::from_raw(&raw, session.model().name.clone()));
+        }
+        let trace_refs: Vec<&LabeledTrace> = traces.iter().collect();
+        let scaler = fit_scaler(&trace_refs);
+        let gap = GapModel::train(&trace_refs, &scaler, config.gap);
+
+        // Ground-truth iteration ranges (profiling phase has the timeline).
+        let ranges: Vec<Vec<std::ops::Range<usize>>> = traces
+            .iter()
+            .map(|t| t.split_iterations_ground_truth(config.gap.th_gap))
+            .collect();
+
+        let op_data: Vec<(&LabeledTrace, &[std::ops::Range<usize>])> = traces
+            .iter()
+            .zip(&ranges)
+            .map(|(t, r)| (t, r.as_slice()))
+            .collect();
+        let m_long = LongOpModel::train(&op_data, &scaler, &config.op_lstm);
+        let m_op = OtherOpModel::train(&op_data, &scaler, &config.op_lstm);
+
+        // Voting training data: per trace, sliding groups of n iterations.
+        let n = config.voting_iterations;
+        let mut long_examples = Vec::new();
+        let mut op_examples = Vec::new();
+        for (trace, trace_ranges) in traces.iter().zip(&ranges) {
+            let preds_long: Vec<Vec<usize>> = trace_ranges
+                .iter()
+                .map(|r| {
+                    let feats: Vec<Vec<f32>> =
+                        trace.samples[r.clone()].iter().map(|s| s.features.clone()).collect();
+                    m_long
+                        .predict(&feats, &scaler)
+                        .into_iter()
+                        .map(LongClass::index)
+                        .collect()
+                })
+                .collect();
+            let preds_op: Vec<Vec<usize>> = trace_ranges
+                .iter()
+                .map(|r| {
+                    let feats: Vec<Vec<f32>> =
+                        trace.samples[r.clone()].iter().map(|s| s.features.clone()).collect();
+                    m_op
+                        .predict(&feats, &scaler)
+                        .into_iter()
+                        .map(OtherClass::index)
+                        .collect()
+                })
+                .collect();
+            for g in 0..trace_ranges.len().saturating_sub(n - 1) {
+                let base = &trace_ranges[g];
+                let truth_long: Vec<usize> = trace.samples[base.clone()]
+                    .iter()
+                    .map(|s| LongClass::of(s.class).index())
+                    .collect();
+                long_examples.push(VotingExample::new(
+                    preds_long[g..g + n].to_vec(),
+                    truth_long,
+                ));
+                let mut truth_op = Vec::with_capacity(base.len());
+                let mut mask_op = Vec::with_capacity(base.len());
+                for s in &trace.samples[base.clone()] {
+                    match OtherClass::of(s.class) {
+                        Some(c) => {
+                            truth_op.push(c.index());
+                            mask_op.push(true);
+                        }
+                        None => {
+                            truth_op.push(0);
+                            mask_op.push(false);
+                        }
+                    }
+                }
+                op_examples.push(VotingExample::with_mask(
+                    preds_op[g..g + n].to_vec(),
+                    truth_op,
+                    mask_op,
+                ));
+            }
+        }
+        assert!(
+            !long_examples.is_empty(),
+            "profiling runs must contain at least {} iterations each",
+            n
+        );
+        let v_long = VotingModel::train(&long_examples, 4, n, &config.voting_lstm);
+        let v_op = VotingModel::train(&op_examples, 6, n, &config.voting_lstm);
+
+        // Hyper-parameter heads.
+        let hp_data: Vec<(&LabeledTrace, &dnn_sim::Model, &[std::ops::Range<usize>])> = traces
+            .iter()
+            .zip(sessions)
+            .zip(&ranges)
+            .map(|((t, s), r)| (t, s.model(), r.as_slice()))
+            .collect();
+        let hp = HpKind::ALL
+            .iter()
+            .map(|&kind| HpModel::train(kind, &hp_data, &scaler, &config.hp_lstm))
+            .collect();
+
+        Moscons {
+            config,
+            scaler,
+            gap,
+            m_long,
+            m_op,
+            v_long,
+            v_op,
+            hp,
+        }
+    }
+
+    /// The configuration this instance was trained with.
+    pub fn config(&self) -> &AttackConfig {
+        &self.config
+    }
+
+    /// The trained gap model (exposed for the Table VI bench).
+    pub fn gap_model(&self) -> &GapModel {
+        &self.gap
+    }
+
+    /// The fitted scaler.
+    pub fn scaler(&self) -> &MinMaxScaler {
+        &self.scaler
+    }
+
+    /// The trained `Mlong` model.
+    pub fn long_model(&self) -> &LongOpModel {
+        &self.m_long
+    }
+
+    /// The trained `Mop` model.
+    pub fn op_model(&self) -> &OtherOpModel {
+        &self.m_op
+    }
+
+    /// The trained `Mhp` head for one hyper-parameter kind.
+    pub fn hp_model(&self, kind: HpKind) -> &HpModel {
+        self.hp
+            .iter()
+            .find(|h| h.kind() == kind)
+            .expect("all five heads are trained")
+    }
+
+    /// The trained `Vlong` voting model.
+    pub fn voting_long(&self) -> &VotingModel {
+        &self.v_long
+    }
+
+    /// The trained `Vop` voting model.
+    pub fn voting_op(&self) -> &VotingModel {
+        &self.v_op
+    }
+
+    /// Runs the full extraction on a victim's sample stream.
+    ///
+    /// `features` is the attack-time CUPTI sample stream, already passed
+    /// through [`crate::dataset::counter_features`] (as [`Moscons::attack`]
+    /// does), in time order.
+    pub fn extract(&self, features: &[Vec<f32>]) -> Extraction {
+        let iterations = self.gap.split_iterations(features, &self.scaler);
+        if iterations.is_empty() {
+            return Extraction {
+                layers: Vec::new(),
+                optimizer: None,
+                structure: structure_string(&[], None),
+                iterations,
+                fused_classes: Vec::new(),
+                pre_voting_classes: Vec::new(),
+                majority_classes: Vec::new(),
+                syntax_edits: 0,
+            };
+        }
+        let n = self.config.voting_iterations.min(iterations.len());
+        let group = &iterations[..n];
+
+        // Per-iteration predictions.
+        let mut preds_long: Vec<Vec<usize>> = Vec::with_capacity(n);
+        let mut preds_op: Vec<Vec<usize>> = Vec::with_capacity(n);
+        for r in group {
+            let feats = &features[r.clone()];
+            preds_long.push(
+                self.m_long
+                    .predict(feats, &self.scaler)
+                    .into_iter()
+                    .map(LongClass::index)
+                    .collect(),
+            );
+            preds_op.push(
+                self.m_op
+                    .predict(feats, &self.scaler)
+                    .into_iter()
+                    .map(OtherClass::index)
+                    .collect(),
+            );
+        }
+
+        // Voting on the base timeline.
+        let fused_long: Vec<LongClass> = self
+            .v_long
+            .fuse(&preds_long)
+            .into_iter()
+            .map(LongClass::from_index)
+            .collect();
+        let fused_op: Vec<OtherClass> = self
+            .v_op
+            .fuse(&preds_op)
+            .into_iter()
+            .map(OtherClass::from_index)
+            .collect();
+        let fused = merge_predictions(&fused_long, &fused_op);
+
+        let majority = merge_predictions(
+            &crate::voting::majority_vote(&preds_long, 4)
+                .into_iter()
+                .map(LongClass::from_index)
+                .collect::<Vec<_>>(),
+            &crate::voting::majority_vote(&preds_op, 6)
+                .into_iter()
+                .map(OtherClass::from_index)
+                .collect::<Vec<_>>(),
+        );
+
+        let pre_voting = merge_predictions(
+            &preds_long[0].iter().map(|&i| LongClass::from_index(i)).collect::<Vec<_>>(),
+            &preds_op[0].iter().map(|&i| OtherClass::from_index(i)).collect::<Vec<_>>(),
+        );
+
+        // Collapse + parse the forward prefix (boundary-bounded, lenient).
+        let runs = collapse(&fused);
+        let boundary = forward_boundary(&fused);
+        let mut layers = parse_forward_layers_lenient(&runs, boundary);
+
+        // Hyper-parameters at each layer's last forward sample, on the base
+        // iteration's feature stream.
+        let base = &iterations[0];
+        let base_feats = &features[base.clone()];
+        let hp_preds: Vec<Vec<usize>> = self
+            .hp
+            .iter()
+            .map(|h| h.predict(base_feats, &self.scaler))
+            .collect();
+        for layer in layers.iter_mut() {
+            let pos = layer.last_sample.min(base_feats.len().saturating_sub(1));
+            match layer.kind {
+                RecoveredKind::Conv => {
+                    layer.filters = Some(HpKind::Filters.decode(hp_preds[0][pos]));
+                    layer.filter_size = Some(HpKind::FilterSize.decode(hp_preds[1][pos]));
+                    layer.stride = Some(HpKind::Stride.decode(hp_preds[3][pos]));
+                }
+                RecoveredKind::Dense => {
+                    layer.units = Some(HpKind::Neurons.decode(hp_preds[2][pos]));
+                }
+                RecoveredKind::Pool => {}
+            }
+        }
+
+        // Optimizer: majority of the Mhp optimizer head over the samples the
+        // op models attribute to the optimizer tail.
+        let optimizer = {
+            let opt_positions: Vec<usize> = fused
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c == OpClass::Optimizer)
+                .map(|(i, _)| i.min(base_feats.len().saturating_sub(1)))
+                .collect();
+            let positions: Vec<usize> = if opt_positions.is_empty() {
+                // Fallback: the last 10% of the iteration.
+                let start = base_feats.len().saturating_sub(base_feats.len() / 10 + 1);
+                (start..base_feats.len()).collect()
+            } else {
+                opt_positions
+            };
+            let mut counts = [0usize; 3];
+            for &p in &positions {
+                counts[hp_preds[4][p].min(2)] += 1;
+            }
+            let best = (0..3).max_by_key(|&i| counts[i]).expect("three optimizers");
+            (counts[best] > 0).then(|| HpKind::class_optimizer(best))
+        };
+
+        let syntax_edits = correct(&mut layers, &self.config.syntax);
+        let structure = structure_string(&layers, optimizer);
+
+        Extraction {
+            layers,
+            optimizer,
+            structure,
+            iterations,
+            fused_classes: fused,
+            pre_voting_classes: pre_voting,
+            majority_classes: majority,
+            syntax_edits,
+        }
+    }
+
+    /// Convenience: collect a victim trace and extract in one call.
+    pub fn attack(&self, victim: &TrainingSession, seed: u64) -> (Extraction, RawTrace) {
+        let raw = collect_trace(
+            victim,
+            &self.config.collection.with_seed(seed),
+            &self.config.gpu,
+        );
+        let features: Vec<Vec<f32>> = raw
+            .samples
+            .iter()
+            .map(|s| crate::dataset::counter_features(&s.to_features()))
+            .collect();
+        (self.extract(&features), raw)
+    }
+}

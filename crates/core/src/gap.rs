@@ -1,0 +1,239 @@
+//! `Mgap` — iteration splitting (§IV-A).
+//!
+//! A LightGBM-style GBDT classifies each MinMax-scaled sample into `NOP` or
+//! `BUSY`; iterations are split wherever at least `TH_gap` consecutive `NOP`
+//! samples occur, and iterations whose sample count falls outside
+//! `[R_min, R_max]` x the mean are discarded as incomplete.
+
+use dnn_sim::OpClass;
+use ml::gbdt::{GbdtBinaryClassifier, GbdtConfig};
+use ml::MinMaxScaler;
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::{filter_valid_iterations, split_on_nop_runs, LabeledTrace};
+
+/// Splitting parameters (§V-A: `TH_gap = 6`, `R_min = 0.8`, `R_max = 1.2`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GapConfig {
+    /// Minimum consecutive NOP samples that constitute an iteration gap.
+    pub th_gap: usize,
+    /// Minimum iteration length as a ratio of the mean.
+    pub r_min: f64,
+    /// Maximum iteration length as a ratio of the mean.
+    pub r_max: f64,
+}
+
+impl Default for GapConfig {
+    fn default() -> Self {
+        GapConfig {
+            th_gap: 6,
+            r_min: 0.8,
+            r_max: 1.2,
+        }
+    }
+}
+
+/// Per-class evaluation of the splitter (Table VI rows).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GapEvaluation {
+    /// Ground-truth NOP sample count.
+    pub nop_total: usize,
+    /// Correctly identified NOP samples.
+    pub nop_correct: usize,
+    /// Ground-truth BUSY sample count.
+    pub busy_total: usize,
+    /// Correctly identified BUSY samples.
+    pub busy_correct: usize,
+}
+
+impl GapEvaluation {
+    /// NOP recall.
+    pub fn nop_accuracy(&self) -> f64 {
+        if self.nop_total == 0 {
+            0.0
+        } else {
+            self.nop_correct as f64 / self.nop_total as f64
+        }
+    }
+
+    /// BUSY recall.
+    pub fn busy_accuracy(&self) -> f64 {
+        if self.busy_total == 0 {
+            0.0
+        } else {
+            self.busy_correct as f64 / self.busy_total as f64
+        }
+    }
+}
+
+/// The trained gap detector.
+#[derive(Debug, Clone)]
+pub struct GapModel {
+    gbdt: GbdtBinaryClassifier,
+    config: GapConfig,
+}
+
+/// Builds the context-augmented feature row for position `i` of a scaled
+/// sample stream: the sample itself plus its immediate neighbours (zeros at
+/// the stream edges). An iteration gap is a *run* of quiet samples, so the
+/// neighbourhood carries most of the discriminating power.
+fn context_row(scaled: &[Vec<f32>], i: usize) -> Vec<f32> {
+    let width = scaled[i].len();
+    let mut row = Vec::with_capacity(3 * width);
+    match i.checked_sub(1).and_then(|j| scaled.get(j)) {
+        Some(prev) => row.extend_from_slice(prev),
+        None => row.extend(std::iter::repeat(0.0).take(width)),
+    }
+    row.extend_from_slice(&scaled[i]);
+    match scaled.get(i + 1) {
+        Some(next) => row.extend_from_slice(next),
+        None => row.extend(std::iter::repeat(0.0).take(width)),
+    }
+    row
+}
+
+impl GapModel {
+    /// Trains on labeled profiling traces (true = NOP).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the traces contain no samples.
+    pub fn train(traces: &[&LabeledTrace], scaler: &MinMaxScaler, config: GapConfig) -> Self {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for t in traces {
+            let scaled: Vec<Vec<f32>> =
+                t.samples.iter().map(|s| scaler.transform_row(&s.features)).collect();
+            for (i, s) in t.samples.iter().enumerate() {
+                rows.push(context_row(&scaled, i));
+                labels.push(s.class == OpClass::Nop);
+            }
+        }
+        let gbdt = GbdtBinaryClassifier::fit(
+            &rows,
+            &labels,
+            &GbdtConfig {
+                rounds: 40,
+                ..GbdtConfig::default()
+            },
+        );
+        GapModel { gbdt, config }
+    }
+
+    /// The splitting parameters.
+    pub fn config(&self) -> GapConfig {
+        self.config
+    }
+
+    /// Predicts NOP flags for a raw (unscaled) sample stream.
+    pub fn predict_nop(&self, features: &[Vec<f32>], scaler: &MinMaxScaler) -> Vec<bool> {
+        if features.is_empty() {
+            return Vec::new();
+        }
+        let scaled: Vec<Vec<f32>> = features.iter().map(|f| scaler.transform_row(f)).collect();
+        (0..scaled.len())
+            .map(|i| self.gbdt.predict(&context_row(&scaled, i)))
+            .collect()
+    }
+
+    /// Splits a sample stream into valid iterations: predict NOPs, split on
+    /// `TH_gap` runs, drop out-of-band segments.
+    pub fn split_iterations(
+        &self,
+        features: &[Vec<f32>],
+        scaler: &MinMaxScaler,
+    ) -> Vec<std::ops::Range<usize>> {
+        let nops = self.predict_nop(features, scaler);
+        let segments = split_on_nop_runs(&nops, self.config.th_gap);
+        filter_valid_iterations(segments, self.config.r_min, self.config.r_max)
+    }
+
+    /// Evaluates NOP/BUSY recall against ground truth (Table VI).
+    pub fn evaluate(&self, trace: &LabeledTrace, scaler: &MinMaxScaler) -> GapEvaluation {
+        let mut eval = GapEvaluation {
+            nop_total: 0,
+            nop_correct: 0,
+            busy_total: 0,
+            busy_correct: 0,
+        };
+        let features: Vec<Vec<f32>> = trace.samples.iter().map(|s| s.features.clone()).collect();
+        let preds = self.predict_nop(&features, scaler);
+        for (s, &pred_nop) in trace.samples.iter().zip(&preds) {
+            if s.class == OpClass::Nop {
+                eval.nop_total += 1;
+                if pred_nop {
+                    eval.nop_correct += 1;
+                }
+            } else {
+                eval.busy_total += 1;
+                if !pred_nop {
+                    eval.busy_correct += 1;
+                }
+            }
+        }
+        eval
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::fit_scaler;
+    use crate::trace::{collect_trace, CollectionConfig};
+    use dnn_sim::{Activation, InputSpec, Layer, Model, Optimizer, TrainingConfig, TrainingSession};
+    use gpu_sim::GpuConfig;
+
+    fn mlp_trace(units: usize, iterations: usize, seed: u64) -> LabeledTrace {
+        let model = Model::new(
+            format!("mlp{}", units),
+            InputSpec::Image {
+                height: 16,
+                width: 16,
+                channels: 3,
+            },
+            vec![
+                Layer::dense(units, Activation::Relu),
+                Layer::dense(units / 2, Activation::Tanh),
+            ],
+            Optimizer::Gd,
+        );
+        let session = TrainingSession::new(model, TrainingConfig::new(32, iterations));
+        let raw = collect_trace(
+            &session,
+            &CollectionConfig::paper().with_seed(seed),
+            &GpuConfig::gtx_1080_ti(),
+        );
+        LabeledTrace::from_raw(&raw, format!("mlp{}", units))
+    }
+
+    #[test]
+    fn gap_model_splits_iterations_accurately() {
+        let train = mlp_trace(768, 4, 11);
+        let test = mlp_trace(1024, 4, 77);
+        let scaler = fit_scaler(&[&train]);
+        let model = GapModel::train(&[&train], &scaler, GapConfig::default());
+
+        // Table VI: both NOP and BUSY recall should be high.
+        let eval = model.evaluate(&test, &scaler);
+        assert!(eval.nop_total > 0 && eval.busy_total > 0);
+        assert!(eval.nop_accuracy() > 0.85, "NOP recall {}", eval.nop_accuracy());
+        assert!(eval.busy_accuracy() > 0.80, "BUSY recall {}", eval.busy_accuracy());
+
+        // And it should find the right number of iterations.
+        let features: Vec<Vec<f32>> = test.samples.iter().map(|s| s.features.clone()).collect();
+        let iters = model.split_iterations(&features, &scaler);
+        assert!(
+            (3..=4).contains(&iters.len()),
+            "expected ~4 iterations, got {:?}",
+            iters.len()
+        );
+    }
+
+    #[test]
+    fn default_config_matches_paper() {
+        let c = GapConfig::default();
+        assert_eq!(c.th_gap, 6);
+        assert_eq!(c.r_min, 0.8);
+        assert_eq!(c.r_max, 1.2);
+    }
+}

@@ -1,0 +1,180 @@
+//! `Mlong` — the long-op classifier (§IV-B).
+//!
+//! An LSTM labels every sample of an iteration as `conv`, `MatMul`,
+//! `OtherOp` or `NOP`. Convolutions and matrix multiplications dominate the
+//! sample stream (they run longest), so the loss uses inverse-frequency
+//! class weights — the paper's "weighted softmax and customized
+//! cross-entropy loss to compensate for the imbalanced data".
+
+use dnn_sim::OpClass;
+use ml::loss::inverse_frequency_weights;
+use ml::seq::{SeqClassifierConfig, SequenceClassifier};
+use ml::{MinMaxScaler, SeqExample};
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::LabeledTrace;
+
+/// The four `Mlong` classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum LongClass {
+    /// Convolution (forward or backprop).
+    Conv,
+    /// Matrix multiplication.
+    MatMul,
+    /// Any other op.
+    Other,
+    /// No victim activity.
+    Nop,
+}
+
+impl LongClass {
+    /// All classes in model output order.
+    pub const ALL: [LongClass; 4] = [LongClass::Conv, LongClass::MatMul, LongClass::Other, LongClass::Nop];
+
+    /// Maps a ground-truth op class into the `Mlong` alphabet.
+    pub fn of(class: OpClass) -> LongClass {
+        match class {
+            OpClass::Conv => LongClass::Conv,
+            OpClass::MatMul => LongClass::MatMul,
+            OpClass::Nop => LongClass::Nop,
+            _ => LongClass::Other,
+        }
+    }
+
+    /// Model output index.
+    pub fn index(self) -> usize {
+        Self::ALL.iter().position(|&c| c == self).expect("class in ALL")
+    }
+
+    /// Class from a model output index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 4`.
+    pub fn from_index(index: usize) -> LongClass {
+        Self::ALL[index]
+    }
+}
+
+/// Hyper-parameters shared by the LSTM inference models. The paper uses
+/// LSTM-256 (Table III); the default here is smaller because the simulated
+/// counter space is lower-dimensional than real hardware — both sizes are
+/// supported.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LstmTrainConfig {
+    /// Hidden units.
+    pub hidden: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for LstmTrainConfig {
+    fn default() -> Self {
+        LstmTrainConfig {
+            hidden: 64,
+            epochs: 30,
+            learning_rate: 0.01,
+            seed: 0x10_57,
+        }
+    }
+}
+
+impl LstmTrainConfig {
+    /// The paper's Table III geometry (LSTM-256).
+    pub fn paper() -> Self {
+        LstmTrainConfig {
+            hidden: 256,
+            ..Self::default()
+        }
+    }
+}
+
+/// Builds one training example from an iteration's samples.
+fn iteration_example(trace: &LabeledTrace, range: &std::ops::Range<usize>, scaler: &MinMaxScaler) -> SeqExample {
+    let samples = &trace.samples[range.clone()];
+    let scaled: Vec<Vec<f32>> = samples.iter().map(|s| scaler.transform_row(&s.features)).collect();
+    let features = crate::dataset::with_lookahead(&scaled);
+    let labels = samples.iter().map(|s| LongClass::of(s.class).index()).collect();
+    SeqExample::new(features, labels)
+}
+
+/// The trained `Mlong` model.
+#[derive(Debug, Clone)]
+pub struct LongOpModel {
+    clf: SequenceClassifier,
+}
+
+impl LongOpModel {
+    /// Trains on `(trace, iteration ranges)` pairs from the profiling phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no iterations are provided.
+    pub fn train(
+        data: &[(&LabeledTrace, &[std::ops::Range<usize>])],
+        scaler: &MinMaxScaler,
+        config: &LstmTrainConfig,
+    ) -> Self {
+        let mut examples = Vec::new();
+        for (trace, ranges) in data {
+            for r in ranges.iter() {
+                examples.push(iteration_example(trace, r, scaler));
+            }
+        }
+        assert!(!examples.is_empty(), "Mlong needs at least one iteration");
+        let weights =
+            inverse_frequency_weights(examples.iter().flat_map(|e| e.labels.iter().copied()), 4);
+        let mut cfg = SeqClassifierConfig::new(2 * crate::dataset::FEATURE_WIDTH, config.hidden, 4);
+        cfg.epochs = config.epochs;
+        cfg.learning_rate = config.learning_rate;
+        cfg.seed = config.seed;
+        cfg.class_weights = Some(weights);
+        let mut clf = SequenceClassifier::new(cfg);
+        clf.fit(&examples);
+        LongOpModel { clf }
+    }
+
+    /// Classifies one iteration's raw samples.
+    pub fn predict(&self, features: &[Vec<f32>], scaler: &MinMaxScaler) -> Vec<LongClass> {
+        let scaled: Vec<Vec<f32>> = features.iter().map(|f| scaler.transform_row(f)).collect();
+        self.clf
+            .predict(&crate::dataset::with_lookahead(&scaled))
+            .into_iter()
+            .map(LongClass::from_index)
+            .collect()
+    }
+
+    /// Per-timestep class probabilities for one iteration.
+    pub fn predict_proba(&self, features: &[Vec<f32>], scaler: &MinMaxScaler) -> Vec<Vec<f32>> {
+        let scaled: Vec<Vec<f32>> = features.iter().map(|f| scaler.transform_row(f)).collect();
+        self.clf.predict_proba(&crate::dataset::with_lookahead(&scaled))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_mapping() {
+        assert_eq!(LongClass::of(OpClass::Conv), LongClass::Conv);
+        assert_eq!(LongClass::of(OpClass::MatMul), LongClass::MatMul);
+        assert_eq!(LongClass::of(OpClass::Relu), LongClass::Other);
+        assert_eq!(LongClass::of(OpClass::Optimizer), LongClass::Other);
+        assert_eq!(LongClass::of(OpClass::Nop), LongClass::Nop);
+        for c in LongClass::ALL {
+            assert_eq!(LongClass::from_index(c.index()), c);
+        }
+    }
+
+    #[test]
+    fn default_config_is_sane() {
+        let c = LstmTrainConfig::default();
+        assert!(c.hidden > 0 && c.epochs > 0);
+        assert_eq!(LstmTrainConfig::paper().hidden, 256);
+    }
+}

@@ -1,0 +1,422 @@
+//! OpSeq assembly and layer reconstruction.
+//!
+//! Merges `Mlong`/`Mop` per-sample predictions into a single class stream,
+//! collapses consecutive identical predictions (§IV-B "Collapsing ops"), and
+//! parses the *forward-pass prefix* into layers: a `conv` followed by
+//! `BiasAdd` and an activation is a convolutional layer, a `MatMul` group is
+//! a fully-connected layer, `Pool` stands alone (§IV "combinations of
+//! consecutive ops can be deterministically mapped to layers"). Parsing
+//! stops where the pattern breaks — which is exactly where back-propagation
+//! begins, since its mirrored op order cannot start a new layer.
+
+use dnn_sim::{Activation, OpClass};
+use serde::{Deserialize, Serialize};
+
+use crate::long_ops::LongClass;
+use crate::other_ops::OtherClass;
+
+/// Merges the two classifiers: long classes pass through, `Other` positions
+/// take `Mop`'s refined prediction.
+///
+/// # Panics
+///
+/// Panics if the sequences have different lengths.
+pub fn merge_predictions(long: &[LongClass], other: &[OtherClass]) -> Vec<OpClass> {
+    assert_eq!(long.len(), other.len(), "prediction length mismatch");
+    long.iter()
+        .zip(other)
+        .map(|(&l, &o)| match l {
+            LongClass::Conv => OpClass::Conv,
+            LongClass::MatMul => OpClass::MatMul,
+            LongClass::Nop => OpClass::Nop,
+            LongClass::Other => o.op_class(),
+        })
+        .collect()
+}
+
+/// A collapsed run of identical predictions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpRun {
+    /// The class of the run.
+    pub class: OpClass,
+    /// First sample index (inclusive).
+    pub start: usize,
+    /// Last sample index (inclusive).
+    pub end: usize,
+}
+
+/// Collapses consecutive identical classes into runs, dropping NOP runs
+/// (short NOPs occur inside iterations, §IV-A).
+pub fn collapse(classes: &[OpClass]) -> Vec<OpRun> {
+    let mut runs: Vec<OpRun> = Vec::new();
+    for (i, &c) in classes.iter().enumerate() {
+        if c == OpClass::Nop {
+            continue;
+        }
+        // A run continues when only NOPs separate this sample from the
+        // previous same-class sample.
+        if let Some(last) = runs.last_mut() {
+            if last.class == c && classes[last.end + 1..i].iter().all(|&x| x == OpClass::Nop) {
+                last.end = i;
+                continue;
+            }
+        }
+        runs.push(OpRun { class: c, start: i, end: i });
+    }
+    runs
+}
+
+/// The kind of a recovered layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RecoveredKind {
+    /// Convolutional layer.
+    Conv,
+    /// Fully-connected layer.
+    Dense,
+    /// Pooling layer.
+    Pool,
+}
+
+impl RecoveredKind {
+    /// Single-letter code (Table IX).
+    pub fn letter(self) -> char {
+        match self {
+            RecoveredKind::Conv => 'C',
+            RecoveredKind::Dense => 'M',
+            RecoveredKind::Pool => 'P',
+        }
+    }
+}
+
+/// One recovered layer with optional hyper-parameters (filled in by the
+/// hyper-parameter stage and the syntax corrector).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveredLayer {
+    /// Layer kind.
+    pub kind: RecoveredKind,
+    /// Recovered activation (`None` renders as the paper's red `X`).
+    pub activation: Option<Activation>,
+    /// Last sample index of the layer's forward region (where `Mhp` reads
+    /// its prediction).
+    pub last_sample: usize,
+    /// Filter side (conv) — from `Mhp`.
+    pub filter_size: Option<usize>,
+    /// Filter count (conv) — from `Mhp`.
+    pub filters: Option<usize>,
+    /// Stride (conv) — from `Mhp`.
+    pub stride: Option<usize>,
+    /// Neuron count (dense) — from `Mhp`.
+    pub units: Option<usize>,
+}
+
+impl RecoveredLayer {
+    fn new(kind: RecoveredKind, activation: Option<Activation>, last_sample: usize) -> Self {
+        RecoveredLayer {
+            kind,
+            activation,
+            last_sample,
+            filter_size: None,
+            filters: None,
+            stride: None,
+            units: None,
+        }
+    }
+
+    /// The Table IX structure fragment, with `X` for unknown values.
+    pub fn structure_fragment(&self) -> String {
+        let act = self.activation.map(|a| a.letter()).unwrap_or('X');
+        let num = |v: Option<usize>| v.map(|x| x.to_string()).unwrap_or_else(|| "X".to_owned());
+        match self.kind {
+            RecoveredKind::Conv => format!(
+                "C{},{},{},{}",
+                num(self.filter_size),
+                num(self.filters),
+                num(self.stride),
+                act
+            ),
+            RecoveredKind::Dense => format!("M{},{}", num(self.units), act),
+            RecoveredKind::Pool => "P".to_owned(),
+        }
+    }
+}
+
+fn act_of(class: OpClass) -> Option<Activation> {
+    match class {
+        OpClass::Relu => Some(Activation::Relu),
+        OpClass::Tanh => Some(Activation::Tanh),
+        OpClass::Sigmoid => Some(Activation::Sigmoid),
+        _ => None,
+    }
+}
+
+/// Parses the forward-pass prefix of a collapsed run sequence into layers.
+///
+/// Grammar (greedy): `Conv [BiasAdd] [act]` → conv layer; `MatMul [BiasAdd]
+/// [act]` → dense layer; `Pool` → pooling layer. The first run that cannot
+/// begin a layer ends the forward pass.
+pub fn parse_forward_layers(runs: &[OpRun]) -> Vec<RecoveredLayer> {
+    let mut layers = Vec::new();
+    let mut i = 0;
+    while i < runs.len() {
+        match runs[i].class {
+            OpClass::Conv | OpClass::MatMul => {
+                let kind = if runs[i].class == OpClass::Conv {
+                    RecoveredKind::Conv
+                } else {
+                    RecoveredKind::Dense
+                };
+                let mut last = runs[i].end;
+                i += 1;
+                // Optional BiasAdd.
+                let mut had_bias = false;
+                if i < runs.len() && runs[i].class == OpClass::BiasAdd {
+                    last = runs[i].end;
+                    had_bias = true;
+                    i += 1;
+                }
+                // Optional activation.
+                let mut activation = None;
+                if i < runs.len() {
+                    if let Some(a) = act_of(runs[i].class) {
+                        activation = Some(a);
+                        last = runs[i].end;
+                        i += 1;
+                    }
+                }
+                // A bare MatMul (no BiasAdd, no activation) after the dense
+                // head has started is the signature of back-propagation's
+                // adjacent weight/input-gradient pair: it ends the forward
+                // pass instead of producing a layer. (The first dense layer
+                // is kept even when bare — its BiasAdd/activation may simply
+                // have been too short to sample.)
+                if kind == RecoveredKind::Dense
+                    && !had_bias
+                    && activation.is_none()
+                    && layers.iter().any(|l: &RecoveredLayer| {
+                        l.kind == RecoveredKind::Dense && l.activation.is_some()
+                    })
+                {
+                    break;
+                }
+                layers.push(RecoveredLayer::new(kind, activation, last));
+            }
+            OpClass::Pool => {
+                layers.push(RecoveredLayer::new(RecoveredKind::Pool, None, runs[i].end));
+                i += 1;
+            }
+            _ => break, // back-propagation boundary
+        }
+    }
+    layers
+}
+
+/// Estimates the sample index where back-propagation begins.
+///
+/// Every trainable layer's backward pass re-runs its long op with roughly
+/// twice the forward cost (weight + input gradients), so the forward pass
+/// owns about one third of all long-op samples; the boundary is where the
+/// cumulative long count crosses that, extended through the current run and
+/// the layer's trailing `BiasAdd`/activation samples.
+pub fn forward_boundary(classes: &[OpClass]) -> usize {
+    let total_long = classes.iter().filter(|c| c.is_long()).count();
+    if total_long == 0 {
+        return classes.len();
+    }
+    let target = ((total_long as f64) / 3.0).round().max(1.0) as usize;
+    let mut seen = 0usize;
+    let mut i = 0;
+    while i < classes.len() {
+        if classes[i].is_long() {
+            seen += 1;
+            if seen >= target {
+                break;
+            }
+        }
+        i += 1;
+    }
+    // Finish the current long run, then consume trailing BiasAdd/activation
+    // (and interleaved NOP) samples belonging to the last forward layer.
+    while i < classes.len() && classes[i].is_long() {
+        i += 1;
+    }
+    while i < classes.len()
+        && matches!(
+            classes[i],
+            OpClass::BiasAdd | OpClass::Relu | OpClass::Tanh | OpClass::Sigmoid | OpClass::Nop
+        )
+    {
+        i += 1;
+    }
+    i
+}
+
+/// Lenient forward parse: like [`parse_forward_layers`], but restricted to
+/// runs that start before `boundary` (from [`forward_boundary`]) and
+/// *skipping* runs that cannot start a layer instead of stopping — a single
+/// misclassified sample no longer truncates the whole structure.
+pub fn parse_forward_layers_lenient(runs: &[OpRun], boundary: usize) -> Vec<RecoveredLayer> {
+    let mut layers = Vec::new();
+    let mut i = 0;
+    while i < runs.len() && runs[i].start < boundary {
+        match runs[i].class {
+            OpClass::Conv | OpClass::MatMul => {
+                let kind = if runs[i].class == OpClass::Conv {
+                    RecoveredKind::Conv
+                } else {
+                    RecoveredKind::Dense
+                };
+                let mut last = runs[i].end;
+                i += 1;
+                if i < runs.len() && runs[i].start < boundary && runs[i].class == OpClass::BiasAdd {
+                    last = runs[i].end;
+                    i += 1;
+                }
+                let mut activation = None;
+                if i < runs.len() && runs[i].start < boundary {
+                    if let Some(a) = act_of(runs[i].class) {
+                        activation = Some(a);
+                        last = runs[i].end;
+                        i += 1;
+                    }
+                }
+                layers.push(RecoveredLayer::new(kind, activation, last));
+            }
+            OpClass::Pool => {
+                layers.push(RecoveredLayer::new(RecoveredKind::Pool, None, runs[i].end));
+                i += 1;
+            }
+            _ => i += 1, // skip a stray run instead of aborting
+        }
+    }
+    layers
+}
+
+/// Formats a recovered structure as the paper's Table IX strings, e.g.
+/// `C3,64,1,R-P-M4096,X-OptimizerAdam`.
+pub fn structure_string(layers: &[RecoveredLayer], optimizer: Option<dnn_sim::Optimizer>) -> String {
+    let mut parts: Vec<String> = layers.iter().map(RecoveredLayer::structure_fragment).collect();
+    parts.push(match optimizer {
+        Some(o) => format!("Optimizer{}", o.name()),
+        None => "OptimizerX".to_owned(),
+    });
+    parts.join("-")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use OpClass::{BiasAdd, Conv, MatMul, Nop, Pool, Relu, Sigmoid, Tanh};
+
+    #[test]
+    fn merge_takes_refined_other_classes() {
+        let long = vec![LongClass::Conv, LongClass::Other, LongClass::Nop, LongClass::Other];
+        let other = vec![
+            OtherClass::Pool, // ignored: long says Conv
+            OtherClass::BiasAdd,
+            OtherClass::Relu, // ignored: long says Nop
+            OtherClass::Tanh,
+        ];
+        assert_eq!(merge_predictions(&long, &other), vec![Conv, BiasAdd, Nop, Tanh]);
+    }
+
+    #[test]
+    fn collapse_merges_runs_and_drops_nops() {
+        let classes = vec![Conv, Conv, Nop, Conv, BiasAdd, Relu, Relu, Nop, Nop, MatMul];
+        let runs = collapse(&classes);
+        let summary: Vec<(OpClass, usize, usize)> =
+            runs.iter().map(|r| (r.class, r.start, r.end)).collect();
+        // The Conv run continues across the single interleaved NOP.
+        assert_eq!(
+            summary,
+            vec![
+                (Conv, 0, 3),
+                (BiasAdd, 4, 4),
+                (Relu, 5, 6),
+                (MatMul, 9, 9)
+            ]
+        );
+    }
+
+    #[test]
+    fn collapse_restarts_run_after_other_class() {
+        let classes = vec![Conv, BiasAdd, Conv];
+        let runs = collapse(&classes);
+        assert_eq!(runs.len(), 3);
+        assert_eq!(runs[2], OpRun { class: Conv, start: 2, end: 2 });
+    }
+
+    #[test]
+    fn parse_stops_at_backward_boundary() {
+        // Forward: C B R | P | M B R — then backward begins with ReLU's
+        // grad collapsed into the forward R, so the next run is B.
+        let classes = vec![
+            Conv, BiasAdd, Relu, Pool, MatMul, BiasAdd, Relu, // forward (last R merges w/ grad)
+            BiasAdd, MatMul, MatMul, Pool, Relu, BiasAdd, Conv, // backward
+        ];
+        let runs = collapse(&classes);
+        let layers = parse_forward_layers(&runs);
+        assert_eq!(layers.len(), 3);
+        assert_eq!(layers[0].kind, RecoveredKind::Conv);
+        assert_eq!(layers[0].activation, Some(Activation::Relu));
+        assert_eq!(layers[1].kind, RecoveredKind::Pool);
+        assert_eq!(layers[2].kind, RecoveredKind::Dense);
+        // Layer boundaries carry the last forward sample index.
+        assert_eq!(layers[0].last_sample, 2);
+        assert_eq!(layers[2].last_sample, 6);
+    }
+
+    #[test]
+    fn parse_tolerates_missing_bias_or_activation() {
+        let classes = vec![Conv, Relu, MatMul, BiasAdd, Tanh, MatMul];
+        let layers = parse_forward_layers(&collapse(&classes));
+        // The trailing bare MatMul is a backward weight/input-gradient pair
+        // (a dense layer already exists), so only two layers parse.
+        assert_eq!(layers.len(), 2);
+        assert_eq!(layers[0].activation, Some(Activation::Relu));
+        assert_eq!(layers[1].activation, Some(Activation::Tanh));
+    }
+
+    #[test]
+    fn parse_keeps_first_bare_dense_layer() {
+        // VGG-style: convs then a bare MatMul whose BiasAdd/act were too
+        // short to sample — the first dense layer is kept.
+        let classes = vec![Conv, BiasAdd, Relu, Pool, MatMul, MatMul];
+        let layers = parse_forward_layers(&collapse(&classes));
+        assert_eq!(layers.len(), 3);
+        assert_eq!(layers[2].kind, RecoveredKind::Dense);
+    }
+
+    #[test]
+    fn mlp_parse() {
+        let classes = vec![
+            MatMul, BiasAdd, Relu, MatMul, BiasAdd, Tanh, MatMul, BiasAdd, Sigmoid,
+            // backward
+            BiasAdd, MatMul, MatMul,
+        ];
+        let layers = parse_forward_layers(&collapse(&classes));
+        assert_eq!(layers.len(), 3);
+        assert!(layers.iter().all(|l| l.kind == RecoveredKind::Dense));
+        let acts: Vec<_> = layers.iter().map(|l| l.activation).collect();
+        assert_eq!(
+            acts,
+            vec![
+                Some(Activation::Relu),
+                Some(Activation::Tanh),
+                Some(Activation::Sigmoid)
+            ]
+        );
+    }
+
+    #[test]
+    fn structure_string_renders_unknowns_as_x() {
+        let mut conv = RecoveredLayer::new(RecoveredKind::Conv, Some(Activation::Relu), 0);
+        conv.filter_size = Some(3);
+        conv.filters = Some(64);
+        conv.stride = Some(1);
+        let dense = RecoveredLayer::new(RecoveredKind::Dense, None, 5);
+        let s = structure_string(&[conv, dense], Some(dnn_sim::Optimizer::Adam));
+        assert_eq!(s, "C3,64,1,R-MX,X-OptimizerAdam");
+        let s = structure_string(&[], None);
+        assert_eq!(s, "OptimizerX");
+    }
+}

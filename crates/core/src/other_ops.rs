@@ -1,0 +1,172 @@
+//! `Mop` — the OtherOp classifier (§IV-B).
+//!
+//! Classifies the non-long ops: `BiasAdd`, the activations, pooling and the
+//! optimizer's apply ops. The paper's loss customization is reproduced
+//! exactly: samples whose ground truth is a long op or NOP are fed forward
+//! (the LSTM keeps its memory of them) but contribute **no loss** — "the
+//! loss resulted from Conv2D, Conv2DBackprop and NOP samples are all
+//! neglected".
+
+use dnn_sim::OpClass;
+use ml::loss::inverse_frequency_weights;
+use ml::seq::{SeqClassifierConfig, SequenceClassifier};
+use ml::{MinMaxScaler, SeqExample};
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::LabeledTrace;
+use crate::long_ops::LstmTrainConfig;
+
+/// The `Mop` output alphabet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum OtherClass {
+    /// Bias addition (forward or gradient).
+    BiasAdd,
+    /// ReLU (forward or gradient).
+    Relu,
+    /// Tanh (forward or gradient).
+    Tanh,
+    /// Sigmoid (forward or gradient).
+    Sigmoid,
+    /// Max pooling (forward or gradient).
+    Pool,
+    /// Optimizer apply op.
+    Optimizer,
+}
+
+impl OtherClass {
+    /// All classes in model output order.
+    pub const ALL: [OtherClass; 6] = [
+        OtherClass::BiasAdd,
+        OtherClass::Relu,
+        OtherClass::Tanh,
+        OtherClass::Sigmoid,
+        OtherClass::Pool,
+        OtherClass::Optimizer,
+    ];
+
+    /// Maps an op class into the `Mop` alphabet; `None` for long ops / NOP.
+    pub fn of(class: OpClass) -> Option<OtherClass> {
+        match class {
+            OpClass::BiasAdd => Some(OtherClass::BiasAdd),
+            OpClass::Relu => Some(OtherClass::Relu),
+            OpClass::Tanh => Some(OtherClass::Tanh),
+            OpClass::Sigmoid => Some(OtherClass::Sigmoid),
+            OpClass::Pool => Some(OtherClass::Pool),
+            OpClass::Optimizer => Some(OtherClass::Optimizer),
+            OpClass::Conv | OpClass::MatMul | OpClass::Nop => None,
+        }
+    }
+
+    /// Back to the shared [`OpClass`] alphabet.
+    pub fn op_class(self) -> OpClass {
+        match self {
+            OtherClass::BiasAdd => OpClass::BiasAdd,
+            OtherClass::Relu => OpClass::Relu,
+            OtherClass::Tanh => OpClass::Tanh,
+            OtherClass::Sigmoid => OpClass::Sigmoid,
+            OtherClass::Pool => OpClass::Pool,
+            OtherClass::Optimizer => OpClass::Optimizer,
+        }
+    }
+
+    /// Model output index.
+    pub fn index(self) -> usize {
+        Self::ALL.iter().position(|&c| c == self).expect("class in ALL")
+    }
+
+    /// Class from a model output index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 6`.
+    pub fn from_index(index: usize) -> OtherClass {
+        Self::ALL[index]
+    }
+}
+
+/// The trained `Mop` model.
+#[derive(Debug, Clone)]
+pub struct OtherOpModel {
+    clf: SequenceClassifier,
+}
+
+impl OtherOpModel {
+    /// Trains on profiling iterations, masking long-op and NOP losses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no iterations are provided.
+    pub fn train(
+        data: &[(&LabeledTrace, &[std::ops::Range<usize>])],
+        scaler: &MinMaxScaler,
+        config: &LstmTrainConfig,
+    ) -> Self {
+        let mut examples = Vec::new();
+        for (trace, ranges) in data {
+            for r in ranges.iter() {
+                let samples = &trace.samples[r.clone()];
+                let scaled: Vec<Vec<f32>> =
+                    samples.iter().map(|s| scaler.transform_row(&s.features)).collect();
+                let features = crate::dataset::with_lookahead(&scaled);
+                let mut labels = Vec::with_capacity(samples.len());
+                let mut mask = Vec::with_capacity(samples.len());
+                for s in samples {
+                    match OtherClass::of(s.class) {
+                        Some(c) => {
+                            labels.push(c.index());
+                            mask.push(true);
+                        }
+                        None => {
+                            labels.push(0);
+                            mask.push(false);
+                        }
+                    }
+                }
+                examples.push(SeqExample::with_mask(features, labels, mask));
+            }
+        }
+        assert!(!examples.is_empty(), "Mop needs at least one iteration");
+        let weights = inverse_frequency_weights(
+            examples
+                .iter()
+                .flat_map(|e| e.labels.iter().zip(&e.mask).filter(|(_, &m)| m).map(|(&l, _)| l)),
+            6,
+        );
+        let mut cfg = SeqClassifierConfig::new(2 * crate::dataset::FEATURE_WIDTH, config.hidden, 6);
+        cfg.epochs = config.epochs;
+        cfg.learning_rate = config.learning_rate;
+        cfg.seed = config.seed ^ 0x0707;
+        cfg.class_weights = Some(weights);
+        let mut clf = SequenceClassifier::new(cfg);
+        clf.fit(&examples);
+        OtherOpModel { clf }
+    }
+
+    /// Classifies every sample of one iteration (predictions at long-op
+    /// positions exist but are only *used* where `Mlong` said OtherOp — the
+    /// paper notes they still feed the LSTM state).
+    pub fn predict(&self, features: &[Vec<f32>], scaler: &MinMaxScaler) -> Vec<OtherClass> {
+        let scaled: Vec<Vec<f32>> = features.iter().map(|f| scaler.transform_row(f)).collect();
+        self.clf
+            .predict(&crate::dataset::with_lookahead(&scaled))
+            .into_iter()
+            .map(OtherClass::from_index)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_mapping_round_trips() {
+        for c in OtherClass::ALL {
+            assert_eq!(OtherClass::from_index(c.index()), c);
+            assert_eq!(OtherClass::of(c.op_class()), Some(c));
+        }
+        assert_eq!(OtherClass::of(OpClass::Conv), None);
+        assert_eq!(OtherClass::of(OpClass::MatMul), None);
+        assert_eq!(OtherClass::of(OpClass::Nop), None);
+    }
+}

@@ -1,0 +1,201 @@
+//! Profiling-suite generation.
+//!
+//! The adversary controls the profiling phase entirely, so she can train as
+//! many models of her own as she likes. The paper profiles MLP, AlexNet and
+//! VGG19 and additionally *varies the hyper-parameters* of the profiled
+//! models to train `Mhp` (§V-D: "we vary those hyper-parameters on the
+//! profiled and tested models just for this evaluation step"). This module
+//! generates such variation: randomized CNN/MLP structures covering the
+//! hyper-parameter spaces of Table VIII, which keeps the LSTMs from
+//! memorizing any single op order and forces them onto per-sample features.
+
+use dnn_sim::{Activation, InputSpec, Layer, Model, Optimizer};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Generates `count` randomized profiling models on the given input.
+///
+/// Roughly half are CNNs (1-4 conv layers with pooling, then 1-3 dense
+/// layers) and half MLPs (2-6 dense layers); activations, optimizers,
+/// filter sizes/counts, strides and neuron counts are drawn from the paper's
+/// hyper-parameter spaces.
+///
+/// # Panics
+///
+/// Panics if `count == 0`.
+pub fn random_profiling_models(count: usize, input: InputSpec, seed: u64) -> Vec<Model> {
+    assert!(count > 0, "need at least one profiling model");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let acts = [Activation::Relu, Activation::Tanh, Activation::Sigmoid];
+    let optimizers = Optimizer::ALL;
+    let filter_sizes = [1usize, 3, 5, 7, 9, 11, 13];
+    let strides = [1usize, 1, 1, 2, 2, 4]; // bias toward common strides
+
+    (0..count)
+        .map(|i| {
+            let mut layers = Vec::new();
+            let cnn = i % 2 == 0;
+            if cnn {
+                let conv_layers = rng.gen_range(1..=4);
+                let mut filters_log = rng.gen_range(6..=8); // 64..256 start
+                for c in 0..conv_layers {
+                    layers.push(Layer::Conv2D {
+                        filter_size: *filter_sizes.choose(&mut rng).expect("nonempty"),
+                        filters: 1 << filters_log,
+                        stride: *strides.choose(&mut rng).expect("nonempty"),
+                        activation: *acts.choose(&mut rng).expect("nonempty"),
+                    });
+                    if rng.gen_bool(0.5) && c + 1 < conv_layers {
+                        layers.push(Layer::MaxPool);
+                    }
+                    if filters_log < 12 && rng.gen_bool(0.6) {
+                        filters_log += 1;
+                    }
+                }
+                layers.push(Layer::MaxPool);
+                for _ in 0..rng.gen_range(1..=3) {
+                    layers.push(Layer::Dense {
+                        units: 1 << rng.gen_range(7..=12),
+                        activation: *acts.choose(&mut rng).expect("nonempty"),
+                    });
+                }
+            } else {
+                for _ in 0..rng.gen_range(2..=6) {
+                    layers.push(Layer::Dense {
+                        units: 1 << rng.gen_range(6..=14),
+                        activation: *acts.choose(&mut rng).expect("nonempty"),
+                    });
+                }
+            }
+            Model::new(
+                format!("profile_{:02}", i),
+                input,
+                layers,
+                *optimizers.choose(&mut rng).expect("nonempty"),
+            )
+        })
+        .collect()
+}
+
+/// Hyper-parameter sweep variants of a base model: each variant changes one
+/// hyper-parameter of one layer to another value in the Table VIII space
+/// (the paper's procedure for evaluating `Mhp`).
+pub fn hp_sweep_variants(base: &Model, count: usize, seed: u64) -> Vec<Model> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut variants = Vec::with_capacity(count);
+    for v in 0..count {
+        let mut layers = base.layers.clone();
+        let trainable: Vec<usize> = layers
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.trainable())
+            .map(|(i, _)| i)
+            .collect();
+        if let Some(&idx) = trainable[..].choose(&mut rng) {
+            match &mut layers[idx] {
+                Layer::Conv2D {
+                    filter_size,
+                    filters,
+                    stride,
+                    ..
+                } => match rng.gen_range(0..3) {
+                    0 => *filter_size = 2 * rng.gen_range(0..7) + 1,
+                    1 => *filters = 1 << rng.gen_range(6..=12),
+                    _ => *stride = rng.gen_range(1..=4),
+                },
+                Layer::Dense { units, .. } => {
+                    *units = 1 << rng.gen_range(6..=14);
+                }
+                Layer::MaxPool => {}
+            }
+        }
+        let optimizer = if rng.gen_bool(0.3) {
+            *Optimizer::ALL.choose(&mut rng).expect("nonempty")
+        } else {
+            base.optimizer
+        };
+        variants.push(Model::new(
+            format!("{}_var{:02}", base.name, v),
+            base.input,
+            layers,
+            optimizer,
+        ));
+    }
+    variants
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn input() -> InputSpec {
+        InputSpec::Image {
+            height: 32,
+            width: 32,
+            channels: 3,
+        }
+    }
+
+    #[test]
+    fn generates_valid_diverse_models() {
+        let models = random_profiling_models(10, input(), 7);
+        assert_eq!(models.len(), 10);
+        // Both CNNs and MLPs occur.
+        assert!(models.iter().any(|m| m.layers.iter().any(|l| matches!(l, Layer::Conv2D { .. }))));
+        assert!(models
+            .iter()
+            .any(|m| m.layers.iter().all(|l| matches!(l, Layer::Dense { .. }))));
+        // Structures differ.
+        let strings: std::collections::HashSet<String> =
+            models.iter().map(Model::structure_string).collect();
+        assert!(strings.len() >= 8, "models too similar: {}", strings.len());
+        // Every generated layer validates (Model::new checks) and every
+        // hyper-parameter is inside the Table VIII spaces.
+        use crate::hyperparams::HpKind;
+        for m in &models {
+            for (i, l) in m.layers.iter().enumerate() {
+                match l {
+                    Layer::Conv2D { .. } => {
+                        assert!(HpKind::FilterSize.label_for_layer(m, i).is_some());
+                        assert!(HpKind::Filters.label_for_layer(m, i).is_some());
+                        assert!(HpKind::Stride.label_for_layer(m, i).is_some());
+                    }
+                    Layer::Dense { .. } => {
+                        assert!(HpKind::Neurons.label_for_layer(m, i).is_some());
+                    }
+                    Layer::MaxPool => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = random_profiling_models(5, input(), 42);
+        let b = random_profiling_models(5, input(), 42);
+        assert_eq!(
+            a.iter().map(Model::structure_string).collect::<Vec<_>>(),
+            b.iter().map(Model::structure_string).collect::<Vec<_>>()
+        );
+        let c = random_profiling_models(5, input(), 43);
+        assert_ne!(
+            a.iter().map(Model::structure_string).collect::<Vec<_>>(),
+            c.iter().map(Model::structure_string).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn sweep_variants_change_hyper_parameters() {
+        let base = dnn_sim::zoo::zfnet();
+        let variants = hp_sweep_variants(&base, 8, 3);
+        assert_eq!(variants.len(), 8);
+        let changed = variants
+            .iter()
+            .filter(|v| v.structure_string() != base.structure_string())
+            .count();
+        assert!(changed >= 6, "only {} variants changed", changed);
+        // Layer count is preserved.
+        assert!(variants.iter().all(|v| v.layers.len() == base.layers.len()));
+    }
+}

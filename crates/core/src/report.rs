@@ -1,0 +1,272 @@
+//! Accuracy reporting: the paper's `AccuracyL` (layer sequence) and
+//! `AccuracyHP` (hyper-parameters) of Table IX, plus per-class op accuracy
+//! for Table VII.
+
+use dnn_sim::{Layer, Model, OpClass};
+use serde::{Deserialize, Serialize};
+
+use crate::opseq::{RecoveredKind, RecoveredLayer};
+
+/// Longest-common-subsequence alignment between two sequences under an
+/// equality predicate; returns index pairs of matched elements.
+pub fn lcs_pairs<A, B>(a: &[A], b: &[B], eq: impl Fn(&A, &B) -> bool) -> Vec<(usize, usize)> {
+    let n = a.len();
+    let m = b.len();
+    let mut dp = vec![vec![0usize; m + 1]; n + 1];
+    for i in (0..n).rev() {
+        for j in (0..m).rev() {
+            dp[i][j] = if eq(&a[i], &b[j]) {
+                dp[i + 1][j + 1] + 1
+            } else {
+                dp[i + 1][j].max(dp[i][j + 1])
+            };
+        }
+    }
+    let mut pairs = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < n && j < m {
+        if eq(&a[i], &b[j]) && dp[i][j] == dp[i + 1][j + 1] + 1 {
+            pairs.push((i, j));
+            i += 1;
+            j += 1;
+        } else if dp[i + 1][j] >= dp[i][j + 1] {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    pairs
+}
+
+fn kind_of(layer: &Layer) -> RecoveredKind {
+    match layer {
+        Layer::Conv2D { .. } => RecoveredKind::Conv,
+        Layer::Dense { .. } => RecoveredKind::Dense,
+        Layer::MaxPool => RecoveredKind::Pool,
+    }
+}
+
+/// Table IX accuracies for one extraction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StructureAccuracy {
+    /// Fraction of ground-truth layers matched in order (`AccuracyL`).
+    pub layers: f64,
+    /// Fraction of hyper-parameters recovered correctly (`AccuracyHP`):
+    /// conv layers contribute filter size, filters, stride and activation;
+    /// dense layers neurons and activation; plus one slot for the optimizer.
+    pub hyper_params: f64,
+    /// Ground-truth layer count.
+    pub truth_layers: usize,
+    /// Recovered layer count.
+    pub recovered_layers: usize,
+    /// Total hyper-parameter slots.
+    pub hp_total: usize,
+    /// Correct hyper-parameter slots.
+    pub hp_correct: usize,
+}
+
+/// Scores a recovered structure against the ground-truth model.
+pub fn score_structure(
+    truth: &Model,
+    recovered: &[RecoveredLayer],
+    recovered_optimizer: Option<dnn_sim::Optimizer>,
+) -> StructureAccuracy {
+    // AccuracyL: LCS over layer kinds.
+    let pairs = lcs_pairs(&truth.layers, recovered, |t, r| kind_of(t) == r.kind);
+    let layers_acc = if truth.layers.is_empty() {
+        0.0
+    } else {
+        pairs.len() as f64 / truth.layers.len() as f64
+    };
+
+    // AccuracyHP over aligned layers; unmatched truth layers count all their
+    // slots as wrong.
+    let mut hp_total = 1usize; // optimizer slot
+    let mut hp_correct = 0usize;
+    if recovered_optimizer == Some(truth.optimizer) {
+        hp_correct += 1;
+    }
+    let mut matched: Vec<Option<usize>> = vec![None; truth.layers.len()];
+    for (t, r) in &pairs {
+        matched[*t] = Some(*r);
+    }
+    for (t_idx, layer) in truth.layers.iter().enumerate() {
+        match *layer {
+            Layer::Conv2D {
+                filter_size,
+                filters,
+                stride,
+                activation,
+            } => {
+                hp_total += 4;
+                if let Some(r) = matched[t_idx].map(|r| &recovered[r]) {
+                    if r.filter_size == Some(filter_size) {
+                        hp_correct += 1;
+                    }
+                    if r.filters == Some(filters) {
+                        hp_correct += 1;
+                    }
+                    if r.stride == Some(stride) {
+                        hp_correct += 1;
+                    }
+                    if r.activation == Some(activation) {
+                        hp_correct += 1;
+                    }
+                }
+            }
+            Layer::Dense { units, activation } => {
+                hp_total += 2;
+                if let Some(r) = matched[t_idx].map(|r| &recovered[r]) {
+                    if r.units == Some(units) {
+                        hp_correct += 1;
+                    }
+                    if r.activation == Some(activation) {
+                        hp_correct += 1;
+                    }
+                }
+            }
+            Layer::MaxPool => {}
+        }
+    }
+
+    StructureAccuracy {
+        layers: layers_acc,
+        hyper_params: hp_correct as f64 / hp_total as f64,
+        truth_layers: truth.layers.len(),
+        recovered_layers: recovered.len(),
+        hp_total,
+        hp_correct,
+    }
+}
+
+/// Per-class op-inference accuracy (one Table VII cell): fraction of samples
+/// with ground truth `class` that were predicted as `class`.
+pub fn class_accuracy(pred: &[OpClass], truth: &[OpClass], class: OpClass) -> Option<f64> {
+    assert_eq!(pred.len(), truth.len(), "sequence length mismatch");
+    let total = truth.iter().filter(|&&t| t == class).count();
+    if total == 0 {
+        return None;
+    }
+    let correct = pred
+        .iter()
+        .zip(truth)
+        .filter(|(p, t)| **t == class && p == t)
+        .count();
+    Some(correct as f64 / total as f64)
+}
+
+/// Overall accuracy over non-NOP samples (Table VII "Overall" column).
+pub fn overall_op_accuracy(pred: &[OpClass], truth: &[OpClass]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "sequence length mismatch");
+    let busy: Vec<usize> = (0..truth.len()).filter(|&i| truth[i] != OpClass::Nop).collect();
+    if busy.is_empty() {
+        return 0.0;
+    }
+    let correct = busy.iter().filter(|&&i| pred[i] == truth[i]).count();
+    correct as f64 / busy.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnn_sim::{zoo, Activation};
+
+    fn rec(kind: RecoveredKind) -> RecoveredLayer {
+        RecoveredLayer {
+            kind,
+            activation: Some(Activation::Relu),
+            last_sample: 0,
+            filter_size: Some(3),
+            filters: Some(64),
+            stride: Some(1),
+            units: Some(4096),
+        }
+    }
+
+    #[test]
+    fn lcs_alignment() {
+        let a = ['a', 'b', 'c', 'd'];
+        let b = ['a', 'c', 'd'];
+        let pairs = lcs_pairs(&a, &b, |x, y| x == y);
+        assert_eq!(pairs, vec![(0, 0), (2, 1), (3, 2)]);
+        let pairs = lcs_pairs(&a, &[] as &[char], |x, y| x == y);
+        assert!(pairs.is_empty());
+    }
+
+    #[test]
+    fn perfect_recovery_scores_one() {
+        let truth = zoo::vgg16();
+        let recovered: Vec<RecoveredLayer> = truth
+            .layers
+            .iter()
+            .map(|l| match *l {
+                Layer::Conv2D {
+                    filter_size,
+                    filters,
+                    stride,
+                    activation,
+                } => RecoveredLayer {
+                    kind: RecoveredKind::Conv,
+                    activation: Some(activation),
+                    last_sample: 0,
+                    filter_size: Some(filter_size),
+                    filters: Some(filters),
+                    stride: Some(stride),
+                    units: None,
+                },
+                Layer::Dense { units, activation } => RecoveredLayer {
+                    kind: RecoveredKind::Dense,
+                    activation: Some(activation),
+                    last_sample: 0,
+                    filter_size: None,
+                    filters: None,
+                    stride: None,
+                    units: Some(units),
+                },
+                Layer::MaxPool => rec(RecoveredKind::Pool),
+            })
+            .collect();
+        let score = score_structure(&truth, &recovered, Some(truth.optimizer));
+        assert_eq!(score.layers, 1.0);
+        assert_eq!(score.hyper_params, 1.0);
+        assert_eq!(score.hp_total, 13 * 4 + 3 * 2 + 1);
+    }
+
+    #[test]
+    fn missing_layers_reduce_both_scores() {
+        let truth = zoo::tested_mlp(); // 5 dense layers
+        let recovered = vec![rec(RecoveredKind::Dense); 3];
+        let score = score_structure(&truth, &recovered, None);
+        assert!((score.layers - 3.0 / 5.0).abs() < 1e-9);
+        assert!(score.hyper_params < 1.0);
+    }
+
+    #[test]
+    fn wrong_hp_counts_against_hp_accuracy_only() {
+        let truth = zoo::tested_mlp();
+        let mut recovered = vec![rec(RecoveredKind::Dense); 5];
+        for (r, layer) in recovered.iter_mut().zip(&truth.layers) {
+            if let Layer::Dense { units, activation } = *layer {
+                r.units = Some(units);
+                r.activation = Some(activation);
+            }
+        }
+        recovered[0].units = Some(128); // one wrong unit count
+        let score = score_structure(&truth, &recovered, Some(truth.optimizer));
+        assert_eq!(score.layers, 1.0);
+        // 5 dense x 2 + optimizer = 11 slots; 1 wrong.
+        assert_eq!(score.hp_total, 11);
+        assert_eq!(score.hp_correct, 10);
+    }
+
+    #[test]
+    fn class_accuracy_and_overall() {
+        use OpClass::{Conv, MatMul, Nop, Relu};
+        let truth = vec![Conv, Conv, Relu, Nop, MatMul];
+        let pred = vec![Conv, MatMul, Relu, Nop, MatMul];
+        assert_eq!(class_accuracy(&pred, &truth, Conv), Some(0.5));
+        assert_eq!(class_accuracy(&pred, &truth, Relu), Some(1.0));
+        assert_eq!(class_accuracy(&pred, &truth, OpClass::Pool), None);
+        assert!((overall_op_accuracy(&pred, &truth) - 0.75).abs() < 1e-9);
+    }
+}

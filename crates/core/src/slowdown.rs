@@ -1,0 +1,186 @@
+//! The slow-down attack (§IV).
+//!
+//! One spy kernel cannot sample long victim ops often enough, so the
+//! attacker launches additional *hog* kernels whose only purpose is to take
+//! scheduler slices away from the victim, stretching every victim op across
+//! more rounds and giving the sampler more readings per op.
+//!
+//! The paper settles on 8 kernels arranged in 4 groups `G_0..G_3`, where
+//! group `G_i` uses `4·2^i` blocks and `4·2^i·32` threads; slow-down
+//! saturates beyond that because slice grants stop growing once a kernel
+//! covers every SM.
+
+use gpu_sim::{ContextId, Gpu, KernelDesc, KernelFootprint};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the slow-down attack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlowdownConfig {
+    /// Number of hog kernels (the paper uses 8; 0 disables the attack).
+    pub kernels: usize,
+}
+
+impl SlowdownConfig {
+    /// The paper's 8-kernel configuration.
+    pub fn paper() -> Self {
+        SlowdownConfig { kernels: 8 }
+    }
+
+    /// No slow-down (plain single-spy sampling, as in Tables I/II).
+    pub fn off() -> Self {
+        SlowdownConfig { kernels: 0 }
+    }
+
+    /// Launch geometry (blocks, threads-per-block) of hog `index`, following
+    /// the paper's grouping: kernels `2i` and `2i+1` form group `G_i` with
+    /// `4·2^i` blocks of 32 threads.
+    pub fn hog_geometry(index: usize) -> (u32, u32) {
+        let group = (index / 2) as u32;
+        (4 * (1 << group), 32)
+    }
+
+    /// Builds the hog kernel for slot `index`: a long-running compute kernel
+    /// with a negligible memory footprint (it must steal time, not pollute
+    /// the cache the sampler probes).
+    pub fn hog_kernel(index: usize, config: &gpu_sim::GpuConfig) -> KernelDesc {
+        let (blocks, tpb) = Self::hog_geometry(index);
+        let occ = gpu_sim::Occupancy::of_launch(blocks, tpb, config).fraction().max(1e-3);
+        // ~3 slices of work per launch so a hog never yields early.
+        let dur = 3.0 * config.time_slice_us;
+        let fp = KernelFootprint {
+            flops: config.compute_throughput * occ * dur,
+            read_bytes: 8.0 * 1024.0,
+            write_bytes: 0.0,
+            tex_read_bytes: 0.0,
+            working_set: 8.0 * 1024.0,
+            tex_working_set: 0.0,
+        };
+        KernelDesc::new(format!("spy_hog_{}", index), blocks, tpb, fp)
+    }
+
+    /// Creates one context per hog on `gpu` and sets them auto-repeating.
+    /// Returns the created contexts.
+    pub fn launch(&self, gpu: &mut Gpu) -> Vec<ContextId> {
+        let cfg = gpu.config().clone();
+        (0..self.kernels)
+            .map(|i| {
+                let ctx = gpu.add_context(format!("spy_hog_{}", i));
+                gpu.set_auto_repeat(ctx, Self::hog_kernel(i, &cfg));
+                ctx
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{GpuConfig, SchedulerMode};
+
+    #[test]
+    fn paper_geometry() {
+        // G_0: 4 blocks, G_1: 8, G_2: 16, G_3: 32 — two kernels each.
+        assert_eq!(SlowdownConfig::hog_geometry(0), (4, 32));
+        assert_eq!(SlowdownConfig::hog_geometry(1), (4, 32));
+        assert_eq!(SlowdownConfig::hog_geometry(2), (8, 32));
+        assert_eq!(SlowdownConfig::hog_geometry(5), (16, 32));
+        assert_eq!(SlowdownConfig::hog_geometry(7), (32, 32));
+    }
+
+    #[test]
+    fn launch_creates_contexts() {
+        let mut gpu = Gpu::new(GpuConfig::gtx_1080_ti(), SchedulerMode::TimeSliced);
+        let _victim = gpu.add_context("victim");
+        let hogs = SlowdownConfig::paper().launch(&mut gpu);
+        assert_eq!(hogs.len(), 8);
+        let off = SlowdownConfig::off();
+        assert!(off.launch(&mut gpu).is_empty());
+    }
+
+    #[test]
+    fn hogs_have_negligible_cache_footprint() {
+        let cfg = GpuConfig::gtx_1080_ti();
+        for i in 0..8 {
+            let k = SlowdownConfig::hog_kernel(i, &cfg);
+            assert!(k.footprint.total_working_set() < 16.0 * 1024.0);
+            assert!(k.footprint.write_bytes == 0.0);
+        }
+    }
+
+    #[test]
+    fn more_kernels_slow_the_victim_more_and_saturate() {
+        // The core slow-down claim: victim wall time grows with hog count
+        // and the growth flattens (paper §IV).
+        let victim_work_us = 10_000.0;
+        let wall = |hogs: usize| {
+            let mut cfg = GpuConfig::gtx_1080_ti();
+            cfg.slice_jitter = 0.0;
+            cfg.counter_noise = 0.0;
+            let mut gpu = Gpu::new(cfg.clone(), SchedulerMode::TimeSliced);
+            let victim = gpu.add_context("victim");
+            let fp = KernelFootprint {
+                flops: cfg.compute_throughput * victim_work_us,
+                ..KernelFootprint::empty()
+            };
+            gpu.enqueue(victim, KernelDesc::new("victim", 56, 1024, fp));
+            SlowdownConfig { kernels: hogs }.launch(&mut gpu);
+            gpu.run_until_queues_drain();
+            gpu.kernel_log()
+                .iter()
+                .find(|r| r.name == "victim")
+                .expect("victim ran")
+                .duration_us()
+        };
+        let w0 = wall(0);
+        let w2 = wall(2);
+        let w8 = wall(8);
+        assert!(w2 > 1.5 * w0, "2 hogs: {} vs {}", w2, w0);
+        assert!(w8 > 1.5 * w2, "8 hogs: {} vs {}", w8, w2);
+    }
+
+    #[test]
+    fn per_kernel_geometry_growth_saturates() {
+        // The paper's §IV observation that higher block/thread counts stop
+        // helping: a hog already covering the SMs gains nothing from more
+        // blocks, because scheduler slice grants saturate at full occupancy.
+        let victim_work_us = 10_000.0;
+        let wall = |blocks: u32, tpb: u32| {
+            let mut cfg = GpuConfig::gtx_1080_ti();
+            cfg.slice_jitter = 0.0;
+            cfg.counter_noise = 0.0;
+            let mut gpu = Gpu::new(cfg.clone(), SchedulerMode::TimeSliced);
+            let victim = gpu.add_context("victim");
+            let vfp = KernelFootprint {
+                flops: cfg.compute_throughput * victim_work_us,
+                ..KernelFootprint::empty()
+            };
+            gpu.enqueue(victim, KernelDesc::new("victim", 56, 1024, vfp));
+            let hog_ctx = gpu.add_context("hog");
+            let occ = gpu_sim::Occupancy::of_launch(blocks, tpb, &cfg).fraction().max(1e-3);
+            let hfp = KernelFootprint {
+                flops: cfg.compute_throughput * occ * 3.0 * cfg.time_slice_us,
+                read_bytes: 8.0 * 1024.0,
+                working_set: 8.0 * 1024.0,
+                ..KernelFootprint::empty()
+            };
+            gpu.set_auto_repeat(hog_ctx, KernelDesc::new("hog", blocks, tpb, hfp));
+            gpu.run_until_queues_drain();
+            gpu.kernel_log()
+                .iter()
+                .find(|r| r.name == "victim")
+                .expect("victim ran")
+                .duration_us()
+        };
+        let small = wall(4, 32);
+        let full = wall(64, 1024);
+        let huge = wall(1024, 1024);
+        assert!(full > small, "bigger hogs should slow the victim more");
+        // Beyond full occupancy the extra geometry buys (almost) nothing.
+        assert!(
+            (huge - full).abs() / full < 0.05,
+            "saturation violated: full {} vs huge {}",
+            full,
+            huge
+        );
+    }
+}

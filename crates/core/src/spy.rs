@@ -1,0 +1,148 @@
+//! The spy program's probe kernels.
+//!
+//! §III-C: the spy runs dummy kernels with 4 blocks x 32 threads and measures
+//! the context-switching penalty caused by the victim kernels that ran in
+//! between. Five candidate kernels are evaluated (Table I); `Conv200` wins —
+//! it has the largest overlap with DNN ops in requested units and
+//! memory-access patterns (large reuse working set, texture usage, an
+//! in-place dirty output buffer) and a short execution time, so it both
+//! *feels* the victim's evictions strongly and samples often.
+
+use std::fmt;
+
+use gpu_sim::{GpuConfig, KernelDesc, KernelFootprint};
+use serde::{Deserialize, Serialize};
+
+/// The spy's launch geometry (paper §III-C: 4 blocks, 32 threads → 4 SMs).
+pub const SPY_BLOCKS: u32 = 4;
+/// Threads per spy block.
+pub const SPY_THREADS_PER_BLOCK: u32 = 32;
+
+/// The five candidate spy kernels of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SpyKernelKind {
+    /// Element-wise vector addition: negligible footprint.
+    VectorAdd,
+    /// Element-wise vector multiplication.
+    VectorMul,
+    /// Small dense matrix multiplication.
+    MatMul,
+    /// 100x100 convolution.
+    Conv100,
+    /// 200x200 convolution — the paper's choice.
+    Conv200,
+}
+
+impl SpyKernelKind {
+    /// All candidates in Table I order.
+    pub const ALL: [SpyKernelKind; 5] = [
+        SpyKernelKind::VectorAdd,
+        SpyKernelKind::VectorMul,
+        SpyKernelKind::MatMul,
+        SpyKernelKind::Conv100,
+        SpyKernelKind::Conv200,
+    ];
+
+    /// Display name as in Table I.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpyKernelKind::VectorAdd => "VectorAdd",
+            SpyKernelKind::VectorMul => "VectorMul",
+            SpyKernelKind::MatMul => "MatMul",
+            SpyKernelKind::Conv100 => "Conv100",
+            SpyKernelKind::Conv200 => "Conv200",
+        }
+    }
+
+    /// Builds the kernel description, optionally stretched by a CUPTI replay
+    /// factor (see [`cupti_sim::replay_factor`]).
+    ///
+    /// The footprints encode the probe-quality spectrum of Table I: the
+    /// vector kernels barely touch memory (tiny, unstable readings), the
+    /// small MatMul holds a modest reuse set, and the convolutions combine a
+    /// large global + texture working set with an in-place dirty output —
+    /// maximal overlap with DNN kernels' resource usage.
+    pub fn kernel(self, replay_factor: f64, config: &GpuConfig) -> KernelDesc {
+        assert!(replay_factor >= 1.0, "replay factor must be >= 1");
+        let kib = 1024.0;
+        let (dur_us, read, write, tex_read, ws, tex_ws) = match self {
+            SpyKernelKind::VectorAdd => (80.0, 24.0 * kib, 8.0 * kib, 0.0, 16.0 * kib, 0.0),
+            SpyKernelKind::VectorMul => (100.0, 32.0 * kib, 8.0 * kib, 0.0, 24.0 * kib, 0.0),
+            SpyKernelKind::MatMul => (400.0, 96.0 * kib, 32.0 * kib, 0.0, 256.0 * kib, 0.0),
+            SpyKernelKind::Conv100 => {
+                (250.0, 96.0 * kib, 64.0 * kib, 48.0 * kib, 160.0 * kib, 96.0 * kib)
+            }
+            SpyKernelKind::Conv200 => {
+                (500.0, 160.0 * kib, 256.0 * kib, 96.0 * kib, 512.0 * kib, 256.0 * kib)
+            }
+        };
+        // The spy's 4 blocks occupy 4 SMs; duration is compute-driven at that
+        // occupancy, stretched by the profiling replay factor.
+        let occ = gpu_sim::Occupancy::of_launch(SPY_BLOCKS, SPY_THREADS_PER_BLOCK, config)
+            .fraction()
+            .max(1e-3);
+        let flops = config.compute_throughput * occ * dur_us * replay_factor;
+        let fp = KernelFootprint {
+            flops,
+            read_bytes: read,
+            write_bytes: write,
+            tex_read_bytes: tex_read,
+            working_set: ws,
+            tex_working_set: tex_ws,
+        };
+        KernelDesc::new(format!("spy_{}", self.name()), SPY_BLOCKS, SPY_THREADS_PER_BLOCK, fp)
+    }
+}
+
+impl fmt::Display for SpyKernelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spy_geometry_matches_paper() {
+        let cfg = GpuConfig::gtx_1080_ti();
+        for kind in SpyKernelKind::ALL {
+            let k = kind.kernel(1.0, &cfg);
+            assert_eq!(k.blocks, 4);
+            assert_eq!(k.threads_per_block, 32);
+            assert_eq!(k.occupancy(&cfg).sms_used(), 4);
+        }
+    }
+
+    #[test]
+    fn conv200_has_largest_probe_footprint() {
+        let cfg = GpuConfig::gtx_1080_ti();
+        let conv200 = SpyKernelKind::Conv200.kernel(1.0, &cfg);
+        for kind in [SpyKernelKind::VectorAdd, SpyKernelKind::VectorMul, SpyKernelKind::MatMul] {
+            let other = kind.kernel(1.0, &cfg);
+            assert!(
+                conv200.footprint.total_working_set() > other.footprint.total_working_set(),
+                "{} should have a smaller probe set",
+                kind
+            );
+        }
+        assert!(conv200.footprint.tex_working_set > 0.0);
+    }
+
+    #[test]
+    fn replay_factor_stretches_duration() {
+        let cfg = GpuConfig::gtx_1080_ti();
+        let base = SpyKernelKind::Conv200.kernel(1.0, &cfg).nominal_duration_us(&cfg);
+        let replay = SpyKernelKind::Conv200.kernel(1.24, &cfg).nominal_duration_us(&cfg);
+        assert!(replay > base * 1.2, "{} vs {}", base, replay);
+    }
+
+    #[test]
+    fn vector_kernels_are_short() {
+        let cfg = GpuConfig::gtx_1080_ti();
+        let va = SpyKernelKind::VectorAdd.kernel(1.0, &cfg).nominal_duration_us(&cfg);
+        let c200 = SpyKernelKind::Conv200.kernel(1.0, &cfg).nominal_duration_us(&cfg);
+        assert!(va < c200 / 3.0);
+    }
+}

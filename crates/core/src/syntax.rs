@@ -1,0 +1,295 @@
+//! DNN-syntax correction (§IV-D).
+//!
+//! After op inference, the recovered structure still contains errors; the
+//! paper corrects them with heuristics every ML practitioner knows:
+//!
+//! 1. a conv/MatMul is always followed by `BiasAdd` + an activation (the
+//!    parser already inserts the layer; here we repair missing activations);
+//! 2. a model usually uses a single activation type, so a clear majority
+//!    overrides stragglers — applied separately to the conv stack and the
+//!    dense head, and only when a 2/3 majority exists (the profiled MLP
+//!    legitimately mixes activations);
+//! 3. pooling presupposes a preceding convolution: leading pools and pools
+//!    directly after dense layers are artifacts and are dropped;
+//! 4. filter/neuron counts come out of `Mhp`'s power-of-two label space by
+//!    construction, implementing the paper's "set to the power of two" rule.
+
+use dnn_sim::Activation;
+use serde::{Deserialize, Serialize};
+
+use crate::opseq::{RecoveredKind, RecoveredLayer};
+
+/// Which corrections to apply (all on by default; the ablation bench turns
+/// them off individually).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SyntaxConfig {
+    /// Fill missing activations with the (group) majority.
+    pub fill_missing_activations: bool,
+    /// Override minority activations when a 2/3 majority exists.
+    pub harmonize_activations: bool,
+    /// Drop pools that no conv layer precedes.
+    pub drop_orphan_pools: bool,
+    /// Drop conv layers appearing after the dense head begins (sequential
+    /// CNNs never interleave convolutions into the classifier head).
+    pub drop_conv_after_dense: bool,
+}
+
+impl Default for SyntaxConfig {
+    fn default() -> Self {
+        SyntaxConfig {
+            fill_missing_activations: true,
+            harmonize_activations: true,
+            drop_orphan_pools: true,
+            drop_conv_after_dense: true,
+        }
+    }
+}
+
+fn majority_activation(layers: &[&RecoveredLayer]) -> Option<(Activation, usize, usize)> {
+    let mut counts = [0usize; 3];
+    let mut total = 0usize;
+    for l in layers {
+        if let Some(a) = l.activation {
+            let idx = match a {
+                Activation::Relu => 0,
+                Activation::Tanh => 1,
+                Activation::Sigmoid => 2,
+            };
+            counts[idx] += 1;
+            total += 1;
+        }
+    }
+    if total == 0 {
+        return None;
+    }
+    let best = (0..3).max_by_key(|&i| counts[i]).expect("three candidates");
+    let act = [Activation::Relu, Activation::Tanh, Activation::Sigmoid][best];
+    Some((act, counts[best], total))
+}
+
+/// Applies the syntax corrections in place, returning the number of edits.
+pub fn correct(layers: &mut Vec<RecoveredLayer>, config: &SyntaxConfig) -> usize {
+    let mut edits = 0usize;
+
+    if config.drop_conv_after_dense {
+        let before = layers.len();
+        // Sequential models never interleave the two stacks: either the
+        // dense predictions ahead of the first conv are artifacts (a CNN) or
+        // the conv predictions are (an MLP). Decide by majority: whichever
+        // side is smaller is the misclassification.
+        let conv_total = layers.iter().filter(|l| l.kind == RecoveredKind::Conv).count();
+        if let Some(first_conv) = layers.iter().position(|l| l.kind == RecoveredKind::Conv) {
+            let dense_before = layers[..first_conv]
+                .iter()
+                .filter(|l| l.kind == RecoveredKind::Dense)
+                .count();
+            if conv_total > dense_before && dense_before > 0 {
+                // CNN with stray leading denses: drop them so the conv stack
+                // survives the conv-after-dense rule below.
+                let mut idx = 0;
+                layers.retain(|l| {
+                    let keep = !(l.kind == RecoveredKind::Dense && idx < first_conv);
+                    idx += 1;
+                    keep
+                });
+            }
+        }
+        let mut seen_dense = false;
+        layers.retain(|l| match l.kind {
+            RecoveredKind::Dense => {
+                seen_dense = true;
+                true
+            }
+            RecoveredKind::Conv => !seen_dense,
+            RecoveredKind::Pool => true,
+        });
+        // A lone leading conv in an otherwise all-dense model (no pooling)
+        // is an artifact: MLPs flatten immediately.
+        let conv_count = layers.iter().filter(|l| l.kind == RecoveredKind::Conv).count();
+        let pool_count = layers.iter().filter(|l| l.kind == RecoveredKind::Pool).count();
+        let dense_count = layers.iter().filter(|l| l.kind == RecoveredKind::Dense).count();
+        if conv_count == 1 && pool_count == 0 && dense_count >= 2 {
+            layers.retain(|l| l.kind != RecoveredKind::Conv);
+        }
+        edits += before - layers.len();
+    }
+
+    if config.drop_orphan_pools {
+        let mut seen_conv = false;
+        let before = layers.len();
+        layers.retain(|l| match l.kind {
+            RecoveredKind::Conv => {
+                seen_conv = true;
+                true
+            }
+            RecoveredKind::Dense => {
+                // A dense layer ends the conv stack; later pools are bogus.
+                seen_conv = false;
+                true
+            }
+            RecoveredKind::Pool => seen_conv,
+        });
+        edits += before - layers.len();
+    }
+
+    for group_kind in [RecoveredKind::Conv, RecoveredKind::Dense] {
+        let group: Vec<&RecoveredLayer> =
+            layers.iter().filter(|l| l.kind == group_kind).collect();
+        let Some((majority, votes, total)) = majority_activation(&group) else {
+            continue;
+        };
+        let strong_majority = 3 * votes >= 2 * total;
+        for l in layers.iter_mut().filter(|l| l.kind == group_kind) {
+            match l.activation {
+                None if config.fill_missing_activations => {
+                    l.activation = Some(majority);
+                    edits += 1;
+                }
+                Some(a)
+                    if config.harmonize_activations && strong_majority && total >= 3 && a != majority =>
+                {
+                    l.activation = Some(majority);
+                    edits += 1;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    edits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conv(act: Option<Activation>) -> RecoveredLayer {
+        RecoveredLayer {
+            kind: RecoveredKind::Conv,
+            activation: act,
+            last_sample: 0,
+            filter_size: Some(3),
+            filters: Some(64),
+            stride: Some(1),
+            units: None,
+        }
+    }
+
+    fn dense(act: Option<Activation>) -> RecoveredLayer {
+        RecoveredLayer {
+            kind: RecoveredKind::Dense,
+            activation: act,
+            last_sample: 0,
+            filter_size: None,
+            filters: None,
+            stride: None,
+            units: Some(4096),
+        }
+    }
+
+    fn pool() -> RecoveredLayer {
+        RecoveredLayer {
+            kind: RecoveredKind::Pool,
+            activation: None,
+            last_sample: 0,
+            filter_size: None,
+            filters: None,
+            stride: None,
+            units: None,
+        }
+    }
+
+    #[test]
+    fn fills_missing_activation_with_majority() {
+        let mut layers = vec![
+            conv(Some(Activation::Relu)),
+            conv(Some(Activation::Relu)),
+            conv(None),
+        ];
+        let edits = correct(&mut layers, &SyntaxConfig::default());
+        assert_eq!(edits, 1);
+        assert_eq!(layers[2].activation, Some(Activation::Relu));
+    }
+
+    #[test]
+    fn harmonizes_clear_majority_but_not_mixed_mlps() {
+        // Conv stack: 4 ReLU + 1 Tanh → harmonized.
+        let mut layers = vec![
+            conv(Some(Activation::Relu)),
+            conv(Some(Activation::Relu)),
+            conv(Some(Activation::Relu)),
+            conv(Some(Activation::Relu)),
+            conv(Some(Activation::Tanh)),
+        ];
+        correct(&mut layers, &SyntaxConfig::default());
+        assert!(layers.iter().all(|l| l.activation == Some(Activation::Relu)));
+
+        // Balanced MLP activations (no 2/3 majority) stay untouched.
+        let mut layers = vec![
+            dense(Some(Activation::Relu)),
+            dense(Some(Activation::Tanh)),
+            dense(Some(Activation::Sigmoid)),
+            dense(Some(Activation::Relu)),
+            dense(Some(Activation::Tanh)),
+        ];
+        let before = layers.clone();
+        correct(&mut layers, &SyntaxConfig::default());
+        assert_eq!(layers, before);
+    }
+
+    #[test]
+    fn leading_dense_misclassifications_do_not_delete_the_conv_stack() {
+        // Regression: a stray dense prediction ahead of the conv stack used
+        // to set `seen_dense` and wipe every conv layer.
+        let mut layers = vec![
+            dense(Some(Activation::Relu)), // artifact
+            conv(Some(Activation::Relu)),
+            conv(Some(Activation::Relu)),
+            pool(),
+            dense(Some(Activation::Relu)), // the real head
+        ];
+        correct(&mut layers, &SyntaxConfig::default());
+        let kinds: Vec<RecoveredKind> = layers.iter().map(|l| l.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                RecoveredKind::Conv,
+                RecoveredKind::Conv,
+                RecoveredKind::Pool,
+                RecoveredKind::Dense
+            ]
+        );
+    }
+
+    #[test]
+    fn drops_orphan_pools() {
+        let mut layers = vec![
+            pool(), // leading pool: artifact
+            conv(Some(Activation::Relu)),
+            pool(), // legitimate
+            dense(Some(Activation::Relu)),
+            pool(), // after dense: artifact
+        ];
+        let edits = correct(&mut layers, &SyntaxConfig::default());
+        assert_eq!(edits, 2);
+        assert_eq!(layers.len(), 3);
+        assert_eq!(layers[0].kind, RecoveredKind::Conv);
+        assert_eq!(layers[1].kind, RecoveredKind::Pool);
+        assert_eq!(layers[2].kind, RecoveredKind::Dense);
+    }
+
+    #[test]
+    fn disabled_rules_do_nothing() {
+        let cfg = SyntaxConfig {
+            fill_missing_activations: false,
+            harmonize_activations: false,
+            drop_orphan_pools: false,
+            drop_conv_after_dense: false,
+        };
+        let mut layers = vec![pool(), conv(None)];
+        let edits = correct(&mut layers, &cfg);
+        assert_eq!(edits, 0);
+        assert_eq!(layers.len(), 2);
+        assert_eq!(layers[1].activation, None);
+    }
+}

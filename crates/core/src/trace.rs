@@ -1,0 +1,244 @@
+//! Side-channel trace collection: wires together the victim's training
+//! session, the spy sampler, the slow-down hogs and the CUPTI session, and
+//! returns the sample stream plus (in the profiling phase) the victim's
+//! ground-truth timeline.
+
+use cupti_sim::{table_iv_groups, CuptiSample, CuptiSession, VmInstance};
+use dnn_sim::TrainingSession;
+use gpu_sim::{Gpu, GpuConfig, KernelDesc, KernelRecord, SchedulerMode};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::slowdown::SlowdownConfig;
+use crate::spy::SpyKernelKind;
+
+/// Configuration of one collection run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CollectionConfig {
+    /// Which probe kernel the sampler runs.
+    pub spy_kernel: SpyKernelKind,
+    /// Slow-down attack setting.
+    pub slowdown: SlowdownConfig,
+    /// Host poll period for CUPTI reads, microseconds.
+    pub poll_period_us: f64,
+    /// Seed for host-side randomness (gaps, stalls) and the engine.
+    pub seed: u64,
+}
+
+impl CollectionConfig {
+    /// The paper's attack setting: Conv200 sampler, 8-kernel slow-down.
+    pub fn paper() -> Self {
+        CollectionConfig {
+            spy_kernel: SpyKernelKind::Conv200,
+            slowdown: SlowdownConfig::paper(),
+            poll_period_us: 1_000.0,
+            seed: 0xCAFE,
+        }
+    }
+
+    /// Returns the configuration with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// The raw product of one collection run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RawTrace {
+    /// CUPTI samples in time order.
+    pub samples: Vec<CuptiSample>,
+    /// The victim's kernel records (ground truth — used for labeling in the
+    /// profiling phase; at attack time the adversary must not look at it).
+    pub victim_log: Vec<KernelRecord>,
+    /// The collection configuration used.
+    pub collection: CollectionConfig,
+    /// Mean wall time of one victim iteration during the run, microseconds.
+    pub mean_iteration_us: f64,
+}
+
+/// Collects a trace of a full training run (victim + sampler + hogs, MPS
+/// off). Works for both the profiling phase (keep `victim_log`) and the
+/// attack phase (ignore it).
+///
+/// # Panics
+///
+/// Panics if the CUPTI session cannot be opened — construct the spy VM via
+/// [`spy_vm`] which performs the §II-D driver downgrade first.
+pub fn collect_trace(
+    session: &TrainingSession,
+    collection: &CollectionConfig,
+    gpu_config: &GpuConfig,
+) -> RawTrace {
+    let vm = spy_vm();
+    let mut gpu = Gpu::new(
+        gpu_config.clone().with_seed(collection.seed ^ 0x5119),
+        SchedulerMode::TimeSliced,
+    );
+    // Context creation order: victim first (it is the MPS-priority context in
+    // the comparison experiments; irrelevant under time slicing).
+    let victim = gpu.add_context("victim");
+    let sampler = gpu.add_context("spy_sampler");
+    gpu.monitor(sampler);
+    collection.slowdown.launch(&mut gpu);
+
+    let cupti = CuptiSession::open(&vm, sampler, table_iv_groups(), collection.poll_period_us)
+        .expect("CUPTI accessible after driver downgrade");
+    let spy_kernel = collection
+        .spy_kernel
+        .kernel(cupti.replay_factor(), gpu.config());
+    gpu.set_auto_repeat(sampler, spy_kernel);
+
+    let mut rng = StdRng::seed_from_u64(collection.seed);
+    session.enqueue(&mut gpu, victim, &mut rng);
+    gpu.run_until_queues_drain();
+    // Let the sampler observe the trailing inter-iteration gap too.
+    let tail = gpu.now_us() + 2.0 * collection.poll_period_us;
+    gpu.run_until(tail);
+
+    let end = gpu.now_us();
+    let (kernels, slices) = gpu.take_logs();
+    let samples = cupti.collect(&slices, 0.0, end);
+    let victim_log: Vec<KernelRecord> = kernels.into_iter().filter(|r| r.ctx == victim).collect();
+
+    let per_iter = session.ops().len();
+    let iters = victim_log.len() / per_iter.max(1);
+    let mean_iteration_us = if iters > 0 {
+        (0..iters)
+            .map(|i| victim_log[(i + 1) * per_iter - 1].end_us - victim_log[i * per_iter].start_us)
+            .sum::<f64>()
+            / iters as f64
+    } else {
+        0.0
+    };
+
+    RawTrace {
+        samples,
+        victim_log,
+        collection: *collection,
+        mean_iteration_us,
+    }
+}
+
+/// A spy VM ready for CUPTI: freshly rented (patched driver), then
+/// downgraded with the tenant's root privilege — the paper's §II-D bypass.
+pub fn spy_vm() -> VmInstance {
+    let mut vm = VmInstance::fresh_cloud_instance("spy-vm");
+    vm.downgrade_driver().expect("tenant has root in their own VM");
+    vm
+}
+
+/// Collects samples while the victim runs one fixed kernel in a loop (or
+/// idles, when `victim_kernel` is `None`) — the micro-benchmark harness
+/// behind Tables I and II. No slow-down hogs; one spy, one victim.
+pub fn collect_microbench(
+    victim_kernel: Option<KernelDesc>,
+    spy: SpyKernelKind,
+    duration_us: f64,
+    poll_period_us: f64,
+    gpu_config: &GpuConfig,
+    seed: u64,
+) -> Vec<CuptiSample> {
+    let vm = spy_vm();
+    let mut gpu = Gpu::new(gpu_config.clone().with_seed(seed), SchedulerMode::TimeSliced);
+    let victim = gpu.add_context("victim");
+    let sampler = gpu.add_context("spy_sampler");
+    gpu.monitor(sampler);
+    let cupti = CuptiSession::open(&vm, sampler, table_iv_groups(), poll_period_us)
+        .expect("CUPTI accessible after driver downgrade");
+    gpu.set_auto_repeat(sampler, spy.kernel(cupti.replay_factor(), gpu.config()));
+    if let Some(k) = victim_kernel {
+        gpu.set_auto_repeat(victim, k);
+    }
+    gpu.run_until(duration_us);
+    let (_, slices) = gpu.take_logs();
+    // Discard a warm-up prefix so steady-state statistics dominate.
+    let warmup = duration_us * 0.2;
+    cupti.collect(&slices, warmup, duration_us)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnn_sim::{zoo, Activation, InputSpec, Layer, Model, Optimizer, TrainingConfig};
+
+    pub(crate) fn tiny_model() -> Model {
+        Model::new(
+            "tiny",
+            InputSpec::Image {
+                height: 16,
+                width: 16,
+                channels: 3,
+            },
+            vec![
+                Layer::conv(3, 8, 1),
+                Layer::MaxPool,
+                Layer::dense(32, Activation::Relu),
+            ],
+            Optimizer::Gd,
+        )
+    }
+
+    #[test]
+    fn collect_trace_produces_samples_and_log() {
+        let session = TrainingSession::new(tiny_model(), TrainingConfig::new(4, 2));
+        let cfg = CollectionConfig {
+            slowdown: SlowdownConfig { kernels: 2 },
+            ..CollectionConfig::paper()
+        };
+        let trace = collect_trace(&session, &cfg, &GpuConfig::gtx_1080_ti());
+        assert!(!trace.samples.is_empty());
+        assert_eq!(trace.victim_log.len(), session.ops().len() * 2);
+        assert!(trace.mean_iteration_us > 0.0);
+        // Samples are contiguous, ordered windows.
+        for w in trace.samples.windows(2) {
+            assert!(w[1].start_us >= w[0].start_us);
+        }
+    }
+
+    #[test]
+    fn slowdown_stretches_iterations() {
+        let session = TrainingSession::new(tiny_model(), TrainingConfig::new(4, 2));
+        let slow = collect_trace(&session, &CollectionConfig::paper(), &GpuConfig::gtx_1080_ti());
+        let fast = collect_trace(
+            &session,
+            &CollectionConfig {
+                slowdown: SlowdownConfig::off(),
+                ..CollectionConfig::paper()
+            },
+            &GpuConfig::gtx_1080_ti(),
+        );
+        assert!(
+            slow.mean_iteration_us > 2.0 * fast.mean_iteration_us,
+            "slow {} vs fast {}",
+            slow.mean_iteration_us,
+            fast.mean_iteration_us
+        );
+    }
+
+    #[test]
+    fn microbench_idle_vs_busy_differ() {
+        let gpu_cfg = GpuConfig::gtx_1080_ti();
+        let idle = collect_microbench(None, SpyKernelKind::Conv200, 200_000.0, 4_000.0, &gpu_cfg, 1);
+        let ops = dnn_sim::plan_iteration(&zoo::vgg16(), 64);
+        let conv = ops
+            .iter()
+            .find(|o| o.kind == dnn_sim::OpKind::Conv2D)
+            .unwrap();
+        let conv_kernel = dnn_sim::lower_op(conv, 0, &gpu_cfg);
+        let busy = collect_microbench(
+            Some(conv_kernel),
+            SpyKernelKind::Conv200,
+            200_000.0,
+            4_000.0,
+            &gpu_cfg,
+            1,
+        );
+        let mean =
+            |s: &[cupti_sim::CuptiSample]| s.iter().map(|x| x.counters.dram_reads()).sum::<f64>() / s.len() as f64;
+        let mi = mean(&idle);
+        let mb = mean(&busy);
+        assert!(mi != mb, "idle and busy identical: {} vs {}", mi, mb);
+    }
+}

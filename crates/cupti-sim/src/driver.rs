@@ -1,0 +1,252 @@
+//! Driver-version gating of CUPTI and the paper's downgrade bypass.
+//!
+//! Nvidia's February 2019 security bulletin restricted performance-counter
+//! access to administrators from driver 418.40.04 on. The paper (§II-D) shows
+//! the mitigation is moot on the cloud: a tenant who is root *inside their
+//! own VM* simply downgrades their VM's driver to 384.130 and regains CUPTI —
+//! invisibly to the victim VM sharing the same physical GPU.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// An Nvidia driver version, e.g. `418.40.04`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DriverVersion {
+    /// Major component.
+    pub major: u32,
+    /// Minor component.
+    pub minor: u32,
+    /// Patch component (0 when absent, as in `384.130`).
+    pub patch: u32,
+}
+
+impl DriverVersion {
+    /// Creates a version triple.
+    pub fn new(major: u32, minor: u32, patch: u32) -> Self {
+        DriverVersion { major, minor, patch }
+    }
+
+    /// First driver that restricts CUPTI to privileged users (the patched
+    /// driver in the paper's EC2 experiment).
+    pub const CUPTI_RESTRICTED_SINCE: DriverVersion = DriverVersion {
+        major: 418,
+        minor: 40,
+        patch: 4,
+    };
+
+    /// The unpatched driver the paper downgrades to.
+    pub const UNPATCHED: DriverVersion = DriverVersion {
+        major: 384,
+        minor: 130,
+        patch: 0,
+    };
+
+    /// Whether this driver restricts CUPTI access to administrators.
+    pub fn restricts_cupti(&self) -> bool {
+        *self >= Self::CUPTI_RESTRICTED_SINCE
+    }
+}
+
+impl fmt::Display for DriverVersion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.patch == 0 {
+            write!(f, "{}.{}", self.major, self.minor)
+        } else {
+            write!(f, "{}.{}.{:02}", self.major, self.minor, self.patch)
+        }
+    }
+}
+
+/// Error parsing a driver version string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDriverVersionError(String);
+
+impl fmt::Display for ParseDriverVersionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid driver version: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseDriverVersionError {}
+
+impl FromStr for DriverVersion {
+    type Err = ParseDriverVersionError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut parts = s.split('.');
+        let mut next = |required: bool| -> Result<u32, ParseDriverVersionError> {
+            match parts.next() {
+                Some(p) => p.parse().map_err(|_| ParseDriverVersionError(s.to_owned())),
+                None if required => Err(ParseDriverVersionError(s.to_owned())),
+                None => Ok(0),
+            }
+        };
+        let major = next(true)?;
+        let minor = next(true)?;
+        let patch = next(false)?;
+        if parts.next().is_some() {
+            return Err(ParseDriverVersionError(s.to_owned()));
+        }
+        Ok(DriverVersion::new(major, minor, patch))
+    }
+}
+
+/// Errors raised by CUPTI access / driver administration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DriverError {
+    /// The driver restricts counters and the caller is not privileged.
+    CuptiRestricted {
+        /// Driver enforcing the restriction.
+        driver: DriverVersion,
+    },
+    /// Installing a driver requires root in the VM.
+    RootRequired,
+}
+
+impl fmt::Display for DriverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DriverError::CuptiRestricted { driver } => {
+                write!(f, "CUPTI access restricted by driver {}", driver)
+            }
+            DriverError::RootRequired => write!(f, "driver installation requires root"),
+        }
+    }
+}
+
+impl std::error::Error for DriverError {}
+
+/// A tenant VM on a GPU cloud instance: its own driver install and privilege
+/// level. Two VMs sharing a physical GPU each see their own driver — the
+/// spy's downgrade is invisible to the victim.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VmInstance {
+    name: String,
+    driver: DriverVersion,
+    is_root: bool,
+}
+
+impl VmInstance {
+    /// Creates a VM with the given driver and privilege level.
+    pub fn new(name: impl Into<String>, driver: DriverVersion, is_root: bool) -> Self {
+        VmInstance {
+            name: name.into(),
+            driver,
+            is_root,
+        }
+    }
+
+    /// A freshly-rented cloud VM: patched driver, tenant has root (the
+    /// paper's Amazon EC2 setting).
+    pub fn fresh_cloud_instance(name: impl Into<String>) -> Self {
+        VmInstance::new(name, DriverVersion::CUPTI_RESTRICTED_SINCE, true)
+    }
+
+    /// VM name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Currently installed driver.
+    pub fn driver(&self) -> DriverVersion {
+        self.driver
+    }
+
+    /// Checks whether CUPTI event collection is permitted on this VM.
+    ///
+    /// # Errors
+    ///
+    /// [`DriverError::CuptiRestricted`] when the installed driver gates
+    /// counters and the process is unprivileged... which on the restricted
+    /// drivers applies to *any* tenant process (the restriction is per-GPU
+    /// client, and cloud pass-through does not grant the admin capability).
+    pub fn check_cupti_access(&self) -> Result<(), DriverError> {
+        if self.driver.restricts_cupti() {
+            Err(DriverError::CuptiRestricted { driver: self.driver })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Installs a different driver version (upgrade or downgrade).
+    ///
+    /// # Errors
+    ///
+    /// [`DriverError::RootRequired`] when the VM user lacks root.
+    pub fn install_driver(&mut self, version: DriverVersion) -> Result<(), DriverError> {
+        if !self.is_root {
+            return Err(DriverError::RootRequired);
+        }
+        self.driver = version;
+        Ok(())
+    }
+
+    /// The paper's bypass: downgrade to the unpatched 384.130 driver.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DriverError::RootRequired`].
+    pub fn downgrade_driver(&mut self) -> Result<(), DriverError> {
+        self.install_driver(DriverVersion::UNPATCHED)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        let v: DriverVersion = "418.40.04".parse().unwrap();
+        assert_eq!(v, DriverVersion::new(418, 40, 4));
+        assert_eq!(v.to_string(), "418.40.04");
+        let v: DriverVersion = "384.130".parse().unwrap();
+        assert_eq!(v, DriverVersion::UNPATCHED);
+        assert_eq!(v.to_string(), "384.130");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("".parse::<DriverVersion>().is_err());
+        assert!("418".parse::<DriverVersion>().is_err());
+        assert!("a.b".parse::<DriverVersion>().is_err());
+        assert!("1.2.3.4".parse::<DriverVersion>().is_err());
+    }
+
+    #[test]
+    fn restriction_threshold() {
+        assert!(DriverVersion::CUPTI_RESTRICTED_SINCE.restricts_cupti());
+        assert!(DriverVersion::new(430, 0, 0).restricts_cupti());
+        assert!(!DriverVersion::UNPATCHED.restricts_cupti());
+        assert!(!DriverVersion::new(418, 39, 99).restricts_cupti());
+    }
+
+    #[test]
+    fn fresh_instance_blocks_cupti_until_downgrade() {
+        // The paper's §II-D experiment, end to end.
+        let mut vm = VmInstance::fresh_cloud_instance("spy-vm");
+        assert!(matches!(
+            vm.check_cupti_access(),
+            Err(DriverError::CuptiRestricted { .. })
+        ));
+        vm.downgrade_driver().unwrap();
+        assert_eq!(vm.driver(), DriverVersion::UNPATCHED);
+        assert!(vm.check_cupti_access().is_ok());
+    }
+
+    #[test]
+    fn unprivileged_tenant_cannot_downgrade() {
+        let mut vm = VmInstance::new("locked", DriverVersion::CUPTI_RESTRICTED_SINCE, false);
+        assert_eq!(vm.downgrade_driver(), Err(DriverError::RootRequired));
+        assert!(vm.check_cupti_access().is_err());
+    }
+
+    #[test]
+    fn version_ordering() {
+        let old: DriverVersion = "384.130".parse().unwrap();
+        let new: DriverVersion = "418.40.04".parse().unwrap();
+        assert!(old < new);
+    }
+}

@@ -1,0 +1,106 @@
+//! The CUPTI event catalog and event groups.
+//!
+//! The paper's Table IV selects ten counters organized in three hardware
+//! groups; a profiling pass can only collect the groups it enables, and each
+//! additional enabled group lengthens the profiled kernel (replay), reducing
+//! the spy's sampling rate (§IV, "the execution time of a spy kernel depends
+//! on the number of groups it accesses").
+
+use gpu_sim::CounterId;
+use serde::{Deserialize, Serialize};
+
+/// One hardware counter group.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventGroup {
+    /// Group number as in Table IV (1-based).
+    pub id: u8,
+    /// Human-readable description (mirrors the paper's table).
+    pub description: &'static str,
+    /// Counters collected when this group is enabled.
+    pub counters: Vec<CounterId>,
+}
+
+/// The three groups of Table IV.
+pub fn table_iv_groups() -> Vec<EventGroup> {
+    vec![
+        EventGroup {
+            id: 1,
+            description: "Number of texture cache 0/1 requests",
+            counters: vec![
+                CounterId::Tex0CacheSectorQueries,
+                CounterId::Tex1CacheSectorQueries,
+            ],
+        },
+        EventGroup {
+            id: 2,
+            description: "Number of DRAM read/write requests to sub partition 0/1",
+            counters: vec![
+                CounterId::FbSubp0ReadSectors,
+                CounterId::FbSubp1ReadSectors,
+                CounterId::FbSubp0WriteSectors,
+                CounterId::FbSubp1WriteSectors,
+            ],
+        },
+        EventGroup {
+            id: 3,
+            description: "Number of write/read requests sent to DRAM from slice 0/1 of L2 cache",
+            counters: vec![
+                CounterId::L2Subp0ReadSectorMisses,
+                CounterId::L2Subp1ReadSectorMisses,
+                CounterId::L2Subp0WriteSectorMisses,
+                CounterId::L2Subp1WriteSectorMisses,
+            ],
+        },
+    ]
+}
+
+/// Fractional kernel-duration overhead added per enabled group (replay cost).
+pub const GROUP_REPLAY_OVERHEAD: f64 = 0.08;
+
+/// Replay slowdown factor for a profiling pass that enables `groups` groups.
+pub fn replay_factor(groups: usize) -> f64 {
+    1.0 + GROUP_REPLAY_OVERHEAD * groups as f64
+}
+
+/// All counters covered by a set of groups, deduplicated, in catalog order.
+pub fn counters_of(groups: &[EventGroup]) -> Vec<CounterId> {
+    CounterId::ALL
+        .iter()
+        .copied()
+        .filter(|c| groups.iter().any(|g| g.counters.contains(c)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iv_covers_all_ten_counters_once() {
+        let groups = table_iv_groups();
+        assert_eq!(groups.len(), 3);
+        let all = counters_of(&groups);
+        assert_eq!(all.len(), 10);
+        assert_eq!(all, CounterId::ALL.to_vec());
+        // Counts per group match the paper: 2 + 4 + 4.
+        assert_eq!(groups[0].counters.len(), 2);
+        assert_eq!(groups[1].counters.len(), 4);
+        assert_eq!(groups[2].counters.len(), 4);
+    }
+
+    #[test]
+    fn replay_factor_grows_with_groups() {
+        assert_eq!(replay_factor(0), 1.0);
+        assert!(replay_factor(3) > replay_factor(1));
+        assert!((replay_factor(3) - 1.24).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counters_of_subset() {
+        let groups = table_iv_groups();
+        let only_fb = counters_of(&groups[1..2]);
+        assert_eq!(only_fb.len(), 4);
+        assert!(only_fb.contains(&CounterId::FbSubp0ReadSectors));
+        assert!(!only_fb.contains(&CounterId::Tex0CacheSectorQueries));
+    }
+}

@@ -1,0 +1,38 @@
+//! # `cupti-sim` — CUPTI-style profiling substrate for `leaky-dnn`
+//!
+//! Mirrors the pieces of Nvidia's CUDA Profiling Tools Interface the paper's
+//! attack depends on:
+//!
+//! * [`events`] — the counter catalog and the three event groups of the
+//!   paper's Table IV, with the group-count ⇒ replay-overhead trade-off;
+//! * [`session`] — per-context sampling sessions that aggregate the GPU
+//!   engine's counter trace into fixed-period samples;
+//! * [`driver`] — driver versions, the post-418.40.04 CUPTI restriction and
+//!   the root-in-your-own-VM downgrade bypass of §II-D.
+//!
+//! # Examples
+//!
+//! ```
+//! use cupti_sim::{CuptiSession, VmInstance, table_iv_groups};
+//! use gpu_sim::ContextId;
+//!
+//! // A fresh cloud VM ships the patched driver: CUPTI is blocked...
+//! let mut vm = VmInstance::fresh_cloud_instance("spy-vm");
+//! let ctx = ContextId::test_value(0);
+//! assert!(CuptiSession::open(&vm, ctx, table_iv_groups(), 4000.0).is_err());
+//! // ...until the tenant downgrades the driver in their own VM.
+//! vm.downgrade_driver()?;
+//! let session = CuptiSession::open(&vm, ctx, table_iv_groups(), 4000.0)?;
+//! assert_eq!(session.groups().len(), 3);
+//! # Ok::<(), cupti_sim::DriverError>(())
+//! ```
+
+pub mod driver;
+pub mod events;
+pub mod metrics;
+pub mod session;
+
+pub use driver::{DriverError, DriverVersion, VmInstance};
+pub use events::{counters_of, replay_factor, table_iv_groups, EventGroup, GROUP_REPLAY_OVERHEAD};
+pub use metrics::{derive, DerivedMetrics};
+pub use session::{CuptiSample, CuptiSession};

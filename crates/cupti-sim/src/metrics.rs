@@ -1,0 +1,93 @@
+//! Derived metrics — the "Metrics" half of CUPTI's Events & Metrics APIs
+//! (paper §II-C). Metrics are computed from raw event counters plus the
+//! sample window; the spy uses raw events, but the profiled-developer view
+//! (and our diagnostics) use these.
+
+use gpu_sim::{CounterValues, GpuConfig};
+use serde::{Deserialize, Serialize};
+
+/// Derived metrics over one sample window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DerivedMetrics {
+    /// DRAM read throughput, bytes per microsecond.
+    pub dram_read_throughput: f64,
+    /// DRAM write throughput, bytes per microsecond.
+    pub dram_write_throughput: f64,
+    /// Fraction of peak DRAM bandwidth used.
+    pub dram_utilization: f64,
+    /// Texture queries as a fraction of all read sectors.
+    pub tex_read_fraction: f64,
+    /// Write share of DRAM traffic.
+    pub write_fraction: f64,
+    /// Imbalance between the two sub-partitions' read traffic, 0 = even.
+    pub subpartition_imbalance: f64,
+}
+
+/// Computes derived metrics from counter deltas over `window_us`.
+///
+/// # Panics
+///
+/// Panics if `window_us` is not positive.
+pub fn derive(counters: &CounterValues, window_us: f64, config: &GpuConfig) -> DerivedMetrics {
+    assert!(window_us > 0.0, "window must be positive");
+    let sector = config.sector_bytes;
+    let reads = counters.dram_reads() * sector;
+    let writes = counters.dram_writes() * sector;
+    let tex = counters.tex_queries() * sector;
+    let r0 = counters.get(gpu_sim::CounterId::FbSubp0ReadSectors);
+    let r1 = counters.get(gpu_sim::CounterId::FbSubp1ReadSectors);
+    DerivedMetrics {
+        dram_read_throughput: reads / window_us,
+        dram_write_throughput: writes / window_us,
+        dram_utilization: ((reads + writes) / window_us / config.mem_bandwidth).min(1.0),
+        tex_read_fraction: if reads > 0.0 { (tex / (reads + tex)).min(1.0) } else { 0.0 },
+        write_fraction: if reads + writes > 0.0 { writes / (reads + writes) } else { 0.0 },
+        subpartition_imbalance: if r0 + r1 > 0.0 { (r0 - r1).abs() / (r0 + r1) } else { 0.0 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::CounterId;
+
+    fn counters(reads0: f64, reads1: f64, writes: f64, tex: f64) -> CounterValues {
+        let mut c = CounterValues::zero();
+        c.add_to(CounterId::FbSubp0ReadSectors, reads0);
+        c.add_to(CounterId::FbSubp1ReadSectors, reads1);
+        c.add_to(CounterId::FbSubp0WriteSectors, writes);
+        c.add_to(CounterId::Tex0CacheSectorQueries, tex);
+        c
+    }
+
+    #[test]
+    fn throughput_and_utilization() {
+        let cfg = GpuConfig::gtx_1080_ti();
+        let c = counters(500.0, 500.0, 250.0, 0.0);
+        let m = derive(&c, 1000.0, &cfg);
+        assert!((m.dram_read_throughput - 1000.0 * 32.0 / 1000.0).abs() < 1e-9);
+        assert!((m.dram_write_throughput - 250.0 * 32.0 / 1000.0).abs() < 1e-9);
+        assert!(m.dram_utilization > 0.0 && m.dram_utilization <= 1.0);
+        assert!((m.write_fraction - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn imbalance_and_tex_fraction() {
+        let cfg = GpuConfig::gtx_1080_ti();
+        let even = derive(&counters(100.0, 100.0, 0.0, 100.0), 10.0, &cfg);
+        assert_eq!(even.subpartition_imbalance, 0.0);
+        assert!((even.tex_read_fraction - 1.0 / 3.0).abs() < 1e-9);
+        let skewed = derive(&counters(300.0, 100.0, 0.0, 0.0), 10.0, &cfg);
+        assert!((skewed.subpartition_imbalance - 0.5).abs() < 1e-9);
+        assert_eq!(skewed.tex_read_fraction, 0.0);
+    }
+
+    #[test]
+    fn empty_window_is_all_zero() {
+        let cfg = GpuConfig::gtx_1080_ti();
+        let m = derive(&CounterValues::zero(), 5.0, &cfg);
+        assert_eq!(m.dram_read_throughput, 0.0);
+        assert_eq!(m.write_fraction, 0.0);
+        assert_eq!(m.subpartition_imbalance, 0.0);
+    }
+}

@@ -1,0 +1,258 @@
+//! CUPTI sampling sessions.
+//!
+//! A session is attached to one CUDA context (the spy's) with a set of
+//! enabled event groups and a host-side poll period. The engine records
+//! per-slice counter deltas for monitored contexts; [`CuptiSession::collect`]
+//! aggregates those deltas into fixed-period samples — the sample stream the
+//! MoSConS inference models consume.
+//!
+//! Fixed-period host polling is also what produces the paper's Table II
+//! `NOP` signature: while the victim idles, many back-to-back spy launches
+//! (plus the idle write-drain) aggregate into one very large sample.
+
+use gpu_sim::{ContextId, CounterId, CounterSlice, CounterValues};
+use serde::{Deserialize, Serialize};
+
+use crate::driver::{DriverError, VmInstance};
+use crate::events::{replay_factor, EventGroup};
+
+/// One aggregated counter sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CuptiSample {
+    /// Window start, microseconds.
+    pub start_us: f64,
+    /// Window end, microseconds.
+    pub end_us: f64,
+    /// Counter deltas within the window (only enabled counters; the rest are
+    /// zero, like a real session that never enabled their group).
+    pub counters: CounterValues,
+}
+
+impl CuptiSample {
+    /// The sample as a 10-dimensional feature vector in catalog order.
+    pub fn to_features(&self) -> Vec<f32> {
+        self.counters.to_features()
+    }
+}
+
+/// A profiling session bound to one context.
+#[derive(Debug, Clone)]
+pub struct CuptiSession {
+    ctx: ContextId,
+    groups: Vec<EventGroup>,
+    poll_period_us: f64,
+    quantization: f64,
+}
+
+impl CuptiSession {
+    /// Opens a session for `ctx` with the given groups and poll period,
+    /// enforcing the driver access policy of `vm`.
+    ///
+    /// # Errors
+    ///
+    /// [`DriverError::CuptiRestricted`] if the VM's driver gates counters
+    /// (paper §II-D — downgrade the driver first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `poll_period_us` is not positive or `groups` is empty.
+    pub fn open(
+        vm: &VmInstance,
+        ctx: ContextId,
+        groups: Vec<EventGroup>,
+        poll_period_us: f64,
+    ) -> Result<Self, DriverError> {
+        assert!(poll_period_us > 0.0, "poll period must be positive");
+        assert!(!groups.is_empty(), "enable at least one event group");
+        vm.check_cupti_access()?;
+        Ok(CuptiSession {
+            ctx,
+            groups,
+            poll_period_us,
+            quantization: 1.0,
+        })
+    }
+
+    /// Reduces counter precision: every reading is rounded to a multiple of
+    /// `sectors`. This models the paper's §VI defense proposal ("reducing
+    /// the precision of CUPTI can interfere with the spy"); the `defense`
+    /// bench measures how much the attack degrades.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sectors < 1`.
+    pub fn with_quantization(mut self, sectors: f64) -> Self {
+        assert!(sectors >= 1.0, "quantization step must be >= 1 sector");
+        self.quantization = sectors;
+        self
+    }
+
+    /// The configured precision step in sectors (1 = full precision).
+    pub fn quantization(&self) -> f64 {
+        self.quantization
+    }
+
+    /// The monitored context.
+    pub fn context(&self) -> ContextId {
+        self.ctx
+    }
+
+    /// Enabled groups.
+    pub fn groups(&self) -> &[EventGroup] {
+        &self.groups
+    }
+
+    /// Host poll period.
+    pub fn poll_period_us(&self) -> f64 {
+        self.poll_period_us
+    }
+
+    /// Kernel-duration replay factor implied by the enabled group count; the
+    /// spy applies this to its kernel so that enabling more groups costs
+    /// sampling rate, as in the paper.
+    pub fn replay_factor(&self) -> f64 {
+        replay_factor(self.groups.len())
+    }
+
+    /// Aggregates an engine counter trace into fixed-period samples over
+    /// `[t_start, t_end)`. Slices belonging to other contexts are ignored;
+    /// counters whose group is not enabled are zeroed. Windows with no
+    /// activity yield all-zero samples (they are meaningful: a starved or
+    /// idle spy).
+    pub fn collect(&self, trace: &[CounterSlice], t_start: f64, t_end: f64) -> Vec<CuptiSample> {
+        assert!(t_end >= t_start, "collect window is inverted");
+        let n = ((t_end - t_start) / self.poll_period_us).ceil() as usize;
+        let mut samples: Vec<CuptiSample> = (0..n)
+            .map(|i| CuptiSample {
+                start_us: t_start + i as f64 * self.poll_period_us,
+                end_us: (t_start + (i + 1) as f64 * self.poll_period_us).min(t_end),
+                counters: CounterValues::zero(),
+            })
+            .collect();
+        if samples.is_empty() {
+            return samples;
+        }
+        let enabled: Vec<CounterId> = CounterId::ALL
+            .iter()
+            .copied()
+            .filter(|c| self.groups.iter().any(|g| g.counters.contains(c)))
+            .collect();
+        for slice in trace {
+            if slice.ctx != self.ctx || slice.end_us <= t_start || slice.start_us >= t_end {
+                continue;
+            }
+            // Attribute the slice to the window containing its end (the
+            // moment the host read would observe it).
+            let t = slice.end_us.min(t_end - 1e-9).max(t_start);
+            let idx = (((t - t_start) / self.poll_period_us) as usize).min(samples.len() - 1);
+            for &c in &enabled {
+                samples[idx].counters.add_to(c, slice.delta.get(c));
+            }
+        }
+        if self.quantization > 1.0 {
+            for s in samples.iter_mut() {
+                let mut q = CounterValues::zero();
+                for c in CounterId::ALL {
+                    let v = s.counters.get(c);
+                    q.add_to(c, (v / self.quantization).round() * self.quantization);
+                }
+                s.counters = q;
+            }
+        }
+        samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::DriverVersion;
+    use crate::events::table_iv_groups;
+
+    fn vm() -> VmInstance {
+        VmInstance::new("spy", DriverVersion::UNPATCHED, true)
+    }
+
+    fn slice(ctx: usize, t0: f64, t1: f64, reads: f64) -> CounterSlice {
+        let mut delta = CounterValues::zero();
+        delta.add_to(CounterId::FbSubp0ReadSectors, reads);
+        delta.add_to(CounterId::Tex0CacheSectorQueries, reads / 2.0);
+        CounterSlice {
+            ctx: ContextId::test_value(ctx),
+            start_us: t0,
+            end_us: t1,
+            delta,
+        }
+    }
+
+    #[test]
+    fn open_requires_cupti_access() {
+        let locked = VmInstance::new("x", DriverVersion::CUPTI_RESTRICTED_SINCE, true);
+        let err = CuptiSession::open(&locked, ContextId::test_value(0), table_iv_groups(), 100.0);
+        assert!(err.is_err());
+        assert!(CuptiSession::open(&vm(), ContextId::test_value(0), table_iv_groups(), 100.0).is_ok());
+    }
+
+    #[test]
+    fn collect_bins_by_poll_period() {
+        let s = CuptiSession::open(&vm(), ContextId::test_value(0), table_iv_groups(), 100.0).unwrap();
+        let trace = vec![
+            slice(0, 0.0, 10.0, 5.0),
+            slice(0, 50.0, 90.0, 7.0),
+            slice(0, 140.0, 160.0, 11.0),
+            slice(1, 0.0, 10.0, 999.0), // other context: ignored
+        ];
+        let samples = s.collect(&trace, 0.0, 200.0);
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[0].counters.get(CounterId::FbSubp0ReadSectors), 12.0);
+        assert_eq!(samples[1].counters.get(CounterId::FbSubp0ReadSectors), 11.0);
+    }
+
+    #[test]
+    fn disabled_groups_read_zero() {
+        let groups = vec![table_iv_groups()[1].clone()]; // FB group only
+        let s = CuptiSession::open(&vm(), ContextId::test_value(0), groups, 100.0).unwrap();
+        let samples = s.collect(&[slice(0, 0.0, 10.0, 8.0)], 0.0, 100.0);
+        assert_eq!(samples[0].counters.get(CounterId::FbSubp0ReadSectors), 8.0);
+        assert_eq!(samples[0].counters.get(CounterId::Tex0CacheSectorQueries), 0.0);
+    }
+
+    #[test]
+    fn empty_windows_are_emitted_as_zero_samples() {
+        let s = CuptiSession::open(&vm(), ContextId::test_value(0), table_iv_groups(), 50.0).unwrap();
+        let samples = s.collect(&[], 0.0, 200.0);
+        assert_eq!(samples.len(), 4);
+        assert!(samples.iter().all(|x| x.counters.total() == 0.0));
+        // Window boundaries are contiguous.
+        for w in samples.windows(2) {
+            assert!((w[0].end_us - w[1].start_us).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn replay_factor_reflects_group_count() {
+        let s1 = CuptiSession::open(&vm(), ContextId::test_value(0), vec![table_iv_groups()[0].clone()], 10.0)
+            .unwrap();
+        let s3 = CuptiSession::open(&vm(), ContextId::test_value(0), table_iv_groups(), 10.0).unwrap();
+        assert!(s3.replay_factor() > s1.replay_factor());
+    }
+
+    #[test]
+    fn quantization_rounds_counters() {
+        let s = CuptiSession::open(&vm(), ContextId::test_value(0), table_iv_groups(), 100.0)
+            .unwrap()
+            .with_quantization(1000.0);
+        assert_eq!(s.quantization(), 1000.0);
+        let samples = s.collect(&[slice(0, 0.0, 10.0, 1499.0)], 0.0, 100.0);
+        assert_eq!(samples[0].counters.get(CounterId::FbSubp0ReadSectors), 1000.0);
+        let samples = s.collect(&[slice(0, 0.0, 10.0, 1501.0)], 0.0, 100.0);
+        assert_eq!(samples[0].counters.get(CounterId::FbSubp0ReadSectors), 2000.0);
+    }
+
+    #[test]
+    fn feature_vector_has_ten_dims() {
+        let s = CuptiSession::open(&vm(), ContextId::test_value(0), table_iv_groups(), 100.0).unwrap();
+        let samples = s.collect(&[slice(0, 0.0, 10.0, 3.0)], 0.0, 100.0);
+        assert_eq!(samples[0].to_features().len(), 10);
+    }
+}

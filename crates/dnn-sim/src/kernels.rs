@@ -1,0 +1,240 @@
+//! Op → kernel lowering: converts each planned [`Op`] into a [`KernelDesc`]
+//! whose footprint (streaming traffic, working sets, texture usage) is
+//! derived from the op's tensor volumes.
+//!
+//! The traffic multipliers below are modeling knobs (documented in
+//! DESIGN.md): they encode the *relative* memory behaviour of the cuDNN
+//! kernels — convolutions route filters and input tiles through the texture
+//! path, transcendental activations make more passes over their tensors than
+//! ReLU, `BiasAddGrad` writes almost nothing, optimizers differ in how many
+//! state tensors they stream — which is exactly the structure the
+//! side-channel transports.
+
+use gpu_sim::{GpuConfig, KernelDesc, KernelFootprint};
+
+use crate::ops::{Op, OpKind};
+use crate::tensor::ELEM_BYTES;
+
+/// Cap on the cacheable weight working set (most of L2).
+const WS_WEIGHT_CAP: f64 = 2.4 * 1024.0 * 1024.0;
+/// Cap on the texture-tagged working set.
+const WS_TEX_CAP: f64 = 1.6 * 1024.0 * 1024.0;
+/// Working set of element-wise streaming ops (a few tile buffers).
+const WS_ELEMWISE: f64 = 48.0 * 1024.0;
+
+/// Ground-truth tag attached to a lowered kernel: `"{op_name}@{layer}"`.
+pub fn op_tag(op: &Op) -> String {
+    match op.layer_index {
+        Some(l) => format!("{}@{}", op.kind.op_name(), l),
+        None => op.kind.op_name().to_owned(),
+    }
+}
+
+/// Parses an op tag back into `(op_name, layer_index)`.
+pub fn parse_op_tag(tag: &str) -> (&str, Option<usize>) {
+    match tag.split_once('@') {
+        Some((name, layer)) => (name, layer.parse().ok()),
+        None => (tag, None),
+    }
+}
+
+/// Lowers one op into a kernel description. `seq_index` makes the kernel
+/// name unique within an iteration (and stable across iterations, so the
+/// engine's per-kernel warm-state tracking carries over).
+pub fn lower_op(op: &Op, seq_index: usize, config: &GpuConfig) -> KernelDesc {
+    let in_b = op.in_elems as f64 * ELEM_BYTES;
+    let out_b = op.out_elems as f64 * ELEM_BYTES;
+    let w_b = op.weight_elems as f64 * ELEM_BYTES;
+
+    let fp = match op.kind {
+        OpKind::Conv2D => KernelFootprint {
+            flops: op.flops,
+            read_bytes: in_b + w_b,
+            write_bytes: out_b,
+            tex_read_bytes: 0.6 * in_b + w_b,
+            working_set: (w_b + in_b / op.in_elems.max(1) as f64 * 64.0).min(WS_WEIGHT_CAP),
+            tex_working_set: w_b.min(WS_TEX_CAP),
+        },
+        OpKind::Conv2DBackpropFilter => KernelFootprint {
+            flops: op.flops,
+            read_bytes: in_b + out_b,
+            write_bytes: w_b,
+            tex_read_bytes: 0.4 * (in_b + out_b),
+            working_set: (w_b + 128.0 * 1024.0).min(WS_WEIGHT_CAP),
+            tex_working_set: (0.6 * w_b).min(WS_TEX_CAP),
+        },
+        OpKind::Conv2DBackpropInput => KernelFootprint {
+            flops: op.flops,
+            read_bytes: in_b + w_b,
+            write_bytes: out_b,
+            tex_read_bytes: 0.5 * in_b + w_b,
+            working_set: (w_b + 128.0 * 1024.0).min(WS_WEIGHT_CAP),
+            tex_working_set: w_b.min(WS_TEX_CAP),
+        },
+        OpKind::MatMul => KernelFootprint {
+            flops: op.flops,
+            read_bytes: in_b + w_b,
+            write_bytes: out_b,
+            tex_read_bytes: 0.0,
+            working_set: (w_b + in_b / 8.0).min(WS_WEIGHT_CAP),
+            tex_working_set: 0.0,
+        },
+        // The bias broadcast re-reads the bias vector per tile, giving
+        // BiasAdd a read multiplier between ReLU's 1.0 and Sigmoid's 1.75 —
+        // its forward footprint is otherwise identical to an activation.
+        OpKind::BiasAdd => elementwise(op, 1.4, 1.0),
+        OpKind::BiasAddGrad => KernelFootprint {
+            // Reduction into the bias vector: reads the tensor, writes ~0.
+            flops: op.flops,
+            read_bytes: in_b,
+            write_bytes: 1024.0,
+            tex_read_bytes: 0.0,
+            working_set: 32.0 * 1024.0,
+            tex_working_set: 0.0,
+        },
+        OpKind::Relu => elementwise(op, 1.0, 1.0),
+        OpKind::ReluGrad => elementwise(op, 2.0, 1.0),
+        // Transcendental activations use multi-pass range reduction; tanh is
+        // the costliest, sigmoid sits between tanh and ReLU.
+        OpKind::Tanh => elementwise(op, 3.0, 1.0),
+        OpKind::TanhGrad => elementwise(op, 3.6, 1.0),
+        OpKind::Sigmoid => elementwise(op, 1.8, 1.0),
+        OpKind::SigmoidGrad => elementwise(op, 2.3, 1.0),
+        // Pooling gathers 2x2 windows across rows: poorly-coalesced reads
+        // and a row-buffer working set far larger than an element-wise op's.
+        OpKind::MaxPool => KernelFootprint {
+            flops: op.flops,
+            read_bytes: 1.3 * in_b,
+            write_bytes: out_b,
+            tex_read_bytes: 0.0,
+            working_set: 384.0 * 1024.0,
+            tex_working_set: 0.0,
+        },
+        OpKind::MaxPoolGrad => KernelFootprint {
+            flops: op.flops,
+            read_bytes: 1.3 * in_b + 0.5 * out_b,
+            write_bytes: out_b,
+            tex_read_bytes: 0.0,
+            working_set: 384.0 * 1024.0,
+            tex_working_set: 0.0,
+        },
+        OpKind::ApplyGd => apply(op, 2.0, 1.0),
+        OpKind::ApplyAdagrad => apply(op, 3.0, 2.0),
+        OpKind::ApplyAdam => apply(op, 4.0, 3.0),
+    };
+
+    // TensorFlow grabs the whole device for every kernel.
+    let blocks = (config.num_sms as u32) * 2;
+    KernelDesc::new(format!("{}_{}", op.kind.op_name(), seq_index), blocks, 1024, fp).with_tag(op_tag(op))
+}
+
+fn elementwise(op: &Op, read_passes: f64, write_passes: f64) -> KernelFootprint {
+    let in_b = op.in_elems as f64 * ELEM_BYTES;
+    let out_b = op.out_elems as f64 * ELEM_BYTES;
+    KernelFootprint {
+        flops: op.flops,
+        read_bytes: read_passes * in_b,
+        write_bytes: write_passes * out_b,
+        tex_read_bytes: 0.0,
+        working_set: WS_ELEMWISE,
+        tex_working_set: 0.0,
+    }
+}
+
+fn apply(op: &Op, read_tensors: f64, write_tensors: f64) -> KernelFootprint {
+    let var_b = op.weight_elems as f64 * ELEM_BYTES;
+    KernelFootprint {
+        flops: op.flops,
+        read_bytes: read_tensors * var_b,
+        write_bytes: write_tensors * var_b,
+        tex_read_bytes: 0.0,
+        working_set: WS_ELEMWISE,
+        tex_working_set: 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::OpClass;
+
+    fn op(kind: OpKind, in_e: usize, out_e: usize, w_e: usize, flops: f64) -> Op {
+        Op {
+            kind,
+            layer_index: Some(3),
+            in_elems: in_e,
+            out_elems: out_e,
+            weight_elems: w_e,
+            flops,
+        }
+    }
+
+    #[test]
+    fn tag_round_trip() {
+        let o = op(OpKind::Conv2D, 100, 100, 9, 1e6);
+        let tag = op_tag(&o);
+        assert_eq!(tag, "Conv2D@3");
+        assert_eq!(parse_op_tag(&tag), ("Conv2D", Some(3)));
+        assert_eq!(parse_op_tag("MatMul"), ("MatMul", None));
+    }
+
+    #[test]
+    fn conv_uses_texture_path_and_matmul_does_not() {
+        let cfg = GpuConfig::gtx_1080_ti();
+        let conv = lower_op(&op(OpKind::Conv2D, 1 << 20, 1 << 20, 1 << 16, 1e9), 0, &cfg);
+        let mm = lower_op(&op(OpKind::MatMul, 1 << 20, 1 << 20, 1 << 16, 1e9), 1, &cfg);
+        assert!(conv.footprint.tex_read_bytes > 0.0);
+        assert!(conv.footprint.tex_working_set > 0.0);
+        assert_eq!(mm.footprint.tex_read_bytes, 0.0);
+        assert_eq!(mm.footprint.tex_working_set, 0.0);
+    }
+
+    #[test]
+    fn transcendental_activations_stream_more_than_relu() {
+        let cfg = GpuConfig::gtx_1080_ti();
+        let n = 1 << 20;
+        let relu = lower_op(&op(OpKind::Relu, n, n, 0, n as f64), 0, &cfg);
+        let tanh = lower_op(&op(OpKind::Tanh, n, n, 0, n as f64), 1, &cfg);
+        let sig = lower_op(&op(OpKind::Sigmoid, n, n, 0, n as f64), 2, &cfg);
+        assert!(tanh.footprint.read_bytes > sig.footprint.read_bytes);
+        assert!(sig.footprint.read_bytes > relu.footprint.read_bytes);
+    }
+
+    #[test]
+    fn bias_add_grad_writes_almost_nothing() {
+        let cfg = GpuConfig::gtx_1080_ti();
+        let n = 1 << 20;
+        let b = lower_op(&op(OpKind::BiasAdd, n, n, 0, n as f64), 0, &cfg);
+        let bg = lower_op(&op(OpKind::BiasAddGrad, n, 0, 0, n as f64), 1, &cfg);
+        assert!(bg.footprint.write_bytes < b.footprint.write_bytes / 100.0);
+    }
+
+    #[test]
+    fn optimizer_traffic_ordering() {
+        let cfg = GpuConfig::gtx_1080_ti();
+        let v = 1 << 20;
+        let gd = lower_op(&op(OpKind::ApplyGd, v, v, v, v as f64), 0, &cfg);
+        let ag = lower_op(&op(OpKind::ApplyAdagrad, v, v, v, v as f64), 1, &cfg);
+        let adam = lower_op(&op(OpKind::ApplyAdam, v, v, v, v as f64), 2, &cfg);
+        assert!(adam.footprint.stream_bytes() > ag.footprint.stream_bytes());
+        assert!(ag.footprint.stream_bytes() > gd.footprint.stream_bytes());
+    }
+
+    #[test]
+    fn working_sets_are_capped_at_l2_scale() {
+        let cfg = GpuConfig::gtx_1080_ti();
+        // A 512 MiB weight matrix must not claim a 512 MiB working set.
+        let huge = lower_op(&op(OpKind::MatMul, 1 << 24, 1 << 24, 1 << 27, 1e12), 0, &cfg);
+        assert!(huge.footprint.working_set <= cfg.l2_bytes);
+    }
+
+    #[test]
+    fn kernel_names_unique_per_sequence_index_and_tagged() {
+        let cfg = GpuConfig::gtx_1080_ti();
+        let a = lower_op(&op(OpKind::MatMul, 10, 10, 10, 10.0), 4, &cfg);
+        let b = lower_op(&op(OpKind::MatMul, 10, 10, 10, 10.0), 9, &cfg);
+        assert_ne!(a.name, b.name);
+        assert_eq!(a.op_tag.as_deref(), Some("MatMul@3"));
+        assert_eq!(OpClass::MatMul, op(OpKind::MatMul, 1, 1, 1, 1.0).class());
+    }
+}

@@ -1,0 +1,251 @@
+//! Training-step operations and their classification taxonomy.
+//!
+//! A training iteration is a sequence of *ops* (paper terminology): forward
+//! ops per layer, their gradient counterparts in reverse order, and the
+//! optimizer's apply ops. The attack's inference models classify spy samples
+//! into the [`OpClass`] alphabet of Table VII (`C`, `M`, `B`, `R`, `P`, `T`,
+//! `S`), plus `Opt` for optimizer apply ops and `NOP` for idle gaps.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::layer::Optimizer;
+
+/// Concrete TensorFlow-level operation kinds emitted by the planner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum OpKind {
+    Conv2D,
+    Conv2DBackpropFilter,
+    Conv2DBackpropInput,
+    MatMul,
+    BiasAdd,
+    BiasAddGrad,
+    Relu,
+    ReluGrad,
+    Tanh,
+    TanhGrad,
+    Sigmoid,
+    SigmoidGrad,
+    MaxPool,
+    MaxPoolGrad,
+    ApplyGd,
+    ApplyAdam,
+    ApplyAdagrad,
+}
+
+impl OpKind {
+    /// The TensorFlow op name (what the timeline profiler logs).
+    pub fn op_name(self) -> &'static str {
+        match self {
+            OpKind::Conv2D => "Conv2D",
+            OpKind::Conv2DBackpropFilter => "Conv2DBackpropFilter",
+            OpKind::Conv2DBackpropInput => "Conv2DBackpropInput",
+            OpKind::MatMul => "MatMul",
+            OpKind::BiasAdd => "BiasAdd",
+            OpKind::BiasAddGrad => "BiasAddGrad",
+            OpKind::Relu => "Relu",
+            OpKind::ReluGrad => "ReluGrad",
+            OpKind::Tanh => "Tanh",
+            OpKind::TanhGrad => "TanhGrad",
+            OpKind::Sigmoid => "Sigmoid",
+            OpKind::SigmoidGrad => "SigmoidGrad",
+            OpKind::MaxPool => "MaxPool",
+            OpKind::MaxPoolGrad => "MaxPoolGrad",
+            OpKind::ApplyGd => "ApplyGradientDescent",
+            OpKind::ApplyAdam => "ApplyAdam",
+            OpKind::ApplyAdagrad => "ApplyAdagrad",
+        }
+    }
+
+    /// Classification class for the attack's inference models.
+    pub fn class(self) -> OpClass {
+        match self {
+            OpKind::Conv2D | OpKind::Conv2DBackpropFilter | OpKind::Conv2DBackpropInput => OpClass::Conv,
+            OpKind::MatMul => OpClass::MatMul,
+            OpKind::BiasAdd | OpKind::BiasAddGrad => OpClass::BiasAdd,
+            OpKind::Relu | OpKind::ReluGrad => OpClass::Relu,
+            OpKind::Tanh | OpKind::TanhGrad => OpClass::Tanh,
+            OpKind::Sigmoid | OpKind::SigmoidGrad => OpClass::Sigmoid,
+            OpKind::MaxPool | OpKind::MaxPoolGrad => OpClass::Pool,
+            OpKind::ApplyGd | OpKind::ApplyAdam | OpKind::ApplyAdagrad => OpClass::Optimizer,
+        }
+    }
+
+    /// The apply-op kind of an optimizer.
+    pub fn apply_of(optimizer: Optimizer) -> OpKind {
+        match optimizer {
+            Optimizer::Gd => OpKind::ApplyGd,
+            Optimizer::Adam => OpKind::ApplyAdam,
+            Optimizer::Adagrad => OpKind::ApplyAdagrad,
+        }
+    }
+
+    /// Parses the class back from an op name logged on a timeline.
+    pub fn from_op_name(name: &str) -> Option<OpKind> {
+        const ALL: [OpKind; 17] = [
+            OpKind::Conv2D,
+            OpKind::Conv2DBackpropFilter,
+            OpKind::Conv2DBackpropInput,
+            OpKind::MatMul,
+            OpKind::BiasAdd,
+            OpKind::BiasAddGrad,
+            OpKind::Relu,
+            OpKind::ReluGrad,
+            OpKind::Tanh,
+            OpKind::TanhGrad,
+            OpKind::Sigmoid,
+            OpKind::SigmoidGrad,
+            OpKind::MaxPool,
+            OpKind::MaxPoolGrad,
+            OpKind::ApplyGd,
+            OpKind::ApplyAdam,
+            OpKind::ApplyAdagrad,
+        ];
+        ALL.into_iter().find(|k| k.op_name() == name)
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.op_name())
+    }
+}
+
+/// The classification alphabet (paper Table VII letters plus `Optimizer` and
+/// `Nop`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum OpClass {
+    Conv,
+    MatMul,
+    BiasAdd,
+    Relu,
+    Tanh,
+    Sigmoid,
+    Pool,
+    Optimizer,
+    Nop,
+}
+
+impl OpClass {
+    /// All classes, in a stable order.
+    pub const ALL: [OpClass; 9] = [
+        OpClass::Conv,
+        OpClass::MatMul,
+        OpClass::BiasAdd,
+        OpClass::Relu,
+        OpClass::Tanh,
+        OpClass::Sigmoid,
+        OpClass::Pool,
+        OpClass::Optimizer,
+        OpClass::Nop,
+    ];
+
+    /// The paper's single-letter code (`N` for NOP, `O` for optimizer).
+    pub fn letter(self) -> char {
+        match self {
+            OpClass::Conv => 'C',
+            OpClass::MatMul => 'M',
+            OpClass::BiasAdd => 'B',
+            OpClass::Relu => 'R',
+            OpClass::Tanh => 'T',
+            OpClass::Sigmoid => 'S',
+            OpClass::Pool => 'P',
+            OpClass::Optimizer => 'O',
+            OpClass::Nop => 'N',
+        }
+    }
+
+    /// Whether this class is one of the long ops `Mlong` singles out.
+    pub fn is_long(self) -> bool {
+        matches!(self, OpClass::Conv | OpClass::MatMul)
+    }
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.letter())
+    }
+}
+
+/// One planned operation of a training iteration, with the tensor volumes the
+/// kernel lowering derives its footprint from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Op {
+    /// Operation kind.
+    pub kind: OpKind,
+    /// Index of the model layer this op belongs to (`None` for model-level
+    /// ops); used to attach hyper-parameter labels during profiling.
+    pub layer_index: Option<usize>,
+    /// Input activation elements.
+    pub in_elems: usize,
+    /// Output activation elements.
+    pub out_elems: usize,
+    /// Trainable parameter elements touched (weights or bias).
+    pub weight_elems: usize,
+    /// Total floating-point operations.
+    pub flops: f64,
+}
+
+impl Op {
+    /// Classification class.
+    pub fn class(&self) -> OpClass {
+        self.kind.class()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grads_share_class_with_forward() {
+        assert_eq!(OpKind::ReluGrad.class(), OpClass::Relu);
+        assert_eq!(OpKind::BiasAddGrad.class(), OpClass::BiasAdd);
+        assert_eq!(OpKind::Conv2DBackpropFilter.class(), OpClass::Conv);
+        assert_eq!(OpKind::Conv2DBackpropInput.class(), OpClass::Conv);
+        assert_eq!(OpKind::MaxPoolGrad.class(), OpClass::Pool);
+    }
+
+    #[test]
+    fn letters_match_table_vii() {
+        assert_eq!(OpClass::Conv.letter(), 'C');
+        assert_eq!(OpClass::BiasAdd.letter(), 'B');
+        assert_eq!(OpClass::Relu.letter(), 'R');
+        assert_eq!(OpClass::Pool.letter(), 'P');
+        assert_eq!(OpClass::MatMul.letter(), 'M');
+        assert_eq!(OpClass::Tanh.letter(), 'T');
+        assert_eq!(OpClass::Sigmoid.letter(), 'S');
+    }
+
+    #[test]
+    fn long_classes() {
+        assert!(OpClass::Conv.is_long());
+        assert!(OpClass::MatMul.is_long());
+        assert!(!OpClass::BiasAdd.is_long());
+        assert!(!OpClass::Nop.is_long());
+    }
+
+    #[test]
+    fn op_name_round_trip() {
+        for k in [
+            OpKind::Conv2D,
+            OpKind::MatMul,
+            OpKind::BiasAddGrad,
+            OpKind::ApplyAdam,
+            OpKind::MaxPoolGrad,
+        ] {
+            assert_eq!(OpKind::from_op_name(k.op_name()), Some(k));
+        }
+        assert_eq!(OpKind::from_op_name("NotAnOp"), None);
+    }
+
+    #[test]
+    fn apply_of_optimizers() {
+        assert_eq!(OpKind::apply_of(Optimizer::Gd), OpKind::ApplyGd);
+        assert_eq!(OpKind::apply_of(Optimizer::Adam), OpKind::ApplyAdam);
+        assert_eq!(OpKind::apply_of(Optimizer::Adagrad), OpKind::ApplyAdagrad);
+    }
+}

@@ -1,0 +1,429 @@
+//! The training-step planner: lowers a [`Model`] into the serialized op
+//! sequence one training iteration executes on the compute stream
+//! (forward pass, then back-propagation in reverse layer order, then the
+//! optimizer's apply ops), exactly the structure §IV-B describes:
+//!
+//! > "a convolutional layer sequentially invokes conv, BiasAdd and an
+//! > activation op [...] During back-propagation, it calculates the gradient
+//! > in a reverse order [...] ReLUgrad, BiasAddGrad and Conv2DBackprop".
+
+use crate::layer::{Activation, Layer};
+use crate::model::Model;
+use crate::ops::{Op, OpKind};
+use crate::tensor::{conv_out_size, TensorShape};
+
+fn act_kind(a: Activation) -> OpKind {
+    match a {
+        Activation::Relu => OpKind::Relu,
+        Activation::Tanh => OpKind::Tanh,
+        Activation::Sigmoid => OpKind::Sigmoid,
+    }
+}
+
+fn act_grad_kind(a: Activation) -> OpKind {
+    match a {
+        Activation::Relu => OpKind::ReluGrad,
+        Activation::Tanh => OpKind::TanhGrad,
+        Activation::Sigmoid => OpKind::SigmoidGrad,
+    }
+}
+
+/// Per-layer shape information resolved during the forward walk.
+#[derive(Debug, Clone)]
+struct LayerShapes {
+    input: TensorShape,
+    output: TensorShape,
+    weight_elems: usize,
+}
+
+/// Plans the op sequence of one training iteration.
+///
+/// # Panics
+///
+/// Panics if a convolutional or pooling layer appears after the activations
+/// have been flattened by a dense layer.
+pub fn plan_iteration(model: &Model, batch: usize) -> Vec<Op> {
+    assert!(batch > 0, "batch size must be positive");
+    let mut shapes: Vec<LayerShapes> = Vec::with_capacity(model.layers.len());
+    let mut shape = model.input.shape(batch);
+
+    // Forward shape resolution.
+    for (i, layer) in model.layers.iter().enumerate() {
+        match *layer {
+            Layer::Conv2D {
+                filter_size,
+                filters,
+                stride,
+                ..
+            } => {
+                let (h, w, c) = match shape {
+                    TensorShape::Nhwc {
+                        height,
+                        width,
+                        channels,
+                        ..
+                    } => (height, width, channels),
+                    TensorShape::Flat { .. } => panic!("layer {}: conv after flatten", i),
+                };
+                let out =
+                    TensorShape::nhwc(batch, conv_out_size(h, stride), conv_out_size(w, stride), filters);
+                shapes.push(LayerShapes {
+                    input: shape,
+                    output: out,
+                    weight_elems: filter_size * filter_size * c * filters,
+                });
+                shape = out;
+            }
+            Layer::Dense { units, .. } => {
+                let flat = shape.flattened();
+                let in_features = flat.elements_per_item();
+                let out = TensorShape::flat(batch, units);
+                shapes.push(LayerShapes {
+                    input: flat,
+                    output: out,
+                    weight_elems: in_features * units,
+                });
+                shape = out;
+            }
+            Layer::MaxPool => {
+                let (h, w, c) = match shape {
+                    TensorShape::Nhwc {
+                        height,
+                        width,
+                        channels,
+                        ..
+                    } => (height, width, channels),
+                    TensorShape::Flat { .. } => panic!("layer {}: pool after flatten", i),
+                };
+                let out = TensorShape::nhwc(batch, h.div_ceil(2), w.div_ceil(2), c);
+                shapes.push(LayerShapes {
+                    input: shape,
+                    output: out,
+                    weight_elems: 0,
+                });
+                shape = out;
+            }
+        }
+    }
+
+    let mut ops = Vec::new();
+
+    // Forward pass.
+    for (i, layer) in model.layers.iter().enumerate() {
+        let s = &shapes[i];
+        let in_e = s.input.num_elements();
+        let out_e = s.output.num_elements();
+        match *layer {
+            Layer::Conv2D {
+                filter_size,
+                activation,
+                ..
+            } => {
+                let flops = 2.0
+                    * (filter_size * filter_size) as f64
+                    * channels_of(&s.input) as f64
+                    * out_e as f64;
+                ops.push(Op {
+                    kind: OpKind::Conv2D,
+                    layer_index: Some(i),
+                    in_elems: in_e,
+                    out_elems: out_e,
+                    weight_elems: s.weight_elems,
+                    flops,
+                });
+                push_bias_and_act(&mut ops, i, out_e, activation, false);
+            }
+            Layer::Dense { activation, .. } => {
+                // flops = 2 * batch * in_features * units = 2 * in_e/batch...
+                let in_features = s.input.elements_per_item();
+                let units = s.output.elements_per_item();
+                let flops = 2.0 * batch as f64 * in_features as f64 * units as f64;
+                ops.push(Op {
+                    kind: OpKind::MatMul,
+                    layer_index: Some(i),
+                    in_elems: in_e,
+                    out_elems: out_e,
+                    weight_elems: s.weight_elems,
+                    flops,
+                });
+                push_bias_and_act(&mut ops, i, out_e, activation, false);
+            }
+            Layer::MaxPool => {
+                ops.push(Op {
+                    kind: OpKind::MaxPool,
+                    layer_index: Some(i),
+                    in_elems: in_e,
+                    out_elems: out_e,
+                    weight_elems: 0,
+                    flops: in_e as f64,
+                });
+            }
+        }
+    }
+
+    // Backward pass, reverse layer order.
+    for (i, layer) in model.layers.iter().enumerate().rev() {
+        let s = &shapes[i];
+        let in_e = s.input.num_elements();
+        let out_e = s.output.num_elements();
+        match *layer {
+            Layer::Conv2D {
+                filter_size,
+                activation,
+                ..
+            } => {
+                push_bias_and_act(&mut ops, i, out_e, activation, true);
+                let flops = 2.0
+                    * (filter_size * filter_size) as f64
+                    * channels_of(&s.input) as f64
+                    * out_e as f64;
+                ops.push(Op {
+                    kind: OpKind::Conv2DBackpropFilter,
+                    layer_index: Some(i),
+                    in_elems: in_e,
+                    out_elems: out_e,
+                    weight_elems: s.weight_elems,
+                    flops,
+                });
+                if i > 0 {
+                    ops.push(Op {
+                        kind: OpKind::Conv2DBackpropInput,
+                        layer_index: Some(i),
+                        in_elems: out_e,
+                        out_elems: in_e,
+                        weight_elems: s.weight_elems,
+                        flops,
+                    });
+                }
+            }
+            Layer::Dense { activation, .. } => {
+                push_bias_and_act(&mut ops, i, out_e, activation, true);
+                let in_features = s.input.elements_per_item();
+                let units = s.output.elements_per_item();
+                let flops = 2.0 * batch as f64 * in_features as f64 * units as f64;
+                // Weight gradient (x^T * dy).
+                ops.push(Op {
+                    kind: OpKind::MatMul,
+                    layer_index: Some(i),
+                    in_elems: in_e + out_e,
+                    out_elems: s.weight_elems,
+                    weight_elems: s.weight_elems,
+                    flops,
+                });
+                // Input gradient (dy * W^T).
+                if i > 0 {
+                    ops.push(Op {
+                        kind: OpKind::MatMul,
+                        layer_index: Some(i),
+                        in_elems: out_e,
+                        out_elems: in_e,
+                        weight_elems: s.weight_elems,
+                        flops,
+                    });
+                }
+            }
+            Layer::MaxPool => {
+                ops.push(Op {
+                    kind: OpKind::MaxPoolGrad,
+                    layer_index: Some(i),
+                    in_elems: out_e,
+                    out_elems: in_e,
+                    weight_elems: 0,
+                    flops: in_e as f64,
+                });
+            }
+        }
+    }
+
+    // Optimizer apply ops: one per trainable variable (weights and biases of
+    // each trainable layer, shallow-to-deep as TF serializes them).
+    let apply_kind = OpKind::apply_of(model.optimizer);
+    let state = model.optimizer.state_slots() as f64;
+    for (i, layer) in model.layers.iter().enumerate() {
+        if !layer.trainable() {
+            continue;
+        }
+        let s = &shapes[i];
+        let bias_elems = s.output.elements_per_item();
+        for var_elems in [s.weight_elems, bias_elems] {
+            ops.push(Op {
+                kind: apply_kind,
+                layer_index: Some(i),
+                in_elems: var_elems,
+                out_elems: var_elems,
+                weight_elems: var_elems,
+                flops: var_elems as f64 * (2.0 + 3.0 * state),
+            });
+        }
+    }
+
+    ops
+}
+
+fn channels_of(shape: &TensorShape) -> usize {
+    match *shape {
+        TensorShape::Nhwc { channels, .. } => channels,
+        TensorShape::Flat { features, .. } => features,
+    }
+}
+
+fn push_bias_and_act(ops: &mut Vec<Op>, layer: usize, out_e: usize, activation: Activation, grad: bool) {
+    if grad {
+        // Reverse order on the backward pass: activation grad, then bias grad.
+        ops.push(Op {
+            kind: act_grad_kind(activation),
+            layer_index: Some(layer),
+            in_elems: out_e,
+            out_elems: out_e,
+            weight_elems: 0,
+            flops: out_e as f64 * 2.0,
+        });
+        ops.push(Op {
+            kind: OpKind::BiasAddGrad,
+            layer_index: Some(layer),
+            in_elems: out_e,
+            out_elems: 0,
+            weight_elems: 0,
+            flops: out_e as f64,
+        });
+    } else {
+        ops.push(Op {
+            kind: OpKind::BiasAdd,
+            layer_index: Some(layer),
+            in_elems: out_e,
+            out_elems: out_e,
+            weight_elems: 0,
+            flops: out_e as f64,
+        });
+        ops.push(Op {
+            kind: act_kind(activation),
+            layer_index: Some(layer),
+            in_elems: out_e,
+            out_elems: out_e,
+            weight_elems: 0,
+            flops: out_e as f64 * 2.0,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Optimizer;
+    use crate::model::{zoo, InputSpec, Model};
+    use crate::ops::OpClass;
+
+    fn tiny_cnn() -> Model {
+        Model::new(
+            "tiny",
+            InputSpec::Image {
+                height: 8,
+                width: 8,
+                channels: 3,
+            },
+            vec![
+                Layer::conv(3, 4, 1),
+                Layer::MaxPool,
+                Layer::dense(10, Activation::Relu),
+            ],
+            Optimizer::Gd,
+        )
+    }
+
+    #[test]
+    fn forward_order_matches_paper() {
+        let ops = plan_iteration(&tiny_cnn(), 2);
+        let names: Vec<&str> = ops.iter().map(|o| o.kind.op_name()).collect();
+        // Forward: Conv2D, BiasAdd, Relu, MaxPool, MatMul, BiasAdd, Relu.
+        assert_eq!(
+            &names[..7],
+            &["Conv2D", "BiasAdd", "Relu", "MaxPool", "MatMul", "BiasAdd", "Relu"]
+        );
+    }
+
+    #[test]
+    fn backward_is_reverse_order_with_grads() {
+        let ops = plan_iteration(&tiny_cnn(), 2);
+        let names: Vec<&str> = ops.iter().map(|o| o.kind.op_name()).collect();
+        // Backward starts right after forward (index 7): dense grads first.
+        assert_eq!(names[7], "ReluGrad");
+        assert_eq!(names[8], "BiasAddGrad");
+        assert_eq!(names[9], "MatMul"); // weight grad
+        assert_eq!(names[10], "MatMul"); // input grad
+        assert_eq!(names[11], "MaxPoolGrad");
+        assert_eq!(names[12], "ReluGrad");
+        assert_eq!(names[13], "BiasAddGrad");
+        assert_eq!(names[14], "Conv2DBackpropFilter");
+        // First layer: no input gradient.
+        assert!(!names[15..].contains(&"Conv2DBackpropInput"));
+    }
+
+    #[test]
+    fn apply_ops_count_matches_trainable_vars() {
+        let ops = plan_iteration(&tiny_cnn(), 2);
+        let applies = ops
+            .iter()
+            .filter(|o| o.class() == OpClass::Optimizer)
+            .count();
+        // 2 trainable layers x (weights + bias).
+        assert_eq!(applies, 4);
+        assert!(ops
+            .iter()
+            .filter(|o| o.class() == OpClass::Optimizer)
+            .all(|o| o.kind.op_name() == "ApplyGradientDescent"));
+    }
+
+    #[test]
+    fn vgg16_iteration_has_about_130_ops() {
+        // §V-E: "a VGG16 training iteration [...] consisting of 130 ops".
+        // Ours plans 153 (TF 1.x fuses a few element-wise pairs we keep
+        // separate); same order of magnitude.
+        let ops = plan_iteration(&zoo::vgg16(), 64);
+        assert!(
+            (110..=170).contains(&ops.len()),
+            "VGG16 iteration has {} ops",
+            ops.len()
+        );
+    }
+
+    #[test]
+    fn deeper_mlp_layers_have_larger_matmuls() {
+        let ops = plan_iteration(&zoo::profiled_mlp(), 128);
+        let matmul_flops: Vec<f64> = ops
+            .iter()
+            .take_while(|o| o.class() != OpClass::Optimizer)
+            .filter(|o| o.kind == OpKind::MatMul)
+            .map(|o| o.flops)
+            .collect();
+        // Forward matmuls grow with the neuron doubling (except the first,
+        // which is huge because of the flattened image input).
+        let fwd = &matmul_flops[..9];
+        assert!(fwd[8] > fwd[4], "{:?}", fwd);
+        assert!(fwd[4] > fwd[2], "{:?}", fwd);
+    }
+
+    #[test]
+    fn stride_reduces_conv_cost() {
+        let mk = |stride| {
+            Model::new(
+                "s",
+                InputSpec::Image {
+                    height: 32,
+                    width: 32,
+                    channels: 3,
+                },
+                vec![Layer::conv(3, 8, stride)],
+                Optimizer::Gd,
+            )
+        };
+        let f1 = plan_iteration(&mk(1), 4)[0].flops;
+        let f2 = plan_iteration(&mk(2), 4)[0].flops;
+        assert!((f1 / f2 - 4.0).abs() < 0.5, "stride-2 conv should be ~4x cheaper: {} vs {}", f1, f2);
+    }
+
+    #[test]
+    fn every_op_has_layer_index() {
+        let ops = plan_iteration(&zoo::tested_mlp(), 8);
+        assert!(ops.iter().all(|o| o.layer_index.is_some()));
+    }
+}

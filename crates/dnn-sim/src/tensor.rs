@@ -1,0 +1,140 @@
+//! Tensor shape arithmetic (NHWC activations and flat feature vectors).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Bytes per element (fp32 training, as in the paper's TensorFlow setup).
+pub const ELEM_BYTES: f64 = 4.0;
+
+/// Shape of an activation tensor flowing between layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TensorShape {
+    /// `batch` x `height` x `width` x `channels` feature maps.
+    Nhwc {
+        /// Batch size.
+        batch: usize,
+        /// Spatial height.
+        height: usize,
+        /// Spatial width.
+        width: usize,
+        /// Channels.
+        channels: usize,
+    },
+    /// `batch` x `features` flat activations.
+    Flat {
+        /// Batch size.
+        batch: usize,
+        /// Feature count.
+        features: usize,
+    },
+}
+
+impl TensorShape {
+    /// Creates an NHWC shape.
+    pub fn nhwc(batch: usize, height: usize, width: usize, channels: usize) -> Self {
+        TensorShape::Nhwc {
+            batch,
+            height,
+            width,
+            channels,
+        }
+    }
+
+    /// Creates a flat shape.
+    pub fn flat(batch: usize, features: usize) -> Self {
+        TensorShape::Flat { batch, features }
+    }
+
+    /// Batch size.
+    pub fn batch(&self) -> usize {
+        match *self {
+            TensorShape::Nhwc { batch, .. } | TensorShape::Flat { batch, .. } => batch,
+        }
+    }
+
+    /// Total elements.
+    pub fn num_elements(&self) -> usize {
+        match *self {
+            TensorShape::Nhwc {
+                batch,
+                height,
+                width,
+                channels,
+            } => batch * height * width * channels,
+            TensorShape::Flat { batch, features } => batch * features,
+        }
+    }
+
+    /// Elements per batch item.
+    pub fn elements_per_item(&self) -> usize {
+        self.num_elements() / self.batch().max(1)
+    }
+
+    /// Size in bytes at fp32.
+    pub fn bytes(&self) -> f64 {
+        self.num_elements() as f64 * ELEM_BYTES
+    }
+
+    /// Flattened view (what entering a dense layer does).
+    pub fn flattened(&self) -> TensorShape {
+        TensorShape::flat(self.batch(), self.elements_per_item())
+    }
+}
+
+impl fmt::Display for TensorShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            TensorShape::Nhwc {
+                batch,
+                height,
+                width,
+                channels,
+            } => write!(f, "[{}x{}x{}x{}]", batch, height, width, channels),
+            TensorShape::Flat { batch, features } => write!(f, "[{}x{}]", batch, features),
+        }
+    }
+}
+
+/// Output spatial size of a SAME-padded convolution/pool with the given
+/// stride: `ceil(size / stride)`.
+pub fn conv_out_size(size: usize, stride: usize) -> usize {
+    assert!(stride > 0, "stride must be positive");
+    size.div_ceil(stride)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn element_and_byte_math() {
+        let s = TensorShape::nhwc(64, 224, 224, 3);
+        assert_eq!(s.num_elements(), 64 * 224 * 224 * 3);
+        assert_eq!(s.elements_per_item(), 224 * 224 * 3);
+        assert_eq!(s.bytes(), (64 * 224 * 224 * 3) as f64 * 4.0);
+        assert_eq!(s.batch(), 64);
+    }
+
+    #[test]
+    fn flatten() {
+        let s = TensorShape::nhwc(8, 7, 7, 512);
+        assert_eq!(s.flattened(), TensorShape::flat(8, 7 * 7 * 512));
+        let f = TensorShape::flat(8, 100);
+        assert_eq!(f.flattened(), f);
+    }
+
+    #[test]
+    fn same_padding_output() {
+        assert_eq!(conv_out_size(224, 1), 224);
+        assert_eq!(conv_out_size(224, 2), 112);
+        assert_eq!(conv_out_size(7, 2), 4);
+        assert_eq!(conv_out_size(1, 4), 1);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(TensorShape::nhwc(1, 2, 3, 4).to_string(), "[1x2x3x4]");
+        assert_eq!(TensorShape::flat(1, 10).to_string(), "[1x10]");
+    }
+}

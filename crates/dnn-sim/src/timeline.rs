@@ -1,0 +1,123 @@
+//! The TensorFlow-timeline-style profiler.
+//!
+//! TensorFlow's `timeline` module logs every op's name, start/end timestamp
+//! and parameters to a JSON file loadable in `chrome://tracing` (paper
+//! §II-C). The adversary uses it *offline, on her own profiling runs* to
+//! label spy samples with ground truth (§V-A). This module exports the
+//! engine's kernel log in the same Chrome trace-event format.
+
+use gpu_sim::{ContextId, KernelRecord};
+use serde::Serialize;
+
+/// One Chrome trace-event (complete-event flavour, `ph = "X"`).
+#[derive(Debug, Clone, Serialize)]
+pub struct TraceEvent {
+    /// Event name (kernel name).
+    pub name: String,
+    /// Phase: always `"X"` (complete event).
+    pub ph: &'static str,
+    /// Start timestamp, microseconds.
+    pub ts: f64,
+    /// Duration, microseconds.
+    pub dur: f64,
+    /// Process id (we use the context index).
+    pub pid: usize,
+    /// Thread id (always 0 — one compute stream).
+    pub tid: usize,
+    /// Extra arguments (the ground-truth op tag).
+    pub args: TraceArgs,
+}
+
+/// `args` payload of a trace event.
+#[derive(Debug, Clone, Serialize)]
+pub struct TraceArgs {
+    /// The framework-level op tag, e.g. `Conv2D@3`.
+    pub op: Option<String>,
+}
+
+/// Converts kernel records of one context into Chrome trace events.
+pub fn trace_events(records: &[KernelRecord], ctx: ContextId) -> Vec<TraceEvent> {
+    records
+        .iter()
+        .filter(|r| r.ctx == ctx)
+        .map(|r| TraceEvent {
+            name: r.name.clone(),
+            ph: "X",
+            ts: r.start_us,
+            dur: r.duration_us(),
+            pid: r.ctx.index(),
+            tid: 0,
+            args: TraceArgs {
+                op: r.op_tag.clone(),
+            },
+        })
+        .collect()
+}
+
+/// Serializes the records of `ctx` as a `chrome://tracing`-loadable JSON
+/// document (`{"traceEvents": [...]}`), like TensorFlow's timeline files.
+///
+/// # Panics
+///
+/// Panics only if JSON serialization fails, which cannot happen for these
+/// types.
+pub fn chrome_trace_json(records: &[KernelRecord], ctx: ContextId) -> String {
+    #[derive(Serialize)]
+    struct Doc {
+        #[serde(rename = "traceEvents")]
+        trace_events: Vec<TraceEvent>,
+    }
+    serde_json::to_string_pretty(&Doc {
+        trace_events: trace_events(records, ctx),
+    })
+    .expect("trace serialization cannot fail")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(ctx: usize, name: &str, tag: Option<&str>, t0: f64, t1: f64) -> KernelRecord {
+        KernelRecord {
+            ctx: ContextId::test_value(ctx),
+            name: name.to_owned(),
+            op_tag: tag.map(str::to_owned),
+            start_us: t0,
+            end_us: t1,
+        }
+    }
+
+    #[test]
+    fn filters_by_context() {
+        let records = vec![
+            rec(0, "Conv2D_0", Some("Conv2D@0"), 0.0, 10.0),
+            rec(1, "spy", None, 0.0, 5.0),
+            rec(0, "BiasAdd_1", Some("BiasAdd@0"), 10.0, 12.0),
+        ];
+        let events = trace_events(&records, ContextId::test_value(0));
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].name, "Conv2D_0");
+        assert_eq!(events[1].dur, 2.0);
+    }
+
+    #[test]
+    fn json_is_valid_chrome_trace() {
+        let records = vec![rec(0, "MatMul_3", Some("MatMul@2"), 5.0, 9.5)];
+        let json = chrome_trace_json(&records, ContextId::test_value(0));
+        let doc: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let events = doc["traceEvents"].as_array().unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0]["ph"], "X");
+        assert_eq!(events[0]["name"], "MatMul_3");
+        assert_eq!(events[0]["args"]["op"], "MatMul@2");
+        assert_eq!(events[0]["ts"], 5.0);
+        assert_eq!(events[0]["dur"], 4.5);
+    }
+
+    #[test]
+    fn empty_log_yields_empty_document() {
+        let json = chrome_trace_json(&[], ContextId::test_value(0));
+        let doc: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert!(doc["traceEvents"].as_array().unwrap().is_empty());
+    }
+}

@@ -1,0 +1,122 @@
+//! Streaming-multiprocessor occupancy model.
+//!
+//! CUDA semantics reproduced here (paper §II-B): threads are grouped into
+//! 32-wide warps; all threads of a block execute on one SM; a launch's
+//! occupancy is the fraction of the device's resident-thread capacity it can
+//! keep busy. The time-sliced scheduler weights slice lengths by occupancy,
+//! which is why the paper's slow-down attack saturates once the spy kernels
+//! reach full occupancy (§IV: "higher numbers of kernels/blocks/threads are
+//! not always more effective").
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::GpuConfig;
+
+/// Threads per warp on every Nvidia architecture we model.
+pub const WARP_SIZE: u32 = 32;
+
+/// Occupancy of one kernel launch on a device.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Occupancy {
+    resident_threads: u32,
+    device_capacity: u32,
+    sms_used: u32,
+}
+
+impl Occupancy {
+    /// Computes the occupancy of a `blocks` x `threads_per_block` launch.
+    pub fn of_launch(blocks: u32, threads_per_block: u32, config: &GpuConfig) -> Self {
+        let capacity = config.max_resident_threads();
+        // Each block is padded to whole warps (CUDA allocates per warp).
+        let warps_per_block = threads_per_block.div_ceil(WARP_SIZE);
+        let padded_threads_per_block = warps_per_block * WARP_SIZE;
+        let requested = (blocks as u64) * (padded_threads_per_block as u64);
+        let resident = requested.min(capacity as u64) as u32;
+        // Blocks land on distinct SMs round-robin until all SMs are covered.
+        let sms_used = blocks.min(config.num_sms as u32);
+        Occupancy {
+            resident_threads: resident,
+            device_capacity: capacity,
+            sms_used,
+        }
+    }
+
+    /// Fraction of device thread capacity occupied, in `(0, 1]`.
+    pub fn fraction(&self) -> f64 {
+        (self.resident_threads as f64 / self.device_capacity as f64).clamp(0.0, 1.0)
+    }
+
+    /// Number of SMs that receive at least one block.
+    pub fn sms_used(&self) -> u32 {
+        self.sms_used
+    }
+
+    /// Resident threads (warp-padded, capped at device capacity).
+    pub fn resident_threads(&self) -> u32 {
+        self.resident_threads
+    }
+
+    /// Number of resident warps.
+    pub fn resident_warps(&self) -> u32 {
+        self.resident_threads / WARP_SIZE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spy_launch_uses_four_sms() {
+        // Paper §III-C: the spy runs 4 blocks x 32 threads, taking 4 SMs.
+        let cfg = GpuConfig::gtx_1080_ti();
+        let occ = Occupancy::of_launch(4, 32, &cfg);
+        assert_eq!(occ.sms_used(), 4);
+        assert_eq!(occ.resident_threads(), 128);
+        assert!(occ.fraction() < 0.01);
+    }
+
+    #[test]
+    fn full_launch_saturates() {
+        let cfg = GpuConfig::gtx_1080_ti();
+        let occ = Occupancy::of_launch(10_000, 1024, &cfg);
+        assert_eq!(occ.fraction(), 1.0);
+        assert_eq!(occ.sms_used(), cfg.num_sms as u32);
+    }
+
+    #[test]
+    fn threads_are_warp_padded() {
+        let cfg = GpuConfig::gtx_1080_ti();
+        // 33 threads occupy 2 warps = 64 thread slots.
+        let occ = Occupancy::of_launch(1, 33, &cfg);
+        assert_eq!(occ.resident_threads(), 64);
+        assert_eq!(occ.resident_warps(), 2);
+    }
+
+    #[test]
+    fn occupancy_monotone_in_blocks() {
+        let cfg = GpuConfig::gtx_1080_ti();
+        let mut prev = 0.0;
+        for blocks in [1u32, 2, 4, 8, 16, 32, 64, 128] {
+            let f = Occupancy::of_launch(blocks, 128, &cfg).fraction();
+            assert!(f >= prev, "occupancy decreased at {} blocks", blocks);
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn slowdown_attack_group_geometry_saturates() {
+        // Paper §IV: groups G_i use 4*2^i blocks and 4*2^i*32 threads total;
+        // the slow-down effect saturates — mirrored here by occupancy
+        // reaching 1.0 and staying there.
+        let cfg = GpuConfig::gtx_1080_ti();
+        let occs: Vec<f64> = (0..8)
+            .map(|i| {
+                let blocks = 4 * (1u32 << i);
+                Occupancy::of_launch(blocks, 32 * blocks.min(1024), &cfg).fraction()
+            })
+            .collect();
+        assert!(occs.windows(2).all(|w| w[1] >= w[0] - 1e-12));
+        assert_eq!(*occs.last().unwrap(), 1.0);
+    }
+}

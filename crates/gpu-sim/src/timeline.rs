@@ -1,0 +1,119 @@
+//! Execution timelines: per-launch kernel records (the ground truth the
+//! TensorFlow-style profiler exposes) and per-slice counter deltas (what the
+//! CUPTI layer samples).
+
+use serde::{Deserialize, Serialize};
+
+use crate::counters::CounterValues;
+use crate::engine::ContextId;
+
+/// One completed kernel launch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelRecord {
+    /// Owning context.
+    pub ctx: ContextId,
+    /// Kernel name.
+    pub name: String,
+    /// Ground-truth op tag, if the framework attached one.
+    pub op_tag: Option<String>,
+    /// Launch start, microseconds.
+    pub start_us: f64,
+    /// Completion, microseconds.
+    pub end_us: f64,
+}
+
+impl KernelRecord {
+    /// Wall-clock duration of the launch.
+    pub fn duration_us(&self) -> f64 {
+        self.end_us - self.start_us
+    }
+
+    /// Overlap in microseconds with the window `[t0, t1]`.
+    pub fn overlap_us(&self, t0: f64, t1: f64) -> f64 {
+        (self.end_us.min(t1) - self.start_us.max(t0)).max(0.0)
+    }
+}
+
+/// Counter activity of one context during one scheduler slice.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterSlice {
+    /// Context whose activity this is.
+    pub ctx: ContextId,
+    /// Slice start, microseconds.
+    pub start_us: f64,
+    /// Slice end, microseconds.
+    pub end_us: f64,
+    /// Counter deltas accumulated during the slice.
+    pub delta: CounterValues,
+}
+
+/// Finds the op tag with the largest execution overlap inside `[t0, t1]`
+/// among `records` (which must be sorted by `start_us`, as the engine emits
+/// them). Returns `None` when nothing overlaps.
+///
+/// This is the labeling rule of the paper's §V-A: "we choose the TensorFlow
+/// label having the largest overlap with the spy kernel".
+pub fn dominant_tag(records: &[KernelRecord], t0: f64, t1: f64) -> Option<&str> {
+    use std::collections::HashMap;
+    let start = records.partition_point(|r| r.end_us <= t0);
+    let mut weights: HashMap<&str, f64> = HashMap::new();
+    for r in &records[start..] {
+        if r.start_us >= t1 {
+            break;
+        }
+        if let Some(tag) = r.op_tag.as_deref() {
+            *weights.entry(tag).or_insert(0.0) += r.overlap_us(t0, t1);
+        }
+    }
+    weights
+        .into_iter()
+        .filter(|(_, w)| *w > 0.0)
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite overlap"))
+        .map(|(tag, _)| tag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(tag: &str, start: f64, end: f64) -> KernelRecord {
+        KernelRecord {
+            ctx: ContextId::test_value(0),
+            name: tag.to_owned(),
+            op_tag: Some(tag.to_owned()),
+            start_us: start,
+            end_us: end,
+        }
+    }
+
+    #[test]
+    fn overlap_math() {
+        let r = rec("a", 10.0, 20.0);
+        assert_eq!(r.duration_us(), 10.0);
+        assert_eq!(r.overlap_us(0.0, 15.0), 5.0);
+        assert_eq!(r.overlap_us(12.0, 18.0), 6.0);
+        assert_eq!(r.overlap_us(30.0, 40.0), 0.0);
+    }
+
+    #[test]
+    fn dominant_tag_picks_largest_overlap() {
+        let records = vec![rec("Conv2D", 0.0, 8.0), rec("BiasAdd", 8.0, 10.0), rec("ReLU", 10.0, 11.0)];
+        assert_eq!(dominant_tag(&records, 0.0, 11.0), Some("Conv2D"));
+        assert_eq!(dominant_tag(&records, 8.5, 10.4), Some("BiasAdd"));
+        assert_eq!(dominant_tag(&records, 20.0, 30.0), None);
+    }
+
+    #[test]
+    fn dominant_tag_accumulates_split_ops() {
+        // A preempted op appears as several records; overlaps accumulate.
+        let records = vec![rec("MatMul", 0.0, 3.0), rec("Conv2D", 3.0, 7.0), rec("MatMul", 7.0, 10.0)];
+        assert_eq!(dominant_tag(&records, 0.0, 10.0), Some("MatMul"));
+    }
+
+    #[test]
+    fn untagged_records_are_ignored() {
+        let mut r = rec("spy", 0.0, 10.0);
+        r.op_tag = None;
+        assert_eq!(dominant_tag(&[r], 0.0, 10.0), None);
+    }
+}

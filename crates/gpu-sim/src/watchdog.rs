@@ -1,0 +1,212 @@
+//! Contention watchdog — the paper's §VI defense direction: "GPU can run a
+//! daemon process that detects anomalous contention" (citing CC-Hunter).
+//!
+//! The watchdog observes scheduler-level telemetry the driver already has —
+//! per-context slice grants, SM coverage of launches, kernel completion
+//! rates and resident working-set churn — and scores each context for the
+//! two behaviours that make MoSConS work:
+//!
+//! 1. **slice starvation pressure**: many co-resident low-coverage contexts
+//!    whose only effect is to multiply the round length (the slow-down
+//!    hogs), and
+//! 2. **probe behaviour**: a context that relaunches one short kernel
+//!    indefinitely at a high rate (the sampler).
+//!
+//! A flagged context can be de-prioritized or denied counters. The
+//! `defense`-style evaluation for the watchdog lives in this module's tests:
+//! the MoSConS constellation is flagged while a benign pair of training jobs
+//! is not.
+
+use serde::{Deserialize, Serialize};
+
+use crate::engine::ContextId;
+use crate::timeline::KernelRecord;
+
+/// Per-context telemetry summary over an observation window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ContextProfile {
+    /// Context observed.
+    pub ctx: ContextId,
+    /// Kernel completions in the window.
+    pub launches: usize,
+    /// Distinct kernel names among the completions.
+    pub distinct_kernels: usize,
+    /// Mean kernel wall time, microseconds.
+    pub mean_wall_us: f64,
+    /// Launches per second of observed time.
+    pub launch_rate_hz: f64,
+}
+
+/// Watchdog thresholds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WatchdogConfig {
+    /// A context repeating fewer than this many distinct kernels while
+    /// exceeding `probe_rate_hz` is probe-like.
+    pub probe_distinct_max: usize,
+    /// Launch-rate threshold for probe behaviour, Hz.
+    pub probe_rate_hz: f64,
+    /// Number of probe-like co-resident contexts that constitutes a
+    /// slow-down constellation.
+    pub constellation_min: usize,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            probe_distinct_max: 2,
+            probe_rate_hz: 20.0,
+            constellation_min: 3,
+        }
+    }
+}
+
+/// Verdict for one observation window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WatchdogReport {
+    /// Per-context summaries.
+    pub profiles: Vec<ContextProfile>,
+    /// Contexts exhibiting probe behaviour.
+    pub probe_contexts: Vec<ContextId>,
+    /// Whether a slow-down constellation was detected.
+    pub constellation_detected: bool,
+}
+
+/// Builds per-context profiles from a kernel log spanning
+/// `[window_start_us, window_end_us]`.
+pub fn profile_contexts(
+    log: &[KernelRecord],
+    window_start_us: f64,
+    window_end_us: f64,
+) -> Vec<ContextProfile> {
+    use std::collections::BTreeMap;
+    assert!(window_end_us > window_start_us, "empty observation window");
+    let mut by_ctx: BTreeMap<usize, Vec<&KernelRecord>> = BTreeMap::new();
+    for r in log {
+        if r.end_us >= window_start_us && r.end_us <= window_end_us {
+            by_ctx.entry(r.ctx.index()).or_default().push(r);
+        }
+    }
+    let span_s = (window_end_us - window_start_us) / 1e6;
+    by_ctx
+        .into_iter()
+        .map(|(_, records)| {
+            let launches = records.len();
+            let distinct: std::collections::BTreeSet<&str> =
+                records.iter().map(|r| r.name.as_str()).collect();
+            let mean_wall =
+                records.iter().map(|r| r.duration_us()).sum::<f64>() / launches.max(1) as f64;
+            ContextProfile {
+                ctx: records[0].ctx,
+                launches,
+                distinct_kernels: distinct.len(),
+                mean_wall_us: mean_wall,
+                launch_rate_hz: launches as f64 / span_s.max(1e-9),
+            }
+        })
+        .collect()
+}
+
+/// Runs the watchdog over a kernel log window.
+pub fn inspect(
+    log: &[KernelRecord],
+    window_start_us: f64,
+    window_end_us: f64,
+    config: &WatchdogConfig,
+) -> WatchdogReport {
+    let profiles = profile_contexts(log, window_start_us, window_end_us);
+    let probe_contexts: Vec<ContextId> = profiles
+        .iter()
+        .filter(|p| {
+            p.distinct_kernels <= config.probe_distinct_max && p.launch_rate_hz >= config.probe_rate_hz
+        })
+        .map(|p| p.ctx)
+        .collect();
+    WatchdogReport {
+        constellation_detected: probe_contexts.len() >= config.constellation_min,
+        probe_contexts,
+        profiles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GpuConfig;
+    use crate::engine::{Gpu, SchedulerMode};
+    use crate::kernel::{KernelDesc, KernelFootprint};
+
+    fn compute_kernel(name: &str, us: f64, blocks: u32) -> KernelDesc {
+        let cfg = GpuConfig::gtx_1080_ti();
+        let occ = crate::sm::Occupancy::of_launch(blocks, 1024.min(32 * blocks), &cfg)
+            .fraction()
+            .max(1e-3);
+        KernelDesc::new(
+            name,
+            blocks,
+            1024.min(32 * blocks),
+            KernelFootprint {
+                flops: cfg.compute_throughput * occ * us,
+                read_bytes: 64.0 * 1024.0,
+                working_set: 64.0 * 1024.0,
+                ..KernelFootprint::empty()
+            },
+        )
+    }
+
+    #[test]
+    fn flags_a_moscons_like_constellation() {
+        let mut gpu = Gpu::new(GpuConfig::gtx_1080_ti(), SchedulerMode::TimeSliced);
+        let victim = gpu.add_context("victim");
+        // Victim: varied kernels (a training iteration).
+        for i in 0..40 {
+            gpu.enqueue(victim, compute_kernel(&format!("op_{}", i % 12), 300.0, 56));
+        }
+        // Sampler + hogs: each repeats one kernel forever.
+        let sampler = gpu.add_context("sampler");
+        gpu.set_auto_repeat(sampler, compute_kernel("spy_probe", 400.0, 4));
+        for i in 0..4 {
+            let hog = gpu.add_context(format!("hog{}", i));
+            gpu.set_auto_repeat(hog, compute_kernel(&format!("hog_{}", i), 450.0, 32));
+        }
+        gpu.run_until_queues_drain();
+        let end = gpu.now_us();
+        let report = inspect(gpu.kernel_log(), 0.0, end, &WatchdogConfig::default());
+        assert!(report.constellation_detected, "{:?}", report.probe_contexts);
+        assert!(report.probe_contexts.len() >= 3);
+        // The victim itself is not probe-like (varied kernel names).
+        assert!(!report.probe_contexts.contains(&victim));
+    }
+
+    #[test]
+    fn does_not_flag_two_benign_training_jobs() {
+        let mut gpu = Gpu::new(GpuConfig::gtx_1080_ti(), SchedulerMode::TimeSliced);
+        for job in 0..2 {
+            let ctx = gpu.add_context(format!("train{}", job));
+            for i in 0..40 {
+                gpu.enqueue(ctx, compute_kernel(&format!("j{}_op_{}", job, i % 15), 300.0, 56));
+            }
+        }
+        gpu.run_until_queues_drain();
+        let end = gpu.now_us();
+        let report = inspect(gpu.kernel_log(), 0.0, end, &WatchdogConfig::default());
+        assert!(!report.constellation_detected, "{:?}", report);
+        assert!(report.probe_contexts.is_empty());
+    }
+
+    #[test]
+    fn profiles_are_per_context_and_windowed() {
+        let mut gpu = Gpu::new(GpuConfig::gtx_1080_ti(), SchedulerMode::TimeSliced);
+        let a = gpu.add_context("a");
+        gpu.enqueue(a, compute_kernel("k1", 500.0, 56));
+        gpu.enqueue(a, compute_kernel("k2", 500.0, 56));
+        gpu.run_until_queues_drain();
+        let end = gpu.now_us();
+        let profiles = profile_contexts(gpu.kernel_log(), 0.0, end);
+        assert_eq!(profiles.len(), 1);
+        assert_eq!(profiles[0].launches, 2);
+        assert_eq!(profiles[0].distinct_kernels, 2);
+        assert!(profiles[0].mean_wall_us > 0.0);
+        // A window before everything sees nothing.
+        assert!(profile_contexts(gpu.kernel_log(), 0.0, 1.0).is_empty());
+    }
+}

@@ -1,0 +1,170 @@
+//! Softmax cross-entropy losses, including the paper's two customizations:
+//!
+//! * **weighted** cross-entropy (Mlong, §IV-B: minority-class loss is
+//!   amplified by a constant to compensate for the imbalance between `conv`
+//!   samples and everything else), and
+//! * **masked** cross-entropy (Mop, §IV-B: losses from samples irrelevant to
+//!   `OtherOp` are neglected entirely while the forward pass still consumes
+//!   them).
+
+use crate::activation::softmax;
+
+/// Result of a softmax cross-entropy evaluation over one timestep.
+#[derive(Debug, Clone)]
+pub struct LossEval {
+    /// Scalar loss contribution (already weighted; zero when masked out).
+    pub loss: f32,
+    /// Gradient of the loss with respect to the logits.
+    pub dlogits: Vec<f32>,
+    /// Softmax probabilities (useful for voting / confidence reporting).
+    pub probs: Vec<f32>,
+}
+
+/// Computes weighted softmax cross-entropy for a single sample.
+///
+/// `class_weights` amplifies each class's loss; use all-ones for standard
+/// cross-entropy. When `masked` is true the sample contributes neither loss
+/// nor gradient (but the probabilities are still returned).
+///
+/// # Panics
+///
+/// Panics if `target >= logits.len()` or the weight vector length mismatches.
+pub fn softmax_cross_entropy(
+    logits: &[f32],
+    target: usize,
+    class_weights: &[f32],
+    masked: bool,
+) -> LossEval {
+    assert!(target < logits.len(), "target class {} out of range {}", target, logits.len());
+    assert_eq!(class_weights.len(), logits.len(), "class weight length mismatch");
+    let probs = softmax(logits);
+    if masked {
+        return LossEval {
+            loss: 0.0,
+            dlogits: vec![0.0; logits.len()],
+            probs,
+        };
+    }
+    let w = class_weights[target];
+    let p = probs[target].max(1e-12);
+    let loss = -w * p.ln();
+    let mut dlogits = probs.clone();
+    dlogits[target] -= 1.0;
+    for d in dlogits.iter_mut() {
+        *d *= w;
+    }
+    LossEval { loss, dlogits, probs }
+}
+
+/// Uniform class weights of the given arity.
+pub fn uniform_weights(classes: usize) -> Vec<f32> {
+    vec![1.0; classes]
+}
+
+/// Builds class weights inversely proportional to class frequency, normalized
+/// so the mean weight is 1. This is the practical recipe behind the paper's
+/// "loss is amplified by a constant if the sample is from the minor class".
+///
+/// Classes that never occur get weight 1.
+pub fn inverse_frequency_weights(labels: impl IntoIterator<Item = usize>, classes: usize) -> Vec<f32> {
+    let mut counts = vec![0usize; classes];
+    let mut total = 0usize;
+    for l in labels {
+        assert!(l < classes, "label {} out of range {}", l, classes);
+        counts[l] += 1;
+        total += 1;
+    }
+    if total == 0 {
+        return uniform_weights(classes);
+    }
+    let mut weights: Vec<f32> = counts
+        .iter()
+        .map(|&c| {
+            if c == 0 {
+                1.0
+            } else {
+                total as f32 / (classes as f32 * c as f32)
+            }
+        })
+        .collect();
+    // Normalize to mean 1 over the classes that occur, leaving the scale of
+    // the learning rate untouched.
+    let mean: f32 = weights.iter().sum::<f32>() / classes as f32;
+    if mean > 0.0 {
+        for w in weights.iter_mut() {
+            *w /= mean;
+        }
+    }
+    weights
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let logits = [0.3f32, -1.2, 2.0];
+        let w = [1.0f32, 2.0, 0.5];
+        let target = 1;
+        let eval = softmax_cross_entropy(&logits, target, &w, false);
+        let eps = 1e-3f32;
+        for i in 0..logits.len() {
+            let mut lp = logits;
+            lp[i] += eps;
+            let mut lm = logits;
+            lm[i] -= eps;
+            let fp = softmax_cross_entropy(&lp, target, &w, false).loss;
+            let fm = softmax_cross_entropy(&lm, target, &w, false).loss;
+            let fd = (fp - fm) / (2.0 * eps);
+            assert!(
+                (eval.dlogits[i] - fd).abs() < 1e-3,
+                "component {}: analytic {} vs fd {}",
+                i,
+                eval.dlogits[i],
+                fd
+            );
+        }
+    }
+
+    #[test]
+    fn masked_sample_contributes_nothing() {
+        let eval = softmax_cross_entropy(&[1.0, 2.0], 0, &[1.0, 1.0], true);
+        assert_eq!(eval.loss, 0.0);
+        assert!(eval.dlogits.iter().all(|&d| d == 0.0));
+        assert!((eval.probs.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn correct_confident_prediction_has_small_loss() {
+        let good = softmax_cross_entropy(&[10.0, 0.0], 0, &[1.0, 1.0], false);
+        let bad = softmax_cross_entropy(&[0.0, 10.0], 0, &[1.0, 1.0], false);
+        assert!(good.loss < 0.01);
+        assert!(bad.loss > 5.0);
+    }
+
+    #[test]
+    fn class_weight_scales_loss() {
+        let base = softmax_cross_entropy(&[0.0, 1.0], 0, &[1.0, 1.0], false);
+        let amp = softmax_cross_entropy(&[0.0, 1.0], 0, &[3.0, 1.0], false);
+        assert!((amp.loss - 3.0 * base.loss).abs() < 1e-5);
+    }
+
+    #[test]
+    fn inverse_frequency_upweights_minority() {
+        // 90 of class 0, 10 of class 1.
+        let labels = std::iter::repeat(0).take(90).chain(std::iter::repeat(1).take(10));
+        let w = inverse_frequency_weights(labels, 2);
+        assert!(w[1] > w[0], "minority class should be amplified: {:?}", w);
+        assert!((w.iter().sum::<f32>() / 2.0 - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn inverse_frequency_handles_absent_class_and_empty() {
+        let w = inverse_frequency_weights([0usize, 0, 0], 3);
+        assert_eq!(w.len(), 3);
+        assert!(w.iter().all(|v| v.is_finite() && *v > 0.0));
+        let w = inverse_frequency_weights(std::iter::empty(), 4);
+        assert_eq!(w, vec![1.0; 4]);
+    }
+}

@@ -1,0 +1,359 @@
+//! A from-scratch LSTM layer with full backpropagation-through-time.
+//!
+//! This is the building block behind the paper's five inference models
+//! (Table III: `Mlong`/`Mop`/`Vlong`/`Vop` use LSTM-256, `Mhp` uses LSTM-128).
+//! Gate layout in the packed weight matrices is `[input, forget, cell, output]`.
+
+use rand::rngs::StdRng;
+
+use crate::activation::{sigmoid, sigmoid_deriv_from_output, tanh_deriv_from_output};
+use crate::matrix::{dot, Matrix};
+
+/// One LSTM layer: packed gate weights for inputs (`wx`: 4H×I), recurrent
+/// state (`wh`: 4H×H) and biases (`b`: 4H).
+#[derive(Debug, Clone)]
+pub struct LstmLayer {
+    input_size: usize,
+    hidden_size: usize,
+    /// Input weights, 4H x I.
+    pub wx: Matrix,
+    /// Recurrent weights, 4H x H.
+    pub wh: Matrix,
+    /// Gate biases, length 4H.
+    pub b: Vec<f32>,
+}
+
+/// Per-timestep activations cached by [`LstmLayer::forward`], consumed by
+/// [`LstmLayer::backward`].
+#[derive(Debug, Clone)]
+pub struct LstmCache {
+    /// Inputs per timestep (T x I).
+    xs: Matrix,
+    /// Gate activations per timestep: i, f, g, o each T x H.
+    i: Matrix,
+    f: Matrix,
+    g: Matrix,
+    o: Matrix,
+    /// Cell states per timestep (T x H).
+    c: Matrix,
+    /// Hidden states per timestep (T x H).
+    pub h: Matrix,
+}
+
+/// Gradients for one [`LstmLayer`], same shapes as the parameters.
+#[derive(Debug, Clone)]
+pub struct LstmGrads {
+    /// d/d wx, 4H x I.
+    pub wx: Matrix,
+    /// d/d wh, 4H x H.
+    pub wh: Matrix,
+    /// d/d b, length 4H.
+    pub b: Vec<f32>,
+}
+
+impl LstmLayer {
+    /// Creates a layer with Xavier-initialized weights and forget-gate bias 1
+    /// (the standard trick to preserve long-range memory early in training).
+    pub fn new(input_size: usize, hidden_size: usize, rng: &mut StdRng) -> Self {
+        assert!(input_size > 0 && hidden_size > 0, "lstm sizes must be non-zero");
+        let mut b = vec![0.0; 4 * hidden_size];
+        for v in b[hidden_size..2 * hidden_size].iter_mut() {
+            *v = 1.0;
+        }
+        LstmLayer {
+            input_size,
+            hidden_size,
+            wx: Matrix::xavier(4 * hidden_size, input_size, rng),
+            wh: Matrix::xavier(4 * hidden_size, hidden_size, rng),
+            b,
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn input_size(&self) -> usize {
+        self.input_size
+    }
+
+    /// Hidden-state dimensionality.
+    pub fn hidden_size(&self) -> usize {
+        self.hidden_size
+    }
+
+    /// Number of trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.wx.len() + self.wh.len() + self.b.len()
+    }
+
+    /// Runs the layer over a sequence (`xs`: T x I), starting from zero
+    /// state, returning the cache whose `h` field is the output sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs.cols() != input_size`.
+    pub fn forward(&self, xs: &Matrix) -> LstmCache {
+        assert_eq!(xs.cols(), self.input_size, "lstm input width mismatch");
+        let t_len = xs.rows();
+        let h_size = self.hidden_size;
+        let mut cache = LstmCache {
+            xs: xs.clone(),
+            i: Matrix::zeros(t_len, h_size),
+            f: Matrix::zeros(t_len, h_size),
+            g: Matrix::zeros(t_len, h_size),
+            o: Matrix::zeros(t_len, h_size),
+            c: Matrix::zeros(t_len, h_size),
+            h: Matrix::zeros(t_len, h_size),
+        };
+        let mut h_prev = vec![0.0f32; h_size];
+        let mut c_prev = vec![0.0f32; h_size];
+        let mut pre = vec![0.0f32; 4 * h_size];
+        for t in 0..t_len {
+            let x = xs.row(t);
+            for j in 0..4 * h_size {
+                pre[j] = dot(self.wx.row(j), x) + dot(self.wh.row(j), &h_prev) + self.b[j];
+            }
+            for k in 0..h_size {
+                let i = sigmoid(pre[k]);
+                let f = sigmoid(pre[h_size + k]);
+                let g = pre[2 * h_size + k].tanh();
+                let o = sigmoid(pre[3 * h_size + k]);
+                let c = f * c_prev[k] + i * g;
+                let h = o * c.tanh();
+                cache.i[(t, k)] = i;
+                cache.f[(t, k)] = f;
+                cache.g[(t, k)] = g;
+                cache.o[(t, k)] = o;
+                cache.c[(t, k)] = c;
+                cache.h[(t, k)] = h;
+            }
+            h_prev.copy_from_slice(cache.h.row(t));
+            c_prev.copy_from_slice(cache.c.row(t));
+        }
+        cache
+    }
+
+    /// Backpropagation through time.
+    ///
+    /// `dh_out` (T x H) is the upstream gradient on each timestep's hidden
+    /// state. Returns the parameter gradients and the gradient with respect
+    /// to the inputs (T x I), for stacking layers.
+    pub fn backward(&self, cache: &LstmCache, dh_out: &Matrix) -> (LstmGrads, Matrix) {
+        let t_len = cache.h.rows();
+        let h_size = self.hidden_size;
+        assert_eq!(dh_out.rows(), t_len, "dh_out timestep mismatch");
+        assert_eq!(dh_out.cols(), h_size, "dh_out width mismatch");
+
+        let mut grads = LstmGrads {
+            wx: Matrix::zeros(4 * h_size, self.input_size),
+            wh: Matrix::zeros(4 * h_size, h_size),
+            b: vec![0.0; 4 * h_size],
+        };
+        let mut dx = Matrix::zeros(t_len, self.input_size);
+        let mut dh_next = vec![0.0f32; h_size];
+        let mut dc_next = vec![0.0f32; h_size];
+        let mut da = vec![0.0f32; 4 * h_size];
+
+        for t in (0..t_len).rev() {
+            for k in 0..h_size {
+                let i = cache.i[(t, k)];
+                let f = cache.f[(t, k)];
+                let g = cache.g[(t, k)];
+                let o = cache.o[(t, k)];
+                let c = cache.c[(t, k)];
+                let c_prev = if t == 0 { 0.0 } else { cache.c[(t - 1, k)] };
+                let tanh_c = c.tanh();
+
+                let dh = dh_out[(t, k)] + dh_next[k];
+                let d_o = dh * tanh_c;
+                let dc = dh * o * tanh_deriv_from_output(tanh_c) + dc_next[k];
+                let d_i = dc * g;
+                let d_g = dc * i;
+                let d_f = dc * c_prev;
+                dc_next[k] = dc * f;
+
+                da[k] = d_i * sigmoid_deriv_from_output(i);
+                da[h_size + k] = d_f * sigmoid_deriv_from_output(f);
+                da[2 * h_size + k] = d_g * tanh_deriv_from_output(g);
+                da[3 * h_size + k] = d_o * sigmoid_deriv_from_output(o);
+            }
+
+            let x = cache.xs.row(t);
+            let h_prev: &[f32] = if t == 0 { &[] } else { cache.h.row(t - 1) };
+            dh_next.fill(0.0);
+            for j in 0..4 * h_size {
+                let a = da[j];
+                if a == 0.0 {
+                    continue;
+                }
+                grads.b[j] += a;
+                let wx_row = grads.wx.row_mut(j);
+                for (w, &xv) in wx_row.iter_mut().zip(x.iter()) {
+                    *w += a * xv;
+                }
+                if t > 0 {
+                    let wh_row = grads.wh.row_mut(j);
+                    for (w, &hv) in wh_row.iter_mut().zip(h_prev.iter()) {
+                        *w += a * hv;
+                    }
+                }
+                // dh_prev += wh[j]^T * a; dx += wx[j]^T * a
+                for (d, &w) in dh_next.iter_mut().zip(self.wh.row(j)) {
+                    *d += a * w;
+                }
+                let dx_row = dx.row_mut(t);
+                for (d, &w) in dx_row.iter_mut().zip(self.wx.row(j)) {
+                    *d += a * w;
+                }
+            }
+        }
+        (grads, dx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn tiny_layer(seed: u64) -> LstmLayer {
+        let mut rng = StdRng::seed_from_u64(seed);
+        LstmLayer::new(3, 4, &mut rng)
+    }
+
+    fn sample_input() -> Matrix {
+        Matrix::from_rows(&[&[0.5, -0.3, 0.8], &[0.1, 0.9, -0.2], &[-0.7, 0.4, 0.6]])
+    }
+
+    /// Scalar objective: sum of all hidden states. Its gradient wrt every
+    /// parameter can be checked with central finite differences.
+    fn objective(layer: &LstmLayer, xs: &Matrix) -> f32 {
+        layer.forward(xs).h.sum()
+    }
+
+    #[test]
+    fn forward_shapes_and_bounds() {
+        let layer = tiny_layer(42);
+        let xs = sample_input();
+        let cache = layer.forward(&xs);
+        assert_eq!(cache.h.rows(), 3);
+        assert_eq!(cache.h.cols(), 4);
+        // Hidden state is o * tanh(c), so |h| < 1 always.
+        assert!(cache.h.as_slice().iter().all(|v| v.abs() < 1.0));
+    }
+
+    #[test]
+    fn forward_is_deterministic() {
+        let layer = tiny_layer(42);
+        let xs = sample_input();
+        let a = layer.forward(&xs);
+        let b = layer.forward(&xs);
+        assert_eq!(a.h, b.h);
+    }
+
+    #[test]
+    fn bptt_gradients_match_finite_differences() {
+        let layer = tiny_layer(7);
+        let xs = sample_input();
+        let cache = layer.forward(&xs);
+        let dh = Matrix::filled(3, 4, 1.0); // d(sum h)/dh = 1 everywhere
+        let (grads, dx) = layer.backward(&cache, &dh);
+
+        let eps = 1e-3f32;
+        // Check a sample of wx entries.
+        for &(r, c) in &[(0usize, 0usize), (5, 1), (11, 2), (15, 0)] {
+            let mut lp = layer.clone();
+            lp.wx[(r, c)] += eps;
+            let mut lm = layer.clone();
+            lm.wx[(r, c)] -= eps;
+            let fd = (objective(&lp, &xs) - objective(&lm, &xs)) / (2.0 * eps);
+            assert!(
+                (grads.wx[(r, c)] - fd).abs() < 2e-2,
+                "wx[{},{}]: analytic {} vs fd {}",
+                r,
+                c,
+                grads.wx[(r, c)],
+                fd
+            );
+        }
+        // Check a sample of wh entries.
+        for &(r, c) in &[(1usize, 1usize), (7, 3), (14, 2)] {
+            let mut lp = layer.clone();
+            lp.wh[(r, c)] += eps;
+            let mut lm = layer.clone();
+            lm.wh[(r, c)] -= eps;
+            let fd = (objective(&lp, &xs) - objective(&lm, &xs)) / (2.0 * eps);
+            assert!(
+                (grads.wh[(r, c)] - fd).abs() < 2e-2,
+                "wh[{},{}]: analytic {} vs fd {}",
+                r,
+                c,
+                grads.wh[(r, c)],
+                fd
+            );
+        }
+        // Check biases.
+        for j in [0usize, 6, 10, 15] {
+            let mut lp = layer.clone();
+            lp.b[j] += eps;
+            let mut lm = layer.clone();
+            lm.b[j] -= eps;
+            let fd = (objective(&lp, &xs) - objective(&lm, &xs)) / (2.0 * eps);
+            assert!(
+                (grads.b[j] - fd).abs() < 2e-2,
+                "b[{}]: analytic {} vs fd {}",
+                j,
+                grads.b[j],
+                fd
+            );
+        }
+        // Check input gradients.
+        for &(t, c) in &[(0usize, 0usize), (1, 2), (2, 1)] {
+            let mut xp = xs.clone();
+            xp[(t, c)] += eps;
+            let mut xm = xs.clone();
+            xm[(t, c)] -= eps;
+            let fd = (objective(&layer, &xp) - objective(&layer, &xm)) / (2.0 * eps);
+            assert!(
+                (dx[(t, c)] - fd).abs() < 2e-2,
+                "dx[{},{}]: analytic {} vs fd {}",
+                t,
+                c,
+                dx[(t, c)],
+                fd
+            );
+        }
+    }
+
+    #[test]
+    fn memory_carries_information_forward() {
+        // A distinctive first input must change the last hidden state.
+        let layer = tiny_layer(3);
+        let mut a = Matrix::zeros(5, 3);
+        a.set_row(0, &[1.0, 1.0, 1.0]);
+        let b = Matrix::zeros(5, 3);
+        let ha = layer.forward(&a);
+        let hb = layer.forward(&b);
+        let last = ha.h.rows() - 1;
+        let diff: f32 = ha
+            .h
+            .row(last)
+            .iter()
+            .zip(hb.h.row(last))
+            .map(|(x, y)| (x - y).abs())
+            .sum();
+        assert!(diff > 1e-4, "first input had no effect on last state: {}", diff);
+    }
+
+    #[test]
+    fn param_count_matches_shapes() {
+        let layer = tiny_layer(0);
+        assert_eq!(layer.param_count(), 16 * 3 + 16 * 4 + 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "input width mismatch")]
+    fn wrong_input_width_panics() {
+        let layer = tiny_layer(0);
+        let xs = Matrix::zeros(2, 5);
+        let _ = layer.forward(&xs);
+    }
+}

@@ -1,0 +1,464 @@
+//! Dense row-major `f32` matrices with the small set of BLAS-like operations
+//! the LSTM / dense layers need.
+//!
+//! The matrix type is deliberately minimal: it is an internal numeric engine,
+//! not a general linear-algebra library. All operations validate shapes and
+//! panic with a descriptive message on mismatch (these are programmer errors,
+//! not runtime conditions).
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A dense row-major matrix of `f32`.
+///
+/// # Examples
+///
+/// ```
+/// use ml::matrix::Matrix;
+///
+/// let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+/// let b = Matrix::identity(2);
+/// let c = a.matmul(&b);
+/// assert_eq!(c[(1, 0)], 3.0);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let max_rows = 6.min(self.rows);
+        for r in 0..max_rows {
+            let max_cols = 8.min(self.cols);
+            let vals: Vec<String> = (0..max_cols)
+                .map(|c| format!("{:9.4}", self[(r, c)]))
+                .collect();
+            let ellipsis = if self.cols > max_cols { ", ..." } else { "" };
+            writeln!(f, "  [{}{}]", vals.join(", "), ellipsis)?;
+        }
+        if self.rows > max_rows {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Matrix {
+    /// Creates a matrix of zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f32) -> Self {
+        let mut m = Matrix::zeros(rows, cols);
+        m.data.fill(value);
+        m
+    }
+
+    /// Creates the identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from a closure over `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut m = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m[(r, c)] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have differing lengths or the input is empty.
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        assert!(!rows.is_empty(), "from_rows needs at least one row");
+        let cols = rows[0].len();
+        let mut m = Matrix::zeros(rows.len(), cols);
+        for (r, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), cols, "ragged rows in from_rows");
+            m.data[r * cols..(r + 1) * cols].copy_from_slice(row);
+        }
+        m
+    }
+
+    /// Builds a single-row matrix from a slice.
+    pub fn row_vector(values: &[f32]) -> Self {
+        Matrix::from_rows(&[values])
+    }
+
+    /// Builds a matrix with entries drawn uniformly from `[-limit, limit]`.
+    pub fn uniform(rows: usize, cols: usize, limit: f32, rng: &mut StdRng) -> Self {
+        Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-limit..=limit))
+    }
+
+    /// Xavier/Glorot uniform initialization for a weight matrix mapping
+    /// `cols` inputs to `rows` outputs.
+    pub fn xavier(rows: usize, cols: usize, rng: &mut StdRng) -> Self {
+        let limit = (6.0 / (rows + cols) as f32).sqrt();
+        Matrix::uniform(rows, cols, limit, rng)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the matrix has zero elements (never true: dimensions are
+    /// validated as non-zero at construction).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow the backing storage (row-major).
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutably borrow the backing storage (row-major).
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Borrow one row.
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert!(r < self.rows, "row {} out of bounds ({} rows)", r, self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrow one row.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        assert!(r < self.rows, "row {} out of bounds ({} rows)", r, self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copies `src` into row `r`.
+    pub fn set_row(&mut self, r: usize, src: &[f32]) {
+        assert_eq!(src.len(), self.cols, "set_row length mismatch");
+        self.row_mut(r).copy_from_slice(src);
+    }
+
+    /// Matrix product `self * other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.rows()`.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        // i-k-j loop order keeps the inner loop streaming over contiguous rows.
+        for i in 0..self.rows {
+            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+            let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self^T * other`.
+    pub fn t_matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, other.rows,
+            "t_matmul shape mismatch: ({}x{})^T * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        for k in 0..self.rows {
+            let a_row = &self.data[k * self.cols..(k + 1) * self.cols];
+            let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self * other^T`.
+    pub fn matmul_t(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_t shape mismatch: {}x{} * ({}x{})^T",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+            for j in 0..other.rows {
+                let b_row = &other.data[j * other.cols..(j + 1) * other.cols];
+                let mut acc = 0.0f32;
+                for (&a, &b) in a_row.iter().zip(b_row.iter()) {
+                    acc += a * b;
+                }
+                out.data[i * other.rows + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// Transposed copy.
+    pub fn transposed(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |r, c| self[(c, r)])
+    }
+
+    /// Element-wise sum `self + other`.
+    pub fn add(&self, other: &Matrix) -> Matrix {
+        self.zip_with(other, |a, b| a + b)
+    }
+
+    /// In-place element-wise addition.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "add_assign shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += b;
+        }
+    }
+
+    /// In-place `self += scale * other` (axpy).
+    pub fn add_scaled(&mut self, other: &Matrix, scale: f32) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "add_scaled shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += scale * b;
+        }
+    }
+
+    /// Element-wise product (Hadamard).
+    pub fn hadamard(&self, other: &Matrix) -> Matrix {
+        self.zip_with(other, |a, b| a * b)
+    }
+
+    /// Element-wise combination of two equally-shaped matrices.
+    pub fn zip_with(&self, other: &Matrix, mut f: impl FnMut(f32, f32) -> f32) -> Matrix {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "zip_with shape mismatch");
+        let mut out = self.clone();
+        for (a, &b) in out.data.iter_mut().zip(other.data.iter()) {
+            *a = f(*a, b);
+        }
+        out
+    }
+
+    /// Element-wise map.
+    pub fn map(&self, mut f: impl FnMut(f32) -> f32) -> Matrix {
+        let mut out = self.clone();
+        for v in out.data.iter_mut() {
+            *v = f(*v);
+        }
+        out
+    }
+
+    /// In-place element-wise map.
+    pub fn map_inplace(&mut self, mut f: impl FnMut(f32) -> f32) {
+        for v in self.data.iter_mut() {
+            *v = f(*v);
+        }
+    }
+
+    /// Multiplies every element by `scale` in place.
+    pub fn scale_inplace(&mut self, scale: f32) {
+        for v in self.data.iter_mut() {
+            *v *= scale;
+        }
+    }
+
+    /// Sets every element to zero.
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Adds a row vector `bias` (1 x cols) to every row.
+    pub fn add_row_broadcast(&mut self, bias: &[f32]) {
+        assert_eq!(bias.len(), self.cols, "broadcast length mismatch");
+        for r in 0..self.rows {
+            for (v, &b) in self.row_mut(r).iter_mut().zip(bias.iter()) {
+                *v += b;
+            }
+        }
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f32;
+
+    fn index(&self, (r, c): (usize, usize)) -> &f32 {
+        assert!(r < self.rows && c < self.cols, "index ({}, {}) out of bounds for {}x{}", r, c, self.rows, self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
+        assert!(r < self.rows && c < self.cols, "index ({}, {}) out of bounds for {}x{}", r, c, self.rows, self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+/// Dot product of two equal-length slices.
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    a.iter().zip(b.iter()).map(|(&x, &y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = Matrix::zeros(3, 4);
+        assert_eq!(z.rows(), 3);
+        assert_eq!(z.cols(), 4);
+        assert_eq!(z.sum(), 0.0);
+        let i = Matrix::identity(3);
+        assert_eq!(i.sum(), 3.0);
+        assert_eq!(i[(1, 1)], 1.0);
+        assert_eq!(i[(1, 2)], 0.0);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let b = Matrix::from_rows(&[&[7.0, 8.0], &[9.0, 10.0], &[11.0, 12.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.rows(), 2);
+        assert_eq!(c.cols(), 2);
+        assert_eq!(c[(0, 0)], 58.0);
+        assert_eq!(c[(0, 1)], 64.0);
+        assert_eq!(c[(1, 0)], 139.0);
+        assert_eq!(c[(1, 1)], 154.0);
+    }
+
+    #[test]
+    fn transpose_products_agree_with_explicit_transpose() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = Matrix::uniform(4, 3, 1.0, &mut rng);
+        let b = Matrix::uniform(4, 5, 1.0, &mut rng);
+        let fast = a.t_matmul(&b);
+        let slow = a.transposed().matmul(&b);
+        for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+
+        let c = Matrix::uniform(6, 3, 1.0, &mut rng);
+        let d = Matrix::uniform(2, 3, 1.0, &mut rng);
+        let fast = c.matmul_t(&d);
+        let slow = c.matmul(&d.transposed());
+        for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn broadcast_and_axpy() {
+        let mut m = Matrix::filled(2, 3, 1.0);
+        m.add_row_broadcast(&[1.0, 2.0, 3.0]);
+        assert_eq!(m.row(0), &[2.0, 3.0, 4.0]);
+        assert_eq!(m.row(1), &[2.0, 3.0, 4.0]);
+        let other = Matrix::filled(2, 3, 2.0);
+        m.add_scaled(&other, 0.5);
+        assert_eq!(m[(0, 0)], 3.0);
+    }
+
+    #[test]
+    fn xavier_within_limit() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = Matrix::xavier(16, 8, &mut rng);
+        let limit = (6.0 / 24.0f32).sqrt();
+        assert!(m.as_slice().iter().all(|v| v.abs() <= limit + 1e-6));
+        // Not all entries identical.
+        assert!(m.as_slice().iter().any(|&v| v != m[(0, 0)]));
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn row_access_and_set() {
+        let mut m = Matrix::zeros(2, 2);
+        m.set_row(1, &[5.0, 6.0]);
+        assert_eq!(m.row(1), &[5.0, 6.0]);
+        assert_eq!(m.row(0), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn dot_product() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+    }
+
+    #[test]
+    fn map_and_hadamard() {
+        let a = Matrix::from_rows(&[&[1.0, -2.0]]);
+        let b = a.map(f32::abs);
+        assert_eq!(b.row(0), &[1.0, 2.0]);
+        let h = a.hadamard(&b);
+        assert_eq!(h.row(0), &[1.0, -4.0]);
+    }
+}

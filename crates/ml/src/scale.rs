@@ -1,0 +1,98 @@
+//! Feature scaling. The paper pre-processes every CUPTI counter vector with
+//! MinMax scaling to `[0, 1]` before feeding `Mgap` (§IV-A) — and we apply the
+//! same transform ahead of the LSTM models.
+
+/// Per-feature min-max scaler mapping each column to `[0, 1]`.
+///
+/// Constant columns map to `0.0` (the paper notes some counters are constant
+/// and uninformative; scaling them to a constant keeps them harmless).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MinMaxScaler {
+    mins: Vec<f32>,
+    maxs: Vec<f32>,
+}
+
+impl MinMaxScaler {
+    /// Learns column ranges from the given rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty or ragged.
+    pub fn fit(rows: &[Vec<f32>]) -> Self {
+        assert!(!rows.is_empty(), "cannot fit scaler on empty data");
+        let width = rows[0].len();
+        let mut mins = vec![f32::INFINITY; width];
+        let mut maxs = vec![f32::NEG_INFINITY; width];
+        for row in rows {
+            assert_eq!(row.len(), width, "ragged rows");
+            for (j, &v) in row.iter().enumerate() {
+                mins[j] = mins[j].min(v);
+                maxs[j] = maxs[j].max(v);
+            }
+        }
+        MinMaxScaler { mins, maxs }
+    }
+
+    /// Number of features.
+    pub fn width(&self) -> usize {
+        self.mins.len()
+    }
+
+    /// Scales one row into `[0, 1]` per feature. Values outside the fitted
+    /// range are clamped (test-time traces can exceed training extremes).
+    pub fn transform_row(&self, row: &[f32]) -> Vec<f32> {
+        assert_eq!(row.len(), self.width(), "row width mismatch");
+        row.iter()
+            .enumerate()
+            .map(|(j, &v)| {
+                let span = self.maxs[j] - self.mins[j];
+                if span <= 0.0 {
+                    0.0
+                } else {
+                    ((v - self.mins[j]) / span).clamp(0.0, 1.0)
+                }
+            })
+            .collect()
+    }
+
+    /// Scales many rows.
+    pub fn transform(&self, rows: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        rows.iter().map(|r| self.transform_row(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_to_unit_interval() {
+        let rows = vec![vec![0.0, 10.0], vec![5.0, 20.0], vec![10.0, 30.0]];
+        let s = MinMaxScaler::fit(&rows);
+        let t = s.transform(&rows);
+        assert_eq!(t[0], vec![0.0, 0.0]);
+        assert_eq!(t[1], vec![0.5, 0.5]);
+        assert_eq!(t[2], vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn constant_column_maps_to_zero() {
+        let rows = vec![vec![7.0, 1.0], vec![7.0, 2.0]];
+        let s = MinMaxScaler::fit(&rows);
+        assert_eq!(s.transform_row(&[7.0, 1.5]), vec![0.0, 0.5]);
+    }
+
+    #[test]
+    fn out_of_range_values_are_clamped() {
+        let rows = vec![vec![0.0], vec![10.0]];
+        let s = MinMaxScaler::fit(&rows);
+        assert_eq!(s.transform_row(&[-5.0]), vec![0.0]);
+        assert_eq!(s.transform_row(&[20.0]), vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty data")]
+    fn empty_fit_panics() {
+        let _ = MinMaxScaler::fit(&[]);
+    }
+}

@@ -1,0 +1,412 @@
+//! Per-timestep sequence classifier: stacked LSTM layers, a dense head and a
+//! (weighted, maskable) softmax cross-entropy loss — the shape shared by all
+//! five inference models in the paper's Table III.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::activation::argmax;
+use crate::data::SeqExample;
+use crate::dense::Dense;
+use crate::loss::{softmax_cross_entropy, uniform_weights};
+use crate::lstm::LstmLayer;
+use crate::matrix::Matrix;
+use crate::optim::{clip_global_norm, Adam, Optimizer};
+
+/// Training/topology configuration for a [`SequenceClassifier`].
+#[derive(Debug, Clone)]
+pub struct SeqClassifierConfig {
+    /// Feature width per timestep.
+    pub input_size: usize,
+    /// Hidden sizes of the stacked LSTM layers (Table III uses `[256]` for
+    /// Mlong/Mop/Vlong/Vop and `[128]` for Mhp).
+    pub hidden_sizes: Vec<usize>,
+    /// Number of output classes.
+    pub classes: usize,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// Training epochs over the full dataset.
+    pub epochs: usize,
+    /// Global-norm gradient clip.
+    pub clip_norm: f32,
+    /// RNG seed for initialization and shuffling.
+    pub seed: u64,
+    /// Per-class loss weights; `None` = uniform.
+    pub class_weights: Option<Vec<f32>>,
+}
+
+impl SeqClassifierConfig {
+    /// A reasonable default for a given problem shape.
+    pub fn new(input_size: usize, hidden: usize, classes: usize) -> Self {
+        SeqClassifierConfig {
+            input_size,
+            hidden_sizes: vec![hidden],
+            classes,
+            learning_rate: 0.01,
+            epochs: 12,
+            clip_norm: 5.0,
+            seed: 0x5eed,
+            class_weights: None,
+        }
+    }
+}
+
+/// Per-epoch training statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochStats {
+    /// Mean loss over unmasked timesteps.
+    pub mean_loss: f32,
+    /// Accuracy over unmasked timesteps.
+    pub accuracy: f64,
+}
+
+/// An LSTM sequence classifier producing one class per timestep.
+///
+/// # Examples
+///
+/// ```
+/// use ml::seq::{SeqClassifierConfig, SequenceClassifier};
+/// use ml::data::SeqExample;
+///
+/// // Learn "label = which half of the 2-dim input is hot".
+/// let mut cfg = SeqClassifierConfig::new(2, 8, 2);
+/// cfg.epochs = 30;
+/// let data: Vec<SeqExample> = (0..8)
+///     .map(|i| {
+///         let lab = i % 2;
+///         let mut f = vec![0.0, 0.0];
+///         f[lab] = 1.0;
+///         SeqExample::new(vec![f; 5], vec![lab; 5])
+///     })
+///     .collect();
+/// let mut clf = SequenceClassifier::new(cfg);
+/// clf.fit(&data);
+/// let pred = clf.predict(&data[0].features);
+/// assert_eq!(pred, data[0].labels);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SequenceClassifier {
+    config: SeqClassifierConfig,
+    layers: Vec<LstmLayer>,
+    head: Dense,
+    history: Vec<EpochStats>,
+}
+
+impl SequenceClassifier {
+    /// Builds an untrained classifier from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has no hidden layers or zero classes.
+    pub fn new(config: SeqClassifierConfig) -> Self {
+        assert!(!config.hidden_sizes.is_empty(), "need at least one LSTM layer");
+        assert!(config.classes >= 2, "need at least two classes");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut layers = Vec::new();
+        let mut in_size = config.input_size;
+        for &h in &config.hidden_sizes {
+            layers.push(LstmLayer::new(in_size, h, &mut rng));
+            in_size = h;
+        }
+        let head = Dense::new(in_size, config.classes, &mut rng);
+        SequenceClassifier {
+            config,
+            layers,
+            head,
+            history: Vec::new(),
+        }
+    }
+
+    /// The configuration this classifier was built with.
+    pub fn config(&self) -> &SeqClassifierConfig {
+        &self.config
+    }
+
+    /// Per-epoch loss/accuracy recorded by the last `fit` call.
+    pub fn history(&self) -> &[EpochStats] {
+        &self.history
+    }
+
+    /// Total trainable parameter count.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(LstmLayer::param_count).sum::<usize>() + self.head.param_count()
+    }
+
+    fn features_to_matrix(features: &[Vec<f32>]) -> Matrix {
+        assert!(!features.is_empty(), "empty sequence");
+        let mut m = Matrix::zeros(features.len(), features[0].len());
+        for (t, f) in features.iter().enumerate() {
+            m.set_row(t, f);
+        }
+        m
+    }
+
+    /// Trains with Adam, shuffling sequences each epoch. Returns the stats of
+    /// the final epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty or feature widths mismatch the config.
+    pub fn fit(&mut self, data: &[SeqExample]) -> EpochStats {
+        assert!(!data.is_empty(), "fit called with no data");
+        for ex in data {
+            assert_eq!(ex.width(), self.config.input_size, "feature width mismatch");
+            assert!(ex.labels.iter().all(|&l| l < self.config.classes), "label out of range");
+        }
+        let weights = self
+            .config
+            .class_weights
+            .clone()
+            .unwrap_or_else(|| uniform_weights(self.config.classes));
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0x9e3779b97f4a7c15);
+        let mut order: Vec<usize> = (0..data.len()).collect();
+
+        let mut opt_wx: Vec<Adam> = self
+            .layers
+            .iter()
+            .map(|l| Adam::new(l.wx.len(), self.config.learning_rate))
+            .collect();
+        let mut opt_wh: Vec<Adam> = self
+            .layers
+            .iter()
+            .map(|l| Adam::new(l.wh.len(), self.config.learning_rate))
+            .collect();
+        let mut opt_b: Vec<Adam> = self
+            .layers
+            .iter()
+            .map(|l| Adam::new(l.b.len(), self.config.learning_rate))
+            .collect();
+        let mut opt_hw = Adam::new(self.head.w.len(), self.config.learning_rate);
+        let mut opt_hb = Adam::new(self.head.b.len(), self.config.learning_rate);
+
+        self.history.clear();
+        let mut last = EpochStats { mean_loss: 0.0, accuracy: 0.0 };
+        for _epoch in 0..self.config.epochs {
+            order.shuffle(&mut rng);
+            let mut loss_sum = 0.0f64;
+            let mut loss_count = 0usize;
+            let mut correct = 0usize;
+            for &idx in &order {
+                let ex = &data[idx];
+                let xs = Self::features_to_matrix(&ex.features);
+
+                // Forward through the LSTM stack.
+                let mut caches = Vec::with_capacity(self.layers.len());
+                let mut cur = xs;
+                for layer in &self.layers {
+                    let cache = layer.forward(&cur);
+                    cur = cache.h.clone();
+                    caches.push(cache);
+                }
+                let logits = self.head.forward(&cur);
+
+                // Loss + dlogits per timestep.
+                let mut dlogits = Matrix::zeros(logits.rows(), logits.cols());
+                for t in 0..logits.rows() {
+                    let eval = softmax_cross_entropy(logits.row(t), ex.labels[t], &weights, !ex.mask[t]);
+                    if ex.mask[t] {
+                        loss_sum += eval.loss as f64;
+                        loss_count += 1;
+                        if argmax(&eval.probs) == ex.labels[t] {
+                            correct += 1;
+                        }
+                    }
+                    dlogits.set_row(t, &eval.dlogits);
+                }
+
+                // Backward.
+                let (mut head_grads, mut dh) = self.head.backward(&cur, &dlogits);
+                let mut layer_grads = Vec::with_capacity(self.layers.len());
+                for (layer, cache) in self.layers.iter().zip(caches.iter()).rev() {
+                    let (grads, dx) = layer.backward(cache, &dh);
+                    dh = dx;
+                    layer_grads.push(grads);
+                }
+                layer_grads.reverse();
+
+                // Clip and apply.
+                {
+                    let mut bufs: Vec<&mut [f32]> = Vec::new();
+                    for g in layer_grads.iter_mut() {
+                        bufs.push(g.wx.as_mut_slice());
+                        bufs.push(g.wh.as_mut_slice());
+                        bufs.push(&mut g.b);
+                    }
+                    bufs.push(head_grads.w.as_mut_slice());
+                    bufs.push(&mut head_grads.b);
+                    clip_global_norm(&mut bufs, self.config.clip_norm);
+                }
+                for (i, g) in layer_grads.iter().enumerate() {
+                    opt_wx[i].step(self.layers[i].wx.as_mut_slice(), g.wx.as_slice());
+                    opt_wh[i].step(self.layers[i].wh.as_mut_slice(), g.wh.as_slice());
+                    opt_b[i].step(&mut self.layers[i].b, &g.b);
+                }
+                opt_hw.step(self.head.w.as_mut_slice(), head_grads.w.as_slice());
+                opt_hb.step(&mut self.head.b, &head_grads.b);
+            }
+            last = EpochStats {
+                mean_loss: if loss_count > 0 { (loss_sum / loss_count as f64) as f32 } else { 0.0 },
+                accuracy: if loss_count > 0 { correct as f64 / loss_count as f64 } else { 0.0 },
+            };
+            self.history.push(last);
+        }
+        last
+    }
+
+    /// Predicts the per-timestep class probabilities for one sequence.
+    pub fn predict_proba(&self, features: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        assert_eq!(features[0].len(), self.config.input_size, "feature width mismatch");
+        let mut cur = Self::features_to_matrix(features);
+        for layer in &self.layers {
+            cur = layer.forward(&cur).h;
+        }
+        let logits = self.head.forward(&cur);
+        (0..logits.rows())
+            .map(|t| crate::activation::softmax(logits.row(t)))
+            .collect()
+    }
+
+    /// Predicts the per-timestep class labels for one sequence.
+    pub fn predict(&self, features: &[Vec<f32>]) -> Vec<usize> {
+        self.predict_proba(features).iter().map(|p| argmax(p)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic task: class = quadrant of the (noisy) 2-d input.
+    fn quadrant_dataset(n: usize, t: usize, seed: u64) -> Vec<SeqExample> {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let mut features = Vec::with_capacity(t);
+                let mut labels = Vec::with_capacity(t);
+                for _ in 0..t {
+                    let lab = rng.gen_range(0..4usize);
+                    let (sx, sy) = match lab {
+                        0 => (1.0, 1.0),
+                        1 => (-1.0, 1.0),
+                        2 => (-1.0, -1.0),
+                        _ => (1.0, -1.0),
+                    };
+                    features.push(vec![
+                        sx + rng.gen_range(-0.2..0.2),
+                        sy + rng.gen_range(-0.2..0.2),
+                    ]);
+                    labels.push(lab);
+                }
+                SeqExample::new(features, labels)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn learns_separable_per_timestep_task() {
+        let mut cfg = SeqClassifierConfig::new(2, 12, 4);
+        cfg.epochs = 25;
+        cfg.seed = 11;
+        let data = quadrant_dataset(16, 8, 3);
+        let mut clf = SequenceClassifier::new(cfg);
+        let stats = clf.fit(&data);
+        assert!(stats.accuracy > 0.9, "train accuracy too low: {:?}", stats);
+        // Generalizes to fresh sequences from the same distribution.
+        let test = quadrant_dataset(4, 8, 999);
+        let mut correct = 0;
+        let mut total = 0;
+        for ex in &test {
+            let pred = clf.predict(&ex.features);
+            for (p, &l) in pred.iter().zip(&ex.labels) {
+                total += 1;
+                if *p == l {
+                    correct += 1;
+                }
+            }
+        }
+        assert!(correct as f64 / total as f64 > 0.85, "{}/{}", correct, total);
+    }
+
+    #[test]
+    fn uses_context_for_ambiguous_timesteps() {
+        // The label of every timestep equals the label carried by the first
+        // timestep's one-hot; later inputs are zero. Solving this requires
+        // memory, which a per-timestep (memoryless) classifier cannot have.
+        let mut data = Vec::new();
+        for lab in 0..2usize {
+            for _ in 0..6 {
+                let mut features = vec![vec![0.0, 0.0]; 6];
+                features[0][lab] = 1.0;
+                data.push(SeqExample::new(features, vec![lab; 6]));
+            }
+        }
+        let mut cfg = SeqClassifierConfig::new(2, 10, 2);
+        cfg.epochs = 60;
+        cfg.seed = 21;
+        let mut clf = SequenceClassifier::new(cfg);
+        let stats = clf.fit(&data);
+        assert!(stats.accuracy > 0.95, "LSTM failed to carry context: {:?}", stats);
+    }
+
+    #[test]
+    fn masked_timesteps_do_not_drive_learning() {
+        // Two classes with identical features; class-1 labels only ever
+        // appear masked, so the model should keep predicting class 0.
+        let mut data = Vec::new();
+        for _ in 0..8 {
+            let features = vec![vec![1.0]; 4];
+            data.push(SeqExample::with_mask(
+                features.clone(),
+                vec![0, 1, 0, 1],
+                vec![true, false, true, false],
+            ));
+        }
+        let mut cfg = SeqClassifierConfig::new(1, 6, 2);
+        cfg.epochs = 30;
+        let mut clf = SequenceClassifier::new(cfg);
+        let stats = clf.fit(&data);
+        assert!(stats.accuracy > 0.95, "{:?}", stats);
+        let pred = clf.predict(&data[0].features);
+        assert!(pred.iter().all(|&p| p == 0), "{:?}", pred);
+    }
+
+    #[test]
+    fn history_is_recorded_per_epoch() {
+        let mut cfg = SeqClassifierConfig::new(2, 4, 4);
+        cfg.epochs = 3;
+        let data = quadrant_dataset(4, 4, 7);
+        let mut clf = SequenceClassifier::new(cfg);
+        clf.fit(&data);
+        assert_eq!(clf.history().len(), 3);
+    }
+
+    #[test]
+    fn loss_decreases_during_training() {
+        let mut cfg = SeqClassifierConfig::new(2, 12, 4);
+        cfg.epochs = 15;
+        let data = quadrant_dataset(12, 8, 5);
+        let mut clf = SequenceClassifier::new(cfg);
+        clf.fit(&data);
+        let first = clf.history().first().unwrap().mean_loss;
+        let last = clf.history().last().unwrap().mean_loss;
+        assert!(last < first * 0.7, "loss did not decrease: {} -> {}", first, last);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature width mismatch")]
+    fn predict_validates_width() {
+        let cfg = SeqClassifierConfig::new(3, 4, 2);
+        let clf = SequenceClassifier::new(cfg);
+        let _ = clf.predict(&[vec![0.0; 2]]);
+    }
+
+    #[test]
+    fn param_count_is_positive_and_consistent() {
+        let cfg = SeqClassifierConfig::new(10, 16, 4);
+        let clf = SequenceClassifier::new(cfg);
+        // wx: 64*10, wh: 64*16, b: 64, head: 4*16+4
+        assert_eq!(clf.param_count(), 64 * 10 + 64 * 16 + 64 + 4 * 16 + 4);
+    }
+}

@@ -1,0 +1,349 @@
+//! Histogram-based regression trees — the weak learner inside the gradient
+//! boosting machine (`gbdt`), mirroring LightGBM's histogram algorithm that
+//! the paper uses for `Mgap`.
+
+/// Maps raw feature values to small integer bins using quantile edges.
+#[derive(Debug, Clone)]
+pub struct BinMapper {
+    /// Per-feature sorted upper bin edges; value v falls in the first bin
+    /// whose edge is >= v.
+    edges: Vec<Vec<f32>>,
+    max_bins: usize,
+}
+
+impl BinMapper {
+    /// Learns up to `max_bins` quantile bins per feature.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty/ragged or `max_bins < 2`.
+    pub fn fit(rows: &[Vec<f32>], max_bins: usize) -> Self {
+        assert!(!rows.is_empty(), "cannot fit bins on empty data");
+        assert!(max_bins >= 2, "need at least two bins");
+        let width = rows[0].len();
+        let mut edges = Vec::with_capacity(width);
+        for j in 0..width {
+            let mut vals: Vec<f32> = rows
+                .iter()
+                .map(|r| {
+                    assert_eq!(r.len(), width, "ragged rows");
+                    r[j]
+                })
+                .collect();
+            vals.sort_by(|a, b| a.partial_cmp(b).expect("NaN feature value"));
+            vals.dedup();
+            let mut feat_edges = Vec::new();
+            if vals.len() <= max_bins {
+                // One bin per distinct value.
+                feat_edges.extend(vals.iter().copied());
+            } else {
+                for b in 1..=max_bins {
+                    let q = b as f64 / max_bins as f64;
+                    let idx = ((vals.len() - 1) as f64 * q).round() as usize;
+                    feat_edges.push(vals[idx]);
+                }
+                feat_edges.dedup();
+            }
+            edges.push(feat_edges);
+        }
+        BinMapper { edges, max_bins }
+    }
+
+    /// Number of features.
+    pub fn width(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of bins used for feature `j`.
+    pub fn bins(&self, j: usize) -> usize {
+        self.edges[j].len() + 1
+    }
+
+    /// Configured maximum bin count.
+    pub fn max_bins(&self) -> usize {
+        self.max_bins
+    }
+
+    /// Bins one value of feature `j`.
+    pub fn bin_value(&self, j: usize, v: f32) -> u16 {
+        let e = &self.edges[j];
+        // First edge >= v; values above all edges land in the last bin.
+        match e.binary_search_by(|probe| probe.partial_cmp(&v).expect("NaN edge")) {
+            Ok(i) => i as u16,
+            Err(i) => i as u16,
+        }
+    }
+
+    /// Bins a full row.
+    pub fn bin_row(&self, row: &[f32]) -> Vec<u16> {
+        assert_eq!(row.len(), self.width(), "row width mismatch");
+        row.iter().enumerate().map(|(j, &v)| self.bin_value(j, v)).collect()
+    }
+}
+
+/// Node of a binned regression tree.
+#[derive(Debug, Clone)]
+enum Node {
+    Split {
+        feature: usize,
+        /// Go left when `bin <= threshold_bin`.
+        threshold_bin: u16,
+        left: usize,
+        right: usize,
+    },
+    Leaf {
+        value: f32,
+    },
+}
+
+/// A depth-bounded regression tree fit to gradient/hessian targets.
+#[derive(Debug, Clone)]
+pub struct RegressionTree {
+    nodes: Vec<Node>,
+}
+
+/// Hyper-parameters for tree growth.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeParams {
+    /// Maximum depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum samples to attempt a split.
+    pub min_samples_split: usize,
+    /// L2 regularization on leaf values.
+    pub lambda: f32,
+    /// Minimum gain to accept a split.
+    pub min_gain: f32,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        TreeParams {
+            max_depth: 5,
+            min_samples_split: 10,
+            lambda: 1.0,
+            min_gain: 1e-6,
+        }
+    }
+}
+
+impl RegressionTree {
+    /// Fits a tree minimizing the second-order objective on (grad, hess):
+    /// leaf value = `-ΣG / (ΣH + λ)`, split gain per the usual GBDT formula.
+    ///
+    /// `binned`: row-major binned features; `indices`: rows to use.
+    pub fn fit(
+        binned: &[Vec<u16>],
+        mapper: &BinMapper,
+        grads: &[f32],
+        hess: &[f32],
+        indices: &[usize],
+        params: &TreeParams,
+    ) -> Self {
+        assert_eq!(binned.len(), grads.len(), "grads length mismatch");
+        assert_eq!(binned.len(), hess.len(), "hess length mismatch");
+        let mut tree = RegressionTree { nodes: Vec::new() };
+        tree.grow(binned, mapper, grads, hess, indices.to_vec(), 0, params);
+        tree
+    }
+
+    fn leaf_value(grads_sum: f64, hess_sum: f64, lambda: f32) -> f32 {
+        (-grads_sum / (hess_sum + lambda as f64)) as f32
+    }
+
+    fn grow(
+        &mut self,
+        binned: &[Vec<u16>],
+        mapper: &BinMapper,
+        grads: &[f32],
+        hess: &[f32],
+        indices: Vec<usize>,
+        depth: usize,
+        params: &TreeParams,
+    ) -> usize {
+        let g_sum: f64 = indices.iter().map(|&i| grads[i] as f64).sum();
+        let h_sum: f64 = indices.iter().map(|&i| hess[i] as f64).sum();
+
+        let make_leaf = |nodes: &mut Vec<Node>| {
+            let id = nodes.len();
+            nodes.push(Node::Leaf {
+                value: Self::leaf_value(g_sum, h_sum, params.lambda),
+            });
+            id
+        };
+
+        if depth >= params.max_depth || indices.len() < params.min_samples_split {
+            return make_leaf(&mut self.nodes);
+        }
+
+        // Best split search over feature histograms.
+        let lambda = params.lambda as f64;
+        let parent_score = g_sum * g_sum / (h_sum + lambda);
+        let mut best: Option<(usize, u16, f64)> = None;
+        for j in 0..mapper.width() {
+            let bins = mapper.bins(j);
+            if bins < 2 {
+                continue;
+            }
+            let mut hist_g = vec![0.0f64; bins];
+            let mut hist_h = vec![0.0f64; bins];
+            let mut hist_n = vec![0usize; bins];
+            for &i in &indices {
+                let b = binned[i][j] as usize;
+                hist_g[b] += grads[i] as f64;
+                hist_h[b] += hess[i] as f64;
+                hist_n[b] += 1;
+            }
+            let mut gl = 0.0f64;
+            let mut hl = 0.0f64;
+            let mut nl = 0usize;
+            for b in 0..bins - 1 {
+                gl += hist_g[b];
+                hl += hist_h[b];
+                nl += hist_n[b];
+                let nr = indices.len() - nl;
+                if nl == 0 || nr == 0 {
+                    continue;
+                }
+                let gr = g_sum - gl;
+                let hr = h_sum - hl;
+                let gain = gl * gl / (hl + lambda) + gr * gr / (hr + lambda) - parent_score;
+                if gain > params.min_gain as f64 && best.map_or(true, |(_, _, bg)| gain > bg) {
+                    best = Some((j, b as u16, gain));
+                }
+            }
+        }
+
+        let Some((feature, threshold_bin, _)) = best else {
+            return make_leaf(&mut self.nodes);
+        };
+
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
+            .into_iter()
+            .partition(|&i| binned[i][feature] <= threshold_bin);
+
+        let id = self.nodes.len();
+        self.nodes.push(Node::Split {
+            feature,
+            threshold_bin,
+            left: usize::MAX,
+            right: usize::MAX,
+        });
+        let left = self.grow(binned, mapper, grads, hess, left_idx, depth + 1, params);
+        let right = self.grow(binned, mapper, grads, hess, right_idx, depth + 1, params);
+        if let Node::Split { left: l, right: r, .. } = &mut self.nodes[id] {
+            *l = left;
+            *r = right;
+        }
+        id
+    }
+
+    /// Evaluates the tree on one binned row.
+    pub fn predict_binned(&self, row: &[u16]) -> f32 {
+        let mut node = 0usize;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { value } => return *value,
+                Node::Split {
+                    feature,
+                    threshold_bin,
+                    left,
+                    right,
+                } => {
+                    node = if row[*feature] <= *threshold_bin { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Number of nodes in the tree.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_like_data() -> (Vec<Vec<f32>>, Vec<f32>) {
+        // Target is +1 when x0 > 0.5, else -1 (a single clean split).
+        let mut rows = Vec::new();
+        let mut targets = Vec::new();
+        for i in 0..40 {
+            let x0 = (i % 10) as f32 / 10.0;
+            let x1 = (i % 7) as f32 / 7.0;
+            rows.push(vec![x0, x1]);
+            targets.push(if x0 > 0.5 { 1.0 } else { -1.0 });
+        }
+        (rows, targets)
+    }
+
+    #[test]
+    fn bin_mapper_round_trips_small_domains() {
+        let rows = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let m = BinMapper::fit(&rows, 16);
+        // Each distinct value should occupy its own bin, in order.
+        let b1 = m.bin_value(0, 1.0);
+        let b2 = m.bin_value(0, 2.0);
+        let b3 = m.bin_value(0, 3.0);
+        assert!(b1 < b2 && b2 < b3, "{} {} {}", b1, b2, b3);
+        // Out-of-range values clamp to the extreme bins.
+        assert!(m.bin_value(0, -5.0) <= b1);
+        assert!(m.bin_value(0, 99.0) >= b3);
+    }
+
+    #[test]
+    fn bin_mapper_is_monotone() {
+        let rows: Vec<Vec<f32>> = (0..1000).map(|i| vec![(i as f32).sin() * 100.0]).collect();
+        let m = BinMapper::fit(&rows, 64);
+        let mut vals: Vec<f32> = rows.iter().map(|r| r[0]).collect();
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut prev = 0u16;
+        for v in vals {
+            let b = m.bin_value(0, v);
+            assert!(b >= prev, "binning not monotone");
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn tree_fits_a_single_split() {
+        let (rows, targets) = xor_like_data();
+        let mapper = BinMapper::fit(&rows, 32);
+        let binned: Vec<Vec<u16>> = rows.iter().map(|r| mapper.bin_row(r)).collect();
+        // Squared loss: grad = pred - target with pred=0, hess = 1.
+        let grads: Vec<f32> = targets.iter().map(|&t| -t).collect();
+        let hess = vec![1.0f32; targets.len()];
+        let idx: Vec<usize> = (0..rows.len()).collect();
+        let params = TreeParams {
+            max_depth: 3,
+            min_samples_split: 2,
+            lambda: 0.0,
+            min_gain: 1e-9,
+        };
+        let tree = RegressionTree::fit(&binned, &mapper, &grads, &hess, &idx, &params);
+        for (row, &t) in binned.iter().zip(&targets) {
+            let p = tree.predict_binned(row);
+            assert!((p - t).abs() < 0.2, "pred {} target {}", p, t);
+        }
+    }
+
+    #[test]
+    fn depth_zero_gives_single_leaf_with_mean() {
+        let (rows, targets) = xor_like_data();
+        let mapper = BinMapper::fit(&rows, 32);
+        let binned: Vec<Vec<u16>> = rows.iter().map(|r| mapper.bin_row(r)).collect();
+        let grads: Vec<f32> = targets.iter().map(|&t| -t).collect();
+        let hess = vec![1.0f32; targets.len()];
+        let idx: Vec<usize> = (0..rows.len()).collect();
+        let params = TreeParams {
+            max_depth: 0,
+            lambda: 0.0,
+            ..TreeParams::default()
+        };
+        let tree = RegressionTree::fit(&binned, &mapper, &grads, &hess, &idx, &params);
+        assert_eq!(tree.node_count(), 1);
+        let mean: f32 = targets.iter().sum::<f32>() / targets.len() as f32;
+        assert!((tree.predict_binned(&binned[0]) - mean).abs() < 1e-4);
+    }
+}

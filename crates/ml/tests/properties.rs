@@ -1,0 +1,125 @@
+//! Property-based tests for the ML substrate's core invariants.
+
+use ml::activation::{argmax, softmax};
+use ml::gbdt::{GbdtBinaryClassifier, GbdtConfig};
+use ml::loss::{inverse_frequency_weights, softmax_cross_entropy};
+use ml::matrix::Matrix;
+use ml::scale::MinMaxScaler;
+use ml::tree::BinMapper;
+use proptest::prelude::*;
+
+fn finite_vec(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-1e4f32..1e4, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn softmax_is_a_distribution(logits in prop::collection::vec(-50f32..50.0, 1..16)) {
+        let p = softmax(&logits);
+        let sum: f32 = p.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+        prop_assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        // argmax of probabilities equals argmax of logits.
+        prop_assert_eq!(argmax(&p), argmax(&logits));
+    }
+
+    #[test]
+    fn cross_entropy_gradient_sums_to_zero(
+        logits in prop::collection::vec(-10f32..10.0, 2..8),
+        target_raw in 0usize..8,
+    ) {
+        let target = target_raw % logits.len();
+        let w = vec![1.0; logits.len()];
+        let eval = softmax_cross_entropy(&logits, target, &w, false);
+        let g: f32 = eval.dlogits.iter().sum();
+        // Softmax CE gradient components always sum to zero.
+        prop_assert!(g.abs() < 1e-4, "gradient sum {}", g);
+        prop_assert!(eval.loss >= 0.0);
+    }
+
+    #[test]
+    fn inverse_frequency_weights_are_positive_and_mean_one(
+        labels in prop::collection::vec(0usize..5, 1..200)
+    ) {
+        let w = inverse_frequency_weights(labels.iter().copied(), 5);
+        prop_assert_eq!(w.len(), 5);
+        prop_assert!(w.iter().all(|&x| x > 0.0 && x.is_finite()));
+        let mean: f32 = w.iter().sum::<f32>() / 5.0;
+        prop_assert!((mean - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a_data in finite_vec(6),
+        b_data in finite_vec(6),
+        c_data in finite_vec(6),
+    ) {
+        let a = Matrix::from_rows(&[&a_data[..3], &a_data[3..]]);
+        let b = Matrix::from_rows(&[&b_data[..2], &b_data[2..4], &b_data[4..]]);
+        let c = Matrix::from_rows(&[&c_data[..2], &c_data[2..4], &c_data[4..]]);
+        // a * (b + c) == a*b + a*c (within fp tolerance).
+        let lhs = a.matmul(&b.add(&c));
+        let rhs = a.matmul(&b).add(&a.matmul(&c));
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() <= 1e-2 * (1.0 + x.abs().max(y.abs())));
+        }
+    }
+
+    #[test]
+    fn transpose_is_involutive(data in finite_vec(12)) {
+        let m = Matrix::from_rows(&[&data[..4], &data[4..8], &data[8..]]);
+        let tt = m.transposed().transposed();
+        prop_assert_eq!(m, tt);
+    }
+
+    #[test]
+    fn minmax_scaler_output_is_unit_bounded(
+        rows in prop::collection::vec(prop::collection::vec(-1e6f32..1e6, 4), 1..40),
+        probe in prop::collection::vec(-2e6f32..2e6, 4),
+    ) {
+        let s = MinMaxScaler::fit(&rows);
+        for r in &rows {
+            let t = s.transform_row(r);
+            prop_assert!(t.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+        // Out-of-range probes clamp, never escape [0, 1].
+        let t = s.transform_row(&probe);
+        prop_assert!(t.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn bin_mapper_is_monotone_for_any_data(
+        mut vals in prop::collection::vec(-1e5f32..1e5, 2..200)
+    ) {
+        let rows: Vec<Vec<f32>> = vals.iter().map(|&v| vec![v]).collect();
+        let mapper = BinMapper::fit(&rows, 32);
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut prev = 0u16;
+        for v in vals {
+            let b = mapper.bin_value(0, v);
+            prop_assert!(b >= prev);
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn gbdt_probabilities_are_probabilities(
+        seed in 0u64..1000,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let rows: Vec<Vec<f32>> = (0..60).map(|_| vec![rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)]).collect();
+        let labels: Vec<bool> = rows.iter().map(|r| r[0] > 0.0).collect();
+        if labels.iter().all(|&l| l) || labels.iter().all(|&l| !l) {
+            return Ok(()); // degenerate single-class draw
+        }
+        let cfg = GbdtConfig { rounds: 5, ..GbdtConfig::default() };
+        let model = GbdtBinaryClassifier::fit(&rows, &labels, &cfg);
+        for r in &rows {
+            let p = model.predict_proba(r);
+            prop_assert!((0.0..=1.0).contains(&p), "p = {}", p);
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! The §II-D adversary-model demonstration: Nvidia's patched driver
+//! (418.40.04+) blocks CUPTI, but a cloud tenant with root in her own VM
+//! simply downgrades to 384.130 and regains counter access — invisibly to
+//! the victim VM sharing the physical GPU.
+//!
+//! Run with `cargo run --release --example driver_downgrade`.
+
+use leaky_dnn::prelude::*;
+use gpu_sim::ContextId;
+
+fn main() {
+    // A freshly-rented EC2-style instance ships the patched driver.
+    let mut spy_vm = VmInstance::fresh_cloud_instance("spy-vm");
+    println!("spy VM driver: {}", spy_vm.driver());
+
+    // Opening a CUPTI session fails...
+    let ctx = ContextId::test_value(0);
+    match CuptiSession::open(&spy_vm, ctx, table_iv_groups(), 1000.0) {
+        Err(e) => println!("CUPTI session: BLOCKED — {}", e),
+        Ok(_) => unreachable!("patched driver must block CUPTI"),
+    }
+
+    // ...until the tenant downgrades the driver with her own root.
+    spy_vm.downgrade_driver().expect("tenant has root in her own VM");
+    println!("downgraded to: {} (victim VM unaffected and unaware)", spy_vm.driver());
+
+    let session = CuptiSession::open(&spy_vm, ctx, table_iv_groups(), 1000.0)
+        .expect("unpatched driver allows CUPTI");
+    println!(
+        "CUPTI session: OPEN — {} event groups, replay factor x{:.2}",
+        session.groups().len(),
+        session.replay_factor()
+    );
+
+    // An unprivileged tenant, by contrast, is stuck.
+    let mut locked = VmInstance::new("unprivileged", DriverVersion::CUPTI_RESTRICTED_SINCE, false);
+    match locked.downgrade_driver() {
+        Err(e) => println!("unprivileged tenant downgrade: DENIED — {}", e),
+        Ok(()) => unreachable!("downgrade requires root"),
+    }
+
+    println!("\nconclusion (paper §II-D): the CUPTI restriction patch does not stop a cloud adversary.");
+}

@@ -1,0 +1,56 @@
+//! Quickstart: the whole attack in ~40 lines.
+//!
+//! The adversary (1) rents a GPU cloud instance next to the victim,
+//! (2) downgrades her VM's driver to re-enable CUPTI, (3) profiles a few
+//! models of her own to train the inference stack, and (4) extracts the
+//! victim's model structure from counter samples alone.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use leaky_dnn::prelude::*;
+
+fn main() {
+    // Step 1+2: spy VM with CUPTI access (the §II-D driver downgrade).
+    let mut vm = VmInstance::fresh_cloud_instance("spy-vm");
+    assert!(vm.check_cupti_access().is_err(), "patched driver blocks CUPTI");
+    vm.downgrade_driver().expect("root in our own VM");
+    println!("driver downgraded to {} — CUPTI available", vm.driver());
+
+    // Step 3: profile our own models on the shared GPU (small scale here;
+    // see the bench binaries for the paper-scale runs).
+    let input = InputSpec::Image { height: 64, width: 64, channels: 3 };
+    let profiled: Vec<TrainingSession> = random_profiling_models(8, input, 7)
+        .into_iter()
+        .map(|m| TrainingSession::new(m, TrainingConfig::new(64, 6)))
+        .collect();
+    println!("profiling {} models + training the inference stack...", profiled.len());
+    let moscons = Moscons::profile(&profiled, AttackConfig::default());
+
+    // Step 4: attack a victim training run.
+    // A small-scale demo works best on an MLP victim (convolutions need the
+    // paper-scale image sizes to be visible — see examples/extract_vgg16.rs).
+    let victim_model = Model::new(
+        "victim",
+        input,
+        vec![
+            Layer::dense(256, Activation::Relu),
+            Layer::dense(1024, Activation::Relu),
+            Layer::dense(4096, Activation::Relu),
+            Layer::dense(512, Activation::Relu),
+        ],
+        Optimizer::Adam,
+    );
+    let victim = TrainingSession::new(victim_model.clone(), TrainingConfig::new(64, 6));
+    let (extraction, _trace) = moscons.attack(&victim, 42);
+
+    println!("\nvictim's secret : {}", victim_model.structure_string());
+    println!("recovered       : {}", extraction.structure);
+    let score = score_structure(&victim_model, &extraction.layers, extraction.optimizer);
+    println!(
+        "AccuracyL = {:.1}%   AccuracyHP = {:.1}% ({}/{})",
+        100.0 * score.layers,
+        100.0 * score.hyper_params,
+        score.hp_correct,
+        score.hp_total
+    );
+}

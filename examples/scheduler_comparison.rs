@@ -1,0 +1,68 @@
+//! Why the attack needs MPS *off*: compares the spy's view of the same
+//! victim under the MPS leftover scheduler (Figure 2 — one opaque blob per
+//! iteration) and the time-sliced scheduler (Figure 3 — per-op samples),
+//! then shows the slow-down attack multiplying the resolution further.
+//!
+//! Run with `cargo run --release --example scheduler_comparison`.
+
+use leaky_dnn::prelude::*;
+use moscons::trace::collect_trace;
+
+fn main() {
+    let input = InputSpec::Image { height: 64, width: 64, channels: 3 };
+    let model = zoo::alexnet().with_input(input);
+    let session = TrainingSession::new(model, TrainingConfig::new(8, 4));
+
+    // MPS on: the spy starves while the victim computes.
+    let gpu_cfg = GpuConfig::gtx_1080_ti();
+    let mut gpu = Gpu::new(gpu_cfg.clone(), SchedulerMode::Mps);
+    let victim = gpu.add_context("victim");
+    let spy = gpu.add_context("spy");
+    gpu.set_auto_repeat(spy, SpyKernelKind::Conv200.kernel(1.24, &gpu_cfg));
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(3);
+    session.enqueue(&mut gpu, victim, &mut rng);
+    gpu.run_until_queues_drain();
+    let victim_busy: f64 = gpu
+        .kernel_log()
+        .iter()
+        .filter(|r| r.ctx == victim)
+        .map(|r| r.duration_us())
+        .sum();
+    let spy_completions_mps = gpu.kernels_completed(spy);
+    println!("MPS on : victim computed {:.0} ms; spy completed {} launches total", victim_busy / 1000.0, spy_completions_mps);
+
+    // MPS off, no slow-down: per-op sampling.
+    let plain = collect_trace(
+        &session,
+        &CollectionConfig {
+            slowdown: SlowdownConfig::off(),
+            ..CollectionConfig::paper()
+        },
+        &gpu_cfg,
+    );
+    println!(
+        "MPS off: {} CUPTI samples over {} iterations ({} ops each)",
+        plain.samples.len(),
+        4,
+        session.ops().len()
+    );
+
+    // MPS off + 8-kernel slow-down: several samples per op.
+    let slowed = collect_trace(&session, &CollectionConfig::paper(), &gpu_cfg);
+    println!(
+        "  + slow-down: {} samples; victim iteration stretched {:.1}x ({:.0} -> {:.0} ms)",
+        slowed.samples.len(),
+        slowed.mean_iteration_us / plain.mean_iteration_us,
+        plain.mean_iteration_us / 1000.0,
+        slowed.mean_iteration_us / 1000.0
+    );
+    let busy = slowed
+        .samples
+        .iter()
+        .filter(|s| s.counters.total() > 0.0)
+        .count();
+    println!(
+        "samples per victim op under attack: {:.1}",
+        busy as f64 / (4.0 * session.ops().len() as f64)
+    );
+}

@@ -1,0 +1,134 @@
+//! Cross-crate integration: the side-channel signal end to end, from the
+//! dnn-sim planner through the GPU engine and the CUPTI layer to labeled
+//! samples.
+
+use dnn_sim::{zoo, Activation, InputSpec, Layer, Model, OpClass, Optimizer, TrainingConfig, TrainingSession};
+use gpu_sim::GpuConfig;
+use moscons::dataset::LabeledTrace;
+use moscons::trace::{collect_trace, CollectionConfig};
+
+fn small_input() -> InputSpec {
+    InputSpec::Image {
+        height: 64,
+        width: 64,
+        channels: 3,
+    }
+}
+
+fn collect(model: Model, batch: usize, iterations: usize, seed: u64) -> LabeledTrace {
+    let session = TrainingSession::new(model, TrainingConfig::new(batch, iterations));
+    let raw = collect_trace(
+        &session,
+        &CollectionConfig::paper().with_seed(seed),
+        &GpuConfig::gtx_1080_ti(),
+    );
+    LabeledTrace::from_raw(&raw, "it")
+}
+
+#[test]
+fn every_op_class_of_a_cnn_appears_in_the_labels() {
+    let model = Model::new(
+        "cnn",
+        small_input(),
+        vec![
+            Layer::conv(5, 64, 1),
+            Layer::MaxPool,
+            Layer::Conv2D {
+                filter_size: 3,
+                filters: 128,
+                stride: 1,
+                activation: Activation::Tanh,
+            },
+            Layer::dense(512, Activation::Sigmoid),
+        ],
+        Optimizer::Adam,
+    );
+    let trace = collect(model, 32, 3, 5);
+    let counts = trace.class_counts();
+    let have: Vec<OpClass> = counts.iter().map(|(c, _)| *c).collect();
+    for class in [
+        OpClass::Conv,
+        OpClass::MatMul,
+        OpClass::Pool,
+        OpClass::Optimizer,
+        OpClass::Nop,
+    ] {
+        assert!(have.contains(&class), "missing {:?} in {:?}", class, counts);
+    }
+}
+
+#[test]
+fn long_ops_receive_more_samples_than_short_ops() {
+    // The core premise of Mlong: conv/MatMul dominate the sample stream
+    // relative to their op count.
+    let trace = collect(zoo::tested_mlp().with_input(small_input()), 64, 3, 9);
+    let matmul = trace
+        .samples
+        .iter()
+        .filter(|s| s.class == OpClass::MatMul)
+        .count();
+    let relu = trace
+        .samples
+        .iter()
+        .filter(|s| s.class == OpClass::Relu)
+        .count();
+    assert!(
+        matmul > relu,
+        "MatMul should out-sample ReLU: {} vs {}",
+        matmul,
+        relu
+    );
+}
+
+#[test]
+fn conv_samples_show_texture_signal_and_matmul_samples_do_not() {
+    let cnn = Model::new(
+        "convy",
+        small_input(),
+        vec![Layer::conv(5, 256, 1), Layer::conv(5, 256, 1)],
+        Optimizer::Gd,
+    );
+    let trace = collect(cnn, 32, 3, 11);
+    let mean_tex = |class: OpClass, t: &LabeledTrace| {
+        let rows: Vec<&moscons::dataset::LabeledSample> =
+            t.samples.iter().filter(|s| s.class == class).collect();
+        if rows.is_empty() {
+            return 0.0;
+        }
+        // features[0..2] are the log-scaled texture counters.
+        rows.iter().map(|s| (s.features[0] + s.features[1]) as f64).sum::<f64>() / rows.len() as f64
+    };
+    let conv_tex = mean_tex(OpClass::Conv, &trace);
+
+    let mlp_trace = collect(zoo::tested_mlp().with_input(small_input()), 64, 3, 13);
+    let matmul_tex = mean_tex(OpClass::MatMul, &mlp_trace);
+    assert!(
+        conv_tex > matmul_tex + 0.5,
+        "texture channel should separate conv ({:.2}) from matmul ({:.2}) [log scale]",
+        conv_tex,
+        matmul_tex
+    );
+}
+
+#[test]
+fn iteration_structure_is_stable_across_iterations() {
+    // The same OpSeq repeats every iteration (the premise of voting): the
+    // per-iteration sample counts must be within the paper's R_min/R_max
+    // validity band.
+    let trace = collect(zoo::tested_mlp().with_input(small_input()), 64, 5, 21);
+    let iters = trace.split_iterations_ground_truth(6);
+    assert_eq!(iters.len(), 5);
+    let lens: Vec<usize> = iters.iter().map(|r| r.len()).collect();
+    let median = {
+        let mut l = lens.clone();
+        l.sort_unstable();
+        l[l.len() / 2] as f64
+    };
+    for l in &lens {
+        assert!(
+            (*l as f64) > 0.7 * median && (*l as f64) < 1.4 * median,
+            "iteration lengths too unstable: {:?}",
+            lens
+        );
+    }
+}
