@@ -28,8 +28,9 @@ fn sequence_training(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(4);
     let data: Vec<SeqExample> = (0..8)
         .map(|_| {
-            let features: Vec<Vec<f32>> =
-                (0..120).map(|_| (0..26).map(|_| rng.gen_range(0.0..1.0)).collect()).collect();
+            let features: Vec<Vec<f32>> = (0..120)
+                .map(|_| (0..26).map(|_| rng.gen_range(0.0..1.0)).collect())
+                .collect();
             let labels: Vec<usize> = features.iter().map(|f| usize::from(f[0] > 0.5)).collect();
             SeqExample::new(features, labels)
         })

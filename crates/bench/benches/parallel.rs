@@ -1,0 +1,95 @@
+//! Criterion benches for the data-parallel execution engine: blocked vs
+//! naive GEMMs, 1-vs-N-worker `SequenceClassifier::fit`, and the
+//! trace-collection fan-out. On a single-core runner the N-worker numbers
+//! collapse onto the serial ones — compare against `BENCH_pipeline.json`
+//! from a multi-core machine for the speedup story.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dnn_sim::TrainingSession;
+use ml::matrix::Matrix;
+use ml::seq::{SeqClassifierConfig, SequenceClassifier};
+use ml::SeqExample;
+use moscons::trace::collect_trace;
+use moscons::CollectionConfig;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn pool_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+fn matmul_blocked_vs_naive(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(10);
+    let a = Matrix::uniform(160, 256, 1.0, &mut rng);
+    let b = Matrix::uniform(256, 192, 1.0, &mut rng);
+    c.bench_function("matmul/naive_160x256x192", |bch| {
+        bch.iter(|| a.matmul_naive(&b).sum())
+    });
+    c.bench_function("matmul/blocked_1_thread_160x256x192", |bch| {
+        bch.iter(|| ml::par::with_threads(1, || a.matmul(&b).sum()))
+    });
+    let n = pool_threads();
+    c.bench_function("matmul/blocked_n_threads_160x256x192", |bch| {
+        bch.iter(|| ml::par::with_threads(n, || a.matmul(&b).sum()))
+    });
+}
+
+fn fit_threads(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let data: Vec<SeqExample> = (0..8)
+        .map(|_| {
+            let features: Vec<Vec<f32>> = (0..100)
+                .map(|_| (0..26).map(|_| rng.gen_range(0.0..1.0)).collect())
+                .collect();
+            let labels: Vec<usize> = features.iter().map(|f| usize::from(f[0] > 0.5)).collect();
+            SeqExample::new(features, labels)
+        })
+        .collect();
+    let fit = || {
+        let mut cfg = SeqClassifierConfig::new(26, 32, 2);
+        cfg.epochs = 1;
+        cfg.batch_size = 4;
+        let mut clf = SequenceClassifier::new(cfg);
+        clf.fit(&data).accuracy
+    };
+    c.bench_function("seq_fit/1_thread_batch4_8x100", |b| {
+        b.iter(|| ml::par::with_threads(1, fit))
+    });
+    let n = pool_threads();
+    c.bench_function("seq_fit/n_threads_batch4_8x100", |b| {
+        b.iter(|| ml::par::with_threads(n, fit))
+    });
+}
+
+fn collect_fanout(c: &mut Criterion) {
+    let scale = bench::Scale::quick();
+    let sessions: Vec<TrainingSession> = moscons::random_profiling_models(4, scale.input(), 23)
+        .into_iter()
+        .map(|m| scale.session(m))
+        .collect();
+    let gpu = gpu_sim::GpuConfig::gtx_1080_ti();
+    let collection = CollectionConfig::paper();
+    let fan_out = || {
+        ml::par::par_map(&sessions, |i, s| {
+            collect_trace(s, &collection.with_seed(17 ^ (i as u64 * 7919)), &gpu)
+                .samples
+                .len()
+        })
+        .iter()
+        .sum::<usize>()
+    };
+    c.bench_function("collect_trace/1_thread_4_sessions", |b| {
+        b.iter(|| ml::par::with_threads(1, fan_out))
+    });
+    let n = pool_threads();
+    c.bench_function("collect_trace/n_threads_4_sessions", |b| {
+        b.iter(|| ml::par::with_threads(n, fan_out))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = matmul_blocked_vs_naive, fit_threads, collect_fanout
+}
+criterion_main!(benches);

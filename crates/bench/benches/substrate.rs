@@ -36,9 +36,13 @@ fn trace_collection(c: &mut Criterion) {
     let session = TrainingSession::new(model, TrainingConfig::new(16, 2));
     c.bench_function("collect_trace/mlp_2_iterations", |b| {
         b.iter(|| {
-            collect_trace(&session, &CollectionConfig::paper(), &GpuConfig::gtx_1080_ti())
-                .samples
-                .len()
+            collect_trace(
+                &session,
+                &CollectionConfig::paper(),
+                &GpuConfig::gtx_1080_ti(),
+            )
+            .samples
+            .len()
         })
     });
 }

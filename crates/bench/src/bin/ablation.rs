@@ -3,6 +3,7 @@
 //!
 //! * fusing: none (single iteration) vs plain majority vote vs LSTM voting;
 //! * syntax correction: off vs on;
+//!
 //! reporting AccuracyL / AccuracyHP for each combination.
 
 use bench::{pct, train_moscons, Scale};

@@ -35,7 +35,10 @@ fn collect_defended(scale: Scale, quantization: f64, slice_jitter: f64) -> RawTr
     let cupti = CuptiSession::open(&vm, sampler, table_iv_groups(), 1_000.0)
         .expect("CUPTI open")
         .with_quantization(quantization.max(1.0));
-    gpu.set_auto_repeat(sampler, SpyKernelKind::Conv200.kernel(cupti.replay_factor(), gpu.config()));
+    gpu.set_auto_repeat(
+        sampler,
+        SpyKernelKind::Conv200.kernel(cupti.replay_factor(), gpu.config()),
+    );
     let mut rng = rand::rngs::StdRng::seed_from_u64(0xDEF);
     session.enqueue(&mut gpu, victim, &mut rng);
     gpu.run_until_queues_drain();

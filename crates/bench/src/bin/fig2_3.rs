@@ -74,22 +74,52 @@ fn main() {
     let sliced = run(SchedulerMode::TimeSliced);
 
     println!("=== Figure 2 — MPS enabled (leftover policy) ===");
-    println!("spy kernels completed inside each victim iteration: {:?}", mps.spy_per_iteration);
+    println!(
+        "spy kernels completed inside each victim iteration: {:?}",
+        mps.spy_per_iteration
+    );
     let max_mps = mps.spy_durations_us.iter().cloned().fold(0.0f64, f64::max);
-    println!("longest spy launch: {:.1} ms (stretched across the victim's computation)", max_mps / 1000.0);
+    println!(
+        "longest spy launch: {:.1} ms (stretched across the victim's computation)",
+        max_mps / 1000.0
+    );
 
     println!("\n=== Figure 3 — MPS disabled (time-sliced) ===");
-    println!("spy kernels completed inside each victim iteration: {:?}", sliced.spy_per_iteration);
-    let max_ts = sliced.spy_durations_us.iter().cloned().fold(0.0f64, f64::max);
+    println!(
+        "spy kernels completed inside each victim iteration: {:?}",
+        sliced.spy_per_iteration
+    );
+    let max_ts = sliced
+        .spy_durations_us
+        .iter()
+        .cloned()
+        .fold(0.0f64, f64::max);
     let mean_ts = mean(&sliced.spy_durations_us);
-    println!("longest spy launch: {:.1} ms, mean {:.1} ms", max_ts / 1000.0, mean_ts / 1000.0);
+    println!(
+        "longest spy launch: {:.1} ms, mean {:.1} ms",
+        max_ts / 1000.0,
+        mean_ts / 1000.0
+    );
 
     let mps_rate = mean_usize(&mps.spy_per_iteration);
     let ts_rate = mean_usize(&sliced.spy_per_iteration);
     println!("\nshape checks vs paper:");
-    println!("  MPS: at most ~1 sample per iteration:         {} (mean {:.1})", mps_rate <= 1.5, mps_rate);
-    println!("  time-sliced samples at fine grain:            {} (mean {:.1} per iteration)", ts_rate >= 5.0, ts_rate);
-    println!("  MPS stretches in-flight spy launches:         {} (max {:.1} ms vs {:.1} ms)", max_mps > 2.0 * max_ts, max_mps / 1000.0, max_ts / 1000.0);
+    println!(
+        "  MPS: at most ~1 sample per iteration:         {} (mean {:.1})",
+        mps_rate <= 1.5,
+        mps_rate
+    );
+    println!(
+        "  time-sliced samples at fine grain:            {} (mean {:.1} per iteration)",
+        ts_rate >= 5.0,
+        ts_rate
+    );
+    println!(
+        "  MPS stretches in-flight spy launches:         {} (max {:.1} ms vs {:.1} ms)",
+        max_mps > 2.0 * max_ts,
+        max_mps / 1000.0,
+        max_ts / 1000.0
+    );
 }
 
 fn mean(v: &[f64]) -> f64 {

@@ -1,0 +1,152 @@
+//! Pipeline performance bench: times each attack stage under a 1-worker and
+//! an N-worker pool and writes `BENCH_pipeline.json`.
+//!
+//! Because the execution engine is deterministic (see `ml::par`), the two
+//! configurations produce bitwise-identical models and extractions — this
+//! binary asserts that while it measures, so a speedup can never silently
+//! come from diverged work. On a single-core machine the N-thread run
+//! degenerates to the serial path; the JSON records `cores` so downstream
+//! tooling can tell a missing speedup from a missing machine.
+//!
+//! Run: `cargo run -p bench --release --bin pipeline_perf`
+//! (honours `LEAKY_SCALE=quick` and `LEAKY_DNN_THREADS`).
+
+use std::time::Instant;
+
+use dnn_sim::{zoo, TrainingSession};
+use moscons::attack::{AttackConfig, Moscons};
+use moscons::trace::collect_trace;
+use moscons::LabeledTrace;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct StageTiming {
+    stage: String,
+    secs_1_thread: f64,
+    secs_n_threads: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct PipelineBench {
+    cores: usize,
+    threads: usize,
+    scale: String,
+    stages: Vec<StageTiming>,
+    total_secs_1_thread: f64,
+    total_secs_n_threads: f64,
+    total_speedup: f64,
+}
+
+fn timed<R>(f: impl FnOnce() -> R) -> (f64, R) {
+    let start = Instant::now();
+    let out = f();
+    (start.elapsed().as_secs_f64(), out)
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let threads = ml::par::threads();
+    let scale = bench::Scale::from_env();
+    let scale_name = if scale == bench::Scale::quick() {
+        "quick"
+    } else {
+        "full"
+    };
+    println!(
+        "pipeline_perf: {} cores, {} pool workers, scale {}",
+        cores, threads, scale_name
+    );
+
+    // Smoke-scale attack budget: the point is relative stage cost, not
+    // accuracy (EXPERIMENTS.md owns accuracy).
+    let mut config = AttackConfig::default();
+    config.op_lstm.epochs = 6;
+    config.op_lstm.hidden = 32;
+    config.voting_lstm.epochs = 6;
+    config.hp_lstm.epochs = 4;
+    config.voting_iterations = 3;
+    let sessions: Vec<TrainingSession> = moscons::random_profiling_models(4, scale.input(), 7)
+        .into_iter()
+        .map(|m| scale.session(m))
+        .collect();
+    let victim = scale.session(zoo::tested_mlp());
+
+    // Stage 1: trace collection fan-out (one spy trace per profiling model).
+    let collect = |session_set: &[TrainingSession]| -> Vec<LabeledTrace> {
+        ml::par::par_map(session_set, |i, s| {
+            let raw = collect_trace(
+                s,
+                &config
+                    .collection
+                    .with_seed(config.collection.seed ^ (i as u64 * 7919)),
+                &config.gpu,
+            );
+            LabeledTrace::from_raw(&raw, s.model().name.clone())
+        })
+    };
+    // Stage 2: full profiling (Mgap + Mlong/Mop + voting + Mhp training).
+    // Stage 3: attack-time extraction on the victim stream.
+    let mut stages = Vec::new();
+    let run = |threads: usize| -> (f64, f64, f64, moscons::AttackReport) {
+        ml::par::with_threads(threads, || {
+            let (t_collect, traces) = timed(|| collect(&sessions));
+            drop(traces);
+            let (t_profile, moscons) = timed(|| Moscons::profile(&sessions, config.clone()));
+            let (t_extract, (extraction, _)) = timed(|| moscons.attack(&victim, 4242));
+            (t_collect, t_profile, t_extract, extraction.report())
+        })
+    };
+
+    let (c1, p1, e1, report_serial) = run(1);
+    let (cn, pn, en, report_parallel) = run(threads);
+    assert_eq!(
+        report_serial, report_parallel,
+        "determinism violation: N-thread extraction diverged from serial"
+    );
+    println!(
+        "determinism check passed: 1-thread and {}-thread reports identical",
+        threads
+    );
+
+    for (stage, s1, sn) in [
+        ("collect_traces", c1, cn),
+        ("profile_train", p1, pn),
+        ("attack_extract", e1, en),
+    ] {
+        println!(
+            "  {:<16} 1-thread {:>8.3}s   {}-thread {:>8.3}s   speedup {:.2}x",
+            stage,
+            s1,
+            threads,
+            sn,
+            s1 / sn
+        );
+        stages.push(StageTiming {
+            stage: stage.to_string(),
+            secs_1_thread: s1,
+            secs_n_threads: sn,
+            speedup: s1 / sn,
+        });
+    }
+    let total_1 = c1 + p1 + e1;
+    let total_n = cn + pn + en;
+    let bench = PipelineBench {
+        cores,
+        threads,
+        scale: scale_name.to_string(),
+        stages,
+        total_secs_1_thread: total_1,
+        total_secs_n_threads: total_n,
+        total_speedup: total_1 / total_n,
+    };
+    let json = serde_json::to_string_pretty(&bench).expect("bench serializes");
+    std::fs::write("BENCH_pipeline.json", &json).expect("write BENCH_pipeline.json");
+    println!(
+        "total: 1-thread {:.3}s, {}-thread {:.3}s ({:.2}x) -> BENCH_pipeline.json",
+        total_1,
+        threads,
+        total_n,
+        total_1 / total_n
+    );
+}

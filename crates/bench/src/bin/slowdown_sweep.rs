@@ -29,7 +29,9 @@ fn measure(hogs: usize, blocks: u32, tpb: u32) -> (f64, f64) {
     gpu.set_auto_repeat(sampler, SpyKernelKind::Conv200.kernel(1.24, &cfg));
     for i in 0..hogs {
         let ctx = gpu.add_context(format!("hog{}", i));
-        let occ = gpu_sim::Occupancy::of_launch(blocks, tpb, &cfg).fraction().max(1e-3);
+        let occ = gpu_sim::Occupancy::of_launch(blocks, tpb, &cfg)
+            .fraction()
+            .max(1e-3);
         let hfp = KernelFootprint {
             flops: cfg.compute_throughput * occ * 3.0 * cfg.time_slice_us,
             read_bytes: 8.0 * 1024.0,
@@ -65,7 +67,12 @@ fn main() {
 
     print_header(
         "§IV sweep — #kernels (paper grouping G_i: 4*2^i blocks, 32 tpb)",
-        &["kernels", "victim slow-down", "spy launch (ms)", "spy slow-down"],
+        &[
+            "kernels",
+            "victim slow-down",
+            "spy launch (ms)",
+            "spy slow-down",
+        ],
         &[8, 17, 16, 14],
     );
     for hogs in [0usize, 2, 4, 6, 8, 12, 16] {
@@ -97,7 +104,11 @@ fn main() {
             .filter(|r| r.name.starts_with("spy_Conv"))
             .map(|r| r.duration_us())
             .collect();
-        let spy_mean = if spy.is_empty() { 0.0 } else { spy.iter().sum::<f64>() / spy.len() as f64 };
+        let spy_mean = if spy.is_empty() {
+            0.0
+        } else {
+            spy.iter().sum::<f64>() / spy.len() as f64
+        };
         print_row(
             &[
                 format!("{}", hogs + 1),
@@ -114,10 +125,22 @@ fn main() {
         &["blocks", "tpb", "victim slow-down"],
         &[8, 6, 17],
     );
-    for (blocks, tpb) in [(4u32, 32u32), (8, 32), (16, 32), (32, 32), (32, 256), (64, 1024), (512, 1024)] {
+    for (blocks, tpb) in [
+        (4u32, 32u32),
+        (8, 32),
+        (16, 32),
+        (32, 32),
+        (32, 256),
+        (64, 1024),
+        (512, 1024),
+    ] {
         let (v, _) = measure(1, blocks, tpb);
         print_row(
-            &[format!("{}", blocks), format!("{}", tpb), format!("{:.2}x", v)],
+            &[
+                format!("{}", blocks),
+                format!("{}", tpb),
+                format!("{:.2}x", v),
+            ],
             &[8, 6, 17],
         );
     }

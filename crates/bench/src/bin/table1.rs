@@ -26,7 +26,12 @@ fn main() {
 
     print_header(
         "Table I — spy kernel readings, victim = MatMul",
-        &["Spy Kernel", "Event1 fb_subp1_write", "Event2 fb_subp0_read", "rel. std E2"],
+        &[
+            "Spy Kernel",
+            "Event1 fb_subp1_write",
+            "Event2 fb_subp0_read",
+            "rel. std E2",
+        ],
         &[12, 22, 22, 12],
     );
 
@@ -43,7 +48,11 @@ fn main() {
             .collect();
         let m1 = MeanStd::of(&e1);
         let m2 = MeanStd::of(&e2);
-        let rel = if m2.mean > 0.0 { m2.std / m2.mean } else { f64::INFINITY };
+        let rel = if m2.mean > 0.0 {
+            m2.std / m2.mean
+        } else {
+            f64::INFINITY
+        };
         print_row(
             &[
                 spy.name().to_string(),
@@ -56,7 +65,7 @@ fn main() {
         // "Best" probe = largest mean reading weighted by stability, as the
         // paper argues for Conv200.
         let score = m2.mean / (1.0 + rel);
-        if best.map_or(true, |(_, s)| score > s) {
+        if best.is_none_or(|(_, s)| score > s) {
             best = Some((spy, score));
         }
     }

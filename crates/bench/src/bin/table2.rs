@@ -86,13 +86,24 @@ fn main() {
     let sig = reads["Sigmoid"];
     // Distinctness uses both channels: element-wise ops match NOP on reads
     // but differ sharply on the write (drain) channel.
-    let distinct = |r: (f64, f64)| {
-        (r.1 - nop.1).abs() > 0.5 * nop.1 || (r.0 - nop.0).abs() > 0.5 * nop.0
-    };
-    println!("  every victim op distinct from NOP:        {}", [conv, mm, relu, sig].iter().all(|&r| distinct(r)));
-    println!("  long ops (C/M) >> element-wise (reads):   {}", conv.1.min(mm.1) > 2.0 * relu.0.max(relu.1).min(sig.1));
-    println!("  element-wise writes << long-op reads:     {}", relu.0 < 0.1 * mm.1);
-    println!("  NOP write-drain >> busy writes:           {}", nop.0 > 2.0 * conv.0.max(mm.0));
+    let distinct =
+        |r: (f64, f64)| (r.1 - nop.1).abs() > 0.5 * nop.1 || (r.0 - nop.0).abs() > 0.5 * nop.0;
+    println!(
+        "  every victim op distinct from NOP:        {}",
+        [conv, mm, relu, sig].iter().all(|&r| distinct(r))
+    );
+    println!(
+        "  long ops (C/M) >> element-wise (reads):   {}",
+        conv.1.min(mm.1) > 2.0 * relu.0.max(relu.1).min(sig.1)
+    );
+    println!(
+        "  element-wise writes << long-op reads:     {}",
+        relu.0 < 0.1 * mm.1
+    );
+    println!(
+        "  NOP write-drain >> busy writes:           {}",
+        nop.0 > 2.0 * conv.0.max(mm.0)
+    );
     println!("  (deviation vs paper: our NOP is read-quiet because the spy");
     println!("   completes ~1 launch per poll; the paper's NOP aggregates ~15");
     println!("   launches per read. Gap detectability is preserved — Table VI.)");

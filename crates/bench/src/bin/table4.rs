@@ -21,7 +21,11 @@ fn main() {
                         String::new()
                     },
                     c.event_name().to_string(),
-                    if first { g.description.to_string() } else { String::new() },
+                    if first {
+                        g.description.to_string()
+                    } else {
+                        String::new()
+                    },
                 ],
                 &[9, 30, 55],
             );

@@ -90,14 +90,18 @@ impl Scale {
 /// (§V-D: the adversary varies hyper-parameters on her profiled models).
 pub fn profiling_suite(scale: Scale) -> Vec<TrainingSession> {
     let input = scale.input();
-    let mut models: Vec<Model> = vec![
-        zoo::profiled_mlp(),
-        zoo::alexnet(),
-        zoo::profiled_vgg19(),
-    ];
+    let mut models: Vec<Model> = vec![zoo::profiled_mlp(), zoo::alexnet(), zoo::profiled_vgg19()];
     models.extend(hp_sweep_variants(&zoo::alexnet().with_input(input), 4, 5));
-    models.extend(hp_sweep_variants(&zoo::profiled_mlp().with_input(input), 3, 9));
-    models.extend(hp_sweep_variants(&zoo::profiled_vgg19().with_input(input), 2, 13));
+    models.extend(hp_sweep_variants(
+        &zoo::profiled_mlp().with_input(input),
+        3,
+        9,
+    ));
+    models.extend(hp_sweep_variants(
+        &zoo::profiled_vgg19().with_input(input),
+        2,
+        13,
+    ));
     models.into_iter().map(|m| scale.session(m)).collect()
 }
 
@@ -130,7 +134,10 @@ pub fn print_row(cells: &[String], widths: &[usize]) {
 /// Prints a table header with a separator line.
 pub fn print_header(title: &str, cells: &[&str], widths: &[usize]) {
     println!("\n=== {} ===", title);
-    print_row(&cells.iter().map(|s| s.to_string()).collect::<Vec<_>>(), widths);
+    print_row(
+        &cells.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        widths,
+    );
     let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
     println!("{}", "-".repeat(total));
 }
@@ -138,45 +145,6 @@ pub fn print_header(title: &str, cells: &[&str], widths: &[usize]) {
 /// Formats a percentage.
 pub fn pct(x: f64) -> String {
     format!("{:.1}%", 100.0 * x)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn scales_are_consistent() {
-        let full = Scale::full();
-        let quick = Scale::quick();
-        assert!(quick.image < full.image);
-        assert!(quick.iterations <= full.iterations);
-        let mlp = zoo::tested_mlp();
-        let cnn = zoo::vgg16();
-        assert_eq!(full.batch_for(&mlp), full.batch_mlp);
-        assert_eq!(full.batch_for(&cnn), full.batch_cnn);
-    }
-
-    #[test]
-    fn profiling_suite_is_diverse() {
-        let suite = profiling_suite(Scale::quick());
-        assert!(suite.len() >= 9, "suite has {} models", suite.len());
-        let names: std::collections::HashSet<&str> =
-            suite.iter().map(|s| s.model().name.as_str()).collect();
-        assert_eq!(names.len(), suite.len(), "duplicate model names");
-    }
-
-    #[test]
-    fn tested_models_match_table_ix() {
-        let tested = tested_models();
-        assert_eq!(tested.len(), 3);
-        assert_eq!(tested[1].name, "ZFNet");
-        assert_eq!(tested[2].name, "VGG16");
-    }
-
-    #[test]
-    fn formatting_helpers() {
-        assert_eq!(pct(0.984), "98.4%");
-    }
 }
 
 // ---------------------------------------------------------------------------
@@ -231,7 +199,6 @@ pub fn common<'a>(a: &'a [OpClass], b: &'a [OpClass]) -> (&'a [OpClass], &'a [Op
     (&a[..n], &b[..n])
 }
 
-
 // ---------------------------------------------------------------------------
 // table printers shared by the per-table bins and the combined `eval_all` bin
 // ---------------------------------------------------------------------------
@@ -275,7 +242,11 @@ pub fn print_table7(evals: &[VictimEval]) {
         for (phase, pred) in rows {
             let (p, t) = common(pred, truth);
             let mut cells = vec![
-                if phase == "Pre Vt." { ev.model.name.clone() } else { String::new() },
+                if phase == "Pre Vt." {
+                    ev.model.name.clone()
+                } else {
+                    String::new()
+                },
                 phase.to_string(),
             ];
             for c in classes {
@@ -302,7 +273,11 @@ pub fn print_table8(moscons: &Moscons, scale: Scale) {
     let gpu = GpuConfig::gtx_1080_ti();
     let mut victims: Vec<Model> = tested_models();
     for (i, m) in tested_models().into_iter().enumerate() {
-        victims.extend(moscons::hp_sweep_variants(&m.with_input(scale.input()), 2, 40 + i as u64));
+        victims.extend(moscons::hp_sweep_variants(
+            &m.with_input(scale.input()),
+            2,
+            40 + i as u64,
+        ));
     }
     let mut totals: std::collections::HashMap<HpKind, (usize, usize)> = Default::default();
     for (i, model) in victims.iter().enumerate() {
@@ -318,7 +293,7 @@ pub fn print_table8(moscons: &Moscons, scale: Scale) {
                 match kind {
                     HpKind::Optimizer => {
                         let truth = HpKind::optimizer_class(model.optimizer);
-                        let mut counts = vec![0usize; 3];
+                        let mut counts = [0usize; 3];
                         for (s, &p) in samples.iter().zip(&preds) {
                             if s.class == OpClass::Optimizer {
                                 counts[p.min(2)] += 1;
@@ -363,7 +338,11 @@ pub fn print_table8(moscons: &Moscons, scale: Scale) {
     let paper = [95.71, 88.1, 96.58, 95.89, 92.63];
     for (i, kind) in HpKind::ALL.iter().enumerate() {
         let (correct, total) = totals.get(kind).copied().unwrap_or((0, 0));
-        let acc = if total > 0 { correct as f64 / total as f64 } else { 0.0 };
+        let acc = if total > 0 {
+            correct as f64 / total as f64
+        } else {
+            0.0
+        };
         print_row(
             &[
                 format!("HP{}", i + 1),
@@ -408,4 +387,43 @@ pub fn print_table9(evals: &[VictimEval]) {
         pct(sum_l / n),
         pct(sum_hp / n)
     );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_are_consistent() {
+        let full = Scale::full();
+        let quick = Scale::quick();
+        assert!(quick.image < full.image);
+        assert!(quick.iterations <= full.iterations);
+        let mlp = zoo::tested_mlp();
+        let cnn = zoo::vgg16();
+        assert_eq!(full.batch_for(&mlp), full.batch_mlp);
+        assert_eq!(full.batch_for(&cnn), full.batch_cnn);
+    }
+
+    #[test]
+    fn profiling_suite_is_diverse() {
+        let suite = profiling_suite(Scale::quick());
+        assert!(suite.len() >= 9, "suite has {} models", suite.len());
+        let names: std::collections::HashSet<&str> =
+            suite.iter().map(|s| s.model().name.as_str()).collect();
+        assert_eq!(names.len(), suite.len(), "duplicate model names");
+    }
+
+    #[test]
+    fn tested_models_match_table_ix() {
+        let tested = tested_models();
+        assert_eq!(tested.len(), 3);
+        assert_eq!(tested[1].name, "ZFNet");
+        assert_eq!(tested[2].name, "VGG16");
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.984), "98.4%");
+    }
 }

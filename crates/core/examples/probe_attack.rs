@@ -1,12 +1,17 @@
 //! End-to-end probe: profile two small models, attack a third, print
 //! recovered vs ground-truth structure.
+#[allow(unused_imports)]
+use dnn_sim as _;
 use dnn_sim::{Activation, InputSpec, Layer, Model, Optimizer, TrainingConfig, TrainingSession};
-#[allow(unused_imports)] use dnn_sim as _;
 use moscons::attack::{AttackConfig, Moscons};
 use moscons::report::score_structure;
 
 fn input() -> InputSpec {
-    InputSpec::Image { height: 32, width: 32, channels: 3 }
+    InputSpec::Image {
+        height: 32,
+        width: 32,
+        channels: 3,
+    }
 }
 
 fn main() {
@@ -20,12 +25,19 @@ fn main() {
     let moscons = Moscons::profile(&sessions, AttackConfig::default());
     eprintln!("profiling + training took {:?}", t0.elapsed());
 
-    let victim_model = Model::new("v-cnn", input(), vec![
-        Layer::conv(3, 128, 1), Layer::MaxPool,
-        Layer::conv(5, 256, 1), Layer::MaxPool,
-        Layer::dense(1024, Activation::Relu),
-        Layer::dense(512, Activation::Relu),
-    ], Optimizer::Gd);
+    let victim_model = Model::new(
+        "v-cnn",
+        input(),
+        vec![
+            Layer::conv(3, 128, 1),
+            Layer::MaxPool,
+            Layer::conv(5, 256, 1),
+            Layer::MaxPool,
+            Layer::dense(1024, Activation::Relu),
+            Layer::dense(512, Activation::Relu),
+        ],
+        Optimizer::Gd,
+    );
     let truth_string = victim_model.structure_string();
     let victim = TrainingSession::new(victim_model.clone(), TrainingConfig::new(32, 8));
     let t0 = std::time::Instant::now();
@@ -36,26 +48,47 @@ fn main() {
     println!("truth            : {}", truth_string);
     println!("recovered        : {}", extraction.structure);
     let score = score_structure(&victim_model, &extraction.layers, extraction.optimizer);
-    println!("AccuracyL = {:.1}%  AccuracyHP = {:.1}% ({}/{})",
-        100.0 * score.layers, 100.0 * score.hyper_params, score.hp_correct, score.hp_total);
-    use moscons::report::{class_accuracy, overall_op_accuracy};
+    println!(
+        "AccuracyL = {:.1}%  AccuracyHP = {:.1}% ({}/{})",
+        100.0 * score.layers,
+        100.0 * score.hyper_params,
+        score.hp_correct,
+        score.hp_total
+    );
     use dnn_sim::OpClass;
+    use moscons::report::{class_accuracy, overall_op_accuracy};
     // Table-VII-style eval of fused classes vs ground truth on base iteration.
     let labeled = moscons::LabeledTrace::from_raw(&_raw, "victim");
     let gt_iters = labeled.split_iterations_ground_truth(6);
-    if let (Some(base), false) = (extraction.iterations.first(), extraction.fused_classes.is_empty()) {
+    if let (Some(base), false) = (
+        extraction.iterations.first(),
+        extraction.fused_classes.is_empty(),
+    ) {
         // find gt iteration matching base
         if let Some(gt) = gt_iters.iter().find(|g| g.start.abs_diff(base.start) < 8) {
-            let truth: Vec<OpClass> = labeled.samples[gt.clone()].iter().map(|s| s.class).collect();
+            let truth: Vec<OpClass> = labeled.samples[gt.clone()]
+                .iter()
+                .map(|s| s.class)
+                .collect();
             let m = truth.len().min(extraction.fused_classes.len());
             let fused = &extraction.fused_classes[..m];
             let pre = &extraction.pre_voting_classes[..m];
             let truth = &truth[..m];
-            println!("overall op acc: pre-voting {:.1}%, voted {:.1}%",
-                100.0*overall_op_accuracy(pre, truth), 100.0*overall_op_accuracy(fused, truth));
-            for c in [OpClass::Conv, OpClass::MatMul, OpClass::BiasAdd, OpClass::Relu, OpClass::Pool, OpClass::Optimizer] {
+            println!(
+                "overall op acc: pre-voting {:.1}%, voted {:.1}%",
+                100.0 * overall_op_accuracy(pre, truth),
+                100.0 * overall_op_accuracy(fused, truth)
+            );
+            for c in [
+                OpClass::Conv,
+                OpClass::MatMul,
+                OpClass::BiasAdd,
+                OpClass::Relu,
+                OpClass::Pool,
+                OpClass::Optimizer,
+            ] {
                 if let Some(a) = class_accuracy(fused, truth, c) {
-                    print!(" {}={:.0}%", c.letter(), 100.0*a);
+                    print!(" {}={:.0}%", c.letter(), 100.0 * a);
                 }
             }
             println!();

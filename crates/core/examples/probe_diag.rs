@@ -1,22 +1,44 @@
 //! Diagnostic: Mlong/Mop train-set fit quality + confusion + sequence dump.
-use dnn_sim::{Activation, InputSpec, Layer, Model, OpClass, Optimizer, TrainingConfig, TrainingSession};
+use dnn_sim::{
+    Activation, InputSpec, Layer, Model, OpClass, Optimizer, TrainingConfig, TrainingSession,
+};
 use moscons::dataset::{fit_scaler, LabeledTrace};
 use moscons::long_ops::{LongClass, LongOpModel, LstmTrainConfig};
 use moscons::trace::{collect_trace, CollectionConfig};
 
 fn main() {
-    let input = InputSpec::Image { height: 32, width: 32, channels: 3 };
-    let model = Model::new("p-cnn", input, vec![
-        Layer::conv(3, 64, 1), Layer::MaxPool,
-        Layer::conv(5, 128, 1), Layer::conv(3, 256, 2), Layer::MaxPool,
-        Layer::dense(512, Activation::Relu),
-        Layer::dense(256, Activation::Tanh),
-    ], Optimizer::Adam);
+    let input = InputSpec::Image {
+        height: 32,
+        width: 32,
+        channels: 3,
+    };
+    let model = Model::new(
+        "p-cnn",
+        input,
+        vec![
+            Layer::conv(3, 64, 1),
+            Layer::MaxPool,
+            Layer::conv(5, 128, 1),
+            Layer::conv(3, 256, 2),
+            Layer::MaxPool,
+            Layer::dense(512, Activation::Relu),
+            Layer::dense(256, Activation::Tanh),
+        ],
+        Optimizer::Adam,
+    );
     let session = TrainingSession::new(model, TrainingConfig::new(32, 8));
-    let raw = collect_trace(&session, &CollectionConfig::paper(), &gpu_sim::GpuConfig::gtx_1080_ti());
+    let raw = collect_trace(
+        &session,
+        &CollectionConfig::paper(),
+        &gpu_sim::GpuConfig::gtx_1080_ti(),
+    );
     let trace = LabeledTrace::from_raw(&raw, "p");
     let iters = trace.split_iterations_ground_truth(6);
-    eprintln!("{} iterations; lengths: {:?}", iters.len(), iters.iter().map(|r| r.len()).collect::<Vec<_>>());
+    eprintln!(
+        "{} iterations; lengths: {:?}",
+        iters.len(),
+        iters.iter().map(|r| r.len()).collect::<Vec<_>>()
+    );
     let scaler = fit_scaler(&[&trace]);
     let cfg = LstmTrainConfig::default();
     let m = LongOpModel::train(&[(&trace, iters.as_slice())], &scaler, &cfg);
@@ -24,7 +46,10 @@ fn main() {
     // Train-set accuracy + confusion
     let mut conf = [[0usize; 4]; 4];
     for r in &iters {
-        let feats: Vec<Vec<f32>> = trace.samples[r.clone()].iter().map(|s| s.features.clone()).collect();
+        let feats: Vec<Vec<f32>> = trace.samples[r.clone()]
+            .iter()
+            .map(|s| s.features.clone())
+            .collect();
         let pred = m.predict(&feats, &scaler);
         for (p, s) in pred.iter().zip(&trace.samples[r.clone()]) {
             conf[LongClass::of(s.class).index()][p.index()] += 1;
@@ -33,19 +58,44 @@ fn main() {
     println!("Mlong TRAIN confusion (rows=truth C/M/O/N, cols=pred):");
     for (i, row) in conf.iter().enumerate() {
         let total: usize = row.iter().sum();
-        println!("  {:?}: {:?}  acc={:.2}", ["C","M","O","N"][i], row, if total>0 {row[i] as f64/total as f64} else {0.0});
+        println!(
+            "  {:?}: {:?}  acc={:.2}",
+            ["C", "M", "O", "N"][i],
+            row,
+            if total > 0 {
+                row[i] as f64 / total as f64
+            } else {
+                0.0
+            }
+        );
     }
     // Dump a stretch of truth vs pred for iteration 0
     let r = &iters[0];
-    let feats: Vec<Vec<f32>> = trace.samples[r.clone()].iter().map(|s| s.features.clone()).collect();
+    let feats: Vec<Vec<f32>> = trace.samples[r.clone()]
+        .iter()
+        .map(|s| s.features.clone())
+        .collect();
     let pred = m.predict(&feats, &scaler);
-    let t: String = trace.samples[r.clone()].iter().map(|s| s.class.letter()).collect();
-    let q: String = pred.iter().map(|p| match p { LongClass::Conv=>'C', LongClass::MatMul=>'M', LongClass::Other=>'o', LongClass::Nop=>'N'}).collect();
+    let t: String = trace.samples[r.clone()]
+        .iter()
+        .map(|s| s.class.letter())
+        .collect();
+    let q: String = pred
+        .iter()
+        .map(|p| match p {
+            LongClass::Conv => 'C',
+            LongClass::MatMul => 'M',
+            LongClass::Other => 'o',
+            LongClass::Nop => 'N',
+        })
+        .collect();
     println!("truth: {}", t);
     println!("pred : {}", q);
     // class distribution of full-class ground truth
     let mut counts = std::collections::BTreeMap::new();
-    for s in &trace.samples { *counts.entry(format!("{:?}", s.class)).or_insert(0usize) += 1; }
+    for s in &trace.samples {
+        *counts.entry(format!("{:?}", s.class)).or_insert(0usize) += 1;
+    }
     println!("{:?}", counts);
     let _ = OpClass::Conv;
 }

@@ -1,33 +1,64 @@
 //! Paper-scale probe: profile the Table V zoo (+ HP sweep variants) at
 //! reduced image size, attack ZFNet and the tested MLP.
+use dnn_sim::OpClass;
 use dnn_sim::{zoo, InputSpec, Model, TrainingConfig, TrainingSession};
 use moscons::attack::{AttackConfig, Moscons};
 use moscons::report::{class_accuracy, overall_op_accuracy, score_structure};
-use dnn_sim::OpClass;
 
 fn main() {
-    let input = InputSpec::Image { height: 112, width: 112, channels: 3 };
+    let input = InputSpec::Image {
+        height: 112,
+        width: 112,
+        channels: 3,
+    };
     let iters = 8;
     // Paper-like batches, scaled down alongside the image size.
-    let batch_of = |m: &Model| if m.layers.iter().all(|l| matches!(l, dnn_sim::Layer::Dense{..})) { 128 } else { 16 };
+    let batch_of = |m: &Model| {
+        if m.layers
+            .iter()
+            .all(|l| matches!(l, dnn_sim::Layer::Dense { .. }))
+        {
+            128
+        } else {
+            16
+        }
+    };
     let mut profiled: Vec<Model> = vec![
         zoo::profiled_mlp().with_input(input),
         zoo::alexnet().with_input(input),
         zoo::profiled_vgg19().with_input(input),
     ];
-    profiled.extend(moscons::hp_sweep_variants(&zoo::alexnet().with_input(input), 4, 5));
-    profiled.extend(moscons::hp_sweep_variants(&zoo::profiled_mlp().with_input(input), 3, 9));
-    profiled.extend(moscons::hp_sweep_variants(&zoo::profiled_vgg19().with_input(input), 2, 13));
+    profiled.extend(moscons::hp_sweep_variants(
+        &zoo::alexnet().with_input(input),
+        4,
+        5,
+    ));
+    profiled.extend(moscons::hp_sweep_variants(
+        &zoo::profiled_mlp().with_input(input),
+        3,
+        9,
+    ));
+    profiled.extend(moscons::hp_sweep_variants(
+        &zoo::profiled_vgg19().with_input(input),
+        2,
+        13,
+    ));
     let sessions: Vec<TrainingSession> = profiled
         .into_iter()
-        .map(|m| { let b = batch_of(&m); TrainingSession::new(m, TrainingConfig::new(b, iters)) })
+        .map(|m| {
+            let b = batch_of(&m);
+            TrainingSession::new(m, TrainingConfig::new(b, iters))
+        })
         .collect();
 
     let t0 = std::time::Instant::now();
     let moscons = Moscons::profile(&sessions, AttackConfig::default());
     eprintln!("profiling+training took {:?}", t0.elapsed());
 
-    for victim_model in [zoo::tested_mlp().with_input(input), zoo::zfnet().with_input(input)] {
+    for victim_model in [
+        zoo::tested_mlp().with_input(input),
+        zoo::zfnet().with_input(input),
+    ] {
         let truth_string = victim_model.structure_string();
         let b = batch_of(&victim_model);
         let victim = TrainingSession::new(victim_model.clone(), TrainingConfig::new(b, iters));
@@ -38,20 +69,39 @@ fn main() {
         println!("truth    : {}", truth_string);
         println!("recovered: {}", ex.structure);
         let score = score_structure(&victim_model, &ex.layers, ex.optimizer);
-        println!("AccuracyL = {:.1}%  AccuracyHP = {:.1}% ({}/{})",
-            100.0 * score.layers, 100.0 * score.hyper_params, score.hp_correct, score.hp_total);
+        println!(
+            "AccuracyL = {:.1}%  AccuracyHP = {:.1}% ({}/{})",
+            100.0 * score.layers,
+            100.0 * score.hyper_params,
+            score.hp_correct,
+            score.hp_total
+        );
         let labeled = moscons::LabeledTrace::from_raw(&raw, "victim");
         let gt_iters = labeled.split_iterations_ground_truth(6);
         if let Some(base) = ex.iterations.first() {
             if let Some(gt) = gt_iters.iter().find(|g| g.start.abs_diff(base.start) < 10) {
-                let truth: Vec<OpClass> = labeled.samples[gt.clone()].iter().map(|s| s.class).collect();
+                let truth: Vec<OpClass> = labeled.samples[gt.clone()]
+                    .iter()
+                    .map(|s| s.class)
+                    .collect();
                 let m = truth.len().min(ex.fused_classes.len());
-                println!("overall: pre {:.1}% voted {:.1}%",
-                    100.0*overall_op_accuracy(&ex.pre_voting_classes[..m], &truth[..m]),
-                    100.0*overall_op_accuracy(&ex.fused_classes[..m], &truth[..m]));
-                for c in [OpClass::Conv, OpClass::MatMul, OpClass::BiasAdd, OpClass::Relu, OpClass::Tanh, OpClass::Sigmoid, OpClass::Pool, OpClass::Optimizer] {
+                println!(
+                    "overall: pre {:.1}% voted {:.1}%",
+                    100.0 * overall_op_accuracy(&ex.pre_voting_classes[..m], &truth[..m]),
+                    100.0 * overall_op_accuracy(&ex.fused_classes[..m], &truth[..m])
+                );
+                for c in [
+                    OpClass::Conv,
+                    OpClass::MatMul,
+                    OpClass::BiasAdd,
+                    OpClass::Relu,
+                    OpClass::Tanh,
+                    OpClass::Sigmoid,
+                    OpClass::Pool,
+                    OpClass::Optimizer,
+                ] {
                     if let Some(a) = class_accuracy(&ex.fused_classes[..m], &truth[..m], c) {
-                        print!(" {}={:.0}%", c.letter(), 100.0*a);
+                        print!(" {}={:.0}%", c.letter(), 100.0 * a);
                     }
                 }
                 println!();

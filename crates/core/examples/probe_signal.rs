@@ -11,9 +11,18 @@ fn main() {
     tc.intra_stall_prob = 0.01;
     let session = TrainingSession::new(model, tc);
     let t0 = std::time::Instant::now();
-    let trace = collect_trace(&session, &CollectionConfig::paper(), &GpuConfig::gtx_1080_ti());
-    eprintln!("collected {} samples in {:?}; iter = {:.1} ms; ops/iter = {}",
-        trace.samples.len(), t0.elapsed(), trace.mean_iteration_us / 1000.0, session.ops().len());
+    let trace = collect_trace(
+        &session,
+        &CollectionConfig::paper(),
+        &GpuConfig::gtx_1080_ti(),
+    );
+    eprintln!(
+        "collected {} samples in {:?}; iter = {:.1} ms; ops/iter = {}",
+        trace.samples.len(),
+        t0.elapsed(),
+        trace.mean_iteration_us / 1000.0,
+        session.ops().len()
+    );
 
     let mut by_class: BTreeMap<String, Vec<[f64; 10]>> = BTreeMap::new();
     for s in &trace.samples {
@@ -23,19 +32,37 @@ fn main() {
                 format!("{:?}", dnn_sim::OpKind::from_op_name(name).unwrap().class())
             })
             .unwrap_or_else(|| "NOP".into());
-        by_class.entry(label).or_default().push(s.counters.as_array());
+        by_class
+            .entry(label)
+            .or_default()
+            .push(s.counters.as_array());
     }
-    println!("{:<10} {:>6} | {:>9} {:>9} {:>9} {:>9} {:>9}", "class", "n", "tex", "rd", "wr", "l2rd", "l2wr");
+    println!(
+        "{:<10} {:>6} | {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "class", "n", "tex", "rd", "wr", "l2rd", "l2wr"
+    );
     for (class, rows) in &by_class {
         let n = rows.len() as f64;
-        let mean = |f: &dyn Fn(&[f64; 10]) -> f64| rows.iter().map(|r| f(r)).sum::<f64>() / n;
-        let std = |f: &dyn Fn(&[f64; 10]) -> f64, m: f64| (rows.iter().map(|r| (f(r)-m).powi(2)).sum::<f64>() / n).sqrt();
+        let mean = |f: &dyn Fn(&[f64; 10]) -> f64| rows.iter().map(f).sum::<f64>() / n;
+        let std = |f: &dyn Fn(&[f64; 10]) -> f64, m: f64| {
+            (rows.iter().map(|r| (f(r) - m).powi(2)).sum::<f64>() / n).sqrt()
+        };
         let tex = mean(&|r| r[0] + r[1]);
         let rd = mean(&|r| r[2] + r[3]);
         let wr = mean(&|r| r[4] + r[5]);
         let l2r = mean(&|r| r[6] + r[7]);
         let l2w = mean(&|r| r[8] + r[9]);
         let rds = std(&|r| r[2] + r[3], rd);
-        println!("{:<10} {:>6} | {:>9.0} {:>9.0}({:>6.0}) {:>9.0} {:>9.0} {:>9.0}", class, rows.len(), tex, rd, rds, wr, l2r, l2w);
+        println!(
+            "{:<10} {:>6} | {:>9.0} {:>9.0}({:>6.0}) {:>9.0} {:>9.0} {:>9.0}",
+            class,
+            rows.len(),
+            tex,
+            rd,
+            rds,
+            wr,
+            l2r,
+            l2w
+        );
     }
 }

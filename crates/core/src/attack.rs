@@ -21,8 +21,8 @@ use crate::gap::{GapConfig, GapModel};
 use crate::hyperparams::{HpKind, HpModel};
 use crate::long_ops::{LongClass, LongOpModel, LstmTrainConfig};
 use crate::opseq::{
-    collapse, forward_boundary, merge_predictions, parse_forward_layers_lenient,
-    structure_string, RecoveredKind, RecoveredLayer,
+    collapse, forward_boundary, merge_predictions, parse_forward_layers_lenient, structure_string,
+    RecoveredKind, RecoveredLayer,
 };
 use crate::other_ops::{OtherClass, OtherOpModel};
 use crate::syntax::{correct, SyntaxConfig};
@@ -108,6 +108,14 @@ pub struct Extraction {
     pub syntax_edits: usize,
 }
 
+impl Extraction {
+    /// Flattens this extraction into a comparable, serializable
+    /// [`crate::report::AttackReport`].
+    pub fn report(&self) -> crate::report::AttackReport {
+        crate::report::AttackReport::from_extraction(self)
+    }
+}
+
 impl Moscons {
     /// Profiles the given training sessions (the adversary's own models) and
     /// trains the full inference stack.
@@ -118,16 +126,19 @@ impl Moscons {
     /// than `voting_iterations` valid iterations.
     pub fn profile(sessions: &[TrainingSession], config: AttackConfig) -> Self {
         assert!(!sessions.is_empty(), "profiling needs at least one model");
-        // Collect + label every profiling model.
-        let mut traces: Vec<LabeledTrace> = Vec::new();
-        for (i, session) in sessions.iter().enumerate() {
+        // Collect + label every profiling model. Each session's trace is
+        // seeded independently, so the fan-out over the worker pool returns
+        // the same traces as the serial loop.
+        let traces: Vec<LabeledTrace> = ml::par::par_map(sessions, |i, session| {
             let raw = collect_trace(
                 session,
-                &config.collection.with_seed(config.collection.seed ^ (i as u64 * 7919)),
+                &config
+                    .collection
+                    .with_seed(config.collection.seed ^ (i as u64 * 7919)),
                 &config.gpu,
             );
-            traces.push(LabeledTrace::from_raw(&raw, session.model().name.clone()));
-        }
+            LabeledTrace::from_raw(&raw, session.model().name.clone())
+        });
         let trace_refs: Vec<&LabeledTrace> = traces.iter().collect();
         let scaler = fit_scaler(&trace_refs);
         let gap = GapModel::train(&trace_refs, &scaler, config.gap);
@@ -143,38 +154,40 @@ impl Moscons {
             .zip(&ranges)
             .map(|(t, r)| (t, r.as_slice()))
             .collect();
-        let m_long = LongOpModel::train(&op_data, &scaler, &config.op_lstm);
-        let m_op = OtherOpModel::train(&op_data, &scaler, &config.op_lstm);
+        // The two op classifiers train on disjoint state, concurrently when
+        // workers are available.
+        let (m_long, m_op) = ml::par::join(
+            || LongOpModel::train(&op_data, &scaler, &config.op_lstm),
+            || OtherOpModel::train(&op_data, &scaler, &config.op_lstm),
+        );
 
         // Voting training data: per trace, sliding groups of n iterations.
         let n = config.voting_iterations;
         let mut long_examples = Vec::new();
         let mut op_examples = Vec::new();
         for (trace, trace_ranges) in traces.iter().zip(&ranges) {
-            let preds_long: Vec<Vec<usize>> = trace_ranges
-                .iter()
-                .map(|r| {
-                    let feats: Vec<Vec<f32>> =
-                        trace.samples[r.clone()].iter().map(|s| s.features.clone()).collect();
-                    m_long
+            // One feature materialization per range feeds both op models,
+            // and the per-iteration predictions fan out over the pool.
+            let per_range: Vec<(Vec<usize>, Vec<usize>)> =
+                ml::par::par_map(trace_ranges, |_, r| {
+                    let feats: Vec<Vec<f32>> = trace.samples[r.clone()]
+                        .iter()
+                        .map(|s| s.features.clone())
+                        .collect();
+                    let long = m_long
                         .predict(&feats, &scaler)
                         .into_iter()
                         .map(LongClass::index)
-                        .collect()
-                })
-                .collect();
-            let preds_op: Vec<Vec<usize>> = trace_ranges
-                .iter()
-                .map(|r| {
-                    let feats: Vec<Vec<f32>> =
-                        trace.samples[r.clone()].iter().map(|s| s.features.clone()).collect();
-                    m_op
+                        .collect();
+                    let op = m_op
                         .predict(&feats, &scaler)
                         .into_iter()
                         .map(OtherClass::index)
-                        .collect()
-                })
-                .collect();
+                        .collect();
+                    (long, op)
+                });
+            let (preds_long, preds_op): (Vec<Vec<usize>>, Vec<Vec<usize>>) =
+                per_range.into_iter().unzip();
             for g in 0..trace_ranges.len().saturating_sub(n - 1) {
                 let base = &trace_ranges[g];
                 let truth_long: Vec<usize> = trace.samples[base.clone()]
@@ -211,8 +224,10 @@ impl Moscons {
             "profiling runs must contain at least {} iterations each",
             n
         );
-        let v_long = VotingModel::train(&long_examples, 4, n, &config.voting_lstm);
-        let v_op = VotingModel::train(&op_examples, 6, n, &config.voting_lstm);
+        let (v_long, v_op) = ml::par::join(
+            || VotingModel::train(&long_examples, 4, n, &config.voting_lstm),
+            || VotingModel::train(&op_examples, 6, n, &config.voting_lstm),
+        );
 
         // Hyper-parameter heads.
         let hp_data: Vec<(&LabeledTrace, &dnn_sim::Model, &[std::ops::Range<usize>])> = traces
@@ -221,10 +236,10 @@ impl Moscons {
             .zip(&ranges)
             .map(|((t, s), r)| (t, s.model(), r.as_slice()))
             .collect();
-        let hp = HpKind::ALL
-            .iter()
-            .map(|&kind| HpModel::train(kind, &hp_data, &scaler, &config.hp_lstm))
-            .collect();
+        // The five hyper-parameter heads are independent models.
+        let hp = ml::par::par_map(&HpKind::ALL, |_, &kind| {
+            HpModel::train(kind, &hp_data, &scaler, &config.hp_lstm)
+        });
 
         Moscons {
             config,
@@ -303,26 +318,26 @@ impl Moscons {
         let n = self.config.voting_iterations.min(iterations.len());
         let group = &iterations[..n];
 
-        // Per-iteration predictions.
-        let mut preds_long: Vec<Vec<usize>> = Vec::with_capacity(n);
-        let mut preds_op: Vec<Vec<usize>> = Vec::with_capacity(n);
-        for r in group {
+        // Per-iteration predictions, fanned out over the worker pool (each
+        // iteration is classified against frozen models).
+        let per_iter: Vec<(Vec<usize>, Vec<usize>)> = ml::par::par_map(group, |_, r| {
             let feats = &features[r.clone()];
-            preds_long.push(
-                self.m_long
-                    .predict(feats, &self.scaler)
-                    .into_iter()
-                    .map(LongClass::index)
-                    .collect(),
-            );
-            preds_op.push(
-                self.m_op
-                    .predict(feats, &self.scaler)
-                    .into_iter()
-                    .map(OtherClass::index)
-                    .collect(),
-            );
-        }
+            let long = self
+                .m_long
+                .predict(feats, &self.scaler)
+                .into_iter()
+                .map(LongClass::index)
+                .collect();
+            let op = self
+                .m_op
+                .predict(feats, &self.scaler)
+                .into_iter()
+                .map(OtherClass::index)
+                .collect();
+            (long, op)
+        });
+        let (preds_long, preds_op): (Vec<Vec<usize>>, Vec<Vec<usize>>) =
+            per_iter.into_iter().unzip();
 
         // Voting on the base timeline.
         let fused_long: Vec<LongClass> = self
@@ -351,8 +366,14 @@ impl Moscons {
         );
 
         let pre_voting = merge_predictions(
-            &preds_long[0].iter().map(|&i| LongClass::from_index(i)).collect::<Vec<_>>(),
-            &preds_op[0].iter().map(|&i| OtherClass::from_index(i)).collect::<Vec<_>>(),
+            &preds_long[0]
+                .iter()
+                .map(|&i| LongClass::from_index(i))
+                .collect::<Vec<_>>(),
+            &preds_op[0]
+                .iter()
+                .map(|&i| OtherClass::from_index(i))
+                .collect::<Vec<_>>(),
         );
 
         // Collapse + parse the forward prefix (boundary-bounded, lenient).
@@ -364,11 +385,8 @@ impl Moscons {
         // iteration's feature stream.
         let base = &iterations[0];
         let base_feats = &features[base.clone()];
-        let hp_preds: Vec<Vec<usize>> = self
-            .hp
-            .iter()
-            .map(|h| h.predict(base_feats, &self.scaler))
-            .collect();
+        let hp_preds: Vec<Vec<usize>> =
+            ml::par::par_map(&self.hp, |_, h| h.predict(base_feats, &self.scaler));
         for layer in layers.iter_mut() {
             let pos = layer.last_sample.min(base_feats.len().saturating_sub(1));
             match layer.kind {

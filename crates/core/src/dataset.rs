@@ -98,7 +98,11 @@ impl LabeledTrace {
     /// least `th_gap` consecutive NOP samples.
     pub fn split_iterations_ground_truth(&self, th_gap: usize) -> Vec<std::ops::Range<usize>> {
         split_on_nop_runs(
-            &self.samples.iter().map(|s| s.class == OpClass::Nop).collect::<Vec<_>>(),
+            &self
+                .samples
+                .iter()
+                .map(|s| s.class == OpClass::Nop)
+                .collect::<Vec<_>>(),
             th_gap,
         )
     }
@@ -257,7 +261,11 @@ mod tests {
             dnn_sim::Optimizer::Gd,
         );
         let session = TrainingSession::new(model, TrainingConfig::new(4, 2));
-        let raw = collect_trace(&session, &CollectionConfig::paper(), &gpu_sim::GpuConfig::gtx_1080_ti());
+        let raw = collect_trace(
+            &session,
+            &CollectionConfig::paper(),
+            &gpu_sim::GpuConfig::gtx_1080_ti(),
+        );
         let labeled = LabeledTrace::from_raw(&raw, "t");
         assert_eq!(labeled.samples.len(), raw.samples.len());
         // Both busy and NOP samples must exist.

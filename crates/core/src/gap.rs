@@ -82,12 +82,12 @@ fn context_row(scaled: &[Vec<f32>], i: usize) -> Vec<f32> {
     let mut row = Vec::with_capacity(3 * width);
     match i.checked_sub(1).and_then(|j| scaled.get(j)) {
         Some(prev) => row.extend_from_slice(prev),
-        None => row.extend(std::iter::repeat(0.0).take(width)),
+        None => row.extend(std::iter::repeat_n(0.0, width)),
     }
     row.extend_from_slice(&scaled[i]);
     match scaled.get(i + 1) {
         Some(next) => row.extend_from_slice(next),
-        None => row.extend(std::iter::repeat(0.0).take(width)),
+        None => row.extend(std::iter::repeat_n(0.0, width)),
     }
     row
 }
@@ -102,8 +102,11 @@ impl GapModel {
         let mut rows = Vec::new();
         let mut labels = Vec::new();
         for t in traces {
-            let scaled: Vec<Vec<f32>> =
-                t.samples.iter().map(|s| scaler.transform_row(&s.features)).collect();
+            let scaled: Vec<Vec<f32>> = t
+                .samples
+                .iter()
+                .map(|s| scaler.transform_row(&s.features))
+                .collect();
             for (i, s) in t.samples.iter().enumerate() {
                 rows.push(context_row(&scaled, i));
                 labels.push(s.class == OpClass::Nop);
@@ -180,7 +183,9 @@ mod tests {
     use super::*;
     use crate::dataset::fit_scaler;
     use crate::trace::{collect_trace, CollectionConfig};
-    use dnn_sim::{Activation, InputSpec, Layer, Model, Optimizer, TrainingConfig, TrainingSession};
+    use dnn_sim::{
+        Activation, InputSpec, Layer, Model, Optimizer, TrainingConfig, TrainingSession,
+    };
     use gpu_sim::GpuConfig;
 
     fn mlp_trace(units: usize, iterations: usize, seed: u64) -> LabeledTrace {
@@ -216,8 +221,16 @@ mod tests {
         // Table VI: both NOP and BUSY recall should be high.
         let eval = model.evaluate(&test, &scaler);
         assert!(eval.nop_total > 0 && eval.busy_total > 0);
-        assert!(eval.nop_accuracy() > 0.85, "NOP recall {}", eval.nop_accuracy());
-        assert!(eval.busy_accuracy() > 0.80, "BUSY recall {}", eval.busy_accuracy());
+        assert!(
+            eval.nop_accuracy() > 0.85,
+            "NOP recall {}",
+            eval.nop_accuracy()
+        );
+        assert!(
+            eval.busy_accuracy() > 0.80,
+            "BUSY recall {}",
+            eval.busy_accuracy()
+        );
 
         // And it should find the right number of iterations.
         let features: Vec<Vec<f32>> = test.samples.iter().map(|s| s.features.clone()).collect();

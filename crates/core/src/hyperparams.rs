@@ -65,7 +65,9 @@ impl HpKind {
                 let log = value.checked_ilog2()? as usize;
                 (value.is_power_of_two() && (6..=14).contains(&log)).then(|| log - 6)
             }
-            HpKind::FilterSize => (value % 2 == 1 && (1..=13).contains(&value)).then(|| (value - 1) / 2),
+            HpKind::FilterSize => {
+                (value % 2 == 1 && (1..=13).contains(&value)).then(|| (value - 1) / 2)
+            }
             HpKind::Stride => (1..=4).contains(&value).then(|| value - 1),
             HpKind::Optimizer => (value < 3).then_some(value),
         }
@@ -77,7 +79,12 @@ impl HpKind {
     ///
     /// Panics if `class` is out of range for the kind.
     pub fn decode(self, class: usize) -> usize {
-        assert!(class < self.classes(), "class {} out of range for {:?}", class, self);
+        assert!(
+            class < self.classes(),
+            "class {} out of range for {:?}",
+            class,
+            self
+        );
         match self {
             HpKind::Filters => 1 << (class + 6),
             HpKind::Neurons => 1 << (class + 6),
@@ -178,8 +185,10 @@ impl HpModel {
         for (trace, model, ranges) in data {
             for r in ranges.iter() {
                 let samples = &trace.samples[r.clone()];
-                let scaled: Vec<Vec<f32>> =
-                    samples.iter().map(|s| scaler.transform_row(&s.features)).collect();
+                let scaled: Vec<Vec<f32>> = samples
+                    .iter()
+                    .map(|s| scaler.transform_row(&s.features))
+                    .collect();
                 let features = crate::dataset::with_lookahead(&scaled);
                 let mut labels = vec![0usize; samples.len()];
                 let mut mask = vec![false; samples.len()];
@@ -219,10 +228,15 @@ impl HpModel {
             }
         }
         assert!(labeled > 0, "no labeled samples for {:?}", kind);
-        let mut cfg = SeqClassifierConfig::new(2 * crate::dataset::FEATURE_WIDTH, config.hidden, kind.classes());
+        let mut cfg = SeqClassifierConfig::new(
+            2 * crate::dataset::FEATURE_WIDTH,
+            config.hidden,
+            kind.classes(),
+        );
         cfg.epochs = config.epochs;
         cfg.learning_rate = config.learning_rate;
         cfg.seed = config.seed ^ (kind as u64).wrapping_mul(0x9e37);
+        cfg.batch_size = config.batch_size;
         let mut clf = SequenceClassifier::new(cfg);
         clf.fit(&examples);
         HpModel { kind, clf }
@@ -239,7 +253,12 @@ impl HpModel {
     /// # Panics
     ///
     /// Panics if `position` is out of range.
-    pub fn predict_at(&self, features: &[Vec<f32>], scaler: &MinMaxScaler, position: usize) -> usize {
+    pub fn predict_at(
+        &self,
+        features: &[Vec<f32>],
+        scaler: &MinMaxScaler,
+        position: usize,
+    ) -> usize {
         assert!(position < features.len(), "position out of range");
         self.predict(features, scaler)[position]
     }

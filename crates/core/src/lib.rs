@@ -61,7 +61,7 @@ pub use long_ops::{LongClass, LongOpModel, LstmTrainConfig};
 pub use opseq::{forward_boundary, parse_forward_layers_lenient, RecoveredKind, RecoveredLayer};
 pub use other_ops::{OtherClass, OtherOpModel};
 pub use profiling::{hp_sweep_variants, random_profiling_models};
-pub use report::{score_structure, StructureAccuracy};
+pub use report::{score_structure, AttackReport, StructureAccuracy};
 pub use slowdown::SlowdownConfig;
 pub use spy::SpyKernelKind;
 pub use trace::{collect_trace, CollectionConfig, RawTrace};

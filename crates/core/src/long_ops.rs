@@ -29,7 +29,12 @@ pub enum LongClass {
 
 impl LongClass {
     /// All classes in model output order.
-    pub const ALL: [LongClass; 4] = [LongClass::Conv, LongClass::MatMul, LongClass::Other, LongClass::Nop];
+    pub const ALL: [LongClass; 4] = [
+        LongClass::Conv,
+        LongClass::MatMul,
+        LongClass::Other,
+        LongClass::Nop,
+    ];
 
     /// Maps a ground-truth op class into the `Mlong` alphabet.
     pub fn of(class: OpClass) -> LongClass {
@@ -43,7 +48,10 @@ impl LongClass {
 
     /// Model output index.
     pub fn index(self) -> usize {
-        Self::ALL.iter().position(|&c| c == self).expect("class in ALL")
+        Self::ALL
+            .iter()
+            .position(|&c| c == self)
+            .expect("class in ALL")
     }
 
     /// Class from a model output index.
@@ -70,6 +78,11 @@ pub struct LstmTrainConfig {
     pub learning_rate: f32,
     /// RNG seed.
     pub seed: u64,
+    /// Minibatch size: examples whose averaged gradient feeds one Adam step
+    /// (see [`ml::seq::SeqClassifierConfig::batch_size`]). Averaging damps
+    /// the per-example step noise that otherwise destabilizes training on
+    /// the heavily class-imbalanced iteration traces.
+    pub batch_size: usize,
 }
 
 impl Default for LstmTrainConfig {
@@ -79,6 +92,7 @@ impl Default for LstmTrainConfig {
             epochs: 30,
             learning_rate: 0.01,
             seed: 0x10_57,
+            batch_size: 4,
         }
     }
 }
@@ -94,11 +108,21 @@ impl LstmTrainConfig {
 }
 
 /// Builds one training example from an iteration's samples.
-fn iteration_example(trace: &LabeledTrace, range: &std::ops::Range<usize>, scaler: &MinMaxScaler) -> SeqExample {
+fn iteration_example(
+    trace: &LabeledTrace,
+    range: &std::ops::Range<usize>,
+    scaler: &MinMaxScaler,
+) -> SeqExample {
     let samples = &trace.samples[range.clone()];
-    let scaled: Vec<Vec<f32>> = samples.iter().map(|s| scaler.transform_row(&s.features)).collect();
+    let scaled: Vec<Vec<f32>> = samples
+        .iter()
+        .map(|s| scaler.transform_row(&s.features))
+        .collect();
     let features = crate::dataset::with_lookahead(&scaled);
-    let labels = samples.iter().map(|s| LongClass::of(s.class).index()).collect();
+    let labels = samples
+        .iter()
+        .map(|s| LongClass::of(s.class).index())
+        .collect();
     SeqExample::new(features, labels)
 }
 
@@ -132,6 +156,7 @@ impl LongOpModel {
         cfg.epochs = config.epochs;
         cfg.learning_rate = config.learning_rate;
         cfg.seed = config.seed;
+        cfg.batch_size = config.batch_size;
         cfg.class_weights = Some(weights);
         let mut clf = SequenceClassifier::new(cfg);
         clf.fit(&examples);
@@ -151,7 +176,8 @@ impl LongOpModel {
     /// Per-timestep class probabilities for one iteration.
     pub fn predict_proba(&self, features: &[Vec<f32>], scaler: &MinMaxScaler) -> Vec<Vec<f32>> {
         let scaled: Vec<Vec<f32>> = features.iter().map(|f| scaler.transform_row(f)).collect();
-        self.clf.predict_proba(&crate::dataset::with_lookahead(&scaled))
+        self.clf
+            .predict_proba(&crate::dataset::with_lookahead(&scaled))
     }
 }
 

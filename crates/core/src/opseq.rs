@@ -61,7 +61,11 @@ pub fn collapse(classes: &[OpClass]) -> Vec<OpRun> {
                 continue;
             }
         }
-        runs.push(OpRun { class: c, start: i, end: i });
+        runs.push(OpRun {
+            class: c,
+            start: i,
+            end: i,
+        });
     }
     runs
 }
@@ -293,8 +297,14 @@ pub fn parse_forward_layers_lenient(runs: &[OpRun], boundary: usize) -> Vec<Reco
 
 /// Formats a recovered structure as the paper's Table IX strings, e.g.
 /// `C3,64,1,R-P-M4096,X-OptimizerAdam`.
-pub fn structure_string(layers: &[RecoveredLayer], optimizer: Option<dnn_sim::Optimizer>) -> String {
-    let mut parts: Vec<String> = layers.iter().map(RecoveredLayer::structure_fragment).collect();
+pub fn structure_string(
+    layers: &[RecoveredLayer],
+    optimizer: Option<dnn_sim::Optimizer>,
+) -> String {
+    let mut parts: Vec<String> = layers
+        .iter()
+        .map(RecoveredLayer::structure_fragment)
+        .collect();
     parts.push(match optimizer {
         Some(o) => format!("Optimizer{}", o.name()),
         None => "OptimizerX".to_owned(),
@@ -309,14 +319,22 @@ mod tests {
 
     #[test]
     fn merge_takes_refined_other_classes() {
-        let long = vec![LongClass::Conv, LongClass::Other, LongClass::Nop, LongClass::Other];
+        let long = vec![
+            LongClass::Conv,
+            LongClass::Other,
+            LongClass::Nop,
+            LongClass::Other,
+        ];
         let other = vec![
             OtherClass::Pool, // ignored: long says Conv
             OtherClass::BiasAdd,
             OtherClass::Relu, // ignored: long says Nop
             OtherClass::Tanh,
         ];
-        assert_eq!(merge_predictions(&long, &other), vec![Conv, BiasAdd, Nop, Tanh]);
+        assert_eq!(
+            merge_predictions(&long, &other),
+            vec![Conv, BiasAdd, Nop, Tanh]
+        );
     }
 
     #[test]
@@ -328,12 +346,7 @@ mod tests {
         // The Conv run continues across the single interleaved NOP.
         assert_eq!(
             summary,
-            vec![
-                (Conv, 0, 3),
-                (BiasAdd, 4, 4),
-                (Relu, 5, 6),
-                (MatMul, 9, 9)
-            ]
+            vec![(Conv, 0, 3), (BiasAdd, 4, 4), (Relu, 5, 6), (MatMul, 9, 9)]
         );
     }
 
@@ -342,7 +355,14 @@ mod tests {
         let classes = vec![Conv, BiasAdd, Conv];
         let runs = collapse(&classes);
         assert_eq!(runs.len(), 3);
-        assert_eq!(runs[2], OpRun { class: Conv, start: 2, end: 2 });
+        assert_eq!(
+            runs[2],
+            OpRun {
+                class: Conv,
+                start: 2,
+                end: 2
+            }
+        );
     }
 
     #[test]
@@ -350,7 +370,8 @@ mod tests {
         // Forward: C B R | P | M B R — then backward begins with ReLU's
         // grad collapsed into the forward R, so the next run is B.
         let classes = vec![
-            Conv, BiasAdd, Relu, Pool, MatMul, BiasAdd, Relu, // forward (last R merges w/ grad)
+            Conv, BiasAdd, Relu, Pool, MatMul, BiasAdd,
+            Relu, // forward (last R merges w/ grad)
             BiasAdd, MatMul, MatMul, Pool, Relu, BiasAdd, Conv, // backward
         ];
         let runs = collapse(&classes);

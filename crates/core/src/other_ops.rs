@@ -71,7 +71,10 @@ impl OtherClass {
 
     /// Model output index.
     pub fn index(self) -> usize {
-        Self::ALL.iter().position(|&c| c == self).expect("class in ALL")
+        Self::ALL
+            .iter()
+            .position(|&c| c == self)
+            .expect("class in ALL")
     }
 
     /// Class from a model output index.
@@ -105,8 +108,10 @@ impl OtherOpModel {
         for (trace, ranges) in data {
             for r in ranges.iter() {
                 let samples = &trace.samples[r.clone()];
-                let scaled: Vec<Vec<f32>> =
-                    samples.iter().map(|s| scaler.transform_row(&s.features)).collect();
+                let scaled: Vec<Vec<f32>> = samples
+                    .iter()
+                    .map(|s| scaler.transform_row(&s.features))
+                    .collect();
                 let features = crate::dataset::with_lookahead(&scaled);
                 let mut labels = Vec::with_capacity(samples.len());
                 let mut mask = Vec::with_capacity(samples.len());
@@ -127,15 +132,20 @@ impl OtherOpModel {
         }
         assert!(!examples.is_empty(), "Mop needs at least one iteration");
         let weights = inverse_frequency_weights(
-            examples
-                .iter()
-                .flat_map(|e| e.labels.iter().zip(&e.mask).filter(|(_, &m)| m).map(|(&l, _)| l)),
+            examples.iter().flat_map(|e| {
+                e.labels
+                    .iter()
+                    .zip(&e.mask)
+                    .filter(|(_, &m)| m)
+                    .map(|(&l, _)| l)
+            }),
             6,
         );
         let mut cfg = SeqClassifierConfig::new(2 * crate::dataset::FEATURE_WIDTH, config.hidden, 6);
         cfg.epochs = config.epochs;
         cfg.learning_rate = config.learning_rate;
         cfg.seed = config.seed ^ 0x0707;
+        cfg.batch_size = config.batch_size;
         cfg.class_weights = Some(weights);
         let mut clf = SequenceClassifier::new(cfg);
         clf.fit(&examples);

@@ -42,7 +42,7 @@ pub fn random_profiling_models(count: usize, input: InputSpec, seed: u64) -> Vec
                 for c in 0..conv_layers {
                     layers.push(Layer::Conv2D {
                         filter_size: *filter_sizes.choose(&mut rng).expect("nonempty"),
-                        filters: 1 << filters_log,
+                        filters: 1usize << filters_log,
                         stride: *strides.choose(&mut rng).expect("nonempty"),
                         activation: *acts.choose(&mut rng).expect("nonempty"),
                     });
@@ -56,14 +56,14 @@ pub fn random_profiling_models(count: usize, input: InputSpec, seed: u64) -> Vec
                 layers.push(Layer::MaxPool);
                 for _ in 0..rng.gen_range(1..=3) {
                     layers.push(Layer::Dense {
-                        units: 1 << rng.gen_range(7..=12),
+                        units: 1usize << rng.gen_range(7..=12),
                         activation: *acts.choose(&mut rng).expect("nonempty"),
                     });
                 }
             } else {
                 for _ in 0..rng.gen_range(2..=6) {
                     layers.push(Layer::Dense {
-                        units: 1 << rng.gen_range(6..=14),
+                        units: 1usize << rng.gen_range(6..=14),
                         activation: *acts.choose(&mut rng).expect("nonempty"),
                     });
                 }
@@ -100,12 +100,12 @@ pub fn hp_sweep_variants(base: &Model, count: usize, seed: u64) -> Vec<Model> {
                     stride,
                     ..
                 } => match rng.gen_range(0..3) {
-                    0 => *filter_size = 2 * rng.gen_range(0..7) + 1,
-                    1 => *filters = 1 << rng.gen_range(6..=12),
+                    0 => *filter_size = 2 * rng.gen_range(0usize..7) + 1,
+                    1 => *filters = 1usize << rng.gen_range(6..=12),
                     _ => *stride = rng.gen_range(1..=4),
                 },
                 Layer::Dense { units, .. } => {
-                    *units = 1 << rng.gen_range(6..=14);
+                    *units = 1usize << rng.gen_range(6..=14);
                 }
                 Layer::MaxPool => {}
             }
@@ -142,7 +142,9 @@ mod tests {
         let models = random_profiling_models(10, input(), 7);
         assert_eq!(models.len(), 10);
         // Both CNNs and MLPs occur.
-        assert!(models.iter().any(|m| m.layers.iter().any(|l| matches!(l, Layer::Conv2D { .. }))));
+        assert!(models
+            .iter()
+            .any(|m| m.layers.iter().any(|l| matches!(l, Layer::Conv2D { .. }))));
         assert!(models
             .iter()
             .any(|m| m.layers.iter().all(|l| matches!(l, Layer::Dense { .. }))));

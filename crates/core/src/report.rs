@@ -139,6 +139,48 @@ pub fn score_structure(
     }
 }
 
+/// A comparable, serializable record of one end-to-end extraction.
+///
+/// [`crate::attack::Extraction`] carries borrowing-heavy intermediates; this
+/// flattens the externally meaningful outcome so two runs can be compared
+/// with `==` (the determinism tests diff reports produced under different
+/// worker-pool sizes) or archived as JSON next to benchmark output.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttackReport {
+    /// Structure string in Table IX format.
+    pub structure: String,
+    /// Recovered layers after syntax correction.
+    pub layers: Vec<RecoveredLayer>,
+    /// Recovered optimizer.
+    pub optimizer: Option<dnn_sim::Optimizer>,
+    /// Valid iteration ranges found by `Mgap`.
+    pub iterations: Vec<std::ops::Range<usize>>,
+    /// Fused per-sample classes on the base iteration's timeline.
+    pub fused_classes: Vec<OpClass>,
+    /// Pre-voting per-sample classes of the base iteration.
+    pub pre_voting_classes: Vec<OpClass>,
+    /// Plain per-position majority vote across the group.
+    pub majority_classes: Vec<OpClass>,
+    /// Number of syntax edits applied.
+    pub syntax_edits: usize,
+}
+
+impl AttackReport {
+    /// Snapshots an extraction.
+    pub fn from_extraction(e: &crate::attack::Extraction) -> Self {
+        AttackReport {
+            structure: e.structure.clone(),
+            layers: e.layers.clone(),
+            optimizer: e.optimizer,
+            iterations: e.iterations.clone(),
+            fused_classes: e.fused_classes.clone(),
+            pre_voting_classes: e.pre_voting_classes.clone(),
+            majority_classes: e.majority_classes.clone(),
+            syntax_edits: e.syntax_edits,
+        }
+    }
+}
+
 /// Per-class op-inference accuracy (one Table VII cell): fraction of samples
 /// with ground truth `class` that were predicted as `class`.
 pub fn class_accuracy(pred: &[OpClass], truth: &[OpClass], class: OpClass) -> Option<f64> {
@@ -158,7 +200,9 @@ pub fn class_accuracy(pred: &[OpClass], truth: &[OpClass], class: OpClass) -> Op
 /// Overall accuracy over non-NOP samples (Table VII "Overall" column).
 pub fn overall_op_accuracy(pred: &[OpClass], truth: &[OpClass]) -> f64 {
     assert_eq!(pred.len(), truth.len(), "sequence length mismatch");
-    let busy: Vec<usize> = (0..truth.len()).filter(|&i| truth[i] != OpClass::Nop).collect();
+    let busy: Vec<usize> = (0..truth.len())
+        .filter(|&i| truth[i] != OpClass::Nop)
+        .collect();
     if busy.is_empty() {
         return 0.0;
     }

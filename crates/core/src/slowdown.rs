@@ -44,7 +44,9 @@ impl SlowdownConfig {
     /// the cache the sampler probes).
     pub fn hog_kernel(index: usize, config: &gpu_sim::GpuConfig) -> KernelDesc {
         let (blocks, tpb) = Self::hog_geometry(index);
-        let occ = gpu_sim::Occupancy::of_launch(blocks, tpb, config).fraction().max(1e-3);
+        let occ = gpu_sim::Occupancy::of_launch(blocks, tpb, config)
+            .fraction()
+            .max(1e-3);
         // ~3 slices of work per launch so a hog never yields early.
         let dur = 3.0 * config.time_slice_us;
         let fp = KernelFootprint {
@@ -156,7 +158,9 @@ mod tests {
             };
             gpu.enqueue(victim, KernelDesc::new("victim", 56, 1024, vfp));
             let hog_ctx = gpu.add_context("hog");
-            let occ = gpu_sim::Occupancy::of_launch(blocks, tpb, &cfg).fraction().max(1e-3);
+            let occ = gpu_sim::Occupancy::of_launch(blocks, tpb, &cfg)
+                .fraction()
+                .max(1e-3);
             let hfp = KernelFootprint {
                 flops: cfg.compute_throughput * occ * 3.0 * cfg.time_slice_us,
                 read_bytes: 8.0 * 1024.0,

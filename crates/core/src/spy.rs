@@ -69,12 +69,22 @@ impl SpyKernelKind {
             SpyKernelKind::VectorAdd => (80.0, 24.0 * kib, 8.0 * kib, 0.0, 16.0 * kib, 0.0),
             SpyKernelKind::VectorMul => (100.0, 32.0 * kib, 8.0 * kib, 0.0, 24.0 * kib, 0.0),
             SpyKernelKind::MatMul => (400.0, 96.0 * kib, 32.0 * kib, 0.0, 256.0 * kib, 0.0),
-            SpyKernelKind::Conv100 => {
-                (250.0, 96.0 * kib, 64.0 * kib, 48.0 * kib, 160.0 * kib, 96.0 * kib)
-            }
-            SpyKernelKind::Conv200 => {
-                (500.0, 160.0 * kib, 256.0 * kib, 96.0 * kib, 512.0 * kib, 256.0 * kib)
-            }
+            SpyKernelKind::Conv100 => (
+                250.0,
+                96.0 * kib,
+                64.0 * kib,
+                48.0 * kib,
+                160.0 * kib,
+                96.0 * kib,
+            ),
+            SpyKernelKind::Conv200 => (
+                500.0,
+                160.0 * kib,
+                256.0 * kib,
+                96.0 * kib,
+                512.0 * kib,
+                256.0 * kib,
+            ),
         };
         // The spy's 4 blocks occupy 4 SMs; duration is compute-driven at that
         // occupancy, stretched by the profiling replay factor.
@@ -90,7 +100,12 @@ impl SpyKernelKind {
             working_set: ws,
             tex_working_set: tex_ws,
         };
-        KernelDesc::new(format!("spy_{}", self.name()), SPY_BLOCKS, SPY_THREADS_PER_BLOCK, fp)
+        KernelDesc::new(
+            format!("spy_{}", self.name()),
+            SPY_BLOCKS,
+            SPY_THREADS_PER_BLOCK,
+            fp,
+        )
     }
 }
 
@@ -119,7 +134,11 @@ mod tests {
     fn conv200_has_largest_probe_footprint() {
         let cfg = GpuConfig::gtx_1080_ti();
         let conv200 = SpyKernelKind::Conv200.kernel(1.0, &cfg);
-        for kind in [SpyKernelKind::VectorAdd, SpyKernelKind::VectorMul, SpyKernelKind::MatMul] {
+        for kind in [
+            SpyKernelKind::VectorAdd,
+            SpyKernelKind::VectorMul,
+            SpyKernelKind::MatMul,
+        ] {
             let other = kind.kernel(1.0, &cfg);
             assert!(
                 conv200.footprint.total_working_set() > other.footprint.total_working_set(),
@@ -133,16 +152,24 @@ mod tests {
     #[test]
     fn replay_factor_stretches_duration() {
         let cfg = GpuConfig::gtx_1080_ti();
-        let base = SpyKernelKind::Conv200.kernel(1.0, &cfg).nominal_duration_us(&cfg);
-        let replay = SpyKernelKind::Conv200.kernel(1.24, &cfg).nominal_duration_us(&cfg);
+        let base = SpyKernelKind::Conv200
+            .kernel(1.0, &cfg)
+            .nominal_duration_us(&cfg);
+        let replay = SpyKernelKind::Conv200
+            .kernel(1.24, &cfg)
+            .nominal_duration_us(&cfg);
         assert!(replay > base * 1.2, "{} vs {}", base, replay);
     }
 
     #[test]
     fn vector_kernels_are_short() {
         let cfg = GpuConfig::gtx_1080_ti();
-        let va = SpyKernelKind::VectorAdd.kernel(1.0, &cfg).nominal_duration_us(&cfg);
-        let c200 = SpyKernelKind::Conv200.kernel(1.0, &cfg).nominal_duration_us(&cfg);
+        let va = SpyKernelKind::VectorAdd
+            .kernel(1.0, &cfg)
+            .nominal_duration_us(&cfg);
+        let c200 = SpyKernelKind::Conv200
+            .kernel(1.0, &cfg)
+            .nominal_duration_us(&cfg);
         assert!(va < c200 / 3.0);
     }
 }

@@ -77,7 +77,10 @@ pub fn correct(layers: &mut Vec<RecoveredLayer>, config: &SyntaxConfig) -> usize
         // dense predictions ahead of the first conv are artifacts (a CNN) or
         // the conv predictions are (an MLP). Decide by majority: whichever
         // side is smaller is the misclassification.
-        let conv_total = layers.iter().filter(|l| l.kind == RecoveredKind::Conv).count();
+        let conv_total = layers
+            .iter()
+            .filter(|l| l.kind == RecoveredKind::Conv)
+            .count();
         if let Some(first_conv) = layers.iter().position(|l| l.kind == RecoveredKind::Conv) {
             let dense_before = layers[..first_conv]
                 .iter()
@@ -105,9 +108,18 @@ pub fn correct(layers: &mut Vec<RecoveredLayer>, config: &SyntaxConfig) -> usize
         });
         // A lone leading conv in an otherwise all-dense model (no pooling)
         // is an artifact: MLPs flatten immediately.
-        let conv_count = layers.iter().filter(|l| l.kind == RecoveredKind::Conv).count();
-        let pool_count = layers.iter().filter(|l| l.kind == RecoveredKind::Pool).count();
-        let dense_count = layers.iter().filter(|l| l.kind == RecoveredKind::Dense).count();
+        let conv_count = layers
+            .iter()
+            .filter(|l| l.kind == RecoveredKind::Conv)
+            .count();
+        let pool_count = layers
+            .iter()
+            .filter(|l| l.kind == RecoveredKind::Pool)
+            .count();
+        let dense_count = layers
+            .iter()
+            .filter(|l| l.kind == RecoveredKind::Dense)
+            .count();
         if conv_count == 1 && pool_count == 0 && dense_count >= 2 {
             layers.retain(|l| l.kind != RecoveredKind::Conv);
         }
@@ -133,8 +145,7 @@ pub fn correct(layers: &mut Vec<RecoveredLayer>, config: &SyntaxConfig) -> usize
     }
 
     for group_kind in [RecoveredKind::Conv, RecoveredKind::Dense] {
-        let group: Vec<&RecoveredLayer> =
-            layers.iter().filter(|l| l.kind == group_kind).collect();
+        let group: Vec<&RecoveredLayer> = layers.iter().filter(|l| l.kind == group_kind).collect();
         let Some((majority, votes, total)) = majority_activation(&group) else {
             continue;
         };
@@ -146,7 +157,10 @@ pub fn correct(layers: &mut Vec<RecoveredLayer>, config: &SyntaxConfig) -> usize
                     edits += 1;
                 }
                 Some(a)
-                    if config.harmonize_activations && strong_majority && total >= 3 && a != majority =>
+                    if config.harmonize_activations
+                        && strong_majority
+                        && total >= 3
+                        && a != majority =>
                 {
                     l.activation = Some(majority);
                     edits += 1;
@@ -222,7 +236,9 @@ mod tests {
             conv(Some(Activation::Tanh)),
         ];
         correct(&mut layers, &SyntaxConfig::default());
-        assert!(layers.iter().all(|l| l.activation == Some(Activation::Relu)));
+        assert!(layers
+            .iter()
+            .all(|l| l.activation == Some(Activation::Relu)));
 
         // Balanced MLP activations (no 2/3 majority) stay untouched.
         let mut layers = vec![

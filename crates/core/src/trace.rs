@@ -125,7 +125,8 @@ pub fn collect_trace(
 /// downgraded with the tenant's root privilege — the paper's §II-D bypass.
 pub fn spy_vm() -> VmInstance {
     let mut vm = VmInstance::fresh_cloud_instance("spy-vm");
-    vm.downgrade_driver().expect("tenant has root in their own VM");
+    vm.downgrade_driver()
+        .expect("tenant has root in their own VM");
     vm
 }
 
@@ -141,7 +142,10 @@ pub fn collect_microbench(
     seed: u64,
 ) -> Vec<CuptiSample> {
     let vm = spy_vm();
-    let mut gpu = Gpu::new(gpu_config.clone().with_seed(seed), SchedulerMode::TimeSliced);
+    let mut gpu = Gpu::new(
+        gpu_config.clone().with_seed(seed),
+        SchedulerMode::TimeSliced,
+    );
     let victim = gpu.add_context("victim");
     let sampler = gpu.add_context("spy_sampler");
     gpu.monitor(sampler);
@@ -200,7 +204,11 @@ mod tests {
     #[test]
     fn slowdown_stretches_iterations() {
         let session = TrainingSession::new(tiny_model(), TrainingConfig::new(4, 2));
-        let slow = collect_trace(&session, &CollectionConfig::paper(), &GpuConfig::gtx_1080_ti());
+        let slow = collect_trace(
+            &session,
+            &CollectionConfig::paper(),
+            &GpuConfig::gtx_1080_ti(),
+        );
         let fast = collect_trace(
             &session,
             &CollectionConfig {
@@ -220,7 +228,14 @@ mod tests {
     #[test]
     fn microbench_idle_vs_busy_differ() {
         let gpu_cfg = GpuConfig::gtx_1080_ti();
-        let idle = collect_microbench(None, SpyKernelKind::Conv200, 200_000.0, 4_000.0, &gpu_cfg, 1);
+        let idle = collect_microbench(
+            None,
+            SpyKernelKind::Conv200,
+            200_000.0,
+            4_000.0,
+            &gpu_cfg,
+            1,
+        );
         let ops = dnn_sim::plan_iteration(&zoo::vgg16(), 64);
         let conv = ops
             .iter()
@@ -235,8 +250,9 @@ mod tests {
             &gpu_cfg,
             1,
         );
-        let mean =
-            |s: &[cupti_sim::CuptiSample]| s.iter().map(|x| x.counters.dram_reads()).sum::<f64>() / s.len() as f64;
+        let mean = |s: &[cupti_sim::CuptiSample]| {
+            s.iter().map(|x| x.counters.dram_reads()).sum::<f64>() / s.len() as f64
+        };
         let mi = mean(&idle);
         let mb = mean(&busy);
         assert!(mi != mb, "idle and busy identical: {} vs {}", mi, mb);

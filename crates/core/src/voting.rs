@@ -43,14 +43,21 @@ impl VotingExample {
     ///
     /// Panics on shape mismatches.
     pub fn with_mask(iterations: Vec<Vec<usize>>, truth: Vec<usize>, mask: Vec<bool>) -> Self {
-        assert!(!iterations.is_empty(), "voting needs at least one iteration");
+        assert!(
+            !iterations.is_empty(),
+            "voting needs at least one iteration"
+        );
         assert_eq!(
             iterations[0].len(),
             truth.len(),
             "truth must align with the base iteration"
         );
         assert_eq!(truth.len(), mask.len(), "mask must align with the truth");
-        VotingExample { iterations, truth, mask }
+        VotingExample {
+            iterations,
+            truth,
+            mask,
+        }
     }
 }
 
@@ -65,7 +72,7 @@ fn stack_features(iterations: &[Vec<usize>], n: usize, classes: usize) -> Vec<Ve
             for i in 0..n {
                 match iterations.get(i).and_then(|seq| seq.get(t)) {
                     Some(&c) => row.extend(one_hot(c, classes)),
-                    None => row.extend(std::iter::repeat(0.0).take(classes)),
+                    None => row.extend(std::iter::repeat_n(0.0, classes)),
                 }
             }
             row
@@ -106,6 +113,7 @@ impl VotingModel {
         cfg.epochs = config.epochs;
         cfg.learning_rate = config.learning_rate;
         cfg.seed = config.seed ^ 0x0516;
+        cfg.batch_size = config.batch_size;
         let mut clf = SequenceClassifier::new(cfg);
         clf.fit(&seqs);
         VotingModel {
@@ -168,7 +176,12 @@ pub fn majority_vote(iterations: &[Vec<usize>], classes: usize) -> Vec<usize> {
 mod tests {
     use super::*;
 
-    fn noisy_copies(truth: &[usize], classes: usize, n: usize, flip_every: usize) -> Vec<Vec<usize>> {
+    fn noisy_copies(
+        truth: &[usize],
+        classes: usize,
+        n: usize,
+        flip_every: usize,
+    ) -> Vec<Vec<usize>> {
         (0..n)
             .map(|i| {
                 truth
@@ -219,7 +232,11 @@ mod tests {
         let test_iters = noisy_copies(&truth, 3, 5, 6);
         let fused = model.fuse(&test_iters);
         let fused_acc = fused.iter().zip(&truth).filter(|(a, b)| a == b).count();
-        let single_acc = test_iters[0].iter().zip(&truth).filter(|(a, b)| a == b).count();
+        let single_acc = test_iters[0]
+            .iter()
+            .zip(&truth)
+            .filter(|(a, b)| a == b)
+            .count();
         assert!(
             fused_acc >= single_acc,
             "voting made things worse: {} vs {}",

@@ -96,9 +96,7 @@ proptest! {
             // Run endpoints carry the run's class.
             prop_assert_eq!(classes[r.start], r.class);
             prop_assert_eq!(classes[r.end], r.class);
-            for i in r.start..=r.end {
-                covered[i] = true;
-            }
+            covered[r.start..=r.end].fill(true);
         }
         // Every non-NOP sample is inside some run.
         for (i, &c) in classes.iter().enumerate() {

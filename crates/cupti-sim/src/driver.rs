@@ -25,7 +25,11 @@ pub struct DriverVersion {
 impl DriverVersion {
     /// Creates a version triple.
     pub fn new(major: u32, minor: u32, patch: u32) -> Self {
-        DriverVersion { major, minor, patch }
+        DriverVersion {
+            major,
+            minor,
+            patch,
+        }
     }
 
     /// First driver that restricts CUPTI to privileged users (the patched
@@ -164,7 +168,9 @@ impl VmInstance {
     /// client, and cloud pass-through does not grant the admin capability).
     pub fn check_cupti_access(&self) -> Result<(), DriverError> {
         if self.driver.restricts_cupti() {
-            Err(DriverError::CuptiRestricted { driver: self.driver })
+            Err(DriverError::CuptiRestricted {
+                driver: self.driver,
+            })
         } else {
             Ok(())
         }

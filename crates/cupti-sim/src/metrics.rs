@@ -40,9 +40,21 @@ pub fn derive(counters: &CounterValues, window_us: f64, config: &GpuConfig) -> D
         dram_read_throughput: reads / window_us,
         dram_write_throughput: writes / window_us,
         dram_utilization: ((reads + writes) / window_us / config.mem_bandwidth).min(1.0),
-        tex_read_fraction: if reads > 0.0 { (tex / (reads + tex)).min(1.0) } else { 0.0 },
-        write_fraction: if reads + writes > 0.0 { writes / (reads + writes) } else { 0.0 },
-        subpartition_imbalance: if r0 + r1 > 0.0 { (r0 - r1).abs() / (r0 + r1) } else { 0.0 },
+        tex_read_fraction: if reads > 0.0 {
+            (tex / (reads + tex)).min(1.0)
+        } else {
+            0.0
+        },
+        write_fraction: if reads + writes > 0.0 {
+            writes / (reads + writes)
+        } else {
+            0.0
+        },
+        subpartition_imbalance: if r0 + r1 > 0.0 {
+            (r0 - r1).abs() / (r0 + r1)
+        } else {
+            0.0
+        },
     }
 }
 

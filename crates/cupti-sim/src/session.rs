@@ -190,12 +190,15 @@ mod tests {
         let locked = VmInstance::new("x", DriverVersion::CUPTI_RESTRICTED_SINCE, true);
         let err = CuptiSession::open(&locked, ContextId::test_value(0), table_iv_groups(), 100.0);
         assert!(err.is_err());
-        assert!(CuptiSession::open(&vm(), ContextId::test_value(0), table_iv_groups(), 100.0).is_ok());
+        assert!(
+            CuptiSession::open(&vm(), ContextId::test_value(0), table_iv_groups(), 100.0).is_ok()
+        );
     }
 
     #[test]
     fn collect_bins_by_poll_period() {
-        let s = CuptiSession::open(&vm(), ContextId::test_value(0), table_iv_groups(), 100.0).unwrap();
+        let s =
+            CuptiSession::open(&vm(), ContextId::test_value(0), table_iv_groups(), 100.0).unwrap();
         let trace = vec![
             slice(0, 0.0, 10.0, 5.0),
             slice(0, 50.0, 90.0, 7.0),
@@ -214,12 +217,16 @@ mod tests {
         let s = CuptiSession::open(&vm(), ContextId::test_value(0), groups, 100.0).unwrap();
         let samples = s.collect(&[slice(0, 0.0, 10.0, 8.0)], 0.0, 100.0);
         assert_eq!(samples[0].counters.get(CounterId::FbSubp0ReadSectors), 8.0);
-        assert_eq!(samples[0].counters.get(CounterId::Tex0CacheSectorQueries), 0.0);
+        assert_eq!(
+            samples[0].counters.get(CounterId::Tex0CacheSectorQueries),
+            0.0
+        );
     }
 
     #[test]
     fn empty_windows_are_emitted_as_zero_samples() {
-        let s = CuptiSession::open(&vm(), ContextId::test_value(0), table_iv_groups(), 50.0).unwrap();
+        let s =
+            CuptiSession::open(&vm(), ContextId::test_value(0), table_iv_groups(), 50.0).unwrap();
         let samples = s.collect(&[], 0.0, 200.0);
         assert_eq!(samples.len(), 4);
         assert!(samples.iter().all(|x| x.counters.total() == 0.0));
@@ -231,9 +238,15 @@ mod tests {
 
     #[test]
     fn replay_factor_reflects_group_count() {
-        let s1 = CuptiSession::open(&vm(), ContextId::test_value(0), vec![table_iv_groups()[0].clone()], 10.0)
-            .unwrap();
-        let s3 = CuptiSession::open(&vm(), ContextId::test_value(0), table_iv_groups(), 10.0).unwrap();
+        let s1 = CuptiSession::open(
+            &vm(),
+            ContextId::test_value(0),
+            vec![table_iv_groups()[0].clone()],
+            10.0,
+        )
+        .unwrap();
+        let s3 =
+            CuptiSession::open(&vm(), ContextId::test_value(0), table_iv_groups(), 10.0).unwrap();
         assert!(s3.replay_factor() > s1.replay_factor());
     }
 
@@ -244,14 +257,21 @@ mod tests {
             .with_quantization(1000.0);
         assert_eq!(s.quantization(), 1000.0);
         let samples = s.collect(&[slice(0, 0.0, 10.0, 1499.0)], 0.0, 100.0);
-        assert_eq!(samples[0].counters.get(CounterId::FbSubp0ReadSectors), 1000.0);
+        assert_eq!(
+            samples[0].counters.get(CounterId::FbSubp0ReadSectors),
+            1000.0
+        );
         let samples = s.collect(&[slice(0, 0.0, 10.0, 1501.0)], 0.0, 100.0);
-        assert_eq!(samples[0].counters.get(CounterId::FbSubp0ReadSectors), 2000.0);
+        assert_eq!(
+            samples[0].counters.get(CounterId::FbSubp0ReadSectors),
+            2000.0
+        );
     }
 
     #[test]
     fn feature_vector_has_ten_dims() {
-        let s = CuptiSession::open(&vm(), ContextId::test_value(0), table_iv_groups(), 100.0).unwrap();
+        let s =
+            CuptiSession::open(&vm(), ContextId::test_value(0), table_iv_groups(), 100.0).unwrap();
         let samples = s.collect(&[slice(0, 0.0, 10.0, 3.0)], 0.0, 100.0);
         assert_eq!(samples[0].to_features().len(), 10);
     }

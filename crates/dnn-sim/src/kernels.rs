@@ -125,7 +125,13 @@ pub fn lower_op(op: &Op, seq_index: usize, config: &GpuConfig) -> KernelDesc {
 
     // TensorFlow grabs the whole device for every kernel.
     let blocks = (config.num_sms as u32) * 2;
-    KernelDesc::new(format!("{}_{}", op.kind.op_name(), seq_index), blocks, 1024, fp).with_tag(op_tag(op))
+    KernelDesc::new(
+        format!("{}_{}", op.kind.op_name(), seq_index),
+        blocks,
+        1024,
+        fp,
+    )
+    .with_tag(op_tag(op))
 }
 
 fn elementwise(op: &Op, read_passes: f64, write_passes: f64) -> KernelFootprint {
@@ -224,7 +230,11 @@ mod tests {
     fn working_sets_are_capped_at_l2_scale() {
         let cfg = GpuConfig::gtx_1080_ti();
         // A 512 MiB weight matrix must not claim a 512 MiB working set.
-        let huge = lower_op(&op(OpKind::MatMul, 1 << 24, 1 << 24, 1 << 27, 1e12), 0, &cfg);
+        let huge = lower_op(
+            &op(OpKind::MatMul, 1 << 24, 1 << 24, 1 << 27, 1e12),
+            0,
+            &cfg,
+        );
         assert!(huge.footprint.working_set <= cfg.l2_bytes);
     }
 

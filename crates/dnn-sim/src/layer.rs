@@ -149,7 +149,13 @@ impl Layer {
                 filters,
                 stride,
                 activation,
-            } => format!("C{},{},{},{}", filter_size, filters, stride, activation.letter()),
+            } => format!(
+                "C{},{},{},{}",
+                filter_size,
+                filters,
+                stride,
+                activation.letter()
+            ),
             Layer::Dense { units, activation } => format!("M{},{}", units, activation.letter()),
             Layer::MaxPool => "P".to_owned(),
         }
@@ -169,7 +175,10 @@ impl Layer {
                 ..
             } => {
                 if filter_size == 0 || filter_size % 2 == 0 {
-                    return Err(format!("filter size must be odd and positive: {}", filter_size));
+                    return Err(format!(
+                        "filter size must be odd and positive: {}",
+                        filter_size
+                    ));
                 }
                 if filters == 0 {
                     return Err("filters must be positive".into());

@@ -152,7 +152,12 @@ impl Model {
                         ..
                     } = shape
                     {
-                        shape = TensorShape::nhwc(batch, height.div_ceil(2), width.div_ceil(2), channels);
+                        shape = TensorShape::nhwc(
+                            batch,
+                            height.div_ceil(2),
+                            width.div_ceil(2),
+                            channels,
+                        );
                     }
                 }
             }
@@ -336,8 +341,12 @@ mod tests {
             profiled_mlp().structure_string(),
             "M64,R-M128,T-M256,S-M512,R-M1024,T-M2048,S-M4096,R-M8192,R-M16384,S-OptimizerAdagrad"
         );
-        assert!(alexnet().structure_string().starts_with("C11,96,4,R-P-C5,256,1,R-P-"));
-        assert!(alexnet().structure_string().ends_with("M1000,R-OptimizerAdam"));
+        assert!(alexnet()
+            .structure_string()
+            .starts_with("C11,96,4,R-P-C5,256,1,R-P-"));
+        assert!(alexnet()
+            .structure_string()
+            .ends_with("M1000,R-OptimizerAdam"));
     }
 
     #[test]
@@ -346,7 +355,9 @@ mod tests {
             tested_mlp().structure_string(),
             "M64,R-M512,T-M1024,S-M2048,R-M8192,T-OptimizerGD"
         );
-        assert!(zfnet().structure_string().starts_with("C7,96,2,R-P-C5,256,2,R-P-C3,512,1,R-C3,1024,1,R-C3,512,1,R-P-"));
+        assert!(zfnet()
+            .structure_string()
+            .starts_with("C7,96,2,R-P-C5,256,2,R-P-C3,512,1,R-C3,1024,1,R-C3,512,1,R-P-"));
         let vgg = vgg16().structure_string();
         assert_eq!(vgg.matches("C3,").count(), 13, "VGG16 has 13 conv layers");
         assert_eq!(vgg.matches('P').count(), 5);

@@ -62,7 +62,9 @@ impl OpKind {
     /// Classification class for the attack's inference models.
     pub fn class(self) -> OpClass {
         match self {
-            OpKind::Conv2D | OpKind::Conv2DBackpropFilter | OpKind::Conv2DBackpropInput => OpClass::Conv,
+            OpKind::Conv2D | OpKind::Conv2DBackpropFilter | OpKind::Conv2DBackpropInput => {
+                OpClass::Conv
+            }
             OpKind::MatMul => OpClass::MatMul,
             OpKind::BiasAdd | OpKind::BiasAddGrad => OpClass::BiasAdd,
             OpKind::Relu | OpKind::ReluGrad => OpClass::Relu,

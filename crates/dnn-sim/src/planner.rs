@@ -65,8 +65,12 @@ pub fn plan_iteration(model: &Model, batch: usize) -> Vec<Op> {
                     } => (height, width, channels),
                     TensorShape::Flat { .. } => panic!("layer {}: conv after flatten", i),
                 };
-                let out =
-                    TensorShape::nhwc(batch, conv_out_size(h, stride), conv_out_size(w, stride), filters);
+                let out = TensorShape::nhwc(
+                    batch,
+                    conv_out_size(h, stride),
+                    conv_out_size(w, stride),
+                    filters,
+                );
                 shapes.push(LayerShapes {
                     input: shape,
                     output: out,
@@ -267,7 +271,13 @@ fn channels_of(shape: &TensorShape) -> usize {
     }
 }
 
-fn push_bias_and_act(ops: &mut Vec<Op>, layer: usize, out_e: usize, activation: Activation, grad: bool) {
+fn push_bias_and_act(
+    ops: &mut Vec<Op>,
+    layer: usize,
+    out_e: usize,
+    activation: Activation,
+    grad: bool,
+) {
     if grad {
         // Reverse order on the backward pass: activation grad, then bias grad.
         ops.push(Op {
@@ -418,7 +428,12 @@ mod tests {
         };
         let f1 = plan_iteration(&mk(1), 4)[0].flops;
         let f2 = plan_iteration(&mk(2), 4)[0].flops;
-        assert!((f1 / f2 - 4.0).abs() < 0.5, "stride-2 conv should be ~4x cheaper: {} vs {}", f1, f2);
+        assert!(
+            (f1 / f2 - 4.0).abs() < 0.5,
+            "stride-2 conv should be ~4x cheaper: {} vs {}",
+            f1,
+            f2
+        );
     }
 
     #[test]

@@ -85,7 +85,8 @@ impl TrainingSession {
         for _iter in 0..self.config.iterations {
             for (i, op) in self.ops.iter().enumerate() {
                 gpu.enqueue(ctx, lower_op(op, i, &cfg));
-                if self.config.intra_stall_prob > 0.0 && rng.gen_bool(self.config.intra_stall_prob) {
+                if self.config.intra_stall_prob > 0.0 && rng.gen_bool(self.config.intra_stall_prob)
+                {
                     gpu.enqueue_host_gap(ctx, self.config.intra_stall_us);
                 }
             }

@@ -144,7 +144,11 @@ impl OccupancyL2 {
     /// Panics if `ctx` is unknown or `bytes` is negative/non-finite.
     pub fn insert(&mut self, ctx: usize, kind: InsertKind, bytes: f64) -> EvictionReport {
         assert!(ctx < self.contexts.len(), "unknown context {}", ctx);
-        assert!(bytes.is_finite() && bytes >= 0.0, "invalid insert size {}", bytes);
+        assert!(
+            bytes.is_finite() && bytes >= 0.0,
+            "invalid insert size {}",
+            bytes
+        );
         let mut report = EvictionReport::default();
         if bytes == 0.0 {
             return report;
@@ -314,7 +318,10 @@ impl SetAssocCache {
     ///
     /// Panics if any parameter is zero.
     pub fn new(sets: usize, ways: usize, sector_bytes: u64) -> Self {
-        assert!(sets > 0 && ways > 0 && sector_bytes > 0, "cache geometry must be non-zero");
+        assert!(
+            sets > 0 && ways > 0 && sector_bytes > 0,
+            "cache geometry must be non-zero"
+        );
         SetAssocCache {
             sets,
             ways,
@@ -340,14 +347,12 @@ impl SetAssocCache {
         let tag = sector / self.sets as u64;
         let base = set * self.ways;
         // Hit?
-        for slot in self.lines[base..base + self.ways].iter_mut() {
-            if let Some(line) = slot {
-                if line.tag == tag && line.owner == owner {
-                    line.lru = self.tick;
-                    line.dirty |= write;
-                    self.hits += 1;
-                    return Access::Hit;
-                }
+        for line in self.lines[base..base + self.ways].iter_mut().flatten() {
+            if line.tag == tag && line.owner == owner {
+                line.lru = self.tick;
+                line.dirty |= write;
+                self.hits += 1;
+                return Access::Hit;
             }
         }
         // Miss: fill an empty way or evict LRU.
@@ -360,9 +365,9 @@ impl SetAssocCache {
                     break;
                 }
                 Some(line) => {
-                    if victim.map_or(true, |v| {
-                        self.lines[base + v].map_or(true, |vl| line.lru < vl.lru)
-                    }) && self.lines[base + i].is_some()
+                    if victim
+                        .is_none_or(|v| self.lines[base + v].is_none_or(|vl| line.lru < vl.lru))
+                        && self.lines[base + i].is_some()
                     {
                         // Track the least-recently-used occupied way unless an
                         // empty way is found above.
@@ -533,7 +538,12 @@ mod tests {
         let mut c = SetAssocCache::new(1, 1, 32);
         c.access(0, 0, true); // dirty fill
         let acc = c.access(0, 32, false); // evicts dirty line
-        assert_eq!(acc, Access::Miss { evicted_dirty: true });
+        assert_eq!(
+            acc,
+            Access::Miss {
+                evicted_dirty: true
+            }
+        );
         assert_eq!(c.stats().2, 1);
     }
 

@@ -68,7 +68,7 @@ impl GpuConfig {
             relaunch_latency_us: 30.0,
             counter_noise: 0.05,
             idle_drain_rate: 4_000.0,
-            seed: 0x1080_71,
+            seed: 0x0010_8071,
         }
     }
 
@@ -91,16 +91,16 @@ impl GpuConfig {
         if self.subpartitions == 0 {
             return Err("subpartitions must be positive".into());
         }
-        if !(self.l2_bytes > 0.0) {
+        if not_positive(self.l2_bytes) {
             return Err("l2_bytes must be positive".into());
         }
-        if !(self.sector_bytes > 0.0) {
+        if not_positive(self.sector_bytes) {
             return Err("sector_bytes must be positive".into());
         }
-        if !(self.mem_bandwidth > 0.0) || !(self.compute_throughput > 0.0) {
+        if not_positive(self.mem_bandwidth) || not_positive(self.compute_throughput) {
             return Err("bandwidth/throughput must be positive".into());
         }
-        if !(self.time_slice_us > 0.0) {
+        if not_positive(self.time_slice_us) {
             return Err("time_slice_us must be positive".into());
         }
         if !(0.0..1.0).contains(&self.slice_jitter) {
@@ -116,6 +116,12 @@ impl GpuConfig {
     pub fn max_resident_threads(&self) -> u32 {
         self.num_sms as u32 * self.threads_per_sm
     }
+}
+
+/// `true` unless `x` compares strictly greater than zero (NaN included —
+/// the point of spelling this with `partial_cmp` in the validators).
+fn not_positive(x: f64) -> bool {
+    x.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater)
 }
 
 impl Default for GpuConfig {

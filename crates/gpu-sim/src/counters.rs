@@ -59,7 +59,10 @@ impl CounterId {
 
     /// Position in [`CounterId::ALL`] / feature vectors.
     pub fn index(self) -> usize {
-        CounterId::ALL.iter().position(|&c| c == self).expect("counter in ALL")
+        CounterId::ALL
+            .iter()
+            .position(|&c| c == self)
+            .expect("counter in ALL")
     }
 }
 

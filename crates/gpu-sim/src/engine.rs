@@ -237,7 +237,9 @@ impl Gpu {
 
     /// Enqueues a kernel on a context's stream.
     pub fn enqueue(&mut self, ctx: ContextId, kernel: KernelDesc) {
-        self.contexts[ctx.0].queue.push_back(WorkItem::Kernel(kernel));
+        self.contexts[ctx.0]
+            .queue
+            .push_back(WorkItem::Kernel(kernel));
     }
 
     /// Enqueues a host-side stall of `us` microseconds (e.g. input-batch
@@ -373,7 +375,11 @@ impl Gpu {
             if let Some(t) = c.gap_until {
                 candidates.push(t);
             }
-            if c.auto.is_some() && c.running.is_none() && c.queue.is_empty() && c.gap_until.is_none() {
+            if c.auto.is_some()
+                && c.running.is_none()
+                && c.queue.is_empty()
+                && c.gap_until.is_none()
+            {
                 candidates.push(c.next_auto_launch_at);
             }
             for t in candidates {
@@ -391,7 +397,9 @@ impl Gpu {
         for i in 0..self.contexts.len() {
             self.poll_host_at(i, self.now_us);
         }
-        let runnable: Vec<usize> = (0..self.contexts.len()).filter(|&i| self.is_runnable(i)).collect();
+        let runnable: Vec<usize> = (0..self.contexts.len())
+            .filter(|&i| self.is_runnable(i))
+            .collect();
         if runnable.is_empty() {
             match self.next_wake() {
                 Some(t) if t < deadline_us => {
@@ -418,7 +426,10 @@ impl Gpu {
                     self.rr_next = 0;
                 }
                 let weight = self.slice_weight(idx);
-                let jitter = 1.0 + self.rng.gen_range(-self.config.slice_jitter..=self.config.slice_jitter);
+                let jitter = 1.0
+                    + self
+                        .rng
+                        .gen_range(-self.config.slice_jitter..=self.config.slice_jitter);
                 let slice = self.config.time_slice_us * weight * jitter;
                 (idx, slice.min(deadline_us - self.now_us))
             }
@@ -429,12 +440,9 @@ impl Gpu {
                 let mut budget = deadline_us - self.now_us;
                 if let Some(wake) = self.next_wake() {
                     // Only yield to higher-priority contexts.
-                    if self
-                        .contexts
-                        .iter()
-                        .take(idx)
-                        .any(|c| c.gap_until.is_some() || (c.auto.is_some() && !c.has_queued_work()))
-                    {
+                    if self.contexts.iter().take(idx).any(|c| {
+                        c.gap_until.is_some() || (c.auto.is_some() && !c.has_queued_work())
+                    }) {
                         budget = budget.min(wake - self.now_us);
                     }
                 }
@@ -598,14 +606,16 @@ impl Gpu {
 
                 // Establish / refresh occupancy.
                 let occ = self.l2.occupancy(idx);
-                let grow_global = (fp.working_set.min(self.l2.capacity() * MAX_L2_SHARE) - occ.global())
-                    .max(0.0)
-                    .min(reads);
+                let grow_global = (fp.working_set.min(self.l2.capacity() * MAX_L2_SHARE)
+                    - occ.global())
+                .max(0.0)
+                .min(reads);
                 if grow_global > 0.0 {
                     let rep = self.l2.insert(idx, InsertKind::GlobalClean, grow_global);
                     self.apply_evictions(idx, &rep.dirty_evicted, &mut delta);
                 }
-                let grow_tex = (fp.tex_working_set.min(self.l2.capacity() * MAX_L2_SHARE) - occ.tex)
+                let grow_tex = (fp.tex_working_set.min(self.l2.capacity() * MAX_L2_SHARE)
+                    - occ.tex)
                     .max(0.0)
                     .min(tex);
                 if grow_tex > 0.0 {
@@ -667,9 +677,7 @@ impl Gpu {
 
         // Idle write-drain: only when nothing else wants the memory system.
         if sole_runner && used > 0.0 {
-            let drained = self
-                .l2
-                .drain_dirty(idx, self.config.idle_drain_rate * used);
+            let drained = self.l2.drain_dirty(idx, self.config.idle_drain_rate * used);
             if drained > 0.0 {
                 self.count_writes(&mut delta, drained);
             }
@@ -689,7 +697,12 @@ impl Gpu {
         used
     }
 
-    fn apply_evictions(&mut self, actor: usize, dirty_evicted: &[(usize, f64)], delta: &mut CounterValues) {
+    fn apply_evictions(
+        &mut self,
+        actor: usize,
+        dirty_evicted: &[(usize, f64)],
+        delta: &mut CounterValues,
+    ) {
         for &(owner, bytes) in dirty_evicted {
             if owner == actor {
                 // Self-eviction writes back immediately on our own account.
@@ -806,7 +819,11 @@ mod tests {
         let log = gpu.kernel_log();
         assert_eq!(log.len(), 1);
         assert_eq!(log[0].op_tag.as_deref(), Some("MatMul"));
-        assert!((log[0].duration_us() - 2500.0).abs() < 50.0, "{}", log[0].duration_us());
+        assert!(
+            (log[0].duration_us() - 2500.0).abs() < 50.0,
+            "{}",
+            log[0].duration_us()
+        );
     }
 
     #[test]
@@ -891,14 +908,20 @@ mod tests {
         for _ in 0..40 {
             gpu.enqueue(
                 victim,
-                mixed_kernel("victim", 1000.0, 64.0 * 1024.0 * 1024.0, 0.0, 2.0 * 1024.0 * 1024.0),
+                mixed_kernel(
+                    "victim",
+                    1000.0,
+                    64.0 * 1024.0 * 1024.0,
+                    0.0,
+                    2.0 * 1024.0 * 1024.0,
+                ),
             );
         }
         let before = gpu.context_counters(spy);
         let t0 = gpu.now_us();
         gpu.run_until_queues_drain();
-        let busy_rate = (gpu.context_counters(spy).dram_reads() - before.dram_reads())
-            / (gpu.now_us() - t0);
+        let busy_rate =
+            (gpu.context_counters(spy).dram_reads() - before.dram_reads()) / (gpu.now_us() - t0);
         assert!(
             busy_rate > 2.0 * idle_rate,
             "refetch signal missing: idle {} vs busy {}",
@@ -925,7 +948,13 @@ mod tests {
         for _ in 0..20 {
             gpu.enqueue(
                 victim,
-                mixed_kernel("victim", 1000.0, 64.0 * 1024.0 * 1024.0, 0.0, 2.6 * 1024.0 * 1024.0),
+                mixed_kernel(
+                    "victim",
+                    1000.0,
+                    64.0 * 1024.0 * 1024.0,
+                    0.0,
+                    2.6 * 1024.0 * 1024.0,
+                ),
             );
         }
         gpu.run_until_queues_drain();
@@ -966,8 +995,11 @@ mod tests {
         gpu.enqueue(victim, compute_kernel("iter2", 20_000.0));
         gpu.set_auto_repeat(spy, compute_kernel("spy", 400.0));
         gpu.run_until_queues_drain();
-        let spy_launches: Vec<&KernelRecord> =
-            gpu.kernel_log().iter().filter(|r| r.name == "spy").collect();
+        let spy_launches: Vec<&KernelRecord> = gpu
+            .kernel_log()
+            .iter()
+            .filter(|r| r.name == "spy")
+            .collect();
         // Spy only completes kernels inside the single 3 ms gap (plus the
         // trailing idle period, which run_until_queues_drain cuts short).
         let victim_iter1_end = gpu
@@ -976,7 +1008,10 @@ mod tests {
             .find(|r| r.name == "iter1")
             .unwrap()
             .end_us;
-        let during_iter1 = spy_launches.iter().filter(|r| r.end_us < victim_iter1_end - 1.0).count();
+        let during_iter1 = spy_launches
+            .iter()
+            .filter(|r| r.end_us < victim_iter1_end - 1.0)
+            .count();
         assert_eq!(
             during_iter1, 0,
             "spy completed {} launches while victim iteration 1 ran",
@@ -990,7 +1025,10 @@ mod tests {
         let mut gpu = Gpu::new(cfg(), SchedulerMode::TimeSliced);
         let spy = gpu.add_context("spy");
         gpu.monitor(spy);
-        gpu.set_auto_repeat(spy, mixed_kernel("spy", 300.0, 64.0 * 1024.0, 0.0, 64.0 * 1024.0));
+        gpu.set_auto_repeat(
+            spy,
+            mixed_kernel("spy", 300.0, 64.0 * 1024.0, 0.0, 64.0 * 1024.0),
+        );
         gpu.run_for(5_000.0);
         assert!(!gpu.counter_trace().is_empty());
         for s in gpu.counter_trace() {

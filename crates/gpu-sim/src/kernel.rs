@@ -109,7 +109,10 @@ impl KernelDesc {
         footprint: KernelFootprint,
     ) -> Self {
         assert!(blocks > 0, "kernel needs at least one block");
-        assert!(threads_per_block > 0, "kernel needs at least one thread per block");
+        assert!(
+            threads_per_block > 0,
+            "kernel needs at least one thread per block"
+        );
         footprint.validate().expect("valid footprint");
         KernelDesc {
             name: name.into(),
@@ -162,7 +165,8 @@ mod tests {
         // Fully occupying launch.
         let blocks = cfg.num_sms as u32 * 2;
         let tpb = 1024;
-        let compute_bound = KernelDesc::new("c", blocks, tpb, fp(cfg.compute_throughput * 100.0, 1.0));
+        let compute_bound =
+            KernelDesc::new("c", blocks, tpb, fp(cfg.compute_throughput * 100.0, 1.0));
         let memory_bound = KernelDesc::new("m", blocks, tpb, fp(1.0, cfg.mem_bandwidth * 100.0));
         assert!((compute_bound.nominal_duration_us(&cfg) - 100.0).abs() < 5.0);
         assert!((memory_bound.nominal_duration_us(&cfg) - 100.0).abs() < 5.0);

@@ -97,7 +97,11 @@ mod tests {
 
     #[test]
     fn dominant_tag_picks_largest_overlap() {
-        let records = vec![rec("Conv2D", 0.0, 8.0), rec("BiasAdd", 8.0, 10.0), rec("ReLU", 10.0, 11.0)];
+        let records = vec![
+            rec("Conv2D", 0.0, 8.0),
+            rec("BiasAdd", 8.0, 10.0),
+            rec("ReLU", 10.0, 11.0),
+        ];
         assert_eq!(dominant_tag(&records, 0.0, 11.0), Some("Conv2D"));
         assert_eq!(dominant_tag(&records, 8.5, 10.4), Some("BiasAdd"));
         assert_eq!(dominant_tag(&records, 20.0, 30.0), None);
@@ -106,7 +110,11 @@ mod tests {
     #[test]
     fn dominant_tag_accumulates_split_ops() {
         // A preempted op appears as several records; overlaps accumulate.
-        let records = vec![rec("MatMul", 0.0, 3.0), rec("Conv2D", 3.0, 7.0), rec("MatMul", 7.0, 10.0)];
+        let records = vec![
+            rec("MatMul", 0.0, 3.0),
+            rec("Conv2D", 3.0, 7.0),
+            rec("MatMul", 7.0, 10.0),
+        ];
         assert_eq!(dominant_tag(&records, 0.0, 10.0), Some("MatMul"));
     }
 

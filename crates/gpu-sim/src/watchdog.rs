@@ -88,8 +88,8 @@ pub fn profile_contexts(
     }
     let span_s = (window_end_us - window_start_us) / 1e6;
     by_ctx
-        .into_iter()
-        .map(|(_, records)| {
+        .into_values()
+        .map(|records| {
             let launches = records.len();
             let distinct: std::collections::BTreeSet<&str> =
                 records.iter().map(|r| r.name.as_str()).collect();
@@ -117,7 +117,8 @@ pub fn inspect(
     let probe_contexts: Vec<ContextId> = profiles
         .iter()
         .filter(|p| {
-            p.distinct_kernels <= config.probe_distinct_max && p.launch_rate_hz >= config.probe_rate_hz
+            p.distinct_kernels <= config.probe_distinct_max
+                && p.launch_rate_hz >= config.probe_rate_hz
         })
         .map(|p| p.ctx)
         .collect();
@@ -183,7 +184,10 @@ mod tests {
         for job in 0..2 {
             let ctx = gpu.add_context(format!("train{}", job));
             for i in 0..40 {
-                gpu.enqueue(ctx, compute_kernel(&format!("j{}_op_{}", job, i % 15), 300.0, 56));
+                gpu.enqueue(
+                    ctx,
+                    compute_kernel(&format!("j{}_op_{}", job, i % 15), 300.0, 56),
+                );
             }
         }
         gpu.run_until_queues_drain();

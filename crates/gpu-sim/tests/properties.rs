@@ -138,7 +138,7 @@ proptest! {
             working_set: 4e5,
             tex_working_set: 1e5,
         };
-        gpu.enqueue(a, KernelDesc::new("victim", 56, 1024, fp.clone()));
+        gpu.enqueue(a, KernelDesc::new("victim", 56, 1024, fp));
         gpu.set_auto_repeat(b, KernelDesc::new("spy", 4, 32, fp));
         gpu.run_for(20_000.0);
         let mut last_end = 0.0f64;

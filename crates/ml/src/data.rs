@@ -34,11 +34,22 @@ impl SeqExample {
     /// Creates an example with an explicit loss mask.
     pub fn with_mask(features: Vec<Vec<f32>>, labels: Vec<usize>, mask: Vec<bool>) -> Self {
         assert!(!features.is_empty(), "empty sequence");
-        assert_eq!(features.len(), labels.len(), "features/labels length mismatch");
+        assert_eq!(
+            features.len(),
+            labels.len(),
+            "features/labels length mismatch"
+        );
         assert_eq!(features.len(), mask.len(), "features/mask length mismatch");
         let width = features[0].len();
-        assert!(features.iter().all(|f| f.len() == width), "ragged feature rows");
-        SeqExample { features, labels, mask }
+        assert!(
+            features.iter().all(|f| f.len() == width),
+            "ragged feature rows"
+        );
+        SeqExample {
+            features,
+            labels,
+            mask,
+        }
     }
 
     /// Sequence length in timesteps.
@@ -63,7 +74,12 @@ impl SeqExample {
 ///
 /// Panics if `label >= classes`.
 pub fn one_hot(label: usize, classes: usize) -> Vec<f32> {
-    assert!(label < classes, "one_hot label {} out of range {}", label, classes);
+    assert!(
+        label < classes,
+        "one_hot label {} out of range {}",
+        label,
+        classes
+    );
     let mut v = vec![0.0; classes];
     v[label] = 1.0;
     v
@@ -75,8 +91,15 @@ pub fn one_hot(label: usize, classes: usize) -> Vec<f32> {
 /// # Panics
 ///
 /// Panics unless `0.0 <= test_fraction < 1.0`.
-pub fn train_test_split<T>(mut items: Vec<T>, test_fraction: f64, rng: &mut StdRng) -> (Vec<T>, Vec<T>) {
-    assert!((0.0..1.0).contains(&test_fraction), "test fraction must be in [0, 1)");
+pub fn train_test_split<T>(
+    mut items: Vec<T>,
+    test_fraction: f64,
+    rng: &mut StdRng,
+) -> (Vec<T>, Vec<T>) {
+    assert!(
+        (0.0..1.0).contains(&test_fraction),
+        "test fraction must be in [0, 1)"
+    );
     items.shuffle(rng);
     let test_len = ((items.len() as f64) * test_fraction).round() as usize;
     let train_len = items.len() - test_len;

@@ -69,8 +69,16 @@ impl Dense {
     /// Backward pass: given inputs `xs` (T x I) and upstream logit gradients
     /// `dlogits` (T x O), returns parameter grads and `dxs` (T x I).
     pub fn backward(&self, xs: &Matrix, dlogits: &Matrix) -> (DenseGrads, Matrix) {
-        assert_eq!(xs.rows(), dlogits.rows(), "dense backward timestep mismatch");
-        assert_eq!(dlogits.cols(), self.w.rows(), "dense backward width mismatch");
+        assert_eq!(
+            xs.rows(),
+            dlogits.rows(),
+            "dense backward timestep mismatch"
+        );
+        assert_eq!(
+            dlogits.cols(),
+            self.w.rows(),
+            "dense backward width mismatch"
+        );
         // dW = dlogits^T * xs ; db = column sums of dlogits ; dx = dlogits * W
         let w_grad = dlogits.t_matmul(xs);
         let mut b_grad = vec![0.0f32; self.w.rows()];
@@ -80,7 +88,13 @@ impl Dense {
             }
         }
         let dxs = dlogits.matmul(&self.w);
-        (DenseGrads { w: w_grad, b: b_grad }, dxs)
+        (
+            DenseGrads {
+                w: w_grad,
+                b: b_grad,
+            },
+            dxs,
+        )
     }
 }
 

@@ -61,7 +61,7 @@ impl GbdtBinaryClassifier {
         assert!(!rows.is_empty(), "cannot fit GBDT on empty data");
         assert_eq!(rows.len(), labels.len(), "rows/labels length mismatch");
         let mapper = BinMapper::fit(rows, config.max_bins);
-        let binned: Vec<Vec<u16>> = rows.iter().map(|r| mapper.bin_row(r)).collect();
+        let binned: Vec<Vec<u16>> = crate::par::par_map(rows, |_, r| mapper.bin_row(r));
 
         let pos = labels.iter().filter(|&&l| l).count();
         let p = ((pos as f64 + 0.5) / (labels.len() as f64 + 1.0)).clamp(1e-6, 1.0 - 1e-6);
@@ -86,8 +86,11 @@ impl GbdtBinaryClassifier {
             }
             train_log_loss.push(ll / rows.len() as f64);
             let tree = RegressionTree::fit(&binned, &mapper, &grads, &hess, &indices, &config.tree);
-            for (i, row) in binned.iter().enumerate() {
-                scores[i] += config.learning_rate * tree.predict_binned(row);
+            // Per-round score refresh is embarrassingly parallel; results
+            // come back in row order, so scores are thread-count invariant.
+            let preds = crate::par::par_map(&binned, |_, row| tree.predict_binned(row));
+            for (s, p) in scores.iter_mut().zip(preds) {
+                *s += config.learning_rate * p;
             }
             trees.push(tree);
         }
@@ -169,7 +172,11 @@ mod tests {
         let (rows, labels) = noisy_threshold_data(200, 5);
         let model = GbdtBinaryClassifier::fit(&rows, &labels, &GbdtConfig::default());
         let ll = model.train_log_loss();
-        assert!(ll.last().unwrap() < &(ll[0] * 0.5), "{:?}", (ll[0], ll.last()));
+        assert!(
+            ll.last().unwrap() < &(ll[0] * 0.5),
+            "{:?}",
+            (ll[0], ll.last())
+        );
     }
 
     #[test]
@@ -200,6 +207,22 @@ mod tests {
         let model = GbdtBinaryClassifier::fit(&rows, &labels, &GbdtConfig::default());
         assert!(model.predict(&[5.0]));
         assert!(model.predict_proba(&[5.0]) > 0.9);
+    }
+
+    #[test]
+    fn training_is_thread_count_invariant() {
+        let (rows, labels) = noisy_threshold_data(300, 9);
+        let fit_with = |threads: usize| {
+            crate::par::with_threads(threads, || {
+                GbdtBinaryClassifier::fit(&rows, &labels, &GbdtConfig::default())
+            })
+        };
+        let one = fit_with(1);
+        let eight = fit_with(8);
+        assert_eq!(one.train_log_loss(), eight.train_log_loss());
+        for r in &rows {
+            assert_eq!(one.decision_function(r), eight.decision_function(r));
+        }
     }
 
     #[test]

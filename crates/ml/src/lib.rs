@@ -14,6 +14,8 @@
 //! * [`tree`] / [`gbdt`] — histogram gradient-boosted trees (the LightGBM
 //!   stand-in);
 //! * [`optim`] — SGD / Adam / Adagrad and gradient clipping;
+//! * [`par`] — deterministic scoped worker pool used by the data-parallel
+//!   training and inference paths;
 //! * [`scale`] — MinMax scaling (§IV-A pre-processing);
 //! * [`metrics`] — accuracy, confusion matrices, `mean(σ)` summaries;
 //! * [`data`] — sequence datasets, one-hot encoding, splits.
@@ -38,6 +40,7 @@ pub mod lstm;
 pub mod matrix;
 pub mod metrics;
 pub mod optim;
+pub mod par;
 pub mod scale;
 pub mod seq;
 pub mod tree;

@@ -35,8 +35,17 @@ pub fn softmax_cross_entropy(
     class_weights: &[f32],
     masked: bool,
 ) -> LossEval {
-    assert!(target < logits.len(), "target class {} out of range {}", target, logits.len());
-    assert_eq!(class_weights.len(), logits.len(), "class weight length mismatch");
+    assert!(
+        target < logits.len(),
+        "target class {} out of range {}",
+        target,
+        logits.len()
+    );
+    assert_eq!(
+        class_weights.len(),
+        logits.len(),
+        "class weight length mismatch"
+    );
     let probs = softmax(logits);
     if masked {
         return LossEval {
@@ -53,7 +62,11 @@ pub fn softmax_cross_entropy(
     for d in dlogits.iter_mut() {
         *d *= w;
     }
-    LossEval { loss, dlogits, probs }
+    LossEval {
+        loss,
+        dlogits,
+        probs,
+    }
 }
 
 /// Uniform class weights of the given arity.
@@ -66,7 +79,10 @@ pub fn uniform_weights(classes: usize) -> Vec<f32> {
 /// "loss is amplified by a constant if the sample is from the minor class".
 ///
 /// Classes that never occur get weight 1.
-pub fn inverse_frequency_weights(labels: impl IntoIterator<Item = usize>, classes: usize) -> Vec<f32> {
+pub fn inverse_frequency_weights(
+    labels: impl IntoIterator<Item = usize>,
+    classes: usize,
+) -> Vec<f32> {
     let mut counts = vec![0usize; classes];
     let mut total = 0usize;
     for l in labels {
@@ -153,7 +169,7 @@ mod tests {
     #[test]
     fn inverse_frequency_upweights_minority() {
         // 90 of class 0, 10 of class 1.
-        let labels = std::iter::repeat(0).take(90).chain(std::iter::repeat(1).take(10));
+        let labels = std::iter::repeat_n(0, 90).chain(std::iter::repeat_n(1, 10));
         let w = inverse_frequency_weights(labels, 2);
         assert!(w[1] > w[0], "minority class should be amplified: {:?}", w);
         assert!((w.iter().sum::<f32>() / 2.0 - 1.0).abs() < 1e-5);

@@ -55,7 +55,10 @@ impl LstmLayer {
     /// Creates a layer with Xavier-initialized weights and forget-gate bias 1
     /// (the standard trick to preserve long-range memory early in training).
     pub fn new(input_size: usize, hidden_size: usize, rng: &mut StdRng) -> Self {
-        assert!(input_size > 0 && hidden_size > 0, "lstm sizes must be non-zero");
+        assert!(
+            input_size > 0 && hidden_size > 0,
+            "lstm sizes must be non-zero"
+        );
         let mut b = vec![0.0; 4 * hidden_size];
         for v in b[hidden_size..2 * hidden_size].iter_mut() {
             *v = 1.0;
@@ -87,10 +90,63 @@ impl LstmLayer {
     /// Runs the layer over a sequence (`xs`: T x I), starting from zero
     /// state, returning the cache whose `h` field is the output sequence.
     ///
+    /// The input projections for all four gates and all timesteps are
+    /// computed as one fused `xs * wx^T` GEMM up front; only the recurrent
+    /// `wh * h` term stays per-timestep (it is inherently sequential). The
+    /// per-element summation order matches [`LstmLayer::forward_naive`]
+    /// exactly, so the two paths are bitwise equal.
+    ///
     /// # Panics
     ///
     /// Panics if `xs.cols() != input_size`.
     pub fn forward(&self, xs: &Matrix) -> LstmCache {
+        assert_eq!(xs.cols(), self.input_size, "lstm input width mismatch");
+        let t_len = xs.rows();
+        let h_size = self.hidden_size;
+        let mut cache = LstmCache {
+            xs: xs.clone(),
+            i: Matrix::zeros(t_len, h_size),
+            f: Matrix::zeros(t_len, h_size),
+            g: Matrix::zeros(t_len, h_size),
+            o: Matrix::zeros(t_len, h_size),
+            c: Matrix::zeros(t_len, h_size),
+            h: Matrix::zeros(t_len, h_size),
+        };
+        // T x 4H: x_proj[t][j] = dot(xs.row(t), wx.row(j)), the same
+        // ascending-index dot the naive path computes per timestep.
+        let x_proj = xs.matmul_t(&self.wx);
+        let mut h_prev = vec![0.0f32; h_size];
+        let mut c_prev = vec![0.0f32; h_size];
+        let mut pre = vec![0.0f32; 4 * h_size];
+        for t in 0..t_len {
+            let xp = x_proj.row(t);
+            for j in 0..4 * h_size {
+                pre[j] = xp[j] + dot(self.wh.row(j), &h_prev) + self.b[j];
+            }
+            for k in 0..h_size {
+                let i = sigmoid(pre[k]);
+                let f = sigmoid(pre[h_size + k]);
+                let g = pre[2 * h_size + k].tanh();
+                let o = sigmoid(pre[3 * h_size + k]);
+                let c = f * c_prev[k] + i * g;
+                let h = o * c.tanh();
+                cache.i[(t, k)] = i;
+                cache.f[(t, k)] = f;
+                cache.g[(t, k)] = g;
+                cache.o[(t, k)] = o;
+                cache.c[(t, k)] = c;
+                cache.h[(t, k)] = h;
+            }
+            h_prev.copy_from_slice(cache.h.row(t));
+            c_prev.copy_from_slice(cache.c.row(t));
+        }
+        cache
+    }
+
+    /// Reference forward pass: per-timestep, per-gate dot products. Kept as
+    /// the ground truth [`LstmLayer::forward`] must match bitwise
+    /// (property-tested).
+    pub fn forward_naive(&self, xs: &Matrix) -> LstmCache {
         assert_eq!(xs.cols(), self.input_size, "lstm input width mismatch");
         let t_len = xs.rows();
         let h_size = self.hidden_size;
@@ -108,8 +164,8 @@ impl LstmLayer {
         let mut pre = vec![0.0f32; 4 * h_size];
         for t in 0..t_len {
             let x = xs.row(t);
-            for j in 0..4 * h_size {
-                pre[j] = dot(self.wx.row(j), x) + dot(self.wh.row(j), &h_prev) + self.b[j];
+            for (j, p) in pre.iter_mut().enumerate() {
+                *p = dot(self.wx.row(j), x) + dot(self.wh.row(j), &h_prev) + self.b[j];
             }
             for k in 0..h_size {
                 let i = sigmoid(pre[k]);
@@ -136,7 +192,91 @@ impl LstmLayer {
     /// `dh_out` (T x H) is the upstream gradient on each timestep's hidden
     /// state. Returns the parameter gradients and the gradient with respect
     /// to the inputs (T x I), for stacking layers.
+    ///
+    /// The time loop only computes the gate deltas and the (sequential)
+    /// hidden-state carry; the parameter gradients and `dx` are then four
+    /// fused GEMMs over the full delta matrix. The serial loop accumulates
+    /// those gradients in *descending* `t` order, so the GEMM inputs are
+    /// row-reversed copies: `t_matmul`'s ascending row scan then reproduces
+    /// the exact same floating-point summation order, keeping this path
+    /// bitwise equal to [`LstmLayer::backward_naive`].
     pub fn backward(&self, cache: &LstmCache, dh_out: &Matrix) -> (LstmGrads, Matrix) {
+        let t_len = cache.h.rows();
+        let h_size = self.hidden_size;
+        assert_eq!(dh_out.rows(), t_len, "dh_out timestep mismatch");
+        assert_eq!(dh_out.cols(), h_size, "dh_out width mismatch");
+
+        let mut da_mat = Matrix::zeros(t_len, 4 * h_size);
+        let mut dh_next = vec![0.0f32; h_size];
+        let mut dc_next = vec![0.0f32; h_size];
+
+        for t in (0..t_len).rev() {
+            let da = da_mat.row_mut(t);
+            for k in 0..h_size {
+                let i = cache.i[(t, k)];
+                let f = cache.f[(t, k)];
+                let g = cache.g[(t, k)];
+                let o = cache.o[(t, k)];
+                let c = cache.c[(t, k)];
+                let c_prev = if t == 0 { 0.0 } else { cache.c[(t - 1, k)] };
+                let tanh_c = c.tanh();
+
+                let dh = dh_out[(t, k)] + dh_next[k];
+                let d_o = dh * tanh_c;
+                let dc = dh * o * tanh_deriv_from_output(tanh_c) + dc_next[k];
+                let d_i = dc * g;
+                let d_g = dc * i;
+                let d_f = dc * c_prev;
+                dc_next[k] = dc * f;
+
+                da[k] = d_i * sigmoid_deriv_from_output(i);
+                da[h_size + k] = d_f * sigmoid_deriv_from_output(f);
+                da[2 * h_size + k] = d_g * tanh_deriv_from_output(g);
+                da[3 * h_size + k] = d_o * sigmoid_deriv_from_output(o);
+            }
+            let da = da_mat.row(t);
+            dh_next.fill(0.0);
+            for (j, &a) in da.iter().enumerate() {
+                for (d, &w) in dh_next.iter_mut().zip(self.wh.row(j)) {
+                    *d += a * w;
+                }
+            }
+        }
+
+        // dx[t] = da[t] * wx: per element the j summation runs ascending,
+        // exactly like the serial inner loop.
+        let dx = da_mat.matmul(&self.wx);
+
+        let mut grads = LstmGrads {
+            wx: Matrix::zeros(4 * h_size, self.input_size),
+            wh: Matrix::zeros(4 * h_size, h_size),
+            b: vec![0.0; 4 * h_size],
+        };
+        for t in (0..t_len).rev() {
+            for (bj, &a) in grads.b.iter_mut().zip(da_mat.row(t)) {
+                *bj += a;
+            }
+        }
+        let da_rev = reversed_rows(&da_mat);
+        let xs_rev = reversed_rows(&cache.xs);
+        grads.wx = da_rev.t_matmul(&xs_rev);
+        if t_len > 1 {
+            // Gate deltas for t = T-1..1 (descending) against h for t-1.
+            let mut da_tail = Matrix::zeros(t_len - 1, 4 * h_size);
+            let mut h_tail = Matrix::zeros(t_len - 1, h_size);
+            for (r, t) in (1..t_len).rev().enumerate() {
+                da_tail.set_row(r, da_mat.row(t));
+                h_tail.set_row(r, cache.h.row(t - 1));
+            }
+            grads.wh = da_tail.t_matmul(&h_tail);
+        }
+        (grads, dx)
+    }
+
+    /// Reference BPTT: the straightforward per-timestep accumulation loops.
+    /// Kept as the ground truth [`LstmLayer::backward`] must match bitwise
+    /// (property-tested).
+    pub fn backward_naive(&self, cache: &LstmCache, dh_out: &Matrix) -> (LstmGrads, Matrix) {
         let t_len = cache.h.rows();
         let h_size = self.hidden_size;
         assert_eq!(dh_out.rows(), t_len, "dh_out timestep mismatch");
@@ -179,11 +319,7 @@ impl LstmLayer {
             let x = cache.xs.row(t);
             let h_prev: &[f32] = if t == 0 { &[] } else { cache.h.row(t - 1) };
             dh_next.fill(0.0);
-            for j in 0..4 * h_size {
-                let a = da[j];
-                if a == 0.0 {
-                    continue;
-                }
+            for (j, &a) in da.iter().enumerate() {
                 grads.b[j] += a;
                 let wx_row = grads.wx.row_mut(j);
                 for (w, &xv) in wx_row.iter_mut().zip(x.iter()) {
@@ -207,6 +343,16 @@ impl LstmLayer {
         }
         (grads, dx)
     }
+}
+
+/// Copy of `m` with the row order reversed (used to turn an ascending GEMM
+/// row scan into a descending-`t` accumulation).
+fn reversed_rows(m: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(m.rows(), m.cols());
+    for t in 0..m.rows() {
+        out.set_row(t, m.row(m.rows() - 1 - t));
+    }
+    out
 }
 
 #[cfg(test)]
@@ -324,6 +470,26 @@ mod tests {
     }
 
     #[test]
+    fn fused_paths_match_naive_bitwise() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let layer = LstmLayer::new(5, 7, &mut rng);
+        for t_len in [1usize, 2, 11, 40] {
+            let xs = Matrix::uniform(t_len, 5, 1.0, &mut rng);
+            let fused = layer.forward(&xs);
+            let naive = layer.forward_naive(&xs);
+            assert_eq!(fused.h, naive.h, "forward h differs at T={}", t_len);
+            assert_eq!(fused.c, naive.c, "forward c differs at T={}", t_len);
+            let dh = Matrix::uniform(t_len, 7, 1.0, &mut rng);
+            let (gf, dxf) = layer.backward(&fused, &dh);
+            let (gn, dxn) = layer.backward_naive(&naive, &dh);
+            assert_eq!(gf.wx, gn.wx, "wx grads differ at T={}", t_len);
+            assert_eq!(gf.wh, gn.wh, "wh grads differ at T={}", t_len);
+            assert_eq!(gf.b, gn.b, "b grads differ at T={}", t_len);
+            assert_eq!(dxf, dxn, "dx differs at T={}", t_len);
+        }
+    }
+
+    #[test]
     fn memory_carries_information_forward() {
         // A distinctive first input must change the last hidden state.
         let layer = tiny_layer(3);
@@ -333,14 +499,17 @@ mod tests {
         let ha = layer.forward(&a);
         let hb = layer.forward(&b);
         let last = ha.h.rows() - 1;
-        let diff: f32 = ha
-            .h
-            .row(last)
-            .iter()
-            .zip(hb.h.row(last))
-            .map(|(x, y)| (x - y).abs())
-            .sum();
-        assert!(diff > 1e-4, "first input had no effect on last state: {}", diff);
+        let diff: f32 =
+            ha.h.row(last)
+                .iter()
+                .zip(hb.h.row(last))
+                .map(|(x, y)| (x - y).abs())
+                .sum();
+        assert!(
+            diff > 1e-4,
+            "first input had no effect on last state: {}",
+            diff
+        );
     }
 
     #[test]

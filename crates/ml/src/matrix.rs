@@ -158,13 +158,23 @@ impl Matrix {
 
     /// Borrow one row.
     pub fn row(&self, r: usize) -> &[f32] {
-        assert!(r < self.rows, "row {} out of bounds ({} rows)", r, self.rows);
+        assert!(
+            r < self.rows,
+            "row {} out of bounds ({} rows)",
+            r,
+            self.rows
+        );
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
     /// Mutably borrow one row.
     pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
-        assert!(r < self.rows, "row {} out of bounds ({} rows)", r, self.rows);
+        assert!(
+            r < self.rows,
+            "row {} out of bounds ({} rows)",
+            r,
+            self.rows
+        );
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -176,6 +186,11 @@ impl Matrix {
 
     /// Matrix product `self * other`.
     ///
+    /// Uses a j-tiled kernel parallelized over output-row blocks for large
+    /// products. The `k` summation order per output element is globally
+    /// ascending — the same order as the naive triple loop — so the result
+    /// is bitwise equal to [`Matrix::matmul_naive`] at any thread count.
+    ///
     /// # Panics
     ///
     /// Panics if `self.cols() != other.rows()`.
@@ -186,14 +201,45 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Matrix::zeros(self.rows, other.cols);
-        // i-k-j loop order keeps the inner loop streaming over contiguous rows.
+        run_row_blocks(
+            &mut out.data,
+            self.rows,
+            other.cols,
+            self.cols,
+            |r0, buf| {
+                for (di, out_row) in buf.chunks_mut(other.cols).enumerate() {
+                    let i = r0 + di;
+                    let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+                    for jb in (0..other.cols).step_by(J_TILE) {
+                        let je = (jb + J_TILE).min(other.cols);
+                        let out_tile = &mut out_row[jb..je];
+                        for (k, &a) in a_row.iter().enumerate() {
+                            let b_tile = &other.data[k * other.cols + jb..k * other.cols + je];
+                            for (o, &b) in out_tile.iter_mut().zip(b_tile.iter()) {
+                                *o += a * b;
+                            }
+                        }
+                    }
+                }
+            },
+        );
+        out
+    }
+
+    /// Reference `self * other`: the plain i-k-j triple loop. Kept as the
+    /// ground truth the blocked/parallel [`Matrix::matmul`] must match
+    /// bitwise (property-tested).
+    pub fn matmul_naive(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.cols);
         for i in 0..self.rows {
             let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
             let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
             for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
                 let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
                 for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
                     *o += a * b;
@@ -203,8 +249,41 @@ impl Matrix {
         out
     }
 
-    /// Matrix product `self^T * other`.
+    /// Matrix product `self^T * other`, parallelized over output-row blocks.
+    /// Per output element the `k` order is ascending, matching
+    /// [`Matrix::t_matmul_naive`] bitwise.
     pub fn t_matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, other.rows,
+            "t_matmul shape mismatch: ({}x{})^T * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        run_row_blocks(
+            &mut out.data,
+            self.cols,
+            other.cols,
+            self.rows,
+            |i0, buf| {
+                let i1 = i0 + buf.len() / other.cols;
+                for k in 0..self.rows {
+                    let a_row = &self.data[k * self.cols..(k + 1) * self.cols];
+                    let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
+                    for i in i0..i1 {
+                        let a = a_row[i];
+                        let out_row = &mut buf[(i - i0) * other.cols..(i - i0 + 1) * other.cols];
+                        for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                            *o += a * b;
+                        }
+                    }
+                }
+            },
+        );
+        out
+    }
+
+    /// Reference `self^T * other`: the plain k-i-j triple loop.
+    pub fn t_matmul_naive(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.rows, other.rows,
             "t_matmul shape mismatch: ({}x{})^T * {}x{}",
@@ -215,9 +294,6 @@ impl Matrix {
             let a_row = &self.data[k * self.cols..(k + 1) * self.cols];
             let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
             for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
                 let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
                 for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
                     *o += a * b;
@@ -227,7 +303,9 @@ impl Matrix {
         out
     }
 
-    /// Matrix product `self * other^T`.
+    /// Matrix product `self * other^T`: independent row-pair dot products,
+    /// parallelized over output-row blocks. The accumulation order within
+    /// each dot product is unchanged from the serial version.
     pub fn matmul_t(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, other.cols,
@@ -235,17 +313,26 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Matrix::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
-            for j in 0..other.rows {
-                let b_row = &other.data[j * other.cols..(j + 1) * other.cols];
-                let mut acc = 0.0f32;
-                for (&a, &b) in a_row.iter().zip(b_row.iter()) {
-                    acc += a * b;
+        run_row_blocks(
+            &mut out.data,
+            self.rows,
+            other.rows,
+            self.cols,
+            |r0, buf| {
+                for (di, out_row) in buf.chunks_mut(other.rows).enumerate() {
+                    let i = r0 + di;
+                    let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+                    for (j, o) in out_row.iter_mut().enumerate() {
+                        let b_row = &other.data[j * other.cols..(j + 1) * other.cols];
+                        let mut acc = 0.0f32;
+                        for (&a, &b) in a_row.iter().zip(b_row.iter()) {
+                            acc += a * b;
+                        }
+                        *o = acc;
+                    }
                 }
-                out.data[i * other.rows + j] = acc;
-            }
-        }
+            },
+        );
         out
     }
 
@@ -261,7 +348,11 @@ impl Matrix {
 
     /// In-place element-wise addition.
     pub fn add_assign(&mut self, other: &Matrix) {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "add_assign shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "add_assign shape mismatch"
+        );
         for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
             *a += b;
         }
@@ -269,7 +360,11 @@ impl Matrix {
 
     /// In-place `self += scale * other` (axpy).
     pub fn add_scaled(&mut self, other: &Matrix, scale: f32) {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "add_scaled shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "add_scaled shape mismatch"
+        );
         for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
             *a += scale * b;
         }
@@ -282,7 +377,11 @@ impl Matrix {
 
     /// Element-wise combination of two equally-shaped matrices.
     pub fn zip_with(&self, other: &Matrix, mut f: impl FnMut(f32, f32) -> f32) -> Matrix {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "zip_with shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "zip_with shape mismatch"
+        );
         let mut out = self.clone();
         for (a, &b) in out.data.iter_mut().zip(other.data.iter()) {
             *a = f(*a, b);
@@ -343,14 +442,28 @@ impl Index<(usize, usize)> for Matrix {
     type Output = f32;
 
     fn index(&self, (r, c): (usize, usize)) -> &f32 {
-        assert!(r < self.rows && c < self.cols, "index ({}, {}) out of bounds for {}x{}", r, c, self.rows, self.cols);
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({}, {}) out of bounds for {}x{}",
+            r,
+            c,
+            self.rows,
+            self.cols
+        );
         &self.data[r * self.cols + c]
     }
 }
 
 impl IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
-        assert!(r < self.rows && c < self.cols, "index ({}, {}) out of bounds for {}x{}", r, c, self.rows, self.cols);
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({}, {}) out of bounds for {}x{}",
+            r,
+            c,
+            self.rows,
+            self.cols
+        );
         &mut self.data[r * self.cols + c]
     }
 }
@@ -359,6 +472,48 @@ impl IndexMut<(usize, usize)> for Matrix {
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     assert_eq!(a.len(), b.len(), "dot length mismatch");
     a.iter().zip(b.iter()).map(|(&x, &y)| x * y).sum()
+}
+
+/// Column-tile width for the blocked kernels: an output strip plus the
+/// matching strip of the right-hand matrix stays L1-resident.
+const J_TILE: usize = 256;
+
+/// Products below this many multiply-adds are not worth spawning for.
+const PAR_MIN_FLOPS: usize = 1 << 15;
+
+/// Runs `kernel` over blocks of output rows, in parallel when the product is
+/// large enough. `kernel(r0, buf)` must fill `buf` (zero-initialized,
+/// row-major, `buf.len() / out_cols` rows) with output rows starting at
+/// `r0`. Each output element is written by exactly one worker, so the result
+/// is identical for any worker count.
+fn run_row_blocks(
+    out: &mut [f32],
+    rows: usize,
+    out_cols: usize,
+    inner_dim: usize,
+    kernel: impl Fn(usize, &mut [f32]) + Sync,
+) {
+    let workers = crate::par::threads();
+    if workers <= 1 || rows < 2 || rows * out_cols * inner_dim < PAR_MIN_FLOPS {
+        kernel(0, out);
+        return;
+    }
+    // A few blocks per worker for load balancing; block boundaries do not
+    // affect the result, only the schedule.
+    let n_blocks = (workers * 4).min(rows);
+    let block = rows.div_ceil(n_blocks);
+    let ranges: Vec<(usize, usize)> = (0..rows)
+        .step_by(block)
+        .map(|r0| (r0, (r0 + block).min(rows)))
+        .collect();
+    let parts = crate::par::par_map(&ranges, |_, &(r0, r1)| {
+        let mut buf = vec![0.0f32; (r1 - r0) * out_cols];
+        kernel(r0, &mut buf);
+        buf
+    });
+    for (&(r0, _), part) in ranges.iter().zip(parts.iter()) {
+        out[r0 * out_cols..r0 * out_cols + part.len()].copy_from_slice(part);
+    }
 }
 
 #[cfg(test)]
@@ -409,6 +564,42 @@ mod tests {
         for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
             assert!((x - y).abs() < 1e-5);
         }
+    }
+
+    #[test]
+    fn blocked_products_match_naive_bitwise_across_thread_counts() {
+        let mut rng = StdRng::seed_from_u64(0xb10c);
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (3, 5, 2),
+            (17, 33, 65),
+            (70, 41, 300),
+        ] {
+            let a = Matrix::uniform(m, k, 1.0, &mut rng);
+            let b = Matrix::uniform(k, n, 1.0, &mut rng);
+            let reference = a.matmul_naive(&b);
+            let at = Matrix::uniform(k, m, 1.0, &mut rng);
+            let t_reference = at.t_matmul_naive(&b);
+            for threads in [1usize, 2, 5] {
+                let (fast, t_fast) =
+                    crate::par::with_threads(threads, || (a.matmul(&b), at.t_matmul(&b)));
+                assert_eq!(fast, reference, "matmul {m}x{k}x{n} @ {threads} threads");
+                assert_eq!(
+                    t_fast, t_reference,
+                    "t_matmul {m}x{k}x{n} @ {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_t_is_thread_count_invariant() {
+        let mut rng = StdRng::seed_from_u64(0xb10d);
+        let a = Matrix::uniform(60, 90, 1.0, &mut rng);
+        let b = Matrix::uniform(48, 90, 1.0, &mut rng);
+        let one = crate::par::with_threads(1, || a.matmul_t(&b));
+        let many = crate::par::with_threads(6, || a.matmul_t(&b));
+        assert_eq!(one, many);
     }
 
     #[test]

@@ -47,7 +47,10 @@ impl ConfusionMatrix {
     ///
     /// Panics if either index is out of range.
     pub fn record(&mut self, truth: usize, pred: usize) {
-        assert!(truth < self.classes && pred < self.classes, "class out of range");
+        assert!(
+            truth < self.classes && pred < self.classes,
+            "class out of range"
+        );
         self.counts[truth * self.classes + pred] += 1;
     }
 
@@ -99,7 +102,13 @@ impl ConfusionMatrix {
 
 impl fmt::Display for ConfusionMatrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "truth\\pred {}", (0..self.classes).map(|c| format!("{:>7}", c)).collect::<String>())?;
+        writeln!(
+            f,
+            "truth\\pred {}",
+            (0..self.classes)
+                .map(|c| format!("{:>7}", c))
+                .collect::<String>()
+        )?;
         for t in 0..self.classes {
             write!(f, "{:>10}", t)?;
             for p in 0..self.classes {
@@ -125,12 +134,18 @@ impl MeanStd {
     /// Computes mean/σ of the values; zero for an empty slice.
     pub fn of(values: &[f64]) -> Self {
         if values.is_empty() {
-            return MeanStd { mean: 0.0, std: 0.0 };
+            return MeanStd {
+                mean: 0.0,
+                std: 0.0,
+            };
         }
         let n = values.len() as f64;
         let mean = values.iter().sum::<f64>() / n;
         let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
-        MeanStd { mean, std: var.sqrt() }
+        MeanStd {
+            mean,
+            std: var.sqrt(),
+        }
     }
 }
 

@@ -117,7 +117,11 @@ impl Adagrad {
 impl Optimizer for Adagrad {
     fn step(&mut self, params: &mut [f32], grads: &[f32]) {
         assert_eq!(params.len(), grads.len(), "adagrad buffer length mismatch");
-        assert_eq!(params.len(), self.accum.len(), "adagrad state length mismatch");
+        assert_eq!(
+            params.len(),
+            self.accum.len(),
+            "adagrad state length mismatch"
+        );
         for i in 0..params.len() {
             let g = grads[i];
             self.accum[i] += g * g;

@@ -1,0 +1,251 @@
+//! Deterministic data-parallel execution primitives.
+//!
+//! Everything here is built on `std::thread::scope` — no pool threads outlive
+//! a call, no `unsafe`, no external dependencies. The core guarantee is that
+//! results are **thread-count invariant**: [`par_map`] returns results in
+//! input order regardless of how work was distributed, so any caller that
+//! combines them in that order is bitwise reproducible across `1..=N`
+//! threads. Callers that need associativity-sensitive reductions (e.g.
+//! floating-point sums) must therefore fold the returned `Vec` serially.
+//!
+//! The worker count is resolved per call by [`threads`]:
+//!
+//! 1. a process-local override installed by [`set_threads`] / [`with_threads`];
+//! 2. the `LEAKY_DNN_THREADS` environment variable;
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! # Examples
+//!
+//! ```
+//! let squares = ml::par::par_map(&[1u64, 2, 3, 4], |_, &x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Process-wide thread-count override; 0 means "not set".
+static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Per-thread scope override installed by [`with_threads`]; 0 = unset.
+    /// Thread-local (rather than process-wide) so concurrent callers — e.g.
+    /// parallel test threads — cannot observe each other's scopes, and so
+    /// nesting needs no reentrant lock.
+    static SCOPE_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+
+    /// Set on pool worker threads so nested [`par_map`] calls run serially
+    /// instead of oversubscribing the machine.
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Resolves the worker count for subsequent parallel calls on this thread:
+/// [`with_threads`] scope, then [`set_threads`], then the
+/// `LEAKY_DNN_THREADS` environment variable, then
+/// [`std::thread::available_parallelism`]. On a pool worker thread this is
+/// always 1 (nested parallelism is serialized).
+pub fn threads() -> usize {
+    if IN_POOL.with(Cell::get) {
+        return 1;
+    }
+    let scoped = SCOPE_OVERRIDE.with(Cell::get);
+    if scoped > 0 {
+        return scoped;
+    }
+    let o = OVERRIDE.load(Ordering::Relaxed);
+    if o > 0 {
+        return o;
+    }
+    if let Ok(v) = std::env::var("LEAKY_DNN_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Installs a process-wide thread-count override (0 clears it, falling back
+/// to `LEAKY_DNN_THREADS` / detected parallelism).
+pub fn set_threads(n: usize) {
+    OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// Runs `f` with this thread's worker count pinned to `n`, restoring the
+/// previous scope afterwards (also on panic). Nests freely.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            SCOPE_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(SCOPE_OVERRIDE.with(|c| c.replace(n)));
+    f()
+}
+
+/// Maps `f` over `items` on up to [`threads`] workers, returning results in
+/// input order.
+///
+/// Work is distributed by an atomic index counter (dynamic load balancing);
+/// each worker tags results with their input index and the merged output is
+/// sorted by that index, so the result is identical for any worker count.
+/// A panic inside `f` propagates to the caller once all workers have
+/// stopped picking up new work.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = threads().min(items.len());
+    if workers <= 1 || IN_POOL.with(Cell::get) {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| {
+                IN_POOL.with(|c| c.set(true));
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    if idx >= items.len() {
+                        break;
+                    }
+                    local.push((idx, f(idx, &items[idx])));
+                }
+                // Poisoning only happens if another worker panicked while
+                // extending; our results are then discarded anyway because
+                // the scope re-raises that panic.
+                collected
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .extend(local);
+            });
+        }
+    });
+    let mut merged = collected.into_inner().unwrap_or_else(|e| e.into_inner());
+    merged.sort_by_key(|&(i, _)| i);
+    merged.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Runs two closures, concurrently when more than one worker is available,
+/// and returns both results.
+pub fn join<RA, RB>(a: impl FnOnce() -> RA + Send, b: impl FnOnce() -> RB + Send) -> (RA, RB)
+where
+    RA: Send,
+    RB: Send,
+{
+    if threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = hb.join().unwrap_or_else(|p| std::panic::resume_unwind(p));
+        (ra, rb)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        let items: Vec<usize> = (0..257).collect();
+        for n in [1usize, 2, 3, 8] {
+            let out = with_threads(n, || par_map(&items, |i, &x| (i, x * 2)));
+            for (i, &(idx, doubled)) in out.iter().enumerate() {
+                assert_eq!(idx, i);
+                assert_eq!(doubled, 2 * i);
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_is_thread_count_invariant() {
+        let items: Vec<f32> = (0..100).map(|i| i as f32 * 0.37).collect();
+        let one = with_threads(1, || par_map(&items, |_, &x| x.sin() * x.cos()));
+        for n in [2usize, 4, 7, 16] {
+            let many = with_threads(n, || par_map(&items, |_, &x| x.sin() * x.cos()));
+            assert_eq!(one, many, "results differ at {} threads", n);
+        }
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_singleton() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, |_, &x| x).is_empty());
+        assert_eq!(par_map(&[41u32], |_, &x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn with_threads_restores_override_after_nesting() {
+        let before = SCOPE_OVERRIDE.with(Cell::get);
+        with_threads(3, || {
+            assert_eq!(threads(), 3);
+            with_threads(5, || assert_eq!(threads(), 5));
+            assert_eq!(threads(), 3);
+        });
+        assert_eq!(SCOPE_OVERRIDE.with(Cell::get), before);
+    }
+
+    #[test]
+    fn with_threads_restores_override_on_panic() {
+        let before = SCOPE_OVERRIDE.with(Cell::get);
+        let result = std::panic::catch_unwind(|| with_threads(9, || panic!("boom")));
+        assert!(result.is_err());
+        assert_eq!(SCOPE_OVERRIDE.with(Cell::get), before);
+    }
+
+    #[test]
+    fn pool_workers_report_single_thread() {
+        let flags = with_threads(4, || par_map(&[0u8; 8], |_, _| threads()));
+        assert!(flags.iter().all(|&n| n == 1), "workers saw {:?}", flags);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        for n in [1usize, 4] {
+            let (a, b) = with_threads(n, || join(|| 6 * 7, || "side".len()));
+            assert_eq!(a, 42);
+            assert_eq!(b, 4);
+        }
+    }
+
+    #[test]
+    fn nested_par_map_stays_correct() {
+        let outer: Vec<usize> = (0..8).collect();
+        let inner: Vec<usize> = (0..10).collect();
+        let out = with_threads(4, || {
+            par_map(&outer, |_, &i| {
+                par_map(&inner, |_, &j| i * 10 + j).iter().sum::<usize>()
+            })
+        });
+        let expect: Vec<usize> = (0..8).map(|i| (0..10).map(|j| i * 10 + j).sum()).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn par_map_propagates_worker_panics() {
+        let items: Vec<usize> = (0..32).collect();
+        let result = std::panic::catch_unwind(|| {
+            with_threads(4, || {
+                par_map(&items, |i, _| {
+                    if i == 17 {
+                        panic!("worker 17 failed");
+                    }
+                    i
+                })
+            })
+        });
+        assert!(result.is_err());
+    }
+}

@@ -34,6 +34,12 @@ pub struct SeqClassifierConfig {
     pub seed: u64,
     /// Per-class loss weights; `None` = uniform.
     pub class_weights: Option<Vec<f32>>,
+    /// Examples per Adam step. Per-example BPTT within a batch runs on the
+    /// worker pool and the batch-mean gradient takes one optimizer step.
+    /// `1` (the default) reproduces the classic per-example schedule
+    /// exactly; larger batches trade schedule for step stability and
+    /// parallel speedup. The result is identical for any thread count.
+    pub batch_size: usize,
 }
 
 impl SeqClassifierConfig {
@@ -48,6 +54,7 @@ impl SeqClassifierConfig {
             clip_norm: 5.0,
             seed: 0x5eed,
             class_weights: None,
+            batch_size: 1,
         }
     }
 }
@@ -93,6 +100,15 @@ pub struct SequenceClassifier {
     history: Vec<EpochStats>,
 }
 
+/// Gradients and loss statistics from one example's forward/backward pass.
+struct ExamplePass {
+    layer_grads: Vec<crate::lstm::LstmGrads>,
+    head_grads: crate::dense::DenseGrads,
+    /// Loss per unmasked timestep, in timestep order.
+    losses: Vec<f32>,
+    correct: usize,
+}
+
 impl SequenceClassifier {
     /// Builds an untrained classifier from a configuration.
     ///
@@ -100,7 +116,10 @@ impl SequenceClassifier {
     ///
     /// Panics if the configuration has no hidden layers or zero classes.
     pub fn new(config: SeqClassifierConfig) -> Self {
-        assert!(!config.hidden_sizes.is_empty(), "need at least one LSTM layer");
+        assert!(
+            !config.hidden_sizes.is_empty(),
+            "need at least one LSTM layer"
+        );
         assert!(config.classes >= 2, "need at least two classes");
         let mut rng = StdRng::seed_from_u64(config.seed);
         let mut layers = Vec::new();
@@ -130,7 +149,11 @@ impl SequenceClassifier {
 
     /// Total trainable parameter count.
     pub fn param_count(&self) -> usize {
-        self.layers.iter().map(LstmLayer::param_count).sum::<usize>() + self.head.param_count()
+        self.layers
+            .iter()
+            .map(LstmLayer::param_count)
+            .sum::<usize>()
+            + self.head.param_count()
     }
 
     fn features_to_matrix(features: &[Vec<f32>]) -> Matrix {
@@ -140,6 +163,60 @@ impl SequenceClassifier {
             m.set_row(t, f);
         }
         m
+    }
+
+    /// Full forward + backward pass for one example against frozen
+    /// parameters. Runs on pool workers during `fit`; it only reads the
+    /// model, so any number of examples can run concurrently.
+    fn example_pass(
+        layers: &[LstmLayer],
+        head: &Dense,
+        ex: &SeqExample,
+        weights: &[f32],
+    ) -> ExamplePass {
+        let xs = Self::features_to_matrix(&ex.features);
+
+        // Forward through the LSTM stack.
+        let mut caches = Vec::with_capacity(layers.len());
+        let mut cur = xs;
+        for layer in layers {
+            let cache = layer.forward(&cur);
+            cur = cache.h.clone();
+            caches.push(cache);
+        }
+        let logits = head.forward(&cur);
+
+        // Loss + dlogits per timestep.
+        let mut losses = Vec::new();
+        let mut correct = 0usize;
+        let mut dlogits = Matrix::zeros(logits.rows(), logits.cols());
+        for t in 0..logits.rows() {
+            let eval = softmax_cross_entropy(logits.row(t), ex.labels[t], weights, !ex.mask[t]);
+            if ex.mask[t] {
+                losses.push(eval.loss);
+                if argmax(&eval.probs) == ex.labels[t] {
+                    correct += 1;
+                }
+            }
+            dlogits.set_row(t, &eval.dlogits);
+        }
+
+        // Backward.
+        let (head_grads, mut dh) = head.backward(&cur, &dlogits);
+        let mut layer_grads = Vec::with_capacity(layers.len());
+        for (layer, cache) in layers.iter().zip(caches.iter()).rev() {
+            let (grads, dx) = layer.backward(cache, &dh);
+            dh = dx;
+            layer_grads.push(grads);
+        }
+        layer_grads.reverse();
+
+        ExamplePass {
+            layer_grads,
+            head_grads,
+            losses,
+            correct,
+        }
     }
 
     /// Trains with Adam, shuffling sequences each epoch. Returns the stats of
@@ -152,7 +229,10 @@ impl SequenceClassifier {
         assert!(!data.is_empty(), "fit called with no data");
         for ex in data {
             assert_eq!(ex.width(), self.config.input_size, "feature width mismatch");
-            assert!(ex.labels.iter().all(|&l| l < self.config.classes), "label out of range");
+            assert!(
+                ex.labels.iter().all(|&l| l < self.config.classes),
+                "label out of range"
+            );
         }
         let weights = self
             .config
@@ -181,51 +261,56 @@ impl SequenceClassifier {
         let mut opt_hb = Adam::new(self.head.b.len(), self.config.learning_rate);
 
         self.history.clear();
-        let mut last = EpochStats { mean_loss: 0.0, accuracy: 0.0 };
+        let batch_size = self.config.batch_size.max(1);
+        let mut last = EpochStats {
+            mean_loss: 0.0,
+            accuracy: 0.0,
+        };
         for _epoch in 0..self.config.epochs {
             order.shuffle(&mut rng);
             let mut loss_sum = 0.0f64;
             let mut loss_count = 0usize;
             let mut correct = 0usize;
-            for &idx in &order {
-                let ex = &data[idx];
-                let xs = Self::features_to_matrix(&ex.features);
+            for batch in order.chunks(batch_size) {
+                // Per-example BPTT fans out over the worker pool; results
+                // come back in batch order, so the reduction below is
+                // identical for any thread count.
+                let layers = &self.layers;
+                let head = &self.head;
+                let results = crate::par::par_map(batch, |_, &idx| {
+                    Self::example_pass(layers, head, &data[idx], &weights)
+                });
 
-                // Forward through the LSTM stack.
-                let mut caches = Vec::with_capacity(self.layers.len());
-                let mut cur = xs;
-                for layer in &self.layers {
-                    let cache = layer.forward(&cur);
-                    cur = cache.h.clone();
-                    caches.push(cache);
+                // Fixed-order reduce: sum gradients and loss stats in batch
+                // order, then average the gradients.
+                let mut results = results.into_iter();
+                let first = results.next().expect("chunks yields non-empty batches");
+                let (mut layer_grads, mut head_grads) = (first.layer_grads, first.head_grads);
+                for &l in &first.losses {
+                    loss_sum += l as f64;
                 }
-                let logits = self.head.forward(&cur);
-
-                // Loss + dlogits per timestep.
-                let mut dlogits = Matrix::zeros(logits.rows(), logits.cols());
-                for t in 0..logits.rows() {
-                    let eval = softmax_cross_entropy(logits.row(t), ex.labels[t], &weights, !ex.mask[t]);
-                    if ex.mask[t] {
-                        loss_sum += eval.loss as f64;
-                        loss_count += 1;
-                        if argmax(&eval.probs) == ex.labels[t] {
-                            correct += 1;
+                loss_count += first.losses.len();
+                correct += first.correct;
+                for pass in results {
+                    for (acc, g) in layer_grads.iter_mut().zip(pass.layer_grads.iter()) {
+                        acc.wx.add_assign(&g.wx);
+                        acc.wh.add_assign(&g.wh);
+                        for (a, &b) in acc.b.iter_mut().zip(g.b.iter()) {
+                            *a += b;
                         }
                     }
-                    dlogits.set_row(t, &eval.dlogits);
+                    head_grads.w.add_assign(&pass.head_grads.w);
+                    for (a, &b) in head_grads.b.iter_mut().zip(pass.head_grads.b.iter()) {
+                        *a += b;
+                    }
+                    for &l in &pass.losses {
+                        loss_sum += l as f64;
+                    }
+                    loss_count += pass.losses.len();
+                    correct += pass.correct;
                 }
 
-                // Backward.
-                let (mut head_grads, mut dh) = self.head.backward(&cur, &dlogits);
-                let mut layer_grads = Vec::with_capacity(self.layers.len());
-                for (layer, cache) in self.layers.iter().zip(caches.iter()).rev() {
-                    let (grads, dx) = layer.backward(cache, &dh);
-                    dh = dx;
-                    layer_grads.push(grads);
-                }
-                layer_grads.reverse();
-
-                // Clip and apply.
+                // Average, clip and apply one optimizer step per batch.
                 {
                     let mut bufs: Vec<&mut [f32]> = Vec::new();
                     for g in layer_grads.iter_mut() {
@@ -235,6 +320,14 @@ impl SequenceClassifier {
                     }
                     bufs.push(head_grads.w.as_mut_slice());
                     bufs.push(&mut head_grads.b);
+                    if batch.len() > 1 {
+                        let inv = 1.0 / batch.len() as f32;
+                        for buf in bufs.iter_mut() {
+                            for v in buf.iter_mut() {
+                                *v *= inv;
+                            }
+                        }
+                    }
                     clip_global_norm(&mut bufs, self.config.clip_norm);
                 }
                 for (i, g) in layer_grads.iter().enumerate() {
@@ -246,8 +339,16 @@ impl SequenceClassifier {
                 opt_hb.step(&mut self.head.b, &head_grads.b);
             }
             last = EpochStats {
-                mean_loss: if loss_count > 0 { (loss_sum / loss_count as f64) as f32 } else { 0.0 },
-                accuracy: if loss_count > 0 { correct as f64 / loss_count as f64 } else { 0.0 },
+                mean_loss: if loss_count > 0 {
+                    (loss_sum / loss_count as f64) as f32
+                } else {
+                    0.0
+                },
+                accuracy: if loss_count > 0 {
+                    correct as f64 / loss_count as f64
+                } else {
+                    0.0
+                },
             };
             self.history.push(last);
         }
@@ -256,7 +357,11 @@ impl SequenceClassifier {
 
     /// Predicts the per-timestep class probabilities for one sequence.
     pub fn predict_proba(&self, features: &[Vec<f32>]) -> Vec<Vec<f32>> {
-        assert_eq!(features[0].len(), self.config.input_size, "feature width mismatch");
+        assert_eq!(
+            features[0].len(),
+            self.config.input_size,
+            "feature width mismatch"
+        );
         let mut cur = Self::features_to_matrix(features);
         for layer in &self.layers {
             cur = layer.forward(&cur).h;
@@ -269,7 +374,10 @@ impl SequenceClassifier {
 
     /// Predicts the per-timestep class labels for one sequence.
     pub fn predict(&self, features: &[Vec<f32>]) -> Vec<usize> {
-        self.predict_proba(features).iter().map(|p| argmax(p)).collect()
+        self.predict_proba(features)
+            .iter()
+            .map(|p| argmax(p))
+            .collect()
     }
 }
 
@@ -294,8 +402,8 @@ mod tests {
                         _ => (1.0, -1.0),
                     };
                     features.push(vec![
-                        sx + rng.gen_range(-0.2..0.2),
-                        sy + rng.gen_range(-0.2..0.2),
+                        sx + rng.gen_range(-0.2f32..0.2),
+                        sy + rng.gen_range(-0.2f32..0.2),
                     ]);
                     labels.push(lab);
                 }
@@ -326,7 +434,12 @@ mod tests {
                 }
             }
         }
-        assert!(correct as f64 / total as f64 > 0.85, "{}/{}", correct, total);
+        assert!(
+            correct as f64 / total as f64 > 0.85,
+            "{}/{}",
+            correct,
+            total
+        );
     }
 
     #[test]
@@ -347,7 +460,11 @@ mod tests {
         cfg.seed = 21;
         let mut clf = SequenceClassifier::new(cfg);
         let stats = clf.fit(&data);
-        assert!(stats.accuracy > 0.95, "LSTM failed to carry context: {:?}", stats);
+        assert!(
+            stats.accuracy > 0.95,
+            "LSTM failed to carry context: {:?}",
+            stats
+        );
     }
 
     #[test]
@@ -373,6 +490,64 @@ mod tests {
     }
 
     #[test]
+    fn minibatch_training_learns_separable_task() {
+        let mut cfg = SeqClassifierConfig::new(2, 12, 4);
+        cfg.epochs = 25;
+        cfg.seed = 11;
+        cfg.batch_size = 4;
+        let data = quadrant_dataset(16, 8, 3);
+        let mut clf = SequenceClassifier::new(cfg);
+        let stats = clf.fit(&data);
+        assert!(
+            stats.accuracy > 0.9,
+            "batched train accuracy too low: {:?}",
+            stats
+        );
+    }
+
+    #[test]
+    fn fit_is_bitwise_thread_count_invariant() {
+        let data = quadrant_dataset(10, 6, 13);
+        for batch_size in [1usize, 4] {
+            let mut cfg = SeqClassifierConfig::new(2, 8, 4);
+            cfg.epochs = 4;
+            cfg.batch_size = batch_size;
+            let run = |threads: usize| {
+                let cfg = cfg.clone();
+                let data = &data;
+                crate::par::with_threads(threads, move || {
+                    let mut clf = SequenceClassifier::new(cfg);
+                    clf.fit(data);
+                    clf
+                })
+            };
+            let one = run(1);
+            let eight = run(8);
+            assert_eq!(
+                one.history(),
+                eight.history(),
+                "history differs (batch {})",
+                batch_size
+            );
+            for (a, b) in one.layers.iter().zip(&eight.layers) {
+                assert_eq!(a.wx, b.wx, "wx differs (batch {})", batch_size);
+                assert_eq!(a.wh, b.wh, "wh differs (batch {})", batch_size);
+                assert_eq!(a.b, b.b, "b differs (batch {})", batch_size);
+            }
+            assert_eq!(
+                one.head.w, eight.head.w,
+                "head differs (batch {})",
+                batch_size
+            );
+            assert_eq!(
+                one.head.b, eight.head.b,
+                "head bias differs (batch {})",
+                batch_size
+            );
+        }
+    }
+
+    #[test]
     fn history_is_recorded_per_epoch() {
         let mut cfg = SeqClassifierConfig::new(2, 4, 4);
         cfg.epochs = 3;
@@ -391,7 +566,12 @@ mod tests {
         clf.fit(&data);
         let first = clf.history().first().unwrap().mean_loss;
         let last = clf.history().last().unwrap().mean_loss;
-        assert!(last < first * 0.7, "loss did not decrease: {} -> {}", first, last);
+        assert!(
+            last < first * 0.7,
+            "loss did not decrease: {} -> {}",
+            first,
+            last
+        );
     }
 
     #[test]

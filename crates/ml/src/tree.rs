@@ -77,7 +77,10 @@ impl BinMapper {
     /// Bins a full row.
     pub fn bin_row(&self, row: &[f32]) -> Vec<u16> {
         assert_eq!(row.len(), self.width(), "row width mismatch");
-        row.iter().enumerate().map(|(j, &v)| self.bin_value(j, v)).collect()
+        row.iter()
+            .enumerate()
+            .map(|(j, &v)| self.bin_value(j, v))
+            .collect()
     }
 }
 
@@ -150,6 +153,7 @@ impl RegressionTree {
         (-grads_sum / (hess_sum + lambda as f64)) as f32
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn grow(
         &mut self,
         binned: &[Vec<u16>],
@@ -175,19 +179,24 @@ impl RegressionTree {
             return make_leaf(&mut self.nodes);
         }
 
-        // Best split search over feature histograms.
+        // Best split search: histogram building and bin scans are
+        // independent per feature, so they fan out over the worker pool.
+        // Candidates come back in feature order and the fold below keeps the
+        // ascending-feature, strictly-greater tie-breaking of the serial
+        // loop, so the chosen split is identical at any thread count.
         let lambda = params.lambda as f64;
         let parent_score = g_sum * g_sum / (h_sum + lambda);
-        let mut best: Option<(usize, u16, f64)> = None;
-        for j in 0..mapper.width() {
+        let features: Vec<usize> = (0..mapper.width()).collect();
+        let indices_ref = &indices;
+        let candidates = crate::par::par_map(&features, |_, &j| {
             let bins = mapper.bins(j);
             if bins < 2 {
-                continue;
+                return None;
             }
             let mut hist_g = vec![0.0f64; bins];
             let mut hist_h = vec![0.0f64; bins];
             let mut hist_n = vec![0usize; bins];
-            for &i in &indices {
+            for &i in indices_ref {
                 let b = binned[i][j] as usize;
                 hist_g[b] += grads[i] as f64;
                 hist_h[b] += hess[i] as f64;
@@ -196,19 +205,29 @@ impl RegressionTree {
             let mut gl = 0.0f64;
             let mut hl = 0.0f64;
             let mut nl = 0usize;
+            let mut feat_best: Option<(u16, f64)> = None;
             for b in 0..bins - 1 {
                 gl += hist_g[b];
                 hl += hist_h[b];
                 nl += hist_n[b];
-                let nr = indices.len() - nl;
+                let nr = indices_ref.len() - nl;
                 if nl == 0 || nr == 0 {
                     continue;
                 }
                 let gr = g_sum - gl;
                 let hr = h_sum - hl;
                 let gain = gl * gl / (hl + lambda) + gr * gr / (hr + lambda) - parent_score;
-                if gain > params.min_gain as f64 && best.map_or(true, |(_, _, bg)| gain > bg) {
-                    best = Some((j, b as u16, gain));
+                if gain > params.min_gain as f64 && feat_best.is_none_or(|(_, bg)| gain > bg) {
+                    feat_best = Some((b as u16, gain));
+                }
+            }
+            feat_best
+        });
+        let mut best: Option<(usize, u16, f64)> = None;
+        for (j, cand) in candidates.into_iter().enumerate() {
+            if let Some((b, gain)) = cand {
+                if best.is_none_or(|(_, _, bg)| gain > bg) {
+                    best = Some((j, b, gain));
                 }
             }
         }
@@ -230,7 +249,10 @@ impl RegressionTree {
         });
         let left = self.grow(binned, mapper, grads, hess, left_idx, depth + 1, params);
         let right = self.grow(binned, mapper, grads, hess, right_idx, depth + 1, params);
-        if let Node::Split { left: l, right: r, .. } = &mut self.nodes[id] {
+        if let Node::Split {
+            left: l, right: r, ..
+        } = &mut self.nodes[id]
+        {
             *l = left;
             *r = right;
         }
@@ -249,7 +271,11 @@ impl RegressionTree {
                     left,
                     right,
                 } => {
-                    node = if row[*feature] <= *threshold_bin { *left } else { *right };
+                    node = if row[*feature] <= *threshold_bin {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }

@@ -3,13 +3,23 @@
 use ml::activation::{argmax, softmax};
 use ml::gbdt::{GbdtBinaryClassifier, GbdtConfig};
 use ml::loss::{inverse_frequency_weights, softmax_cross_entropy};
+use ml::lstm::LstmLayer;
 use ml::matrix::Matrix;
 use ml::scale::MinMaxScaler;
 use ml::tree::BinMapper;
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 fn finite_vec(len: usize) -> impl Strategy<Value = Vec<f32>> {
     prop::collection::vec(-1e4f32..1e4, len)
+}
+
+/// Builds an `r x c` matrix with entries drawn from the given RNG.
+fn random_matrix(r: usize, c: usize, rng: &mut StdRng) -> Matrix {
+    let data: Vec<f32> = (0..r * c).map(|_| rng.gen_range(-2.0..2.0)).collect();
+    let rows: Vec<&[f32]> = data.chunks(c).collect();
+    Matrix::from_rows(&rows)
 }
 
 proptest! {
@@ -121,5 +131,67 @@ proptest! {
             let p = model.predict_proba(r);
             prop_assert!((0.0..=1.0).contains(&p), "p = {}", p);
         }
+    }
+
+    // The fast GEMM paths promise *bitwise* equality with their reference
+    // implementations, independent of worker-pool size — exact `==` on the
+    // raw f32 buffers, no tolerance.
+
+    #[test]
+    fn blocked_matmul_is_bitwise_equal_to_naive(
+        seed in 0u64..1000,
+        m in 1usize..24,
+        k in 1usize..24,
+        n in 1usize..24,
+        threads in 1usize..5,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random_matrix(m, k, &mut rng);
+        let b = random_matrix(k, n, &mut rng);
+        let fast = ml::par::with_threads(threads, || a.matmul(&b));
+        prop_assert_eq!(fast, a.matmul_naive(&b));
+    }
+
+    #[test]
+    fn blocked_t_matmul_is_bitwise_equal_to_naive(
+        seed in 0u64..1000,
+        m in 1usize..24,
+        k in 1usize..24,
+        n in 1usize..24,
+        threads in 1usize..5,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random_matrix(k, m, &mut rng);
+        let b = random_matrix(k, n, &mut rng);
+        let fast = ml::par::with_threads(threads, || a.t_matmul(&b));
+        prop_assert_eq!(fast, a.t_matmul_naive(&b));
+    }
+
+    #[test]
+    fn fused_lstm_step_is_bitwise_equal_to_naive(
+        seed in 0u64..500,
+        t_len in 1usize..16,
+        input in 1usize..8,
+        hidden in 1usize..8,
+        threads in 1usize..5,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let layer = LstmLayer::new(input, hidden, &mut rng);
+        let xs = random_matrix(t_len, input, &mut rng);
+        let dh = random_matrix(t_len, hidden, &mut rng);
+
+        let (cache, grads, dx) = ml::par::with_threads(threads, || {
+            let cache = layer.forward(&xs);
+            let (grads, dx) = layer.backward(&cache, &dh);
+            (cache, grads, dx)
+        });
+        let ref_cache = layer.forward_naive(&xs);
+        let (ref_grads, ref_dx) = layer.backward_naive(&ref_cache, &dh);
+
+        prop_assert_eq!(cache.h, ref_cache.h);
+        prop_assert_eq!(grads.wx, ref_grads.wx);
+        prop_assert_eq!(grads.wh, ref_grads.wh);
+        prop_assert_eq!(grads.b, ref_grads.b);
+        prop_assert_eq!(dx, ref_dx);
     }
 }

@@ -5,8 +5,8 @@
 //!
 //! Run with `cargo run --release --example driver_downgrade`.
 
-use leaky_dnn::prelude::*;
 use gpu_sim::ContextId;
+use leaky_dnn::prelude::*;
 
 fn main() {
     // A freshly-rented EC2-style instance ships the patched driver.
@@ -21,8 +21,13 @@ fn main() {
     }
 
     // ...until the tenant downgrades the driver with her own root.
-    spy_vm.downgrade_driver().expect("tenant has root in her own VM");
-    println!("downgraded to: {} (victim VM unaffected and unaware)", spy_vm.driver());
+    spy_vm
+        .downgrade_driver()
+        .expect("tenant has root in her own VM");
+    println!(
+        "downgraded to: {} (victim VM unaffected and unaware)",
+        spy_vm.driver()
+    );
 
     let session = CuptiSession::open(&spy_vm, ctx, table_iv_groups(), 1000.0)
         .expect("unpatched driver allows CUPTI");
@@ -39,5 +44,7 @@ fn main() {
         Ok(()) => unreachable!("downgrade requires root"),
     }
 
-    println!("\nconclusion (paper §II-D): the CUPTI restriction patch does not stop a cloud adversary.");
+    println!(
+        "\nconclusion (paper §II-D): the CUPTI restriction patch does not stop a cloud adversary."
+    );
 }

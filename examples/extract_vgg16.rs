@@ -13,7 +13,11 @@ fn main() {
     let quick = std::env::var("LEAKY_SCALE").as_deref() == Ok("quick");
     let side = if quick { 64 } else { 112 };
     let (batch_cnn, batch_mlp, iters) = if quick { (8, 32, 6) } else { (16, 128, 8) };
-    let input = InputSpec::Image { height: side, width: side, channels: 3 };
+    let input = InputSpec::Image {
+        height: side,
+        width: side,
+        channels: 3,
+    };
 
     // --- profiling phase: Table V zoo + hyper-parameter sweep variants ---
     let mut models = vec![
@@ -22,8 +26,16 @@ fn main() {
         zoo::profiled_vgg19().with_input(input),
     ];
     models.extend(hp_sweep_variants(&zoo::alexnet().with_input(input), 4, 5));
-    models.extend(hp_sweep_variants(&zoo::profiled_mlp().with_input(input), 3, 9));
-    models.extend(hp_sweep_variants(&zoo::profiled_vgg19().with_input(input), 2, 13));
+    models.extend(hp_sweep_variants(
+        &zoo::profiled_mlp().with_input(input),
+        3,
+        9,
+    ));
+    models.extend(hp_sweep_variants(
+        &zoo::profiled_vgg19().with_input(input),
+        2,
+        13,
+    ));
     let sessions: Vec<TrainingSession> = models
         .into_iter()
         .map(|m| {
@@ -32,7 +44,10 @@ fn main() {
             TrainingSession::new(m, TrainingConfig::new(batch, iters))
         })
         .collect();
-    println!("profiling {} models (this trains Mgap, Mlong, Mop, Vlong, Vop, Mhp)...", sessions.len());
+    println!(
+        "profiling {} models (this trains Mgap, Mlong, Mop, Vlong, Vop, Mhp)...",
+        sessions.len()
+    );
     let t0 = std::time::Instant::now();
     let moscons = Moscons::profile(&sessions, AttackConfig::default());
     println!("done in {:?}", t0.elapsed());
@@ -40,20 +55,44 @@ fn main() {
     // --- attack phase: VGG16 ---
     let victim_model = zoo::vgg16().with_input(input);
     let victim = TrainingSession::new(victim_model.clone(), TrainingConfig::new(batch_cnn, iters));
-    println!("\nattacking {} (batch {}, {}px)...", victim_model.name, batch_cnn, side);
+    println!(
+        "\nattacking {} (batch {}, {}px)...",
+        victim_model.name, batch_cnn, side
+    );
     let (ex, _raw) = moscons.attack(&victim, 1616);
 
-    println!("\n[1] iteration splitting (Mgap): {} valid iterations", ex.iterations.len());
+    println!(
+        "\n[1] iteration splitting (Mgap): {} valid iterations",
+        ex.iterations.len()
+    );
     for (i, r) in ex.iterations.iter().enumerate().take(5) {
-        println!("     iteration {}: samples {}..{} ({} samples)", i, r.start, r.end, r.len());
+        println!(
+            "     iteration {}: samples {}..{} ({} samples)",
+            i,
+            r.start,
+            r.end,
+            r.len()
+        );
     }
     let letters = |cs: &[OpClass]| cs.iter().map(|c| c.letter()).collect::<String>();
     let n = ex.pre_voting_classes.len().min(100);
-    println!("\n[2-3] op recognition (Mlong + Mop), first {} samples of the base iteration:", n);
+    println!(
+        "\n[2-3] op recognition (Mlong + Mop), first {} samples of the base iteration:",
+        n
+    );
     println!("     pre-voting: {}", letters(&ex.pre_voting_classes[..n]));
-    println!("\n[6-7] after LSTM voting over {} iterations:", moscons.config().voting_iterations);
-    println!("     voted     : {}", letters(&ex.fused_classes[..n.min(ex.fused_classes.len())]));
-    println!("\n[8-9] collapse + forward parse + Mhp + syntax correction ({} edits):", ex.syntax_edits);
+    println!(
+        "\n[6-7] after LSTM voting over {} iterations:",
+        moscons.config().voting_iterations
+    );
+    println!(
+        "     voted     : {}",
+        letters(&ex.fused_classes[..n.min(ex.fused_classes.len())])
+    );
+    println!(
+        "\n[8-9] collapse + forward parse + Mhp + syntax correction ({} edits):",
+        ex.syntax_edits
+    );
     println!("     recovered : {}", ex.structure);
     println!("     truth     : {}", victim_model.structure_string());
 

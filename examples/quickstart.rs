@@ -12,18 +12,28 @@ use leaky_dnn::prelude::*;
 fn main() {
     // Step 1+2: spy VM with CUPTI access (the §II-D driver downgrade).
     let mut vm = VmInstance::fresh_cloud_instance("spy-vm");
-    assert!(vm.check_cupti_access().is_err(), "patched driver blocks CUPTI");
+    assert!(
+        vm.check_cupti_access().is_err(),
+        "patched driver blocks CUPTI"
+    );
     vm.downgrade_driver().expect("root in our own VM");
     println!("driver downgraded to {} — CUPTI available", vm.driver());
 
     // Step 3: profile our own models on the shared GPU (small scale here;
     // see the bench binaries for the paper-scale runs).
-    let input = InputSpec::Image { height: 64, width: 64, channels: 3 };
+    let input = InputSpec::Image {
+        height: 64,
+        width: 64,
+        channels: 3,
+    };
     let profiled: Vec<TrainingSession> = random_profiling_models(8, input, 7)
         .into_iter()
         .map(|m| TrainingSession::new(m, TrainingConfig::new(64, 6)))
         .collect();
-    println!("profiling {} models + training the inference stack...", profiled.len());
+    println!(
+        "profiling {} models + training the inference stack...",
+        profiled.len()
+    );
     let moscons = Moscons::profile(&profiled, AttackConfig::default());
 
     // Step 4: attack a victim training run.

@@ -9,7 +9,11 @@ use leaky_dnn::prelude::*;
 use moscons::trace::collect_trace;
 
 fn main() {
-    let input = InputSpec::Image { height: 64, width: 64, channels: 3 };
+    let input = InputSpec::Image {
+        height: 64,
+        width: 64,
+        channels: 3,
+    };
     let model = zoo::alexnet().with_input(input);
     let session = TrainingSession::new(model, TrainingConfig::new(8, 4));
 
@@ -29,7 +33,11 @@ fn main() {
         .map(|r| r.duration_us())
         .sum();
     let spy_completions_mps = gpu.kernels_completed(spy);
-    println!("MPS on : victim computed {:.0} ms; spy completed {} launches total", victim_busy / 1000.0, spy_completions_mps);
+    println!(
+        "MPS on : victim computed {:.0} ms; spy completed {} launches total",
+        victim_busy / 1000.0,
+        spy_completions_mps
+    );
 
     // MPS off, no slow-down: per-op sampling.
     let plain = collect_trace(

@@ -9,7 +9,10 @@ use gpu_sim::cache::{Access, InsertKind, OccupancyL2, SetAssocCache};
 fn stream(cache: &mut SetAssocCache, owner: u16, base: u64, sectors: u64, write: bool) -> u64 {
     let mut writebacks = 0;
     for i in 0..sectors {
-        if let Access::Miss { evicted_dirty: true } = cache.access(owner, base + i * 32, write) {
+        if let Access::Miss {
+            evicted_dirty: true,
+        } = cache.access(owner, base + i * 32, write)
+        {
             writebacks += 1;
         }
     }

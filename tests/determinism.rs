@@ -1,0 +1,67 @@
+//! Thread-count invariance of the full pipeline: profiling and extraction
+//! under a single-worker pool must match an 8-worker pool bit for bit. The
+//! engine's contract (see `ml::par`) is that parallelism changes wall-clock
+//! time only — every reduction happens in a fixed order, so the trained
+//! models and the recovered structure are identical.
+
+use dnn_sim::{Activation, InputSpec, Layer, Model, Optimizer, TrainingConfig, TrainingSession};
+use moscons::attack::{AttackConfig, Moscons};
+use moscons::{random_profiling_models, AttackReport};
+
+fn input() -> InputSpec {
+    InputSpec::Image {
+        height: 64,
+        width: 64,
+        channels: 3,
+    }
+}
+
+/// Profiles and attacks at smoke scale, returning the flattened report.
+fn run_pipeline() -> AttackReport {
+    let profiled: Vec<TrainingSession> = random_profiling_models(3, input(), 19)
+        .into_iter()
+        .map(|m| TrainingSession::new(m, TrainingConfig::new(48, 4)))
+        .collect();
+    let mut config = AttackConfig::default();
+    config.op_lstm.epochs = 4;
+    config.op_lstm.hidden = 24;
+    config.voting_lstm.epochs = 4;
+    config.hp_lstm.epochs = 3;
+    config.hp_lstm.hidden = 24;
+    config.voting_iterations = 3;
+    let moscons = Moscons::profile(&profiled, config);
+
+    let victim_model = Model::new(
+        "victim",
+        input(),
+        vec![
+            Layer::dense(2048, Activation::Relu),
+            Layer::dense(512, Activation::Relu),
+        ],
+        Optimizer::Gd,
+    );
+    let victim = TrainingSession::new(victim_model, TrainingConfig::new(48, 4));
+    let (extraction, _raw) = moscons.attack(&victim, 99);
+    extraction.report()
+}
+
+#[test]
+fn pipeline_is_thread_count_invariant() {
+    let serial = ml::par::with_threads(1, run_pipeline);
+    let parallel = ml::par::with_threads(8, run_pipeline);
+    assert_eq!(
+        serial, parallel,
+        "8-worker pipeline diverged from the serial pipeline"
+    );
+    // The comparison must be over a non-degenerate run to mean anything.
+    assert!(!serial.iterations.is_empty(), "no iterations recovered");
+    assert!(!serial.fused_classes.is_empty(), "no fused classes");
+}
+
+#[test]
+fn report_serializes_to_json() {
+    let report = ml::par::with_threads(1, run_pipeline);
+    let json = serde_json::to_string(&report).expect("report serializes");
+    assert!(json.contains("\"structure\""));
+    assert!(json.contains("\"syntax_edits\""));
+}

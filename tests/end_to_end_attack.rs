@@ -79,7 +79,11 @@ fn extracts_a_plausible_mlp_structure() {
         score.layers,
         extraction.structure
     );
-    assert!(extraction.layers.len() <= 12, "runaway layer count: {}", extraction.structure);
+    assert!(
+        extraction.layers.len() <= 12,
+        "runaway layer count: {}",
+        extraction.structure
+    );
     // The structure string round-trips the recovered layers.
     assert!(extraction.structure.starts_with('M'));
     assert!(extraction.structure.contains("Optimizer"));

@@ -2,7 +2,9 @@
 //! dnn-sim planner through the GPU engine and the CUPTI layer to labeled
 //! samples.
 
-use dnn_sim::{zoo, Activation, InputSpec, Layer, Model, OpClass, Optimizer, TrainingConfig, TrainingSession};
+use dnn_sim::{
+    zoo, Activation, InputSpec, Layer, Model, OpClass, Optimizer, TrainingConfig, TrainingSession,
+};
 use gpu_sim::GpuConfig;
 use moscons::dataset::LabeledTrace;
 use moscons::trace::{collect_trace, CollectionConfig};
@@ -96,7 +98,10 @@ fn conv_samples_show_texture_signal_and_matmul_samples_do_not() {
             return 0.0;
         }
         // features[0..2] are the log-scaled texture counters.
-        rows.iter().map(|s| (s.features[0] + s.features[1]) as f64).sum::<f64>() / rows.len() as f64
+        rows.iter()
+            .map(|s| (s.features[0] + s.features[1]) as f64)
+            .sum::<f64>()
+            / rows.len() as f64
     };
     let conv_tex = mean_tex(OpClass::Conv, &trace);
 

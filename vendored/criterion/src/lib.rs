@@ -1,0 +1,176 @@
+//! Std-only stand-in for the `criterion` API surface used by this
+//! workspace's benches: `Criterion::default().sample_size(n)`,
+//! `bench_function`, `Bencher::iter`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement is wall-clock: a calibration pass sizes each sample at
+//! roughly [`TARGET_SAMPLE_NANOS`], then `sample_size` samples run and the
+//! per-iteration minimum / median / mean are printed. No plots, no state
+//! files. When cargo passes `--test` (from `cargo test --benches`), each
+//! bench runs a single iteration so the target merely smoke-checks.
+
+use std::time::Instant;
+
+/// Aim for samples of about this long so short benches still measure well.
+const TARGET_SAMPLE_NANOS: u128 = 10_000_000;
+
+/// Opaque value barrier (re-exported like upstream).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Hands the benchmark closure to the measurement loop.
+pub struct Bencher {
+    iters: u64,
+    elapsed_nanos: u128,
+}
+
+impl Bencher {
+    /// Runs `f` for the configured iteration count, timing the whole batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed_nanos = start.elapsed().as_nanos();
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    smoke_test: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            smoke_test: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Measures `f` and prints per-iteration statistics.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        if self.smoke_test {
+            let mut b = Bencher {
+                iters: 1,
+                elapsed_nanos: 0,
+            };
+            f(&mut b);
+            println!("{name}: smoke test ok");
+            return self;
+        }
+
+        // Calibration: one iteration to size the per-sample batch.
+        let mut b = Bencher {
+            iters: 1,
+            elapsed_nanos: 0,
+        };
+        f(&mut b);
+        let est = b.elapsed_nanos.max(1);
+        let iters = (TARGET_SAMPLE_NANOS / est).clamp(1, 1_000_000) as u64;
+
+        let mut per_iter: Vec<u128> = (0..self.sample_size)
+            .map(|_| {
+                let mut b = Bencher {
+                    iters,
+                    elapsed_nanos: 0,
+                };
+                f(&mut b);
+                b.elapsed_nanos / u128::from(iters)
+            })
+            .collect();
+        per_iter.sort_unstable();
+        let min = per_iter[0];
+        let median = per_iter[per_iter.len() / 2];
+        let mean = per_iter.iter().sum::<u128>() / per_iter.len() as u128;
+        println!(
+            "{name}: min {} / median {} / mean {}  ({} samples x {} iters)",
+            fmt_nanos(min),
+            fmt_nanos(median),
+            fmt_nanos(mean),
+            self.sample_size,
+            iters,
+        );
+        self
+    }
+}
+
+fn fmt_nanos(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Declares a benchmark group: either `criterion_group!(name, target, …)` or
+/// the `name = …; config = …; targets = …` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench harness entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        // Force measurement mode regardless of harness args.
+        c.smoke_test = false;
+        let mut runs = 0u64;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                let _: () = runs += 1;
+                black_box(())
+            })
+        });
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn formats_scales() {
+        assert_eq!(fmt_nanos(5), "5 ns");
+        assert_eq!(fmt_nanos(5_000), "5.000 us");
+        assert_eq!(fmt_nanos(5_000_000), "5.000 ms");
+        assert_eq!(fmt_nanos(5_000_000_000), "5.000 s");
+    }
+}

@@ -1,0 +1,108 @@
+//! Std-only stand-in for the `serde` API surface used by this workspace.
+//!
+//! [`Serialize`] is simplified to a JSON value-tree builder (the only
+//! consumer is the vendored `serde_json`); [`Deserialize`] is a marker trait
+//! (nothing in the workspace deserializes into typed data). The derive
+//! macros live in the sibling `serde_derive` crate and are re-exported when
+//! the `derive` feature is on, exactly like upstream.
+
+pub mod value;
+
+pub use value::Value;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Types that can render themselves as a JSON [`Value`] tree.
+pub trait Serialize {
+    /// Builds the JSON value for `self`.
+    fn to_json_value(&self) -> Value;
+}
+
+/// Marker for types the derive macro tags as deserializable. The offline
+/// stand-in never constructs typed data from JSON, so there are no methods.
+pub trait Deserialize<'de>: Sized {}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! serialize_number {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+    )*};
+}
+
+serialize_number!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl Serialize for str {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_json_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for std::ops::Range<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Object(vec![
+            ("start".to_owned(), self.start.to_json_value()),
+            ("end".to_owned(), self.end.to_json_value()),
+        ])
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_json_value(&self) -> Value {
+        Value::Array(vec![self.0.to_json_value(), self.1.to_json_value()])
+    }
+}
+
+impl Serialize for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}

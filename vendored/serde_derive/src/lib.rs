@@ -1,0 +1,313 @@
+//! Derive macros for the vendored `serde` stand-in, written against
+//! `proc_macro` alone (no `syn`/`quote` — the container has no registry).
+//!
+//! `#[derive(Serialize)]` expands to a `to_json_value` impl that mirrors
+//! serde_json's default representation: named structs become objects,
+//! newtype structs are transparent, enums are externally tagged (unit
+//! variants as bare strings). Field-level `#[serde(rename = "…")]` is
+//! honoured. Generic types are rejected with a compile error — the
+//! workspace has none.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+enum VariantKind {
+    Unit,
+    /// `(field ident, json key)` pairs.
+    Named(Vec<(String, String)>),
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!(\"{msg}\");").parse().unwrap()
+}
+
+fn is_punct(tt: Option<&TokenTree>, c: char) -> bool {
+    matches!(tt, Some(TokenTree::Punct(p)) if p.as_char() == c)
+}
+
+fn is_ident(tt: Option<&TokenTree>, word: &str) -> bool {
+    matches!(tt, Some(TokenTree::Ident(id)) if id.to_string() == word)
+}
+
+/// Extracts `rename` from a `serde(rename = "…")` attribute body, if that is
+/// what the bracketed group holds.
+fn attr_rename(group: &Group) -> Option<String> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    match toks.as_slice() {
+        [TokenTree::Ident(id), TokenTree::Group(inner)] if id.to_string() == "serde" => {
+            let inner: Vec<TokenTree> = inner.stream().into_iter().collect();
+            match inner.as_slice() {
+                [TokenTree::Ident(k), TokenTree::Punct(eq), TokenTree::Literal(lit)]
+                    if k.to_string() == "rename" && eq.as_char() == '=' =>
+                {
+                    Some(lit.to_string().trim_matches('"').to_owned())
+                }
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Parses a `{ … }` field list into `(field ident, json key)` pairs.
+fn named_fields(group: &Group) -> Vec<(String, String)> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let mut rename = None;
+        while is_punct(toks.get(i), '#') {
+            if let Some(TokenTree::Group(g)) = toks.get(i + 1) {
+                if let Some(r) = attr_rename(g) {
+                    rename = Some(r);
+                }
+            }
+            i += 2;
+        }
+        if is_ident(toks.get(i), "pub") {
+            i += 1;
+            if matches!(toks.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        let fname = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => break,
+        };
+        i += 1;
+        // Skip `: Type` up to the next top-level comma; commas nested in
+        // generic arguments sit between `<`/`>` puncts at this token level.
+        let mut angle = 0i32;
+        while i < toks.len() {
+            if let TokenTree::Punct(p) = &toks[i] {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        let key = rename.unwrap_or_else(|| fname.clone());
+        out.push((fname, key));
+    }
+    out
+}
+
+/// Counts the fields of a `( … )` tuple body.
+fn tuple_arity(group: &Group) -> usize {
+    let mut angle = 0i32;
+    let mut arity = 0;
+    let mut in_segment = false;
+    for tt in group.stream() {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    if in_segment {
+                        arity += 1;
+                        in_segment = false;
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        in_segment = true;
+    }
+    if in_segment {
+        arity += 1;
+    }
+    arity
+}
+
+fn enum_variants(group: &Group) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        while is_punct(toks.get(i), '#') {
+            i += 2;
+        }
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => break,
+        };
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = named_fields(g);
+                i += 1;
+                VariantKind::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = tuple_arity(g);
+                i += 1;
+                VariantKind::Tuple(arity)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional `= discriminant` up to the separating comma.
+        while i < toks.len() && !is_punct(toks.get(i), ',') {
+            i += 1;
+        }
+        i += 1;
+        out.push(Variant { name, kind });
+    }
+    out
+}
+
+/// Skips outer attributes and visibility, returning the index of the
+/// `struct`/`enum` keyword.
+fn skip_to_keyword(toks: &[TokenTree]) -> usize {
+    let mut i = 0;
+    while is_punct(toks.get(i), '#') {
+        i += 2;
+    }
+    if is_ident(toks.get(i), "pub") {
+        i += 1;
+        if matches!(toks.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    i
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_to_keyword(&toks);
+    let kind = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return compile_error("derive(Serialize): expected struct or enum"),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return compile_error("derive(Serialize): expected a type name"),
+    };
+    i += 1;
+    if is_punct(toks.get(i), '<') {
+        return compile_error("the vendored serde derive does not support generic types");
+    }
+
+    let body = match kind.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let entries: String = named_fields(g)
+                    .iter()
+                    .map(|(f, key)| {
+                        format!(
+                            "(\"{key}\".to_owned(), ::serde::Serialize::to_json_value(&self.{f})),"
+                        )
+                    })
+                    .collect();
+                format!("::serde::Value::Object(vec![{entries}])")
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                match tuple_arity(g) {
+                    0 => "::serde::Value::Array(vec![])".to_owned(),
+                    // Newtype structs serialize transparently, as in serde.
+                    1 => "::serde::Serialize::to_json_value(&self.0)".to_owned(),
+                    n => {
+                        let items: String = (0..n)
+                            .map(|k| format!("::serde::Serialize::to_json_value(&self.{k}),"))
+                            .collect();
+                        format!("::serde::Value::Array(vec![{items}])")
+                    }
+                }
+            }
+            _ => "::serde::Value::Null".to_owned(),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let arms: String = enum_variants(g)
+                    .iter()
+                    .map(|v| {
+                        let vn = &v.name;
+                        match &v.kind {
+                            VariantKind::Unit => format!(
+                                "Self::{vn} => ::serde::Value::String(\"{vn}\".to_owned()),"
+                            ),
+                            VariantKind::Named(fields) => {
+                                let binds: String =
+                                    fields.iter().map(|(f, _)| format!("{f},")).collect();
+                                let entries: String = fields
+                                    .iter()
+                                    .map(|(f, key)| {
+                                        format!(
+                                            "(\"{key}\".to_owned(), \
+                                             ::serde::Serialize::to_json_value({f})),"
+                                        )
+                                    })
+                                    .collect();
+                                format!(
+                                    "Self::{vn} {{ {binds} }} => ::serde::Value::Object(vec![(\
+                                     \"{vn}\".to_owned(), \
+                                     ::serde::Value::Object(vec![{entries}]))]),"
+                                )
+                            }
+                            VariantKind::Tuple(n) => {
+                                let binds: String = (0..*n).map(|k| format!("v{k},")).collect();
+                                let inner = if *n == 1 {
+                                    "::serde::Serialize::to_json_value(v0)".to_owned()
+                                } else {
+                                    let items: String = (0..*n)
+                                        .map(|k| {
+                                            format!("::serde::Serialize::to_json_value(v{k}),")
+                                        })
+                                        .collect();
+                                    format!("::serde::Value::Array(vec![{items}])")
+                                };
+                                format!(
+                                    "Self::{vn}({binds}) => ::serde::Value::Object(vec![(\
+                                     \"{vn}\".to_owned(), {inner})]),"
+                                )
+                            }
+                        }
+                    })
+                    .collect();
+                format!("match self {{ {arms} }}")
+            }
+            _ => return compile_error("derive(Serialize): malformed enum body"),
+        },
+        _ => return compile_error("derive(Serialize): expected struct or enum"),
+    };
+
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_json_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_to_keyword(&toks);
+    i += 1; // struct/enum keyword
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return compile_error("derive(Deserialize): expected a type name"),
+    };
+    if is_punct(toks.get(i + 1), '<') {
+        return compile_error("the vendored serde derive does not support generic types");
+    }
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .unwrap()
+}
