@@ -36,6 +36,15 @@ struct PipelineBench {
     total_secs_1_thread: f64,
     total_secs_n_threads: f64,
     total_speedup: f64,
+    /// Trace collection with a cold in-memory cache (fresh simulation).
+    cache_cold_secs: f64,
+    /// The same collection again, served from the warm cache.
+    cache_warm_secs: f64,
+    /// `cache_cold_secs / cache_warm_secs`.
+    cache_speedup: f64,
+    /// Mean wall time of one training epoch of a smoke-scale LSTM classifier
+    /// (tracks the allocation-free hot path in `ml`).
+    lstm_secs_per_epoch: f64,
 }
 
 fn timed<R>(f: impl FnOnce() -> R) -> (f64, R) {
@@ -44,7 +53,36 @@ fn timed<R>(f: impl FnOnce() -> R) -> (f64, R) {
     (start.elapsed().as_secs_f64(), out)
 }
 
+/// Mean seconds per epoch of a smoke-scale `SequenceClassifier::fit` — a
+/// direct probe of the workspace-backed LSTM training hot path.
+fn lstm_epoch_bench() -> f64 {
+    let input = 13;
+    let classes = 4;
+    let epochs = 8;
+    let data: Vec<ml::SeqExample> = (0..12)
+        .map(|i| {
+            let features: Vec<Vec<f32>> = (0..40)
+                .map(|t| {
+                    (0..input)
+                        .map(|d| ((i * 37 + t * 11 + d * 3) % 17) as f32 / 17.0)
+                        .collect()
+                })
+                .collect();
+            let labels: Vec<usize> = (0..40).map(|t| (i + t) % classes).collect();
+            ml::SeqExample::new(features, labels)
+        })
+        .collect();
+    let mut cfg = ml::SeqClassifierConfig::new(input, 48, classes);
+    cfg.epochs = epochs;
+    let (secs, _) = timed(|| ml::SequenceClassifier::new(cfg).fit(&data));
+    secs / epochs as f64
+}
+
 fn main() {
+    // The staged 1-vs-N timings below measure *simulation and training*
+    // cost; run them with the trace cache off so the N-thread pass cannot
+    // be flattered by hits left behind by the serial pass.
+    std::env::set_var("LEAKY_DNN_CACHE", "off");
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let threads = ml::par::threads();
     let scale = bench::Scale::from_env();
@@ -131,6 +169,32 @@ fn main() {
     }
     let total_1 = c1 + p1 + e1;
     let total_n = cn + pn + en;
+
+    // Cold-vs-warm trace cache: the same collection fan-out, first against
+    // an empty memo, then again with every trace already resident.
+    std::env::set_var("LEAKY_DNN_CACHE", "mem");
+    moscons::cache::clear_memory();
+    let (cache_cold, _) = ml::par::with_threads(1, || timed(|| collect(&sessions)));
+    let (cache_warm, _) = ml::par::with_threads(1, || timed(|| collect(&sessions)));
+    assert!(
+        cache_warm < cache_cold,
+        "warm cache collection ({:.4}s) must beat cold ({:.4}s)",
+        cache_warm,
+        cache_cold
+    );
+    println!(
+        "  trace cache      cold {:>8.3}s   warm {:>13.6}s   speedup {:.0}x",
+        cache_cold,
+        cache_warm,
+        cache_cold / cache_warm
+    );
+
+    let lstm_secs_per_epoch = ml::par::with_threads(1, lstm_epoch_bench);
+    println!(
+        "  lstm epoch       {:.4}s (smoke-scale fit, 1 thread)",
+        lstm_secs_per_epoch
+    );
+
     let bench = PipelineBench {
         cores,
         threads,
@@ -139,6 +203,10 @@ fn main() {
         total_secs_1_thread: total_1,
         total_secs_n_threads: total_n,
         total_speedup: total_1 / total_n,
+        cache_cold_secs: cache_cold,
+        cache_warm_secs: cache_warm,
+        cache_speedup: cache_cold / cache_warm,
+        lstm_secs_per_epoch,
     };
     let json = serde_json::to_string_pretty(&bench).expect("bench serializes");
     std::fs::write("BENCH_pipeline.json", &json).expect("write BENCH_pipeline.json");

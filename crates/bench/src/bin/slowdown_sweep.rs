@@ -44,7 +44,7 @@ fn measure(hogs: usize, blocks: u32, tpb: u32) -> (f64, f64) {
     let victim_wall = gpu
         .kernel_log()
         .iter()
-        .find(|r| r.name == "victim")
+        .find(|r| &*r.name == "victim")
         .expect("victim ran")
         .duration_us();
     let spy_launches: Vec<f64> = gpu
@@ -95,7 +95,7 @@ fn main() {
         let victim_wall = gpu
             .kernel_log()
             .iter()
-            .find(|r| r.name == "victim")
+            .find(|r| &*r.name == "victim")
             .expect("victim ran")
             .duration_us();
         let spy: Vec<f64> = gpu

@@ -448,11 +448,7 @@ impl Moscons {
             &self.config.collection.with_seed(seed),
             &self.config.gpu,
         );
-        let features: Vec<Vec<f32>> = raw
-            .samples
-            .iter()
-            .map(|s| crate::dataset::counter_features(&s.to_features()))
-            .collect();
+        let features = crate::cache::counter_feature_matrix(&raw);
         (self.extract(&features), raw)
     }
 }

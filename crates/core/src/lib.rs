@@ -8,6 +8,8 @@
 //!   is the paper's choice);
 //! * [`slowdown`] — the §IV slow-down attack (8 hog kernels in 4 groups);
 //! * [`trace`] — collection runs wiring victim + sampler + hogs + CUPTI;
+//! * [`cache`] — content-addressed memoization of collection runs and
+//!   feature matrices (`LEAKY_DNN_CACHE=off|mem|disk`);
 //! * [`dataset`] — timeline alignment (largest-overlap labeling, §V-A),
 //!   MinMax scaling, iteration slicing;
 //! * [`gap`] — `Mgap`, the GBDT NOP/BUSY splitter (`TH_gap`/`R_min`/`R_max`);
@@ -39,6 +41,7 @@
 //! ```
 
 pub mod attack;
+pub mod cache;
 pub mod dataset;
 pub mod gap;
 pub mod hyperparams;
@@ -54,6 +57,7 @@ pub mod trace;
 pub mod voting;
 
 pub use attack::{AttackConfig, Extraction, Moscons};
+pub use cache::{CacheMode, EXTRACTOR_VERSION, TRACE_SCHEMA_VERSION};
 pub use dataset::LabeledTrace;
 pub use gap::{GapConfig, GapModel};
 pub use hyperparams::{HpKind, HpModel};

@@ -129,7 +129,7 @@ mod tests {
             gpu.run_until_queues_drain();
             gpu.kernel_log()
                 .iter()
-                .find(|r| r.name == "victim")
+                .find(|r| &*r.name == "victim")
                 .expect("victim ran")
                 .duration_us()
         };
@@ -171,7 +171,7 @@ mod tests {
             gpu.run_until_queues_drain();
             gpu.kernel_log()
                 .iter()
-                .find(|r| r.name == "victim")
+                .find(|r| &*r.name == "victim")
                 .expect("victim ran")
                 .duration_us()
         };

@@ -62,11 +62,34 @@ pub struct RawTrace {
 /// off). Works for both the profiling phase (keep `victim_log`) and the
 /// attack phase (ignore it).
 ///
+/// The simulation is deterministic in its inputs, so results are memoized
+/// through [`crate::cache`] (see `LEAKY_DNN_CACHE`); a hit is bitwise
+/// identical to a fresh collection.
+///
 /// # Panics
 ///
 /// Panics if the CUPTI session cannot be opened — construct the spy VM via
 /// [`spy_vm`] which performs the §II-D driver downgrade first.
 pub fn collect_trace(
+    session: &TrainingSession,
+    collection: &CollectionConfig,
+    gpu_config: &GpuConfig,
+) -> RawTrace {
+    let effective_gpu = gpu_config.clone().with_seed(collection.seed ^ 0x5119);
+    let fingerprint = cupti_sim::session_fingerprint(
+        &table_iv_groups(),
+        collection.poll_period_us,
+        1.0, // `CuptiSession::open` default; `with_quantization` is not used here
+    );
+    let key = crate::cache::trace_key(session, collection, &effective_gpu, &fingerprint);
+    crate::cache::trace_for(key, || {
+        collect_trace_uncached(session, collection, gpu_config)
+    })
+}
+
+/// The actual collection run behind [`collect_trace`], always simulating
+/// from scratch.
+fn collect_trace_uncached(
     session: &TrainingSession,
     collection: &CollectionConfig,
     gpu_config: &GpuConfig,
@@ -163,7 +186,7 @@ pub fn collect_microbench(
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use dnn_sim::{zoo, Activation, InputSpec, Layer, Model, Optimizer, TrainingConfig};
 

@@ -35,4 +35,4 @@ pub mod session;
 pub use driver::{DriverError, DriverVersion, VmInstance};
 pub use events::{counters_of, replay_factor, table_iv_groups, EventGroup, GROUP_REPLAY_OVERHEAD};
 pub use metrics::{derive, DerivedMetrics};
-pub use session::{CuptiSample, CuptiSession};
+pub use session::{session_fingerprint, CuptiSample, CuptiSession};

@@ -114,6 +114,15 @@ impl CuptiSession {
         replay_factor(self.groups.len())
     }
 
+    /// Stable fingerprint of everything about this session that shapes the
+    /// sample stream: enabled groups, poll period and quantization step. Two
+    /// sessions with equal fingerprints replay a recorded counter trace into
+    /// identical samples, which is what makes cached traces reusable across
+    /// runs (`moscons::cache`).
+    pub fn fingerprint(&self) -> String {
+        session_fingerprint(&self.groups, self.poll_period_us, self.quantization)
+    }
+
     /// Aggregates an engine counter trace into fixed-period samples over
     /// `[t_start, t_end)`. Slices belonging to other contexts are ignored;
     /// counters whose group is not enabled are zeroed. Windows with no
@@ -161,6 +170,34 @@ impl CuptiSession {
         }
         samples
     }
+}
+
+/// Free-function form of [`CuptiSession::fingerprint`], usable before a
+/// session (and the context it binds to) exists. The format is versioned:
+/// any change to sample semantics must bump the leading tag so persisted
+/// caches keyed on the fingerprint invalidate.
+pub fn session_fingerprint(
+    groups: &[EventGroup],
+    poll_period_us: f64,
+    quantization: f64,
+) -> String {
+    use std::fmt::Write;
+    let mut out = String::from("cupti-v1");
+    for g in groups {
+        write!(out, ";g{}[", g.id).expect("write to string");
+        for c in &g.counters {
+            write!(out, "{},", c.event_name()).expect("write to string");
+        }
+        out.push(']');
+    }
+    write!(
+        out,
+        ";poll={:016x};quant={:016x}",
+        poll_period_us.to_bits(),
+        quantization.to_bits()
+    )
+    .expect("write to string");
+    out
 }
 
 #[cfg(test)]
@@ -266,6 +303,30 @@ mod tests {
             samples[0].counters.get(CounterId::FbSubp0ReadSectors),
             2000.0
         );
+    }
+
+    #[test]
+    fn fingerprint_tracks_every_session_knob() {
+        let base =
+            CuptiSession::open(&vm(), ContextId::test_value(0), table_iv_groups(), 100.0).unwrap();
+        // Identical sessions fingerprint identically, regardless of context.
+        let other_ctx =
+            CuptiSession::open(&vm(), ContextId::test_value(3), table_iv_groups(), 100.0).unwrap();
+        assert_eq!(base.fingerprint(), other_ctx.fingerprint());
+        // Any knob change produces a different fingerprint.
+        let fewer_groups = CuptiSession::open(
+            &vm(),
+            ContextId::test_value(0),
+            table_iv_groups()[..2].to_vec(),
+            100.0,
+        )
+        .unwrap();
+        let other_poll =
+            CuptiSession::open(&vm(), ContextId::test_value(0), table_iv_groups(), 250.0).unwrap();
+        let quantized = base.clone().with_quantization(1000.0);
+        for s in [&fewer_groups, &other_poll, &quantized] {
+            assert_ne!(base.fingerprint(), s.fingerprint());
+        }
     }
 
     #[test]

@@ -41,14 +41,14 @@ pub fn trace_events(records: &[KernelRecord], ctx: ContextId) -> Vec<TraceEvent>
         .iter()
         .filter(|r| r.ctx == ctx)
         .map(|r| TraceEvent {
-            name: r.name.clone(),
+            name: r.name.to_string(),
             ph: "X",
             ts: r.start_us,
             dur: r.duration_us(),
             pid: r.ctx.index(),
             tid: 0,
             args: TraceArgs {
-                op: r.op_tag.clone(),
+                op: r.op_tag.as_deref().map(str::to_owned),
             },
         })
         .collect()
@@ -80,8 +80,8 @@ mod tests {
     fn rec(ctx: usize, name: &str, tag: Option<&str>, t0: f64, t1: f64) -> KernelRecord {
         KernelRecord {
             ctx: ContextId::test_value(ctx),
-            name: name.to_owned(),
-            op_tag: tag.map(str::to_owned),
+            name: name.into(),
+            op_tag: tag.map(Into::into),
             start_us: t0,
             end_us: t1,
         }

@@ -5,6 +5,7 @@
 
 use rand::rngs::StdRng;
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 
 use gpu_sim::{ContextId, Gpu};
 
@@ -14,7 +15,7 @@ use crate::ops::Op;
 use crate::planner::plan_iteration;
 
 /// Host-side training-loop configuration.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TrainingConfig {
     /// Mini-batch size.
     pub batch: usize,

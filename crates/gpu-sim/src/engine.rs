@@ -42,6 +42,13 @@ impl ContextId {
         self.0
     }
 
+    /// Constructs an id from a raw index. Intended for replaying recorded
+    /// timelines (e.g. a persisted trace cache); an id fabricated this way is
+    /// only meaningful against the engine instance it was recorded from.
+    pub fn from_index(i: usize) -> Self {
+        ContextId(i)
+    }
+
     /// Constructs an arbitrary id for tests.
     #[doc(hidden)]
     pub fn test_value(i: usize) -> Self {
@@ -89,8 +96,10 @@ struct Context {
     kernels_completed: u64,
     /// Name of the most recently started kernel; peak occupancy persists
     /// across launches of the same kernel (an auto-repeating spy reuses its
-    /// buffers), and resets when a different kernel starts.
-    last_kernel_name: Option<String>,
+    /// buffers), and resets when a different kernel starts. Compared by
+    /// value (not pointer): two interned copies of the same name must keep
+    /// the peak, two different names sharing an allocation cannot exist.
+    last_kernel_name: Option<std::sync::Arc<str>>,
     /// Highest global/tex occupancy reached by the current kernel; refetch
     /// restores residency only up to this level (a fresh kernel's compulsory
     /// traffic is part of its footprint instead).
@@ -498,7 +507,7 @@ impl Gpu {
         let Some(desc) = desc else { return false };
         let nominal = desc.nominal_duration_us(&self.config);
         let c = &mut self.contexts[idx];
-        if c.last_kernel_name.as_deref() != Some(desc.name.as_str()) {
+        if c.last_kernel_name.as_deref() != Some(&*desc.name) {
             let occ = self.l2.occupancy(idx);
             c.peak_global = occ.global();
             c.peak_tex = occ.tex;
@@ -844,7 +853,7 @@ mod tests {
         let t_shared = shared
             .kernel_log()
             .iter()
-            .find(|r| r.name == "work")
+            .find(|r| &*r.name == "work")
             .unwrap()
             .duration_us();
         assert!(
@@ -998,14 +1007,14 @@ mod tests {
         let spy_launches: Vec<&KernelRecord> = gpu
             .kernel_log()
             .iter()
-            .filter(|r| r.name == "spy")
+            .filter(|r| &*r.name == "spy")
             .collect();
         // Spy only completes kernels inside the single 3 ms gap (plus the
         // trailing idle period, which run_until_queues_drain cuts short).
         let victim_iter1_end = gpu
             .kernel_log()
             .iter()
-            .find(|r| r.name == "iter1")
+            .find(|r| &*r.name == "iter1")
             .unwrap()
             .end_us;
         let during_iter1 = spy_launches

@@ -2,6 +2,8 @@
 //! memory/compute footprint from which the engine derives durations, cache
 //! pressure and counter activity.
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
 use crate::config::GpuConfig;
@@ -82,12 +84,15 @@ impl KernelFootprint {
 /// A kernel ready to be enqueued on a context.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct KernelDesc {
-    /// Kernel name (e.g. a cuDNN entry point).
-    pub name: String,
+    /// Kernel name (e.g. a cuDNN entry point). Interned: cloning a
+    /// description (the engine clones one per auto-repeat launch and per
+    /// completed-launch record) bumps a refcount instead of copying a heap
+    /// string.
+    pub name: Arc<str>,
     /// Ground-truth operation tag attached by the framework layer (e.g.
     /// `"Conv2D"`); this is what the TensorFlow-timeline profiler exposes and
     /// what the attack's training phase aligns against.
-    pub op_tag: Option<String>,
+    pub op_tag: Option<Arc<str>>,
     /// Grid size in blocks.
     pub blocks: u32,
     /// Threads per block.
@@ -103,7 +108,7 @@ impl KernelDesc {
     ///
     /// Panics if the launch geometry is zero or the footprint is invalid.
     pub fn new(
-        name: impl Into<String>,
+        name: impl Into<Arc<str>>,
         blocks: u32,
         threads_per_block: u32,
         footprint: KernelFootprint,
@@ -124,7 +129,7 @@ impl KernelDesc {
     }
 
     /// Attaches a ground-truth operation tag (builder style).
-    pub fn with_tag(mut self, tag: impl Into<String>) -> Self {
+    pub fn with_tag(mut self, tag: impl Into<Arc<str>>) -> Self {
         self.op_tag = Some(tag.into());
         self
     }

@@ -2,6 +2,8 @@
 //! TensorFlow-style profiler exposes) and per-slice counter deltas (what the
 //! CUPTI layer samples).
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
 use crate::counters::CounterValues;
@@ -12,10 +14,10 @@ use crate::engine::ContextId;
 pub struct KernelRecord {
     /// Owning context.
     pub ctx: ContextId,
-    /// Kernel name.
-    pub name: String,
+    /// Kernel name, shared with the [`crate::KernelDesc`] it came from.
+    pub name: Arc<str>,
     /// Ground-truth op tag, if the framework attached one.
-    pub op_tag: Option<String>,
+    pub op_tag: Option<Arc<str>>,
     /// Launch start, microseconds.
     pub start_us: f64,
     /// Completion, microseconds.
@@ -79,8 +81,8 @@ mod tests {
     fn rec(tag: &str, start: f64, end: f64) -> KernelRecord {
         KernelRecord {
             ctx: ContextId::test_value(0),
-            name: tag.to_owned(),
-            op_tag: Some(tag.to_owned()),
+            name: tag.into(),
+            op_tag: Some(tag.into()),
             start_us: start,
             end_us: end,
         }

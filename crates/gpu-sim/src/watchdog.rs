@@ -92,7 +92,7 @@ pub fn profile_contexts(
         .map(|records| {
             let launches = records.len();
             let distinct: std::collections::BTreeSet<&str> =
-                records.iter().map(|r| r.name.as_str()).collect();
+                records.iter().map(|r| &*r.name).collect();
             let mean_wall =
                 records.iter().map(|r| r.duration_us()).sum::<f64>() / launches.max(1) as f64;
             ContextProfile {

@@ -53,11 +53,27 @@ pub fn relu_deriv(x: f32) -> f32 {
 ///
 /// Panics if `logits` is empty.
 pub fn softmax(logits: &[f32]) -> Vec<f32> {
+    let mut out = Vec::new();
+    softmax_into(logits, &mut out);
+    out
+}
+
+/// In-place variant of [`softmax`]: clears `out` and writes the
+/// probabilities into it, reusing its allocation. Bitwise identical to
+/// [`softmax`] (same operations in the same order).
+///
+/// # Panics
+///
+/// Panics if `logits` is empty.
+pub fn softmax_into(logits: &[f32], out: &mut Vec<f32>) {
     assert!(!logits.is_empty(), "softmax over empty slice");
     let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-    let exps: Vec<f32> = logits.iter().map(|&l| (l - max).exp()).collect();
-    let sum: f32 = exps.iter().sum();
-    exps.into_iter().map(|e| e / sum).collect()
+    out.clear();
+    out.extend(logits.iter().map(|&l| (l - max).exp()));
+    let sum: f32 = out.iter().sum();
+    for v in out.iter_mut() {
+        *v /= sum;
+    }
 }
 
 /// Index of the maximum element (first occurrence).

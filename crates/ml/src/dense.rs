@@ -59,16 +59,44 @@ impl Dense {
 
     /// Applies the layer to every row of `xs` (T x I) producing T x O logits.
     pub fn forward(&self, xs: &Matrix) -> Matrix {
-        let mut out = Matrix::zeros(xs.rows(), self.w.rows());
-        for t in 0..xs.rows() {
-            out.set_row(t, &self.forward_one(xs.row(t)));
-        }
+        let mut out = Matrix::zeros(1, 1);
+        self.forward_into(xs, &mut out);
         out
+    }
+
+    /// In-place variant of [`Dense::forward`]: writes the logits into `out`,
+    /// resizing it (allocation-free once warm). Bitwise identical to the
+    /// allocating path — per element the same `dot + b` in the same order.
+    pub fn forward_into(&self, xs: &Matrix, out: &mut Matrix) {
+        assert_eq!(xs.cols(), self.w.cols(), "dense input width mismatch");
+        out.resize_zeroed(xs.rows(), self.w.rows());
+        for t in 0..xs.rows() {
+            let x = xs.row(t);
+            for (o, slot) in out.row_mut(t).iter_mut().enumerate() {
+                *slot = dot(self.w.row(o), x) + self.b[o];
+            }
+        }
     }
 
     /// Backward pass: given inputs `xs` (T x I) and upstream logit gradients
     /// `dlogits` (T x O), returns parameter grads and `dxs` (T x I).
     pub fn backward(&self, xs: &Matrix, dlogits: &Matrix) -> (DenseGrads, Matrix) {
+        let mut grads = DenseGrads::empty();
+        let mut dxs = Matrix::zeros(1, 1);
+        self.backward_into(xs, dlogits, &mut grads, &mut dxs);
+        (grads, dxs)
+    }
+
+    /// In-place variant of [`Dense::backward`]: reshapes and fills `grads`
+    /// and `dxs`, performing no allocation once warm. Bitwise identical to
+    /// [`Dense::backward`].
+    pub fn backward_into(
+        &self,
+        xs: &Matrix,
+        dlogits: &Matrix,
+        grads: &mut DenseGrads,
+        dxs: &mut Matrix,
+    ) {
         assert_eq!(
             xs.rows(),
             dlogits.rows(),
@@ -80,21 +108,26 @@ impl Dense {
             "dense backward width mismatch"
         );
         // dW = dlogits^T * xs ; db = column sums of dlogits ; dx = dlogits * W
-        let w_grad = dlogits.t_matmul(xs);
-        let mut b_grad = vec![0.0f32; self.w.rows()];
+        dlogits.t_matmul_into(xs, &mut grads.w);
+        grads.b.clear();
+        grads.b.resize(self.w.rows(), 0.0);
         for t in 0..dlogits.rows() {
-            for (bg, &d) in b_grad.iter_mut().zip(dlogits.row(t)) {
+            for (bg, &d) in grads.b.iter_mut().zip(dlogits.row(t)) {
                 *bg += d;
             }
         }
-        let dxs = dlogits.matmul(&self.w);
-        (
-            DenseGrads {
-                w: w_grad,
-                b: b_grad,
-            },
-            dxs,
-        )
+        dlogits.matmul_into(&self.w, dxs);
+    }
+}
+
+impl DenseGrads {
+    /// A placeholder gradient set ready to be shaped by
+    /// [`Dense::backward_into`].
+    pub fn empty() -> Self {
+        DenseGrads {
+            w: Matrix::zeros(1, 1),
+            b: Vec::new(),
+        }
     }
 }
 

@@ -16,6 +16,8 @@
 //! * [`optim`] — SGD / Adam / Adagrad and gradient clipping;
 //! * [`par`] — deterministic scoped worker pool used by the data-parallel
 //!   training and inference paths;
+//! * [`workspace`] — pooled, reusable training buffers behind the
+//!   allocation-free epoch loop;
 //! * [`scale`] — MinMax scaling (§IV-A pre-processing);
 //! * [`metrics`] — accuracy, confusion matrices, `mean(σ)` summaries;
 //! * [`data`] — sequence datasets, one-hot encoding, splits.
@@ -44,6 +46,7 @@ pub mod par;
 pub mod scale;
 pub mod seq;
 pub mod tree;
+pub mod workspace;
 
 pub use data::SeqExample;
 pub use gbdt::{GbdtBinaryClassifier, GbdtConfig};

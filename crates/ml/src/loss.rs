@@ -7,7 +7,7 @@
 //!   `OtherOp` are neglected entirely while the forward pass still consumes
 //!   them).
 
-use crate::activation::softmax;
+use crate::activation::softmax_into;
 
 /// Result of a softmax cross-entropy evaluation over one timestep.
 #[derive(Debug, Clone)]
@@ -35,6 +35,40 @@ pub fn softmax_cross_entropy(
     class_weights: &[f32],
     masked: bool,
 ) -> LossEval {
+    let mut probs = Vec::new();
+    let mut dlogits = vec![0.0; logits.len()];
+    let loss = softmax_cross_entropy_into(
+        logits,
+        target,
+        class_weights,
+        masked,
+        &mut dlogits,
+        &mut probs,
+    );
+    LossEval {
+        loss,
+        dlogits,
+        probs,
+    }
+}
+
+/// In-place variant of [`softmax_cross_entropy`]: writes the logit gradient
+/// into `dlogits_out` (which must have the logits' length) and the softmax
+/// probabilities into `probs`, returning the loss. Bitwise identical to the
+/// allocating path; used by the allocation-free training workspace.
+///
+/// # Panics
+///
+/// Panics if `target >= logits.len()`, the weight vector length mismatches,
+/// or `dlogits_out.len() != logits.len()`.
+pub fn softmax_cross_entropy_into(
+    logits: &[f32],
+    target: usize,
+    class_weights: &[f32],
+    masked: bool,
+    dlogits_out: &mut [f32],
+    probs: &mut Vec<f32>,
+) -> f32 {
     assert!(
         target < logits.len(),
         "target class {} out of range {}",
@@ -46,27 +80,21 @@ pub fn softmax_cross_entropy(
         logits.len(),
         "class weight length mismatch"
     );
-    let probs = softmax(logits);
+    assert_eq!(dlogits_out.len(), logits.len(), "dlogits length mismatch");
+    softmax_into(logits, probs);
     if masked {
-        return LossEval {
-            loss: 0.0,
-            dlogits: vec![0.0; logits.len()],
-            probs,
-        };
+        dlogits_out.fill(0.0);
+        return 0.0;
     }
     let w = class_weights[target];
     let p = probs[target].max(1e-12);
     let loss = -w * p.ln();
-    let mut dlogits = probs.clone();
-    dlogits[target] -= 1.0;
-    for d in dlogits.iter_mut() {
+    dlogits_out.copy_from_slice(probs);
+    dlogits_out[target] -= 1.0;
+    for d in dlogits_out.iter_mut() {
         *d *= w;
     }
-    LossEval {
-        loss,
-        dlogits,
-        probs,
-    }
+    loss
 }
 
 /// Uniform class weights of the given arity.

@@ -36,6 +36,10 @@ pub struct LstmCache {
     o: Matrix,
     /// Cell states per timestep (T x H).
     c: Matrix,
+    /// `tanh` of each cell state (T x H) — computed on the forward pass
+    /// anyway (for `h = o * tanh(c)`), cached so backward never recomputes a
+    /// transcendental.
+    tc: Matrix,
     /// Hidden states per timestep (T x H).
     pub h: Matrix,
 }
@@ -49,6 +53,91 @@ pub struct LstmGrads {
     pub wh: Matrix,
     /// d/d b, length 4H.
     pub b: Vec<f32>,
+}
+
+impl LstmCache {
+    /// A placeholder cache ready to be shaped by [`LstmLayer::forward_into`].
+    pub fn empty() -> Self {
+        LstmCache {
+            xs: Matrix::zeros(1, 1),
+            i: Matrix::zeros(1, 1),
+            f: Matrix::zeros(1, 1),
+            g: Matrix::zeros(1, 1),
+            o: Matrix::zeros(1, 1),
+            c: Matrix::zeros(1, 1),
+            tc: Matrix::zeros(1, 1),
+            h: Matrix::zeros(1, 1),
+        }
+    }
+}
+
+impl LstmGrads {
+    /// A placeholder gradient set ready to be shaped by
+    /// [`LstmLayer::backward_into`].
+    pub fn empty() -> Self {
+        LstmGrads {
+            wx: Matrix::zeros(1, 1),
+            wh: Matrix::zeros(1, 1),
+            b: Vec::new(),
+        }
+    }
+}
+
+/// Reusable temporaries for [`LstmLayer::forward_into`] /
+/// [`LstmLayer::backward_into`]: every intermediate the fused passes need,
+/// resized (never reallocated, once warm) per call. One scratch serves any
+/// number of layers and sequence lengths because each pass fully overwrites
+/// what it reads.
+#[derive(Debug, Clone)]
+pub struct LstmScratch {
+    x_proj: Matrix,
+    wxt: Matrix,
+    wht: Matrix,
+    h_prev: Vec<f32>,
+    c_prev: Vec<f32>,
+    pre: Vec<f32>,
+    acc: Vec<f32>,
+    da_mat: Matrix,
+    dh_next: Vec<f32>,
+    dc_next: Vec<f32>,
+    da_rev: Matrix,
+    xs_rev: Matrix,
+    da_tail: Matrix,
+    h_tail: Matrix,
+}
+
+impl LstmScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        LstmScratch {
+            x_proj: Matrix::zeros(1, 1),
+            wxt: Matrix::zeros(1, 1),
+            wht: Matrix::zeros(1, 1),
+            h_prev: Vec::new(),
+            c_prev: Vec::new(),
+            pre: Vec::new(),
+            acc: Vec::new(),
+            da_mat: Matrix::zeros(1, 1),
+            dh_next: Vec::new(),
+            dc_next: Vec::new(),
+            da_rev: Matrix::zeros(1, 1),
+            xs_rev: Matrix::zeros(1, 1),
+            da_tail: Matrix::zeros(1, 1),
+            h_tail: Matrix::zeros(1, 1),
+        }
+    }
+}
+
+impl Default for LstmScratch {
+    fn default() -> Self {
+        LstmScratch::new()
+    }
+}
+
+/// Clears `v` and refills it with `n` zeros, keeping its allocation.
+fn reset_zeroed(v: &mut Vec<f32>, n: usize) {
+    v.clear();
+    v.resize(n, 0.0);
 }
 
 impl LstmLayer {
@@ -100,47 +189,91 @@ impl LstmLayer {
     ///
     /// Panics if `xs.cols() != input_size`.
     pub fn forward(&self, xs: &Matrix) -> LstmCache {
+        let mut cache = LstmCache::empty();
+        let mut scratch = LstmScratch::new();
+        self.forward_into(xs, &mut cache, &mut scratch);
+        cache
+    }
+
+    /// In-place variant of [`LstmLayer::forward`]: reshapes and fills `cache`
+    /// using `scratch` for temporaries, performing no allocation once both
+    /// have warm capacity. Bitwise identical to [`LstmLayer::forward`] (same
+    /// kernels, same order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs.cols() != input_size`.
+    pub fn forward_into(&self, xs: &Matrix, cache: &mut LstmCache, scratch: &mut LstmScratch) {
         assert_eq!(xs.cols(), self.input_size, "lstm input width mismatch");
         let t_len = xs.rows();
         let h_size = self.hidden_size;
-        let mut cache = LstmCache {
-            xs: xs.clone(),
-            i: Matrix::zeros(t_len, h_size),
-            f: Matrix::zeros(t_len, h_size),
-            g: Matrix::zeros(t_len, h_size),
-            o: Matrix::zeros(t_len, h_size),
-            c: Matrix::zeros(t_len, h_size),
-            h: Matrix::zeros(t_len, h_size),
-        };
-        // T x 4H: x_proj[t][j] = dot(xs.row(t), wx.row(j)), the same
-        // ascending-index dot the naive path computes per timestep.
-        let x_proj = xs.matmul_t(&self.wx);
-        let mut h_prev = vec![0.0f32; h_size];
-        let mut c_prev = vec![0.0f32; h_size];
-        let mut pre = vec![0.0f32; 4 * h_size];
+        cache.xs.copy_from(xs);
+        cache.i.resize_zeroed(t_len, h_size);
+        cache.f.resize_zeroed(t_len, h_size);
+        cache.g.resize_zeroed(t_len, h_size);
+        cache.o.resize_zeroed(t_len, h_size);
+        cache.c.resize_zeroed(t_len, h_size);
+        cache.tc.resize_zeroed(t_len, h_size);
+        cache.h.resize_zeroed(t_len, h_size);
+        // T x 4H: x_proj[t][j] = dot(xs.row(t), wx.row(j)). Computed as
+        // xs * wx^T through the transposed copy: `matmul`'s per-element `k`
+        // chain is the same ascending dot, but its inner loop runs over
+        // independent output columns, which vectorizes (the naive path's
+        // horizontal dot reduction cannot).
+        self.wx.transposed_into(&mut scratch.wxt);
+        xs.matmul_into(&scratch.wxt, &mut scratch.x_proj);
+        // H x 4H: the recurrent matvec below walks wh^T rows for the same
+        // lane-parallel inner loop.
+        self.wh.transposed_into(&mut scratch.wht);
+        reset_zeroed(&mut scratch.h_prev, h_size);
+        reset_zeroed(&mut scratch.c_prev, h_size);
+        reset_zeroed(&mut scratch.pre, 4 * h_size);
+        reset_zeroed(&mut scratch.acc, 4 * h_size);
+        let (h_prev, c_prev, pre, acc) = (
+            &mut scratch.h_prev,
+            &mut scratch.c_prev,
+            &mut scratch.pre,
+            &mut scratch.acc,
+        );
         for t in 0..t_len {
-            let xp = x_proj.row(t);
-            for j in 0..4 * h_size {
-                pre[j] = xp[j] + dot(self.wh.row(j), &h_prev) + self.b[j];
+            let xp = scratch.x_proj.row(t);
+            // acc[j] = dot(wh.row(j), h_prev), ascending k per element —
+            // the naive chain, with j as the vector lane.
+            acc.fill(0.0);
+            for (k, &hv) in h_prev.iter().enumerate() {
+                for (a, &w) in acc.iter_mut().zip(scratch.wht.row(k)) {
+                    *a += w * hv;
+                }
             }
+            for (((p, &x), &a), &b) in pre.iter_mut().zip(xp).zip(acc.iter()).zip(&self.b) {
+                *p = x + a + b;
+            }
+            let i_row = cache.i.row_mut(t);
+            let f_row = cache.f.row_mut(t);
+            let g_row = cache.g.row_mut(t);
+            let o_row = cache.o.row_mut(t);
+            let c_row = cache.c.row_mut(t);
+            let tc_row = cache.tc.row_mut(t);
+            let h_row = cache.h.row_mut(t);
             for k in 0..h_size {
                 let i = sigmoid(pre[k]);
                 let f = sigmoid(pre[h_size + k]);
                 let g = pre[2 * h_size + k].tanh();
                 let o = sigmoid(pre[3 * h_size + k]);
                 let c = f * c_prev[k] + i * g;
-                let h = o * c.tanh();
-                cache.i[(t, k)] = i;
-                cache.f[(t, k)] = f;
-                cache.g[(t, k)] = g;
-                cache.o[(t, k)] = o;
-                cache.c[(t, k)] = c;
-                cache.h[(t, k)] = h;
+                let tanh_c = c.tanh();
+                let h = o * tanh_c;
+                i_row[k] = i;
+                f_row[k] = f;
+                g_row[k] = g;
+                o_row[k] = o;
+                c_row[k] = c;
+                tc_row[k] = tanh_c;
+                h_row[k] = h;
             }
-            h_prev.copy_from_slice(cache.h.row(t));
-            c_prev.copy_from_slice(cache.c.row(t));
+            h_prev.copy_from_slice(h_row);
+            c_prev.copy_from_slice(c_row);
         }
-        cache
     }
 
     /// Reference forward pass: per-timestep, per-gate dot products. Kept as
@@ -157,6 +290,7 @@ impl LstmLayer {
             g: Matrix::zeros(t_len, h_size),
             o: Matrix::zeros(t_len, h_size),
             c: Matrix::zeros(t_len, h_size),
+            tc: Matrix::zeros(t_len, h_size),
             h: Matrix::zeros(t_len, h_size),
         };
         let mut h_prev = vec![0.0f32; h_size];
@@ -173,12 +307,14 @@ impl LstmLayer {
                 let g = pre[2 * h_size + k].tanh();
                 let o = sigmoid(pre[3 * h_size + k]);
                 let c = f * c_prev[k] + i * g;
-                let h = o * c.tanh();
+                let tanh_c = c.tanh();
+                let h = o * tanh_c;
                 cache.i[(t, k)] = i;
                 cache.f[(t, k)] = f;
                 cache.g[(t, k)] = g;
                 cache.o[(t, k)] = o;
                 cache.c[(t, k)] = c;
+                cache.tc[(t, k)] = tanh_c;
                 cache.h[(t, k)] = h;
             }
             h_prev.copy_from_slice(cache.h.row(t));
@@ -201,27 +337,54 @@ impl LstmLayer {
     /// the exact same floating-point summation order, keeping this path
     /// bitwise equal to [`LstmLayer::backward_naive`].
     pub fn backward(&self, cache: &LstmCache, dh_out: &Matrix) -> (LstmGrads, Matrix) {
+        let mut grads = LstmGrads::empty();
+        let mut dx = Matrix::zeros(1, 1);
+        let mut scratch = LstmScratch::new();
+        self.backward_into(cache, dh_out, &mut grads, &mut dx, &mut scratch);
+        (grads, dx)
+    }
+
+    /// In-place variant of [`LstmLayer::backward`]: reshapes and fills
+    /// `grads` and `dx` using `scratch` for temporaries, performing no
+    /// allocation once everything has warm capacity. Bitwise identical to
+    /// [`LstmLayer::backward`].
+    pub fn backward_into(
+        &self,
+        cache: &LstmCache,
+        dh_out: &Matrix,
+        grads: &mut LstmGrads,
+        dx: &mut Matrix,
+        scratch: &mut LstmScratch,
+    ) {
         let t_len = cache.h.rows();
         let h_size = self.hidden_size;
         assert_eq!(dh_out.rows(), t_len, "dh_out timestep mismatch");
         assert_eq!(dh_out.cols(), h_size, "dh_out width mismatch");
 
-        let mut da_mat = Matrix::zeros(t_len, 4 * h_size);
-        let mut dh_next = vec![0.0f32; h_size];
-        let mut dc_next = vec![0.0f32; h_size];
+        scratch.da_mat.resize_zeroed(t_len, 4 * h_size);
+        reset_zeroed(&mut scratch.dh_next, h_size);
+        reset_zeroed(&mut scratch.dc_next, h_size);
+        let da_mat = &mut scratch.da_mat;
+        let dh_next = &mut scratch.dh_next;
+        let dc_next = &mut scratch.dc_next;
 
         for t in (0..t_len).rev() {
             let da = da_mat.row_mut(t);
+            let i_row = cache.i.row(t);
+            let f_row = cache.f.row(t);
+            let g_row = cache.g.row(t);
+            let o_row = cache.o.row(t);
+            let tc_row = cache.tc.row(t);
+            let dh_row = dh_out.row(t);
             for k in 0..h_size {
-                let i = cache.i[(t, k)];
-                let f = cache.f[(t, k)];
-                let g = cache.g[(t, k)];
-                let o = cache.o[(t, k)];
-                let c = cache.c[(t, k)];
+                let i = i_row[k];
+                let f = f_row[k];
+                let g = g_row[k];
+                let o = o_row[k];
                 let c_prev = if t == 0 { 0.0 } else { cache.c[(t - 1, k)] };
-                let tanh_c = c.tanh();
+                let tanh_c = tc_row[k];
 
-                let dh = dh_out[(t, k)] + dh_next[k];
+                let dh = dh_row[k] + dh_next[k];
                 let d_o = dh * tanh_c;
                 let dc = dh * o * tanh_deriv_from_output(tanh_c) + dc_next[k];
                 let d_i = dc * g;
@@ -245,32 +408,33 @@ impl LstmLayer {
 
         // dx[t] = da[t] * wx: per element the j summation runs ascending,
         // exactly like the serial inner loop.
-        let dx = da_mat.matmul(&self.wx);
+        da_mat.matmul_into(&self.wx, dx);
 
-        let mut grads = LstmGrads {
-            wx: Matrix::zeros(4 * h_size, self.input_size),
-            wh: Matrix::zeros(4 * h_size, h_size),
-            b: vec![0.0; 4 * h_size],
-        };
+        reset_zeroed(&mut grads.b, 4 * h_size);
         for t in (0..t_len).rev() {
             for (bj, &a) in grads.b.iter_mut().zip(da_mat.row(t)) {
                 *bj += a;
             }
         }
-        let da_rev = reversed_rows(&da_mat);
-        let xs_rev = reversed_rows(&cache.xs);
-        grads.wx = da_rev.t_matmul(&xs_rev);
+        reversed_rows_into(da_mat, &mut scratch.da_rev);
+        reversed_rows_into(&cache.xs, &mut scratch.xs_rev);
+        scratch.da_rev.t_matmul_into(&scratch.xs_rev, &mut grads.wx);
         if t_len > 1 {
             // Gate deltas for t = T-1..1 (descending) against h for t-1.
-            let mut da_tail = Matrix::zeros(t_len - 1, 4 * h_size);
-            let mut h_tail = Matrix::zeros(t_len - 1, h_size);
+            scratch.da_tail.resize_zeroed(t_len - 1, 4 * h_size);
+            scratch.h_tail.resize_zeroed(t_len - 1, h_size);
             for (r, t) in (1..t_len).rev().enumerate() {
-                da_tail.set_row(r, da_mat.row(t));
-                h_tail.set_row(r, cache.h.row(t - 1));
+                scratch
+                    .da_tail
+                    .set_row(r, scratch.da_rev.row(t_len - 1 - t));
+                scratch.h_tail.set_row(r, cache.h.row(t - 1));
             }
-            grads.wh = da_tail.t_matmul(&h_tail);
+            scratch
+                .da_tail
+                .t_matmul_into(&scratch.h_tail, &mut grads.wh);
+        } else {
+            grads.wh.resize_zeroed(4 * h_size, h_size);
         }
-        (grads, dx)
     }
 
     /// Reference BPTT: the straightforward per-timestep accumulation loops.
@@ -345,14 +509,13 @@ impl LstmLayer {
     }
 }
 
-/// Copy of `m` with the row order reversed (used to turn an ascending GEMM
-/// row scan into a descending-`t` accumulation).
-fn reversed_rows(m: &Matrix) -> Matrix {
-    let mut out = Matrix::zeros(m.rows(), m.cols());
+/// Writes `m` with the row order reversed into `out` (used to turn an
+/// ascending GEMM row scan into a descending-`t` accumulation).
+fn reversed_rows_into(m: &Matrix, out: &mut Matrix) {
+    out.resize_zeroed(m.rows(), m.cols());
     for t in 0..m.rows() {
         out.set_row(t, m.row(m.rows() - 1 - t));
     }
-    out
 }
 
 #[cfg(test)]
@@ -486,6 +649,30 @@ mod tests {
             assert_eq!(gf.wh, gn.wh, "wh grads differ at T={}", t_len);
             assert_eq!(gf.b, gn.b, "b grads differ at T={}", t_len);
             assert_eq!(dxf, dxn, "dx differs at T={}", t_len);
+        }
+    }
+
+    #[test]
+    fn reused_cache_and_scratch_match_fresh_allocations_bitwise() {
+        let mut rng = StdRng::seed_from_u64(0x5c1a);
+        let layer = LstmLayer::new(5, 7, &mut rng);
+        let mut cache = LstmCache::empty();
+        let mut grads = LstmGrads::empty();
+        let mut dx = Matrix::zeros(1, 1);
+        let mut scratch = LstmScratch::new();
+        // Shrinking then growing T exercises stale-capacity reuse.
+        for t_len in [9usize, 1, 4, 12] {
+            let xs = Matrix::uniform(t_len, 5, 1.0, &mut rng);
+            let dh = Matrix::uniform(t_len, 7, 1.0, &mut rng);
+            layer.forward_into(&xs, &mut cache, &mut scratch);
+            layer.backward_into(&cache, &dh, &mut grads, &mut dx, &mut scratch);
+            let fresh_cache = layer.forward(&xs);
+            let (fresh_grads, fresh_dx) = layer.backward(&fresh_cache, &dh);
+            assert_eq!(cache.h, fresh_cache.h, "h differs at T={}", t_len);
+            assert_eq!(grads.wx, fresh_grads.wx, "wx differs at T={}", t_len);
+            assert_eq!(grads.wh, fresh_grads.wh, "wh differs at T={}", t_len);
+            assert_eq!(grads.b, fresh_grads.b, "b differs at T={}", t_len);
+            assert_eq!(dx, fresh_dx, "dx differs at T={}", t_len);
         }
     }
 

@@ -184,6 +184,31 @@ impl Matrix {
         self.row_mut(r).copy_from_slice(src);
     }
 
+    /// Reshapes in place to `rows` x `cols` and zero-fills, reusing the
+    /// existing allocation whenever its capacity suffices. This is the
+    /// workhorse of the training [`crate::workspace::Workspace`]: buffers are
+    /// resized per example instead of reallocated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn resize_zeroed(&mut self, rows: usize, cols: usize) {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Copies `src` into `self`, adopting its shape, without reallocating
+    /// when capacity allows.
+    pub fn copy_from(&mut self, src: &Matrix) {
+        self.rows = src.rows;
+        self.cols = src.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
     /// Matrix product `self * other`.
     ///
     /// Uses a j-tiled kernel parallelized over output-row blocks for large
@@ -195,12 +220,21 @@ impl Matrix {
     ///
     /// Panics if `self.cols() != other.rows()`.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(1, 1);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// In-place variant of [`Matrix::matmul`]: writes the product into `out`,
+    /// resizing it (allocation-free once capacity is warm). Bitwise identical
+    /// to the allocating path — same kernel, same summation order.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, other.rows,
             "matmul shape mismatch: {}x{} * {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Matrix::zeros(self.rows, other.cols);
+        out.resize_zeroed(self.rows, other.cols);
         run_row_blocks(
             &mut out.data,
             self.rows,
@@ -223,7 +257,6 @@ impl Matrix {
                 }
             },
         );
-        out
     }
 
     /// Reference `self * other`: the plain i-k-j triple loop. Kept as the
@@ -253,12 +286,20 @@ impl Matrix {
     /// Per output element the `k` order is ascending, matching
     /// [`Matrix::t_matmul_naive`] bitwise.
     pub fn t_matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(1, 1);
+        self.t_matmul_into(other, &mut out);
+        out
+    }
+
+    /// In-place variant of [`Matrix::t_matmul`]: writes `self^T * other` into
+    /// `out`, resizing it. Bitwise identical to the allocating path.
+    pub fn t_matmul_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.rows, other.rows,
             "t_matmul shape mismatch: ({}x{})^T * {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Matrix::zeros(self.cols, other.cols);
+        out.resize_zeroed(self.cols, other.cols);
         run_row_blocks(
             &mut out.data,
             self.cols,
@@ -279,7 +320,6 @@ impl Matrix {
                 }
             },
         );
-        out
     }
 
     /// Reference `self^T * other`: the plain k-i-j triple loop.
@@ -307,12 +347,20 @@ impl Matrix {
     /// parallelized over output-row blocks. The accumulation order within
     /// each dot product is unchanged from the serial version.
     pub fn matmul_t(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(1, 1);
+        self.matmul_t_into(other, &mut out);
+        out
+    }
+
+    /// In-place variant of [`Matrix::matmul_t`]: writes `self * other^T` into
+    /// `out`, resizing it. Bitwise identical to the allocating path.
+    pub fn matmul_t_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, other.cols,
             "matmul_t shape mismatch: {}x{} * ({}x{})^T",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Matrix::zeros(self.rows, other.rows);
+        out.resize_zeroed(self.rows, other.rows);
         run_row_blocks(
             &mut out.data,
             self.rows,
@@ -333,12 +381,23 @@ impl Matrix {
                 }
             },
         );
-        out
     }
 
     /// Transposed copy.
     pub fn transposed(&self) -> Matrix {
         Matrix::from_fn(self.cols, self.rows, |r, c| self[(c, r)])
+    }
+
+    /// Writes the transpose of `self` into `out`, resizing it
+    /// (allocation-free once capacity is warm).
+    pub fn transposed_into(&self, out: &mut Matrix) {
+        out.resize_zeroed(self.cols, self.rows);
+        for r in 0..self.rows {
+            let src = self.row(r);
+            for (c, &v) in src.iter().enumerate() {
+                out.data[c * self.rows + r] = v;
+            }
+        }
     }
 
     /// Element-wise sum `self + other`.
@@ -642,6 +701,38 @@ mod tests {
     #[test]
     fn dot_product() {
         assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+    }
+
+    #[test]
+    fn into_kernels_reuse_buffers_and_match_allocating_paths() {
+        let mut rng = StdRng::seed_from_u64(0x17_70);
+        let mut out = Matrix::zeros(200, 200); // warm capacity, stale contents
+        out.map_inplace(|_| 7.5);
+        for &(m, k, n) in &[(4usize, 6usize, 5usize), (9, 3, 11), (1, 1, 1)] {
+            let a = Matrix::uniform(m, k, 1.0, &mut rng);
+            let b = Matrix::uniform(k, n, 1.0, &mut rng);
+            a.matmul_into(&b, &mut out);
+            assert_eq!(out, a.matmul_naive(&b));
+
+            let at = Matrix::uniform(k, m, 1.0, &mut rng);
+            at.t_matmul_into(&b, &mut out);
+            assert_eq!(out, at.t_matmul_naive(&b));
+
+            let bt = Matrix::uniform(n, k, 1.0, &mut rng);
+            a.matmul_t_into(&bt, &mut out);
+            assert_eq!(out, a.matmul(&bt.transposed()));
+        }
+    }
+
+    #[test]
+    fn resize_and_copy_from() {
+        let mut m = Matrix::filled(3, 3, 2.0);
+        m.resize_zeroed(2, 5);
+        assert_eq!((m.rows(), m.cols()), (2, 5));
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+        let src = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        m.copy_from(&src);
+        assert_eq!(m, src);
     }
 
     #[test]

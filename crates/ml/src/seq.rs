@@ -8,11 +8,12 @@ use rand::SeedableRng;
 
 use crate::activation::argmax;
 use crate::data::SeqExample;
-use crate::dense::Dense;
-use crate::loss::{softmax_cross_entropy, uniform_weights};
-use crate::lstm::LstmLayer;
+use crate::dense::{Dense, DenseGrads};
+use crate::loss::{softmax_cross_entropy, softmax_cross_entropy_into, uniform_weights};
+use crate::lstm::{LstmGrads, LstmLayer};
 use crate::matrix::Matrix;
 use crate::optim::{clip_global_norm, Adam, Optimizer};
+use crate::workspace::{Workspace, WorkspacePool};
 
 /// Training/topology configuration for a [`SequenceClassifier`].
 #[derive(Debug, Clone)]
@@ -166,8 +167,72 @@ impl SequenceClassifier {
     }
 
     /// Full forward + backward pass for one example against frozen
-    /// parameters. Runs on pool workers during `fit`; it only reads the
-    /// model, so any number of examples can run concurrently.
+    /// parameters, writing every intermediate and result into `ws` without
+    /// allocating (once the workspace is warm). Runs on pool workers during
+    /// `fit`; it only reads the model, so any number of examples can run
+    /// concurrently. Every buffer it reads is fully overwritten first, so
+    /// the result is independent of the workspace's previous contents —
+    /// property-tested bitwise-equal to [`SequenceClassifier::example_pass`].
+    fn example_pass_into(
+        layers: &[LstmLayer],
+        head: &Dense,
+        xs: &Matrix,
+        ex: &SeqExample,
+        weights: &[f32],
+        ws: &mut Workspace,
+    ) {
+        debug_assert_eq!(ws.layer_count(), layers.len());
+        // Forward through the LSTM stack; each layer reads the previous
+        // layer's cached hidden states directly instead of cloning them.
+        for (li, layer) in layers.iter().enumerate() {
+            let (done, rest) = ws.caches.split_at_mut(li);
+            let input = if li == 0 { xs } else { &done[li - 1].h };
+            layer.forward_into(input, &mut rest[0], &mut ws.scratch);
+        }
+        let last_h = &ws.caches[layers.len() - 1].h;
+        head.forward_into(last_h, &mut ws.logits);
+
+        // Loss + dlogits per timestep.
+        ws.losses.clear();
+        ws.correct = 0;
+        ws.dlogits.resize_zeroed(ws.logits.rows(), ws.logits.cols());
+        for t in 0..ws.logits.rows() {
+            let loss = softmax_cross_entropy_into(
+                ws.logits.row(t),
+                ex.labels[t],
+                weights,
+                !ex.mask[t],
+                ws.dlogits.row_mut(t),
+                &mut ws.probs,
+            );
+            if ex.mask[t] {
+                ws.losses.push(loss);
+                if argmax(&ws.probs) == ex.labels[t] {
+                    ws.correct += 1;
+                }
+            }
+        }
+
+        // Backward; `dh`/`dx` swap roles as the gradient walks down the
+        // stack, exactly mirroring the allocating path's `dh = dx`.
+        head.backward_into(last_h, &ws.dlogits, &mut ws.head_grads, &mut ws.dh);
+        for (li, layer) in layers.iter().enumerate().rev() {
+            layer.backward_into(
+                &ws.caches[li],
+                &ws.dh,
+                &mut ws.layer_grads[li],
+                &mut ws.dx,
+                &mut ws.scratch,
+            );
+            std::mem::swap(&mut ws.dh, &mut ws.dx);
+        }
+    }
+
+    /// Reference full forward + backward pass for one example, allocating
+    /// every intermediate. Kept as the ground truth
+    /// [`SequenceClassifier::example_pass_into`] (and therefore
+    /// [`SequenceClassifier::fit`]) must match bitwise via
+    /// [`SequenceClassifier::fit_reference`].
     fn example_pass(
         layers: &[LstmLayer],
         head: &Dense,
@@ -222,10 +287,192 @@ impl SequenceClassifier {
     /// Trains with Adam, shuffling sequences each epoch. Returns the stats of
     /// the final epoch.
     ///
+    /// The epoch loop is allocation-free in steady state: per-example
+    /// buffers live in pooled [`Workspace`]s, gradient accumulators persist
+    /// across batches, and example feature matrices are materialized once up
+    /// front. The result is bitwise identical to
+    /// [`SequenceClassifier::fit_reference`] at any thread count
+    /// (property-tested).
+    ///
     /// # Panics
     ///
     /// Panics if `data` is empty or feature widths mismatch the config.
     pub fn fit(&mut self, data: &[SeqExample]) -> EpochStats {
+        assert!(!data.is_empty(), "fit called with no data");
+        for ex in data {
+            assert_eq!(ex.width(), self.config.input_size, "feature width mismatch");
+            assert!(
+                ex.labels.iter().all(|&l| l < self.config.classes),
+                "label out of range"
+            );
+        }
+        let weights = self
+            .config
+            .class_weights
+            .clone()
+            .unwrap_or_else(|| uniform_weights(self.config.classes));
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0x9e3779b97f4a7c15);
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        // Feature matrices are re-read every epoch but never change:
+        // materialize them once instead of per pass.
+        let inputs: Vec<Matrix> = data
+            .iter()
+            .map(|ex| Self::features_to_matrix(&ex.features))
+            .collect();
+
+        let mut opt_wx: Vec<Adam> = self
+            .layers
+            .iter()
+            .map(|l| Adam::new(l.wx.len(), self.config.learning_rate))
+            .collect();
+        let mut opt_wh: Vec<Adam> = self
+            .layers
+            .iter()
+            .map(|l| Adam::new(l.wh.len(), self.config.learning_rate))
+            .collect();
+        let mut opt_b: Vec<Adam> = self
+            .layers
+            .iter()
+            .map(|l| Adam::new(l.b.len(), self.config.learning_rate))
+            .collect();
+        let mut opt_hw = Adam::new(self.head.w.len(), self.config.learning_rate);
+        let mut opt_hb = Adam::new(self.head.b.len(), self.config.learning_rate);
+
+        let pool = WorkspacePool::new(self.layers.len());
+        let mut acc_layers: Vec<LstmGrads> =
+            self.layers.iter().map(|_| LstmGrads::empty()).collect();
+        let mut acc_head = DenseGrads::empty();
+
+        self.history.clear();
+        let batch_size = self.config.batch_size.max(1);
+        let mut last = EpochStats {
+            mean_loss: 0.0,
+            accuracy: 0.0,
+        };
+        for _epoch in 0..self.config.epochs {
+            order.shuffle(&mut rng);
+            let mut loss_sum = 0.0f64;
+            let mut loss_count = 0usize;
+            let mut correct = 0usize;
+            for batch in order.chunks(batch_size) {
+                // Per-example BPTT fans out over the worker pool; results
+                // come back in batch order, so the reduction below is
+                // identical for any thread count. Workspaces cycle through a
+                // shared free list and are fully overwritten per pass, so
+                // which worker draws which workspace cannot affect the
+                // result either.
+                let layers = &self.layers;
+                let head = &self.head;
+                let (pool_ref, inputs_ref, weights_ref) = (&pool, &inputs, &weights);
+                let results = crate::par::par_map(batch, |_, &idx| {
+                    let mut ws = pool_ref.acquire();
+                    Self::example_pass_into(
+                        layers,
+                        head,
+                        &inputs_ref[idx],
+                        &data[idx],
+                        weights_ref,
+                        &mut ws,
+                    );
+                    ws
+                });
+
+                // Fixed-order reduce: the first pass's gradients are copied
+                // into the persistent accumulators (bitwise identical to
+                // seeding the sum with them, unlike adding onto zeros) and
+                // the remaining passes added in batch order.
+                let mut results = results.into_iter();
+                let first = results.next().expect("chunks yields non-empty batches");
+                for (acc, g) in acc_layers.iter_mut().zip(first.layer_grads.iter()) {
+                    acc.wx.copy_from(&g.wx);
+                    acc.wh.copy_from(&g.wh);
+                    acc.b.clear();
+                    acc.b.extend_from_slice(&g.b);
+                }
+                acc_head.w.copy_from(&first.head_grads.w);
+                acc_head.b.clear();
+                acc_head.b.extend_from_slice(&first.head_grads.b);
+                for &l in &first.losses {
+                    loss_sum += l as f64;
+                }
+                loss_count += first.losses.len();
+                correct += first.correct;
+                pool.release(first);
+                for pass in results {
+                    for (acc, g) in acc_layers.iter_mut().zip(pass.layer_grads.iter()) {
+                        acc.wx.add_assign(&g.wx);
+                        acc.wh.add_assign(&g.wh);
+                        for (a, &b) in acc.b.iter_mut().zip(g.b.iter()) {
+                            *a += b;
+                        }
+                    }
+                    acc_head.w.add_assign(&pass.head_grads.w);
+                    for (a, &b) in acc_head.b.iter_mut().zip(pass.head_grads.b.iter()) {
+                        *a += b;
+                    }
+                    for &l in &pass.losses {
+                        loss_sum += l as f64;
+                    }
+                    loss_count += pass.losses.len();
+                    correct += pass.correct;
+                    pool.release(pass);
+                }
+
+                // Average, clip and apply one optimizer step per batch.
+                {
+                    let mut bufs: Vec<&mut [f32]> = Vec::new();
+                    for g in acc_layers.iter_mut() {
+                        bufs.push(g.wx.as_mut_slice());
+                        bufs.push(g.wh.as_mut_slice());
+                        bufs.push(&mut g.b);
+                    }
+                    bufs.push(acc_head.w.as_mut_slice());
+                    bufs.push(&mut acc_head.b);
+                    if batch.len() > 1 {
+                        let inv = 1.0 / batch.len() as f32;
+                        for buf in bufs.iter_mut() {
+                            for v in buf.iter_mut() {
+                                *v *= inv;
+                            }
+                        }
+                    }
+                    clip_global_norm(&mut bufs, self.config.clip_norm);
+                }
+                for (i, g) in acc_layers.iter().enumerate() {
+                    opt_wx[i].step(self.layers[i].wx.as_mut_slice(), g.wx.as_slice());
+                    opt_wh[i].step(self.layers[i].wh.as_mut_slice(), g.wh.as_slice());
+                    opt_b[i].step(&mut self.layers[i].b, &g.b);
+                }
+                opt_hw.step(self.head.w.as_mut_slice(), acc_head.w.as_slice());
+                opt_hb.step(&mut self.head.b, &acc_head.b);
+            }
+            last = EpochStats {
+                mean_loss: if loss_count > 0 {
+                    (loss_sum / loss_count as f64) as f32
+                } else {
+                    0.0
+                },
+                accuracy: if loss_count > 0 {
+                    correct as f64 / loss_count as f64
+                } else {
+                    0.0
+                },
+            };
+            self.history.push(last);
+        }
+        last
+    }
+
+    /// Pre-workspace reference training loop: allocates every intermediate
+    /// per example, exactly as `fit` did before the allocation-free rework.
+    /// Kept as the ground truth [`SequenceClassifier::fit`] must match
+    /// bitwise (property-tested in this crate and in the repo's determinism
+    /// suite).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty or feature widths mismatch the config.
+    pub fn fit_reference(&mut self, data: &[SeqExample]) -> EpochStats {
         assert!(!data.is_empty(), "fit called with no data");
         for ex in data {
             assert_eq!(ex.width(), self.config.input_size, "feature width mismatch");
@@ -272,9 +519,6 @@ impl SequenceClassifier {
             let mut loss_count = 0usize;
             let mut correct = 0usize;
             for batch in order.chunks(batch_size) {
-                // Per-example BPTT fans out over the worker pool; results
-                // come back in batch order, so the reduction below is
-                // identical for any thread count.
                 let layers = &self.layers;
                 let head = &self.head;
                 let results = crate::par::par_map(batch, |_, &idx| {
@@ -544,6 +788,37 @@ mod tests {
                 "head bias differs (batch {})",
                 batch_size
             );
+        }
+    }
+
+    #[test]
+    fn fit_matches_allocating_reference_bitwise() {
+        let data = quadrant_dataset(10, 6, 13);
+        for (batch_size, threads) in [(1usize, 1usize), (4, 1), (1, 8), (3, 8)] {
+            let mut cfg = SeqClassifierConfig::new(2, 8, 4);
+            cfg.epochs = 4;
+            cfg.batch_size = batch_size;
+            let (pooled, reference) = crate::par::with_threads(threads, || {
+                let mut a = SequenceClassifier::new(cfg.clone());
+                a.fit(&data);
+                let mut b = SequenceClassifier::new(cfg.clone());
+                b.fit_reference(&data);
+                (a, b)
+            });
+            assert_eq!(
+                pooled.history(),
+                reference.history(),
+                "history differs (batch {}, threads {})",
+                batch_size,
+                threads
+            );
+            for (a, b) in pooled.layers.iter().zip(&reference.layers) {
+                assert_eq!(a.wx, b.wx, "wx differs (batch {})", batch_size);
+                assert_eq!(a.wh, b.wh, "wh differs (batch {})", batch_size);
+                assert_eq!(a.b, b.b, "b differs (batch {})", batch_size);
+            }
+            assert_eq!(pooled.head.w, reference.head.w);
+            assert_eq!(pooled.head.b, reference.head.b);
         }
     }
 

@@ -29,6 +29,14 @@ impl<T: Serialize + ?Sized> Serialize for &T {
     }
 }
 
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<'de, T: ?Sized> Deserialize<'de> for std::sync::Arc<T> {}
+
 impl Serialize for bool {
     fn to_json_value(&self) -> Value {
         Value::Bool(*self)
