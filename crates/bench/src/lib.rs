@@ -6,6 +6,10 @@
 //! small formatting helpers. `EXPERIMENTS.md` records the outputs next to
 //! the paper's numbers.
 
+// Enforced statically here and by leaky-lint rule D5: this crate's
+// determinism contract is easier to audit with zero unsafe code.
+#![forbid(unsafe_code)]
+
 use dnn_sim::{zoo, InputSpec, Model, TrainingConfig, TrainingSession};
 use moscons::attack::{AttackConfig, Moscons};
 use moscons::{hp_sweep_variants, CollectionConfig};

@@ -73,6 +73,15 @@ impl Default for AttackConfig {
     }
 }
 
+/// Minimum number of feature rows in the voting group before extraction
+/// fans its per-iteration / per-head classification out over the worker
+/// pool. Below this, the tens of microseconds `ml::par` pays per spawned
+/// scoped worker outweigh the classification work — `BENCH_pipeline.json`
+/// measured the `attack_extract` stage at a 0.81× "speedup" (i.e. a
+/// slowdown) at quick scale before this gate existed. Paper-scale victim
+/// streams clear the threshold comfortably.
+const MIN_PARALLEL_EXTRACT_ROWS: usize = 2048;
+
 /// A trained MoSConS instance.
 #[derive(Debug)]
 pub struct Moscons {
@@ -318,24 +327,28 @@ impl Moscons {
         let n = self.config.voting_iterations.min(iterations.len());
         let group = &iterations[..n];
 
-        // Per-iteration predictions, fanned out over the worker pool (each
-        // iteration is classified against frozen models).
-        let per_iter: Vec<(Vec<usize>, Vec<usize>)> = ml::par::par_map(group, |_, r| {
-            let feats = &features[r.clone()];
-            let long = self
-                .m_long
-                .predict(feats, &self.scaler)
-                .into_iter()
-                .map(LongClass::index)
-                .collect();
-            let op = self
-                .m_op
-                .predict(feats, &self.scaler)
-                .into_iter()
-                .map(OtherClass::index)
-                .collect();
-            (long, op)
-        });
+        // Per-iteration predictions, fanned out over the worker pool when
+        // the group is big enough to amortize the spawns (each iteration is
+        // classified against frozen models; results are identical either
+        // way, see MIN_PARALLEL_EXTRACT_ROWS).
+        let group_rows: usize = group.iter().map(|r| r.len()).sum();
+        let per_iter: Vec<(Vec<usize>, Vec<usize>)> =
+            ml::par::par_map_if_work(group_rows, MIN_PARALLEL_EXTRACT_ROWS, group, |_, r| {
+                let feats = &features[r.clone()];
+                let long = self
+                    .m_long
+                    .predict(feats, &self.scaler)
+                    .into_iter()
+                    .map(LongClass::index)
+                    .collect();
+                let op = self
+                    .m_op
+                    .predict(feats, &self.scaler)
+                    .into_iter()
+                    .map(OtherClass::index)
+                    .collect();
+                (long, op)
+            });
         let (preds_long, preds_op): (Vec<Vec<usize>>, Vec<Vec<usize>>) =
             per_iter.into_iter().unzip();
 
@@ -385,8 +398,12 @@ impl Moscons {
         // iteration's feature stream.
         let base = &iterations[0];
         let base_feats = &features[base.clone()];
-        let hp_preds: Vec<Vec<usize>> =
-            ml::par::par_map(&self.hp, |_, h| h.predict(base_feats, &self.scaler));
+        let hp_preds: Vec<Vec<usize>> = ml::par::par_map_if_work(
+            base_feats.len(),
+            MIN_PARALLEL_EXTRACT_ROWS,
+            &self.hp,
+            |_, h| h.predict(base_feats, &self.scaler),
+        );
         for layer in layers.iter_mut() {
             let pos = layer.last_sample.min(base_feats.len().saturating_sub(1));
             match layer.kind {

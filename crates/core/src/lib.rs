@@ -40,6 +40,10 @@
 //! println!("recovered: {}", extraction.structure);
 //! ```
 
+// Enforced statically here and by leaky-lint rule D5: this crate's
+// determinism contract is easier to audit with zero unsafe code.
+#![forbid(unsafe_code)]
+
 pub mod attack;
 pub mod cache;
 pub mod dataset;

@@ -27,6 +27,10 @@
 //! # Ok::<(), cupti_sim::DriverError>(())
 //! ```
 
+// Enforced statically here and by leaky-lint rule D5: this crate's
+// determinism contract is easier to audit with zero unsafe code.
+#![forbid(unsafe_code)]
+
 pub mod driver;
 pub mod events;
 pub mod metrics;

@@ -21,6 +21,10 @@
 //! assert!(ops.iter().any(|o| o.class() == OpClass::Conv));
 //! ```
 
+// Enforced statically here and by leaky-lint rule D5: this crate's
+// determinism contract is easier to audit with zero unsafe code.
+#![forbid(unsafe_code)]
+
 pub mod kernels;
 pub mod layer;
 pub mod model;

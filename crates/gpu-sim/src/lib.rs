@@ -33,6 +33,10 @@
 //! assert_eq!(gpu.kernels_completed(victim), 1);
 //! ```
 
+// Enforced statically here and by leaky-lint rule D5: this crate's
+// determinism contract is easier to audit with zero unsafe code.
+#![forbid(unsafe_code)]
+
 pub mod cache;
 pub mod config;
 pub mod counters;

@@ -55,10 +55,15 @@ pub struct CounterSlice {
 ///
 /// This is the labeling rule of the paper's §V-A: "we choose the TensorFlow
 /// label having the largest overlap with the spy kernel".
+///
+/// Accumulation runs over a `BTreeMap` so that when two tags tie exactly on
+/// overlap the winner is the lexicographically last one — a `HashMap` here
+/// would break ties by per-process hash order, silently changing training
+/// labels between runs (leaky-lint rule D2).
 pub fn dominant_tag(records: &[KernelRecord], t0: f64, t1: f64) -> Option<&str> {
-    use std::collections::HashMap;
+    use std::collections::BTreeMap;
     let start = records.partition_point(|r| r.end_us <= t0);
-    let mut weights: HashMap<&str, f64> = HashMap::new();
+    let mut weights: BTreeMap<&str, f64> = BTreeMap::new();
     for r in &records[start..] {
         if r.start_us >= t1 {
             break;
@@ -118,6 +123,20 @@ mod tests {
             rec("MatMul", 7.0, 10.0),
         ];
         assert_eq!(dominant_tag(&records, 0.0, 10.0), Some("MatMul"));
+    }
+
+    #[test]
+    fn dominant_tag_breaks_exact_ties_deterministically() {
+        // Two tags with bitwise-equal overlap: the lexicographically last
+        // one must win, on every run — this is what moving off HashMap buys.
+        let records = vec![
+            rec("BiasAdd", 0.0, 5.0),
+            rec("Conv2D", 5.0, 10.0),
+            rec("Aardvark", 10.0, 15.0),
+        ];
+        for _ in 0..32 {
+            assert_eq!(dominant_tag(&records, 0.0, 15.0), Some("Conv2D"));
+        }
     }
 
     #[test]

@@ -1,0 +1,323 @@
+//! `lint.toml` — rule severities and per-path scoping/waivers.
+//!
+//! The parser accepts the TOML subset the checked-in config actually uses:
+//! `[dotted.table]` headers, `key = "string"`, `key = ["array", "of",
+//! "strings"]`, `key = true|false|<integer>`, and `#` comments. Anything
+//! else is a hard error — a config typo must fail loudly, not silently
+//! disable a rule.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Reported, never fails the run.
+    Warn,
+    /// Fails the run (non-zero exit).
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// Per-rule configuration.
+#[derive(Debug, Clone)]
+pub struct RuleConfig {
+    /// `error`, `warn`, or disabled entirely (`off` in the TOML).
+    pub severity: Option<Severity>,
+    /// Path prefixes the rule is *restricted to*; empty = everywhere.
+    pub paths: Vec<String>,
+    /// Path prefixes exempt from the rule.
+    pub allow: Vec<String>,
+}
+
+impl Default for RuleConfig {
+    fn default() -> Self {
+        RuleConfig {
+            severity: Some(Severity::Error),
+            paths: Vec::new(),
+            allow: Vec::new(),
+        }
+    }
+}
+
+impl RuleConfig {
+    /// Whether the rule applies to `path` (workspace-relative, `/`-separated).
+    pub fn applies_to(&self, path: &str) -> bool {
+        if self.severity.is_none() {
+            return false;
+        }
+        if !self.paths.is_empty() && !self.paths.iter().any(|p| path.starts_with(p.as_str())) {
+            return false;
+        }
+        !self.allow.iter().any(|p| path.starts_with(p.as_str()))
+    }
+}
+
+/// The whole lint configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Directories (workspace-relative) to walk for `.rs` files.
+    pub include: Vec<String>,
+    /// Path prefixes never walked or linted.
+    pub exclude: Vec<String>,
+    /// Per-rule settings keyed by rule id (`D1`..`D7`). A missing entry
+    /// means the rule runs everywhere at `error`.
+    pub rules: BTreeMap<String, RuleConfig>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            include: vec!["crates".into(), "src".into()],
+            exclude: Vec::new(),
+            rules: BTreeMap::new(),
+        }
+    }
+}
+
+impl Config {
+    /// The effective configuration for rule `id`.
+    pub fn rule(&self, id: &str) -> RuleConfig {
+        self.rules.get(id).cloned().unwrap_or_default()
+    }
+
+    /// Parses the TOML subset described in the module docs.
+    pub fn parse(src: &str) -> Result<Config, String> {
+        let mut config = Config {
+            include: Vec::new(),
+            exclude: Vec::new(),
+            rules: BTreeMap::new(),
+        };
+        let mut section: Vec<String> = Vec::new();
+
+        for (lineno, raw) in src.lines().enumerate() {
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(header) = line.strip_prefix('[') {
+                let header = header
+                    .strip_suffix(']')
+                    .ok_or_else(|| format!("line {}: unterminated table header", lineno + 1))?;
+                section = header.split('.').map(|s| s.trim().to_string()).collect();
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {}: expected `key = value`", lineno + 1))?;
+            let key = key.trim();
+            let value =
+                parse_value(value.trim()).map_err(|e| format!("line {}: {}", lineno + 1, e))?;
+            apply(&mut config, &section, key, value)
+                .map_err(|e| format!("line {}: {}", lineno + 1, e))?;
+        }
+        if config.include.is_empty() {
+            config.include = Config::default().include;
+        }
+        Ok(config)
+    }
+}
+
+/// A parsed TOML value (the subset we accept).
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Str(String),
+    Array(Vec<String>),
+    Bool(bool),
+    Int(i64),
+}
+
+/// Strips a trailing `#` comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut prev_backslash = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' if !prev_backslash => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        prev_backslash = c == '\\' && !prev_backslash;
+    }
+    line
+}
+
+fn parse_string(s: &str) -> Result<String, String> {
+    let inner = s
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .ok_or_else(|| format!("expected a double-quoted string, got `{}`", s))?;
+    // The config only ever holds paths and rule names; reject escapes
+    // rather than mis-handle them.
+    if inner.contains('\\') {
+        return Err("string escapes are not supported in lint.toml".into());
+    }
+    Ok(inner.to_string())
+}
+
+fn parse_value(s: &str) -> Result<Value, String> {
+    if s == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if s == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if let Ok(n) = s.parse::<i64>() {
+        return Ok(Value::Int(n));
+    }
+    if let Some(body) = s.strip_prefix('[') {
+        let body = body
+            .strip_suffix(']')
+            .ok_or("multi-line arrays are not supported in lint.toml")?;
+        let body = body.trim();
+        if body.is_empty() {
+            return Ok(Value::Array(Vec::new()));
+        }
+        let mut items = Vec::new();
+        for item in body.split(',') {
+            let item = item.trim();
+            if item.is_empty() {
+                continue; // trailing comma
+            }
+            items.push(parse_string(item)?);
+        }
+        return Ok(Value::Array(items));
+    }
+    Ok(Value::Str(parse_string(s)?))
+}
+
+fn as_array(value: Value) -> Result<Vec<String>, String> {
+    match value {
+        Value::Array(a) => Ok(a),
+        Value::Str(s) => Ok(vec![s]),
+        other => Err(format!("expected an array of strings, got {:?}", other)),
+    }
+}
+
+fn apply(config: &mut Config, section: &[String], key: &str, value: Value) -> Result<(), String> {
+    let path: Vec<&str> = section.iter().map(String::as_str).collect();
+    match (path.as_slice(), key) {
+        ([], "schema") => Ok(()), // accepted for forward-compat, unused
+        (["paths"], "include") => {
+            config.include = as_array(value)?;
+            Ok(())
+        }
+        (["paths"], "exclude") => {
+            config.exclude = as_array(value)?;
+            Ok(())
+        }
+        (["rules", rule], _) => {
+            let entry = config.rules.entry(rule.to_string()).or_default();
+            match key {
+                "severity" => {
+                    let s = match value {
+                        Value::Str(s) => s,
+                        other => return Err(format!("severity must be a string, got {:?}", other)),
+                    };
+                    entry.severity = match s.as_str() {
+                        "error" => Some(Severity::Error),
+                        "warn" => Some(Severity::Warn),
+                        "off" => None,
+                        other => {
+                            return Err(format!(
+                                "unknown severity `{}` (expected error|warn|off)",
+                                other
+                            ))
+                        }
+                    };
+                    Ok(())
+                }
+                "paths" => {
+                    entry.paths = as_array(value)?;
+                    Ok(())
+                }
+                "allow" => {
+                    entry.allow = as_array(value)?;
+                    Ok(())
+                }
+                other => Err(format!("unknown rule key `{}`", other)),
+            }
+        }
+        _ => Err(format!(
+            "unknown config location `[{}] {}`",
+            section.join("."),
+            key
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_supported_subset() {
+        let src = r#"
+            # top comment
+            schema = 1
+
+            [paths]
+            include = ["crates", "src"]
+            exclude = ["vendored", "target"] # trailing comment
+
+            [rules.D1]
+            severity = "error"
+            allow = ["crates/bench/"]
+
+            [rules.D2]
+            severity = "warn"
+            paths = ["crates/core/"]
+
+            [rules.D3]
+            severity = "off"
+        "#;
+        let c = Config::parse(src).expect("parse");
+        assert_eq!(c.include, vec!["crates", "src"]);
+        assert_eq!(c.exclude, vec!["vendored", "target"]);
+        assert_eq!(c.rule("D1").severity, Some(Severity::Error));
+        assert_eq!(c.rule("D1").allow, vec!["crates/bench/"]);
+        assert_eq!(c.rule("D2").severity, Some(Severity::Warn));
+        assert_eq!(c.rule("D3").severity, None);
+        // unmentioned rule defaults to error-everywhere
+        assert_eq!(c.rule("D7").severity, Some(Severity::Error));
+    }
+
+    #[test]
+    fn applies_to_respects_paths_and_allow() {
+        let rule = RuleConfig {
+            severity: Some(Severity::Error),
+            paths: vec!["crates/core/".into()],
+            allow: vec!["crates/core/examples/".into()],
+        };
+        assert!(rule.applies_to("crates/core/src/attack.rs"));
+        assert!(!rule.applies_to("crates/bench/src/lib.rs"));
+        assert!(!rule.applies_to("crates/core/examples/probe.rs"));
+        let off = RuleConfig {
+            severity: None,
+            ..rule
+        };
+        assert!(!off.applies_to("crates/core/src/attack.rs"));
+    }
+
+    #[test]
+    fn rejects_typos_loudly() {
+        assert!(Config::parse("[rules.D1]\nseverty = \"error\"").is_err());
+        assert!(Config::parse("[rules.D1]\nseverity = \"fatal\"").is_err());
+        assert!(Config::parse("[paths]\ninclude = [\"a\"").is_err());
+        assert!(Config::parse("just a line").is_err());
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let c = Config::parse("[paths]\ninclude = [\"a#b\"]").expect("parse");
+        assert_eq!(c.include, vec!["a#b"]);
+    }
+}

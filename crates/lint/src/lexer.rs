@@ -1,0 +1,487 @@
+//! A hand-rolled Rust token scanner.
+//!
+//! `leaky-lint` needs just enough lexical structure to tell code from
+//! comments and strings, attach line numbers, and walk identifier/punct
+//! sequences — not a grammar. The scanner therefore produces a flat token
+//! stream plus a separate comment list (rules D2/D5 key off comments for
+//! waivers and `SAFETY:` annotations) and is deliberately forgiving: an
+//! input it cannot classify becomes a one-character `Punct` rather than an
+//! error, so the linter never hard-fails on exotic but valid Rust.
+//!
+//! Handled explicitly, because getting these wrong corrupts everything
+//! after them in the file:
+//!
+//! * line and (nested) block comments, including doc comments;
+//! * string-ish literals: `"…"`, `r"…"`, `r#"…"#` (any hash depth),
+//!   `b"…"`, `br#"…"#`, `c"…"`, char and byte-char literals;
+//! * lifetimes vs. char literals (`'a` vs `'a'`);
+//! * numbers with underscores, type suffixes, hex/oct/bin prefixes,
+//!   floats with exponents, and tuple-index `.0` disambiguation.
+
+/// What a token is, to the level of detail the rules need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`foo`, `unsafe`, `for`).
+    Ident,
+    /// Lifetime (`'a`, `'static`) — stored without the quote.
+    Lifetime,
+    /// String-ish literal (`"s"`, `r#"s"#`, `b"s"`, chars). `text` is the
+    /// *contents* without quotes/hashes/prefix, so rules can scan for
+    /// `{:?}` without re-parsing escapes.
+    Str,
+    /// Numeric literal, verbatim.
+    Number,
+    /// Single punctuation character (`::` arrives as two `:` tokens).
+    Punct,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+/// One comment (line or block) with the 1-based line it *starts* on and its
+/// text without the `//` / `/* */` markers.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub line: u32,
+    pub text: String,
+}
+
+/// The lexed form of one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Tok>,
+    pub comments: Vec<Comment>,
+}
+
+impl Lexed {
+    /// True if any comment starting on `line` (or inside a block comment
+    /// spanning it — approximated by its start line) contains `needle`.
+    pub fn comment_on_line_contains(&self, line: u32, needle: &str) -> bool {
+        self.comments
+            .iter()
+            .any(|c| c.line == line && c.text.contains(needle))
+    }
+
+    /// True if a comment containing `needle` starts within the `window`
+    /// lines immediately above `line` (or on `line` itself).
+    pub fn comment_above_contains(&self, line: u32, window: u32, needle: &str) -> bool {
+        let lo = line.saturating_sub(window);
+        self.comments
+            .iter()
+            .any(|c| c.line >= lo && c.line <= line && c.text.contains(needle))
+    }
+}
+
+struct Scanner<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Scanner<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.src.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+
+    fn eat_while(&mut self, pred: impl Fn(u8) -> bool) -> String {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if pred(b) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        String::from_utf8_lossy(&self.src[start..self.pos]).into_owned()
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Tokenizes `src`. Never fails: unknown bytes become `Punct` tokens.
+pub fn lex(src: &str) -> Lexed {
+    let mut s = Scanner {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    let mut out = Lexed::default();
+
+    while let Some(b) = s.peek() {
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                s.bump();
+            }
+            b'/' if s.peek_at(1) == Some(b'/') => lex_line_comment(&mut s, &mut out),
+            b'/' if s.peek_at(1) == Some(b'*') => lex_block_comment(&mut s, &mut out),
+            b'"' => lex_string(&mut s, &mut out, 0),
+            b'\'' => lex_quote(&mut s, &mut out),
+            b'0'..=b'9' => lex_number(&mut s, &mut out),
+            _ if is_ident_start(b) => lex_ident_or_prefixed(&mut s, &mut out),
+            _ => {
+                let line = s.line;
+                let c = s.bump().unwrap_or(b'?');
+                out.tokens.push(Tok {
+                    kind: TokKind::Punct,
+                    text: (c as char).to_string(),
+                    line,
+                });
+            }
+        }
+    }
+    out
+}
+
+fn lex_line_comment(s: &mut Scanner, out: &mut Lexed) {
+    let line = s.line;
+    let text = s.eat_while(|b| b != b'\n');
+    out.comments.push(Comment {
+        line,
+        text: text.trim_start_matches('/').trim().to_string(),
+    });
+}
+
+fn lex_block_comment(s: &mut Scanner, out: &mut Lexed) {
+    let line = s.line;
+    let start = s.pos;
+    s.bump(); // '/'
+    s.bump(); // '*'
+    let mut depth = 1usize;
+    while depth > 0 {
+        match (s.peek(), s.peek_at(1)) {
+            (Some(b'/'), Some(b'*')) => {
+                s.bump();
+                s.bump();
+                depth += 1;
+            }
+            (Some(b'*'), Some(b'/')) => {
+                s.bump();
+                s.bump();
+                depth -= 1;
+            }
+            (Some(_), _) => {
+                s.bump();
+            }
+            (None, _) => break, // unterminated — tolerate
+        }
+    }
+    let raw = String::from_utf8_lossy(&s.src[start..s.pos]).into_owned();
+    let text = raw
+        .trim_start_matches("/*")
+        .trim_end_matches("*/")
+        .trim()
+        .to_string();
+    out.comments.push(Comment { line, text });
+}
+
+/// Lexes a `"…"` string; `hashes` is the raw-string hash depth (0 for
+/// non-raw). The scanner sits on the opening quote. Raw strings ignore
+/// escapes; regular strings honour `\"` and `\\`.
+fn lex_string(s: &mut Scanner, out: &mut Lexed, hashes: usize) {
+    let line = s.line;
+    s.bump(); // opening '"'
+    let start = s.pos;
+    let mut end;
+    loop {
+        match s.peek() {
+            None => {
+                end = s.pos;
+                break;
+            }
+            Some(b'\\') if hashes == 0 => {
+                s.bump();
+                s.bump();
+            }
+            Some(b'"') => {
+                end = s.pos;
+                if hashes == 0 {
+                    s.bump();
+                    break;
+                }
+                // need `"` followed by exactly `hashes` '#'s
+                let mut ok = true;
+                for i in 0..hashes {
+                    if s.peek_at(1 + i) != Some(b'#') {
+                        ok = false;
+                        break;
+                    }
+                }
+                s.bump();
+                if ok {
+                    for _ in 0..hashes {
+                        s.bump();
+                    }
+                    break;
+                }
+            }
+            Some(_) => {
+                s.bump();
+            }
+        }
+    }
+    out.tokens.push(Tok {
+        kind: TokKind::Str,
+        text: String::from_utf8_lossy(&s.src[start..end]).into_owned(),
+        line,
+    });
+}
+
+/// Lexes either a lifetime or a char literal; the scanner sits on `'`.
+fn lex_quote(s: &mut Scanner, out: &mut Lexed) {
+    let line = s.line;
+    match s.peek_at(1) {
+        // Escape: definitely a char literal.
+        Some(b'\\') => {
+            s.bump(); // '
+            let start = s.pos;
+            s.bump(); // '\'
+            s.bump(); // escaped char
+                      // consume up to the closing quote (handles \u{…}, \x41)
+            while let Some(b) = s.peek() {
+                s.bump();
+                if b == b'\'' {
+                    break;
+                }
+            }
+            out.tokens.push(Tok {
+                kind: TokKind::Str,
+                text: String::from_utf8_lossy(&s.src[start..s.pos.saturating_sub(1)]).into_owned(),
+                line,
+            });
+        }
+        Some(c) if is_ident_start(c) => {
+            // `'a'` is a char, `'a` / `'static` a lifetime: scan the ident
+            // run and look for a closing quote.
+            let mut n = 2;
+            while s.peek_at(n).is_some_and(is_ident_continue) {
+                n += 1;
+            }
+            if s.peek_at(n) == Some(b'\'') {
+                s.bump(); // '
+                let start = s.pos;
+                for _ in 0..n - 1 {
+                    s.bump();
+                }
+                s.bump(); // closing '
+                out.tokens.push(Tok {
+                    kind: TokKind::Str,
+                    text: String::from_utf8_lossy(&s.src[start..s.pos - 1]).into_owned(),
+                    line,
+                });
+            } else {
+                s.bump(); // '
+                let name = s.eat_while(is_ident_continue);
+                out.tokens.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text: name,
+                    line,
+                });
+            }
+        }
+        // `'('`, `' '` etc: char literal of a single non-ident char.
+        Some(_) => {
+            s.bump(); // '
+            let start = s.pos;
+            s.bump(); // the char
+            if s.peek() == Some(b'\'') {
+                s.bump();
+            }
+            out.tokens.push(Tok {
+                kind: TokKind::Str,
+                text: String::from_utf8_lossy(&s.src[start..start + 1]).into_owned(),
+                line,
+            });
+        }
+        None => {
+            s.bump();
+        }
+    }
+}
+
+fn lex_number(s: &mut Scanner, out: &mut Lexed) {
+    let line = s.line;
+    let start = s.pos;
+    // integer part (also swallows hex/oct/bin digits and type suffixes)
+    s.eat_while(|b| b.is_ascii_alphanumeric() || b == b'_');
+    // fraction: only if `.` is followed by a digit (so `0..10` and `x.0.1`
+    // tuple chains stay punct-separated, and `1.` stays an integer + dot —
+    // acceptable for linting purposes)
+    if s.peek() == Some(b'.') && s.peek_at(1).is_some_and(|b| b.is_ascii_digit()) {
+        s.bump();
+        s.eat_while(|b| b.is_ascii_alphanumeric() || b == b'_');
+        // exponent sign: `1.5e-3` (the tail also swallows a type suffix,
+        // so `1.5e-3_f64` stays one token)
+        if matches!(s.src.get(s.pos.wrapping_sub(1)), Some(b'e' | b'E'))
+            && matches!(s.peek(), Some(b'+' | b'-'))
+        {
+            s.bump();
+            s.eat_while(|b| b.is_ascii_alphanumeric() || b == b'_');
+        }
+    } else if matches!(s.src.get(s.pos.wrapping_sub(1)), Some(b'e' | b'E'))
+        && matches!(s.peek(), Some(b'+' | b'-'))
+        && s.peek_at(1).is_some_and(|b| b.is_ascii_digit())
+    {
+        s.bump();
+        s.eat_while(|b| b.is_ascii_alphanumeric() || b == b'_');
+    }
+    out.tokens.push(Tok {
+        kind: TokKind::Number,
+        text: String::from_utf8_lossy(&s.src[start..s.pos]).into_owned(),
+        line,
+    });
+}
+
+fn lex_ident_or_prefixed(s: &mut Scanner, out: &mut Lexed) {
+    let line = s.line;
+    let text = s.eat_while(is_ident_continue);
+    // Raw/byte string prefixes: `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `c"…"`.
+    let is_str_prefix = matches!(text.as_str(), "r" | "b" | "br" | "rb" | "c" | "cr");
+    if is_str_prefix {
+        if s.peek() == Some(b'"') {
+            lex_string(s, out, 0);
+            return;
+        }
+        if s.peek() == Some(b'#') {
+            let mut hashes = 0;
+            while s.peek_at(hashes) == Some(b'#') {
+                hashes += 1;
+            }
+            if s.peek_at(hashes) == Some(b'"') {
+                for _ in 0..hashes {
+                    s.bump();
+                }
+                lex_string(s, out, hashes);
+                return;
+            }
+        }
+        if text == "b" && s.peek() == Some(b'\'') {
+            lex_quote(s, out);
+            return;
+        }
+    }
+    out.tokens.push(Tok {
+        kind: TokKind::Ident,
+        text,
+        line,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(l: &Lexed) -> Vec<&str> {
+        l.tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect()
+    }
+
+    #[test]
+    fn comments_do_not_produce_tokens() {
+        let l = lex("// Instant in a comment\nlet x = 1; /* SystemTime */");
+        assert!(!idents(&l).contains(&"Instant"));
+        assert!(!idents(&l).contains(&"SystemTime"));
+        assert_eq!(l.comments.len(), 2);
+        assert!(l.comments[0].text.contains("Instant"));
+    }
+
+    #[test]
+    fn strings_do_not_produce_ident_tokens() {
+        let l = lex(r##"let s = "thread_rng inside"; let r = r#"raw "q" str"#; "##);
+        assert!(!idents(&l).contains(&"thread_rng"));
+        let strs: Vec<&str> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(strs, vec!["thread_rng inside", r#"raw "q" str"#]);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = 'a'; let n = '\\n'; }");
+        let lifetimes: Vec<&str> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, vec!["a", "a"]);
+        let chars: Vec<&Tok> = l.tokens.iter().filter(|t| t.kind == TokKind::Str).collect();
+        assert_eq!(chars.len(), 2);
+        assert_eq!(chars[0].text, "a");
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        let l = lex("for i in 0..10 { let x = 1.5e-3_f64; let y = t.0; }");
+        let nums: Vec<&str> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Number)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, vec!["0", "10", "1.5e-3_f64", "0"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* outer /* inner */ still comment */ let x = 1;");
+        assert_eq!(l.comments.len(), 1);
+        assert_eq!(idents(&l), vec!["let", "x"]);
+    }
+
+    #[test]
+    fn line_numbers_are_1_based_and_advance() {
+        let l = lex("a\nb\n\nc");
+        let lines: Vec<u32> = l.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn waiver_lookup_helpers() {
+        let l = lex("let x = 1; // lint: sorted\nlet y = 2;");
+        assert!(l.comment_on_line_contains(1, "lint: sorted"));
+        assert!(!l.comment_on_line_contains(2, "lint: sorted"));
+        assert!(l.comment_above_contains(2, 1, "lint: sorted"));
+    }
+
+    #[test]
+    fn byte_and_c_strings() {
+        let l = lex(r##"let a = b"bytes"; let b = br#"raw"#; let c = c"cstr";"##);
+        let strs: Vec<&str> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(strs, vec!["bytes", "raw", "cstr"]);
+    }
+}

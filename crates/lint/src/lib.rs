@@ -1,0 +1,53 @@
+//! # `lint` — the `leaky-lint` static analysis pass
+//!
+//! The workspace's reproduction contract is *bitwise determinism*: the same
+//! seeds must produce the same traces, features, models and
+//! `AttackReport`s on any machine, at any thread count, with the cache off
+//! or warm. The runtime tests (`tests/determinism.rs`) sample a handful of
+//! configurations; this crate enforces the invariants they rely on
+//! *statically*, across every `.rs` file in the tree, on every CI run.
+//!
+//! The rule set (D1–D7) lives in [`rules`]; severities and path scoping
+//! live in the checked-in `lint.toml` at the workspace root; [`lexer`] is a
+//! hand-rolled token scanner (no `syn` — the workspace builds offline
+//! against std-only stand-ins). Run it as:
+//!
+//! ```text
+//! cargo run -p lint              # human-readable report
+//! cargo run -p lint -- --json    # machine-readable, for the CI jq gate
+//! ```
+//!
+//! Exit status: `0` clean (warnings allowed), `1` at least one
+//! error-severity finding, `2` usage or I/O failure.
+
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+pub mod walk;
+
+use std::path::Path;
+
+use config::Config;
+use diag::Diagnostic;
+
+/// Lints every configured file under `root`, returning sorted diagnostics.
+pub fn run(root: &Path, config: &Config) -> std::io::Result<Vec<Diagnostic>> {
+    let mut diags = Vec::new();
+    for rel in walk::rust_files(root, config)? {
+        let src = std::fs::read_to_string(root.join(&rel))?;
+        diags.extend(rules::check_file(&rel, &src, config));
+    }
+    diag::sort(&mut diags);
+    Ok(diags)
+}
+
+/// Loads `lint.toml` from `root`.
+pub fn load_config(root: &Path) -> Result<Config, String> {
+    let path = root.join("lint.toml");
+    let src = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {}", path.display(), e))?;
+    Config::parse(&src).map_err(|e| format!("{}: {}", path.display(), e))
+}

@@ -1,0 +1,95 @@
+//! Deterministic workspace walker.
+//!
+//! Collects every `.rs` file under the configured include roots, skipping
+//! excluded prefixes, and returns workspace-relative `/`-separated paths in
+//! sorted order — the linter's own report order must never depend on
+//! readdir order.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::config::Config;
+
+/// Returns sorted workspace-relative paths of all lintable `.rs` files.
+pub fn rust_files(root: &Path, config: &Config) -> std::io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    for include in &config.include {
+        let dir = root.join(include);
+        if dir.is_dir() {
+            collect(root, &dir, config, &mut out)?;
+        } else if dir.is_file() && include.ends_with(".rs") {
+            push_rel(root, &dir, config, &mut out);
+        }
+    }
+    out.sort();
+    out.dedup();
+    Ok(out)
+}
+
+fn collect(root: &Path, dir: &Path, config: &Config, out: &mut Vec<String>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let Some(rel) = relative(root, &path) else {
+            continue;
+        };
+        if config.exclude.iter().any(|p| rel.starts_with(p.as_str())) {
+            continue;
+        }
+        if path.is_dir() {
+            // Never descend into build output, whatever the config says.
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            collect(root, &path, config, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+fn push_rel(root: &Path, path: &Path, config: &Config, out: &mut Vec<String>) {
+    if let Some(rel) = relative(root, path) {
+        if !config.exclude.iter().any(|p| rel.starts_with(p.as_str())) {
+            out.push(rel);
+        }
+    }
+}
+
+/// `root`-relative `/`-separated form of `path`.
+fn relative(root: &Path, path: &Path) -> Option<String> {
+    let rel = path.strip_prefix(root).ok()?;
+    let mut s = String::new();
+    for part in rel.components() {
+        if !s.is_empty() {
+            s.push('/');
+        }
+        s.push_str(&part.as_os_str().to_string_lossy());
+    }
+    Some(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walks_own_crate_sorted_and_skips_fixtures() {
+        // The lint crate's own sources are a convenient live tree.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let config = Config {
+            include: vec!["src".into(), "tests".into()],
+            exclude: vec!["tests/fixtures".into()],
+            rules: Default::default(),
+        };
+        let files = rust_files(root, &config).expect("walk");
+        assert!(files.iter().any(|f| f == "src/lexer.rs"));
+        assert!(files.iter().all(|f| !f.starts_with("tests/fixtures")));
+        let mut sorted = files.clone();
+        sorted.sort();
+        assert_eq!(files, sorted);
+    }
+}

@@ -1,0 +1,11 @@
+// D1 fixture: host wall-clock reads in pipeline code.
+use std::time::{Instant, SystemTime};
+
+pub fn sample_window() -> f64 {
+    let t0 = Instant::now();
+    busy_work();
+    let _epoch = SystemTime::now();
+    t0.elapsed().as_secs_f64()
+}
+
+fn busy_work() {}

@@ -1,0 +1,20 @@
+// D2 fixture: hash-order iteration without a waiver.
+use std::collections::{HashMap, HashSet};
+
+pub fn tally(weights: &HashMap<String, f64>) -> Vec<String> {
+    let mut out = Vec::new();
+    for (name, w) in weights.iter() {
+        if *w > 0.0 {
+            out.push(name.clone());
+        }
+    }
+    out
+}
+
+pub fn drain_all(mut seen: HashSet<u64>) -> usize {
+    let mut n = 0;
+    for id in seen.drain() {
+        n += (id > 0) as usize;
+    }
+    n
+}

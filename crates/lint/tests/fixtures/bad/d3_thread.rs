@@ -1,0 +1,7 @@
+// D3 fixture: ad-hoc parallelism outside ml::par.
+use std::thread;
+
+pub fn fan_out(xs: Vec<u64>) -> Vec<u64> {
+    let handle = thread::spawn(move || xs.into_iter().map(|x| x * 2).collect());
+    handle.join().unwrap()
+}

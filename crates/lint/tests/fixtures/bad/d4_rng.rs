@@ -1,0 +1,9 @@
+// D4 fixture: entropy a trace cannot replay.
+use rand::rngs::SmallRng;
+use rand::{thread_rng, Rng, SeedableRng};
+
+pub fn jitter() -> f64 {
+    let mut rng = thread_rng();
+    let _fresh = SmallRng::from_entropy();
+    rng.gen::<f64>()
+}

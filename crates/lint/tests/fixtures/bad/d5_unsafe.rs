@@ -1,0 +1,4 @@
+// D5 fixture: unsafe outside the allowlist, and without a SAFETY comment.
+pub fn read_first(xs: &[u32]) -> u32 {
+    unsafe { *xs.as_ptr() }
+}

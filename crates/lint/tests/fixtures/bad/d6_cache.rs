@@ -1,0 +1,4 @@
+// D6 fixture: Debug formatting feeding cache-key material.
+pub fn cache_key(config: &crate::GpuConfig, seed: u64) -> String {
+    format!("gpu={:?}/seed={}", config, seed)
+}

@@ -1,0 +1,8 @@
+// D7 fixture: order-sensitive float reductions over par_map results.
+pub fn total_cost(items: &[Item]) -> f32 {
+    par_map(items, |_, it| it.cost()).iter().sum()
+}
+
+pub fn total_cost_turbofish(items: &[Item]) -> f64 {
+    par_map(items, |_, it| it.cost_f64()).into_iter().sum::<f64>()
+}

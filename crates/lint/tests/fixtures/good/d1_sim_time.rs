@@ -1,0 +1,6 @@
+// D1 good case: time comes from the simulated clock, not the host.
+pub fn sample_window(engine: &Engine) -> f64 {
+    let t0 = engine.now_us();
+    engine.step();
+    engine.now_us() - t0
+}

@@ -1,0 +1,29 @@
+// D2 good cases: BTree iteration is ordered; a HashMap may be iterated
+// only under a `// lint: sorted` waiver with the sort on the next line.
+//
+// Note the HashMap bindings carry different names from the BTreeMap one:
+// the binding tracker is deliberately scope-free (file-wide), so reusing a
+// name across functions would widen the net — which is the conservative
+// direction, but not what this fixture demonstrates.
+use std::collections::{BTreeMap, HashMap};
+
+pub fn tally(weights: &BTreeMap<String, f64>) -> Vec<String> {
+    let mut out = Vec::new();
+    for (name, w) in weights.iter() {
+        if *w > 0.0 {
+            out.push(name.clone());
+        }
+    }
+    out
+}
+
+pub fn sorted_pairs(unordered: &HashMap<String, f64>) -> Vec<(String, f64)> {
+    // lint: sorted
+    let mut pairs: Vec<(String, f64)> = unordered.iter().map(|(k, v)| (k.clone(), *v)).collect();
+    pairs.sort_by(|a, b| a.0.cmp(&b.0));
+    pairs
+}
+
+pub fn lookups_are_fine(index: &HashMap<String, f64>) -> f64 {
+    index.get("conv2d").copied().unwrap_or(0.0) + index.len() as f64
+}

@@ -1,0 +1,4 @@
+// D3 good case: parallelism through the deterministic pool only.
+pub fn fan_out(xs: &[u64]) -> Vec<u64> {
+    ml::par::par_map(xs, |_, &x| x * 2)
+}

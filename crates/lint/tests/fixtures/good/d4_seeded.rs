@@ -1,0 +1,8 @@
+// D4 good case: every RNG replays from a recorded seed.
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub fn jitter(seed: u64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    rng.gen::<f64>()
+}

@@ -1,0 +1,7 @@
+// D5 good case: allowlisted file, SAFETY comment directly above the block.
+pub fn read_first(xs: &[u32]) -> u32 {
+    assert!(!xs.is_empty());
+    // SAFETY: the assert above guarantees xs has at least one element, so
+    // the pointer read is within bounds.
+    unsafe { *xs.as_ptr() }
+}

@@ -1,0 +1,8 @@
+// D6 good case: cache keys hash canonical field values, never Debug output.
+pub fn cache_key(config: &crate::GpuConfig, seed: u64) -> u64 {
+    let mut h = KeyHasher::new();
+    h.write_u64(config.sm_count as u64);
+    h.write_f64(config.slice_us);
+    h.write_u64(seed);
+    h.finish()
+}

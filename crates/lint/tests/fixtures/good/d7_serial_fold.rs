@@ -1,0 +1,14 @@
+// D7 good cases: integer sums are exact; float totals fold serially in
+// input order after the parallel map returns.
+pub fn count_hits(items: &[Item]) -> usize {
+    par_map(items, |_, it| it.hits()).iter().sum::<usize>()
+}
+
+pub fn total_cost(items: &[Item]) -> f32 {
+    let parts = par_map(items, |_, it| it.cost());
+    let mut total = 0.0_f32;
+    for p in &parts {
+        total += p;
+    }
+    total
+}

@@ -1,0 +1,134 @@
+//! Self-tests for `leaky-lint`: every rule fires on its `bad/` fixture and
+//! stays silent on its `good/` twin, the CLI exit codes match, and — the
+//! meta-test the whole PR rides on — the live workspace is clean.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use lint::config::{Config, Severity};
+
+fn fixtures_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves")
+}
+
+fn load(config_name: &str) -> Config {
+    let src = std::fs::read_to_string(fixtures_root().join(config_name)).expect("fixture config");
+    Config::parse(&src).expect("fixture config parses")
+}
+
+/// Every D-rule must fire at least once on the bad corpus, and each bad
+/// fixture must trip exactly the rule it is named for.
+#[test]
+fn every_rule_fires_on_its_bad_fixture() {
+    let diags = lint::run(&fixtures_root(), &load("lint-bad.toml")).expect("lint runs");
+    let fired: BTreeSet<&str> = diags.iter().map(|d| d.rule).collect();
+    let all: BTreeSet<&str> = lint::rules::RULES.iter().map(|r| r.id).collect();
+    assert_eq!(fired, all, "rules that never fired are untested");
+
+    for d in &diags {
+        let file = d.path.rsplit('/').next().unwrap();
+        let expected_prefix = d.rule.to_lowercase(); // "d2" from "D2"
+        assert!(
+            file.starts_with(&expected_prefix),
+            "{} fired on {} — cross-contaminated fixture (message: {})",
+            d.rule,
+            d.path,
+            d.message
+        );
+        assert_eq!(d.severity, Severity::Error);
+    }
+}
+
+/// The good corpus — including the `// lint: sorted` waiver and the
+/// SAFETY-comment-in-allowlisted-file case — produces no findings at all.
+#[test]
+fn good_fixtures_are_clean() {
+    let diags = lint::run(&fixtures_root(), &load("lint-good.toml")).expect("lint runs");
+    assert!(
+        diags.is_empty(),
+        "good fixtures flagged: {:#?}",
+        diags
+            .iter()
+            .map(|d| format!("{} {}:{} {}", d.rule, d.path, d.line, d.message))
+            .collect::<Vec<_>>()
+    );
+}
+
+/// The CLI contract CI relies on: non-zero + populated JSON on bad input,
+/// zero + empty diagnostics on good input.
+#[test]
+fn cli_exit_codes_and_json() {
+    let bin = env!("CARGO_BIN_EXE_leaky-lint");
+    let root = fixtures_root();
+
+    let bad = Command::new(bin)
+        .args(["--json", "--root"])
+        .arg(&root)
+        .arg("--config")
+        .arg(root.join("lint-bad.toml"))
+        .output()
+        .expect("spawn leaky-lint");
+    assert_eq!(bad.status.code(), Some(1), "bad corpus must exit 1");
+    let json = String::from_utf8(bad.stdout).expect("utf8");
+    assert!(
+        json.contains("\"rule\":\"D1\""),
+        "json lists findings: {}",
+        json
+    );
+    assert!(!json.contains("\"errors\":0"), "error count is non-zero");
+
+    let good = Command::new(bin)
+        .args(["--json", "--root"])
+        .arg(&root)
+        .arg("--config")
+        .arg(root.join("lint-good.toml"))
+        .output()
+        .expect("spawn leaky-lint");
+    assert_eq!(good.status.code(), Some(0), "good corpus must exit 0");
+    let json = String::from_utf8(good.stdout).expect("utf8");
+    assert!(json.contains("\"diagnostics\":[]"), "no findings: {}", json);
+    assert!(json.contains("\"errors\":0"));
+}
+
+/// Meta-test: the live workspace is clean under the checked-in lint.toml.
+/// This is the same invocation the CI `lint` job gates on.
+#[test]
+fn live_workspace_is_clean() {
+    let root = workspace_root();
+    let config = lint::load_config(&root).expect("workspace lint.toml parses");
+    let diags = lint::run(&root, &config).expect("lint runs");
+    let errors: Vec<String> = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .map(|d| format!("{} {}:{} {}", d.rule, d.path, d.line, d.message))
+        .collect();
+    assert!(
+        errors.is_empty(),
+        "workspace has determinism-invariant violations:\n{}",
+        errors.join("\n")
+    );
+}
+
+/// The workspace config keeps all seven rules enabled at error severity —
+/// a config edit that silently disables a rule fails here, not in review.
+#[test]
+fn workspace_config_enables_all_rules() {
+    let config = lint::load_config(&workspace_root()).expect("workspace lint.toml parses");
+    for rule in lint::rules::RULES {
+        assert_eq!(
+            config.rule(rule.id).severity,
+            Some(Severity::Error),
+            "rule {} ({}) must stay at error severity",
+            rule.id,
+            rule.name
+        );
+    }
+}
