@@ -460,11 +460,20 @@ impl Moscons {
 
     /// Convenience: collect a victim trace and extract in one call.
     pub fn attack(&self, victim: &TrainingSession, seed: u64) -> (Extraction, RawTrace) {
-        let raw = collect_trace(
-            victim,
-            &self.config.collection.with_seed(seed),
-            &self.config.gpu,
-        );
+        self.attack_on(victim, seed, &self.config.gpu)
+    }
+
+    /// [`Moscons::attack`] against an explicit GPU configuration — the knob
+    /// for noise and fault-sensitivity studies: profile once on clean
+    /// hardware, then attack the same victim under increasingly hostile
+    /// [`gpu_sim::FaultPlan`]s without retraining anything.
+    pub fn attack_on(
+        &self,
+        victim: &TrainingSession,
+        seed: u64,
+        gpu: &gpu_sim::GpuConfig,
+    ) -> (Extraction, RawTrace) {
+        let raw = collect_trace(victim, &self.config.collection.with_seed(seed), gpu);
         let features = crate::cache::counter_feature_matrix(&raw);
         (self.extract(&features), raw)
     }

@@ -157,6 +157,44 @@ pub fn split_on_nop_runs(is_nop: &[bool], th_gap: usize) -> Vec<std::ops::Range<
     segments
 }
 
+/// Fault-tolerant variant of [`split_on_nop_runs`]: BUSY runs of at most
+/// `bridge` samples that are flanked by NOPs on both sides are treated as
+/// NOP before splitting. A missed host poll (see
+/// `CuptiSession::collect_faulted`) merges a quiet window into its busy
+/// successor, planting an isolated busy-looking sample inside a real
+/// iteration gap; without bridging, that one sample cuts the `TH_gap` run
+/// in two and glues two iterations together. `bridge == 0` is exactly
+/// [`split_on_nop_runs`].
+pub fn split_on_nop_runs_bridged(
+    is_nop: &[bool],
+    th_gap: usize,
+    bridge: usize,
+) -> Vec<std::ops::Range<usize>> {
+    if bridge == 0 {
+        return split_on_nop_runs(is_nop, th_gap);
+    }
+    let mut bridged = is_nop.to_vec();
+    let mut i = 0;
+    while i < bridged.len() {
+        if !bridged[i] {
+            let start = i;
+            while i < bridged.len() && !bridged[i] {
+                i += 1;
+            }
+            // Flanked on both sides by NOP (interior run) and short enough.
+            let flanked = start > 0 && i < bridged.len();
+            if flanked && i - start <= bridge {
+                for b in bridged.iter_mut().take(i).skip(start) {
+                    *b = true;
+                }
+            }
+        } else {
+            i += 1;
+        }
+    }
+    split_on_nop_runs(&bridged, th_gap)
+}
+
 /// Drops segments whose length is outside `[r_min, r_max]` times the
 /// typical segment length — the paper's incomplete-iteration filter (§IV-A).
 /// We use the median rather than the paper's average: a single truncated
@@ -231,6 +269,52 @@ mod tests {
     fn split_all_nop_is_empty() {
         let nop = [true; 10];
         assert!(split_on_nop_runs(&nop, 3).is_empty());
+    }
+
+    #[test]
+    fn bridged_split_absorbs_isolated_busy_samples() {
+        // A real gap of 6 NOPs with one busy-looking sample in the middle
+        // (a missed poll merged a quiet window into its successor).
+        let nop = [
+            false, false, true, true, true, false, true, true, true, false, false,
+        ];
+        // Unbridged: the spurious sample cuts the gap in two 3-runs < TH_gap,
+        // gluing the two iterations together.
+        assert_eq!(split_on_nop_runs(&nop, 6), vec![0..11]);
+        // Bridge = 1 restores the split.
+        assert_eq!(split_on_nop_runs_bridged(&nop, 6, 1), vec![0..2, 9..11]);
+    }
+
+    #[test]
+    fn bridge_zero_is_exactly_the_plain_splitter() {
+        let patterns: Vec<Vec<bool>> = vec![
+            vec![false, false, true, true, true, false, false, true, false],
+            vec![true, true, false, false, true, true],
+            vec![true; 10],
+            vec![false; 10],
+            vec![],
+        ];
+        for p in patterns {
+            for th in 1..5 {
+                assert_eq!(
+                    split_on_nop_runs_bridged(&p, th, 0),
+                    split_on_nop_runs(&p, th)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bridge_does_not_flip_long_busy_runs_or_edges() {
+        // A 3-sample busy run survives bridge = 2.
+        let nop = [true, false, false, false, true, true];
+        assert_eq!(
+            split_on_nop_runs_bridged(&nop, 2, 2),
+            split_on_nop_runs(&nop, 2)
+        );
+        // Edge busy runs (not flanked on both sides) are never bridged.
+        let nop = [false, true, true, false];
+        assert_eq!(split_on_nop_runs_bridged(&nop, 2, 1), vec![0..1, 3..4]);
     }
 
     #[test]

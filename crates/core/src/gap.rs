@@ -10,7 +10,7 @@ use ml::gbdt::{GbdtBinaryClassifier, GbdtConfig};
 use ml::MinMaxScaler;
 use serde::{Deserialize, Serialize};
 
-use crate::dataset::{filter_valid_iterations, split_on_nop_runs, LabeledTrace};
+use crate::dataset::{filter_valid_iterations, split_on_nop_runs_bridged, LabeledTrace};
 
 /// Splitting parameters (§V-A: `TH_gap = 6`, `R_min = 0.8`, `R_max = 1.2`).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -21,6 +21,12 @@ pub struct GapConfig {
     pub r_min: f64,
     /// Maximum iteration length as a ratio of the mean.
     pub r_max: f64,
+    /// Missing-sample tolerance: BUSY runs of at most this many samples that
+    /// are flanked by NOPs are bridged before gap splitting (see
+    /// [`crate::dataset::split_on_nop_runs_bridged`]). `0` (the default, and
+    /// the paper's implicit setting) disables bridging; fault-tolerant runs
+    /// use `1`–`2` to survive missed CUPTI polls.
+    pub nop_bridge: usize,
 }
 
 impl Default for GapConfig {
@@ -29,6 +35,7 @@ impl Default for GapConfig {
             th_gap: 6,
             r_min: 0.8,
             r_max: 1.2,
+            nop_bridge: 0,
         }
     }
 }
@@ -147,7 +154,7 @@ impl GapModel {
         scaler: &MinMaxScaler,
     ) -> Vec<std::ops::Range<usize>> {
         let nops = self.predict_nop(features, scaler);
-        let segments = split_on_nop_runs(&nops, self.config.th_gap);
+        let segments = split_on_nop_runs_bridged(&nops, self.config.th_gap, self.config.nop_bridge);
         filter_valid_iterations(segments, self.config.r_min, self.config.r_max)
     }
 
@@ -248,5 +255,6 @@ mod tests {
         assert_eq!(c.th_gap, 6);
         assert_eq!(c.r_min, 0.8);
         assert_eq!(c.r_max, 1.2);
+        assert_eq!(c.nop_bridge, 0, "bridging is opt-in: clean path unchanged");
     }
 }

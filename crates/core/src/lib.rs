@@ -71,6 +71,6 @@ pub use other_ops::{OtherClass, OtherOpModel};
 pub use profiling::{hp_sweep_variants, random_profiling_models};
 pub use report::{score_structure, AttackReport, StructureAccuracy};
 pub use slowdown::SlowdownConfig;
-pub use spy::SpyKernelKind;
+pub use spy::{sampler_retry_policy, SpyKernelKind};
 pub use trace::{collect_trace, CollectionConfig, RawTrace};
 pub use voting::{majority_vote, VotingModel};

@@ -10,7 +10,7 @@
 
 use std::fmt;
 
-use gpu_sim::{GpuConfig, KernelDesc, KernelFootprint};
+use gpu_sim::{GpuConfig, KernelDesc, KernelFootprint, RetryPolicy};
 use serde::{Deserialize, Serialize};
 
 /// The spy's launch geometry (paper §III-C: 4 blocks, 32 threads → 4 SMs).
@@ -115,6 +115,29 @@ impl fmt::Display for SpyKernelKind {
     }
 }
 
+/// First-retry backoff after a failed spy launch, microseconds. Matches the
+/// host-side relaunch latency: the first retry is just the next loop turn.
+pub const RETRY_BASE_US: f64 = 30.0;
+/// Backoff growth per consecutive failure.
+pub const RETRY_FACTOR: f64 = 2.0;
+/// Backoff ceiling, microseconds. Bounded well below one poll period so that
+/// even a burst of failed launches cannot silence the sampler for a whole
+/// CUPTI window — the stream degrades to sparser samples instead of
+/// developing false iteration gaps.
+pub const RETRY_CAP_US: f64 = 480.0;
+
+/// The sampler's launch-retry schedule: bounded exponential backoff. Failed
+/// launches only occur under an active fault plan
+/// (`gpu_sim::FaultPlan::launch_fail_prob`); on the clean path the policy is
+/// installed but never consulted, so it cannot perturb clean traces.
+pub fn sampler_retry_policy() -> RetryPolicy {
+    RetryPolicy {
+        base_us: RETRY_BASE_US,
+        factor: RETRY_FACTOR,
+        cap_us: RETRY_CAP_US,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -159,6 +182,17 @@ mod tests {
             .kernel(1.24, &cfg)
             .nominal_duration_us(&cfg);
         assert!(replay > base * 1.2, "{} vs {}", base, replay);
+    }
+
+    #[test]
+    fn retry_policy_is_bounded_below_the_poll_period() {
+        let policy = sampler_retry_policy();
+        // Backoff grows but saturates at the cap...
+        assert!(policy.backoff_us(2) > policy.backoff_us(1));
+        assert_eq!(policy.backoff_us(64), RETRY_CAP_US);
+        // ...and the cap stays well inside the paper's 1 ms poll period, so
+        // failed launches thin the sample stream rather than hollow it out.
+        assert!(RETRY_CAP_US < crate::trace::CollectionConfig::paper().poll_period_us / 2.0);
     }
 
     #[test]

@@ -112,6 +112,9 @@ fn collect_trace_uncached(
         .spy_kernel
         .kernel(cupti.replay_factor(), gpu.config());
     gpu.set_auto_repeat(sampler, spy_kernel);
+    // Bounded-backoff retries for faulted spy launches; inert on the clean
+    // path (launches only fail under an active FaultPlan).
+    gpu.set_launch_retry(sampler, crate::spy::sampler_retry_policy());
 
     let mut rng = StdRng::seed_from_u64(collection.seed);
     session.enqueue(&mut gpu, victim, &mut rng);
@@ -121,8 +124,10 @@ fn collect_trace_uncached(
     gpu.run_until(tail);
 
     let end = gpu.now_us();
+    let faults = gpu.config().faults;
     let (kernels, slices) = gpu.take_logs();
-    let samples = cupti.collect(&slices, 0.0, end);
+    // Identical to plain `collect` when the plan is inactive.
+    let samples = cupti.collect_faulted(&slices, 0.0, end, &faults);
     let victim_log: Vec<KernelRecord> = kernels.into_iter().filter(|r| r.ctx == victim).collect();
 
     let per_iter = session.ops().len();
@@ -175,14 +180,16 @@ pub fn collect_microbench(
     let cupti = CuptiSession::open(&vm, sampler, table_iv_groups(), poll_period_us)
         .expect("CUPTI accessible after driver downgrade");
     gpu.set_auto_repeat(sampler, spy.kernel(cupti.replay_factor(), gpu.config()));
+    gpu.set_launch_retry(sampler, crate::spy::sampler_retry_policy());
     if let Some(k) = victim_kernel {
         gpu.set_auto_repeat(victim, k);
     }
     gpu.run_until(duration_us);
+    let faults = gpu.config().faults;
     let (_, slices) = gpu.take_logs();
     // Discard a warm-up prefix so steady-state statistics dominate.
     let warmup = duration_us * 0.2;
-    cupti.collect(&slices, warmup, duration_us)
+    cupti.collect_faulted(&slices, warmup, duration_us, &faults)
 }
 
 #[cfg(test)]
@@ -246,6 +253,29 @@ pub(crate) mod tests {
             slow.mean_iteration_us,
             fast.mean_iteration_us
         );
+    }
+
+    #[test]
+    fn faulted_collection_is_deterministic_and_perturbed() {
+        use gpu_sim::FaultPlan;
+        let session = TrainingSession::new(tiny_model(), TrainingConfig::new(4, 2));
+        let cfg = CollectionConfig {
+            slowdown: SlowdownConfig { kernels: 2 },
+            ..CollectionConfig::paper()
+        };
+        let clean_gpu = GpuConfig::gtx_1080_ti();
+        let faulty_gpu = clean_gpu.clone().with_faults(FaultPlan::uniform(0.2, 9));
+
+        let clean = collect_trace(&session, &cfg, &clean_gpu);
+        let a = collect_trace(&session, &cfg, &faulty_gpu);
+        // Defeat the memoization layer so the second run actually simulates.
+        crate::cache::clear_memory();
+        let b = collect_trace(&session, &cfg, &faulty_gpu);
+        assert_eq!(a.samples, b.samples, "same plan => bitwise-identical");
+        assert_eq!(a.victim_log.len(), b.victim_log.len());
+        assert_ne!(a.samples, clean.samples, "active plan perturbs the trace");
+        // The victim's op stream itself is never faulted: labels stay whole.
+        assert_eq!(a.victim_log.len(), session.ops().len() * 2);
     }
 
     #[test]

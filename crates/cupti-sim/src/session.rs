@@ -10,7 +10,9 @@
 //! `NOP` signature: while the victim idles, many back-to-back spy launches
 //! (plus the idle write-drain) aggregate into one very large sample.
 
-use gpu_sim::{ContextId, CounterId, CounterSlice, CounterValues};
+use gpu_sim::{ContextId, CounterId, CounterSlice, CounterValues, FaultPlan};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use crate::driver::{DriverError, VmInstance};
@@ -170,6 +172,46 @@ impl CuptiSession {
         }
         samples
     }
+
+    /// Like [`CuptiSession::collect`], but applies the host-poll fault of
+    /// `plan`: each poll boundary is missed with `poll_miss_prob`, merging
+    /// the window into its successor (the next host read covers both, so
+    /// sample *timestamps* go missing while counter mass is conserved —
+    /// exactly what the gap detector's bridging tolerance absorbs,
+    /// `moscons::gap`). Deterministic in `plan.seed`; with
+    /// `poll_miss_prob == 0` this is `collect` exactly, with zero fault
+    /// draws.
+    pub fn collect_faulted(
+        &self,
+        trace: &[CounterSlice],
+        t_start: f64,
+        t_end: f64,
+        plan: &FaultPlan,
+    ) -> Vec<CuptiSample> {
+        let samples = self.collect(trace, t_start, t_end);
+        if plan.poll_miss_prob <= 0.0 || samples.len() < 2 {
+            return samples;
+        }
+        // Domain-separated from the engine's fault stream: both derive from
+        // the plan seed but must not replay each other's draws.
+        let mut rng = StdRng::seed_from_u64(plan.seed ^ 0x9011_c0de);
+        let mut out: Vec<CuptiSample> = Vec::with_capacity(samples.len());
+        let mut carry: Option<CuptiSample> = None;
+        let last = samples.len() - 1;
+        for (i, mut s) in samples.into_iter().enumerate() {
+            if let Some(missed) = carry.take() {
+                s.start_us = missed.start_us;
+                s.counters += missed.counters;
+            }
+            // The final window is always read (session teardown flushes it).
+            if i < last && rng.gen_bool(plan.poll_miss_prob) {
+                carry = Some(s);
+            } else {
+                out.push(s);
+            }
+        }
+        out
+    }
 }
 
 /// Free-function form of [`CuptiSession::fingerprint`], usable before a
@@ -327,6 +369,38 @@ mod tests {
         for s in [&fewer_groups, &other_poll, &quantized] {
             assert_ne!(base.fingerprint(), s.fingerprint());
         }
+    }
+
+    #[test]
+    fn collect_faulted_merges_missed_polls_conserving_mass() {
+        let s =
+            CuptiSession::open(&vm(), ContextId::test_value(0), table_iv_groups(), 50.0).unwrap();
+        let trace: Vec<CounterSlice> = (0..20)
+            .map(|i| slice(0, i as f64 * 50.0, i as f64 * 50.0 + 10.0, 5.0))
+            .collect();
+        let clean = s.collect(&trace, 0.0, 1000.0);
+
+        let mut plan = FaultPlan::none();
+        plan.poll_miss_prob = 0.4;
+        plan.seed = 17;
+        let faulted = s.collect_faulted(&trace, 0.0, 1000.0, &plan);
+        assert!(faulted.len() < clean.len(), "misses must drop samples");
+        let mass = |ss: &[CuptiSample]| -> f64 { ss.iter().map(|x| x.counters.total()).sum() };
+        assert!(
+            (mass(&clean) - mass(&faulted)).abs() < 1e-9,
+            "mass conserved"
+        );
+        // Windows stay contiguous: a merged sample spans the missed polls.
+        for w in faulted.windows(2) {
+            assert!((w[0].end_us - w[1].start_us).abs() < 1e-9);
+        }
+        // Determinism and the zero-prob identity.
+        let again = s.collect_faulted(&trace, 0.0, 1000.0, &plan);
+        assert_eq!(faulted, again);
+        assert_eq!(
+            s.collect_faulted(&trace, 0.0, 1000.0, &FaultPlan::none()),
+            clean
+        );
     }
 
     #[test]

@@ -6,6 +6,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::fault::FaultPlan;
+
 /// Static hardware + scheduler parameters for a simulated GPU.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GpuConfig {
@@ -44,6 +46,11 @@ pub struct GpuConfig {
     pub idle_drain_rate: f64,
     /// RNG seed for all stochastic components of the engine.
     pub seed: u64,
+    /// Deterministic fault injection (see [`crate::fault`]). The plan rides
+    /// in the config so it participates in trace-cache keys and so one value
+    /// fully determines a run; [`FaultPlan::none`] is the clean path and
+    /// draws nothing from the dedicated fault stream.
+    pub faults: FaultPlan,
 }
 
 impl GpuConfig {
@@ -69,6 +76,7 @@ impl GpuConfig {
             counter_noise: 0.05,
             idle_drain_rate: 4_000.0,
             seed: 0x0010_8071,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -76,6 +84,12 @@ impl GpuConfig {
     /// repeated trials / noise studies).
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Returns the same configuration with the given fault plan installed.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
         self
     }
 
@@ -109,6 +123,7 @@ impl GpuConfig {
         if self.counter_noise < 0.0 || self.counter_noise >= 1.0 {
             return Err("counter_noise must be in [0, 1)".into());
         }
+        self.faults.validate()?;
         Ok(())
     }
 
@@ -166,6 +181,18 @@ mod tests {
         let mut c = GpuConfig::gtx_1080_ti();
         c.counter_noise = 1.0;
         assert!(c.validate().is_err());
+
+        let mut c = GpuConfig::gtx_1080_ti();
+        c.faults.launch_fail_prob = 2.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn default_faults_are_none() {
+        assert!(!GpuConfig::gtx_1080_ti().faults.is_active());
+        let c = GpuConfig::gtx_1080_ti().with_faults(FaultPlan::uniform(0.2, 7));
+        assert!(c.faults.is_active());
+        assert!(c.validate().is_ok());
     }
 
     #[test]

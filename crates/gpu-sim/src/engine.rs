@@ -29,6 +29,7 @@ use serde::{Deserialize, Serialize};
 use crate::cache::{InsertKind, OccupancyL2};
 use crate::config::GpuConfig;
 use crate::counters::{CounterId, CounterValues};
+use crate::fault::RetryPolicy;
 use crate::kernel::KernelDesc;
 use crate::timeline::{CounterSlice, KernelRecord};
 
@@ -110,6 +111,14 @@ struct Context {
     /// with a co-runner this quantizes every op, however short, to at least
     /// one scheduling round — the granularity the spy samples at).
     yield_on_completion: bool,
+    /// Backoff schedule for failed auto-repeat launches (fault injection);
+    /// `None` falls back to the plain relaunch latency.
+    retry: Option<RetryPolicy>,
+    /// Consecutive failed auto-repeat launches (resets on success; drives
+    /// the retry backoff).
+    consecutive_failures: u32,
+    /// Total failed auto-repeat launches (diagnostics).
+    launch_failures: u64,
 }
 
 impl Context {
@@ -147,6 +156,12 @@ pub struct Gpu {
     l2: OccupancyL2,
     now_us: f64,
     rng: StdRng,
+    /// Dedicated stream for fault injection: an inactive [`FaultPlan`] draws
+    /// nothing, so the clean path's `rng` sequence is independent of whether
+    /// fault injection exists at all.
+    ///
+    /// [`FaultPlan`]: crate::fault::FaultPlan
+    fault_rng: StdRng,
     last_ran: Option<usize>,
     rr_next: usize,
     kernel_log: Vec<KernelRecord>,
@@ -173,6 +188,7 @@ impl Gpu {
     pub fn new(config: GpuConfig, mode: SchedulerMode) -> Self {
         config.validate().expect("valid GpuConfig");
         let seed = config.seed;
+        let fault_seed = config.faults.seed;
         let l2 = OccupancyL2::new(config.l2_bytes);
         Gpu {
             config,
@@ -181,6 +197,7 @@ impl Gpu {
             l2,
             now_us: 0.0,
             rng: StdRng::seed_from_u64(seed),
+            fault_rng: StdRng::seed_from_u64(fault_seed),
             last_ran: None,
             rr_next: 0,
             kernel_log: Vec::new(),
@@ -222,6 +239,9 @@ impl Gpu {
             peak_global: 0.0,
             peak_tex: 0.0,
             yield_on_completion: false,
+            retry: None,
+            consecutive_failures: 0,
+            launch_failures: 0,
         });
         ContextId(idx)
     }
@@ -275,6 +295,19 @@ impl Gpu {
     /// Stops auto-relaunching on the context (the running launch finishes).
     pub fn stop_auto_repeat(&mut self, ctx: ContextId) {
         self.contexts[ctx.0].auto = None;
+    }
+
+    /// Installs a retry-backoff schedule for the context's failed
+    /// auto-repeat launches (only reachable under an active fault plan with
+    /// `launch_fail_prob > 0`). Without a policy, failed launches retry
+    /// after the plain relaunch latency.
+    pub fn set_launch_retry(&mut self, ctx: ContextId, policy: RetryPolicy) {
+        self.contexts[ctx.0].retry = Some(policy);
+    }
+
+    /// Total failed auto-repeat launches on the context (diagnostics).
+    pub fn launch_failures(&self, ctx: ContextId) -> u64 {
+        self.contexts[ctx.0].launch_failures
     }
 
     /// Cumulative counters of a context.
@@ -494,19 +527,39 @@ impl Gpu {
         if c.running.is_some() || c.gap_until.is_some() {
             return c.running.is_some();
         }
-        let desc = match c.queue.front() {
+        let (desc, from_auto) = match c.queue.front() {
             Some(WorkItem::Kernel(_)) => {
                 let Some(WorkItem::Kernel(k)) = c.queue.pop_front() else {
                     unreachable!()
                 };
-                Some(k)
+                (Some(k), false)
             }
-            None if c.auto.is_some() && at + 1e-9 >= c.next_auto_launch_at => c.auto.clone(),
-            _ => None,
+            None if c.auto.is_some() && at + 1e-9 >= c.next_auto_launch_at => {
+                (c.auto.clone(), true)
+            }
+            _ => (None, false),
         };
         let Some(desc) = desc else { return false };
+        // Fault: the driver rejects an auto-repeat (spy/hog) launch; back off
+        // and retry. Queued victim kernels are never failed — their launch
+        // sequence is the ground-truth label stream.
+        let fail_prob = self.config.faults.launch_fail_prob;
+        if from_auto && fail_prob > 0.0 && self.fault_rng.gen_bool(fail_prob) {
+            let c = &mut self.contexts[idx];
+            c.consecutive_failures += 1;
+            c.launch_failures += 1;
+            let backoff = match c.retry {
+                Some(policy) => policy.backoff_us(c.consecutive_failures),
+                None => self.config.relaunch_latency_us,
+            };
+            c.next_auto_launch_at = at + backoff;
+            return false;
+        }
         let nominal = desc.nominal_duration_us(&self.config);
         let c = &mut self.contexts[idx];
+        if from_auto {
+            c.consecutive_failures = 0;
+        }
         if c.last_kernel_name.as_deref() != Some(&*desc.name) {
             let occ = self.l2.occupancy(idx);
             c.peak_global = occ.global();
@@ -534,6 +587,15 @@ impl Gpu {
             used += self.config.context_switch_us.min(budget);
         }
         self.last_ran = Some(idx);
+
+        // Fault: a watchdog-preemption burst forfeits the slice before any
+        // kernel work happens — time passes, no counters accumulate. The
+        // burst may overrun the granted slice (the watchdog does not respect
+        // the scheduler).
+        let faults = self.config.faults;
+        if faults.preempt_prob > 0.0 && self.fault_rng.gen_bool(faults.preempt_prob) {
+            return used + faults.preempt_us;
+        }
 
         while used < budget {
             if !self.start_next_kernel(idx, slice_start + used) {
@@ -694,14 +756,24 @@ impl Gpu {
 
         // Counter noise and commit.
         self.apply_noise(&mut delta);
+        self.apply_fault_jitter(&mut delta);
         self.contexts[idx].counters += delta;
         if self.contexts[idx].monitored && delta.total() > 0.0 {
-            self.counter_trace.push(CounterSlice {
-                ctx: ContextId(idx),
-                start_us: slice_start,
-                end_us: slice_start + used,
-                delta,
-            });
+            let mut copies = 1usize;
+            if faults.drop_slice_prob > 0.0 && self.fault_rng.gen_bool(faults.drop_slice_prob) {
+                copies = 0; // the counter ring buffer loses the record
+            } else if faults.dup_slice_prob > 0.0 && self.fault_rng.gen_bool(faults.dup_slice_prob)
+            {
+                copies = 2; // a re-read race records it twice
+            }
+            for _ in 0..copies {
+                self.counter_trace.push(CounterSlice {
+                    ctx: ContextId(idx),
+                    start_us: slice_start,
+                    end_us: slice_start + used,
+                    delta,
+                });
+            }
         }
         used
     }
@@ -775,6 +847,26 @@ impl Gpu {
             if v > 0.0 {
                 // Two-uniform approximation of a Gaussian factor.
                 let g: f64 = self.rng.gen_range(-1.0..1.0) + self.rng.gen_range(-1.0..1.0);
+                noisy.add_to(id, (v * (1.0 + sigma * g)).max(0.0));
+            }
+        }
+        *delta = noisy;
+    }
+
+    /// Fault: extra multiplicative counter-read jitter, drawn from the
+    /// dedicated fault stream (a misbehaving counter mux on top of the
+    /// substrate's own noise).
+    fn apply_fault_jitter(&mut self, delta: &mut CounterValues) {
+        let sigma = self.config.faults.counter_jitter;
+        if sigma <= 0.0 {
+            return;
+        }
+        let mut noisy = CounterValues::zero();
+        for id in CounterId::ALL {
+            let v = delta.get(id);
+            if v > 0.0 {
+                let g: f64 =
+                    self.fault_rng.gen_range(-1.0..1.0) + self.fault_rng.gen_range(-1.0..1.0);
                 noisy.add_to(id, (v * (1.0 + sigma * g)).max(0.0));
             }
         }
@@ -1058,6 +1150,116 @@ mod tests {
         gpu.enqueue(ctx, compute_kernel("k2", 100.0));
         gpu.run_until_queues_drain();
         assert_eq!(gpu.kernel_log().len(), 1);
+    }
+
+    #[test]
+    fn fault_plan_is_deterministic_and_perturbing() {
+        use crate::fault::FaultPlan;
+        let run = |faults: FaultPlan| {
+            let mut gpu = Gpu::new(
+                cfg().with_seed(42).with_faults(faults),
+                SchedulerMode::TimeSliced,
+            );
+            let v = gpu.add_context("v");
+            let s = gpu.add_context("s");
+            gpu.monitor(s);
+            for _ in 0..5 {
+                gpu.enqueue(v, mixed_kernel("op", 2000.0, 1e6, 1e5, 1e6));
+            }
+            gpu.set_auto_repeat(
+                s,
+                mixed_kernel("spy", 400.0, 64.0 * 1024.0, 32.0 * 1024.0, 256.0 * 1024.0),
+            );
+            gpu.run_until_queues_drain();
+            let (_, slices) = gpu.take_logs();
+            slices
+                .iter()
+                .map(|s| (s.start_us.to_bits(), s.delta.total().to_bits()))
+                .collect::<Vec<_>>()
+        };
+        let plan = FaultPlan::uniform(0.2, 7);
+        let clean = run(FaultPlan::none());
+        let a = run(plan);
+        let b = run(plan);
+        assert_eq!(a, b, "same plan seed => bitwise-identical trace");
+        assert_ne!(a, clean, "active plan perturbs the trace");
+        assert_ne!(
+            run(plan.with_seed(8)),
+            a,
+            "different fault seed => different trace"
+        );
+    }
+
+    #[test]
+    fn launch_failures_back_off_and_reduce_sampling() {
+        use crate::fault::{FaultPlan, RetryPolicy};
+        let run = |fail_prob: f64| {
+            let mut faults = FaultPlan::none();
+            faults.launch_fail_prob = fail_prob;
+            faults.seed = 3;
+            let mut gpu = Gpu::new(cfg().with_faults(faults), SchedulerMode::TimeSliced);
+            let s = gpu.add_context("s");
+            gpu.set_launch_retry(
+                s,
+                RetryPolicy {
+                    base_us: 30.0,
+                    factor: 2.0,
+                    cap_us: 2000.0,
+                },
+            );
+            gpu.set_auto_repeat(s, compute_kernel("spy", 400.0));
+            gpu.run_for(100_000.0);
+            (gpu.kernels_completed(s), gpu.launch_failures(s))
+        };
+        let (clean_n, clean_fails) = run(0.0);
+        let (faulty_n, faulty_fails) = run(0.4);
+        assert_eq!(clean_fails, 0);
+        assert!(faulty_fails > 0, "failures must occur at 40% rate");
+        assert!(
+            faulty_n < clean_n,
+            "failed launches cost samples: {faulty_n} vs {clean_n}"
+        );
+        assert!(faulty_n > 0, "retries keep the spy alive");
+    }
+
+    #[test]
+    fn preemption_bursts_slow_the_victim() {
+        use crate::fault::FaultPlan;
+        let run = |preempt_prob: f64| {
+            let mut faults = FaultPlan::none();
+            faults.preempt_prob = preempt_prob;
+            faults.preempt_us = 500.0;
+            faults.seed = 5;
+            let mut gpu = Gpu::new(cfg().with_faults(faults), SchedulerMode::TimeSliced);
+            let v = gpu.add_context("v");
+            gpu.enqueue(v, compute_kernel("work", 5000.0));
+            gpu.run_until_queues_drain();
+            gpu.kernel_log()[0].duration_us()
+        };
+        assert!(run(0.5) > 1.2 * run(0.0), "bursts must stretch wall time");
+    }
+
+    #[test]
+    fn drop_and_dup_change_slice_counts() {
+        use crate::fault::FaultPlan;
+        let run = |drop: f64, dup: f64| {
+            let mut faults = FaultPlan::none();
+            faults.drop_slice_prob = drop;
+            faults.dup_slice_prob = dup;
+            faults.seed = 11;
+            let mut gpu = Gpu::new(cfg().with_faults(faults), SchedulerMode::TimeSliced);
+            let s = gpu.add_context("s");
+            gpu.monitor(s);
+            gpu.set_auto_repeat(
+                s,
+                mixed_kernel("spy", 300.0, 64.0 * 1024.0, 0.0, 64.0 * 1024.0),
+            );
+            gpu.run_for(50_000.0);
+            gpu.counter_trace().len()
+        };
+        let base = run(0.0, 0.0);
+        assert!(run(0.4, 0.0) < base, "drops lose records");
+        assert!(run(0.0, 0.4) > base, "dups add records");
     }
 
     #[test]

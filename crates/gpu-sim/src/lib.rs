@@ -41,6 +41,7 @@ pub mod cache;
 pub mod config;
 pub mod counters;
 pub mod engine;
+pub mod fault;
 pub mod kernel;
 pub mod sm;
 pub mod timeline;
@@ -50,6 +51,7 @@ pub use cache::{CtxOccupancy, OccupancyL2, SetAssocCache};
 pub use config::GpuConfig;
 pub use counters::{CounterId, CounterValues};
 pub use engine::{ContextId, Gpu, SchedulerMode};
+pub use fault::{FaultPlan, RetryPolicy};
 pub use kernel::{KernelDesc, KernelFootprint};
 pub use sm::Occupancy;
 pub use timeline::{dominant_tag, CounterSlice, KernelRecord};

@@ -1,0 +1,10 @@
+// D4 fixture: a waiver names the wrong rule, so it waives nothing. The
+// `allow(D2)` below would only suppress a hash-iteration finding; the
+// unseeded RNG on the next line must still fire D4.
+use rand::{thread_rng, Rng};
+
+pub fn jitter() -> f64 {
+    // lint: allow(D2)
+    let mut rng = thread_rng();
+    rng.gen::<f64>()
+}

@@ -1,0 +1,10 @@
+// D4 good case: the generic line-local waiver. The RNG below is unseeded —
+// which D4 would normally flag — but the `allow(D4)` comment on the line
+// above suppresses exactly that finding and nothing else.
+use rand::Rng;
+
+pub fn jitter() -> f64 {
+    // lint: allow(D4)
+    let mut rng = rand::thread_rng();
+    rng.gen::<f64>()
+}

@@ -218,6 +218,50 @@ mod tests {
     }
 
     #[test]
+    fn edge_shapes_fit_and_predict_consistently() {
+        // Degenerate datasets the splitter must survive: a single row, a
+        // single feature, constant columns, and all-one-class labels —
+        // shapes that show up when a faulted trace leaves almost no samples.
+        let shapes = testkit::gen::zip3(
+            testkit::gen::usize_in(1, 40), // rows
+            testkit::gen::usize_in(1, 5),  // feature width
+            testkit::gen::usize_in(0, 2),  // label rule: 0 = all false, 1 = all true, 2 = threshold
+        );
+        testkit::check("gbdt_edge_shapes", &shapes, |&(n, width, rule)| {
+            let mut rng = StdRng::seed_from_u64(((n * 64 + width) * 4 + rule) as u64);
+            let rows: Vec<Vec<f32>> = (0..n)
+                .map(|_| (0..width).map(|_| rng.gen_range(0.0..1.0f32)).collect())
+                .collect();
+            let labels: Vec<bool> = rows
+                .iter()
+                .map(|r| match rule {
+                    0 => false,
+                    1 => true,
+                    _ => r[0] > 0.5,
+                })
+                .collect();
+            let model = crate::par::with_threads(1, || {
+                GbdtBinaryClassifier::fit(&rows, &labels, &GbdtConfig::default())
+            });
+            let other = crate::par::with_threads(4, || {
+                GbdtBinaryClassifier::fit(&rows, &labels, &GbdtConfig::default())
+            });
+            for r in &rows {
+                let p = model.predict_proba(r);
+                testkit::prop::holds(
+                    p.is_finite() && (0.0..=1.0).contains(&p),
+                    "proba out of range",
+                )?;
+                testkit::prop::holds(
+                    model.decision_function(r) == other.decision_function(r),
+                    "fit is not thread-count invariant on edge shapes",
+                )?;
+            }
+            Ok(())
+        });
+    }
+
+    #[test]
     fn training_is_thread_count_invariant() {
         let (rows, labels) = noisy_threshold_data(300, 9);
         let fit_with = |threads: usize| {

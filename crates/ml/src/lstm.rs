@@ -632,48 +632,81 @@ mod tests {
         }
     }
 
+    /// Generator for LSTM problem shapes `(in_dim, hidden, t_len)` — `t_len`
+    /// includes the single-step (`T = 1`) edge and sequences long enough to
+    /// exercise the recurrence and BPTT accumulation loops.
+    fn lstm_shape() -> testkit::Gen<(usize, usize, usize)> {
+        testkit::gen::zip3(
+            testkit::gen::usize_in(1, 8),
+            testkit::gen::usize_in(1, 9),
+            testkit::gen::usize_in(1, 40),
+        )
+    }
+
+    /// Weights and inputs are a pure function of the shape, so a shrunk
+    /// counterexample replays from the printed tuple alone.
+    fn shape_rng(tag: u64, (i, h, t): (usize, usize, usize)) -> StdRng {
+        StdRng::seed_from_u64(tag ^ ((i as u64) << 40 | (h as u64) << 20 | t as u64))
+    }
+
     #[test]
     fn fused_paths_match_naive_bitwise() {
-        let mut rng = StdRng::seed_from_u64(99);
-        let layer = LstmLayer::new(5, 7, &mut rng);
-        for t_len in [1usize, 2, 11, 40] {
-            let xs = Matrix::uniform(t_len, 5, 1.0, &mut rng);
-            let fused = layer.forward(&xs);
-            let naive = layer.forward_naive(&xs);
-            assert_eq!(fused.h, naive.h, "forward h differs at T={}", t_len);
-            assert_eq!(fused.c, naive.c, "forward c differs at T={}", t_len);
-            let dh = Matrix::uniform(t_len, 7, 1.0, &mut rng);
-            let (gf, dxf) = layer.backward(&fused, &dh);
-            let (gn, dxn) = layer.backward_naive(&naive, &dh);
-            assert_eq!(gf.wx, gn.wx, "wx grads differ at T={}", t_len);
-            assert_eq!(gf.wh, gn.wh, "wh grads differ at T={}", t_len);
-            assert_eq!(gf.b, gn.b, "b grads differ at T={}", t_len);
-            assert_eq!(dxf, dxn, "dx differs at T={}", t_len);
-        }
+        testkit::check(
+            "lstm_fused_vs_naive",
+            &lstm_shape(),
+            |&(in_dim, hidden, t_len)| {
+                let mut rng = shape_rng(99, (in_dim, hidden, t_len));
+                let layer = LstmLayer::new(in_dim, hidden, &mut rng);
+                let xs = Matrix::uniform(t_len, in_dim, 1.0, &mut rng);
+                let fused = layer.forward(&xs);
+                let naive = layer.forward_naive(&xs);
+                testkit::prop::holds(fused.h == naive.h, "forward h differs")?;
+                testkit::prop::holds(fused.c == naive.c, "forward c differs")?;
+                let dh = Matrix::uniform(t_len, hidden, 1.0, &mut rng);
+                let (gf, dxf) = layer.backward(&fused, &dh);
+                let (gn, dxn) = layer.backward_naive(&naive, &dh);
+                testkit::prop::holds(gf.wx == gn.wx, "wx grads differ")?;
+                testkit::prop::holds(gf.wh == gn.wh, "wh grads differ")?;
+                testkit::prop::holds(gf.b == gn.b, "b grads differ")?;
+                testkit::prop::holds(dxf == dxn, "dx differs")
+            },
+        );
     }
 
     #[test]
     fn reused_cache_and_scratch_match_fresh_allocations_bitwise() {
-        let mut rng = StdRng::seed_from_u64(0x5c1a);
-        let layer = LstmLayer::new(5, 7, &mut rng);
-        let mut cache = LstmCache::empty();
-        let mut grads = LstmGrads::empty();
-        let mut dx = Matrix::zeros(1, 1);
-        let mut scratch = LstmScratch::new();
-        // Shrinking then growing T exercises stale-capacity reuse.
-        for t_len in [9usize, 1, 4, 12] {
-            let xs = Matrix::uniform(t_len, 5, 1.0, &mut rng);
-            let dh = Matrix::uniform(t_len, 7, 1.0, &mut rng);
-            layer.forward_into(&xs, &mut cache, &mut scratch);
-            layer.backward_into(&cache, &dh, &mut grads, &mut dx, &mut scratch);
-            let fresh_cache = layer.forward(&xs);
-            let (fresh_grads, fresh_dx) = layer.backward(&fresh_cache, &dh);
-            assert_eq!(cache.h, fresh_cache.h, "h differs at T={}", t_len);
-            assert_eq!(grads.wx, fresh_grads.wx, "wx differs at T={}", t_len);
-            assert_eq!(grads.wh, fresh_grads.wh, "wh differs at T={}", t_len);
-            assert_eq!(grads.b, fresh_grads.b, "b differs at T={}", t_len);
-            assert_eq!(dx, fresh_dx, "dx differs at T={}", t_len);
-        }
+        // Pairs of sequence lengths run back-to-back through one set of
+        // buffers: shrinking then growing T exercises stale-capacity reuse.
+        let schedule =
+            testkit::gen::zip2(testkit::gen::usize_in(1, 12), testkit::gen::usize_in(1, 12));
+        testkit::check("lstm_buffer_reuse", &schedule, |&(t_first, t_second)| {
+            let mut rng = StdRng::seed_from_u64(0x5c1a ^ (t_first * 64 + t_second) as u64);
+            let layer = LstmLayer::new(5, 7, &mut rng);
+            let mut cache = LstmCache::empty();
+            let mut grads = LstmGrads::empty();
+            let mut dx = Matrix::zeros(1, 1);
+            let mut scratch = LstmScratch::new();
+            for t_len in [t_first, t_second] {
+                let xs = Matrix::uniform(t_len, 5, 1.0, &mut rng);
+                let dh = Matrix::uniform(t_len, 7, 1.0, &mut rng);
+                layer.forward_into(&xs, &mut cache, &mut scratch);
+                layer.backward_into(&cache, &dh, &mut grads, &mut dx, &mut scratch);
+                let fresh_cache = layer.forward(&xs);
+                let (fresh_grads, fresh_dx) = layer.backward(&fresh_cache, &dh);
+                testkit::prop::holds(cache.h == fresh_cache.h, format!("h differs at T={t_len}"))?;
+                testkit::prop::holds(
+                    grads.wx == fresh_grads.wx,
+                    format!("wx differs at T={t_len}"),
+                )?;
+                testkit::prop::holds(
+                    grads.wh == fresh_grads.wh,
+                    format!("wh differs at T={t_len}"),
+                )?;
+                testkit::prop::holds(grads.b == fresh_grads.b, format!("b differs at T={t_len}"))?;
+                testkit::prop::holds(dx == fresh_dx, format!("dx differs at T={t_len}"))?;
+            }
+            Ok(())
+        });
     }
 
     #[test]

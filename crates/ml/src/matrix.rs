@@ -625,15 +625,28 @@ mod tests {
         }
     }
 
+    /// Generator for GEMM shapes `(m, k, n)`. Dimensions deliberately straddle
+    /// every special case in the blocked kernels: 1 (degenerate), values far
+    /// from multiples of the j-tile (`J_TILE = 256` — `n` ranges past it), and
+    /// products on both sides of the `PAR_MIN_FLOPS` fan-out threshold.
+    fn gemm_shape() -> testkit::Gen<(usize, usize, usize)> {
+        testkit::gen::zip3(
+            testkit::gen::usize_in(1, 96),
+            testkit::gen::usize_in(1, 96),
+            testkit::gen::usize_in(1, 300),
+        )
+    }
+
+    /// Matrix contents derived from the shape alone, so a shrunk
+    /// counterexample is fully reproducible from the printed tuple.
+    fn shape_rng(tag: u64, (m, k, n): (usize, usize, usize)) -> StdRng {
+        StdRng::seed_from_u64(tag ^ ((m as u64) << 40 | (k as u64) << 20 | n as u64))
+    }
+
     #[test]
     fn blocked_products_match_naive_bitwise_across_thread_counts() {
-        let mut rng = StdRng::seed_from_u64(0xb10c);
-        for &(m, k, n) in &[
-            (1usize, 1usize, 1usize),
-            (3, 5, 2),
-            (17, 33, 65),
-            (70, 41, 300),
-        ] {
+        testkit::check("gemm_blocked_vs_naive", &gemm_shape(), |&(m, k, n)| {
+            let mut rng = shape_rng(0xb10c, (m, k, n));
             let a = Matrix::uniform(m, k, 1.0, &mut rng);
             let b = Matrix::uniform(k, n, 1.0, &mut rng);
             let reference = a.matmul_naive(&b);
@@ -642,13 +655,17 @@ mod tests {
             for threads in [1usize, 2, 5] {
                 let (fast, t_fast) =
                     crate::par::with_threads(threads, || (a.matmul(&b), at.t_matmul(&b)));
-                assert_eq!(fast, reference, "matmul {m}x{k}x{n} @ {threads} threads");
-                assert_eq!(
-                    t_fast, t_reference,
-                    "t_matmul {m}x{k}x{n} @ {threads} threads"
-                );
+                testkit::prop::holds(
+                    fast == reference,
+                    format!("matmul {m}x{k}x{n} @ {threads} threads"),
+                )?;
+                testkit::prop::holds(
+                    t_fast == t_reference,
+                    format!("t_matmul {m}x{k}x{n} @ {threads} threads"),
+                )?;
             }
-        }
+            Ok(())
+        });
     }
 
     #[test]
@@ -705,23 +722,27 @@ mod tests {
 
     #[test]
     fn into_kernels_reuse_buffers_and_match_allocating_paths() {
-        let mut rng = StdRng::seed_from_u64(0x17_70);
-        let mut out = Matrix::zeros(200, 200); // warm capacity, stale contents
-        out.map_inplace(|_| 7.5);
-        for &(m, k, n) in &[(4usize, 6usize, 5usize), (9, 3, 11), (1, 1, 1)] {
+        testkit::check("gemm_into_vs_allocating", &gemm_shape(), |&(m, k, n)| {
+            let mut rng = shape_rng(0x17_70, (m, k, n));
+            // Warm capacity with stale contents: `_into` must fully overwrite.
+            let mut out = Matrix::zeros(200, 200);
+            out.map_inplace(|_| 7.5);
             let a = Matrix::uniform(m, k, 1.0, &mut rng);
             let b = Matrix::uniform(k, n, 1.0, &mut rng);
             a.matmul_into(&b, &mut out);
-            assert_eq!(out, a.matmul_naive(&b));
+            testkit::prop::holds(out == a.matmul_naive(&b), "matmul_into != naive")?;
 
             let at = Matrix::uniform(k, m, 1.0, &mut rng);
             at.t_matmul_into(&b, &mut out);
-            assert_eq!(out, at.t_matmul_naive(&b));
+            testkit::prop::holds(out == at.t_matmul_naive(&b), "t_matmul_into != naive")?;
 
             let bt = Matrix::uniform(n, k, 1.0, &mut rng);
             a.matmul_t_into(&bt, &mut out);
-            assert_eq!(out, a.matmul(&bt.transposed()));
-        }
+            testkit::prop::holds(
+                out == a.matmul(&bt.transposed()),
+                "matmul_t_into != explicit transpose",
+            )
+        });
     }
 
     #[test]

@@ -1,0 +1,372 @@
+//! Generators with built-in shrinkers.
+//!
+//! A [`Gen<T>`] is a pair of closures: `run` draws a value from a seeded
+//! [`TkRng`], `shrink` proposes strictly "simpler" candidates for a failing
+//! value. Combinators compose both halves, so a property over a struct built
+//! with [`zip3`] + [`Gen::map_iso`] shrinks component-wise for free.
+//!
+//! Shrink orderings are chosen so the greedy loop in [`crate::prop`]
+//! terminates: integers shrink toward the range's lower bound by binary
+//! search, floats halve their distance to the lower bound (bounded by the
+//! shrink budget), vectors drop chunks before shrinking elements.
+
+use std::rc::Rc;
+
+use crate::rng::TkRng;
+
+/// Shrinker half of a [`Gen`]: proposes simpler candidates for a value.
+type Shrinker<T> = Rc<dyn Fn(&T) -> Vec<T>>;
+
+/// A seeded generator plus shrinker for values of type `T`.
+#[derive(Clone)]
+pub struct Gen<T> {
+    run: Rc<dyn Fn(&mut TkRng) -> T>,
+    shrink: Shrinker<T>,
+}
+
+impl<T: Clone + 'static> Gen<T> {
+    /// Builds a generator from explicit run/shrink closures.
+    pub fn new(
+        run: impl Fn(&mut TkRng) -> T + 'static,
+        shrink: impl Fn(&T) -> Vec<T> + 'static,
+    ) -> Self {
+        Gen {
+            run: Rc::new(run),
+            shrink: Rc::new(shrink),
+        }
+    }
+
+    /// Always produces `value`; never shrinks.
+    pub fn constant(value: T) -> Self {
+        Gen::new(move |_| value.clone(), |_| Vec::new())
+    }
+
+    /// Draws one value.
+    pub fn sample(&self, rng: &mut TkRng) -> T {
+        (self.run)(rng)
+    }
+
+    /// Proposes simpler candidates for `value` (possibly empty).
+    pub fn shrink(&self, value: &T) -> Vec<T> {
+        (self.shrink)(value)
+    }
+
+    /// One-way transform. The result no longer shrinks — prefer
+    /// [`Gen::map_iso`] when an inverse exists.
+    pub fn map<U: Clone + 'static>(self, f: impl Fn(T) -> U + 'static) -> Gen<U> {
+        let run = self.run;
+        Gen::new(move |rng| f((run)(rng)), |_| Vec::new())
+    }
+
+    /// Bidirectional transform: `to` builds the target value, `from` recovers
+    /// the source so the underlying shrinker keeps working. This is the
+    /// struct-combinator: generate a tuple of fields, `to` the constructor,
+    /// `from` the field projection.
+    pub fn map_iso<U: Clone + 'static>(
+        self,
+        to: impl Fn(T) -> U + Clone + 'static,
+        from: impl Fn(&U) -> T + 'static,
+    ) -> Gen<U> {
+        let run = self.run;
+        let shrink = self.shrink;
+        let to_run = to.clone();
+        Gen::new(
+            move |rng| to_run((run)(rng)),
+            move |u| (shrink)(&from(u)).into_iter().map(&to).collect(),
+        )
+    }
+
+    /// Keeps only values satisfying `keep`, retrying the draw (bounded).
+    /// Shrink candidates violating `keep` are dropped.
+    pub fn filter(self, keep: impl Fn(&T) -> bool + Clone + 'static) -> Gen<T> {
+        let run = self.run;
+        let shrink = self.shrink;
+        let keep_run = keep.clone();
+        Gen::new(
+            move |rng| {
+                for _ in 0..1000 {
+                    let v = (run)(rng);
+                    if keep_run(&v) {
+                        return v;
+                    }
+                }
+                panic!("Gen::filter: predicate rejected 1000 consecutive draws");
+            },
+            move |v| (shrink)(v).into_iter().filter(|c| keep(c)).collect(),
+        )
+    }
+}
+
+/// Shrink candidates for an integer, moving toward `lo`: the bound itself,
+/// then binary-search steps `v - (v-lo)/2, …, v-1`.
+fn shrink_u64_toward(lo: u64, v: u64) -> Vec<u64> {
+    let mut out = Vec::new();
+    if v <= lo {
+        return out;
+    }
+    out.push(lo);
+    let mut delta = v - lo;
+    loop {
+        delta /= 2;
+        if delta == 0 {
+            break;
+        }
+        let c = v - delta;
+        if c != lo {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Uniform `u64` in `[lo, hi]`, shrinking toward `lo`.
+pub fn u64_in(lo: u64, hi: u64) -> Gen<u64> {
+    assert!(lo <= hi, "empty range");
+    Gen::new(
+        move |rng| rng.range_u64(lo, hi),
+        move |&v| shrink_u64_toward(lo, v),
+    )
+}
+
+/// Uniform `usize` in `[lo, hi]`, shrinking toward `lo`.
+pub fn usize_in(lo: usize, hi: usize) -> Gen<usize> {
+    u64_in(lo as u64, hi as u64).map_iso(|v| v as usize, |&v| v as u64)
+}
+
+/// Uniform `u32` in `[lo, hi]`, shrinking toward `lo`.
+pub fn u32_in(lo: u32, hi: u32) -> Gen<u32> {
+    u64_in(lo as u64, hi as u64).map_iso(|v| v as u32, |&v| v as u64)
+}
+
+/// Uniform `i64` in `[lo, hi]`, shrinking toward zero when the range spans
+/// it, otherwise toward the bound nearest zero.
+pub fn i64_in(lo: i64, hi: i64) -> Gen<i64> {
+    assert!(lo <= hi, "empty range");
+    let target = lo.max(0).min(hi);
+    Gen::new(
+        move |rng| {
+            let span = (hi - lo) as u64;
+            lo.wrapping_add(rng.range_u64(0, span) as i64)
+        },
+        move |&v| {
+            if v == target {
+                return Vec::new();
+            }
+            let dist = v.abs_diff(target);
+            let sign: i64 = if v > target { 1 } else { -1 };
+            shrink_u64_toward(0, dist)
+                .into_iter()
+                .map(|d| target + sign * d as i64)
+                .collect()
+        },
+    )
+}
+
+/// Uniform `f64` in `[lo, hi)`, shrinking by halving the distance to `lo`
+/// (plus `lo` itself first). Termination is bounded by the shrink budget.
+pub fn f64_in(lo: f64, hi: f64) -> Gen<f64> {
+    assert!(lo < hi && lo.is_finite() && hi.is_finite(), "bad range");
+    Gen::new(
+        move |rng| lo + rng.f64_unit() * (hi - lo),
+        move |&v| {
+            if v <= lo {
+                return Vec::new();
+            }
+            let mid = lo + (v - lo) / 2.0;
+            if mid > lo && mid < v {
+                vec![lo, mid]
+            } else {
+                vec![lo]
+            }
+        },
+    )
+}
+
+/// Uniform `f32` in `[lo, hi)`, shrinking toward `lo`.
+pub fn f32_in(lo: f32, hi: f32) -> Gen<f32> {
+    f64_in(lo as f64, hi as f64).map_iso(|v| v as f32, |&v| v as f64)
+}
+
+/// Bernoulli `bool`; `true` shrinks to `false`.
+pub fn bool_with(p_true: f64) -> Gen<bool> {
+    Gen::new(
+        move |rng| rng.bool_with(p_true),
+        |&v| if v { vec![false] } else { Vec::new() },
+    )
+}
+
+/// Picks one of the listed values, shrinking toward earlier entries (order
+/// the list simplest-first).
+pub fn choice<T: Clone + PartialEq + 'static>(options: Vec<T>) -> Gen<T> {
+    assert!(!options.is_empty(), "choice of nothing");
+    let opts = options.clone();
+    Gen::new(
+        move |rng| options[rng.below(options.len() as u64) as usize].clone(),
+        move |v| {
+            let idx = opts.iter().position(|o| o == v).unwrap_or(0);
+            opts[..idx].to_vec()
+        },
+    )
+}
+
+/// Vector of `elem` draws with length uniform in `[min_len, max_len]`.
+/// Shrinks by dropping chunks (halves, then singles) down to `min_len`,
+/// then by shrinking individual elements.
+pub fn vec_of<T: Clone + 'static>(elem: Gen<T>, min_len: usize, max_len: usize) -> Gen<Vec<T>> {
+    assert!(min_len <= max_len, "empty length range");
+    let elem_shrink = elem.clone();
+    Gen::new(
+        move |rng| {
+            let n = rng.range_u64(min_len as u64, max_len as u64) as usize;
+            (0..n).map(|_| elem.sample(rng)).collect()
+        },
+        move |v: &Vec<T>| {
+            let n = v.len();
+            let mut out: Vec<Vec<T>> = Vec::new();
+            if n > min_len {
+                let mut k = n - min_len;
+                while k > 0 {
+                    let mut i = 0;
+                    while i + k <= n {
+                        let mut c = Vec::with_capacity(n - k);
+                        c.extend_from_slice(&v[..i]);
+                        c.extend_from_slice(&v[i + k..]);
+                        out.push(c);
+                        i += k;
+                    }
+                    k /= 2;
+                }
+            }
+            for i in 0..n {
+                for s in elem_shrink.shrink(&v[i]) {
+                    let mut c = v.clone();
+                    c[i] = s;
+                    out.push(c);
+                }
+            }
+            out
+        },
+    )
+}
+
+/// Pair generator; shrinks one component at a time.
+pub fn zip2<A: Clone + 'static, B: Clone + 'static>(a: Gen<A>, b: Gen<B>) -> Gen<(A, B)> {
+    let (ar, br) = (a.clone(), b.clone());
+    Gen::new(
+        move |rng| (a.sample(rng), b.sample(rng)),
+        move |(x, y)| {
+            let mut out = Vec::new();
+            for sx in ar.shrink(x) {
+                out.push((sx, y.clone()));
+            }
+            for sy in br.shrink(y) {
+                out.push((x.clone(), sy));
+            }
+            out
+        },
+    )
+}
+
+/// Triple generator; shrinks one component at a time.
+pub fn zip3<A: Clone + 'static, B: Clone + 'static, C: Clone + 'static>(
+    a: Gen<A>,
+    b: Gen<B>,
+    c: Gen<C>,
+) -> Gen<(A, B, C)> {
+    zip2(zip2(a, b), c).map_iso(
+        |((x, y), z)| (x, y, z),
+        |(x, y, z)| ((x.clone(), y.clone()), z.clone()),
+    )
+}
+
+/// Quadruple generator; shrinks one component at a time.
+pub fn zip4<A: Clone + 'static, B: Clone + 'static, C: Clone + 'static, D: Clone + 'static>(
+    a: Gen<A>,
+    b: Gen<B>,
+    c: Gen<C>,
+    d: Gen<D>,
+) -> Gen<(A, B, C, D)> {
+    zip2(zip2(a, b), zip2(c, d)).map_iso(
+        |((x, y), (z, w))| (x, y, z, w),
+        |(x, y, z, w)| ((x.clone(), y.clone()), (z.clone(), w.clone())),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_shrinks_toward_lower_bound() {
+        let g = u64_in(3, 100);
+        let cands = g.shrink(&40);
+        assert_eq!(cands[0], 3);
+        assert!(cands.contains(&39));
+        assert!(cands.iter().all(|&c| (3..40).contains(&c)));
+        assert!(g.shrink(&3).is_empty());
+    }
+
+    #[test]
+    fn i64_shrinks_toward_zero() {
+        let g = i64_in(-50, 50);
+        assert!(g.shrink(&-40).iter().all(|&c| (-40..=0).contains(&c)));
+        assert!(g.shrink(&40).iter().all(|&c| (0..=40).contains(&c)));
+        assert!(g.shrink(&0).is_empty());
+        // Range not spanning zero: shrink toward the bound nearest zero.
+        let g = i64_in(10, 90);
+        assert!(g.shrink(&45).iter().all(|&c| (10..45).contains(&c)));
+    }
+
+    #[test]
+    fn vec_shrinks_length_then_elements() {
+        let g = vec_of(u64_in(0, 9), 1, 8);
+        let cands = g.shrink(&vec![5, 6, 7, 8]);
+        assert!(cands.iter().any(|c| c.len() == 1));
+        assert!(cands.iter().any(|c| *c == vec![0, 6, 7, 8]));
+        assert!(cands.iter().all(|c| !c.is_empty()));
+    }
+
+    #[test]
+    fn map_iso_keeps_shrinking_map_drops_it() {
+        #[derive(Clone, Debug, PartialEq)]
+        struct Wrapper(u64);
+        let iso = u64_in(0, 100).map_iso(Wrapper, |w: &Wrapper| w.0);
+        assert!(iso.shrink(&Wrapper(50)).contains(&Wrapper(0)));
+        let plain = u64_in(0, 100).map(Wrapper);
+        assert!(plain.shrink(&Wrapper(50)).is_empty());
+    }
+
+    #[test]
+    fn choice_shrinks_to_earlier_options() {
+        let g = choice(vec!["a", "b", "c"]);
+        assert_eq!(g.shrink(&"c"), vec!["a", "b"]);
+        assert!(g.shrink(&"a").is_empty());
+    }
+
+    #[test]
+    fn zip_shrinks_componentwise() {
+        let g = zip2(u64_in(0, 10), u64_in(5, 15));
+        let cands = g.shrink(&(7, 9));
+        assert!(cands.contains(&(0, 9)));
+        assert!(cands.contains(&(7, 5)));
+        assert!(!cands.contains(&(0, 5)), "one component at a time");
+    }
+
+    #[test]
+    fn filter_rejects_bad_draws_and_candidates() {
+        let g = u64_in(0, 100).filter(|&v| v % 2 == 0);
+        let mut rng = TkRng::new(11);
+        for _ in 0..50 {
+            assert_eq!(g.sample(&mut rng) % 2, 0);
+        }
+        assert!(g.shrink(&60).iter().all(|&c| c % 2 == 0));
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let g = vec_of(u64_in(0, 1000), 0, 16);
+        let a = g.sample(&mut TkRng::new(99));
+        let b = g.sample(&mut TkRng::new(99));
+        assert_eq!(a, b);
+    }
+}

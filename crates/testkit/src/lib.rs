@@ -1,0 +1,45 @@
+//! # `testkit` — seeded, shrinking property-based testing
+//!
+//! A zero-dependency property-testing harness for the `leaky-dnn` workspace,
+//! built around the same determinism contract the workspace enforces
+//! everywhere else (leaky-lint rules D1–D7): every generated test case is a
+//! pure function of a `u64` seed, so a failing case is *replayable from its
+//! printed seed alone* — no corpus files, no global RNG state.
+//!
+//! * [`rng::TkRng`] — a splitmix64 stream; deliberately independent of the
+//!   vendored `rand` crate so this harness never shares a failure mode with
+//!   the code it checks.
+//! * [`gen`] — `Gen<T>` generators with integer / float / vec / tuple /
+//!   struct combinators. Each generator carries its own shrinker; `map_iso`
+//!   keeps shrinking through struct constructors.
+//! * [`prop`] — the check loop: `LEAKY_TESTKIT_SEED` / `LEAKY_TESTKIT_CASES`
+//!   env knobs, greedy shrinking, and a failure report that prints the exact
+//!   one-line environment to replay the minimal counterexample.
+//!
+//! # Replay workflow
+//!
+//! ```text
+//! property failed: vec_sum_is_small
+//!   seed 0x00000000d00dfeed, case 17 of 64
+//!   original: [812, 4, 993]
+//!   minimal (after 9 shrinks): [501]
+//!   replay: LEAKY_TESTKIT_SEED=3735928559 LEAKY_TESTKIT_CASES=1 cargo test ...
+//! ```
+//!
+//! Setting exactly those two variables re-generates the failing case as case
+//! 0 (the per-case seed schedule is the identity at case 0) and shrinks it to
+//! the same minimal counterexample, because shrinking itself is
+//! deterministic. `prop::check` also writes the report under
+//! `target/testkit-failures/` so CI can upload it as an artifact.
+
+// Enforced statically here and by leaky-lint rule D5: a test harness with
+// unsafe code cannot vouch for anything.
+#![forbid(unsafe_code)]
+
+pub mod gen;
+pub mod prop;
+pub mod rng;
+
+pub use gen::Gen;
+pub use prop::{check, check_with, Config, Failure};
+pub use rng::TkRng;

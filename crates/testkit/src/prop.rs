@@ -1,0 +1,262 @@
+//! The property-check loop: seeded case schedule, greedy shrinking, and
+//! replayable failure reports.
+//!
+//! The contract that makes "replay from the printed seed alone" work:
+//!
+//! 1. case `i` of a run with base seed `s` is generated from
+//!    `case_seed(s, i)`, and `case_seed(s, 0) == s`;
+//! 2. shrinking is deterministic (pure candidate enumeration, greedy
+//!    first-failure descent);
+//!
+//! so re-running with `LEAKY_TESTKIT_SEED=<failing case seed>` and
+//! `LEAKY_TESTKIT_CASES=1` regenerates the failing value as case 0 and
+//! shrinks it to the identical minimal counterexample.
+
+use std::fmt;
+use std::path::PathBuf;
+
+use crate::gen::Gen;
+use crate::rng::{splitmix64, TkRng};
+
+/// Check-loop configuration. Defaults: seed `0xleaky` (well, `0x1eaky` is not
+/// hex — `0x5EED_1EA4`), 64 cases, 4096 shrink steps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Config {
+    /// Base seed for the case schedule.
+    pub seed: u64,
+    /// Number of cases to run.
+    pub cases: u32,
+    /// Upper bound on accepted shrink steps (candidate evaluations are
+    /// bounded by this times the candidate fan-out).
+    pub max_shrinks: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            seed: 0x5EED_1EA4,
+            cases: 64,
+            max_shrinks: 4096,
+        }
+    }
+}
+
+impl Config {
+    /// Reads `LEAKY_TESTKIT_SEED` / `LEAKY_TESTKIT_CASES` (decimal), falling
+    /// back to the defaults for unset or unparsable values.
+    pub fn from_env() -> Self {
+        let mut cfg = Config::default();
+        if let Some(seed) = read_env_u64("LEAKY_TESTKIT_SEED") {
+            cfg.seed = seed;
+        }
+        if let Some(cases) = read_env_u64("LEAKY_TESTKIT_CASES") {
+            cfg.cases = cases.min(u32::MAX as u64) as u32;
+        }
+        cfg
+    }
+}
+
+fn read_env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+/// Seed for case `i` under base seed `base`. The identity at `i == 0`, a
+/// splitmix64-mixed stream afterwards — so any case's seed can serve as the
+/// base seed of a single-case replay run.
+pub fn case_seed(base: u64, case: u32) -> u64 {
+    if case == 0 {
+        return base;
+    }
+    let mut s = base;
+    let mut out = base;
+    for _ in 0..case {
+        out = splitmix64(&mut s);
+    }
+    out
+}
+
+/// A failed property: the case that failed, its replay seed, and the shrunk
+/// counterexample.
+#[derive(Debug, Clone)]
+pub struct Failure<T> {
+    /// Property name as passed to [`check_with`].
+    pub name: String,
+    /// Base seed of the run that failed.
+    pub base_seed: u64,
+    /// Index of the failing case.
+    pub case: u32,
+    /// Seed that regenerates the failing case (as case 0).
+    pub case_seed: u64,
+    /// The originally generated failing value.
+    pub original: T,
+    /// The shrunk counterexample.
+    pub minimal: T,
+    /// Number of accepted shrink steps taken.
+    pub shrinks: u32,
+    /// Property error message for the minimal counterexample.
+    pub message: String,
+}
+
+impl<T: fmt::Debug> Failure<T> {
+    /// The one-line environment that replays this failure.
+    pub fn replay_line(&self) -> String {
+        format!(
+            "LEAKY_TESTKIT_SEED={} LEAKY_TESTKIT_CASES=1",
+            self.case_seed
+        )
+    }
+
+    /// Full human-readable report (also what [`check`] panics with).
+    pub fn report(&self) -> String {
+        format!(
+            "property failed: {}\n  seed {:#018x}, case {} of base seed {:#018x}\n  original: {:?}\n  minimal (after {} shrinks): {:?}\n  error: {}\n  replay: {} cargo test\n",
+            self.name.as_str(),
+            self.case_seed,
+            self.case,
+            self.base_seed,
+            self.original,
+            self.shrinks,
+            self.minimal,
+            self.message,
+            self.replay_line(),
+        )
+    }
+}
+
+/// Runs `prop` over `cfg.cases` generated values. On failure, shrinks
+/// greedily and returns the [`Failure`]; `Ok(())` when every case passes.
+pub fn check_with<T, F>(name: &str, cfg: &Config, gen: &Gen<T>, prop: F) -> Result<(), Failure<T>>
+where
+    T: Clone + fmt::Debug + 'static,
+    F: Fn(&T) -> Result<(), String>,
+{
+    for case in 0..cfg.cases {
+        let seed = case_seed(cfg.seed, case);
+        let value = gen.sample(&mut TkRng::new(seed));
+        if let Err(first_msg) = prop(&value) {
+            let mut minimal = value.clone();
+            let mut message = first_msg;
+            let mut shrinks = 0u32;
+            'outer: while shrinks < cfg.max_shrinks {
+                for candidate in gen.shrink(&minimal) {
+                    if let Err(msg) = prop(&candidate) {
+                        minimal = candidate;
+                        message = msg;
+                        shrinks += 1;
+                        continue 'outer;
+                    }
+                }
+                break;
+            }
+            return Err(Failure {
+                name: name.to_string(),
+                base_seed: cfg.seed,
+                case,
+                case_seed: seed,
+                original: value,
+                minimal,
+                shrinks,
+                message,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Directory failure reports are written to (for CI artifact upload).
+/// Overridable via `LEAKY_TESTKIT_FAILURE_DIR`; defaults to the workspace's
+/// `target/testkit-failures/`.
+pub fn failure_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("LEAKY_TESTKIT_FAILURE_DIR") {
+        return PathBuf::from(dir);
+    }
+    PathBuf::from(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../target/testkit-failures"
+    ))
+}
+
+/// Env-configured check: reads [`Config::from_env`], panics on failure with
+/// the replayable report, and mirrors the report to [`failure_dir`] so CI
+/// uploads the shrunk seed as an artifact.
+pub fn check<T, F>(name: &str, gen: &Gen<T>, prop: F)
+where
+    T: Clone + fmt::Debug + 'static,
+    F: Fn(&T) -> Result<(), String>,
+{
+    let cfg = Config::from_env();
+    if let Err(failure) = check_with(name, &cfg, gen, prop) {
+        let report = failure.report();
+        let dir = failure_dir();
+        if std::fs::create_dir_all(&dir).is_ok() {
+            // A failed write must not mask the real failure below.
+            let _ = std::fs::write(dir.join(format!("{name}.txt")), &report);
+        }
+        panic!("{report}");
+    }
+}
+
+/// Convenience for boolean properties: `Err` carries a fixed message.
+pub fn holds(ok: bool, why: impl Into<String>) -> Result<(), String> {
+    if ok {
+        Ok(())
+    } else {
+        Err(why.into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn case_seed_is_identity_at_zero() {
+        for base in [0u64, 1, 0xdead_beef, u64::MAX] {
+            assert_eq!(case_seed(base, 0), base);
+        }
+    }
+
+    #[test]
+    fn case_seeds_are_distinct() {
+        let seeds: Vec<u64> = (0..100).map(|i| case_seed(42, i)).collect();
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seeds.len());
+    }
+
+    #[test]
+    fn passing_property_is_ok() {
+        let cfg = Config {
+            seed: 1,
+            cases: 50,
+            max_shrinks: 100,
+        };
+        let g = gen::u64_in(0, 1000);
+        assert!(check_with("le_1000", &cfg, &g, |&v| holds(v <= 1000, "bound")).is_ok());
+    }
+
+    #[test]
+    fn failing_property_shrinks_to_boundary() {
+        let cfg = Config {
+            seed: 7,
+            cases: 200,
+            max_shrinks: 4096,
+        };
+        let g = gen::u64_in(0, 1000);
+        let failure =
+            check_with("lt_500", &cfg, &g, |&v| holds(v < 500, "v >= 500")).expect_err("must fail");
+        assert_eq!(
+            failure.minimal, 500,
+            "binary-search shrink finds the boundary"
+        );
+        assert!(failure.original >= 500);
+    }
+
+    #[test]
+    fn config_default_matches_documented_values() {
+        let cfg = Config::default();
+        assert_eq!((cfg.seed, cfg.cases), (0x5EED_1EA4, 64));
+    }
+}

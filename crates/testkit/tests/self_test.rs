@@ -1,0 +1,130 @@
+//! Fixture-style self-tests (the `crates/lint` pattern): the harness's own
+//! acceptance criteria, chiefly that *a seeded property-test failure
+//! reproduces from its printed seed alone*.
+
+use testkit::prop::holds;
+use testkit::{check_with, gen, Config, Failure};
+
+fn vec_gen() -> testkit::Gen<Vec<u64>> {
+    gen::vec_of(gen::u64_in(0, 1000), 0, 20)
+}
+
+/// The property under test throughout: "no element exceeds 500". Its
+/// canonical minimal counterexample is the single-element vector `[501]`.
+fn no_big_elements(v: &[u64]) -> Result<(), String> {
+    match v.iter().find(|&&x| x > 500) {
+        Some(x) => Err(format!("element {x} > 500")),
+        None => Ok(()),
+    }
+}
+
+fn failing_run(seed: u64, cases: u32) -> Failure<Vec<u64>> {
+    let cfg = Config {
+        seed,
+        cases,
+        max_shrinks: 4096,
+    };
+    check_with("no_big_elements", &cfg, &vec_gen(), |v| no_big_elements(v))
+        .expect_err("property must fail under enough cases")
+}
+
+#[test]
+fn failure_shrinks_to_single_boundary_element() {
+    let failure = failing_run(0xD00D_FEED, 200);
+    assert_eq!(failure.minimal, vec![501], "chunk-drop + binary search");
+    assert!(failure.message.contains("> 500"));
+}
+
+#[test]
+fn failure_reproduces_from_its_printed_seed_alone() {
+    let failure = failing_run(0xD00D_FEED, 200);
+
+    // Parse the seed out of the printed replay line — the only information a
+    // developer copies from a red CI log.
+    let line = failure.replay_line();
+    let seed: u64 = line
+        .split_whitespace()
+        .find_map(|kv| kv.strip_prefix("LEAKY_TESTKIT_SEED="))
+        .expect("replay line names the seed")
+        .parse()
+        .expect("seed is decimal");
+    assert!(line.contains("LEAKY_TESTKIT_CASES=1"));
+
+    // Replay: one case, base seed = printed seed. Must fail at case 0 with
+    // the identical original value and identical minimal counterexample.
+    let replay = failing_run(seed, 1);
+    assert_eq!(replay.case, 0);
+    assert_eq!(replay.original, failure.original);
+    assert_eq!(replay.minimal, failure.minimal);
+}
+
+#[test]
+fn identical_configs_fail_identically() {
+    let a = failing_run(42, 300);
+    let b = failing_run(42, 300);
+    assert_eq!(a.case, b.case);
+    assert_eq!(a.original, b.original);
+    assert_eq!(a.minimal, b.minimal);
+    assert_eq!(a.shrinks, b.shrinks);
+}
+
+#[test]
+fn report_contains_replay_line_and_values() {
+    let failure = failing_run(0xD00D_FEED, 200);
+    let report = failure.report();
+    assert!(report.contains("property failed: no_big_elements"));
+    assert!(report.contains(&failure.replay_line()));
+    assert!(report.contains("[501]"));
+}
+
+#[test]
+fn env_knobs_are_honoured() {
+    // The only test that touches the process environment (env mutation is
+    // process-global; keeping it in one place avoids races between tests).
+    std::env::set_var("LEAKY_TESTKIT_SEED", "12345");
+    std::env::set_var("LEAKY_TESTKIT_CASES", "7");
+    let cfg = Config::from_env();
+    std::env::remove_var("LEAKY_TESTKIT_SEED");
+    std::env::remove_var("LEAKY_TESTKIT_CASES");
+    assert_eq!((cfg.seed, cfg.cases), (12345, 7));
+    assert_eq!(Config::from_env().seed, Config::default().seed);
+}
+
+#[test]
+fn tuple_and_struct_properties_shrink_componentwise() {
+    #[derive(Clone, Debug, PartialEq)]
+    struct Shape {
+        rows: usize,
+        cols: usize,
+    }
+    let g = gen::zip2(gen::usize_in(1, 64), gen::usize_in(1, 64)).map_iso(
+        |(rows, cols)| Shape { rows, cols },
+        |s: &Shape| (s.rows, s.cols),
+    );
+    let cfg = Config {
+        seed: 9,
+        cases: 200,
+        max_shrinks: 4096,
+    };
+    let failure = check_with("small_area", &cfg, &g, |s| {
+        holds(s.rows * s.cols <= 40, "area > 40")
+    })
+    .expect_err("areas above 40 exist");
+    // Componentwise shrinking lands on a local minimum: the area still
+    // violates the bound, but decrementing either dimension satisfies it.
+    let Shape { rows, cols } = failure.minimal;
+    assert!(rows * cols > 40);
+    assert!((rows - 1) * cols <= 40, "rows irreducible");
+    assert!(rows * (cols - 1) <= 40, "cols irreducible");
+}
+
+#[test]
+fn passing_check_writes_no_failure_file() {
+    let dir = testkit::prop::failure_dir();
+    let marker = dir.join("self_test_passing.txt");
+    let _ = std::fs::remove_file(&marker);
+    testkit::check("self_test_passing", &gen::u64_in(0, 10), |&v| {
+        holds(v <= 10, "bound")
+    });
+    assert!(!marker.exists());
+}

@@ -1,0 +1,50 @@
+//! Shared quick-scale pipeline harness for the integration tests: profile a
+//! few random models, attack a small fixed victim, return the flattened
+//! report. Scaled down far enough to run in tier-1 CI while still exercising
+//! every pipeline stage.
+
+use dnn_sim::{Activation, InputSpec, Layer, Model, Optimizer, TrainingConfig, TrainingSession};
+use gpu_sim::{FaultPlan, GpuConfig};
+use moscons::attack::{AttackConfig, Moscons};
+use moscons::{random_profiling_models, AttackReport};
+
+pub fn input() -> InputSpec {
+    InputSpec::Image {
+        height: 64,
+        width: 64,
+        channels: 3,
+    }
+}
+
+/// Profiles and attacks at smoke scale, returning the flattened report.
+/// `attack_seed` feeds the attack-phase collection; `faults` is installed in
+/// the simulated GPU for profiling and attack alike ([`FaultPlan::none`] is
+/// the clean path).
+pub fn quick_pipeline(attack_seed: u64, faults: FaultPlan) -> AttackReport {
+    let profiled: Vec<TrainingSession> = random_profiling_models(3, input(), 19)
+        .into_iter()
+        .map(|m| TrainingSession::new(m, TrainingConfig::new(48, 4)))
+        .collect();
+    let mut config = AttackConfig::default();
+    config.op_lstm.epochs = 4;
+    config.op_lstm.hidden = 24;
+    config.voting_lstm.epochs = 4;
+    config.hp_lstm.epochs = 3;
+    config.hp_lstm.hidden = 24;
+    config.voting_iterations = 3;
+    config.gpu = GpuConfig::gtx_1080_ti().with_faults(faults);
+    let moscons = Moscons::profile(&profiled, config);
+
+    let victim_model = Model::new(
+        "victim",
+        input(),
+        vec![
+            Layer::dense(2048, Activation::Relu),
+            Layer::dense(512, Activation::Relu),
+        ],
+        Optimizer::Gd,
+    );
+    let victim = TrainingSession::new(victim_model, TrainingConfig::new(48, 4));
+    let (extraction, _raw) = moscons.attack(&victim, attack_seed);
+    extraction.report()
+}

@@ -3,46 +3,20 @@
 //! engine's contract (see `ml::par`) is that parallelism changes wall-clock
 //! time only — every reduction happens in a fixed order, so the trained
 //! models and the recovered structure are identical.
+//!
+//! The same contract extends to fault injection: a `FaultPlan` is part of
+//! the GPU configuration, so one plan value fully determines a run and the
+//! faulted pipeline is exactly as reproducible as the clean one.
 
-use dnn_sim::{Activation, InputSpec, Layer, Model, Optimizer, TrainingConfig, TrainingSession};
-use moscons::attack::{AttackConfig, Moscons};
-use moscons::{random_profiling_models, AttackReport};
+mod common;
 
-fn input() -> InputSpec {
-    InputSpec::Image {
-        height: 64,
-        width: 64,
-        channels: 3,
-    }
-}
+use common::quick_pipeline;
+use gpu_sim::FaultPlan;
+use moscons::AttackReport;
 
-/// Profiles and attacks at smoke scale, returning the flattened report.
+/// Profiles and attacks at smoke scale on the clean path.
 fn run_pipeline() -> AttackReport {
-    let profiled: Vec<TrainingSession> = random_profiling_models(3, input(), 19)
-        .into_iter()
-        .map(|m| TrainingSession::new(m, TrainingConfig::new(48, 4)))
-        .collect();
-    let mut config = AttackConfig::default();
-    config.op_lstm.epochs = 4;
-    config.op_lstm.hidden = 24;
-    config.voting_lstm.epochs = 4;
-    config.hp_lstm.epochs = 3;
-    config.hp_lstm.hidden = 24;
-    config.voting_iterations = 3;
-    let moscons = Moscons::profile(&profiled, config);
-
-    let victim_model = Model::new(
-        "victim",
-        input(),
-        vec![
-            Layer::dense(2048, Activation::Relu),
-            Layer::dense(512, Activation::Relu),
-        ],
-        Optimizer::Gd,
-    );
-    let victim = TrainingSession::new(victim_model, TrainingConfig::new(48, 4));
-    let (extraction, _raw) = moscons.attack(&victim, 99);
-    extraction.report()
+    quick_pipeline(99, FaultPlan::none())
 }
 
 #[test]
@@ -56,6 +30,27 @@ fn pipeline_is_thread_count_invariant() {
     // The comparison must be over a non-degenerate run to mean anything.
     assert!(!serial.iterations.is_empty(), "no iterations recovered");
     assert!(!serial.fused_classes.is_empty(), "no fused classes");
+}
+
+#[test]
+fn faulted_pipeline_is_deterministic_across_thread_counts() {
+    let plan = FaultPlan::uniform(0.15, 7);
+    let first = ml::par::with_threads(1, || quick_pipeline(99, plan));
+    // Clear the in-process trace memo so the repeat run re-simulates every
+    // collection instead of replaying cached slices.
+    moscons::cache::clear_memory();
+    let second = ml::par::with_threads(8, || quick_pipeline(99, plan));
+    assert_eq!(
+        first, second,
+        "same fault plan must yield a bitwise-identical report"
+    );
+    assert!(!first.iterations.is_empty(), "no iterations recovered");
+
+    // A different fault seed is a different run: the samples differ even
+    // though every stage still completes.
+    moscons::cache::clear_memory();
+    let other = ml::par::with_threads(8, || quick_pipeline(99, FaultPlan::uniform(0.15, 8)));
+    assert!(!other.fused_classes.is_empty(), "faulted run degenerated");
 }
 
 #[test]

@@ -1,0 +1,58 @@
+//! Golden snapshot of the end-to-end [`moscons::AttackReport`] at quick
+//! scale, for two attack seeds. The pipeline is deterministic by contract
+//! (see `tests/determinism.rs`), so any drift in these snapshots is a
+//! behavior change that must be deliberate.
+//!
+//! To accept an intentional change, bless the snapshots:
+//!
+//! ```text
+//! LEAKY_GOLDEN_BLESS=1 cargo test --test golden_report
+//! ```
+//!
+//! and commit the rewritten files under `tests/golden/`.
+
+mod common;
+
+use common::quick_pipeline;
+use gpu_sim::FaultPlan;
+use std::path::PathBuf;
+
+fn golden_path(seed: u64) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("attack_report_seed{seed}.json"))
+}
+
+fn check_seed(seed: u64) {
+    let report = ml::par::with_threads(4, || quick_pipeline(seed, FaultPlan::none()));
+    let actual = serde_json::to_string_pretty(&report).expect("report serializes");
+    let path = golden_path(seed);
+    if std::env::var("LEAKY_GOLDEN_BLESS").is_ok_and(|v| v == "1") {
+        std::fs::create_dir_all(path.parent().unwrap()).expect("golden dir");
+        std::fs::write(&path, actual + "\n").expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); run with LEAKY_GOLDEN_BLESS=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected.trim_end(),
+        actual,
+        "AttackReport for seed {seed} drifted from {}; if intentional, re-bless with \
+         LEAKY_GOLDEN_BLESS=1 and commit the diff",
+        path.display()
+    );
+}
+
+#[test]
+fn attack_report_matches_golden_snapshot_seed_99() {
+    check_seed(99);
+}
+
+#[test]
+fn attack_report_matches_golden_snapshot_seed_123() {
+    check_seed(123);
+}

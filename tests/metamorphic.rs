@@ -1,0 +1,152 @@
+//! Metamorphic properties of the side channel itself, checked over random
+//! GPU configurations with `testkit`.
+//!
+//! Two families, both straight from the paper's premises:
+//!
+//! * **Monotonicity** (Table I): the spy's probe kernels read the victim
+//!   through cache evictions, so a victim with a strictly larger memory
+//!   footprint must impose at least as large a context-switching penalty on
+//!   the spy's counters.
+//! * **Spy isolation** (§II-C): CUPTI exposes only the spy's own context.
+//!   Whatever the victim does — and whatever faults fire — every reported
+//!   counter slice is attributed to the monitored spy context, and an idle
+//!   victim context is indistinguishable from no victim at all.
+
+use cupti_sim::CuptiSample;
+use gpu_sim::{FaultPlan, Gpu, GpuConfig, KernelDesc, KernelFootprint, SchedulerMode};
+use moscons::trace::collect_microbench;
+use moscons::SpyKernelKind;
+
+/// A victim kernel whose memory footprint scales with `ws_kib`; compute is
+/// held constant so footprint is the only moving part.
+fn victim_kernel(ws_kib: f64) -> KernelDesc {
+    let kib = 1024.0;
+    let fp = KernelFootprint {
+        flops: 2.0e6,
+        read_bytes: ws_kib * kib,
+        write_bytes: 0.25 * ws_kib * kib,
+        tex_read_bytes: 0.0,
+        working_set: ws_kib * kib,
+        tex_working_set: 0.0,
+    };
+    KernelDesc::new(format!("victim_{}k", ws_kib as u64), 56, 256, fp)
+}
+
+/// A randomized-but-valid hardware configuration. Noise and jitter are kept
+/// at zero so the properties are exact rather than statistical; the
+/// *hardware* parameters are what varies.
+fn random_config((l2_kib, slice_us, seed): (usize, usize, u64)) -> GpuConfig {
+    let mut cfg = GpuConfig::gtx_1080_ti();
+    cfg.l2_bytes = l2_kib as f64 * 1024.0;
+    cfg.time_slice_us = slice_us as f64;
+    cfg.counter_noise = 0.0;
+    cfg.slice_jitter = 0.0;
+    cfg.seed = seed;
+    cfg.validate().expect("generated config must be valid");
+    cfg
+}
+
+fn config_gen() -> testkit::Gen<(usize, usize, u64)> {
+    testkit::gen::zip3(
+        testkit::gen::usize_in(1024, 4096), // L2 KiB
+        testkit::gen::usize_in(80, 300),    // time slice, us
+        testkit::gen::u64_in(0, 1 << 20),   // engine seed
+    )
+}
+
+fn mean_reads(samples: &[CuptiSample]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.iter().map(|s| s.counters.dram_reads()).sum::<f64>() / samples.len() as f64
+}
+
+#[test]
+fn larger_victim_footprint_never_shrinks_the_spy_penalty() {
+    let shapes = testkit::gen::zip2(config_gen(), testkit::gen::usize_in(32, 192));
+    testkit::check(
+        "victim_footprint_monotonicity",
+        &shapes,
+        |&(cfg_params, ws_small_kib)| {
+            let cfg = random_config(cfg_params);
+            let run = |ws_kib: f64| {
+                collect_microbench(
+                    Some(victim_kernel(ws_kib)),
+                    SpyKernelKind::Conv200,
+                    80_000.0,
+                    2_000.0,
+                    &cfg,
+                    cfg_params.2,
+                )
+            };
+            let small = run(ws_small_kib as f64);
+            let big = run(ws_small_kib as f64 * 4.0);
+            testkit::prop::holds(!small.is_empty() && !big.is_empty(), "no samples")?;
+            let (ms, mb) = (mean_reads(&small), mean_reads(&big));
+            // Non-strict: once the victim evicts the spy's whole working set
+            // the penalty saturates, but it must never *decrease*.
+            testkit::prop::holds(
+                mb >= ms * 0.995,
+                format!("penalty shrank with footprint: small {ms:.1}, big {mb:.1}"),
+            )
+        },
+    );
+}
+
+#[test]
+fn all_reported_slices_belong_to_the_monitored_spy_context() {
+    testkit::check("spy_isolation_attribution", &config_gen(), |&params| {
+        // Faults on: isolation must survive drops, dups and preemptions too.
+        let cfg = random_config(params).with_faults(FaultPlan::uniform(0.2, params.2));
+        let mut gpu = Gpu::new(cfg.clone(), SchedulerMode::TimeSliced);
+        let victim = gpu.add_context("victim");
+        let spy = gpu.add_context("spy");
+        gpu.monitor(spy);
+        gpu.set_auto_repeat(spy, SpyKernelKind::Conv200.kernel(1.0, &cfg));
+        gpu.set_auto_repeat(victim, victim_kernel(128.0));
+        gpu.run_until(40_000.0);
+        let (_, slices) = gpu.take_logs();
+        testkit::prop::holds(!slices.is_empty(), "no monitored slices")?;
+        for s in &slices {
+            testkit::prop::holds(
+                s.ctx == spy,
+                "victim counters leaked into the monitored trace",
+            )?;
+            testkit::prop::holds(
+                s.delta
+                    .as_array()
+                    .iter()
+                    .all(|v| v.is_finite() && *v >= 0.0),
+                "non-finite or negative counter delta",
+            )?;
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn idle_victim_context_is_indistinguishable_from_no_victim() {
+    testkit::check("spy_isolation_idle_victim", &config_gen(), |&params| {
+        let cfg = random_config(params);
+        let run = |with_idle_victim: bool| {
+            let mut gpu = Gpu::new(cfg.clone(), SchedulerMode::TimeSliced);
+            if with_idle_victim {
+                // Created but never launches anything.
+                let _victim = gpu.add_context("victim");
+            }
+            let spy = gpu.add_context("spy");
+            gpu.monitor(spy);
+            gpu.set_auto_repeat(spy, SpyKernelKind::Conv200.kernel(1.0, &cfg));
+            gpu.run_until(40_000.0);
+            let (_, slices) = gpu.take_logs();
+            slices
+                .into_iter()
+                .map(|s| (s.delta.rounded(), s.start_us.to_bits(), s.end_us.to_bits()))
+                .collect::<Vec<_>>()
+        };
+        testkit::prop::holds(
+            run(true) == run(false),
+            "an idle victim context perturbed the spy's trace",
+        )
+    });
+}
