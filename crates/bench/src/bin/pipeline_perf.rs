@@ -74,6 +74,10 @@ fn lstm_epoch_bench() -> f64 {
         .collect();
     let mut cfg = ml::SeqClassifierConfig::new(input, 48, classes);
     cfg.epochs = epochs;
+    // The pipeline's LstmTrainConfig trains with minibatches of 4, so the
+    // probe does too: equal-length sequences in a minibatch share fused
+    // batched GEMMs (see `ml::seq`), which is the hot path being tracked.
+    cfg.batch_size = 4;
     let (secs, _) = timed(|| ml::SequenceClassifier::new(cfg).fit(&data));
     secs / epochs as f64
 }

@@ -73,13 +73,15 @@ impl Default for AttackConfig {
     }
 }
 
-/// Minimum number of feature rows in the voting group before extraction
-/// fans its per-iteration / per-head classification out over the worker
-/// pool. Below this, the tens of microseconds `ml::par` pays per spawned
-/// scoped worker outweigh the classification work — `BENCH_pipeline.json`
-/// measured the `attack_extract` stage at a 0.81× "speedup" (i.e. a
-/// slowdown) at quick scale before this gate existed. Paper-scale victim
-/// streams clear the threshold comfortably.
+/// Minimum number of feature rows in the base iteration before extraction
+/// fans the five `Mhp` heads out over the worker pool. Below this, the
+/// tens of microseconds `ml::par` pays per spawned scoped worker outweigh
+/// the classification work — `BENCH_pipeline.json` measured the
+/// `attack_extract` stage at a 0.81× "speedup" (i.e. a slowdown) at quick
+/// scale before this gate existed. Paper-scale victim streams clear the
+/// threshold comfortably. (The `Mlong`/`Mop` group predictions no longer
+/// need a fan-out gate at all: they run as packed batches whose GEMM row
+/// blocks parallelize under `ml::matrix`'s own FLOP threshold.)
 const MIN_PARALLEL_EXTRACT_ROWS: usize = 2048;
 
 /// A trained MoSConS instance.
@@ -176,27 +178,30 @@ impl Moscons {
         let mut op_examples = Vec::new();
         for (trace, trace_ranges) in traces.iter().zip(&ranges) {
             // One feature materialization per range feeds both op models,
-            // and the per-iteration predictions fan out over the pool.
-            let per_range: Vec<(Vec<usize>, Vec<usize>)> =
-                ml::par::par_map(trace_ranges, |_, r| {
-                    let feats: Vec<Vec<f32>> = trace.samples[r.clone()]
+            // and each model classifies all ranges as one packed batch —
+            // equal-length iterations share fused GEMMs, bitwise identical
+            // to looping over iterations (see
+            // [`ml::seq::SequenceClassifier::predict_proba_batch`]).
+            let range_feats: Vec<Vec<Vec<f32>>> = trace_ranges
+                .iter()
+                .map(|r| {
+                    trace.samples[r.clone()]
                         .iter()
                         .map(|s| s.features.clone())
-                        .collect();
-                    let long = m_long
-                        .predict(&feats, &scaler)
-                        .into_iter()
-                        .map(LongClass::index)
-                        .collect();
-                    let op = m_op
-                        .predict(&feats, &scaler)
-                        .into_iter()
-                        .map(OtherClass::index)
-                        .collect();
-                    (long, op)
-                });
-            let (preds_long, preds_op): (Vec<Vec<usize>>, Vec<Vec<usize>>) =
-                per_range.into_iter().unzip();
+                        .collect()
+                })
+                .collect();
+            let feat_refs: Vec<&[Vec<f32>]> = range_feats.iter().map(|f| f.as_slice()).collect();
+            let preds_long: Vec<Vec<usize>> = m_long
+                .predict_batch(&feat_refs, &scaler)
+                .into_iter()
+                .map(|seq| seq.into_iter().map(LongClass::index).collect())
+                .collect();
+            let preds_op: Vec<Vec<usize>> = m_op
+                .predict_batch(&feat_refs, &scaler)
+                .into_iter()
+                .map(|seq| seq.into_iter().map(OtherClass::index).collect())
+                .collect();
             for g in 0..trace_ranges.len().saturating_sub(n - 1) {
                 let base = &trace_ranges[g];
                 let truth_long: Vec<usize> = trace.samples[base.clone()]
@@ -233,22 +238,62 @@ impl Moscons {
             "profiling runs must contain at least {} iterations each",
             n
         );
-        let (v_long, v_op) = ml::par::join(
-            || VotingModel::train(&long_examples, 4, n, &config.voting_lstm),
-            || VotingModel::train(&op_examples, 6, n, &config.voting_lstm),
-        );
-
-        // Hyper-parameter heads.
+        // Hyper-parameter training data.
         let hp_data: Vec<(&LabeledTrace, &dnn_sim::Model, &[std::ops::Range<usize>])> = traces
             .iter()
             .zip(sessions)
             .zip(&ranges)
             .map(|((t, s), r)| (t, s.model(), r.as_slice()))
             .collect();
-        // The five hyper-parameter heads are independent models.
-        let hp = ml::par::par_map(&HpKind::ALL, |_, &kind| {
-            HpModel::train(kind, &hp_data, &scaler, &config.hp_lstm)
-        });
+
+        // `Vlong`, `Vop` and the five `Mhp` heads are mutually independent
+        // models, so all seven train as one coarse fan-out over the worker
+        // pool — one model per task, the granularity at which there is
+        // enough work to amortize a spawn. Every individual training is
+        // bitwise thread-count invariant and `par_map` returns results in
+        // task order, so the fan-out is bitwise identical to the serial
+        // sequence.
+        #[derive(Clone, Copy)]
+        enum TailTask {
+            VotingLong,
+            VotingOp,
+            Hp(HpKind),
+        }
+        enum TailModel {
+            Voting(VotingModel),
+            Hp(HpModel),
+        }
+        let tasks: Vec<TailTask> = [TailTask::VotingLong, TailTask::VotingOp]
+            .into_iter()
+            .chain(HpKind::ALL.into_iter().map(TailTask::Hp))
+            .collect();
+        let mut tail = ml::par::par_map(&tasks, |_, &task| match task {
+            TailTask::VotingLong => TailModel::Voting(VotingModel::train(
+                &long_examples,
+                4,
+                n,
+                &config.voting_lstm,
+            )),
+            TailTask::VotingOp => {
+                TailModel::Voting(VotingModel::train(&op_examples, 6, n, &config.voting_lstm))
+            }
+            TailTask::Hp(kind) => {
+                TailModel::Hp(HpModel::train(kind, &hp_data, &scaler, &config.hp_lstm))
+            }
+        })
+        .into_iter();
+        let Some(TailModel::Voting(v_long)) = tail.next() else {
+            unreachable!("task 0 trains Vlong")
+        };
+        let Some(TailModel::Voting(v_op)) = tail.next() else {
+            unreachable!("task 1 trains Vop")
+        };
+        let hp: Vec<HpModel> = tail
+            .map(|t| match t {
+                TailModel::Hp(h) => h,
+                TailModel::Voting(_) => unreachable!("tasks 2.. train Mhp heads"),
+            })
+            .collect();
 
         Moscons {
             config,
@@ -327,30 +372,24 @@ impl Moscons {
         let n = self.config.voting_iterations.min(iterations.len());
         let group = &iterations[..n];
 
-        // Per-iteration predictions, fanned out over the worker pool when
-        // the group is big enough to amortize the spawns (each iteration is
-        // classified against frozen models; results are identical either
-        // way, see MIN_PARALLEL_EXTRACT_ROWS).
-        let group_rows: usize = group.iter().map(|r| r.len()).sum();
-        let per_iter: Vec<(Vec<usize>, Vec<usize>)> =
-            ml::par::par_map_if_work(group_rows, MIN_PARALLEL_EXTRACT_ROWS, group, |_, r| {
-                let feats = &features[r.clone()];
-                let long = self
-                    .m_long
-                    .predict(feats, &self.scaler)
-                    .into_iter()
-                    .map(LongClass::index)
-                    .collect();
-                let op = self
-                    .m_op
-                    .predict(feats, &self.scaler)
-                    .into_iter()
-                    .map(OtherClass::index)
-                    .collect();
-                (long, op)
-            });
-        let (preds_long, preds_op): (Vec<Vec<usize>>, Vec<Vec<usize>>) =
-            per_iter.into_iter().unzip();
+        // Per-iteration predictions as one packed batch per model:
+        // equal-length iterations in the group share fused GEMMs, and the
+        // GEMM row blocks fan out over the worker pool on their own when
+        // the batch carries enough FLOPs (see [`ml::matrix`]). Bitwise
+        // identical to classifying each iteration separately.
+        let group_feats: Vec<&[Vec<f32>]> = group.iter().map(|r| &features[r.clone()]).collect();
+        let preds_long: Vec<Vec<usize>> = self
+            .m_long
+            .predict_batch(&group_feats, &self.scaler)
+            .into_iter()
+            .map(|seq| seq.into_iter().map(LongClass::index).collect())
+            .collect();
+        let preds_op: Vec<Vec<usize>> = self
+            .m_op
+            .predict_batch(&group_feats, &self.scaler)
+            .into_iter()
+            .map(|seq| seq.into_iter().map(OtherClass::index).collect())
+            .collect();
 
         // Voting on the base timeline.
         let fused_long: Vec<LongClass> = self

@@ -179,6 +179,30 @@ impl LongOpModel {
         self.clf
             .predict_proba(&crate::dataset::with_lookahead(&scaled))
     }
+
+    /// Classifies several iterations in one call: equal-length iterations
+    /// share fused batched GEMMs (see
+    /// [`SequenceClassifier::predict_proba_batch`]), bitwise identical to
+    /// calling [`LongOpModel::predict`] once per iteration.
+    pub fn predict_batch(
+        &self,
+        iterations: &[&[Vec<f32>]],
+        scaler: &MinMaxScaler,
+    ) -> Vec<Vec<LongClass>> {
+        let prepared: Vec<Vec<Vec<f32>>> = iterations
+            .iter()
+            .map(|feats| {
+                let scaled: Vec<Vec<f32>> = feats.iter().map(|f| scaler.transform_row(f)).collect();
+                crate::dataset::with_lookahead(&scaled)
+            })
+            .collect();
+        let refs: Vec<&[Vec<f32>]> = prepared.iter().map(|p| p.as_slice()).collect();
+        self.clf
+            .predict_batch(&refs)
+            .into_iter()
+            .map(|seq| seq.into_iter().map(LongClass::from_index).collect())
+            .collect()
+    }
 }
 
 #[cfg(test)]

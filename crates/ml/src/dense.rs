@@ -108,6 +108,16 @@ impl Dense {
             "dense backward width mismatch"
         );
         // dW = dlogits^T * xs ; db = column sums of dlogits ; dx = dlogits * W
+        self.param_grads_into(xs, dlogits, grads);
+        dlogits.matmul_into(&self.w, dxs);
+    }
+
+    /// Parameter gradients only: `dW = dlogits^T * xs` (ascending-`t` row
+    /// scan) and `db` as ascending-`t` column sums. Factored out of
+    /// [`Dense::backward_into`] so the batch-packed training path can
+    /// compute per-example head gradients from matrices extracted out of
+    /// packed tensors while sharing the exact accumulation order.
+    pub fn param_grads_into(&self, xs: &Matrix, dlogits: &Matrix, grads: &mut DenseGrads) {
         dlogits.t_matmul_into(xs, &mut grads.w);
         grads.b.clear();
         grads.b.resize(self.w.rows(), 0.0);
@@ -116,7 +126,6 @@ impl Dense {
                 *bg += d;
             }
         }
-        dlogits.matmul_into(&self.w, dxs);
     }
 }
 

@@ -104,6 +104,17 @@ pub struct LstmScratch {
     xs_rev: Matrix,
     da_tail: Matrix,
     h_tail: Matrix,
+    /// Batched-kernel state: previous hidden/cell states, one row per
+    /// sequence in the bucket (B x H).
+    h_prev_b: Matrix,
+    c_prev_b: Matrix,
+    /// Batched recurrent projection for one timestep (B x 4H).
+    acc_b: Matrix,
+    /// One timestep's gate deltas across the bucket (B x 4H).
+    da_t: Matrix,
+    /// Batched backward carries (B x H).
+    dh_next_b: Matrix,
+    dc_next_b: Matrix,
 }
 
 impl LstmScratch {
@@ -124,6 +135,12 @@ impl LstmScratch {
             xs_rev: Matrix::zeros(1, 1),
             da_tail: Matrix::zeros(1, 1),
             h_tail: Matrix::zeros(1, 1),
+            h_prev_b: Matrix::zeros(1, 1),
+            c_prev_b: Matrix::zeros(1, 1),
+            acc_b: Matrix::zeros(1, 1),
+            da_t: Matrix::zeros(1, 1),
+            dh_next_b: Matrix::zeros(1, 1),
+            dc_next_b: Matrix::zeros(1, 1),
         }
     }
 }
@@ -410,31 +427,244 @@ impl LstmLayer {
         // exactly like the serial inner loop.
         da_mat.matmul_into(&self.wx, dx);
 
-        reset_zeroed(&mut grads.b, 4 * h_size);
+        let LstmScratch {
+            da_mat,
+            da_rev,
+            xs_rev,
+            da_tail,
+            h_tail,
+            ..
+        } = scratch;
+        param_grads_impl(
+            h_size, da_mat, &cache.xs, &cache.h, grads, da_rev, xs_rev, da_tail, h_tail,
+        );
+    }
+
+    /// Accumulates the parameter gradients (`wx`, `wh`, `b`) for one
+    /// sequence from its gate-delta matrix `da_mat` (T x 4H), its layer
+    /// inputs `xs` (T x I) and its hidden states `h` (T x H).
+    ///
+    /// This is the exact tail of [`LstmLayer::backward_into`], factored out
+    /// so the batch-packed path can reuse it verbatim: parameter gradients
+    /// must accumulate per example in descending-`t` order (the serial BPTT
+    /// order), which a packed-row GEMM over an interleaved bucket would not
+    /// reproduce. Calling the same code on per-example matrices extracted
+    /// from the packed tensors keeps the two paths bitwise equal by
+    /// construction.
+    pub fn param_grads_into(
+        &self,
+        da_mat: &Matrix,
+        xs: &Matrix,
+        h: &Matrix,
+        grads: &mut LstmGrads,
+        scratch: &mut LstmScratch,
+    ) {
+        let LstmScratch {
+            da_rev,
+            xs_rev,
+            da_tail,
+            h_tail,
+            ..
+        } = scratch;
+        param_grads_impl(
+            self.hidden_size,
+            da_mat,
+            xs,
+            h,
+            grads,
+            da_rev,
+            xs_rev,
+            da_tail,
+            h_tail,
+        );
+    }
+
+    /// Runs the layer over `batch` equal-length sequences packed batch-major
+    /// into `xs`: row `t * batch + b` holds sequence `b`'s timestep `t`.
+    /// Every sequence starts from zero state; the cache fields come back in
+    /// the same packed layout.
+    ///
+    /// Each timestep's recurrent term is one fused `(B x H) * (H x 4H)` GEMM
+    /// over the whole bucket instead of `B` independent matvecs. GEMM rows
+    /// are independent and accumulate ascending-`k` per element, so every
+    /// sequence's rows are bitwise identical to running
+    /// [`LstmLayer::forward_into`] on that sequence alone (property-tested).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs.cols() != input_size`, `batch == 0`, or `xs.rows()` is
+    /// not a multiple of `batch`.
+    pub fn forward_batch_into(
+        &self,
+        xs: &Matrix,
+        batch: usize,
+        cache: &mut LstmCache,
+        scratch: &mut LstmScratch,
+    ) {
+        assert_eq!(xs.cols(), self.input_size, "lstm input width mismatch");
+        assert!(batch > 0, "empty batch");
+        assert_eq!(xs.rows() % batch, 0, "packed rows not a multiple of batch");
+        let rows = xs.rows();
+        let t_len = rows / batch;
+        let h_size = self.hidden_size;
+        cache.xs.copy_from(xs);
+        cache.i.resize_zeroed(rows, h_size);
+        cache.f.resize_zeroed(rows, h_size);
+        cache.g.resize_zeroed(rows, h_size);
+        cache.o.resize_zeroed(rows, h_size);
+        cache.c.resize_zeroed(rows, h_size);
+        cache.tc.resize_zeroed(rows, h_size);
+        cache.h.resize_zeroed(rows, h_size);
+        let LstmScratch {
+            x_proj,
+            wxt,
+            wht,
+            pre,
+            h_prev_b,
+            c_prev_b,
+            acc_b,
+            ..
+        } = scratch;
+        // (T*B) x 4H input projections for the whole bucket in one GEMM;
+        // each row depends only on its own input row, so rows match the
+        // per-sequence projection bitwise.
+        self.wx.transposed_into(wxt);
+        xs.matmul_into(wxt, x_proj);
+        self.wh.transposed_into(wht);
+        h_prev_b.resize_zeroed(batch, h_size);
+        c_prev_b.resize_zeroed(batch, h_size);
+        reset_zeroed(pre, 4 * h_size);
+        for t in 0..t_len {
+            // acc[b][j] = dot(h_prev[b], wht[.][j]), ascending k per element
+            // — the same chain as the per-sequence recurrent matvec (f32
+            // multiplication commutes bitwise).
+            h_prev_b.matmul_into(wht, acc_b);
+            for bi in 0..batch {
+                let r = t * batch + bi;
+                let xp = x_proj.row(r);
+                let acc = acc_b.row(bi);
+                for (((p, &x), &a), &b) in pre.iter_mut().zip(xp).zip(acc).zip(&self.b) {
+                    *p = x + a + b;
+                }
+                let c_prev = c_prev_b.row(bi);
+                let i_row = cache.i.row_mut(r);
+                let f_row = cache.f.row_mut(r);
+                let g_row = cache.g.row_mut(r);
+                let o_row = cache.o.row_mut(r);
+                let c_row = cache.c.row_mut(r);
+                let tc_row = cache.tc.row_mut(r);
+                let h_row = cache.h.row_mut(r);
+                for k in 0..h_size {
+                    let i = sigmoid(pre[k]);
+                    let f = sigmoid(pre[h_size + k]);
+                    let g = pre[2 * h_size + k].tanh();
+                    let o = sigmoid(pre[3 * h_size + k]);
+                    let c = f * c_prev[k] + i * g;
+                    let tanh_c = c.tanh();
+                    let h = o * tanh_c;
+                    i_row[k] = i;
+                    f_row[k] = f;
+                    g_row[k] = g;
+                    o_row[k] = o;
+                    c_row[k] = c;
+                    tc_row[k] = tanh_c;
+                    h_row[k] = h;
+                }
+                h_prev_b.row_mut(bi).copy_from_slice(cache.h.row(r));
+                c_prev_b.row_mut(bi).copy_from_slice(cache.c.row(r));
+            }
+        }
+    }
+
+    /// Batched BPTT over a packed bucket (layout as in
+    /// [`LstmLayer::forward_batch_into`]). Writes the packed gate-delta
+    /// matrix into `da_packed` ((T*B) x 4H) and the packed input gradient
+    /// into `dx` ((T*B) x I).
+    ///
+    /// The hidden-state carry `dh_next = da_t * wh` runs as one
+    /// `(B x 4H) * (4H x H)` GEMM per timestep; per element it sums
+    /// ascending-`j` exactly like the serial loop, so every sequence's rows
+    /// are bitwise identical to [`LstmLayer::backward_into`] on that
+    /// sequence alone. Parameter gradients are *not* computed here — their
+    /// descending-`t` per-example accumulation order cannot be reproduced by
+    /// a packed GEMM; extract each example's matrices and call
+    /// [`LstmLayer::param_grads_into`].
+    pub fn backward_batch_into(
+        &self,
+        cache: &LstmCache,
+        batch: usize,
+        dh_out: &Matrix,
+        da_packed: &mut Matrix,
+        dx: &mut Matrix,
+        scratch: &mut LstmScratch,
+    ) {
+        let rows = cache.h.rows();
+        assert!(batch > 0, "empty batch");
+        assert_eq!(rows % batch, 0, "packed rows not a multiple of batch");
+        let t_len = rows / batch;
+        let h_size = self.hidden_size;
+        assert_eq!(dh_out.rows(), rows, "dh_out packed row mismatch");
+        assert_eq!(dh_out.cols(), h_size, "dh_out width mismatch");
+
+        da_packed.resize_zeroed(rows, 4 * h_size);
+        let LstmScratch {
+            da_t,
+            dh_next_b,
+            dc_next_b,
+            ..
+        } = scratch;
+        dh_next_b.resize_zeroed(batch, h_size);
+        dc_next_b.resize_zeroed(batch, h_size);
+        da_t.resize_zeroed(batch, 4 * h_size);
         for t in (0..t_len).rev() {
-            for (bj, &a) in grads.b.iter_mut().zip(da_mat.row(t)) {
-                *bj += a;
+            for bi in 0..batch {
+                let r = t * batch + bi;
+                let i_row = cache.i.row(r);
+                let f_row = cache.f.row(r);
+                let g_row = cache.g.row(r);
+                let o_row = cache.o.row(r);
+                let tc_row = cache.tc.row(r);
+                let dh_row = dh_out.row(r);
+                let dh_next = dh_next_b.row(bi);
+                let dc_next = dc_next_b.row_mut(bi);
+                let da = da_packed.row_mut(r);
+                for k in 0..h_size {
+                    let i = i_row[k];
+                    let f = f_row[k];
+                    let g = g_row[k];
+                    let o = o_row[k];
+                    let c_prev = if t == 0 {
+                        0.0
+                    } else {
+                        cache.c[((t - 1) * batch + bi, k)]
+                    };
+                    let tanh_c = tc_row[k];
+
+                    let dh = dh_row[k] + dh_next[k];
+                    let d_o = dh * tanh_c;
+                    let dc = dh * o * tanh_deriv_from_output(tanh_c) + dc_next[k];
+                    let d_i = dc * g;
+                    let d_g = dc * i;
+                    let d_f = dc * c_prev;
+                    dc_next[k] = dc * f;
+
+                    da[k] = d_i * sigmoid_deriv_from_output(i);
+                    da[h_size + k] = d_f * sigmoid_deriv_from_output(f);
+                    da[2 * h_size + k] = d_g * tanh_deriv_from_output(g);
+                    da[3 * h_size + k] = d_o * sigmoid_deriv_from_output(o);
+                }
             }
+            // This timestep's gate deltas occupy contiguous packed rows
+            // t*B..(t+1)*B; dh_next[b][k] = sum_j da[b][j] * wh[j][k],
+            // ascending j per element — the serial carry's exact chain.
+            da_t.as_mut_slice().copy_from_slice(
+                &da_packed.as_slice()[t * batch * 4 * h_size..(t + 1) * batch * 4 * h_size],
+            );
+            da_t.matmul_into(&self.wh, dh_next_b);
         }
-        reversed_rows_into(da_mat, &mut scratch.da_rev);
-        reversed_rows_into(&cache.xs, &mut scratch.xs_rev);
-        scratch.da_rev.t_matmul_into(&scratch.xs_rev, &mut grads.wx);
-        if t_len > 1 {
-            // Gate deltas for t = T-1..1 (descending) against h for t-1.
-            scratch.da_tail.resize_zeroed(t_len - 1, 4 * h_size);
-            scratch.h_tail.resize_zeroed(t_len - 1, h_size);
-            for (r, t) in (1..t_len).rev().enumerate() {
-                scratch
-                    .da_tail
-                    .set_row(r, scratch.da_rev.row(t_len - 1 - t));
-                scratch.h_tail.set_row(r, cache.h.row(t - 1));
-            }
-            scratch
-                .da_tail
-                .t_matmul_into(&scratch.h_tail, &mut grads.wh);
-        } else {
-            grads.wh.resize_zeroed(4 * h_size, h_size);
-        }
+        // Packed dx: row-independent, so each sequence's rows match the
+        // per-sequence `da_mat * wx` bitwise.
+        da_packed.matmul_into(&self.wx, dx);
     }
 
     /// Reference BPTT: the straightforward per-timestep accumulation loops.
@@ -506,6 +736,47 @@ impl LstmLayer {
             }
         }
         (grads, dx)
+    }
+}
+
+/// Shared tail of [`LstmLayer::backward_into`] and
+/// [`LstmLayer::param_grads_into`]: accumulates `b` (descending `t`), `wx`
+/// (row-reversed `t_matmul`) and `wh` (descending-`t` deltas against the
+/// previous hidden state) for one sequence. Single definition so the
+/// per-sequence and batch-packed paths cannot drift apart numerically.
+#[allow(clippy::too_many_arguments)]
+fn param_grads_impl(
+    h_size: usize,
+    da_mat: &Matrix,
+    xs: &Matrix,
+    h: &Matrix,
+    grads: &mut LstmGrads,
+    da_rev: &mut Matrix,
+    xs_rev: &mut Matrix,
+    da_tail: &mut Matrix,
+    h_tail: &mut Matrix,
+) {
+    let t_len = da_mat.rows();
+    reset_zeroed(&mut grads.b, 4 * h_size);
+    for t in (0..t_len).rev() {
+        for (bj, &a) in grads.b.iter_mut().zip(da_mat.row(t)) {
+            *bj += a;
+        }
+    }
+    reversed_rows_into(da_mat, da_rev);
+    reversed_rows_into(xs, xs_rev);
+    da_rev.t_matmul_into(xs_rev, &mut grads.wx);
+    if t_len > 1 {
+        // Gate deltas for t = T-1..1 (descending) against h for t-1.
+        da_tail.resize_zeroed(t_len - 1, 4 * h_size);
+        h_tail.resize_zeroed(t_len - 1, h_size);
+        for (r, t) in (1..t_len).rev().enumerate() {
+            da_tail.set_row(r, da_rev.row(t_len - 1 - t));
+            h_tail.set_row(r, h.row(t - 1));
+        }
+        da_tail.t_matmul_into(h_tail, &mut grads.wh);
+    } else {
+        grads.wh.resize_zeroed(4 * h_size, h_size);
     }
 }
 
@@ -707,6 +978,88 @@ mod tests {
             }
             Ok(())
         });
+    }
+
+    /// Packs `batch` copies-with-distinct-contents sequences batch-major
+    /// (row `t*B + b`) and checks the batched kernels reproduce each
+    /// sequence's per-example forward/backward results bitwise, including
+    /// parameter gradients recovered through `param_grads_into`.
+    #[test]
+    fn batched_kernels_match_per_sequence_bitwise() {
+        let shape = testkit::gen::zip3(
+            testkit::gen::zip2(testkit::gen::usize_in(1, 6), testkit::gen::usize_in(1, 7)),
+            testkit::gen::usize_in(1, 12), // t_len
+            testkit::gen::usize_in(1, 6),  // batch
+        );
+        testkit::check(
+            "lstm_batched_vs_per_sequence",
+            &shape,
+            |&((in_dim, hidden), t_len, batch)| {
+                let mut rng = shape_rng(0xba7c ^ ((batch as u64) << 60), (in_dim, hidden, t_len));
+                let layer = LstmLayer::new(in_dim, hidden, &mut rng);
+                let seqs: Vec<Matrix> = (0..batch)
+                    .map(|_| Matrix::uniform(t_len, in_dim, 1.0, &mut rng))
+                    .collect();
+                let dhs: Vec<Matrix> = (0..batch)
+                    .map(|_| Matrix::uniform(t_len, hidden, 1.0, &mut rng))
+                    .collect();
+
+                // Pack batch-major.
+                let mut xs_packed = Matrix::zeros(t_len * batch, in_dim);
+                let mut dh_packed = Matrix::zeros(t_len * batch, hidden);
+                for (b, (xs, dh)) in seqs.iter().zip(&dhs).enumerate() {
+                    for t in 0..t_len {
+                        xs_packed.set_row(t * batch + b, xs.row(t));
+                        dh_packed.set_row(t * batch + b, dh.row(t));
+                    }
+                }
+
+                let mut cache = LstmCache::empty();
+                let mut scratch = LstmScratch::new();
+                layer.forward_batch_into(&xs_packed, batch, &mut cache, &mut scratch);
+                let mut da_packed = Matrix::zeros(1, 1);
+                let mut dx_packed = Matrix::zeros(1, 1);
+                layer.backward_batch_into(
+                    &cache,
+                    batch,
+                    &dh_packed,
+                    &mut da_packed,
+                    &mut dx_packed,
+                    &mut scratch,
+                );
+
+                for (b, (xs, dh)) in seqs.iter().zip(&dhs).enumerate() {
+                    let solo = layer.forward(xs);
+                    let (solo_grads, solo_dx) = layer.backward(&solo, dh);
+                    // Per-example matrices extracted from the packed tensors.
+                    let mut h_ex = Matrix::zeros(t_len, hidden);
+                    let mut da_ex = Matrix::zeros(t_len, 4 * hidden);
+                    for t in 0..t_len {
+                        let r = t * batch + b;
+                        testkit::prop::holds(
+                            cache.h.row(r) == solo.h.row(t),
+                            format!("packed h row differs (b={b}, t={t})"),
+                        )?;
+                        testkit::prop::holds(
+                            cache.c.row(r) == solo.c.row(t),
+                            format!("packed c row differs (b={b}, t={t})"),
+                        )?;
+                        testkit::prop::holds(
+                            dx_packed.row(r) == solo_dx.row(t),
+                            format!("packed dx row differs (b={b}, t={t})"),
+                        )?;
+                        h_ex.set_row(t, cache.h.row(r));
+                        da_ex.set_row(t, da_packed.row(r));
+                    }
+                    let mut grads = LstmGrads::empty();
+                    layer.param_grads_into(&da_ex, xs, &h_ex, &mut grads, &mut scratch);
+                    testkit::prop::holds(grads.wx == solo_grads.wx, "packed wx grads differ")?;
+                    testkit::prop::holds(grads.wh == solo_grads.wh, "packed wh grads differ")?;
+                    testkit::prop::holds(grads.b == solo_grads.b, "packed b grads differ")?;
+                }
+                Ok(())
+            },
+        );
     }
 
     #[test]

@@ -211,10 +211,11 @@ impl Matrix {
 
     /// Matrix product `self * other`.
     ///
-    /// Uses a j-tiled kernel parallelized over output-row blocks for large
-    /// products. The `k` summation order per output element is globally
-    /// ascending — the same order as the naive triple loop — so the result
-    /// is bitwise equal to [`Matrix::matmul_naive`] at any thread count.
+    /// Uses the register-tiled microkernel (see [`TILE_M`]/[`TILE_N`])
+    /// parallelized over output-row blocks for large products. The `k`
+    /// summation order per output element is globally ascending — the same
+    /// order as the naive triple loop — so the result is bitwise equal to
+    /// [`Matrix::matmul_naive`] at any thread count.
     ///
     /// # Panics
     ///
@@ -241,20 +242,7 @@ impl Matrix {
             other.cols,
             self.cols,
             |r0, buf| {
-                for (di, out_row) in buf.chunks_mut(other.cols).enumerate() {
-                    let i = r0 + di;
-                    let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
-                    for jb in (0..other.cols).step_by(J_TILE) {
-                        let je = (jb + J_TILE).min(other.cols);
-                        let out_tile = &mut out_row[jb..je];
-                        for (k, &a) in a_row.iter().enumerate() {
-                            let b_tile = &other.data[k * other.cols + jb..k * other.cols + je];
-                            for (o, &b) in out_tile.iter_mut().zip(b_tile.iter()) {
-                                *o += a * b;
-                            }
-                        }
-                    }
-                }
+                gemm_block(&self.data, self.cols, &other.data, other.cols, r0, buf);
             },
         );
     }
@@ -306,18 +294,15 @@ impl Matrix {
             other.cols,
             self.rows,
             |i0, buf| {
-                let i1 = i0 + buf.len() / other.cols;
-                for k in 0..self.rows {
-                    let a_row = &self.data[k * self.cols..(k + 1) * self.cols];
-                    let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
-                    for i in i0..i1 {
-                        let a = a_row[i];
-                        let out_row = &mut buf[(i - i0) * other.cols..(i - i0 + 1) * other.cols];
-                        for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                            *o += a * b;
-                        }
-                    }
-                }
+                gemm_t_block(
+                    &self.data,
+                    self.cols,
+                    self.rows,
+                    &other.data,
+                    other.cols,
+                    i0,
+                    buf,
+                );
             },
         );
     }
@@ -533,12 +518,138 @@ pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     a.iter().zip(b.iter()).map(|(&x, &y)| x * y).sum()
 }
 
-/// Column-tile width for the blocked kernels: an output strip plus the
-/// matching strip of the right-hand matrix stays L1-resident.
-const J_TILE: usize = 256;
+/// Row height of the register-tiled GEMM microkernel: each inner iteration
+/// updates a [`TILE_M`] x [`TILE_N`] accumulator block held in locals.
+pub const TILE_M: usize = 4;
+
+/// Column width of the register-tiled GEMM microkernel accumulator block.
+pub const TILE_N: usize = 8;
 
 /// Products below this many multiply-adds are not worth spawning for.
 const PAR_MIN_FLOPS: usize = 1 << 15;
+
+/// Register-tiled `A * B` over a strip of output rows starting at `r0`.
+///
+/// Walks [`TILE_M`] x [`TILE_N`] output tiles with the `k` loop innermost
+/// and ascending: every output element still accumulates its products in
+/// exactly the naive triple-loop order, so the result is bitwise equal to
+/// [`Matrix::matmul_naive`] — the tiling only changes *which* elements are
+/// in flight together, never the per-element summation chain. Edge rows and
+/// columns that do not fill a tile fall back to scalar ascending-`k`
+/// accumulation into the zero-initialized `buf`.
+fn gemm_block(a: &[f32], k_dim: usize, b: &[f32], n: usize, r0: usize, buf: &mut [f32]) {
+    let rows = buf.len() / n;
+    let mut di = 0;
+    while di + TILE_M <= rows {
+        let a_rows: [&[f32]; TILE_M] = std::array::from_fn(|t| {
+            let i = r0 + di + t;
+            &a[i * k_dim..(i + 1) * k_dim]
+        });
+        let mut j = 0;
+        while j + TILE_N <= n {
+            let mut acc = [[0.0f32; TILE_N]; TILE_M];
+            for k in 0..k_dim {
+                let b_strip: &[f32; TILE_N] =
+                    b[k * n + j..k * n + j + TILE_N].try_into().expect("strip");
+                for (acc_row, a_row) in acc.iter_mut().zip(a_rows.iter()) {
+                    let av = a_row[k];
+                    for (o, &bv) in acc_row.iter_mut().zip(b_strip.iter()) {
+                        *o += av * bv;
+                    }
+                }
+            }
+            for (t, acc_row) in acc.iter().enumerate() {
+                buf[(di + t) * n + j..(di + t) * n + j + TILE_N].copy_from_slice(acc_row);
+            }
+            j += TILE_N;
+        }
+        for jr in j..n {
+            for (t, a_row) in a_rows.iter().enumerate() {
+                let mut acc = 0.0f32;
+                for (k, &av) in a_row.iter().enumerate() {
+                    acc += av * b[k * n + jr];
+                }
+                buf[(di + t) * n + jr] = acc;
+            }
+        }
+        di += TILE_M;
+    }
+    for dr in di..rows {
+        let i = r0 + dr;
+        let a_row = &a[i * k_dim..(i + 1) * k_dim];
+        let out_row = &mut buf[dr * n..(dr + 1) * n];
+        for (k, &av) in a_row.iter().enumerate() {
+            let b_row = &b[k * n..(k + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// Register-tiled `A^T * B` over a strip of output rows starting at `i0`.
+///
+/// Same accumulation-order contract as [`gemm_block`]: the `k` loop is
+/// innermost and ascending for every output element, so the result matches
+/// [`Matrix::t_matmul_naive`] bitwise. Here the [`TILE_M`]-wide strip of `A`
+/// values at a given `k` is contiguous (`A[k][i..i + TILE_M]`), which is what
+/// makes the transposed product tile-friendly without materializing `A^T`.
+fn gemm_t_block(
+    a: &[f32],
+    a_cols: usize,
+    k_dim: usize,
+    b: &[f32],
+    n: usize,
+    i0: usize,
+    buf: &mut [f32],
+) {
+    let rows = buf.len() / n;
+    let mut di = 0;
+    while di + TILE_M <= rows {
+        let i = i0 + di;
+        let mut j = 0;
+        while j + TILE_N <= n {
+            let mut acc = [[0.0f32; TILE_N]; TILE_M];
+            for k in 0..k_dim {
+                let a_strip: &[f32; TILE_M] = a[k * a_cols + i..k * a_cols + i + TILE_M]
+                    .try_into()
+                    .expect("strip");
+                let b_strip: &[f32; TILE_N] =
+                    b[k * n + j..k * n + j + TILE_N].try_into().expect("strip");
+                for (acc_row, &av) in acc.iter_mut().zip(a_strip.iter()) {
+                    for (o, &bv) in acc_row.iter_mut().zip(b_strip.iter()) {
+                        *o += av * bv;
+                    }
+                }
+            }
+            for (t, acc_row) in acc.iter().enumerate() {
+                buf[(di + t) * n + j..(di + t) * n + j + TILE_N].copy_from_slice(acc_row);
+            }
+            j += TILE_N;
+        }
+        for jr in j..n {
+            for t in 0..TILE_M {
+                let mut acc = 0.0f32;
+                for k in 0..k_dim {
+                    acc += a[k * a_cols + i + t] * b[k * n + jr];
+                }
+                buf[(di + t) * n + jr] = acc;
+            }
+        }
+        di += TILE_M;
+    }
+    for dr in di..rows {
+        let i = i0 + dr;
+        let out_row = &mut buf[dr * n..(dr + 1) * n];
+        for k in 0..k_dim {
+            let av = a[k * a_cols + i];
+            let b_row = &b[k * n..(k + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+}
 
 /// Runs `kernel` over blocks of output rows, in parallel when the product is
 /// large enough. `kernel(r0, buf)` must fill `buf` (zero-initialized,
@@ -626,9 +737,9 @@ mod tests {
     }
 
     /// Generator for GEMM shapes `(m, k, n)`. Dimensions deliberately straddle
-    /// every special case in the blocked kernels: 1 (degenerate), values far
-    /// from multiples of the j-tile (`J_TILE = 256` — `n` ranges past it), and
-    /// products on both sides of the `PAR_MIN_FLOPS` fan-out threshold.
+    /// every special case in the tiled kernels: 1 (degenerate), values off the
+    /// `TILE_M`/`TILE_N` microkernel grid, and products on both sides of the
+    /// `PAR_MIN_FLOPS` fan-out threshold.
     fn gemm_shape() -> testkit::Gen<(usize, usize, usize)> {
         testkit::gen::zip3(
             testkit::gen::usize_in(1, 96),
@@ -662,6 +773,53 @@ mod tests {
                 testkit::prop::holds(
                     t_fast == t_reference,
                     format!("t_matmul {m}x{k}x{n} @ {threads} threads"),
+                )?;
+            }
+            Ok(())
+        });
+    }
+
+    /// Dimensions that sit exactly on, just inside, and just outside the
+    /// microkernel tile grid, plus primes that never align with it.
+    fn tile_boundary_dim() -> testkit::Gen<usize> {
+        testkit::gen::choice(vec![
+            1,
+            TILE_M - 1,
+            TILE_M,
+            TILE_M + 1,
+            TILE_N - 1,
+            TILE_N,
+            TILE_N + 1,
+            2 * TILE_N + 1,
+            13,
+            31,
+        ])
+    }
+
+    #[test]
+    fn microkernel_matches_naive_bitwise_on_tile_boundary_shapes() {
+        let shape = testkit::gen::zip3(
+            tile_boundary_dim(),
+            tile_boundary_dim(),
+            tile_boundary_dim(),
+        );
+        testkit::check("gemm_microkernel_tile_boundaries", &shape, |&(m, k, n)| {
+            let mut rng = shape_rng(0x711e, (m, k, n));
+            let a = Matrix::uniform(m, k, 1.0, &mut rng);
+            let b = Matrix::uniform(k, n, 1.0, &mut rng);
+            let reference = a.matmul_naive(&b);
+            let at = Matrix::uniform(k, m, 1.0, &mut rng);
+            let t_reference = at.t_matmul_naive(&b);
+            for threads in [1usize, 2, 8] {
+                let (fast, t_fast) =
+                    crate::par::with_threads(threads, || (a.matmul(&b), at.t_matmul(&b)));
+                testkit::prop::holds(
+                    fast == reference,
+                    format!("microkernel matmul {m}x{k}x{n} @ {threads} threads"),
+                )?;
+                testkit::prop::holds(
+                    t_fast == t_reference,
+                    format!("microkernel t_matmul {m}x{k}x{n} @ {threads} threads"),
                 )?;
             }
             Ok(())

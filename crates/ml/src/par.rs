@@ -11,8 +11,16 @@
 //! The worker count is resolved per call by [`threads`]:
 //!
 //! 1. a process-local override installed by [`set_threads`] / [`with_threads`];
-//! 2. the `LEAKY_DNN_THREADS` environment variable;
+//! 2. the `LEAKY_DNN_THREADS` environment variable, capped at
+//!    [`std::thread::available_parallelism`] — every workload here is
+//!    CPU-bound and bitwise thread-count invariant, so workers beyond the
+//!    core count can only add context-switch and cache-thrash overhead,
+//!    never speed;
 //! 3. [`std::thread::available_parallelism`].
+//!
+//! The explicit overrides are *not* capped: tests use them to force the
+//! parallel code paths on single-core machines, which the invariance
+//! guarantee makes safe.
 //!
 //! # Examples
 //!
@@ -42,7 +50,8 @@ thread_local! {
 
 /// Resolves the worker count for subsequent parallel calls on this thread:
 /// [`with_threads`] scope, then [`set_threads`], then the
-/// `LEAKY_DNN_THREADS` environment variable, then
+/// `LEAKY_DNN_THREADS` environment variable (capped at the detected
+/// hardware parallelism, see the module docs), then
 /// [`std::thread::available_parallelism`]. On a pool worker thread this is
 /// always 1 (nested parallelism is serialized).
 pub fn threads() -> usize {
@@ -57,16 +66,17 @@ pub fn threads() -> usize {
     if o > 0 {
         return o;
     }
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     if let Ok(v) = std::env::var("LEAKY_DNN_THREADS") {
         if let Ok(n) = v.trim().parse::<usize>() {
             if n > 0 {
-                return n;
+                return n.min(hw);
             }
         }
     }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    hw
 }
 
 /// Installs a process-wide thread-count override (0 clears it, falling back

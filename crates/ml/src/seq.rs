@@ -2,6 +2,8 @@
 //! (weighted, maskable) softmax cross-entropy loss — the shape shared by all
 //! five inference models in the paper's Table III.
 
+use std::collections::BTreeMap;
+
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -13,7 +15,15 @@ use crate::loss::{softmax_cross_entropy, softmax_cross_entropy_into, uniform_wei
 use crate::lstm::{LstmGrads, LstmLayer};
 use crate::matrix::Matrix;
 use crate::optim::{clip_global_norm, Adam, Optimizer};
-use crate::workspace::{Workspace, WorkspacePool};
+use crate::workspace::{BatchWorkspace, BatchWorkspacePool, Workspace, WorkspacePool};
+
+/// Minimum number of sequences in a minibatch before the bucket fan-out
+/// spawns pool workers. Below this the per-call scoped-spawn overhead dwarfs
+/// the work — the pipeline's batch-4 fits ran 0.81x *slower* at 8 threads
+/// when every tiny batch fanned out. Small-batch training stays serial here;
+/// the thread win comes from coarse cross-model parallelism in the profiling
+/// layer instead.
+pub const MIN_PARALLEL_FIT_SEQS: usize = 32;
 
 /// Training/topology configuration for a [`SequenceClassifier`].
 #[derive(Debug, Clone)]
@@ -166,71 +176,133 @@ impl SequenceClassifier {
         m
     }
 
-    /// Full forward + backward pass for one example against frozen
-    /// parameters, writing every intermediate and result into `ws` without
-    /// allocating (once the workspace is warm). Runs on pool workers during
-    /// `fit`; it only reads the model, so any number of examples can run
-    /// concurrently. Every buffer it reads is fully overwritten first, so
-    /// the result is independent of the workspace's previous contents —
-    /// property-tested bitwise-equal to [`SequenceClassifier::example_pass`].
-    fn example_pass_into(
+    /// Full forward + backward pass for one packed bucket of equal-length
+    /// examples against frozen parameters.
+    ///
+    /// The bucket's sequences are laid out batch-major in `bws` (row
+    /// `t * B + b` holds sequence `b`'s timestep `t`), so every timestep of
+    /// the forward recurrence, the head, and the BPTT carry runs as one
+    /// fused GEMM over the whole bucket instead of `B` per-sequence matvec
+    /// loops. Each example's losses and gradients come back in its own
+    /// pooled [`Workspace`] (tagged with its batch position), bitwise
+    /// identical to running that example through the per-sequence pass
+    /// alone: packed GEMM rows are independent and keep the ascending-`k`
+    /// per-element chains, and parameter gradients are accumulated from
+    /// per-example matrices extracted out of the packed tensors through the
+    /// exact same code path ([`LstmLayer::param_grads_into`] /
+    /// [`Dense::param_grads_into`]) the per-sequence backward uses.
+    #[allow(clippy::too_many_arguments)]
+    fn bucket_pass_into(
         layers: &[LstmLayer],
         head: &Dense,
-        xs: &Matrix,
-        ex: &SeqExample,
+        data: &[SeqExample],
+        inputs: &[Matrix],
+        bucket: &[(usize, usize)],
+        batch: &[usize],
         weights: &[f32],
-        ws: &mut Workspace,
-    ) {
-        debug_assert_eq!(ws.layer_count(), layers.len());
-        // Forward through the LSTM stack; each layer reads the previous
-        // layer's cached hidden states directly instead of cloning them.
-        for (li, layer) in layers.iter().enumerate() {
-            let (done, rest) = ws.caches.split_at_mut(li);
-            let input = if li == 0 { xs } else { &done[li - 1].h };
-            layer.forward_into(input, &mut rest[0], &mut ws.scratch);
-        }
-        let last_h = &ws.caches[layers.len() - 1].h;
-        head.forward_into(last_h, &mut ws.logits);
+        bws: &mut BatchWorkspace,
+        pool: &WorkspacePool,
+    ) -> Vec<(usize, Workspace)> {
+        debug_assert_eq!(bws.layer_count(), layers.len());
+        let b_n = bucket.len();
+        let t_len = bucket[0].0;
+        debug_assert!(bucket.iter().all(|&(len, _)| len == t_len));
 
-        // Loss + dlogits per timestep.
-        ws.losses.clear();
-        ws.correct = 0;
-        ws.dlogits.resize_zeroed(ws.logits.rows(), ws.logits.cols());
-        for t in 0..ws.logits.rows() {
-            let loss = softmax_cross_entropy_into(
-                ws.logits.row(t),
-                ex.labels[t],
-                weights,
-                !ex.mask[t],
-                ws.dlogits.row_mut(t),
-                &mut ws.probs,
-            );
-            if ex.mask[t] {
-                ws.losses.push(loss);
-                if argmax(&ws.probs) == ex.labels[t] {
-                    ws.correct += 1;
-                }
+        // Pack features batch-major.
+        bws.xs.resize_zeroed(t_len * b_n, layers[0].input_size());
+        for (bi, &(_, pos)) in bucket.iter().enumerate() {
+            let xs = &inputs[batch[pos]];
+            for t in 0..t_len {
+                bws.xs.set_row(t * b_n + bi, xs.row(t));
             }
         }
 
-        // Backward; `dh`/`dx` swap roles as the gradient walks down the
-        // stack, exactly mirroring the allocating path's `dh = dx`.
-        head.backward_into(last_h, &ws.dlogits, &mut ws.head_grads, &mut ws.dh);
-        for (li, layer) in layers.iter().enumerate().rev() {
-            layer.backward_into(
-                &ws.caches[li],
-                &ws.dh,
-                &mut ws.layer_grads[li],
-                &mut ws.dx,
-                &mut ws.scratch,
-            );
-            std::mem::swap(&mut ws.dh, &mut ws.dx);
+        // Forward through the LSTM stack; each layer reads the previous
+        // layer's packed hidden states directly.
+        for (li, layer) in layers.iter().enumerate() {
+            let (done, rest) = bws.caches.split_at_mut(li);
+            let input = if li == 0 { &bws.xs } else { &done[li - 1].h };
+            layer.forward_batch_into(input, b_n, &mut rest[0], &mut bws.scratch);
         }
+        let last_h = &bws.caches[layers.len() - 1].h;
+        head.forward_into(last_h, &mut bws.logits);
+
+        // Loss + dlogits per example, `t` ascending within each example so
+        // the per-example loss vectors match the per-sequence pass exactly.
+        bws.dlogits
+            .resize_zeroed(bws.logits.rows(), bws.logits.cols());
+        let mut passes: Vec<(usize, Workspace)> = Vec::with_capacity(b_n);
+        for (bi, &(_, pos)) in bucket.iter().enumerate() {
+            let ex = &data[batch[pos]];
+            let mut ws = pool.acquire();
+            ws.losses.clear();
+            ws.correct = 0;
+            for t in 0..t_len {
+                let r = t * b_n + bi;
+                let loss = softmax_cross_entropy_into(
+                    bws.logits.row(r),
+                    ex.labels[t],
+                    weights,
+                    !ex.mask[t],
+                    bws.dlogits.row_mut(r),
+                    &mut ws.probs,
+                );
+                if ex.mask[t] {
+                    ws.losses.push(loss);
+                    if argmax(&ws.probs) == ex.labels[t] {
+                        ws.correct += 1;
+                    }
+                }
+            }
+            passes.push((pos, ws));
+        }
+
+        // Head backward: the input gradient is one packed row-independent
+        // GEMM; parameter gradients accumulate per example from extracted
+        // matrices (their `t`-ascending order is per example, which packed
+        // rows would interleave).
+        bws.dlogits.matmul_into(&head.w, &mut bws.dh);
+        for (bi, (_, ws)) in passes.iter_mut().enumerate() {
+            extract_example_rows(&bws.dlogits, b_n, bi, &mut bws.da_ex);
+            extract_example_rows(&bws.caches[layers.len() - 1].h, b_n, bi, &mut bws.h_ex);
+            head.param_grads_into(&bws.h_ex, &bws.da_ex, &mut ws.head_grads);
+        }
+
+        // Backward down the stack; `dh`/`dx` swap roles exactly as in the
+        // per-sequence pass.
+        for (li, layer) in layers.iter().enumerate().rev() {
+            layer.backward_batch_into(
+                &bws.caches[li],
+                b_n,
+                &bws.dh,
+                &mut bws.da_packed,
+                &mut bws.dx,
+                &mut bws.scratch,
+            );
+            for (bi, (_, ws)) in passes.iter_mut().enumerate() {
+                extract_example_rows(&bws.da_packed, b_n, bi, &mut bws.da_ex);
+                if li == 0 {
+                    extract_example_rows(&bws.xs, b_n, bi, &mut bws.x_ex);
+                } else {
+                    extract_example_rows(&bws.caches[li - 1].h, b_n, bi, &mut bws.x_ex);
+                }
+                extract_example_rows(&bws.caches[li].h, b_n, bi, &mut bws.h_ex);
+                layer.param_grads_into(
+                    &bws.da_ex,
+                    &bws.x_ex,
+                    &bws.h_ex,
+                    &mut ws.layer_grads[li],
+                    &mut ws.scratch,
+                );
+            }
+            std::mem::swap(&mut bws.dh, &mut bws.dx);
+        }
+        passes
     }
 
     /// Reference full forward + backward pass for one example, allocating
     /// every intermediate. Kept as the ground truth
-    /// [`SequenceClassifier::example_pass_into`] (and therefore
+    /// [`SequenceClassifier::bucket_pass_into`] (and therefore
     /// [`SequenceClassifier::fit`]) must match bitwise via
     /// [`SequenceClassifier::fit_reference`].
     fn example_pass(
@@ -339,9 +411,15 @@ impl SequenceClassifier {
         let mut opt_hb = Adam::new(self.head.b.len(), self.config.learning_rate);
 
         let pool = WorkspacePool::new(self.layers.len());
+        let batch_pool = BatchWorkspacePool::new(self.layers.len());
         let mut acc_layers: Vec<LstmGrads> =
             self.layers.iter().map(|_| LstmGrads::empty()).collect();
         let mut acc_head = DenseGrads::empty();
+        // Reusable bucketing scratch: (length, position-in-batch) pairs and
+        // the half-open spans of equal-length runs after the stable sort.
+        let mut len_pos: Vec<(usize, usize)> = Vec::new();
+        let mut bucket_spans: Vec<(usize, usize)> = Vec::new();
+        let mut slots: Vec<Option<Workspace>> = Vec::new();
 
         self.history.clear();
         let batch_size = self.config.batch_size.max(1);
@@ -355,33 +433,72 @@ impl SequenceClassifier {
             let mut loss_count = 0usize;
             let mut correct = 0usize;
             for batch in order.chunks(batch_size) {
-                // Per-example BPTT fans out over the worker pool; results
-                // come back in batch order, so the reduction below is
-                // identical for any thread count. Workspaces cycle through a
-                // shared free list and are fully overwritten per pass, so
-                // which worker draws which workspace cannot affect the
-                // result either.
+                // Bucket the batch by exact sequence length: each bucket
+                // runs as one packed pass (one fused GEMM per timestep over
+                // the whole bucket). The sort is stable, so batch order is
+                // preserved within every bucket; results carry their batch
+                // position and are scattered back below, so bucket
+                // composition cannot affect the reduction order. Buckets
+                // only fan out over the worker pool when the batch is big
+                // enough to pay for the spawn.
+                len_pos.clear();
+                len_pos.extend(
+                    batch
+                        .iter()
+                        .enumerate()
+                        .map(|(pos, &idx)| (inputs[idx].rows(), pos)),
+                );
+                len_pos.sort_by_key(|&(len, _)| len);
+                bucket_spans.clear();
+                let mut start = 0;
+                for end in 1..=len_pos.len() {
+                    if end == len_pos.len() || len_pos[end].0 != len_pos[start].0 {
+                        bucket_spans.push((start, end));
+                        start = end;
+                    }
+                }
                 let layers = &self.layers;
                 let head = &self.head;
-                let (pool_ref, inputs_ref, weights_ref) = (&pool, &inputs, &weights);
-                let results = crate::par::par_map(batch, |_, &idx| {
-                    let mut ws = pool_ref.acquire();
-                    Self::example_pass_into(
-                        layers,
-                        head,
-                        &inputs_ref[idx],
-                        &data[idx],
-                        weights_ref,
-                        &mut ws,
-                    );
-                    ws
-                });
+                let (pool_ref, batch_pool_ref) = (&pool, &batch_pool);
+                let (inputs_ref, weights_ref, len_pos_ref) = (&inputs, &weights, &len_pos);
+                let bucket_results = crate::par::par_map_if_work(
+                    batch.len(),
+                    MIN_PARALLEL_FIT_SEQS,
+                    &bucket_spans,
+                    |_, &(s, e)| {
+                        let mut bws = batch_pool_ref.acquire();
+                        let passes = Self::bucket_pass_into(
+                            layers,
+                            head,
+                            data,
+                            inputs_ref,
+                            &len_pos_ref[s..e],
+                            batch,
+                            weights_ref,
+                            &mut bws,
+                            pool_ref,
+                        );
+                        batch_pool_ref.release(bws);
+                        passes
+                    },
+                );
+                slots.clear();
+                slots.resize_with(batch.len(), || None);
+                for bucket in bucket_results {
+                    for (pos, ws) in bucket {
+                        slots[pos] = Some(ws);
+                    }
+                }
 
-                // Fixed-order reduce: the first pass's gradients are copied
-                // into the persistent accumulators (bitwise identical to
-                // seeding the sum with them, unlike adding onto zeros) and
-                // the remaining passes added in batch order.
-                let mut results = results.into_iter();
+                // Fixed-order reduce over batch positions: the first pass's
+                // gradients are copied into the persistent accumulators
+                // (bitwise identical to seeding the sum with them, unlike
+                // adding onto zeros) and the remaining passes added in batch
+                // order — the same order as before bucketing, whatever the
+                // bucket layout was.
+                let mut results = slots
+                    .iter_mut()
+                    .map(|slot| slot.take().expect("every batch position filled"));
                 let first = results.next().expect("chunks yields non-empty batches");
                 for (acc, g) in acc_layers.iter_mut().zip(first.layer_grads.iter()) {
                     acc.wx.copy_from(&g.wx);
@@ -602,7 +719,22 @@ impl SequenceClassifier {
     /// Predicts the per-timestep class probabilities for one sequence. An
     /// empty sequence yields an empty prediction — length-0 iterations do
     /// occur in faulted traces and must not abort the whole attack.
+    ///
+    /// Routes through [`SequenceClassifier::predict_proba_batch`] with a
+    /// single-sequence bucket; bitwise identical to
+    /// [`SequenceClassifier::predict_proba_reference`] (property-tested).
     pub fn predict_proba(&self, features: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        self.predict_proba_batch(&[features])
+            .pop()
+            .expect("one result per input sequence")
+    }
+
+    /// Reference per-sequence inference: the plain allocating forward walk.
+    /// Kept as the ground truth the packed
+    /// [`SequenceClassifier::predict_proba_batch`] must match bitwise
+    /// (property-tested over ragged lengths, len-0/len-1 sequences and
+    /// bucket-boundary sizes).
+    pub fn predict_proba_reference(&self, features: &[Vec<f32>]) -> Vec<Vec<f32>> {
         if features.is_empty() {
             return Vec::new();
         }
@@ -621,12 +753,80 @@ impl SequenceClassifier {
             .collect()
     }
 
+    /// Predicts per-timestep class probabilities for many sequences at once.
+    ///
+    /// Sequences are bucketed by exact length (a `BTreeMap`, so bucket order
+    /// is deterministic) and each bucket runs the packed batched forward —
+    /// one fused GEMM per timestep across the bucket — instead of one
+    /// recurrence per sequence. Results come back in input order, each
+    /// bitwise identical to [`SequenceClassifier::predict_proba_reference`]
+    /// on that sequence alone: packed GEMM rows are independent, so bucket
+    /// composition cannot change any sequence's values. Empty sequences
+    /// yield empty predictions.
+    pub fn predict_proba_batch(&self, seqs: &[&[Vec<f32>]]) -> Vec<Vec<Vec<f32>>> {
+        let mut results: Vec<Vec<Vec<f32>>> = vec![Vec::new(); seqs.len()];
+        let mut buckets: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (i, seq) in seqs.iter().enumerate() {
+            if seq.is_empty() {
+                continue;
+            }
+            assert_eq!(
+                seq[0].len(),
+                self.config.input_size,
+                "feature width mismatch"
+            );
+            buckets.entry(seq.len()).or_default().push(i);
+        }
+        let mut bws = BatchWorkspace::new(self.layers.len());
+        for (&t_len, idxs) in &buckets {
+            let b_n = idxs.len();
+            bws.xs.resize_zeroed(t_len * b_n, self.config.input_size);
+            for (bi, &i) in idxs.iter().enumerate() {
+                for (t, row) in seqs[i].iter().enumerate() {
+                    bws.xs.set_row(t * b_n + bi, row);
+                }
+            }
+            for (li, layer) in self.layers.iter().enumerate() {
+                let (done, rest) = bws.caches.split_at_mut(li);
+                let input = if li == 0 { &bws.xs } else { &done[li - 1].h };
+                layer.forward_batch_into(input, b_n, &mut rest[0], &mut bws.scratch);
+            }
+            self.head
+                .forward_into(&bws.caches[self.layers.len() - 1].h, &mut bws.logits);
+            for (bi, &i) in idxs.iter().enumerate() {
+                results[i] = (0..t_len)
+                    .map(|t| crate::activation::softmax(bws.logits.row(t * b_n + bi)))
+                    .collect();
+            }
+        }
+        results
+    }
+
+    /// Predicts per-timestep class labels for many sequences at once (the
+    /// batched counterpart of [`SequenceClassifier::predict`]).
+    pub fn predict_batch(&self, seqs: &[&[Vec<f32>]]) -> Vec<Vec<usize>> {
+        self.predict_proba_batch(seqs)
+            .iter()
+            .map(|probs| probs.iter().map(|p| argmax(p)).collect())
+            .collect()
+    }
+
     /// Predicts the per-timestep class labels for one sequence.
     pub fn predict(&self, features: &[Vec<f32>]) -> Vec<usize> {
         self.predict_proba(features)
             .iter()
             .map(|p| argmax(p))
             .collect()
+    }
+}
+
+/// Copies sequence `bi`'s rows (`t * batch + bi`, `t` ascending) out of a
+/// batch-major packed matrix into `out` (T x cols).
+fn extract_example_rows(packed: &Matrix, batch: usize, bi: usize, out: &mut Matrix) {
+    let t_len = packed.rows() / batch;
+    out.resize_zeroed(t_len, packed.cols());
+    for t in 0..t_len {
+        out.set_row(t, packed.row(t * batch + bi));
     }
 }
 
@@ -831,6 +1031,94 @@ mod tests {
                 testkit::prop::holds(pooled.head.b == reference.head.b, "head b differs")
             },
         );
+    }
+
+    #[test]
+    fn packed_batch_predict_matches_unpacked_reference_bitwise() {
+        use rand::Rng;
+        let mut cfg = SeqClassifierConfig::new(3, 7, 4);
+        cfg.epochs = 2;
+        cfg.seed = 0xbead;
+        let train: Vec<SeqExample> = (0..6)
+            .map(|i| {
+                let lab = i % 4;
+                SeqExample::new(vec![vec![lab as f32, 1.0, -0.5]; 4], vec![lab; 4])
+            })
+            .collect();
+        let mut clf = SequenceClassifier::new(cfg);
+        clf.fit(&train);
+        // Ragged length multisets: len-0 and len-1 sequences, duplicate
+        // lengths (bucket sizes > 1) and lengths straddling small-bucket
+        // boundaries all occur; the whole batch must agree with the
+        // per-sequence reference bit for bit.
+        let lens =
+            testkit::gen::vec_of(testkit::gen::choice(vec![0usize, 1, 2, 3, 5, 8, 9]), 1, 10);
+        testkit::check("seq_packed_predict_vs_reference", &lens, |lens| {
+            let mut rng = StdRng::seed_from_u64(
+                0x9acc_ee01
+                    ^ lens
+                        .iter()
+                        .fold(7u64, |a, &l| a.wrapping_mul(31) + l as u64),
+            );
+            let seqs: Vec<Vec<Vec<f32>>> = lens
+                .iter()
+                .map(|&l| {
+                    (0..l)
+                        .map(|_| (0..3).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+                        .collect()
+                })
+                .collect();
+            let refs: Vec<&[Vec<f32>]> = seqs.iter().map(|s| s.as_slice()).collect();
+            let packed = clf.predict_proba_batch(&refs);
+            for (i, seq) in seqs.iter().enumerate() {
+                let solo = clf.predict_proba_reference(seq);
+                testkit::prop::holds(
+                    packed[i] == solo,
+                    format!("sequence {i} (len {}) differs from reference", seq.len()),
+                )?;
+                testkit::prop::holds(
+                    clf.predict_proba(seq) == solo,
+                    format!("predict_proba for sequence {i} differs from reference"),
+                )?;
+            }
+            let labels = clf.predict_batch(&refs);
+            for (i, seq) in seqs.iter().enumerate() {
+                testkit::prop::holds(
+                    labels[i] == clf.predict(seq),
+                    format!("predict_batch labels differ for sequence {i}"),
+                )?;
+            }
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn fit_gates_parallelism_but_large_batches_stay_invariant() {
+        // A batch larger than MIN_PARALLEL_FIT_SEQS actually fans out; the
+        // result must still be bitwise identical to the serial run.
+        let data = quadrant_dataset(MIN_PARALLEL_FIT_SEQS + 8, 5, 23);
+        let mut cfg = SeqClassifierConfig::new(2, 6, 4);
+        cfg.epochs = 2;
+        cfg.batch_size = MIN_PARALLEL_FIT_SEQS + 8;
+        let run = |threads: usize| {
+            let cfg = cfg.clone();
+            let data = &data;
+            crate::par::with_threads(threads, move || {
+                let mut clf = SequenceClassifier::new(cfg);
+                clf.fit(data);
+                clf
+            })
+        };
+        let one = run(1);
+        let eight = run(8);
+        assert_eq!(one.history(), eight.history());
+        for (a, b) in one.layers.iter().zip(&eight.layers) {
+            assert_eq!(a.wx, b.wx);
+            assert_eq!(a.wh, b.wh);
+            assert_eq!(a.b, b.b);
+        }
+        assert_eq!(one.head.w, eight.head.w);
+        assert_eq!(one.head.b, eight.head.b);
     }
 
     #[test]

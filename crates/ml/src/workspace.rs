@@ -33,14 +33,6 @@ pub struct Workspace {
     pub(crate) layer_grads: Vec<LstmGrads>,
     /// Head parameter gradients (output of the pass).
     pub(crate) head_grads: DenseGrads,
-    /// Head logits, T x classes.
-    pub(crate) logits: Matrix,
-    /// Loss gradient on the logits, T x classes.
-    pub(crate) dlogits: Matrix,
-    /// Upstream hidden-state gradient being carried down the stack.
-    pub(crate) dh: Matrix,
-    /// Input gradient produced by the layer currently backpropagating.
-    pub(crate) dx: Matrix,
     /// Softmax probability scratch for one timestep.
     pub(crate) probs: Vec<f32>,
     /// Loss per unmasked timestep, in timestep order (output of the pass).
@@ -58,10 +50,6 @@ impl Workspace {
             scratch: LstmScratch::new(),
             layer_grads: (0..layer_count).map(|_| LstmGrads::empty()).collect(),
             head_grads: DenseGrads::empty(),
-            logits: Matrix::zeros(1, 1),
-            dlogits: Matrix::zeros(1, 1),
-            dh: Matrix::zeros(1, 1),
-            dx: Matrix::zeros(1, 1),
             probs: Vec::new(),
             losses: Vec::new(),
             correct: 0,
@@ -121,9 +109,130 @@ impl WorkspacePool {
     }
 }
 
+/// Buffers for one packed bucket of equal-length sequences in the batched
+/// training path: every tensor is batch-major, row `t * B + b` holding
+/// sequence `b`'s timestep `t`. One batch workspace serves buckets of any
+/// size and length because each pass fully overwrites what it reads, just
+/// like [`Workspace`].
+#[derive(Debug)]
+pub struct BatchWorkspace {
+    /// Packed input features, (T*B) x I.
+    pub(crate) xs: Matrix,
+    /// Per-layer packed forward caches.
+    pub(crate) caches: Vec<LstmCache>,
+    /// Shared temporaries for the batched LSTM kernels.
+    pub(crate) scratch: LstmScratch,
+    /// Packed head logits, (T*B) x classes.
+    pub(crate) logits: Matrix,
+    /// Packed loss gradient on the logits, (T*B) x classes.
+    pub(crate) dlogits: Matrix,
+    /// Packed upstream hidden-state gradient walking down the stack.
+    pub(crate) dh: Matrix,
+    /// Packed input gradient produced by the current layer.
+    pub(crate) dx: Matrix,
+    /// Packed gate deltas of the current layer, (T*B) x 4H.
+    pub(crate) da_packed: Matrix,
+    /// Per-example extraction buffers (reused serially across the bucket):
+    /// gate deltas (T x 4H), layer inputs (T x I) and hidden states (T x H)
+    /// of the example whose parameter gradients are being accumulated.
+    pub(crate) da_ex: Matrix,
+    pub(crate) x_ex: Matrix,
+    pub(crate) h_ex: Matrix,
+}
+
+impl BatchWorkspace {
+    /// A cold batch workspace for a stack of `layer_count` LSTM layers.
+    pub fn new(layer_count: usize) -> Self {
+        BatchWorkspace {
+            xs: Matrix::zeros(1, 1),
+            caches: (0..layer_count).map(|_| LstmCache::empty()).collect(),
+            scratch: LstmScratch::new(),
+            logits: Matrix::zeros(1, 1),
+            dlogits: Matrix::zeros(1, 1),
+            dh: Matrix::zeros(1, 1),
+            dx: Matrix::zeros(1, 1),
+            da_packed: Matrix::zeros(1, 1),
+            da_ex: Matrix::zeros(1, 1),
+            x_ex: Matrix::zeros(1, 1),
+            h_ex: Matrix::zeros(1, 1),
+        }
+    }
+
+    /// Number of LSTM layers this workspace is shaped for.
+    pub fn layer_count(&self) -> usize {
+        self.caches.len()
+    }
+}
+
+/// A free list of [`BatchWorkspace`]s shared by the bucket workers, same
+/// recycling discipline as [`WorkspacePool`].
+#[derive(Debug)]
+pub struct BatchWorkspacePool {
+    free: Mutex<Vec<BatchWorkspace>>,
+    layer_count: usize,
+}
+
+impl BatchWorkspacePool {
+    /// An empty pool for classifiers with `layer_count` LSTM layers.
+    pub fn new(layer_count: usize) -> Self {
+        BatchWorkspacePool {
+            free: Mutex::new(Vec::new()),
+            layer_count,
+        }
+    }
+
+    /// Pops a warm batch workspace, or builds a cold one when the pool is
+    /// empty.
+    pub fn acquire(&self) -> BatchWorkspace {
+        let ws = self
+            .free
+            .lock()
+            .expect("batch workspace pool poisoned")
+            .pop();
+        ws.unwrap_or_else(|| BatchWorkspace::new(self.layer_count))
+    }
+
+    /// Returns a batch workspace to the free list for reuse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workspace was shaped for a different layer count.
+    pub fn release(&self, ws: BatchWorkspace) {
+        assert_eq!(
+            ws.layer_count(),
+            self.layer_count,
+            "batch workspace layer count mismatch"
+        );
+        self.free
+            .lock()
+            .expect("batch workspace pool poisoned")
+            .push(ws);
+    }
+
+    /// Number of idle batch workspaces currently pooled.
+    pub fn idle(&self) -> usize {
+        self.free
+            .lock()
+            .expect("batch workspace pool poisoned")
+            .len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn batch_pool_recycles_workspaces() {
+        let pool = BatchWorkspacePool::new(1);
+        assert_eq!(pool.idle(), 0);
+        let a = pool.acquire();
+        assert_eq!(a.layer_count(), 1);
+        pool.release(a);
+        assert_eq!(pool.idle(), 1);
+        let _b = pool.acquire();
+        assert_eq!(pool.idle(), 0);
+    }
 
     #[test]
     fn pool_recycles_workspaces() {

@@ -21,6 +21,20 @@ pub fn input() -> InputSpec {
 /// the simulated GPU for profiling and attack alike ([`FaultPlan::none`] is
 /// the clean path).
 pub fn quick_pipeline(attack_seed: u64, faults: FaultPlan) -> AttackReport {
+    // 4 is the `LstmTrainConfig` default — this wrapper pins it so the
+    // golden reports cannot drift if that default ever changes.
+    quick_pipeline_batched(attack_seed, faults, 4)
+}
+
+/// [`quick_pipeline`] with an explicit minibatch size for every LSTM stage.
+/// Large values force multi-sequence buckets through `ml::seq`'s packed
+/// batch-training path, which the determinism tests pin across worker
+/// counts.
+pub fn quick_pipeline_batched(
+    attack_seed: u64,
+    faults: FaultPlan,
+    batch_size: usize,
+) -> AttackReport {
     let profiled: Vec<TrainingSession> = random_profiling_models(3, input(), 19)
         .into_iter()
         .map(|m| TrainingSession::new(m, TrainingConfig::new(48, 4)))
@@ -28,9 +42,12 @@ pub fn quick_pipeline(attack_seed: u64, faults: FaultPlan) -> AttackReport {
     let mut config = AttackConfig::default();
     config.op_lstm.epochs = 4;
     config.op_lstm.hidden = 24;
+    config.op_lstm.batch_size = batch_size;
     config.voting_lstm.epochs = 4;
+    config.voting_lstm.batch_size = batch_size;
     config.hp_lstm.epochs = 3;
     config.hp_lstm.hidden = 24;
+    config.hp_lstm.batch_size = batch_size;
     config.voting_iterations = 3;
     config.gpu = GpuConfig::gtx_1080_ti().with_faults(faults);
     let moscons = Moscons::profile(&profiled, config);

@@ -33,6 +33,25 @@ fn pipeline_is_thread_count_invariant() {
 }
 
 #[test]
+fn packed_batch_pipeline_is_thread_count_invariant() {
+    // A minibatch of 8 packs several equal-length profiling iterations into
+    // each fused bucket GEMM (`ml::seq`'s batched training path), instead of
+    // the mostly-singleton buckets the default minibatch of 4 produces at
+    // this scale. The 1-vs-8-worker bitwise equality must hold there too:
+    // bucket composition and worker count are both scheduling decisions, not
+    // arithmetic ones.
+    let run = || common::quick_pipeline_batched(99, FaultPlan::none(), 8);
+    let serial = ml::par::with_threads(1, run);
+    let parallel = ml::par::with_threads(8, run);
+    assert_eq!(
+        serial, parallel,
+        "packed batch training diverged across worker counts"
+    );
+    assert!(!serial.iterations.is_empty(), "no iterations recovered");
+    assert!(!serial.fused_classes.is_empty(), "no fused classes");
+}
+
+#[test]
 fn faulted_pipeline_is_deterministic_across_thread_counts() {
     let plan = FaultPlan::uniform(0.15, 7);
     let first = ml::par::with_threads(1, || quick_pipeline(99, plan));
