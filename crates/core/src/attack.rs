@@ -19,15 +19,35 @@ use serde::{Deserialize, Serialize};
 use crate::dataset::{fit_scaler, LabeledTrace};
 use crate::gap::{GapConfig, GapModel};
 use crate::hyperparams::{HpKind, HpModel};
-use crate::long_ops::{LongClass, LongOpModel, LstmTrainConfig};
+use crate::long_ops::{LongClass, LongOpModel, LstmTrainConfig, QuantizedLongOpModel};
 use crate::opseq::{
     collapse, forward_boundary, merge_predictions, parse_forward_layers_lenient, structure_string,
     RecoveredKind, RecoveredLayer,
 };
-use crate::other_ops::{OtherClass, OtherOpModel};
+use crate::other_ops::{OtherClass, OtherOpModel, QuantizedOtherOpModel};
 use crate::syntax::{correct, SyntaxConfig};
 use crate::trace::{collect_trace, CollectionConfig, RawTrace};
 use crate::voting::{VotingExample, VotingModel};
+use std::sync::OnceLock;
+
+/// Numeric precision of the `Mlong`/`Mop` group classification during
+/// extraction.
+///
+/// [`InferencePrecision::F32`] (the default) is the bitwise-pinned path all
+/// golden f32 reports use. [`InferencePrecision::Int8`] routes the two op
+/// classifiers through their post-training-quantized twins
+/// ([`ml::quant`]) for serving throughput, trading bitwise equality for
+/// ≥ 99% label agreement (pinned in the golden quantization report).
+/// Training, gap splitting, voting and the `Mhp` heads always stay f32 —
+/// the knob only changes which weights score the iteration group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InferencePrecision {
+    /// Full-precision inference (bitwise-deterministic, golden-pinned).
+    #[default]
+    F32,
+    /// Quantized int8 inference (deterministic, label-agreement-pinned).
+    Int8,
+}
 
 /// Full attack configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -95,6 +115,11 @@ pub struct Moscons {
     v_long: VotingModel,
     v_op: VotingModel,
     hp: Vec<HpModel>,
+    /// Lazily-built int8 twins of `m_long`/`m_op` for
+    /// [`InferencePrecision::Int8`]. Quantization is a pure function of the
+    /// trained weights, so each twin is built at most once per instance.
+    q_long: OnceLock<QuantizedLongOpModel>,
+    q_op: OnceLock<QuantizedOtherOpModel>,
 }
 
 /// The product of one extraction.
@@ -304,6 +329,8 @@ impl Moscons {
             v_long,
             v_op,
             hp,
+            q_long: OnceLock::new(),
+            q_op: OnceLock::new(),
         }
     }
 
@@ -350,12 +377,33 @@ impl Moscons {
         &self.v_op
     }
 
-    /// Runs the full extraction on a victim's sample stream.
+    /// The lazily-quantized int8 twin of `Mlong` (built on first use).
+    pub fn quantized_long_model(&self) -> &QuantizedLongOpModel {
+        self.q_long.get_or_init(|| self.m_long.quantize())
+    }
+
+    /// The lazily-quantized int8 twin of `Mop` (built on first use).
+    pub fn quantized_op_model(&self) -> &QuantizedOtherOpModel {
+        self.q_op.get_or_init(|| self.m_op.quantize())
+    }
+
+    /// Runs the full extraction on a victim's sample stream at the default
+    /// [`InferencePrecision::F32`] — the bitwise-pinned path every existing
+    /// caller and golden report goes through, untouched by the int8 knob.
     ///
     /// `features` is the attack-time CUPTI sample stream, already passed
     /// through [`crate::dataset::counter_features`] (as [`Moscons::attack`]
     /// does), in time order.
     pub fn extract(&self, features: &[Vec<f32>]) -> Extraction {
+        self.extract_with_precision(features, InferencePrecision::F32)
+    }
+
+    /// [`Moscons::extract`] with an explicit op-classifier precision.
+    pub fn extract_with_precision(
+        &self,
+        features: &[Vec<f32>],
+        precision: InferencePrecision,
+    ) -> Extraction {
         let iterations = self.gap.split_iterations(features, &self.scaler);
         if iterations.is_empty() {
             return Extraction {
@@ -378,15 +426,23 @@ impl Moscons {
         // the batch carries enough FLOPs (see [`ml::matrix`]). Bitwise
         // identical to classifying each iteration separately.
         let group_feats: Vec<&[Vec<f32>]> = group.iter().map(|r| &features[r.clone()]).collect();
-        let preds_long: Vec<Vec<usize>> = self
-            .m_long
-            .predict_batch(&group_feats, &self.scaler)
+        let (long_classes, op_classes) = match precision {
+            InferencePrecision::F32 => (
+                self.m_long.predict_batch(&group_feats, &self.scaler),
+                self.m_op.predict_batch(&group_feats, &self.scaler),
+            ),
+            InferencePrecision::Int8 => (
+                self.quantized_long_model()
+                    .predict_batch(&group_feats, &self.scaler),
+                self.quantized_op_model()
+                    .predict_batch(&group_feats, &self.scaler),
+            ),
+        };
+        let preds_long: Vec<Vec<usize>> = long_classes
             .into_iter()
             .map(|seq| seq.into_iter().map(LongClass::index).collect())
             .collect();
-        let preds_op: Vec<Vec<usize>> = self
-            .m_op
-            .predict_batch(&group_feats, &self.scaler)
+        let preds_op: Vec<Vec<usize>> = op_classes
             .into_iter()
             .map(|seq| seq.into_iter().map(OtherClass::index).collect())
             .collect();
@@ -497,9 +553,22 @@ impl Moscons {
         }
     }
 
-    /// Convenience: collect a victim trace and extract in one call.
+    /// Convenience: collect a victim trace and extract in one call (at the
+    /// default f32 precision).
     pub fn attack(&self, victim: &TrainingSession, seed: u64) -> (Extraction, RawTrace) {
         self.attack_on(victim, seed, &self.config.gpu)
+    }
+
+    /// [`Moscons::attack`] with an explicit op-classifier precision —
+    /// opt-in int8 serving for fleet-scale classification; f32 callers are
+    /// untouched.
+    pub fn attack_with_precision(
+        &self,
+        victim: &TrainingSession,
+        seed: u64,
+        precision: InferencePrecision,
+    ) -> (Extraction, RawTrace) {
+        self.attack_on_with_precision(victim, seed, &self.config.gpu, precision)
     }
 
     /// [`Moscons::attack`] against an explicit GPU configuration — the knob
@@ -512,8 +581,21 @@ impl Moscons {
         seed: u64,
         gpu: &gpu_sim::GpuConfig,
     ) -> (Extraction, RawTrace) {
+        self.attack_on_with_precision(victim, seed, gpu, InferencePrecision::F32)
+    }
+
+    /// [`Moscons::attack_on`] with an explicit op-classifier precision.
+    /// Trace collection (and therefore the content-addressed trace cache)
+    /// is precision-independent: only the classification differs.
+    pub fn attack_on_with_precision(
+        &self,
+        victim: &TrainingSession,
+        seed: u64,
+        gpu: &gpu_sim::GpuConfig,
+        precision: InferencePrecision,
+    ) -> (Extraction, RawTrace) {
         let raw = collect_trace(victim, &self.config.collection.with_seed(seed), gpu);
         let features = crate::cache::counter_feature_matrix(&raw);
-        (self.extract(&features), raw)
+        (self.extract_with_precision(&features, precision), raw)
     }
 }

@@ -60,14 +60,14 @@ pub mod syntax;
 pub mod trace;
 pub mod voting;
 
-pub use attack::{AttackConfig, Extraction, Moscons};
+pub use attack::{AttackConfig, Extraction, InferencePrecision, Moscons};
 pub use cache::{CacheMode, EXTRACTOR_VERSION, TRACE_SCHEMA_VERSION};
 pub use dataset::LabeledTrace;
 pub use gap::{GapConfig, GapModel};
 pub use hyperparams::{HpKind, HpModel};
-pub use long_ops::{LongClass, LongOpModel, LstmTrainConfig};
+pub use long_ops::{LongClass, LongOpModel, LstmTrainConfig, QuantizedLongOpModel};
 pub use opseq::{forward_boundary, parse_forward_layers_lenient, RecoveredKind, RecoveredLayer};
-pub use other_ops::{OtherClass, OtherOpModel};
+pub use other_ops::{OtherClass, OtherOpModel, QuantizedOtherOpModel};
 pub use profiling::{hp_sweep_variants, random_profiling_models};
 pub use report::{score_structure, AttackReport, StructureAccuracy};
 pub use slowdown::SlowdownConfig;

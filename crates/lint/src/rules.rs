@@ -1,4 +1,4 @@
-//! The determinism & simulator-invariant rule set (D1–D7).
+//! The determinism & simulator-invariant rule set (D1–D8).
 //!
 //! Every rule is a token-stream heuristic, not a type check — `leaky-lint`
 //! has no inference, so each rule is tuned to the workspace's idioms and
@@ -26,6 +26,12 @@
 //!   touches `par_map` results, outside the blessed reduction helpers.
 //!   Float addition is non-associative; only a serial fold in a fixed
 //!   order is reproducible.
+//! * **D8 `arch-confinement`** — `core::arch`/`std::arch`,
+//!   `is_x86_feature_detected!` and `_mm*`/`__m*` intrinsic identifiers
+//!   outside the allowlisted SIMD module. Scattered intrinsics make the
+//!   bitwise f32 contract unauditable; every explicit-lane kernel must
+//!   live behind `ml::simd`'s dispatch-and-fallback pairing so the
+//!   SIMD-off path stays provably equivalent.
 //!
 //! Any finding can be suppressed line-locally with `// lint: allow(Dn)`
 //! (same line or the line above); D2 additionally honours the semantic
@@ -80,6 +86,11 @@ pub const RULES: &[RuleDef] = &[
         id: "D7",
         name: "float-sum",
         check: d7_float_sum,
+    },
+    RuleDef {
+        id: "D8",
+        name: "arch-confinement",
+        check: d8_arch_confinement,
     },
 ];
 
@@ -504,6 +515,50 @@ fn d7_float_sum(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// D8: CPU-arch intrinsics outside the SIMD module
+// ---------------------------------------------------------------------------
+
+fn d8_arch_confinement(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    let toks = ctx.toks();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let text = t.text.as_str();
+        if text == "is_x86_feature_detected" {
+            out.push(Finding {
+                line: t.line,
+                message: "`is_x86_feature_detected!` outside the SIMD module; CPU-feature \
+                          dispatch must live in `ml::simd` next to its scalar fallback"
+                    .into(),
+            });
+            continue;
+        }
+        if (text == "core" || text == "std") && ctx.is_path_call(i, text, "arch") {
+            out.push(Finding {
+                line: t.line,
+                message: format!(
+                    "`{}::arch` outside the SIMD module; explicit-lane kernels are confined \
+                     to `ml::simd` so the bitwise f32 contract stays auditable",
+                    text
+                ),
+            });
+            continue;
+        }
+        if text.starts_with("_mm") || text.starts_with("__m") {
+            out.push(Finding {
+                line: t.line,
+                message: format!(
+                    "intrinsic identifier `{}` outside the SIMD module; wrap it in an \
+                     `ml::simd` kernel with a dispatch check and scalar fallback",
+                    text
+                ),
+            });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -606,6 +661,28 @@ mod tests {
         assert!(rules_hit("x.rs", src).is_empty());
         let unwaived = "let r = thread_rng();";
         assert_eq!(rules_hit("x.rs", unwaived), vec!["D4"]);
+    }
+
+    #[test]
+    fn d8_catches_arch_paths_macros_and_intrinsics() {
+        assert_eq!(
+            rules_hit("x.rs", "let ok = is_x86_feature_detected!(\"avx2\");"),
+            vec!["D8"]
+        );
+        assert_eq!(
+            rules_hit("x.rs", "use core::arch::x86_64::_mm256_add_ps;"),
+            vec!["D8"]
+        );
+        assert_eq!(
+            rules_hit("x.rs", "fn f(v: __m256i) { _mm256_setzero_si256(); }"),
+            vec!["D8"]
+        );
+        // `std::arch` spelled as a path fires too; unrelated idents do not.
+        assert_eq!(
+            rules_hit("x.rs", "let m = std::arch::breakpoint;"),
+            vec!["D8"]
+        );
+        assert!(rules_hit("x.rs", "let arch = \"x86_64\"; let march = arch;").is_empty());
     }
 
     #[test]

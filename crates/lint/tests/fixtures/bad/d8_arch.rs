@@ -1,0 +1,13 @@
+//! Bad: CPU-arch intrinsics scattered outside the SIMD module. Feature
+//! detection, `core::arch` imports and raw `_mm*` identifiers must all be
+//! confined to the allowlisted dispatch module.
+
+use core::arch::x86_64::_mm256_add_ps;
+
+pub fn has_avx2() -> bool {
+    is_x86_feature_detected!("avx2")
+}
+
+pub fn stray_kernel(a: core::arch::x86_64::__m256, b: core::arch::x86_64::__m256) {
+    let _ = _mm256_add_ps(a, b);
+}

@@ -1,0 +1,17 @@
+//! Good: arch intrinsics inside the allowlisted SIMD module
+//! (`rules.D8.allow` covers this file, mirroring how the workspace config
+//! allowlists `crates/ml/src/simd.rs`). The dispatch-and-fallback pairing
+//! keeps the scalar path provably equivalent.
+
+#[cfg(target_arch = "x86_64")]
+pub fn detect() -> bool {
+    std::arch::is_x86_feature_detected!("avx2")
+}
+
+pub fn dot_scalar(a: &[f32], b: &[f32]) -> f32 {
+    let mut acc = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        acc += x * y;
+    }
+    acc
+}

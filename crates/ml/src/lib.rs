@@ -16,6 +16,10 @@
 //! * [`optim`] — SGD / Adam / Adagrad and gradient clipping;
 //! * [`par`] — deterministic scoped worker pool used by the data-parallel
 //!   training and inference paths;
+//! * [`simd`] — explicit-lane AVX2 kernels behind runtime dispatch, bitwise
+//!   pinned to the scalar microkernel (the only `core::arch` user, lint D8);
+//! * [`quant`] — post-training int8 quantization and the
+//!   [`quant::QuantizedSequenceClassifier`] serving path;
 //! * [`workspace`] — pooled, reusable training buffers behind the
 //!   allocation-free epoch loop;
 //! * [`scale`] — MinMax scaling (§IV-A pre-processing);
@@ -43,8 +47,10 @@ pub mod matrix;
 pub mod metrics;
 pub mod optim;
 pub mod par;
+pub mod quant;
 pub mod scale;
 pub mod seq;
+pub mod simd;
 pub mod tree;
 pub mod workspace;
 
@@ -52,5 +58,6 @@ pub use data::SeqExample;
 pub use gbdt::{GbdtBinaryClassifier, GbdtConfig};
 pub use matrix::Matrix;
 pub use metrics::{accuracy, ConfusionMatrix, MeanStd};
+pub use quant::QuantizedSequenceClassifier;
 pub use scale::MinMaxScaler;
 pub use seq::{SeqClassifierConfig, SequenceClassifier};

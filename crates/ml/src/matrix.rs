@@ -537,7 +537,14 @@ const PAR_MIN_FLOPS: usize = 1 << 15;
 /// in flight together, never the per-element summation chain. Edge rows and
 /// columns that do not fill a tile fall back to scalar ascending-`k`
 /// accumulation into the zero-initialized `buf`.
+///
+/// Full tiles dispatch to [`crate::simd::gemm_tile_4x8`], which runs the
+/// same accumulation across AVX2 lanes when available — each of the
+/// [`TILE_N`] output columns is an independent ascending-`k` chain, so the
+/// vector path is bitwise identical to the scalar one (property-tested at
+/// lane-boundary shapes in this module).
 fn gemm_block(a: &[f32], k_dim: usize, b: &[f32], n: usize, r0: usize, buf: &mut [f32]) {
+    let use_simd = crate::simd::enabled();
     let rows = buf.len() / n;
     let mut di = 0;
     while di + TILE_M <= rows {
@@ -548,16 +555,7 @@ fn gemm_block(a: &[f32], k_dim: usize, b: &[f32], n: usize, r0: usize, buf: &mut
         let mut j = 0;
         while j + TILE_N <= n {
             let mut acc = [[0.0f32; TILE_N]; TILE_M];
-            for k in 0..k_dim {
-                let b_strip: &[f32; TILE_N] =
-                    b[k * n + j..k * n + j + TILE_N].try_into().expect("strip");
-                for (acc_row, a_row) in acc.iter_mut().zip(a_rows.iter()) {
-                    let av = a_row[k];
-                    for (o, &bv) in acc_row.iter_mut().zip(b_strip.iter()) {
-                        *o += av * bv;
-                    }
-                }
-            }
+            crate::simd::gemm_tile_4x8(&a_rows, b, n, j, k_dim, &mut acc, use_simd);
             for (t, acc_row) in acc.iter().enumerate() {
                 buf[(di + t) * n + j..(di + t) * n + j + TILE_N].copy_from_slice(acc_row);
             }
@@ -603,6 +601,7 @@ fn gemm_t_block(
     i0: usize,
     buf: &mut [f32],
 ) {
+    let use_simd = crate::simd::enabled();
     let rows = buf.len() / n;
     let mut di = 0;
     while di + TILE_M <= rows {
@@ -610,18 +609,7 @@ fn gemm_t_block(
         let mut j = 0;
         while j + TILE_N <= n {
             let mut acc = [[0.0f32; TILE_N]; TILE_M];
-            for k in 0..k_dim {
-                let a_strip: &[f32; TILE_M] = a[k * a_cols + i..k * a_cols + i + TILE_M]
-                    .try_into()
-                    .expect("strip");
-                let b_strip: &[f32; TILE_N] =
-                    b[k * n + j..k * n + j + TILE_N].try_into().expect("strip");
-                for (acc_row, &av) in acc.iter_mut().zip(a_strip.iter()) {
-                    for (o, &bv) in acc_row.iter_mut().zip(b_strip.iter()) {
-                        *o += av * bv;
-                    }
-                }
-            }
+            crate::simd::gemm_t_tile_4x8(a, a_cols, i, b, n, j, k_dim, &mut acc, use_simd);
             for (t, acc_row) in acc.iter().enumerate() {
                 buf[(di + t) * n + j..(di + t) * n + j + TILE_N].copy_from_slice(acc_row);
             }
@@ -821,6 +809,46 @@ mod tests {
                     t_fast == t_reference,
                     format!("microkernel t_matmul {m}x{k}x{n} @ {threads} threads"),
                 )?;
+            }
+            Ok(())
+        });
+    }
+
+    /// `k` values covering every residue class mod [`TILE_N`] — the SIMD
+    /// kernel's lane width — on both sides of one and two full lane strips.
+    fn lane_boundary_k() -> testkit::Gen<usize> {
+        testkit::gen::choice((1..=2 * TILE_N).chain([31, 40]).collect())
+    }
+
+    #[test]
+    fn simd_and_scalar_gemm_match_naive_bitwise_on_lane_boundary_shapes() {
+        // The tentpole contract: with the AVX2 lane kernel dispatched (when
+        // the host supports it) and with it forced off, every product is
+        // bitwise equal to the naive triple loop, for every k % 8 residue
+        // and at every worker count. On hosts without AVX2 both arms are
+        // the scalar path and the sweep degenerates to the PR 5 property.
+        let shape = testkit::gen::zip3(tile_boundary_dim(), lane_boundary_k(), tile_boundary_dim());
+        testkit::check("gemm_simd_lane_boundaries", &shape, |&(m, k, n)| {
+            let mut rng = shape_rng(0x51d0, (m, k, n));
+            let a = Matrix::uniform(m, k, 1.0, &mut rng);
+            let b = Matrix::uniform(k, n, 1.0, &mut rng);
+            let reference = a.matmul_naive(&b);
+            let at = Matrix::uniform(k, m, 1.0, &mut rng);
+            let t_reference = at.t_matmul_naive(&b);
+            for simd in [false, true] {
+                for threads in [1usize, 2, 8] {
+                    let (fast, t_fast) = crate::simd::with_simd(simd, || {
+                        crate::par::with_threads(threads, || (a.matmul(&b), at.t_matmul(&b)))
+                    });
+                    testkit::prop::holds(
+                        fast == reference,
+                        format!("matmul {m}x{k}x{n} @ {threads} threads, simd={simd}"),
+                    )?;
+                    testkit::prop::holds(
+                        t_fast == t_reference,
+                        format!("t_matmul {m}x{k}x{n} @ {threads} threads, simd={simd}"),
+                    )?;
+                }
             }
             Ok(())
         });

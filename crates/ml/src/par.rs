@@ -69,14 +69,23 @@ pub fn threads() -> usize {
     let hw = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    if let Ok(v) = std::env::var("LEAKY_DNN_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n > 0 {
-                return n.min(hw);
-            }
-        }
+    match std::env::var("LEAKY_DNN_THREADS") {
+        Ok(v) => resolve_env_threads(&v, hw).unwrap_or(hw),
+        Err(_) => hw,
     }
-    hw
+}
+
+/// Parses a `LEAKY_DNN_THREADS` value against the detected hardware
+/// parallelism `hw`. Returns `None` for unparseable or zero values (callers
+/// fall back to `hw`); positive values are capped at `hw` — the env var
+/// tunes real machines, so oversubscription is never useful there, unlike
+/// the uncapped [`set_threads`] / [`with_threads`] overrides tests use to
+/// force multi-worker paths on small boxes (see the module docs).
+fn resolve_env_threads(val: &str, hw: usize) -> Option<usize> {
+    match val.trim().parse::<usize>() {
+        Ok(n) if n > 0 => Some(n.min(hw)),
+        _ => None,
+    }
 }
 
 /// Installs a process-wide thread-count override (0 clears it, falling back
@@ -272,6 +281,28 @@ mod tests {
         });
         let expect: Vec<usize> = (0..8).map(|i| (0..10).map(|j| i * 10 + j).sum()).collect();
         assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn env_thread_requests_are_capped_at_hardware_parallelism() {
+        assert_eq!(resolve_env_threads("16", 4), Some(4));
+        assert_eq!(resolve_env_threads("64", 1), Some(1));
+    }
+
+    #[test]
+    fn env_thread_requests_below_the_cap_pass_through() {
+        assert_eq!(resolve_env_threads("2", 8), Some(2));
+        assert_eq!(resolve_env_threads(" 3 ", 4), Some(3));
+        assert_eq!(resolve_env_threads("8", 8), Some(8));
+    }
+
+    #[test]
+    fn zero_or_garbage_env_threads_fall_back() {
+        assert_eq!(resolve_env_threads("0", 4), None);
+        assert_eq!(resolve_env_threads("", 4), None);
+        assert_eq!(resolve_env_threads("lots", 4), None);
+        assert_eq!(resolve_env_threads("-2", 4), None);
+        assert_eq!(resolve_env_threads("3.5", 4), None);
     }
 
     #[test]

@@ -153,6 +153,18 @@ impl SequenceClassifier {
         &self.config
     }
 
+    /// The trained LSTM stack (crate-internal: the [`crate::quant`]
+    /// post-training pass reads the weights to build its int8 twin).
+    pub(crate) fn layers(&self) -> &[LstmLayer] {
+        &self.layers
+    }
+
+    /// The trained classification head (crate-internal, see
+    /// [`SequenceClassifier::layers`]).
+    pub(crate) fn head(&self) -> &Dense {
+        &self.head
+    }
+
     /// Per-epoch loss/accuracy recorded by the last `fit` call.
     pub fn history(&self) -> &[EpochStats] {
         &self.history
@@ -753,6 +765,43 @@ impl SequenceClassifier {
             .collect()
     }
 
+    /// Fully scalar per-sequence inference: walks [`LstmLayer::forward_naive`]
+    /// — per-gate horizontal dot products, no fused GEMM, no batching —
+    /// through the stack. This is the serving benchmark's "f32-scalar"
+    /// baseline (the per-label cost before any of the batching/tiling/SIMD
+    /// work), and one more bitwise anchor: it must agree with
+    /// [`SequenceClassifier::predict_proba`] exactly, because the fused
+    /// paths preserve per-element summation order (property-tested).
+    pub fn predict_proba_naive(&self, features: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        if features.is_empty() {
+            return Vec::new();
+        }
+        assert_eq!(
+            features[0].len(),
+            self.config.input_size,
+            "feature width mismatch"
+        );
+        let mut cur = Self::features_to_matrix(features);
+        for layer in &self.layers {
+            cur = layer.forward_naive(&cur).h;
+        }
+        let mut probs = Vec::with_capacity(cur.rows());
+        for t in 0..cur.rows() {
+            let logits = self.head.forward_one(cur.row(t));
+            probs.push(crate::activation::softmax(&logits));
+        }
+        probs
+    }
+
+    /// Per-timestep labels via the fully scalar walk (argmax of
+    /// [`SequenceClassifier::predict_proba_naive`]).
+    pub fn predict_naive(&self, features: &[Vec<f32>]) -> Vec<usize> {
+        self.predict_proba_naive(features)
+            .iter()
+            .map(|p| argmax(p))
+            .collect()
+    }
+
     /// Predicts per-timestep class probabilities for many sequences at once.
     ///
     /// Sequences are bucketed by exact length (a `BTreeMap`, so bucket order
@@ -1079,6 +1128,10 @@ mod tests {
                 testkit::prop::holds(
                     clf.predict_proba(seq) == solo,
                     format!("predict_proba for sequence {i} differs from reference"),
+                )?;
+                testkit::prop::holds(
+                    clf.predict_proba_naive(seq) == solo,
+                    format!("predict_proba_naive for sequence {i} differs from reference"),
                 )?;
             }
             let labels = clf.predict_batch(&refs);

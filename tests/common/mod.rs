@@ -3,6 +3,11 @@
 //! report. Scaled down far enough to run in tier-1 CI while still exercising
 //! every pipeline stage.
 
+// Each test binary compiles its own copy of this module and none uses every
+// helper, so per-binary dead-code analysis would flag whichever subset that
+// binary skips.
+#![allow(dead_code)]
+
 use dnn_sim::{Activation, InputSpec, Layer, Model, Optimizer, TrainingConfig, TrainingSession};
 use gpu_sim::{FaultPlan, GpuConfig};
 use moscons::attack::{AttackConfig, Moscons};
@@ -35,6 +40,15 @@ pub fn quick_pipeline_batched(
     faults: FaultPlan,
     batch_size: usize,
 ) -> AttackReport {
+    let (moscons, victim) = quick_attack_setup(faults, batch_size);
+    let (extraction, _raw) = moscons.attack(&victim, attack_seed);
+    extraction.report()
+}
+
+/// The profiled attacker plus the fixed smoke-scale victim, without running
+/// the attack — for tests that want to attack the same pair more than once
+/// (e.g. at both inference precisions).
+pub fn quick_attack_setup(faults: FaultPlan, batch_size: usize) -> (Moscons, TrainingSession) {
     let profiled: Vec<TrainingSession> = random_profiling_models(3, input(), 19)
         .into_iter()
         .map(|m| TrainingSession::new(m, TrainingConfig::new(48, 4)))
@@ -62,6 +76,5 @@ pub fn quick_pipeline_batched(
         Optimizer::Gd,
     );
     let victim = TrainingSession::new(victim_model, TrainingConfig::new(48, 4));
-    let (extraction, _raw) = moscons.attack(&victim, attack_seed);
-    extraction.report()
+    (moscons, victim)
 }

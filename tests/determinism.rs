@@ -104,6 +104,49 @@ fn cache_modes_agree_bitwise() {
 }
 
 #[test]
+fn quantization_is_worker_count_invariant_and_simd_agnostic() {
+    use ml::{QuantizedSequenceClassifier, SeqClassifierConfig, SeqExample, SequenceClassifier};
+
+    // A small classifier trained on a separable toy task; training itself is
+    // thread-count invariant (ml's own tests pin that), so one trained model
+    // serves every comparison below.
+    let mut cfg = SeqClassifierConfig::new(2, 16, 2);
+    cfg.epochs = 10;
+    cfg.seed = 77;
+    let data: Vec<SeqExample> = (0..12)
+        .map(|i| {
+            let lab = i % 2;
+            let mut f = vec![0.0, 0.0];
+            f[lab] = 1.0;
+            SeqExample::new(vec![f; 6], vec![lab; 6])
+        })
+        .collect();
+    let mut clf = SequenceClassifier::new(cfg);
+    clf.fit(&data);
+
+    // Quantization is a pure function of the f32 weights: the int8 twins
+    // produced under 1-worker and 8-worker pools must be identical down to
+    // every i8 value and f32 scale (derived PartialEq).
+    let q1 = ml::par::with_threads(1, || QuantizedSequenceClassifier::from_f32(&clf));
+    let q8 = ml::par::with_threads(8, || QuantizedSequenceClassifier::from_f32(&clf));
+    assert_eq!(q1, q8, "quantized weights diverged across worker counts");
+
+    let seqs: Vec<&[Vec<f32>]> = data.iter().map(|e| e.features.as_slice()).collect();
+    let labels1 = ml::par::with_threads(1, || q1.predict_batch(&seqs));
+    let labels8 = ml::par::with_threads(8, || q8.predict_batch(&seqs));
+    assert_eq!(
+        labels1, labels8,
+        "int8 labels diverged across worker counts"
+    );
+
+    // Integer accumulation is order-free, so the scalar and AVX2 int8
+    // kernels agree exactly — the SIMD dispatch must never change a label.
+    let scalar = ml::simd::with_simd(false, || q1.predict_batch(&seqs));
+    let auto = ml::simd::with_simd(true, || q1.predict_batch(&seqs));
+    assert_eq!(scalar, auto, "int8 labels depend on the SIMD dispatch");
+}
+
+#[test]
 fn report_serializes_to_json() {
     let report = ml::par::with_threads(1, run_pipeline);
     let json = serde_json::to_string(&report).expect("report serializes");

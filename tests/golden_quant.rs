@@ -1,0 +1,100 @@
+//! Golden snapshot of the int8 serving path's agreement with the
+//! bitwise-pinned f32 pipeline, at quick scale.
+//!
+//! Quantization is lossy by design, so unlike `tests/golden_report.rs` this
+//! does not demand bitwise equality between precisions — it pins the exact
+//! agreement metrics (the int8 path itself is fully deterministic, see
+//! `tests/determinism.rs`) and enforces the serving contract floor: fused
+//! per-sample labels must agree with f32 on at least 99% of positions.
+//!
+//! To accept an intentional change, bless the snapshot:
+//!
+//! ```text
+//! LEAKY_GOLDEN_BLESS=1 cargo test --test golden_quant
+//! ```
+//!
+//! and commit the rewritten file under `tests/golden/`.
+
+mod common;
+
+use common::quick_attack_setup;
+use gpu_sim::FaultPlan;
+use moscons::InferencePrecision;
+use serde::Serialize;
+use std::path::PathBuf;
+
+const ATTACK_SEED: u64 = 99;
+const MIN_FUSED_AGREEMENT: f64 = 0.99;
+
+/// The pinned agreement metrics between the f32 and int8 extractions.
+#[derive(Serialize)]
+struct QuantReport {
+    attack_seed: u64,
+    total_samples: usize,
+    /// Fraction of fused (post-voting) per-sample labels that agree.
+    fused_agreement: f64,
+    /// Fraction of pre-voting per-sample labels that agree.
+    pre_voting_agreement: f64,
+    structure_f32: String,
+    structure_int8: String,
+    structures_match: bool,
+}
+
+fn agreement<T: PartialEq>(a: &[T], b: &[T]) -> f64 {
+    assert_eq!(a.len(), b.len(), "precision paths saw different timelines");
+    if a.is_empty() {
+        return 1.0;
+    }
+    let same = a.iter().zip(b).filter(|(x, y)| x == y).count();
+    same as f64 / a.len() as f64
+}
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/quant_agreement.json")
+}
+
+#[test]
+fn int8_extraction_agrees_with_f32_and_matches_golden_snapshot() {
+    let (moscons, victim) = quick_attack_setup(FaultPlan::none(), 4);
+    let (f32_ex, _) = moscons.attack(&victim, ATTACK_SEED);
+    let (int8_ex, _) =
+        moscons.attack_with_precision(&victim, ATTACK_SEED, InferencePrecision::Int8);
+
+    let report = QuantReport {
+        attack_seed: ATTACK_SEED,
+        total_samples: f32_ex.fused_classes.len(),
+        fused_agreement: agreement(&f32_ex.fused_classes, &int8_ex.fused_classes),
+        pre_voting_agreement: agreement(&f32_ex.pre_voting_classes, &int8_ex.pre_voting_classes),
+        structure_f32: f32_ex.structure.clone(),
+        structure_int8: int8_ex.structure.clone(),
+        structures_match: f32_ex.structure == int8_ex.structure,
+    };
+    assert!(
+        report.fused_agreement >= MIN_FUSED_AGREEMENT,
+        "int8 fused labels agree with f32 on only {:.4} of {} samples (contract floor {})",
+        report.fused_agreement,
+        report.total_samples,
+        MIN_FUSED_AGREEMENT
+    );
+
+    let actual = serde_json::to_string_pretty(&report).expect("report serializes");
+    let path = golden_path();
+    if std::env::var("LEAKY_GOLDEN_BLESS").is_ok_and(|v| v == "1") {
+        std::fs::create_dir_all(path.parent().unwrap()).expect("golden dir");
+        std::fs::write(&path, actual + "\n").expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); run with LEAKY_GOLDEN_BLESS=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected.trim_end(),
+        actual,
+        "quantization agreement report drifted from {}; if intentional, re-bless with \
+         LEAKY_GOLDEN_BLESS=1 and commit the diff",
+        path.display()
+    );
+}
