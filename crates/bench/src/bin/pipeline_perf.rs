@@ -141,15 +141,26 @@ fn main() {
     };
 
     let (c1, p1, e1, report_serial) = run(1);
-    let (cn, pn, en, report_parallel) = run(threads);
-    assert_eq!(
-        report_serial, report_parallel,
-        "determinism violation: N-thread extraction diverged from serial"
-    );
-    println!(
-        "determinism check passed: 1-thread and {}-thread reports identical",
-        threads
-    );
+    // With a single pool worker the "N-thread" pass is the serial path
+    // again; timing it separately only measures noise (a second serial run
+    // can easily come out a few percent slower and print a bogus <1.0x
+    // "regression"). Reuse the serial timings so speedup is exactly 1.0,
+    // and still record the honest `cores`/`threads` in the JSON.
+    let (cn, pn, en) = if threads <= 1 {
+        println!("single pool worker: skipping duplicate serial pass (speedup := 1.0)");
+        (c1, p1, e1)
+    } else {
+        let (cn, pn, en, report_parallel) = run(threads);
+        assert_eq!(
+            report_serial, report_parallel,
+            "determinism violation: N-thread extraction diverged from serial"
+        );
+        println!(
+            "determinism check passed: 1-thread and {}-thread reports identical",
+            threads
+        );
+        (cn, pn, en)
+    };
 
     for (stage, s1, sn) in [
         ("collect_traces", c1, cn),

@@ -277,7 +277,12 @@ impl Moscons {
         // enough work to amortize a spawn. Every individual training is
         // bitwise thread-count invariant and `par_map` returns results in
         // task order, so the fan-out is bitwise identical to the serial
-        // sequence.
+        // sequence. The five `Mhp` heads go first: they are the oversized
+        // tasks of the seven (wider LSTM over full iteration sequences vs.
+        // the voting models' short label windows), and `par_map`'s dynamic
+        // pickup hands out tasks in list order — scheduling the heavy ones
+        // first keeps the tail of the fan-out from serializing behind one
+        // straggler Mhp head that was picked up last.
         #[derive(Clone, Copy)]
         enum TailTask {
             VotingLong,
@@ -288,9 +293,10 @@ impl Moscons {
             Voting(VotingModel),
             Hp(HpModel),
         }
-        let tasks: Vec<TailTask> = [TailTask::VotingLong, TailTask::VotingOp]
+        let tasks: Vec<TailTask> = HpKind::ALL
             .into_iter()
-            .chain(HpKind::ALL.into_iter().map(TailTask::Hp))
+            .map(TailTask::Hp)
+            .chain([TailTask::VotingLong, TailTask::VotingOp])
             .collect();
         let mut tail = ml::par::par_map(&tasks, |_, &task| match task {
             TailTask::VotingLong => TailModel::Voting(VotingModel::train(
@@ -307,18 +313,20 @@ impl Moscons {
             }
         })
         .into_iter();
-        let Some(TailModel::Voting(v_long)) = tail.next() else {
-            unreachable!("task 0 trains Vlong")
-        };
-        let Some(TailModel::Voting(v_op)) = tail.next() else {
-            unreachable!("task 1 trains Vop")
-        };
         let hp: Vec<HpModel> = tail
+            .by_ref()
+            .take(HpKind::ALL.len())
             .map(|t| match t {
                 TailModel::Hp(h) => h,
-                TailModel::Voting(_) => unreachable!("tasks 2.. train Mhp heads"),
+                TailModel::Voting(_) => unreachable!("tasks 0..5 train Mhp heads"),
             })
             .collect();
+        let Some(TailModel::Voting(v_long)) = tail.next() else {
+            unreachable!("task 5 trains Vlong")
+        };
+        let Some(TailModel::Voting(v_op)) = tail.next() else {
+            unreachable!("task 6 trains Vop")
+        };
 
         Moscons {
             config,
@@ -406,16 +414,7 @@ impl Moscons {
     ) -> Extraction {
         let iterations = self.gap.split_iterations(features, &self.scaler);
         if iterations.is_empty() {
-            return Extraction {
-                layers: Vec::new(),
-                optimizer: None,
-                structure: structure_string(&[], None),
-                iterations,
-                fused_classes: Vec::new(),
-                pre_voting_classes: Vec::new(),
-                majority_classes: Vec::new(),
-                syntax_edits: 0,
-            };
+            return Self::empty_extraction(iterations);
         }
         let n = self.config.voting_iterations.min(iterations.len());
         let group = &iterations[..n];
@@ -447,27 +446,91 @@ impl Moscons {
             .map(|seq| seq.into_iter().map(OtherClass::index).collect())
             .collect();
 
+        // Hyper-parameters on the base iteration's feature stream.
+        let base = &iterations[0];
+        let base_feats = &features[base.clone()];
+        let hp_preds: Vec<Vec<usize>> = ml::par::par_map_if_work(
+            base_feats.len(),
+            MIN_PARALLEL_EXTRACT_ROWS,
+            &self.hp,
+            |_, h| h.predict(base_feats, &self.scaler),
+        );
+
+        self.assemble_extraction(iterations, &preds_long, &preds_op, &hp_preds)
+    }
+
+    /// The empty-stream extraction (`Mgap` found no valid iterations).
+    pub(crate) fn empty_extraction(iterations: Vec<std::ops::Range<usize>>) -> Extraction {
+        Extraction {
+            layers: Vec::new(),
+            optimizer: None,
+            structure: structure_string(&[], None),
+            iterations,
+            fused_classes: Vec::new(),
+            pre_voting_classes: Vec::new(),
+            majority_classes: Vec::new(),
+            syntax_edits: 0,
+        }
+    }
+
+    /// Assembles the final [`Extraction`] from already-computed per-iteration
+    /// labels: voting fusion, OpSeq collapse/parse, hyper-parameter
+    /// attachment, optimizer vote and syntax correction.
+    ///
+    /// This is the pure back half of [`Moscons::extract_with_precision`] —
+    /// it looks only at labels and lengths, never at features — shared
+    /// verbatim with the streaming engine ([`crate::stream::AttackStream`]),
+    /// which is what reduces the streaming-vs-batch golden proof to label
+    /// equality.
+    ///
+    /// `iterations` are the valid iteration ranges, `preds_long`/`preds_op`
+    /// the per-iteration label sequences of the first
+    /// `voting_iterations.min(len)` of them, and `hp_preds` the five `Mhp`
+    /// head outputs over the base (first) iteration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iterations` is non-empty but the label groups are empty
+    /// or inconsistent with it.
+    pub(crate) fn assemble_extraction(
+        &self,
+        iterations: Vec<std::ops::Range<usize>>,
+        preds_long: &[Vec<usize>],
+        preds_op: &[Vec<usize>],
+        hp_preds: &[Vec<usize>],
+    ) -> Extraction {
+        if iterations.is_empty() {
+            return Self::empty_extraction(iterations);
+        }
+        let base_len = iterations[0].len();
+        assert_eq!(preds_long.len(), preds_op.len(), "one group per model");
+        assert_eq!(hp_preds.len(), self.hp.len(), "one stream per Mhp head");
+        assert!(
+            hp_preds.iter().all(|p| p.len() == base_len),
+            "Mhp labels must cover the base iteration"
+        );
+
         // Voting on the base timeline.
         let fused_long: Vec<LongClass> = self
             .v_long
-            .fuse(&preds_long)
+            .fuse(preds_long)
             .into_iter()
             .map(LongClass::from_index)
             .collect();
         let fused_op: Vec<OtherClass> = self
             .v_op
-            .fuse(&preds_op)
+            .fuse(preds_op)
             .into_iter()
             .map(OtherClass::from_index)
             .collect();
         let fused = merge_predictions(&fused_long, &fused_op);
 
         let majority = merge_predictions(
-            &crate::voting::majority_vote(&preds_long, 4)
+            &crate::voting::majority_vote(preds_long, 4)
                 .into_iter()
                 .map(LongClass::from_index)
                 .collect::<Vec<_>>(),
-            &crate::voting::majority_vote(&preds_op, 6)
+            &crate::voting::majority_vote(preds_op, 6)
                 .into_iter()
                 .map(OtherClass::from_index)
                 .collect::<Vec<_>>(),
@@ -489,18 +552,9 @@ impl Moscons {
         let boundary = forward_boundary(&fused);
         let mut layers = parse_forward_layers_lenient(&runs, boundary);
 
-        // Hyper-parameters at each layer's last forward sample, on the base
-        // iteration's feature stream.
-        let base = &iterations[0];
-        let base_feats = &features[base.clone()];
-        let hp_preds: Vec<Vec<usize>> = ml::par::par_map_if_work(
-            base_feats.len(),
-            MIN_PARALLEL_EXTRACT_ROWS,
-            &self.hp,
-            |_, h| h.predict(base_feats, &self.scaler),
-        );
+        // Hyper-parameters at each layer's last forward sample.
         for layer in layers.iter_mut() {
-            let pos = layer.last_sample.min(base_feats.len().saturating_sub(1));
+            let pos = layer.last_sample.min(base_len.saturating_sub(1));
             match layer.kind {
                 RecoveredKind::Conv => {
                     layer.filters = Some(HpKind::Filters.decode(hp_preds[0][pos]));
@@ -521,12 +575,12 @@ impl Moscons {
                 .iter()
                 .enumerate()
                 .filter(|(_, &c)| c == OpClass::Optimizer)
-                .map(|(i, _)| i.min(base_feats.len().saturating_sub(1)))
+                .map(|(i, _)| i.min(base_len.saturating_sub(1)))
                 .collect();
             let positions: Vec<usize> = if opt_positions.is_empty() {
                 // Fallback: the last 10% of the iteration.
-                let start = base_feats.len().saturating_sub(base_feats.len() / 10 + 1);
-                (start..base_feats.len()).collect()
+                let start = base_len.saturating_sub(base_len / 10 + 1);
+                (start..base_len).collect()
             } else {
                 opt_positions
             };

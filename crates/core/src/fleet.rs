@@ -1,0 +1,414 @@
+//! Fleet orchestrator: N concurrent spy sessions multiplexed over the
+//! worker pool.
+//!
+//! Each [`SessionSpec`] gets its own seeded [`crate::trace::SpySession`]
+//! (one simulated GPU + victim each, with a per-session
+//! [`gpu_sim::FaultPlan`] riding in its [`GpuConfig`]) and a
+//! **fixed-capacity ring buffer** (`VecDeque`) of feature rows between the
+//! ingestion stage and the classification stage. The orchestrator runs
+//! deterministic lockstep rounds:
+//!
+//! 1. **poll** — every live session advances its engine by a fixed step
+//!    budget and drains newly attributable CUPTI samples
+//!    ([`ml::par::par_map_mut`]: sessions are mutually independent, so the
+//!    fan-out is bitwise identical to a serial sweep at any worker count);
+//! 2. **ingest** — samples become feature rows and enter the session's
+//!    bounded queue. Back-pressure is explicit: [`OverflowPolicy::Stall`]
+//!    pauses a session's polling while its queue is full (lossless — the
+//!    agreement-bench mode), [`OverflowPolicy::DropOldest`] evicts the
+//!    oldest undrained rows onto a *counted* overflow path. Memory is
+//!    bounded either way;
+//! 3. **classify** — each session drains at most `drain_per_round` rows.
+//!    At [`InferencePrecision::F32`] the rows feed the session's own
+//!    [`crate::stream::AttackStream`] (stateful streaming LSTMs, labels
+//!    with bounded latency, final extraction bitwise equal to the batch
+//!    attack). At [`InferencePrecision::Int8`] rows feed a
+//!    [`crate::stream::GapStream`] only; segments that close in a round
+//!    are batched **across sessions** into one quantized
+//!    `predict_batch` call per op model (the int8 serving path), and each
+//!    session's final report is the ordinary batch
+//!    [`Moscons::extract_with_precision`] at int8 — exactly the semantics
+//!    of [`Moscons::attack_with_precision`].
+//!
+//! Determinism: rounds are a pure function of the specs and the config —
+//! worker count, scheduling and session completion order never feed back
+//! into any session's inputs (see `tests/determinism.rs`).
+
+use std::collections::VecDeque;
+use std::ops::Range;
+
+use cupti_sim::CuptiSample;
+use dnn_sim::TrainingSession;
+use gpu_sim::GpuConfig;
+
+use crate::attack::{Extraction, InferencePrecision, Moscons};
+use crate::dataset::counter_features;
+use crate::stream::{AttackStream, GapStream, SplitEvent};
+use crate::trace::SpySession;
+
+/// What happens when a session's queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverflowPolicy {
+    /// Pause the session's polling until the consumer catches up. Lossless:
+    /// every sample reaches the classifier, so the streamed extraction
+    /// stays bitwise equal to the batch attack.
+    Stall,
+    /// Keep polling; evict the oldest undrained rows and count them in
+    /// [`SessionOutcome::overflow_dropped`]. Lossy but never unbounded.
+    DropOldest,
+}
+
+/// Fleet sizing and scheduling knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetConfig {
+    /// Ring-buffer capacity (feature rows) per session. Polling may
+    /// momentarily overshoot by one poll's yield under
+    /// [`OverflowPolicy::Stall`]; eviction keeps the queue at capacity
+    /// under [`OverflowPolicy::DropOldest`].
+    pub queue_capacity: usize,
+    /// Back-pressure policy for full queues.
+    pub overflow: OverflowPolicy,
+    /// Op-classifier precision (see module docs for how the two modes
+    /// differ structurally).
+    pub precision: InferencePrecision,
+    /// Engine events each live session advances per poll round.
+    pub poll_steps: usize,
+    /// Maximum rows a session drains from its queue per classify round.
+    pub drain_per_round: usize,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            queue_capacity: 256,
+            overflow: OverflowPolicy::Stall,
+            precision: InferencePrecision::F32,
+            poll_steps: 256,
+            drain_per_round: 64,
+        }
+    }
+}
+
+/// One victim to attack: seed and GPU (faults included) are per-session.
+#[derive(Debug, Clone)]
+pub struct SessionSpec {
+    /// The victim's training session.
+    pub victim: TrainingSession,
+    /// Collection seed (same meaning as [`Moscons::attack`]'s `seed`).
+    pub seed: u64,
+    /// Simulated GPU for this session, carrying its
+    /// [`gpu_sim::FaultPlan`].
+    pub gpu: GpuConfig,
+}
+
+/// Per-session result of a fleet run.
+#[derive(Debug)]
+pub struct SessionOutcome {
+    /// The extraction. F32: bitwise equal to
+    /// [`Moscons::attack_on`] on the same victim/seed/GPU (when lossless).
+    /// Int8: [`Moscons::extract_with_precision`] at int8 over the streamed
+    /// rows.
+    pub extraction: Extraction,
+    /// Label emission latency, in samples, for every streamed label
+    /// (distance between a sample entering the classifier and its label
+    /// coming out).
+    pub label_latencies: Vec<usize>,
+    /// Rows evicted by [`OverflowPolicy::DropOldest`] (always 0 under
+    /// [`OverflowPolicy::Stall`]).
+    pub overflow_dropped: usize,
+    /// CUPTI samples the session streamed in total.
+    pub samples_streamed: usize,
+}
+
+impl SessionOutcome {
+    /// Number of streamed labels the session emitted.
+    pub fn labels_emitted(&self) -> usize {
+        self.label_latencies.len()
+    }
+}
+
+/// The whole fleet's result.
+#[derive(Debug)]
+pub struct FleetOutcome {
+    /// One outcome per input spec, in spec order.
+    pub sessions: Vec<SessionOutcome>,
+    /// Lockstep rounds the fleet ran.
+    pub rounds: usize,
+}
+
+/// Mode-specific classification state of one session.
+#[derive(Debug)]
+enum Engine<'a> {
+    /// Full streaming attack path (gap + stateful LSTMs). Boxed: the
+    /// stream (7 classifier states + buffers) dwarfs the int8 variant.
+    F32 {
+        stream: Option<Box<AttackStream<'a>>>,
+    },
+    /// Incremental gap detection only; classification happens
+    /// cross-session on closed segments, raw rows retained for the final
+    /// batch-semantics report.
+    Int8 {
+        gap: GapStream<'a>,
+        features: Vec<Vec<f32>>,
+        events: Vec<SplitEvent>,
+    },
+}
+
+#[derive(Debug)]
+struct SessionState<'a> {
+    moscons: &'a Moscons,
+    /// `Some` until the run (incl. the trailing-gap tail) has been drained.
+    spy: Option<SpySession>,
+    queue: VecDeque<Vec<f32>>,
+    /// Rows drained into the classification engine so far.
+    processed: usize,
+    overflow_dropped: usize,
+    samples_streamed: usize,
+    engine: Engine<'a>,
+    label_latencies: Vec<usize>,
+    extraction: Option<Extraction>,
+    finalized: bool,
+}
+
+impl<'a> SessionState<'a> {
+    fn start(moscons: &'a Moscons, spec: &SessionSpec, config: &FleetConfig) -> Self {
+        let collection = moscons.config().collection.with_seed(spec.seed);
+        let spy = SpySession::start(&spec.victim, &collection, &spec.gpu);
+        let engine = match config.precision {
+            InferencePrecision::F32 => Engine::F32 {
+                stream: Some(Box::new(AttackStream::new(moscons))),
+            },
+            InferencePrecision::Int8 => Engine::Int8 {
+                gap: GapStream::new(moscons.gap_model(), moscons.scaler()),
+                features: Vec::new(),
+                events: Vec::new(),
+            },
+        };
+        SessionState {
+            moscons,
+            spy: Some(spy),
+            queue: VecDeque::new(),
+            processed: 0,
+            overflow_dropped: 0,
+            samples_streamed: 0,
+            engine,
+            label_latencies: Vec::new(),
+            extraction: None,
+            finalized: false,
+        }
+    }
+
+    /// Poll phase: advance the engine unless back-pressure says wait.
+    fn poll_round(&mut self, config: &FleetConfig) -> Vec<CuptiSample> {
+        if self.spy.is_none() {
+            return Vec::new();
+        }
+        if config.overflow == OverflowPolicy::Stall && self.queue.len() >= config.queue_capacity {
+            // Back-pressure: the consumer is behind, pause the producer.
+            return Vec::new();
+        }
+        let spy = self.spy.as_mut().expect("checked above");
+        if !spy.is_done() {
+            return spy.poll(config.poll_steps);
+        }
+        // Run complete: release the held-back tail and retire the session.
+        let spy = self.spy.take().expect("checked above");
+        spy.finish().samples
+    }
+
+    /// Ingest phase: samples become queued feature rows, bounded.
+    fn ingest(&mut self, samples: Vec<CuptiSample>, config: &FleetConfig) {
+        for s in samples {
+            self.samples_streamed += 1;
+            self.queue.push_back(counter_features(&s.to_features()));
+            if config.overflow == OverflowPolicy::DropOldest {
+                while self.queue.len() > config.queue_capacity {
+                    self.queue.pop_front();
+                    self.overflow_dropped += 1;
+                }
+            }
+        }
+    }
+
+    /// Classify phase, f32 mode: feed the session's streaming attack path.
+    fn drain_f32(&mut self, config: &FleetConfig) {
+        if self.finalized {
+            return;
+        }
+        let Engine::F32 { stream } = &mut self.engine else {
+            unreachable!("f32 fleet builds f32 engines");
+        };
+        let live = stream.as_mut().expect("stream alive until finalize");
+        for _ in 0..config.drain_per_round {
+            let Some(row) = self.queue.pop_front() else {
+                break;
+            };
+            self.processed += 1;
+            let now = live.samples_pushed(); // index this row gets
+            for label in live.push(&row) {
+                self.label_latencies.push(now - label.sample);
+            }
+        }
+        if !self.finalized && self.spy.is_none() && self.queue.is_empty() {
+            let total = live.samples_pushed();
+            let outcome = stream.take().expect("finalize once").finish();
+            let now = total.saturating_sub(1);
+            for label in &outcome.labels {
+                self.label_latencies.push(now - label.sample);
+            }
+            self.extraction = Some(outcome.extraction);
+            self.finalized = true;
+        }
+    }
+
+    /// Classify phase, int8 mode: incremental gap detection; returns the
+    /// segments that closed this round (classified cross-session by the
+    /// caller).
+    fn drain_int8(&mut self, config: &FleetConfig) -> Vec<Range<usize>> {
+        if self.finalized {
+            return Vec::new();
+        }
+        let Engine::Int8 {
+            gap,
+            features,
+            events,
+        } = &mut self.engine
+        else {
+            unreachable!("int8 fleet builds int8 engines");
+        };
+        let mut closed = Vec::new();
+        for _ in 0..config.drain_per_round {
+            let Some(row) = self.queue.pop_front() else {
+                break;
+            };
+            self.processed += 1;
+            events.clear();
+            gap.push(&row, events);
+            features.push(row);
+            for e in events.drain(..) {
+                if let SplitEvent::Close(r) = e {
+                    closed.push(r);
+                }
+            }
+        }
+        if !self.finalized && self.spy.is_none() && self.queue.is_empty() {
+            events.clear();
+            gap.finish(events);
+            for e in events.drain(..) {
+                if let SplitEvent::Close(r) = e {
+                    closed.push(r);
+                }
+            }
+            self.extraction = Some(
+                self.moscons
+                    .extract_with_precision(features, InferencePrecision::Int8),
+            );
+            self.finalized = true;
+        }
+        closed
+    }
+
+    fn into_outcome(self) -> SessionOutcome {
+        SessionOutcome {
+            extraction: self.extraction.expect("fleet loop runs to finalization"),
+            label_latencies: self.label_latencies,
+            overflow_dropped: self.overflow_dropped,
+            samples_streamed: self.samples_streamed,
+        }
+    }
+}
+
+/// Runs every session to completion and returns per-session outcomes in
+/// spec order. See the module docs for the round structure and the
+/// determinism contract.
+///
+/// # Panics
+///
+/// Panics if any sizing knob is zero.
+pub fn run_fleet(moscons: &Moscons, specs: &[SessionSpec], config: &FleetConfig) -> FleetOutcome {
+    assert!(config.queue_capacity > 0, "queue_capacity must be positive");
+    assert!(config.poll_steps > 0, "poll_steps must be positive");
+    assert!(
+        config.drain_per_round > 0,
+        "drain_per_round must be positive"
+    );
+    let mut states: Vec<SessionState> = specs
+        .iter()
+        .map(|spec| SessionState::start(moscons, spec, config))
+        .collect();
+    let mut rounds = 0usize;
+    while states.iter().any(|s| !s.finalized) {
+        rounds += 1;
+        // Poll: independent engines, order-free fan-out.
+        let polled: Vec<Vec<CuptiSample>> =
+            ml::par::par_map_mut(&mut states, |_, st| st.poll_round(config));
+        // Ingest: sequential, bounded.
+        for (st, samples) in states.iter_mut().zip(polled) {
+            st.ingest(samples, config);
+        }
+        // Classify.
+        match config.precision {
+            InferencePrecision::F32 => {
+                ml::par::par_map_mut(&mut states, |_, st| st.drain_f32(config));
+            }
+            InferencePrecision::Int8 => {
+                let closed: Vec<Vec<Range<usize>>> =
+                    ml::par::par_map_mut(&mut states, |_, st| st.drain_int8(config));
+                classify_closed_cross_session(moscons, &mut states, &closed);
+            }
+        }
+    }
+    FleetOutcome {
+        sessions: states.into_iter().map(SessionState::into_outcome).collect(),
+        rounds,
+    }
+}
+
+/// Int8 serving: every segment that closed this round, across all
+/// sessions, goes through ONE quantized `predict_batch` call per op model
+/// (equal-length segments share fused int8 GEMMs regardless of which
+/// session they came from).
+fn classify_closed_cross_session(
+    moscons: &Moscons,
+    states: &mut [SessionState],
+    closed: &[Vec<Range<usize>>],
+) {
+    let mut owners: Vec<(usize, Range<usize>)> = Vec::new();
+    for (si, ranges) in closed.iter().enumerate() {
+        for r in ranges {
+            owners.push((si, r.clone()));
+        }
+    }
+    if owners.is_empty() {
+        return;
+    }
+    {
+        let refs: Vec<&[Vec<f32>]> = owners
+            .iter()
+            .map(|(si, r)| {
+                let Engine::Int8 { features, .. } = &states[*si].engine else {
+                    unreachable!("int8 fleet builds int8 engines");
+                };
+                &features[r.clone()]
+            })
+            .collect();
+        // The serving path itself: labels are emitted here; the final
+        // per-session report re-scores its voting group with identical
+        // batch semantics at finalization.
+        let long = moscons
+            .quantized_long_model()
+            .predict_batch(&refs, moscons.scaler());
+        let op = moscons
+            .quantized_op_model()
+            .predict_batch(&refs, moscons.scaler());
+        debug_assert_eq!(long.len(), owners.len());
+        debug_assert_eq!(op.len(), owners.len());
+    }
+    for (si, r) in owners {
+        let st = &mut states[si];
+        let now = st.processed.saturating_sub(1);
+        for sample in r {
+            st.label_latencies.push(now.saturating_sub(sample));
+        }
+    }
+}

@@ -85,14 +85,27 @@ pub struct GapModel {
 /// the stream edges). An iteration gap is a *run* of quiet samples, so the
 /// neighbourhood carries most of the discriminating power.
 fn context_row(scaled: &[Vec<f32>], i: usize) -> Vec<f32> {
-    let width = scaled[i].len();
+    context_row_parts(
+        i.checked_sub(1)
+            .and_then(|j| scaled.get(j))
+            .map(|r| r.as_slice()),
+        &scaled[i],
+        scaled.get(i + 1).map(|r| r.as_slice()),
+    )
+}
+
+/// [`context_row`] from explicit neighbour slices (`None` = stream edge,
+/// zero-padded) — the form the incremental splitter can evaluate with one
+/// sample of lookahead instead of the whole trace.
+fn context_row_parts(prev: Option<&[f32]>, cur: &[f32], next: Option<&[f32]>) -> Vec<f32> {
+    let width = cur.len();
     let mut row = Vec::with_capacity(3 * width);
-    match i.checked_sub(1).and_then(|j| scaled.get(j)) {
+    match prev {
         Some(prev) => row.extend_from_slice(prev),
         None => row.extend(std::iter::repeat_n(0.0, width)),
     }
-    row.extend_from_slice(&scaled[i]);
-    match scaled.get(i + 1) {
+    row.extend_from_slice(cur);
+    match next {
         Some(next) => row.extend_from_slice(next),
         None => row.extend(std::iter::repeat_n(0.0, width)),
     }
@@ -144,6 +157,21 @@ impl GapModel {
         (0..scaled.len())
             .map(|i| self.gbdt.predict(&context_row(&scaled, i)))
             .collect()
+    }
+
+    /// Predicts the NOP flag for one position given its already-scaled
+    /// neighbourhood (`None` = stream edge). Evaluating this per position
+    /// over a stream is bitwise identical to [`GapModel::predict_nop`] on
+    /// the whole trace — same context row, same GBDT — which is what lets
+    /// the streaming splitter decide each sample with one sample of
+    /// lookahead (see [`crate::stream`]).
+    pub fn predict_nop_scaled(
+        &self,
+        prev: Option<&[f32]>,
+        cur: &[f32],
+        next: Option<&[f32]>,
+    ) -> bool {
+        self.gbdt.predict(&context_row_parts(prev, cur, next))
     }
 
     /// Splits a sample stream into valid iterations: predict NOPs, split on

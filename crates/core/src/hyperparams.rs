@@ -268,6 +268,13 @@ impl HpModel {
         let scaled: Vec<Vec<f32>> = features.iter().map(|f| scaler.transform_row(f)).collect();
         self.clf.predict(&crate::dataset::with_lookahead(&scaled))
     }
+
+    /// The underlying sequence classifier — the streaming engine
+    /// ([`crate::stream`]) drives it directly with stateful chunked
+    /// inference over prepared (scaled + lookahead) rows.
+    pub fn classifier(&self) -> &SequenceClassifier {
+        &self.clf
+    }
 }
 
 #[cfg(test)]

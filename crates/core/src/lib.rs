@@ -20,6 +20,11 @@
 //! * [`opseq`] — collapsing and forward-prefix layer parsing;
 //! * [`syntax`] — DNN-syntax correction (§IV-D);
 //! * [`attack`] — the end-to-end [`attack::Moscons`] orchestration;
+//! * [`stream`] — the streaming attack engine: incremental gap splitting +
+//!   stateful LSTM inference, labels with bounded latency, and a final
+//!   extraction bitwise equal to the batch attack;
+//! * [`fleet`] — the sharded orchestrator multiplexing N concurrent spy
+//!   sessions over the worker pool with bounded queues and back-pressure;
 //! * [`report`] — `AccuracyL` / `AccuracyHP` / per-class scoring.
 //!
 //! # Examples
@@ -47,6 +52,7 @@
 pub mod attack;
 pub mod cache;
 pub mod dataset;
+pub mod fleet;
 pub mod gap;
 pub mod hyperparams;
 pub mod long_ops;
@@ -56,6 +62,7 @@ pub mod profiling;
 pub mod report;
 pub mod slowdown;
 pub mod spy;
+pub mod stream;
 pub mod syntax;
 pub mod trace;
 pub mod voting;
@@ -63,6 +70,9 @@ pub mod voting;
 pub use attack::{AttackConfig, Extraction, InferencePrecision, Moscons};
 pub use cache::{CacheMode, EXTRACTOR_VERSION, TRACE_SCHEMA_VERSION};
 pub use dataset::LabeledTrace;
+pub use fleet::{
+    run_fleet, FleetConfig, FleetOutcome, OverflowPolicy, SessionOutcome, SessionSpec,
+};
 pub use gap::{GapConfig, GapModel};
 pub use hyperparams::{HpKind, HpModel};
 pub use long_ops::{LongClass, LongOpModel, LstmTrainConfig, QuantizedLongOpModel};
@@ -72,5 +82,8 @@ pub use profiling::{hp_sweep_variants, random_profiling_models};
 pub use report::{score_structure, AttackReport, StructureAccuracy};
 pub use slowdown::SlowdownConfig;
 pub use spy::{sampler_retry_policy, SpyKernelKind};
+pub use stream::{
+    AttackStream, GapStream, SegmentSplitter, SplitEvent, StreamLabel, StreamOutcome,
+};
 pub use trace::{collect_trace, CollectionConfig, RawTrace};
 pub use voting::{majority_vote, VotingModel};

@@ -204,6 +204,13 @@ impl LongOpModel {
             .collect()
     }
 
+    /// The underlying sequence classifier — the streaming engine
+    /// ([`crate::stream`]) drives it directly with stateful chunked
+    /// inference over prepared (scaled + lookahead) rows.
+    pub fn classifier(&self) -> &SequenceClassifier {
+        &self.clf
+    }
+
     /// Post-training int8 quantization of the trained classifier (see
     /// [`ml::quant`]). A pure function of the f32 weights — no RNG, no
     /// calibration data — so the twin is deterministic and inference only;

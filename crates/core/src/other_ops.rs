@@ -188,6 +188,13 @@ impl OtherOpModel {
             .collect()
     }
 
+    /// The underlying sequence classifier — the streaming engine
+    /// ([`crate::stream`]) drives it directly with stateful chunked
+    /// inference over prepared (scaled + lookahead) rows.
+    pub fn classifier(&self) -> &SequenceClassifier {
+        &self.clf
+    }
+
     /// Post-training int8 quantization of the trained classifier (see
     /// [`ml::quant`] and [`crate::long_ops::LongOpModel::quantize`]).
     pub fn quantize(&self) -> QuantizedOtherOpModel {

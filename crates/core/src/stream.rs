@@ -1,0 +1,744 @@
+//! Streaming attack engine — bounded-latency extraction.
+//!
+//! The batch pipeline ([`crate::attack::Moscons::extract`]) needs the whole
+//! CUPTI sample stream before it can emit a single label. This module turns
+//! the same attack path into a stream processor: samples are pushed one at a
+//! time (or in chunks, as a live [`crate::trace`] spy session drains them),
+//! iteration gaps are detected incrementally with one sample of lookahead,
+//! and the `Mlong`/`Mop`/`Mhp` LSTMs run *stateful* chunked inference
+//! (carrying `(h, c)` across chunks, see
+//! [`ml::seq::SequenceClassifier::predict_proba_stream_chunks`]) so op and
+//! hyper-parameter labels come out while the victim is still training.
+//!
+//! The contract that makes this safe to ship is **bitwise batch parity**:
+//! draining an [`AttackStream`] over a trace and calling
+//! [`AttackStream::finish`] produces the exact [`crate::attack::Extraction`]
+//! (and therefore the exact golden [`crate::report::AttackReport`]) that
+//! [`crate::attack::Moscons::extract`] produces on the same rows. The chain
+//! is:
+//!
+//! 1. per-sample NOP flags are the same GBDT over the same
+//!    [`crate::gap`] context rows ([`GapModel::predict_nop_scaled`]);
+//! 2. [`SegmentSplitter`] is an event-driven replay of
+//!    [`crate::dataset::split_on_nop_runs_bridged`] (property-tested below
+//!    over random streams and chunkings);
+//! 3. prepared rows (MinMax scale + one-step lookahead) are assembled
+//!    per segment exactly as [`crate::dataset::with_lookahead`] does;
+//! 4. stateful chunked LSTM inference is bitwise identical to the packed
+//!    batch path for any chunking (proven by `ml::seq` property tests);
+//! 5. the back half (voting, OpSeq parse, `Mhp` attach, syntax correction)
+//!    is literally shared code: [`crate::attack::Moscons`]'s
+//!    `assemble_extraction`.
+//!
+//! Memory is bounded while streaming: the splitter holds back at most
+//! `nop_bridge` busy samples plus `th_gap - 1` undecided NOPs, the gap
+//! detector one sample of lookahead, and each open segment at most one
+//! classification chunk of prepared rows ([`STREAM_CHUNK_ENV`], default
+//! [`DEFAULT_STREAM_CHUNK`]). Only the per-segment *label* sequences are
+//! retained to the end — they are what [`AttackStream::finish`] feeds the
+//! shared assembly — so label latency is bounded by
+//! `th_gap + nop_bridge + chunk + 2` samples.
+
+use std::collections::VecDeque;
+use std::ops::Range;
+
+use ml::{MinMaxScaler, StreamState};
+
+use crate::attack::{Extraction, Moscons};
+use crate::dataset::filter_valid_iterations;
+use crate::gap::GapModel;
+use crate::hyperparams::HpKind;
+use crate::long_ops::LongClass;
+use crate::other_ops::OtherClass;
+
+/// Environment knob: rows per stateful classification chunk. Smaller chunks
+/// lower label latency, larger chunks amortize GEMM setup. Any value yields
+/// bitwise-identical labels (chunking invariance is the `ml::seq` streaming
+/// contract); the knob trades only latency against throughput.
+pub const STREAM_CHUNK_ENV: &str = "LEAKY_DNN_STREAM_CHUNK";
+
+/// Default classification chunk when [`STREAM_CHUNK_ENV`] is unset.
+pub const DEFAULT_STREAM_CHUNK: usize = 32;
+
+fn env_chunk_rows() -> usize {
+    std::env::var(STREAM_CHUNK_ENV)
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(DEFAULT_STREAM_CHUNK)
+}
+
+/// One incremental splitting decision, emitted by [`SegmentSplitter`].
+///
+/// Every pushed index resolves to exactly one [`SplitEvent::Assign`] or
+/// [`SplitEvent::Discard`], in strictly increasing index order (decisions
+/// for held-back samples are flushed before decisions for newer ones);
+/// [`SplitEvent::Close`] fires after the last `Assign` of its range and
+/// before any event of a later segment. Consumers can therefore drive a
+/// FIFO of per-sample payloads with zero reordering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SplitEvent {
+    /// Sample `i` belongs to the currently open segment.
+    Assign(usize),
+    /// Sample `i` is gap filler between (or around) segments.
+    Discard(usize),
+    /// The segment covering this range is complete.
+    Close(Range<usize>),
+}
+
+/// Incremental replay of [`crate::dataset::split_on_nop_runs_bridged`]:
+/// feed per-sample NOP flags one at a time, get [`SplitEvent`]s out, and the
+/// closed ranges equal the batch splitter's segments on the same flags —
+/// for any chunking of the input.
+///
+/// Two pieces of bounded state make that possible:
+///
+/// * **bridge stage** — a BUSY run can only be flipped to NOP once it is
+///   known to be interior (flanked by NOPs) and at most `bridge` long, so
+///   up to `bridge` busy flags are held back until the next NOP arrives
+///   (flip), the run outgrows the bridge (flush as busy), or the stream
+///   ends (edge runs are never bridged);
+/// * **segment stage** — a NOP run inside a segment is undecided until it
+///   either reaches `th_gap` (close the segment *before* the run, discard
+///   the run) or a BUSY sample claims it back into the segment, so up to
+///   `th_gap - 1` NOP decisions are deferred.
+#[derive(Debug, Clone)]
+pub struct SegmentSplitter {
+    th_gap: usize,
+    bridge: usize,
+    /// Index the next pushed flag will get.
+    next: usize,
+    /// Start of a held-back BUSY run still eligible for bridging.
+    run_start: Option<usize>,
+    /// Inside a BUSY run already ruled out for bridging (edge run, or
+    /// longer than `bridge`): feed busy flags straight through.
+    busy_passthrough: bool,
+    /// Start of the open segment, if any.
+    seg_start: Option<usize>,
+    /// One past the last BUSY sample of the open segment (provisional end).
+    seg_end: usize,
+    /// Current NOP run length within the segment stage.
+    nop_run: usize,
+    finished: bool,
+}
+
+impl SegmentSplitter {
+    /// A fresh splitter with the given gap threshold and busy-bridge width
+    /// (see [`crate::gap::GapConfig`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `th_gap == 0`.
+    pub fn new(th_gap: usize, bridge: usize) -> Self {
+        assert!(th_gap > 0, "th_gap must be positive");
+        SegmentSplitter {
+            th_gap,
+            bridge,
+            next: 0,
+            run_start: None,
+            busy_passthrough: false,
+            seg_start: None,
+            seg_end: 0,
+            nop_run: 0,
+            finished: false,
+        }
+    }
+
+    /// Pushes the NOP flag of the next sample, appending any decisions it
+    /// unlocks to `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`SegmentSplitter::finish`].
+    pub fn push(&mut self, nop: bool, out: &mut Vec<SplitEvent>) {
+        assert!(!self.finished, "push after finish");
+        let i = self.next;
+        self.next += 1;
+        if self.bridge == 0 {
+            self.feed(i, nop, out);
+            return;
+        }
+        if nop {
+            self.busy_passthrough = false;
+            if let Some(s) = self.run_start.take() {
+                // Interior BUSY run of at most `bridge` samples, now flanked
+                // by NOP on both sides: flip it (the isolated-missing-sample
+                // repair of `split_on_nop_runs_bridged`).
+                for j in s..i {
+                    self.feed(j, true, out);
+                }
+            }
+            self.feed(i, true, out);
+        } else if self.busy_passthrough {
+            self.feed(i, false, out);
+        } else if let Some(s) = self.run_start {
+            if i - s + 1 > self.bridge {
+                // Run outgrew the bridge: it can never be flipped, flush it.
+                self.run_start = None;
+                self.busy_passthrough = true;
+                for j in s..=i {
+                    self.feed(j, false, out);
+                }
+            }
+        } else if i == 0 {
+            // A run starting at the stream edge is never bridged.
+            self.busy_passthrough = true;
+            self.feed(i, false, out);
+        } else {
+            self.run_start = Some(i);
+        }
+    }
+
+    /// Ends the stream: flushes the held-back BUSY run (edge runs are never
+    /// bridged), closes the open segment, and discards trailing NOPs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice.
+    pub fn finish(&mut self, out: &mut Vec<SplitEvent>) {
+        assert!(!self.finished, "finish called twice");
+        self.finished = true;
+        if let Some(s) = self.run_start.take() {
+            for j in s..self.next {
+                self.feed(j, false, out);
+            }
+        }
+        if let Some(start) = self.seg_start.take() {
+            // Trailing NOPs (a run shorter than th_gap) stay outside the
+            // segment, exactly like the batch splitter's end trim.
+            out.push(SplitEvent::Close(start..self.seg_end));
+            for j in self.seg_end..self.next {
+                out.push(SplitEvent::Discard(j));
+            }
+        }
+    }
+
+    /// Segment stage: consumes one (possibly bridged) flag.
+    fn feed(&mut self, i: usize, nop: bool, out: &mut Vec<SplitEvent>) {
+        if nop {
+            self.nop_run += 1;
+            match self.seg_start {
+                // No open segment: gap filler, decided immediately.
+                None => out.push(SplitEvent::Discard(i)),
+                Some(start) => {
+                    if self.nop_run == self.th_gap {
+                        // The run that closes the segment: the segment ends
+                        // at its last BUSY sample (batch: `i + 1 - th_gap`).
+                        let end = self.seg_end;
+                        self.seg_start = None;
+                        out.push(SplitEvent::Close(start..end));
+                        for j in end..=i {
+                            out.push(SplitEvent::Discard(j));
+                        }
+                    }
+                    // Shorter runs stay deferred: a later BUSY sample may
+                    // claim them back into the segment.
+                }
+            }
+        } else {
+            if self.seg_start.is_none() {
+                self.seg_start = Some(i);
+                self.seg_end = i;
+            }
+            // This BUSY sample and any deferred interior NOPs before it all
+            // belong to the segment.
+            for j in self.seg_end..=i {
+                out.push(SplitEvent::Assign(j));
+            }
+            self.seg_end = i + 1;
+            self.nop_run = 0;
+        }
+    }
+}
+
+/// Incremental `Mgap`: scaled sample rows in, [`SplitEvent`]s out, with one
+/// sample of lookahead (the GBDT's context row needs the *next* sample, see
+/// [`GapModel::predict_nop_scaled`]). Closed ranges are bitwise identical
+/// to [`GapModel::split_iterations`]'s pre-filter segments on the same rows,
+/// for any chunking of the pushes.
+#[derive(Debug)]
+pub struct GapStream<'a> {
+    gap: &'a GapModel,
+    scaler: &'a MinMaxScaler,
+    splitter: SegmentSplitter,
+    /// Scaled row before `held` (the held row's `prev` context).
+    prev: Option<Vec<f32>>,
+    /// Most recent scaled row, awaiting its lookahead neighbour.
+    held: Option<Vec<f32>>,
+}
+
+impl<'a> GapStream<'a> {
+    /// A fresh gap stream over a trained model (splitting parameters come
+    /// from [`GapModel::config`]).
+    pub fn new(gap: &'a GapModel, scaler: &'a MinMaxScaler) -> Self {
+        let cfg = gap.config();
+        GapStream {
+            gap,
+            scaler,
+            splitter: SegmentSplitter::new(cfg.th_gap, cfg.nop_bridge),
+            prev: None,
+            held: None,
+        }
+    }
+
+    /// Pushes the next raw feature row (scaling it internally).
+    pub fn push(&mut self, features: &[f32], out: &mut Vec<SplitEvent>) {
+        self.push_scaled(self.scaler.transform_row(features), out);
+    }
+
+    /// Pushes the next already-scaled feature row.
+    pub fn push_scaled(&mut self, scaled: Vec<f32>, out: &mut Vec<SplitEvent>) {
+        if let Some(cur) = self.held.take() {
+            let nop = self
+                .gap
+                .predict_nop_scaled(self.prev.as_deref(), &cur, Some(&scaled));
+            self.splitter.push(nop, out);
+            self.prev = Some(cur);
+        }
+        self.held = Some(scaled);
+    }
+
+    /// Ends the stream: the held row's lookahead is the stream edge (zeros),
+    /// then the splitter flushes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice.
+    pub fn finish(&mut self, out: &mut Vec<SplitEvent>) {
+        if let Some(cur) = self.held.take() {
+            let nop = self
+                .gap
+                .predict_nop_scaled(self.prev.as_deref(), &cur, None);
+            self.splitter.push(nop, out);
+            self.prev = Some(cur);
+        }
+        self.splitter.finish(out);
+    }
+}
+
+/// One streamed per-sample label, emitted as soon as its classification
+/// chunk completes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamLabel {
+    /// Trace sample index the label describes.
+    pub sample: usize,
+    /// Ordinal of the segment (pre-validity-filter) the sample belongs to.
+    pub segment: usize,
+    /// `Mlong` label.
+    pub long: LongClass,
+    /// `Mop` label.
+    pub op: OtherClass,
+    /// The five `Mhp` head labels, in [`HpKind::ALL`] order.
+    pub hp: [usize; HpKind::ALL.len()],
+}
+
+/// A fully classified segment, retained for the final assembly (labels
+/// only — the feature rows are gone).
+#[derive(Debug, Clone)]
+pub struct ClosedSegment {
+    /// Trace range the segment covers.
+    pub range: Range<usize>,
+    /// Per-sample `Mlong` label indices.
+    pub preds_long: Vec<usize>,
+    /// Per-sample `Mop` label indices.
+    pub preds_op: Vec<usize>,
+    /// Per-sample `Mhp` label indices, one stream per head in
+    /// [`HpKind::ALL`] order.
+    pub hp_preds: Vec<Vec<usize>>,
+}
+
+/// Everything [`AttackStream::finish`] returns: the labels unlocked by the
+/// end of the stream plus the batch-parity extraction.
+#[derive(Debug)]
+pub struct StreamOutcome {
+    /// Labels emitted while flushing (chunk remainders and held-back rows).
+    pub labels: Vec<StreamLabel>,
+    /// The extraction — bitwise identical to
+    /// [`crate::attack::Moscons::extract`] on the same rows.
+    pub extraction: Extraction,
+}
+
+/// Per-open-segment streaming state: the `(h, c)` carries of all seven
+/// LSTMs plus the label accumulators.
+#[derive(Debug)]
+struct OpenSegment {
+    /// Trace index of the segment's first sample.
+    start: usize,
+    /// Rows already classified (labels emitted).
+    classified: usize,
+    /// Most recent assigned scaled row, awaiting its lookahead neighbour.
+    last_scaled: Option<Vec<f32>>,
+    /// Prepared (scaled + lookahead) rows awaiting classification.
+    pending: Vec<Vec<f32>>,
+    long_state: StreamState,
+    op_state: StreamState,
+    hp_states: Vec<StreamState>,
+    preds_long: Vec<usize>,
+    preds_op: Vec<usize>,
+    hp_preds: Vec<Vec<usize>>,
+}
+
+impl OpenSegment {
+    fn new(start: usize, moscons: &Moscons) -> Self {
+        OpenSegment {
+            start,
+            classified: 0,
+            last_scaled: None,
+            pending: Vec::new(),
+            long_state: moscons.long_model().classifier().stream_state(),
+            op_state: moscons.op_model().classifier().stream_state(),
+            hp_states: HpKind::ALL
+                .iter()
+                .map(|&k| moscons.hp_model(k).classifier().stream_state())
+                .collect(),
+            preds_long: Vec::new(),
+            preds_op: Vec::new(),
+            hp_preds: vec![Vec::new(); HpKind::ALL.len()],
+        }
+    }
+}
+
+/// The streaming attack path: push raw CUPTI feature rows as they arrive,
+/// collect [`StreamLabel`]s with bounded latency, and get the batch-parity
+/// [`Extraction`] at [`AttackStream::finish`].
+///
+/// f32 only by design: the int8 serving twins quantize activations with
+/// per-batch composition-dependent scales, so int8 chunked inference is not
+/// bit-stable against chunking — the bitwise golden contract lives on the
+/// f32 path. Fleet-scale int8 serving instead batches *closed* segments
+/// across sessions through the ordinary quantized batch entry points (see
+/// [`crate::fleet`]).
+#[derive(Debug)]
+pub struct AttackStream<'a> {
+    moscons: &'a Moscons,
+    gap: GapStream<'a>,
+    chunk_rows: usize,
+    /// Index the next pushed row will get.
+    next_index: usize,
+    /// Scaled rows awaiting their Assign/Discard decision, in index order.
+    fifo: VecDeque<(usize, Vec<f32>)>,
+    open: Option<OpenSegment>,
+    closed: Vec<ClosedSegment>,
+    /// Scratch event buffer, reused across pushes.
+    events: Vec<SplitEvent>,
+}
+
+impl<'a> AttackStream<'a> {
+    /// A fresh stream over a trained [`Moscons`], with the classification
+    /// chunk taken from [`STREAM_CHUNK_ENV`] (default
+    /// [`DEFAULT_STREAM_CHUNK`]).
+    pub fn new(moscons: &'a Moscons) -> Self {
+        Self::with_chunk_rows(moscons, env_chunk_rows())
+    }
+
+    /// A fresh stream with an explicit classification chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_rows == 0`.
+    pub fn with_chunk_rows(moscons: &'a Moscons, chunk_rows: usize) -> Self {
+        assert!(chunk_rows > 0, "chunk_rows must be positive");
+        AttackStream {
+            moscons,
+            gap: GapStream::new(moscons.gap_model(), moscons.scaler()),
+            chunk_rows,
+            next_index: 0,
+            fifo: VecDeque::new(),
+            open: None,
+            closed: Vec::new(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Number of raw rows pushed so far.
+    pub fn samples_pushed(&self) -> usize {
+        self.next_index
+    }
+
+    /// Segments closed so far (pre-validity-filter).
+    pub fn segments_closed(&self) -> usize {
+        self.closed.len()
+    }
+
+    /// Pushes the next raw feature row
+    /// ([`crate::dataset::counter_features`] output, time order), returning
+    /// any labels it unlocked.
+    pub fn push(&mut self, features: &[f32]) -> Vec<StreamLabel> {
+        let scaled = self.moscons.scaler().transform_row(features);
+        self.fifo.push_back((self.next_index, scaled.clone()));
+        self.next_index += 1;
+        let mut events = std::mem::take(&mut self.events);
+        self.gap.push_scaled(scaled, &mut events);
+        let mut labels = Vec::new();
+        self.drain_events(&events, &mut labels);
+        events.clear();
+        self.events = events;
+        labels
+    }
+
+    /// Ends the stream: flushes every held-back decision and chunk
+    /// remainder, then runs the shared batch assembly over the closed
+    /// segments. The returned extraction is bitwise identical to
+    /// [`Moscons::extract`] on the same rows.
+    pub fn finish(mut self) -> StreamOutcome {
+        let mut events = std::mem::take(&mut self.events);
+        self.gap.finish(&mut events);
+        let mut labels = Vec::new();
+        self.drain_events(&events, &mut labels);
+        debug_assert!(self.fifo.is_empty(), "every row is decided at finish");
+        debug_assert!(self.open.is_none(), "finish closes the open segment");
+
+        let moscons = self.moscons;
+        let gap_cfg = moscons.gap_model().config();
+        let ranges: Vec<Range<usize>> = self.closed.iter().map(|c| c.range.clone()).collect();
+        let valid = filter_valid_iterations(ranges, gap_cfg.r_min, gap_cfg.r_max);
+        if valid.is_empty() {
+            return StreamOutcome {
+                labels,
+                extraction: Moscons::empty_extraction(valid),
+            };
+        }
+        let n = moscons.config().voting_iterations.min(valid.len());
+        // The valid ranges are an in-order subsequence of the closed ranges
+        // (segments are disjoint and increasing): two-pointer match.
+        let mut preds_long = Vec::with_capacity(n);
+        let mut preds_op = Vec::with_capacity(n);
+        let mut base: Option<&ClosedSegment> = None;
+        let mut ci = 0usize;
+        for r in valid.iter().take(n) {
+            while self.closed[ci].range != *r {
+                ci += 1;
+            }
+            let seg = &self.closed[ci];
+            preds_long.push(seg.preds_long.clone());
+            preds_op.push(seg.preds_op.clone());
+            base.get_or_insert(seg);
+            ci += 1;
+        }
+        let hp_preds = &base.expect("n >= 1 when valid is non-empty").hp_preds;
+        let extraction = moscons.assemble_extraction(valid, &preds_long, &preds_op, hp_preds);
+        StreamOutcome { labels, extraction }
+    }
+
+    /// Applies a batch of splitting decisions to the row FIFO and the open
+    /// segment, classifying full chunks as they accumulate.
+    fn drain_events(&mut self, events: &[SplitEvent], labels: &mut Vec<StreamLabel>) {
+        let moscons = self.moscons;
+        let chunk_rows = self.chunk_rows;
+        for ev in events {
+            match ev {
+                SplitEvent::Assign(i) => {
+                    let (idx, row) = self.fifo.pop_front().expect("assigned row is buffered");
+                    debug_assert_eq!(idx, *i, "decisions arrive in push order");
+                    let seg_id = self.closed.len();
+                    let seg = self
+                        .open
+                        .get_or_insert_with(|| OpenSegment::new(*i, moscons));
+                    if let Some(prev) = seg.last_scaled.take() {
+                        // Prepared row j of the segment is scaled[j] ++
+                        // scaled[j+1] (`with_lookahead`): completing row
+                        // j needs its successor.
+                        let mut prepared = prev;
+                        prepared.extend_from_slice(&row);
+                        seg.pending.push(prepared);
+                    }
+                    seg.last_scaled = Some(row);
+                    if seg.pending.len() >= chunk_rows {
+                        Self::classify_pending(moscons, seg, seg_id, labels);
+                    }
+                }
+                SplitEvent::Discard(i) => {
+                    let (idx, _) = self.fifo.pop_front().expect("discarded row is buffered");
+                    debug_assert_eq!(idx, *i, "decisions arrive in push order");
+                }
+                SplitEvent::Close(range) => {
+                    let seg_id = self.closed.len();
+                    let mut seg = self.open.take().expect("close implies an open segment");
+                    let last = seg.last_scaled.take().expect("segments are non-empty");
+                    // The segment's final row is its own lookahead.
+                    let mut prepared = last.clone();
+                    prepared.extend_from_slice(&last);
+                    seg.pending.push(prepared);
+                    Self::classify_pending(moscons, &mut seg, seg_id, labels);
+                    debug_assert_eq!(
+                        seg.preds_long.len(),
+                        range.len(),
+                        "one label per segment sample"
+                    );
+                    self.closed.push(ClosedSegment {
+                        range: range.clone(),
+                        preds_long: seg.preds_long,
+                        preds_op: seg.preds_op,
+                        hp_preds: seg.hp_preds,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Runs all seven LSTMs over the segment's pending prepared rows,
+    /// advancing their `(h, c)` carries and emitting one label per row.
+    fn classify_pending(
+        moscons: &Moscons,
+        seg: &mut OpenSegment,
+        seg_id: usize,
+        labels: &mut Vec<StreamLabel>,
+    ) {
+        if seg.pending.is_empty() {
+            return;
+        }
+        let n_rows = seg.pending.len();
+        let chunk: &[Vec<f32>] = &seg.pending;
+        let pl = moscons
+            .long_model()
+            .classifier()
+            .predict_stream_chunks(&[chunk], std::slice::from_mut(&mut seg.long_state))
+            .pop()
+            .expect("one result per stream");
+        let po = moscons
+            .op_model()
+            .classifier()
+            .predict_stream_chunks(&[chunk], std::slice::from_mut(&mut seg.op_state))
+            .pop()
+            .expect("one result per stream");
+        let ph: Vec<Vec<usize>> = HpKind::ALL
+            .iter()
+            .zip(seg.hp_states.iter_mut())
+            .map(|(&k, state)| {
+                moscons
+                    .hp_model(k)
+                    .classifier()
+                    .predict_stream_chunks(&[chunk], std::slice::from_mut(state))
+                    .pop()
+                    .expect("one result per stream")
+            })
+            .collect();
+        for k in 0..n_rows {
+            labels.push(StreamLabel {
+                sample: seg.start + seg.classified + k,
+                segment: seg_id,
+                long: LongClass::from_index(pl[k]),
+                op: OtherClass::from_index(po[k]),
+                hp: std::array::from_fn(|m| ph[m][k]),
+            });
+        }
+        seg.classified += n_rows;
+        seg.preds_long.extend_from_slice(&pl);
+        seg.preds_op.extend_from_slice(&po);
+        for (acc, p) in seg.hp_preds.iter_mut().zip(&ph) {
+            acc.extend_from_slice(p);
+        }
+        seg.pending.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::split_on_nop_runs_bridged;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn run_splitter(flags: &[bool], th_gap: usize, bridge: usize) -> Vec<SplitEvent> {
+        let mut sp = SegmentSplitter::new(th_gap, bridge);
+        let mut out = Vec::new();
+        for &f in flags {
+            sp.push(f, &mut out);
+        }
+        sp.finish(&mut out);
+        out
+    }
+
+    fn segments_of(events: &[SplitEvent]) -> Vec<std::ops::Range<usize>> {
+        events
+            .iter()
+            .filter_map(|e| match e {
+                SplitEvent::Close(r) => Some(r.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn splitter_matches_batch_on_random_streams() {
+        let mut rng = StdRng::seed_from_u64(0x51e9);
+        for case in 0..500 {
+            let len = rng.gen_range(0..=64);
+            let density = rng.gen_range(0.1..0.9);
+            let flags: Vec<bool> = (0..len).map(|_| rng.gen_bool(density)).collect();
+            let th_gap = rng.gen_range(1..=8);
+            let bridge = rng.gen_range(0..=3);
+            let events = run_splitter(&flags, th_gap, bridge);
+            let expect = split_on_nop_runs_bridged(&flags, th_gap, bridge);
+            assert_eq!(
+                segments_of(&events),
+                expect,
+                "case {case}: flags {flags:?} th_gap {th_gap} bridge {bridge}"
+            );
+
+            // Every index resolves exactly once, in strictly increasing
+            // order, and Assign/Discard agree with segment membership.
+            let mut next = 0usize;
+            let mut assigned = vec![false; len];
+            for e in &events {
+                match e {
+                    SplitEvent::Assign(i) | SplitEvent::Discard(i) => {
+                        assert_eq!(*i, next, "case {case}: out-of-order decision");
+                        assigned[*i] = matches!(e, SplitEvent::Assign(_));
+                        next += 1;
+                    }
+                    SplitEvent::Close(_) => {}
+                }
+            }
+            assert_eq!(next, len, "case {case}: undecided samples");
+            for (i, &a) in assigned.iter().enumerate() {
+                let inside = expect.iter().any(|r| r.contains(&i));
+                assert_eq!(a, inside, "case {case}: sample {i} membership");
+            }
+        }
+    }
+
+    #[test]
+    fn splitter_close_follows_its_assigns() {
+        let mut rng = StdRng::seed_from_u64(0xc105e);
+        for _ in 0..200 {
+            let len = rng.gen_range(1..=48);
+            let flags: Vec<bool> = (0..len).map(|_| rng.gen_bool(0.5)).collect();
+            let events = run_splitter(&flags, rng.gen_range(1..=5), rng.gen_range(0..=2));
+            let mut decided = 0usize;
+            for e in &events {
+                match e {
+                    SplitEvent::Assign(_) | SplitEvent::Discard(_) => decided += 1,
+                    SplitEvent::Close(r) => {
+                        assert!(decided >= r.end, "close {r:?} fired before its last assign");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn splitter_handles_degenerate_streams() {
+        // Empty stream.
+        assert!(run_splitter(&[], 3, 1).is_empty());
+        // All NOP: every sample discarded, no segment.
+        let ev = run_splitter(&[true; 10], 3, 1);
+        assert_eq!(segments_of(&ev), Vec::<std::ops::Range<usize>>::new());
+        assert_eq!(
+            ev.iter()
+                .filter(|e| matches!(e, SplitEvent::Discard(_)))
+                .count(),
+            10
+        );
+        // All BUSY: one segment covering everything.
+        let ev = run_splitter(&[false; 10], 3, 1);
+        assert_eq!(segments_of(&ev), vec![0..10]);
+    }
+
+    #[test]
+    fn env_chunk_parsing_rejects_garbage() {
+        // Not an env-mutating test: just the parse contract of the default.
+        assert_eq!(DEFAULT_STREAM_CHUNK, 32);
+        assert!("0".parse::<usize>().ok().filter(|&n| n > 0).is_none());
+    }
+}

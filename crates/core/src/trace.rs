@@ -3,9 +3,9 @@
 //! returns the sample stream plus (in the profiling phase) the victim's
 //! ground-truth timeline.
 
-use cupti_sim::{table_iv_groups, CuptiSample, CuptiSession, VmInstance};
+use cupti_sim::{table_iv_groups, CuptiSample, CuptiSession, CuptiStream, VmInstance};
 use dnn_sim::TrainingSession;
-use gpu_sim::{Gpu, GpuConfig, KernelDesc, KernelRecord, SchedulerMode};
+use gpu_sim::{ContextId, Gpu, GpuConfig, KernelDesc, KernelRecord, SchedulerMode};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -88,64 +88,207 @@ pub fn collect_trace(
 }
 
 /// The actual collection run behind [`collect_trace`], always simulating
-/// from scratch.
+/// from scratch: a [`SpySession`] driven to completion, accumulating the
+/// incrementally emitted samples. The incremental CUPTI attribution is
+/// bitwise identical to the old one-shot `collect_faulted` over the full
+/// slice log (the [`cupti_sim::CuptiStream`] contract), so this refactor is
+/// invisible to the golden reports.
 fn collect_trace_uncached(
     session: &TrainingSession,
     collection: &CollectionConfig,
     gpu_config: &GpuConfig,
 ) -> RawTrace {
-    let vm = spy_vm();
-    let mut gpu = Gpu::new(
-        gpu_config.clone().with_seed(collection.seed ^ 0x5119),
-        SchedulerMode::TimeSliced,
-    );
-    // Context creation order: victim first (it is the MPS-priority context in
-    // the comparison experiments; irrelevant under time slicing).
-    let victim = gpu.add_context("victim");
-    let sampler = gpu.add_context("spy_sampler");
-    gpu.monitor(sampler);
-    collection.slowdown.launch(&mut gpu);
+    let mut spy = SpySession::start(session, collection, gpu_config);
+    let mut samples = Vec::new();
+    while !spy.is_done() {
+        samples.extend(spy.poll(1024));
+    }
+    spy.finish_into(samples, *collection)
+}
 
-    let cupti = CuptiSession::open(&vm, sampler, table_iv_groups(), collection.poll_period_us)
-        .expect("CUPTI accessible after driver downgrade");
-    let spy_kernel = collection
-        .spy_kernel
-        .kernel(cupti.replay_factor(), gpu.config());
-    gpu.set_auto_repeat(sampler, spy_kernel);
-    // Bounded-backoff retries for faulted spy launches; inert on the clean
-    // path (launches only fail under an active FaultPlan).
-    gpu.set_launch_retry(sampler, crate::spy::sampler_retry_policy());
+/// A live collection run: the victim trains on the simulated GPU while the
+/// adversary polls CUPTI samples out incrementally — the ingestion stage of
+/// the streaming attack engine ([`crate::stream`]) and the unit the fleet
+/// orchestrator ([`crate::fleet`]) multiplexes.
+///
+/// Wiring (contexts, slow-down hogs, spy auto-repeat, retry policy, seeds)
+/// is identical to the batch collection path — [`collect_trace`] itself now
+/// runs on top of this — so driving a session to completion and
+/// concatenating its [`SpySession::poll`] outputs reproduces the batch
+/// [`RawTrace`] bitwise.
+#[derive(Debug)]
+pub struct SpySession {
+    gpu: Gpu,
+    victim: ContextId,
+    /// `Some` until [`SpySession::finish`]; incremental CUPTI attribution.
+    stream: Option<CuptiStream>,
+    poll_period_us: f64,
+    /// Victim ops per training iteration (for the mean-iteration stat).
+    per_iter: usize,
+    done: bool,
+}
 
-    let mut rng = StdRng::seed_from_u64(collection.seed);
-    session.enqueue(&mut gpu, victim, &mut rng);
-    gpu.run_until_queues_drain();
-    // Let the sampler observe the trailing inter-iteration gap too.
-    let tail = gpu.now_us() + 2.0 * collection.poll_period_us;
-    gpu.run_until(tail);
+/// What a finished [`SpySession`] hands back besides the streamed samples.
+#[derive(Debug)]
+pub struct SessionTail {
+    /// Samples unlocked by the end of the run (held-back windows and the
+    /// trailing gap).
+    pub samples: Vec<CuptiSample>,
+    /// The victim's kernel records (profiling-phase ground truth).
+    pub victim_log: Vec<KernelRecord>,
+    /// Mean wall time of one victim iteration, microseconds.
+    pub mean_iteration_us: f64,
+    /// Simulated end time of the run, microseconds.
+    pub end_us: f64,
+}
 
-    let end = gpu.now_us();
-    let faults = gpu.config().faults;
-    let (kernels, slices) = gpu.take_logs();
-    // Identical to plain `collect` when the plan is inactive.
-    let samples = cupti.collect_faulted(&slices, 0.0, end, &faults);
-    let victim_log: Vec<KernelRecord> = kernels.into_iter().filter(|r| r.ctx == victim).collect();
+impl SpySession {
+    /// Wires victim + sampler + hogs + CUPTI exactly like [`collect_trace`]
+    /// and enqueues the victim's training run, without stepping the engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the CUPTI session cannot be opened (see [`spy_vm`]).
+    pub fn start(
+        session: &TrainingSession,
+        collection: &CollectionConfig,
+        gpu_config: &GpuConfig,
+    ) -> SpySession {
+        let vm = spy_vm();
+        let mut gpu = Gpu::new(
+            gpu_config.clone().with_seed(collection.seed ^ 0x5119),
+            SchedulerMode::TimeSliced,
+        );
+        // Context creation order: victim first (it is the MPS-priority
+        // context in the comparison experiments; irrelevant under time
+        // slicing).
+        let victim = gpu.add_context("victim");
+        let sampler = gpu.add_context("spy_sampler");
+        gpu.monitor(sampler);
+        collection.slowdown.launch(&mut gpu);
 
-    let per_iter = session.ops().len();
-    let iters = victim_log.len() / per_iter.max(1);
-    let mean_iteration_us = if iters > 0 {
-        (0..iters)
-            .map(|i| victim_log[(i + 1) * per_iter - 1].end_us - victim_log[i * per_iter].start_us)
-            .sum::<f64>()
-            / iters as f64
-    } else {
-        0.0
-    };
+        let cupti = CuptiSession::open(&vm, sampler, table_iv_groups(), collection.poll_period_us)
+            .expect("CUPTI accessible after driver downgrade");
+        let spy_kernel = collection
+            .spy_kernel
+            .kernel(cupti.replay_factor(), gpu.config());
+        gpu.set_auto_repeat(sampler, spy_kernel);
+        // Bounded-backoff retries for faulted spy launches; inert on the
+        // clean path (launches only fail under an active FaultPlan).
+        gpu.set_launch_retry(sampler, crate::spy::sampler_retry_policy());
 
-    RawTrace {
-        samples,
-        victim_log,
-        collection: *collection,
-        mean_iteration_us,
+        let mut rng = StdRng::seed_from_u64(collection.seed);
+        session.enqueue(&mut gpu, victim, &mut rng);
+
+        let faults = gpu.config().faults;
+        let stream = CuptiStream::open(cupti, 0.0, faults);
+        SpySession {
+            gpu,
+            victim,
+            stream: Some(stream),
+            poll_period_us: collection.poll_period_us,
+            per_iter: session.ops().len(),
+            done: false,
+        }
+    }
+
+    /// Whether the victim's run (plus the trailing-gap tail) has completed.
+    /// A done session emits nothing further from [`SpySession::poll`];
+    /// [`SpySession::finish`] releases the held-back remainder.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Current simulated time, microseconds.
+    pub fn now_us(&self) -> f64 {
+        self.gpu.now_us()
+    }
+
+    /// Advances the simulation by up to `max_steps` engine events and
+    /// returns the CUPTI samples that became attributable. When the queues
+    /// drain, one final `2 x poll_period` tail run lets the sampler observe
+    /// the trailing inter-iteration gap (exactly the batch path's epilogue)
+    /// and the session becomes done.
+    ///
+    /// The step budget only controls poll granularity: the engine's event
+    /// sequence — and therefore every emitted sample — is independent of
+    /// how the budget slices it.
+    pub fn poll(&mut self, max_steps: usize) -> Vec<CuptiSample> {
+        if self.done {
+            return Vec::new();
+        }
+        let mut steps = 0usize;
+        while steps < max_steps {
+            if self.gpu.has_pending_work() && self.gpu.step_once() {
+                steps += 1;
+            } else {
+                // Queues drained: sample the trailing gap in one run, like
+                // the batch path.
+                let tail = self.gpu.now_us() + 2.0 * self.poll_period_us;
+                self.gpu.run_until(tail);
+                self.done = true;
+                break;
+            }
+        }
+        let slices = self.gpu.drain_counter_slices();
+        self.stream
+            .as_mut()
+            .expect("stream alive until finish")
+            .push(&slices, self.gpu.now_us())
+    }
+
+    /// Ends the run: flushes held-back windows and returns the tail.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session is not [`SpySession::is_done`] yet.
+    pub fn finish(mut self) -> SessionTail {
+        assert!(self.done, "drive the session with poll() until done");
+        let end = self.gpu.now_us();
+        let (kernels, slices) = self.gpu.take_logs();
+        let mut stream = self.stream.take().expect("finish consumes the stream");
+        let mut samples = stream.push(&slices, end);
+        samples.extend(stream.finish(end));
+        let victim_log: Vec<KernelRecord> = kernels
+            .into_iter()
+            .filter(|r| r.ctx == self.victim)
+            .collect();
+
+        let iters = victim_log.len() / self.per_iter.max(1);
+        let mean_iteration_us = if iters > 0 {
+            (0..iters)
+                .map(|i| {
+                    victim_log[(i + 1) * self.per_iter - 1].end_us
+                        - victim_log[i * self.per_iter].start_us
+                })
+                .sum::<f64>()
+                / iters as f64
+        } else {
+            0.0
+        };
+        SessionTail {
+            samples,
+            victim_log,
+            mean_iteration_us,
+            end_us: end,
+        }
+    }
+
+    /// [`SpySession::finish`] packaged as a [`RawTrace`]: `streamed` is the
+    /// concatenation of every [`SpySession::poll`] output so far.
+    pub fn finish_into(
+        self,
+        mut streamed: Vec<CuptiSample>,
+        collection: CollectionConfig,
+    ) -> RawTrace {
+        let tail = self.finish();
+        streamed.extend(tail.samples);
+        RawTrace {
+            samples: streamed,
+            victim_log: tail.victim_log,
+            collection,
+            mean_iteration_us: tail.mean_iteration_us,
+        }
     }
 }
 

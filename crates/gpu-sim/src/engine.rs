@@ -369,6 +369,25 @@ impl Gpu {
         }
     }
 
+    /// Advances the simulation by exactly one unbounded scheduling decision —
+    /// the same `step(∞)` that [`Gpu::run_until_queues_drain`] loops on.
+    /// Time-sliced budgets are *not* clamped to any deadline, so a caller
+    /// that interleaves its own work between steps replays the drain loop's
+    /// exact slice boundaries (a bounded `run_until` would clamp slices and
+    /// change the simulation). Returns `false` when nothing can ever run
+    /// again.
+    pub fn step_once(&mut self) -> bool {
+        self.step(f64::INFINITY)
+    }
+
+    /// Drains the counter-slice log in production order, leaving the kernel
+    /// log in place. Incremental consumers (the streaming CUPTI session)
+    /// call this between steps; the concatenation of every drain equals the
+    /// slice half of [`Gpu::take_logs`] over the same run.
+    pub fn drain_counter_slices(&mut self) -> Vec<CounterSlice> {
+        std::mem::take(&mut self.counter_trace)
+    }
+
     // ------------------------------------------------------------------
     // internals
     // ------------------------------------------------------------------
@@ -1280,5 +1299,43 @@ mod tests {
         let a = run();
         let b = run();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn step_once_with_incremental_drains_replays_the_batch_drain_loop() {
+        let build = || {
+            let mut gpu = Gpu::new(cfg().with_seed(42), SchedulerMode::TimeSliced);
+            let v = gpu.add_context("v");
+            let s = gpu.add_context("s");
+            gpu.monitor(s);
+            for i in 0..4 {
+                gpu.enqueue(v, mixed_kernel(&format!("op{}", i), 2000.0, 1e6, 1e5, 1e6));
+            }
+            gpu.set_auto_repeat(
+                s,
+                mixed_kernel("spy", 400.0, 64.0 * 1024.0, 32.0 * 1024.0, 256.0 * 1024.0),
+            );
+            gpu
+        };
+
+        let mut batch = build();
+        batch.run_until_queues_drain();
+        let batch_end = batch.now_us();
+        let (batch_kernels, batch_slices) = batch.take_logs();
+
+        // Same run, one unbounded step at a time, draining slices as we go.
+        let mut inc = build();
+        let mut slices = Vec::new();
+        while inc.has_pending_work() {
+            if !inc.step_once() {
+                break;
+            }
+            slices.extend(inc.drain_counter_slices());
+        }
+        assert_eq!(inc.now_us(), batch_end, "stepped clock diverged");
+        let (inc_kernels, tail_slices) = inc.take_logs();
+        slices.extend(tail_slices);
+        assert_eq!(inc_kernels, batch_kernels, "kernel log diverged");
+        assert_eq!(slices, batch_slices, "drained slices diverged");
     }
 }

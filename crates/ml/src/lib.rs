@@ -60,4 +60,4 @@ pub use matrix::Matrix;
 pub use metrics::{accuracy, ConfusionMatrix, MeanStd};
 pub use quant::QuantizedSequenceClassifier;
 pub use scale::MinMaxScaler;
-pub use seq::{SeqClassifierConfig, SequenceClassifier};
+pub use seq::{SeqClassifierConfig, SequenceClassifier, StreamState};

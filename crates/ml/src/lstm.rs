@@ -501,6 +501,29 @@ impl LstmLayer {
         cache: &mut LstmCache,
         scratch: &mut LstmScratch,
     ) {
+        self.forward_batch_stateful_into(xs, batch, None, cache, scratch);
+    }
+
+    /// [`LstmLayer::forward_batch_into`] with an explicit carry state: when
+    /// `state` is `Some((h0, c0))` (each `B x H`, row `b` belonging to
+    /// sequence `b`), the recurrence starts from those values instead of
+    /// zero and the final hidden/cell states are written back into them.
+    ///
+    /// This is what lets streaming inference split one sequence into chunks:
+    /// the per-timestep arithmetic is untouched, so running a sequence in
+    /// chunks with the state carried between calls is bitwise identical to
+    /// one whole-sequence call — the chunk boundary only decides *when* a
+    /// timestep runs, never what it computes (property-tested in
+    /// [`crate::seq`]). `state: None` is exactly the zero-state batch
+    /// forward.
+    pub fn forward_batch_stateful_into(
+        &self,
+        xs: &Matrix,
+        batch: usize,
+        state: Option<(&mut Matrix, &mut Matrix)>,
+        cache: &mut LstmCache,
+        scratch: &mut LstmScratch,
+    ) {
         assert_eq!(xs.cols(), self.input_size, "lstm input width mismatch");
         assert!(batch > 0, "empty batch");
         assert_eq!(xs.rows() % batch, 0, "packed rows not a multiple of batch");
@@ -533,6 +556,14 @@ impl LstmLayer {
         self.wh.transposed_into(wht);
         h_prev_b.resize_zeroed(batch, h_size);
         c_prev_b.resize_zeroed(batch, h_size);
+        if let Some((h0, c0)) = &state {
+            assert_eq!(h0.rows(), batch, "carry state batch mismatch");
+            assert_eq!(h0.cols(), h_size, "carry state width mismatch");
+            assert_eq!(c0.rows(), batch, "carry state batch mismatch");
+            assert_eq!(c0.cols(), h_size, "carry state width mismatch");
+            h_prev_b.copy_from(h0);
+            c_prev_b.copy_from(c0);
+        }
         reset_zeroed(pre, 4 * h_size);
         for t in 0..t_len {
             // acc[b][j] = dot(h_prev[b], wht[.][j]), ascending k per element
@@ -573,6 +604,10 @@ impl LstmLayer {
                 h_prev_b.row_mut(bi).copy_from_slice(cache.h.row(r));
                 c_prev_b.row_mut(bi).copy_from_slice(cache.c.row(r));
             }
+        }
+        if let Some((h0, c0)) = state {
+            h0.copy_from(h_prev_b);
+            c0.copy_from(c_prev_b);
         }
     }
 

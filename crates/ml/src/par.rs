@@ -175,6 +175,50 @@ where
     }
 }
 
+/// Maps `f` over `items` **in place** on up to [`threads`] workers,
+/// returning the per-item results in input order.
+///
+/// The mutable counterpart of [`par_map`] for element-wise state machines
+/// (e.g. the fleet orchestrator advancing per-session simulations): the
+/// slice is statically partitioned into one contiguous chunk per worker, so
+/// every element is visited exactly once with exclusive access and no
+/// `unsafe`. As long as `f` is a pure function of the element (no shared
+/// mutable state), results and final element states are bitwise identical
+/// for any worker count.
+pub fn par_map_mut<T, R, F>(items: &mut [T], f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T) -> R + Sync,
+{
+    let workers = threads().min(items.len());
+    if workers <= 1 || IN_POOL.with(Cell::get) {
+        return items.iter_mut().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let chunk = items.len().div_ceil(workers);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks_mut(chunk)
+            .enumerate()
+            .map(|(ci, slice)| {
+                let f = &f;
+                s.spawn(move || {
+                    IN_POOL.with(|c| c.set(true));
+                    slice
+                        .iter_mut()
+                        .enumerate()
+                        .map(|(j, t)| f(ci * chunk + j, t))
+                        .collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+            .collect()
+    })
+}
+
 /// Runs two closures, concurrently when more than one worker is available,
 /// and returns both results.
 pub fn join<RA, RB>(a: impl FnOnce() -> RA + Send, b: impl FnOnce() -> RB + Send) -> (RA, RB)
@@ -259,6 +303,32 @@ mod tests {
             par_map_if_work(5000, 1000, &items, |_, &x| x.sin() * 3.0)
         });
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn par_map_mut_visits_every_element_once_in_order() {
+        for n in [1usize, 2, 3, 8] {
+            let mut items: Vec<usize> = (0..257).collect();
+            let out = with_threads(n, || {
+                par_map_mut(&mut items, |i, x| {
+                    *x += 1;
+                    (i, *x)
+                })
+            });
+            assert_eq!(items, (1..258).collect::<Vec<_>>(), "at {} threads", n);
+            for (i, &(idx, v)) in out.iter().enumerate() {
+                assert_eq!(idx, i);
+                assert_eq!(v, i + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_mut_handles_empty_and_singleton() {
+        let mut empty: Vec<u32> = Vec::new();
+        assert!(par_map_mut(&mut empty, |_, x| *x).is_empty());
+        let mut one = [41u32];
+        assert_eq!(par_map_mut(&mut one, |_, x| *x + 1), vec![42]);
     }
 
     #[test]

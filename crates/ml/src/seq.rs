@@ -867,6 +867,162 @@ impl SequenceClassifier {
             .map(|p| argmax(p))
             .collect()
     }
+
+    /// A fresh (all-zero) carry state for one streamed sequence — the state
+    /// every sequence implicitly starts from in the batch paths.
+    pub fn stream_state(&self) -> StreamState {
+        StreamState {
+            h: self
+                .layers
+                .iter()
+                .map(|l| vec![0.0; l.hidden_size()])
+                .collect(),
+            c: self
+                .layers
+                .iter()
+                .map(|l| vec![0.0; l.hidden_size()])
+                .collect(),
+        }
+    }
+
+    /// Stateful streaming inference over many independent streams at once:
+    /// `chunks[i]` is the next span of stream `i`'s feature rows and
+    /// `states[i]` its `(h, c)` carry, updated in place.
+    ///
+    /// Equal-length chunks are bucketed exactly like
+    /// [`SequenceClassifier::predict_proba_batch`] buckets whole sequences
+    /// (a `BTreeMap`, deterministic order) and share fused packed GEMMs
+    /// across streams. Because packed GEMM rows are independent and the
+    /// recurrence arithmetic is identical whether the previous state came
+    /// from the carry or from the preceding timestep of the same call,
+    /// concatenating a stream's chunk outputs is **bitwise identical** to
+    /// one [`SequenceClassifier::predict_proba`] call on the whole sequence
+    /// — for any chunking, and regardless of which other streams share the
+    /// call (property-tested). Empty chunks yield empty outputs and leave
+    /// their carry untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunks` and `states` disagree in length, a chunk's feature
+    /// width mismatches the classifier, or a carry state has the wrong
+    /// shape.
+    pub fn predict_proba_stream_chunks(
+        &self,
+        chunks: &[&[Vec<f32>]],
+        states: &mut [StreamState],
+    ) -> Vec<Vec<Vec<f32>>> {
+        assert_eq!(chunks.len(), states.len(), "one carry state per stream");
+        let mut results: Vec<Vec<Vec<f32>>> = vec![Vec::new(); chunks.len()];
+        let mut buckets: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (i, chunk) in chunks.iter().enumerate() {
+            if chunk.is_empty() {
+                continue;
+            }
+            assert_eq!(
+                chunk[0].len(),
+                self.config.input_size,
+                "feature width mismatch"
+            );
+            assert_eq!(
+                states[i].h.len(),
+                self.layers.len(),
+                "carry state layer count mismatch"
+            );
+            buckets.entry(chunk.len()).or_default().push(i);
+        }
+        let mut bws = BatchWorkspace::new(self.layers.len());
+        let mut h0 = Matrix::zeros(1, 1);
+        let mut c0 = Matrix::zeros(1, 1);
+        for (&t_len, idxs) in &buckets {
+            let b_n = idxs.len();
+            bws.xs.resize_zeroed(t_len * b_n, self.config.input_size);
+            for (bi, &i) in idxs.iter().enumerate() {
+                for (t, row) in chunks[i].iter().enumerate() {
+                    bws.xs.set_row(t * b_n + bi, row);
+                }
+            }
+            for (li, layer) in self.layers.iter().enumerate() {
+                let h_size = layer.hidden_size();
+                h0.resize_zeroed(b_n, h_size);
+                c0.resize_zeroed(b_n, h_size);
+                for (bi, &i) in idxs.iter().enumerate() {
+                    assert_eq!(states[i].h[li].len(), h_size, "carry state width mismatch");
+                    h0.row_mut(bi).copy_from_slice(&states[i].h[li]);
+                    c0.row_mut(bi).copy_from_slice(&states[i].c[li]);
+                }
+                let (done, rest) = bws.caches.split_at_mut(li);
+                let input = if li == 0 { &bws.xs } else { &done[li - 1].h };
+                layer.forward_batch_stateful_into(
+                    input,
+                    b_n,
+                    Some((&mut h0, &mut c0)),
+                    &mut rest[0],
+                    &mut bws.scratch,
+                );
+                for (bi, &i) in idxs.iter().enumerate() {
+                    states[i].h[li].copy_from_slice(h0.row(bi));
+                    states[i].c[li].copy_from_slice(c0.row(bi));
+                }
+            }
+            self.head
+                .forward_into(&bws.caches[self.layers.len() - 1].h, &mut bws.logits);
+            for (bi, &i) in idxs.iter().enumerate() {
+                results[i] = (0..t_len)
+                    .map(|t| crate::activation::softmax(bws.logits.row(t * b_n + bi)))
+                    .collect();
+            }
+        }
+        results
+    }
+
+    /// Label form of [`SequenceClassifier::predict_proba_stream_chunks`]:
+    /// the same softmax + first-max argmax sequence as
+    /// [`SequenceClassifier::predict_batch`], so streamed labels can never
+    /// diverge from batch labels on a near-tie.
+    pub fn predict_stream_chunks(
+        &self,
+        chunks: &[&[Vec<f32>]],
+        states: &mut [StreamState],
+    ) -> Vec<Vec<usize>> {
+        self.predict_proba_stream_chunks(chunks, states)
+            .iter()
+            .map(|probs| probs.iter().map(|p| argmax(p)).collect())
+            .collect()
+    }
+
+    /// Single-stream convenience for
+    /// [`SequenceClassifier::predict_proba_stream_chunks`].
+    pub fn predict_proba_stream_chunk(
+        &self,
+        chunk: &[Vec<f32>],
+        state: &mut StreamState,
+    ) -> Vec<Vec<f32>> {
+        self.predict_proba_stream_chunks(&[chunk], std::slice::from_mut(state))
+            .pop()
+            .expect("one result per stream")
+    }
+}
+
+/// Per-stream `(h, c)` carry for chunked stateful inference: one hidden and
+/// one cell vector per stacked LSTM layer. Obtained from
+/// [`SequenceClassifier::stream_state`]; passing it back to the streaming
+/// predict calls advances it in place. A fresh state is all zeros — exactly
+/// where the batch paths start every sequence — so chunked and whole-sequence
+/// inference agree bitwise from the first timestep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamState {
+    h: Vec<Vec<f32>>,
+    c: Vec<Vec<f32>>,
+}
+
+impl StreamState {
+    /// Resets the carry to the all-zero start-of-sequence state, reusing the
+    /// allocations.
+    pub fn reset(&mut self) {
+        for v in self.h.iter_mut().chain(self.c.iter_mut()) {
+            v.iter_mut().for_each(|x| *x = 0.0);
+        }
+    }
 }
 
 /// Copies sequence `bi`'s rows (`t * batch + bi`, `t` ascending) out of a
@@ -1143,6 +1299,124 @@ mod tests {
             }
             Ok(())
         });
+    }
+
+    #[test]
+    fn stream_chunked_inference_matches_whole_sequence_bitwise() {
+        use rand::Rng;
+        // Two stacked layers so the carry covers the multi-layer path.
+        let mut cfg = SeqClassifierConfig::new(2, 12, 4);
+        cfg.hidden_sizes = vec![12, 8];
+        cfg.epochs = 2;
+        cfg.seed = 0x57_ea;
+        let data = quadrant_dataset(8, 6, 41);
+        let mut clf = SequenceClassifier::new(cfg);
+        clf.fit(&data);
+        // Any chunking of a sequence — including 1-row chunks and interior
+        // empty chunks — must reproduce the whole-sequence output bitwise.
+        let seeds = testkit::gen::vec_of(testkit::gen::u64_in(0, u64::MAX), 1, 6);
+        testkit::check("seq_stream_chunking_vs_whole", &seeds, |seeds| {
+            for &seed in seeds {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let t_len = rng.gen_range(1..=14usize);
+                let seq: Vec<Vec<f32>> = (0..t_len)
+                    .map(|_| (0..2).map(|_| rng.gen_range(-1.5f32..1.5)).collect())
+                    .collect();
+                let whole = clf.predict_proba(&seq);
+                let mut state = clf.stream_state();
+                let mut streamed: Vec<Vec<f32>> = Vec::new();
+                let mut at = 0usize;
+                while at < t_len {
+                    if rng.gen_bool(0.2) {
+                        // Interleave empty chunks: no output, carry untouched.
+                        let before = state.clone();
+                        let out = clf.predict_proba_stream_chunk(&[], &mut state);
+                        testkit::prop::holds(out.is_empty(), "empty chunk must be empty")?;
+                        testkit::prop::holds(state == before, "empty chunk moved the carry")?;
+                    }
+                    let take = rng.gen_range(1..=4usize).min(t_len - at);
+                    streamed
+                        .extend(clf.predict_proba_stream_chunk(&seq[at..at + take], &mut state));
+                    at += take;
+                }
+                testkit::prop::holds(
+                    streamed == whole,
+                    format!("chunked stream diverged from whole sequence (seed {seed:#x})"),
+                )?;
+                // The label path must be the argmax of the proba path.
+                state.reset();
+                let labels = clf.predict_stream_chunks(&[&seq], std::slice::from_mut(&mut state));
+                testkit::prop::holds(
+                    labels[0] == clf.predict(&seq),
+                    "streamed labels diverged from batch labels",
+                )?;
+            }
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn cross_stream_batched_chunks_match_isolated_streams_bitwise() {
+        use rand::Rng;
+        let mut cfg = SeqClassifierConfig::new(2, 10, 4);
+        cfg.epochs = 2;
+        cfg.seed = 0xf1ee;
+        let data = quadrant_dataset(8, 5, 43);
+        let mut clf = SequenceClassifier::new(cfg);
+        clf.fit(&data);
+        // Several streams of different lengths advance in lockstep through
+        // one batched call per round; each must match the same stream
+        // advanced alone, chunk for chunk, bit for bit.
+        let mut rng = StdRng::seed_from_u64(0x0ba7_c4ed);
+        let streams: Vec<Vec<Vec<f32>>> = [11usize, 4, 7, 1, 11]
+            .iter()
+            .map(|&t| {
+                (0..t)
+                    .map(|_| (0..2).map(|_| rng.gen_range(-1.5f32..1.5)).collect())
+                    .collect()
+            })
+            .collect();
+        let chunk_sizes = [3usize, 2, 4, 1, 3];
+        let mut joint_states: Vec<StreamState> =
+            streams.iter().map(|_| clf.stream_state()).collect();
+        let mut joint_out: Vec<Vec<Vec<f32>>> = vec![Vec::new(); streams.len()];
+        let mut offsets = vec![0usize; streams.len()];
+        while offsets.iter().zip(&streams).any(|(&o, s)| o < s.len()) {
+            let chunks: Vec<&[Vec<f32>]> = streams
+                .iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    let end = (offsets[i] + chunk_sizes[i]).min(s.len());
+                    &s[offsets[i]..end]
+                })
+                .collect();
+            let round = clf.predict_proba_stream_chunks(&chunks, &mut joint_states);
+            for (i, out) in round.into_iter().enumerate() {
+                offsets[i] += chunks[i].len();
+                joint_out[i].extend(out);
+            }
+        }
+        for (i, seq) in streams.iter().enumerate() {
+            // Isolated replay of the same chunking.
+            let mut state = clf.stream_state();
+            let mut solo: Vec<Vec<f32>> = Vec::new();
+            let mut at = 0usize;
+            while at < seq.len() {
+                let end = (at + chunk_sizes[i]).min(seq.len());
+                solo.extend(clf.predict_proba_stream_chunk(&seq[at..end], &mut state));
+                at = end;
+            }
+            assert_eq!(
+                joint_out[i], solo,
+                "stream {i} diverged between batched and isolated runs"
+            );
+            assert_eq!(
+                joint_out[i],
+                clf.predict_proba(seq),
+                "stream {i} diverged from whole-sequence inference"
+            );
+            assert_eq!(joint_states[i], state, "stream {i} carry state diverged");
+        }
     }
 
     #[test]

@@ -146,6 +146,112 @@ fn quantization_is_worker_count_invariant_and_simd_agnostic() {
     assert_eq!(scalar, auto, "int8 labels depend on the SIMD dispatch");
 }
 
+/// Flattened, comparable view of one fleet session: report, label
+/// latencies, rows dropped, samples streamed.
+type SessionSummary = (AttackReport, Vec<usize>, usize, usize);
+
+/// Flattened, comparable view of a fleet run (Extraction itself carries no
+/// `PartialEq`; the report is the bitwise-comparable surface).
+fn fleet_summary(outcome: moscons::FleetOutcome) -> (Vec<SessionSummary>, usize) {
+    let sessions = outcome
+        .sessions
+        .into_iter()
+        .map(|s| {
+            (
+                s.extraction.report(),
+                s.label_latencies,
+                s.overflow_dropped,
+                s.samples_streamed,
+            )
+        })
+        .collect();
+    (sessions, outcome.rounds)
+}
+
+#[test]
+fn fleet_is_worker_count_and_order_invariant() {
+    use moscons::{run_fleet, FleetConfig, InferencePrecision, OverflowPolicy, SessionSpec};
+
+    let (moscons, victim) = common::quick_attack_setup(FaultPlan::none(), 4);
+    let gpu = moscons.config().gpu.clone();
+    let specs: Vec<SessionSpec> = [99u64, 123, 7]
+        .iter()
+        .map(|&seed| SessionSpec {
+            victim: victim.clone(),
+            seed,
+            gpu: gpu.clone(),
+        })
+        .collect();
+    let config = FleetConfig::default();
+
+    // 1 vs 8 workers: the poll/classify fan-outs partition independent
+    // sessions, so worker count must never reach the results.
+    let serial = ml::par::with_threads(1, || fleet_summary(run_fleet(&moscons, &specs, &config)));
+    let parallel = ml::par::with_threads(8, || fleet_summary(run_fleet(&moscons, &specs, &config)));
+    assert_eq!(
+        serial, parallel,
+        "8-worker fleet diverged from the serial fleet"
+    );
+
+    // Spec order is presentation, not arithmetic: reversing the fleet
+    // reverses the outcomes and changes nothing else — sessions finishing
+    // earlier or later relative to each other cannot couple.
+    let reversed_specs: Vec<SessionSpec> = specs.iter().rev().cloned().collect();
+    let (mut rev_sessions, _) = ml::par::with_threads(8, || {
+        fleet_summary(run_fleet(&moscons, &reversed_specs, &config))
+    });
+    rev_sessions.reverse();
+    assert_eq!(
+        serial.0, rev_sessions,
+        "fleet outcomes depend on session order"
+    );
+
+    // Lossless streaming is the batch attack: every session's report equals
+    // its solo `attack_on` bit for bit.
+    for (spec, (report, latencies, dropped, _)) in specs.iter().zip(&serial.0) {
+        let (batch, _) = moscons.attack_on(&spec.victim, spec.seed, &spec.gpu);
+        assert_eq!(
+            *report,
+            batch.report(),
+            "fleet session (seed {}) diverged from the batch attack",
+            spec.seed
+        );
+        assert!(!latencies.is_empty(), "session emitted no labels");
+        assert_eq!(*dropped, 0, "Stall policy must never drop");
+    }
+
+    // Int8 mode batches closed segments across sessions; the cross-session
+    // composition varies with spec order, but each session's final report is
+    // batch-semantics int8 — order invariance must hold there too.
+    let int8 = FleetConfig {
+        precision: InferencePrecision::Int8,
+        ..config
+    };
+    let fwd = ml::par::with_threads(8, || fleet_summary(run_fleet(&moscons, &specs, &int8)));
+    let (mut rev, _) = ml::par::with_threads(8, || {
+        fleet_summary(run_fleet(&moscons, &reversed_specs, &int8))
+    });
+    rev.reverse();
+    assert_eq!(fwd.0, rev, "int8 fleet outcomes depend on session order");
+
+    // DropOldest: a deliberately starved consumer must evict — counted,
+    // bounded, and still bitwise reproducible across worker counts.
+    let starved = FleetConfig {
+        queue_capacity: 2,
+        drain_per_round: 1,
+        overflow: OverflowPolicy::DropOldest,
+        ..config
+    };
+    let d1 = ml::par::with_threads(1, || fleet_summary(run_fleet(&moscons, &specs, &starved)));
+    let d8 = ml::par::with_threads(8, || fleet_summary(run_fleet(&moscons, &specs, &starved)));
+    assert_eq!(d1, d8, "DropOldest fleet diverged across worker counts");
+    let total_dropped: usize = d1.0.iter().map(|(_, _, dropped, _)| dropped).sum();
+    assert!(
+        total_dropped > 0,
+        "starved DropOldest fleet should have evicted rows"
+    );
+}
+
 #[test]
 fn report_serializes_to_json() {
     let report = ml::par::with_threads(1, run_pipeline);
