@@ -93,16 +93,12 @@ impl Default for AttackConfig {
     }
 }
 
-/// Minimum number of feature rows in the base iteration before extraction
-/// fans the five `Mhp` heads out over the worker pool. Below this, the
-/// tens of microseconds `ml::par` pays per spawned scoped worker outweigh
-/// the classification work — `BENCH_pipeline.json` measured the
-/// `attack_extract` stage at a 0.81× "speedup" (i.e. a slowdown) at quick
-/// scale before this gate existed. Paper-scale victim streams clear the
-/// threshold comfortably. (The `Mlong`/`Mop` group predictions no longer
-/// need a fan-out gate at all: they run as packed batches whose GEMM row
-/// blocks parallelize under `ml::matrix`'s own FLOP threshold.)
-const MIN_PARALLEL_EXTRACT_ROWS: usize = 2048;
+// The extraction fan-out gate lives with every other work-size gate in
+// `ml::par::thresholds` (leaky-lint rule A4 keeps it that way). The
+// `Mlong`/`Mop` group predictions no longer need a gate at all: they run as
+// packed batches whose GEMM row blocks parallelize under the module's own
+// `MIN_PARALLEL_GEMM_FLOPS`.
+use ml::par::thresholds::MIN_PARALLEL_EXTRACT_ROWS;
 
 /// A trained MoSConS instance.
 #[derive(Debug)]
@@ -372,6 +368,9 @@ impl Moscons {
         self.hp
             .iter()
             .find(|h| h.kind() == kind)
+            // Construction invariant: `train` builds exactly one head per
+            // HpKind; a missing head is a training bug, not a serving
+            // condition. lint: allow(A2)
             .expect("all five heads are trained")
     }
 
@@ -588,7 +587,14 @@ impl Moscons {
             for &p in &positions {
                 counts[hp_preds[4][p].min(2)] += 1;
             }
-            let best = (0..3).max_by_key(|&i| counts[i]).expect("three optimizers");
+            // Last maximum wins, matching Iterator::max_by_key's tie rule,
+            // without an Option to unwrap on the serving path.
+            let mut best = 0usize;
+            for i in 1..3 {
+                if counts[i] >= counts[best] {
+                    best = i;
+                }
+            }
             (counts[best] > 0).then(|| HpKind::class_optimizer(best))
         };
 

@@ -200,20 +200,21 @@ impl<'a> SessionState<'a> {
 
     /// Poll phase: advance the engine unless back-pressure says wait.
     fn poll_round(&mut self, config: &FleetConfig) -> Vec<CuptiSample> {
-        if self.spy.is_none() {
-            return Vec::new();
-        }
         if config.overflow == OverflowPolicy::Stall && self.queue.len() >= config.queue_capacity {
             // Back-pressure: the consumer is behind, pause the producer.
             return Vec::new();
         }
-        let spy = self.spy.as_mut().expect("checked above");
+        let Some(spy) = self.spy.as_mut() else {
+            return Vec::new();
+        };
         if !spy.is_done() {
             return spy.poll(config.poll_steps);
         }
         // Run complete: release the held-back tail and retire the session.
-        let spy = self.spy.take().expect("checked above");
-        spy.finish().samples
+        match self.spy.take() {
+            Some(spy) => spy.finish().samples,
+            None => Vec::new(),
+        }
     }
 
     /// Ingest phase: samples become queued feature rows, bounded.
@@ -236,9 +237,15 @@ impl<'a> SessionState<'a> {
             return;
         }
         let Engine::F32 { stream } = &mut self.engine else {
-            unreachable!("f32 fleet builds f32 engines");
+            // Mixed-up engine: skip the round rather than abort the fleet.
+            debug_assert!(false, "f32 fleet builds f32 engines");
+            return;
         };
-        let live = stream.as_mut().expect("stream alive until finalize");
+        let Some(live) = stream.as_mut() else {
+            // Stream already consumed: nothing left to classify.
+            debug_assert!(false, "stream alive until finalize");
+            return;
+        };
         for _ in 0..config.drain_per_round {
             let Some(row) = self.queue.pop_front() else {
                 break;
@@ -251,7 +258,11 @@ impl<'a> SessionState<'a> {
         }
         if !self.finalized && self.spy.is_none() && self.queue.is_empty() {
             let total = live.samples_pushed();
-            let outcome = stream.take().expect("finalize once").finish();
+            let Some(finished) = stream.take() else {
+                debug_assert!(false, "finalize once");
+                return;
+            };
+            let outcome = finished.finish();
             let now = total.saturating_sub(1);
             for label in &outcome.labels {
                 self.label_latencies.push(now - label.sample);
@@ -274,7 +285,9 @@ impl<'a> SessionState<'a> {
             events,
         } = &mut self.engine
         else {
-            unreachable!("int8 fleet builds int8 engines");
+            // Mixed-up engine: skip the round rather than abort the fleet.
+            debug_assert!(false, "int8 fleet builds int8 engines");
+            return Vec::new();
         };
         let mut closed = Vec::new();
         for _ in 0..config.drain_per_round {
@@ -382,14 +395,24 @@ fn classify_closed_cross_session(
     if owners.is_empty() {
         return;
     }
+    // Contract with the caller: `closed` came from these sessions, so every
+    // owner's session index is in range (checked up front — one malformed
+    // batch must not abort the fleet mid-scatter).
+    assert!(
+        owners.iter().all(|(si, _)| *si < states.len()),
+        "closed segment lists are parallel to states"
+    );
     {
         let refs: Vec<&[Vec<f32>]> = owners
             .iter()
             .map(|(si, r)| {
                 let Engine::Int8 { features, .. } = &states[*si].engine else {
-                    unreachable!("int8 fleet builds int8 engines");
+                    // Mixed-up engine: classify an empty segment instead of
+                    // aborting the whole fleet.
+                    debug_assert!(false, "int8 fleet builds int8 engines");
+                    return &[][..];
                 };
-                &features[r.clone()]
+                features.get(r.clone()).unwrap_or(&[][..])
             })
             .collect();
         // The serving path itself: labels are emitted here; the final

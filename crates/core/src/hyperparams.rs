@@ -105,15 +105,19 @@ impl HpKind {
 
     /// Inverse of [`HpKind::optimizer_class`].
     ///
-    /// # Panics
-    ///
-    /// Panics if `class >= 3`.
+    /// An out-of-range class degrades to [`Optimizer::Gd`] (class 0) in
+    /// release builds — this sits on the fleet-serving path, where one
+    /// malformed prediction must not abort the process — and trips a
+    /// `debug_assert!` in debug builds.
     pub fn class_optimizer(class: usize) -> Optimizer {
         match class {
             0 => Optimizer::Gd,
             1 => Optimizer::Adam,
             2 => Optimizer::Adagrad,
-            _ => panic!("optimizer class {} out of range", class),
+            _ => {
+                debug_assert!(false, "optimizer class {} out of range", class);
+                Optimizer::Gd
+            }
         }
     }
 

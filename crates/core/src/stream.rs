@@ -515,8 +515,17 @@ impl<'a> AttackStream<'a> {
             base.get_or_insert(seg);
             ci += 1;
         }
-        let hp_preds = &base.expect("n >= 1 when valid is non-empty").hp_preds;
-        let extraction = moscons.assemble_extraction(valid, &preds_long, &preds_op, hp_preds);
+        let Some(base) = base else {
+            // n >= 1 whenever valid is non-empty, so the loop above always
+            // seeds `base`; degrade to an empty extraction if it ever
+            // doesn't instead of aborting the serving path.
+            debug_assert!(false, "n >= 1 when valid is non-empty");
+            return StreamOutcome {
+                labels,
+                extraction: Moscons::empty_extraction(valid),
+            };
+        };
+        let extraction = moscons.assemble_extraction(valid, &preds_long, &preds_op, &base.hp_preds);
         StreamOutcome { labels, extraction }
     }
 
@@ -528,7 +537,12 @@ impl<'a> AttackStream<'a> {
         for ev in events {
             match ev {
                 SplitEvent::Assign(i) => {
-                    let (idx, row) = self.fifo.pop_front().expect("assigned row is buffered");
+                    let Some((idx, row)) = self.fifo.pop_front() else {
+                        // Decision without a buffered row: drop it rather
+                        // than abort the stream.
+                        debug_assert!(false, "assigned row is buffered");
+                        continue;
+                    };
                     debug_assert_eq!(idx, *i, "decisions arrive in push order");
                     let seg_id = self.closed.len();
                     let seg = self
@@ -548,13 +562,23 @@ impl<'a> AttackStream<'a> {
                     }
                 }
                 SplitEvent::Discard(i) => {
-                    let (idx, _) = self.fifo.pop_front().expect("discarded row is buffered");
+                    let Some((idx, _)) = self.fifo.pop_front() else {
+                        debug_assert!(false, "discarded row is buffered");
+                        continue;
+                    };
                     debug_assert_eq!(idx, *i, "decisions arrive in push order");
                 }
                 SplitEvent::Close(range) => {
                     let seg_id = self.closed.len();
-                    let mut seg = self.open.take().expect("close implies an open segment");
-                    let last = seg.last_scaled.take().expect("segments are non-empty");
+                    let Some(mut seg) = self.open.take() else {
+                        // Close without an open segment: nothing to label.
+                        debug_assert!(false, "close implies an open segment");
+                        continue;
+                    };
+                    let Some(last) = seg.last_scaled.take() else {
+                        debug_assert!(false, "segments are non-empty");
+                        continue;
+                    };
                     // The segment's final row is its own lookahead.
                     let mut prepared = last.clone();
                     prepared.extend_from_slice(&last);
@@ -594,13 +618,13 @@ impl<'a> AttackStream<'a> {
             .classifier()
             .predict_stream_chunks(&[chunk], std::slice::from_mut(&mut seg.long_state))
             .pop()
-            .expect("one result per stream");
+            .unwrap_or_default();
         let po = moscons
             .op_model()
             .classifier()
             .predict_stream_chunks(&[chunk], std::slice::from_mut(&mut seg.op_state))
             .pop()
-            .expect("one result per stream");
+            .unwrap_or_default();
         let ph: Vec<Vec<usize>> = HpKind::ALL
             .iter()
             .zip(seg.hp_states.iter_mut())
@@ -610,16 +634,28 @@ impl<'a> AttackStream<'a> {
                     .classifier()
                     .predict_stream_chunks(&[chunk], std::slice::from_mut(state))
                     .pop()
-                    .expect("one result per stream")
+                    .unwrap_or_default()
             })
             .collect();
-        for k in 0..n_rows {
+        // One prediction per pending row from every head — checked up front
+        // so a short prediction batch drops the chunk (degradation) instead
+        // of panicking row by row below.
+        if pl.len() != n_rows || po.len() != n_rows || ph.iter().any(|p| p.len() != n_rows) {
+            debug_assert!(false, "one prediction per pending row");
+            seg.pending.clear();
+            return;
+        }
+        for (k, (&long_cls, &op_cls)) in pl.iter().zip(po.iter()).enumerate() {
+            let mut hp = [0usize; HpKind::ALL.len()];
+            for (slot, preds) in hp.iter_mut().zip(&ph) {
+                *slot = preds.get(k).copied().unwrap_or_default();
+            }
             labels.push(StreamLabel {
                 sample: seg.start + seg.classified + k,
                 segment: seg_id,
-                long: LongClass::from_index(pl[k]),
-                op: OtherClass::from_index(po[k]),
-                hp: std::array::from_fn(|m| ph[m][k]),
+                long: LongClass::from_index(long_cls),
+                op: OtherClass::from_index(op_cls),
+                hp,
             });
         }
         seg.classified += n_rows;

@@ -62,7 +62,14 @@ fn majority_activation(layers: &[&RecoveredLayer]) -> Option<(Activation, usize,
     if total == 0 {
         return None;
     }
-    let best = (0..3).max_by_key(|&i| counts[i]).expect("three candidates");
+    // Last maximum wins, matching Iterator::max_by_key's tie rule, without
+    // an Option to unwrap on the serving path.
+    let mut best = 0usize;
+    for i in 1..3 {
+        if counts[i] >= counts[best] {
+            best = i;
+        }
+    }
     let act = [Activation::Relu, Activation::Tanh, Activation::Sigmoid][best];
     Some((act, counts[best], total))
 }

@@ -1,0 +1,174 @@
+//! `lint_bench` — times a cold vs warm `leaky-lint` run over the workspace
+//! and merges a `lint` section into `BENCH_pipeline.json` (preserving every
+//! other binary's keys, same contract as the `bench` crate's binaries).
+//!
+//! The cold run starts from an empty cache directory and pays the full
+//! lex/parse/fact-extraction cost for every file; the warm run re-reads the
+//! same tree and should satisfy every file from the content-hash cache.
+//! CI's bench-smoke job gates on `warm_secs <= cold_secs` — the incremental
+//! path regressing to slower-than-cold means the cache is broken, not just
+//! slow.
+//!
+//! Timing itself is this binary's whole job, so it uses `Instant` directly;
+//! `lint.toml` allowlists `crates/lint/` for D1 for exactly this file.
+
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+fn find_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join("lint.toml").is_file() {
+            return dir;
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}
+
+fn main() {
+    let root = find_root();
+    let config = match lint::load_config(&root) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("lint_bench: {}", e);
+            std::process::exit(2);
+        }
+    };
+
+    // A private cache directory so the bench never poisons (or is skewed
+    // by) the CLI's own cache under target/leaky-lint-cache.
+    let cache_dir = root.join("target/leaky-lint-cache-bench");
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    let t0 = Instant::now();
+    let cold = lint::run_full(&root, &config, Some(&cache_dir)).expect("cold lint run");
+    let cold_secs = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let warm = lint::run_full(&root, &config, Some(&cache_dir)).expect("warm lint run");
+    let warm_secs = t1.elapsed().as_secs_f64();
+
+    assert_eq!(
+        cold.diags, warm.diags,
+        "cached analysis disagrees with the from-scratch analysis"
+    );
+    assert_eq!(
+        warm.stats.cache_hits, warm.stats.files_analyzed,
+        "warm run missed the cache on {} of {} files",
+        warm.stats.cache_misses, warm.stats.files_analyzed
+    );
+
+    let section = format!(
+        "{{\n    \"files_analyzed\": {},\n    \"cold_secs\": {:.6},\n    \"warm_secs\": {:.6}\n  }}",
+        cold.stats.files_analyzed, cold_secs, warm_secs
+    );
+    let path = root.join("BENCH_pipeline.json");
+    merge_section(&path, "lint", &section);
+    println!(
+        "lint: {} files, cold {:.3}s, warm {:.3}s ({:.1}x) -> {}",
+        cold.stats.files_analyzed,
+        cold_secs,
+        warm_secs,
+        if warm_secs > 0.0 {
+            cold_secs / warm_secs
+        } else {
+            f64::INFINITY
+        },
+        path.display()
+    );
+}
+
+/// Replaces (or appends) one top-level key of a JSON object file, keeping
+/// every other key's raw text byte-for-byte. The lint crate is
+/// dependency-free, so this is a minimal balanced-scan splitter rather than
+/// a full JSON parser; anything it cannot read as a `{…}` object is
+/// replaced wholesale.
+fn merge_section(path: &Path, key: &str, raw_value: &str) {
+    let existing = std::fs::read_to_string(path).unwrap_or_default();
+    let mut fields = split_top_level(&existing).unwrap_or_default();
+    fields.retain(|(k, _)| k != key);
+    fields.push((key.to_string(), raw_value.to_string()));
+    let mut out = String::from("{\n");
+    for (i, (k, v)) in fields.iter().enumerate() {
+        out.push_str(&format!("  \"{}\": {}", k, v));
+        out.push_str(if i + 1 < fields.len() { ",\n" } else { "\n" });
+    }
+    out.push('}');
+    std::fs::write(path, out).expect("write BENCH_pipeline.json");
+}
+
+/// Splits `{"k1": v1, "k2": v2, …}` into raw `(key, value-text)` pairs.
+/// Tracks brace/bracket depth and string escapes; returns `None` on any
+/// input that is not a top-level JSON object.
+fn split_top_level(json: &str) -> Option<Vec<(String, String)>> {
+    let s = json.trim();
+    let body = s.strip_prefix('{')?.strip_suffix('}')?;
+    let b = body.as_bytes();
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < b.len() {
+        while i < b.len() && (b[i] as char).is_whitespace() {
+            i += 1;
+        }
+        if i >= b.len() {
+            break;
+        }
+        if b[i] != b'"' {
+            return None;
+        }
+        let (key, after_key) = read_string(b, i)?;
+        i = after_key;
+        while i < b.len() && (b[i] as char).is_whitespace() {
+            i += 1;
+        }
+        if i >= b.len() || b[i] != b':' {
+            return None;
+        }
+        i += 1;
+        while i < b.len() && (b[i] as char).is_whitespace() {
+            i += 1;
+        }
+        let start = i;
+        let mut depth = 0usize;
+        while i < b.len() {
+            match b[i] {
+                b'"' => {
+                    let (_, next) = read_string(b, i)?;
+                    i = next;
+                    continue;
+                }
+                b'{' | b'[' => depth += 1,
+                b'}' | b']' => depth = depth.checked_sub(1)?,
+                b',' if depth == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push((key, body[start..i].trim_end().to_string()));
+        if i < b.len() && b[i] == b',' {
+            i += 1;
+        }
+    }
+    Some(fields)
+}
+
+/// Reads the JSON string starting at `b[at] == '"'`; returns its unescaped-
+/// enough content (escapes kept verbatim — keys here are plain idents) and
+/// the index just past the closing quote.
+fn read_string(b: &[u8], at: usize) -> Option<(String, usize)> {
+    debug_assert!(b.get(at) == Some(&b'"'));
+    let mut i = at + 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => {
+                let content = std::str::from_utf8(&b[at + 1..i]).ok()?.to_string();
+                return Some((content, i + 1));
+            }
+            _ => i += 1,
+        }
+    }
+    None
+}

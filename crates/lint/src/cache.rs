@@ -1,0 +1,553 @@
+//! Per-file incremental analysis cache.
+//!
+//! Everything `leaky-lint` derives from one file in isolation — token-rule
+//! findings, the parsed item skeleton, call/alloc/panic/index/fold facts,
+//! the waiver table — is a pure function of that file's bytes. This module
+//! persists those derivations under `target/leaky-lint-cache/` keyed by
+//! FNV-1a-64 of the content plus a schema fingerprint, so a warm run only
+//! re-lexes files that actually changed. The cross-file passes (call-graph
+//! build, reachability, report-time policy) are recomputed every run: they
+//! depend on the whole workspace and on `lint.toml`, and are cheap next to
+//! lexing.
+//!
+//! The format is a line-based text record with percent-escaped fields —
+//! hand-rolled like the JSON writer, for the same reason: the linter polices
+//! serialization bugs, so it depends on no serializer. Any parse failure or
+//! fingerprint mismatch is a silent cache miss, never an error.
+
+use std::path::{Path, PathBuf};
+
+use crate::facts::{
+    CallFact, Callee, FileFacts, FnFacts, FoldFact, IndexFact, IterRoot, Recv, SiteFact,
+};
+use crate::parser::{ConstItem, FieldItem, FnItem, ParsedFile, UseItem};
+use crate::rules::{RawAnalysis, RawFinding, Waivers};
+
+/// Bump when the serialized shape *or the semantics of any per-file
+/// derivation* change; the rule-count fingerprint below catches added
+/// rules, this catches everything else.
+pub const SCHEMA: u32 = 1;
+
+/// Everything cached per file.
+#[derive(Debug, Default)]
+pub struct FileAnalysis {
+    pub raw: RawAnalysis,
+    pub parsed: ParsedFile,
+    pub facts: FileFacts,
+    pub waivers: Waivers,
+}
+
+/// FNV-1a 64-bit — stable, dependency-free content addressing.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn fingerprint() -> String {
+    format!(
+        "{} {} {}",
+        SCHEMA,
+        crate::rules::RULES.len(),
+        crate::arules::SEM_RULES.len()
+    )
+}
+
+fn entry_path(dir: &Path, rel: &str) -> PathBuf {
+    dir.join(format!("{:016x}.facts", fnv1a64(rel.as_bytes())))
+}
+
+/// Loads a cached analysis if present and current.
+pub fn load(dir: &Path, rel: &str, content_hash: u64) -> Option<FileAnalysis> {
+    let text = std::fs::read_to_string(entry_path(dir, rel)).ok()?;
+    parse_entry(&text, content_hash)
+}
+
+/// Stores an analysis; errors are swallowed (a cold cache is always valid).
+pub fn store(dir: &Path, rel: &str, content_hash: u64, analysis: &FileAnalysis) {
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let _ = std::fs::write(entry_path(dir, rel), render_entry(content_hash, analysis));
+}
+
+// ---------------------------------------------------------------------------
+// field escaping: space, %, newline, tab
+// ---------------------------------------------------------------------------
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '%' => out.push_str("%25"),
+            ' ' => out.push_str("%20"),
+            '\n' => out.push_str("%0A"),
+            '\t' => out.push_str("%09"),
+            c => out.push(c),
+        }
+    }
+    if out.is_empty() {
+        out.push_str("%00"); // empty-field marker
+    }
+    out
+}
+
+fn unesc(s: &str) -> String {
+    if s == "%00" {
+        return String::new();
+    }
+    // Copy between `%` escapes with str slices so multi-byte UTF-8 (the
+    // em-dashes in diagnostic messages) survives the round-trip intact.
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(at) = rest.find('%') {
+        out.push_str(&rest[..at]);
+        let rep = match rest.get(at + 1..at + 3) {
+            Some("25") => Some('%'),
+            Some("20") => Some(' '),
+            Some("0A") => Some('\n'),
+            Some("09") => Some('\t'),
+            _ => None,
+        };
+        match rep {
+            Some(c) => {
+                out.push(c);
+                rest = &rest[at + 3..];
+            }
+            None => {
+                out.push('%');
+                rest = &rest[at + 1..];
+            }
+        }
+    }
+    out.push_str(rest);
+    out
+}
+
+fn join_path(segs: &[String]) -> String {
+    if segs.is_empty() {
+        "%-".to_string()
+    } else {
+        segs.iter().map(|s| esc(s)).collect::<Vec<_>>().join("::")
+    }
+}
+
+fn split_path(s: &str) -> Vec<String> {
+    if s == "%-" {
+        Vec::new()
+    } else {
+        s.split("::").map(unesc).collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// render
+// ---------------------------------------------------------------------------
+
+fn render_entry(content_hash: u64, a: &FileAnalysis) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("leaky-lint-cache {}\n", fingerprint()));
+    out.push_str(&format!("hash {:016x}\n", content_hash));
+    for f in &a.raw.findings {
+        out.push_str(&format!("RF {} {} {}\n", f.rule, f.line, esc(&f.message)));
+    }
+    for &(line, safe) in &a.raw.unsafe_sites {
+        out.push_str(&format!("US {} {}\n", line, safe as u8));
+    }
+    for (line, rule) in &a.waivers.allows {
+        out.push_str(&format!("WA {} {}\n", line, esc(rule)));
+    }
+    for line in &a.waivers.sorted {
+        out.push_str(&format!("WS {}\n", line));
+    }
+    out.push_str(&format!("UP {}\n", a.parsed.unparsed_items));
+    for u in &a.parsed.uses {
+        out.push_str(&format!("USE {} {}\n", esc(&u.alias), join_path(&u.path)));
+    }
+    for c in &a.parsed.consts {
+        out.push_str(&format!(
+            "CONST {} {} {}\n",
+            c.line,
+            esc(&c.name),
+            join_path(&c.module)
+        ));
+    }
+    for f in &a.parsed.fields {
+        out.push_str(&format!("FLD {} {}\n", esc(&f.name), esc(&f.ty)));
+    }
+    for (i, f) in a.parsed.fns.iter().enumerate() {
+        out.push_str(&format!(
+            "FN {} {} {} {} {} {}\n",
+            f.line,
+            f.is_test as u8,
+            esc(&f.name),
+            f.self_type
+                .as_deref()
+                .map(esc)
+                .unwrap_or_else(|| "%-".into()),
+            join_path(&f.module),
+            esc(&f.ret),
+        ));
+        let facts = &a.facts.fns[i];
+        for (name, ty) in &facts.bindings {
+            out.push_str(&format!("B {} {}\n", esc(name), esc(ty)));
+        }
+        for c in &facts.calls {
+            match &c.callee {
+                Callee::Free(segs) => {
+                    out.push_str(&format!("C {} F {}\n", c.line, join_path(segs)));
+                }
+                Callee::Method { recv, name } => {
+                    let (rk, rn) = match recv {
+                        Recv::SelfRecv => ("s", "%-".to_string()),
+                        Recv::Ident(x) => ("i", esc(x)),
+                        Recv::Field(x) => ("f", esc(x)),
+                        Recv::Other => ("o", "%-".to_string()),
+                    };
+                    out.push_str(&format!("C {} M {} {} {}\n", c.line, rk, rn, esc(name)));
+                }
+            }
+        }
+        for s in &facts.allocs {
+            out.push_str(&format!("AL {} {}\n", s.line, esc(&s.what)));
+        }
+        for s in &facts.panics {
+            out.push_str(&format!("PA {} {}\n", s.line, esc(&s.what)));
+        }
+        for s in &facts.indexes {
+            out.push_str(&format!(
+                "IX {} {} {}\n",
+                s.line,
+                esc(&s.recv),
+                s.guarded as u8
+            ));
+        }
+        for s in &facts.folds {
+            let (rk, rd) = match &s.root {
+                IterRoot::Range => ("r", "%-".to_string()),
+                IterRoot::Ident(x) => ("i", esc(x)),
+                IterRoot::Field(x) => ("f", esc(x)),
+                IterRoot::Call(segs) => ("c", join_path(segs)),
+                IterRoot::Other => ("o", "%-".to_string()),
+            };
+            out.push_str(&format!(
+                "FO {} {} {} {} {} {}\n",
+                s.line,
+                s.loop_line,
+                esc(&s.acc),
+                rk,
+                rd,
+                join_path(&s.chain),
+            ));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// parse
+// ---------------------------------------------------------------------------
+
+fn parse_entry(text: &str, content_hash: u64) -> Option<FileAnalysis> {
+    let mut lines = text.lines();
+    let header = lines.next()?;
+    if header != format!("leaky-lint-cache {}", fingerprint()) {
+        return None;
+    }
+    let hash_line = lines.next()?;
+    let stored = u64::from_str_radix(hash_line.strip_prefix("hash ")?, 16).ok()?;
+    if stored != content_hash {
+        return None;
+    }
+
+    let mut a = FileAnalysis::default();
+    for line in lines {
+        let mut parts = line.splitn(2, ' ');
+        let tag = parts.next()?;
+        let rest = parts.next().unwrap_or("");
+        let fields: Vec<&str> = rest.split(' ').collect();
+        match tag {
+            "RF" => {
+                let [rule, line, msg] = fields.as_slice() else {
+                    return None;
+                };
+                a.raw.findings.push(RawFinding {
+                    rule: rule.parse().ok()?,
+                    line: line.parse().ok()?,
+                    message: unesc(msg),
+                });
+            }
+            "US" => {
+                let [line, safe] = fields.as_slice() else {
+                    return None;
+                };
+                a.raw.unsafe_sites.push((line.parse().ok()?, *safe == "1"));
+            }
+            "WA" => {
+                let [line, rule] = fields.as_slice() else {
+                    return None;
+                };
+                a.waivers.allows.push((line.parse().ok()?, unesc(rule)));
+            }
+            "WS" => {
+                let [line] = fields.as_slice() else {
+                    return None;
+                };
+                a.waivers.sorted.push(line.parse().ok()?);
+            }
+            "UP" => {
+                let [n] = fields.as_slice() else { return None };
+                a.parsed.unparsed_items = n.parse().ok()?;
+            }
+            "USE" => {
+                let [alias, path] = fields.as_slice() else {
+                    return None;
+                };
+                a.parsed.uses.push(UseItem {
+                    alias: unesc(alias),
+                    path: split_path(path),
+                });
+            }
+            "CONST" => {
+                let [line, name, module] = fields.as_slice() else {
+                    return None;
+                };
+                a.parsed.consts.push(ConstItem {
+                    name: unesc(name),
+                    module: split_path(module),
+                    line: line.parse().ok()?,
+                });
+            }
+            "FLD" => {
+                let [name, ty] = fields.as_slice() else {
+                    return None;
+                };
+                a.parsed.fields.push(FieldItem {
+                    name: unesc(name),
+                    ty: unesc(ty),
+                });
+            }
+            "FN" => {
+                let [line, test, name, self_ty, module, ret] = fields.as_slice() else {
+                    return None;
+                };
+                a.parsed.fns.push(FnItem {
+                    name: unesc(name),
+                    module: split_path(module),
+                    self_type: (*self_ty != "%-").then(|| unesc(self_ty)),
+                    params: Vec::new(), // superseded by cached bindings
+                    has_self: false,
+                    ret: unesc(ret),
+                    body: None, // facts are pre-extracted; bodies not needed
+                    line: line.parse().ok()?,
+                    is_test: *test == "1",
+                });
+                a.facts.fns.push(FnFacts::default());
+            }
+            "B" => {
+                let [name, ty] = fields.as_slice() else {
+                    return None;
+                };
+                cur(&mut a)?.bindings.insert(unesc(name), unesc(ty));
+            }
+            "C" => match fields.as_slice() {
+                [line, "F", path] => {
+                    cur(&mut a)?.calls.push(CallFact {
+                        line: line.parse().ok()?,
+                        callee: Callee::Free(split_path(path)),
+                    });
+                }
+                [line, "M", rk, rn, name] => {
+                    let recv = match *rk {
+                        "s" => Recv::SelfRecv,
+                        "i" => Recv::Ident(unesc(rn)),
+                        "f" => Recv::Field(unesc(rn)),
+                        _ => Recv::Other,
+                    };
+                    cur(&mut a)?.calls.push(CallFact {
+                        line: line.parse().ok()?,
+                        callee: Callee::Method {
+                            recv,
+                            name: unesc(name),
+                        },
+                    });
+                }
+                _ => return None,
+            },
+            "AL" => {
+                let [line, what] = fields.as_slice() else {
+                    return None;
+                };
+                cur(&mut a)?.allocs.push(SiteFact {
+                    line: line.parse().ok()?,
+                    what: unesc(what),
+                });
+            }
+            "PA" => {
+                let [line, what] = fields.as_slice() else {
+                    return None;
+                };
+                cur(&mut a)?.panics.push(SiteFact {
+                    line: line.parse().ok()?,
+                    what: unesc(what),
+                });
+            }
+            "IX" => {
+                let [line, recv, guarded] = fields.as_slice() else {
+                    return None;
+                };
+                cur(&mut a)?.indexes.push(IndexFact {
+                    line: line.parse().ok()?,
+                    recv: unesc(recv),
+                    guarded: *guarded == "1",
+                });
+            }
+            "FO" => {
+                let [line, loop_line, acc, rk, rd, chain] = fields.as_slice() else {
+                    return None;
+                };
+                let root = match *rk {
+                    "r" => IterRoot::Range,
+                    "i" => IterRoot::Ident(unesc(rd)),
+                    "f" => IterRoot::Field(unesc(rd)),
+                    "c" => IterRoot::Call(split_path(rd)),
+                    _ => IterRoot::Other,
+                };
+                cur(&mut a)?.folds.push(FoldFact {
+                    line: line.parse().ok()?,
+                    loop_line: loop_line.parse().ok()?,
+                    acc: unesc(acc),
+                    root,
+                    chain: split_path(chain),
+                });
+            }
+            _ => return None, // unknown tag: treat as corrupt, miss
+        }
+    }
+    Some(a)
+}
+
+fn cur(a: &mut FileAnalysis) -> Option<&mut FnFacts> {
+    a.facts.fns.last_mut()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::facts::extract;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+    use crate::rules::raw_check;
+
+    fn analyze(src: &str) -> FileAnalysis {
+        let lexed = lex(src);
+        let parsed = parse(&lexed);
+        let facts = extract(&lexed, &parsed);
+        FileAnalysis {
+            raw: raw_check(&lexed),
+            parsed,
+            facts,
+            waivers: Waivers::harvest(&lexed),
+        }
+    }
+
+    const SRC: &str = "\
+        use crate::stream::{AttackStream, GapStream as GS};\n\
+        const MIN_PARALLEL_X: usize = 4;\n\
+        struct S { gap: GapStream<'a> }\n\
+        impl S {\n\
+            // lint: allow(A1)\n\
+            fn hot_into(&mut self, xs: &[f32]) -> f32 {\n\
+                let v = xs.to_vec();\n\
+                let mut sum = 0.0;\n\
+                // lint: sorted\n\
+                for &x in &v { sum += x; }\n\
+                self.gap.push(sum);\n\
+                helper(sum);\n\
+                let r = thread_rng();\n\
+                let q = xs[3];\n\
+                sum\n\
+            }\n\
+        }\n";
+
+    #[test]
+    fn round_trips_through_the_text_format() {
+        let a = analyze(SRC);
+        let text = render_entry(0xdead_beef, &a);
+        let b = parse_entry(&text, 0xdead_beef).expect("parse back");
+
+        // raw findings (D4 thread_rng fires) survive
+        assert_eq!(a.raw.findings.len(), b.raw.findings.len());
+        assert!(b
+            .raw
+            .findings
+            .iter()
+            .any(|f| f.message.contains("thread_rng")));
+        // waivers survive with lines intact
+        assert_eq!(a.waivers.allows, b.waivers.allows);
+        assert_eq!(a.waivers.sorted, b.waivers.sorted);
+        // parsed skeleton survives
+        assert_eq!(a.parsed.fns.len(), b.parsed.fns.len());
+        assert_eq!(b.parsed.fns[0].name, "hot_into");
+        assert_eq!(b.parsed.fns[0].self_type.as_deref(), Some("S"));
+        assert_eq!(b.parsed.consts[0].name, "MIN_PARALLEL_X");
+        assert_eq!(b.parsed.uses.len(), a.parsed.uses.len());
+        // facts survive
+        let (fa, fb) = (&a.facts.fns[0], &b.facts.fns[0]);
+        assert_eq!(fa.allocs.len(), fb.allocs.len());
+        assert_eq!(fa.panics.len(), fb.panics.len());
+        assert_eq!(fa.calls.len(), fb.calls.len());
+        assert_eq!(fa.folds.len(), fb.folds.len());
+        assert_eq!(fa.indexes.len(), fb.indexes.len());
+        assert_eq!(fa.bindings, fb.bindings);
+        assert_eq!(fa.folds[0].root, fb.folds[0].root);
+    }
+
+    #[test]
+    fn hash_mismatch_and_fingerprint_mismatch_are_misses() {
+        let a = analyze(SRC);
+        let text = render_entry(1, &a);
+        assert!(parse_entry(&text, 2).is_none(), "stale content");
+        let tampered = text.replacen("leaky-lint-cache", "leaky-lint-cache 999", 1);
+        assert!(parse_entry(&tampered, 1).is_none(), "other schema");
+        assert!(parse_entry("garbage\n", 1).is_none());
+    }
+
+    #[test]
+    fn store_load_cycle_on_disk() {
+        let dir = std::env::temp_dir().join(format!(
+            "leaky-lint-cache-test-{:x}",
+            fnv1a64(SRC.as_bytes())
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let a = analyze(SRC);
+        let h = fnv1a64(SRC.as_bytes());
+        assert!(load(&dir, "x.rs", h).is_none(), "cold cache misses");
+        store(&dir, "x.rs", h, &a);
+        let b = load(&dir, "x.rs", h).expect("warm cache hits");
+        assert_eq!(a.parsed.fns.len(), b.parsed.fns.len());
+        assert!(
+            load(&dir, "x.rs", h ^ 1).is_none(),
+            "changed content misses"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn escaping_handles_spaces_percent_and_empties() {
+        for s in [
+            "",
+            "a b",
+            "100% done",
+            "tab\there",
+            "multi\nline",
+            "%20",
+            "non-ASCII — em-dash · middot",
+        ] {
+            assert_eq!(unesc(&esc(s)), s, "round-trip of {s:?}");
+        }
+    }
+}

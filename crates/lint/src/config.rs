@@ -36,6 +36,13 @@ pub struct RuleConfig {
     pub paths: Vec<String>,
     /// Path prefixes exempt from the rule.
     pub allow: Vec<String>,
+    /// Call-graph root patterns for reachability rules (A1/A2): full fn
+    /// ids with `*` wildcards, e.g. `ml::*_into`.
+    pub roots: Vec<String>,
+    /// Path prefixes where A2 additionally checks unguarded indexing
+    /// (the serving modules; ml kernels index by loop bounds by
+    /// construction — a documented non-goal).
+    pub index_paths: Vec<String>,
 }
 
 impl Default for RuleConfig {
@@ -44,6 +51,8 @@ impl Default for RuleConfig {
             severity: Some(Severity::Error),
             paths: Vec::new(),
             allow: Vec::new(),
+            roots: Vec::new(),
+            index_paths: Vec::new(),
         }
     }
 }
@@ -243,6 +252,14 @@ fn apply(config: &mut Config, section: &[String], key: &str, value: Value) -> Re
                     entry.allow = as_array(value)?;
                     Ok(())
                 }
+                "roots" => {
+                    entry.roots = as_array(value)?;
+                    Ok(())
+                }
+                "index_paths" => {
+                    entry.index_paths = as_array(value)?;
+                    Ok(())
+                }
                 other => Err(format!("unknown rule key `{}`", other)),
             }
         }
@@ -296,6 +313,7 @@ mod tests {
             severity: Some(Severity::Error),
             paths: vec!["crates/core/".into()],
             allow: vec!["crates/core/examples/".into()],
+            ..Default::default()
         };
         assert!(rule.applies_to("crates/core/src/attack.rs"));
         assert!(!rule.applies_to("crates/bench/src/lib.rs"));

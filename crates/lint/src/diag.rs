@@ -90,8 +90,25 @@ pub fn render_json(diags: &[Diagnostic]) -> String {
     out
 }
 
+/// [`render_json`] plus a trailing `"stats"` object. The `diagnostics` /
+/// `errors` / `warnings` keys keep their exact shape — CI's
+/// `jq -e '.errors == 0'` gate must not notice the difference.
+pub fn render_json_full(diags: &[Diagnostic], stats: &crate::RunStats) -> String {
+    let base = render_json(diags);
+    format!(
+        "{},\"stats\":{{\"files_analyzed\":{},\"cache_hits\":{},\"cache_misses\":{},\
+         \"unresolved_calls\":{},\"fns_indexed\":{}}}}}",
+        &base[..base.len() - 1],
+        stats.files_analyzed,
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.unresolved_calls,
+        stats.fns_indexed,
+    )
+}
+
 /// Escapes a string as a JSON string literal.
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

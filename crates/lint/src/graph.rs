@@ -1,0 +1,932 @@
+//! Workspace module graph + call graph.
+//!
+//! Nodes are functions, identified as `crate::module::[Type::]name`
+//! (`moscons::fleet::SessionState::poll_round`). Edges come from the
+//! per-file call facts ([`crate::facts`]), resolved with deliberately
+//! simple heuristics (DESIGN.md §13):
+//!
+//! * free paths resolve through the file's `use` map, then `crate::` /
+//!   `self::` / `super::` prefixes, then the workspace crate-name set;
+//! * `self.method(..)` resolves via the enclosing `impl` type;
+//! * `binding.method(..)` resolves via the binding's harvested type;
+//! * `….field.method(..)` (and destructured bindings) resolve via a
+//!   workspace-wide field-name → type map, used only when the field name
+//!   maps to exactly one type;
+//! * a method name in the std-method denylist that fails typed resolution
+//!   is assumed to be std and dropped; any *other* unresolved call lands in
+//!   the **unresolved bucket**, which the CLI reports — the analysis never
+//!   silently widens or narrows.
+//!
+//! Module paths are derived from file paths (`crates/<dir>/src/a/b.rs` →
+//! `<crate>::a::b`); `mod foo;` declarations are ignored (a file's on-disk
+//! location *is* its module here — true for this workspace). Crate names
+//! come from each member's `Cargo.toml` (directory name as fallback), so
+//! `crates/core` correctly maps to `moscons`.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::facts::{Callee, FileFacts, Recv};
+use crate::parser::ParsedFile;
+
+/// Method names so common on std types that a failed typed resolution is
+/// assumed to be std rather than an unresolved workspace call. A workspace
+/// method with one of these names is still reachable through a *typed*
+/// receiver; the denylist only suppresses the noisy fallback.
+const STD_METHODS: &[&str] = &[
+    "abs",
+    "all",
+    "any",
+    "as_bytes",
+    "as_mut",
+    "as_mut_slice",
+    "as_ref",
+    "as_slice",
+    "as_str",
+    "binary_search",
+    "borrow",
+    "by_ref",
+    "ceil",
+    "chain",
+    "chars",
+    "checked_sub",
+    "chunks",
+    "chunks_exact",
+    "clamp",
+    "clear",
+    "clone",
+    "cloned",
+    "cmp",
+    "collect",
+    "contains",
+    "contains_key",
+    "copied",
+    "copy_from_slice",
+    "count",
+    "dedup",
+    "drain",
+    "ends_with",
+    "entry",
+    "enumerate",
+    "eq",
+    "exp",
+    "extend",
+    "extend_from_slice",
+    "fill",
+    "filter",
+    "filter_map",
+    "find",
+    "first",
+    "flat_map",
+    "flatten",
+    "floor",
+    "fmt",
+    "fold",
+    "from_bits",
+    "front",
+    "get",
+    "get_mut",
+    "get_or_init",
+    "hash",
+    "insert",
+    "into",
+    "into_inner",
+    "into_iter",
+    "is_empty",
+    "is_finite",
+    "is_nan",
+    "is_none",
+    "is_some",
+    "iter",
+    "iter_mut",
+    "join",
+    "keys",
+    "last",
+    "len",
+    "ln",
+    "lock",
+    "map",
+    "map_err",
+    "max",
+    "max_by",
+    "max_by_key",
+    "min",
+    "min_by",
+    "min_by_key",
+    "next",
+    "ok",
+    "ok_or",
+    "or_default",
+    "or_else",
+    "or_insert",
+    "or_insert_with",
+    "parse",
+    "partial_cmp",
+    "pop",
+    "position",
+    "powf",
+    "powi",
+    "push",
+    "push_str",
+    "read",
+    "rem_euclid",
+    "replace",
+    "resize",
+    "retain",
+    "rev",
+    "round",
+    "saturating_add",
+    "saturating_sub",
+    "set",
+    "signum",
+    "skip",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "split",
+    "split_at",
+    "split_at_mut",
+    "split_off",
+    "sqrt",
+    "starts_with",
+    "step_by",
+    "sum",
+    "swap",
+    "take",
+    "take_while",
+    "to_bits",
+    "to_owned",
+    "to_string",
+    "to_vec",
+    "trim",
+    "trunc",
+    "truncate",
+    "try_into",
+    "unwrap",
+    "unwrap_err",
+    "unwrap_or",
+    "unwrap_or_default",
+    "unwrap_or_else",
+    "values",
+    "values_mut",
+    "windows",
+    "wrapping_add",
+    "wrapping_sub",
+    "write",
+    "zip",
+    "expect",
+    "expect_err",
+    "abs_diff",
+    "div_ceil",
+    "is_power_of_two",
+    "leading_zeros",
+    "max_element",
+    "mul_add",
+    "next_power_of_two",
+    "to_le_bytes",
+    "from_le_bytes",
+    "swap_remove",
+    "splice",
+    "last_mut",
+    "first_mut",
+    "get_unchecked",
+    "resize_with",
+    "reserve",
+    "shrink_to_fit",
+    "is_char_boundary",
+    "char_indices",
+    "bytes",
+    "lines",
+    "split_whitespace",
+    "repeat",
+    "finish",
+    "write_u64",
+    "write_usize",
+];
+
+/// Path heads that are std/primitive — failed path resolution through one of
+/// these never lands in the unresolved bucket.
+const STD_HEADS: &[&str] = &[
+    "std",
+    "core",
+    "alloc",
+    "Vec",
+    "Box",
+    "String",
+    "Some",
+    "None",
+    "Ok",
+    "Err",
+    "Option",
+    "Result",
+    "Ordering",
+    "Duration",
+    "Instant",
+    "SystemTime",
+    "HashMap",
+    "HashSet",
+    "BTreeMap",
+    "BTreeSet",
+    "VecDeque",
+    "Arc",
+    "Rc",
+    "Mutex",
+    "RwLock",
+    "Cell",
+    "RefCell",
+    "OnceLock",
+    "OnceCell",
+    "PathBuf",
+    "Path",
+    "Default",
+    "Clone",
+    "Copy",
+    "Iterator",
+    "IntoIterator",
+    "TryFrom",
+    "TryInto",
+    "From",
+    "Into",
+    "Cow",
+    "Wrapping",
+    "Saturating",
+    "f32",
+    "f64",
+    "u8",
+    "u16",
+    "u32",
+    "u64",
+    "u128",
+    "usize",
+    "i8",
+    "i16",
+    "i32",
+    "i64",
+    "i128",
+    "isize",
+    "bool",
+    "char",
+    "str",
+    "mem",
+    "ptr",
+    "cmp",
+    "fmt",
+    "iter",
+    "slice",
+    "array",
+    "env",
+    "fs",
+    "io",
+    "process",
+    "thread",
+    "panic",
+    "hint",
+    "f32x8",
+    "Self",
+];
+
+/// Std/container type roots — a typed receiver rooted here is a std call.
+const STD_TYPE_ROOTS: &[&str] = &[
+    "Vec", "VecDeque", "String", "Box", "Arc", "Rc", "Mutex", "RwLock", "Cell", "RefCell",
+    "OnceLock", "OnceCell", "HashMap", "HashSet", "BTreeMap", "BTreeSet", "Option", "Result",
+    "PathBuf", "Path", "Cow", "f32", "f64", "usize", "u64", "u32", "u16", "u8", "i64", "i32",
+    "str", "bool", "char", "Range", "Ordering", "Duration", "Instant",
+];
+
+/// One analyzed file, assembled by the driver.
+pub struct FileUnit {
+    /// Workspace-relative path, `/`-separated.
+    pub rel: String,
+    pub parsed: ParsedFile,
+    pub facts: FileFacts,
+}
+
+/// One function node.
+#[derive(Debug, Clone)]
+pub struct FnNode {
+    /// `crate::module::[Type::]name`.
+    pub id: String,
+    /// Index into the driver's file list.
+    pub file: usize,
+    /// Index into that file's `parsed.fns` / `facts.fns`.
+    pub fn_idx: usize,
+    pub crate_name: String,
+    pub self_type: Option<String>,
+    pub name: String,
+    pub ret: String,
+    pub line: u32,
+    pub is_test: bool,
+}
+
+/// One unresolved (non-std) call site.
+#[derive(Debug, Clone)]
+pub struct Unresolved {
+    pub caller: usize,
+    pub line: u32,
+    /// The callee as written (`cfg.validate` / `Splitter::feed`).
+    pub text: String,
+}
+
+/// The workspace call graph.
+pub struct Graph {
+    pub nodes: Vec<FnNode>,
+    /// Adjacency: `edges[n]` = nodes called by `n` (deduped, sorted).
+    pub edges: Vec<Vec<usize>>,
+    /// Calls that resolved to nothing and are not plausibly std.
+    pub unresolved: Vec<Unresolved>,
+    /// Workspace-wide field name → type roots (from struct/enum defs).
+    fields: BTreeMap<String, BTreeSet<String>>,
+    by_id: BTreeMap<String, usize>,
+    /// (self_type, method name) → node indices.
+    methods: BTreeMap<(String, String), Vec<usize>>,
+    crate_names: BTreeSet<String>,
+}
+
+/// Derives a file's module path. `crate_names` maps member *directory*
+/// prefixes (`crates/core`) to package names (`moscons`).
+pub fn module_path(rel: &str, crate_dirs: &BTreeMap<String, String>) -> Vec<String> {
+    let rel = rel.strip_suffix(".rs").unwrap_or(rel);
+    // Longest matching crate-dir prefix wins.
+    let mut best: Option<(&str, &str)> = None;
+    for (dir, name) in crate_dirs {
+        if rel.starts_with(dir.as_str())
+            && rel[dir.len()..].starts_with('/')
+            && best.is_none_or(|(d, _)| d.len() < dir.len())
+        {
+            best = Some((dir, name));
+        }
+    }
+    let (tail, crate_name) = match best {
+        Some((dir, name)) => (&rel[dir.len() + 1..], name.to_string()),
+        None => (rel, "workspace".to_string()),
+    };
+    let mut path = vec![crate_name.replace('-', "_")];
+    let mut segs: Vec<&str> = tail.split('/').collect();
+    if segs.first() == Some(&"src") {
+        segs.remove(0);
+    }
+    for seg in segs {
+        if seg == "lib" || seg == "main" || seg == "mod" {
+            continue;
+        }
+        path.push(seg.to_string());
+    }
+    path
+}
+
+/// Extracts the first meaningful type root from harvested type text
+/// (`& mut GapStream < 'a >` → `GapStream`; `& [ f32 ]` → `f32`).
+pub fn type_root(ty: &str) -> Option<String> {
+    ty.split_whitespace()
+        .find(|w| {
+            w.chars()
+                .next()
+                .is_some_and(|c| c.is_alphabetic() || c == '_')
+                && !matches!(*w, "mut" | "dyn" | "impl" | "const" | "ref")
+        })
+        .map(str::to_string)
+}
+
+impl Graph {
+    /// Builds the graph: nodes from every non-test fn, edges from call facts.
+    pub fn build(files: &[FileUnit], crate_dirs: &BTreeMap<String, String>) -> Graph {
+        let mut g = Graph {
+            nodes: Vec::new(),
+            edges: Vec::new(),
+            unresolved: Vec::new(),
+            fields: BTreeMap::new(),
+            by_id: BTreeMap::new(),
+            methods: BTreeMap::new(),
+            crate_names: crate_dirs.values().map(|n| n.replace('-', "_")).collect(),
+        };
+        let mut modules: Vec<Vec<String>> = Vec::new();
+
+        for (fi, unit) in files.iter().enumerate() {
+            let base = module_path(&unit.rel, crate_dirs);
+            modules.push(base.clone());
+            for field in &unit.parsed.fields {
+                if let Some(root) = type_root(&field.ty) {
+                    g.fields.entry(field.name.clone()).or_default().insert(root);
+                }
+            }
+            for (fj, f) in unit.parsed.fns.iter().enumerate() {
+                let mut id_parts = base.clone();
+                id_parts.extend(f.module.iter().cloned());
+                if let Some(t) = &f.self_type {
+                    id_parts.push(t.clone());
+                }
+                id_parts.push(f.name.clone());
+                let id = id_parts.join("::");
+                let node = FnNode {
+                    id: id.clone(),
+                    file: fi,
+                    fn_idx: fj,
+                    crate_name: base[0].clone(),
+                    self_type: f.self_type.clone(),
+                    name: f.name.clone(),
+                    ret: f.ret.clone(),
+                    line: f.line,
+                    is_test: f.is_test,
+                };
+                let idx = g.nodes.len();
+                g.nodes.push(node);
+                g.by_id.insert(id, idx);
+                if let Some(t) = &f.self_type {
+                    g.methods
+                        .entry((t.clone(), f.name.clone()))
+                        .or_default()
+                        .push(idx);
+                }
+            }
+        }
+
+        g.edges = vec![Vec::new(); g.nodes.len()];
+        for n in 0..g.nodes.len() {
+            let node = g.nodes[n].clone();
+            let unit = &files[node.file];
+            let module = &modules[node.file];
+            let use_map: BTreeMap<&str, &[String]> = unit
+                .parsed
+                .uses
+                .iter()
+                .map(|u| (u.alias.as_str(), u.path.as_slice()))
+                .collect();
+            let facts = &unit.facts.fns[node.fn_idx];
+            let mut out = BTreeSet::new();
+            for call in &facts.calls {
+                match g.resolve(&node, module, &use_map, facts, &call.callee) {
+                    Resolution::Node(m) => {
+                        out.insert(m);
+                    }
+                    Resolution::Std => {}
+                    Resolution::Unknown(text) => {
+                        g.unresolved.push(Unresolved {
+                            caller: n,
+                            line: call.line,
+                            text,
+                        });
+                    }
+                }
+            }
+            g.edges[n] = out.into_iter().collect();
+        }
+        g
+    }
+
+    /// The node index for a full id, if present.
+    pub fn node_by_id(&self, id: &str) -> Option<usize> {
+        self.by_id.get(id).copied()
+    }
+
+    /// Workspace type roots recorded for a field name, if any.
+    pub fn field_roots(&self, name: &str) -> Option<&BTreeSet<String>> {
+        self.fields.get(name)
+    }
+
+    /// Return types of every workspace method with this name (any type).
+    pub fn method_rets(&self, name: &str) -> Vec<&str> {
+        self.methods
+            .iter()
+            .filter(|((_, m), _)| m == name)
+            .flat_map(|(_, v)| v.iter())
+            .map(|&n| self.nodes[n].ret.as_str())
+            .collect()
+    }
+
+    /// Nodes matching a `*`-wildcard pattern over full ids, tests excluded.
+    pub fn match_pattern(&self, pattern: &str) -> Vec<usize> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| !n.is_test && wildcard_match(pattern, &n.id))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// BFS from `roots`; returns for each node the root it was first reached
+    /// from (as a node index), or `None` if unreachable. Test fns block
+    /// propagation (they are never on a production path).
+    pub fn reachable_from(&self, roots: &[usize]) -> Vec<Option<usize>> {
+        let mut from: Vec<Option<usize>> = vec![None; self.nodes.len()];
+        let mut queue = VecDeque::new();
+        for &r in roots {
+            if from[r].is_none() && !self.nodes[r].is_test {
+                from[r] = Some(r);
+                queue.push_back(r);
+            }
+        }
+        while let Some(n) = queue.pop_front() {
+            let root = from[n];
+            for &m in &self.edges[n] {
+                if from[m].is_none() && !self.nodes[m].is_test {
+                    from[m] = root;
+                    queue.push_back(m);
+                }
+            }
+        }
+        from
+    }
+
+    /// Resolves the return-type text of a call, for A3's order
+    /// classification. `None` when the callee is not a workspace fn.
+    pub fn ret_of_call(
+        &self,
+        node: &FnNode,
+        module: &[String],
+        use_map: &BTreeMap<&str, &[String]>,
+        facts: &crate::facts::FnFacts,
+        callee: &Callee,
+    ) -> Option<String> {
+        match self.resolve(node, module, use_map, facts, callee) {
+            Resolution::Node(m) => Some(self.nodes[m].ret.clone()),
+            _ => None,
+        }
+    }
+
+    fn resolve(
+        &self,
+        node: &FnNode,
+        module: &[String],
+        use_map: &BTreeMap<&str, &[String]>,
+        facts: &crate::facts::FnFacts,
+        callee: &Callee,
+    ) -> Resolution {
+        match callee {
+            Callee::Free(segs) => self.resolve_path(node, module, use_map, segs, 0),
+            Callee::Method { recv, name } => self.resolve_method(node, facts, recv, name),
+        }
+    }
+
+    fn resolve_path(
+        &self,
+        node: &FnNode,
+        module: &[String],
+        use_map: &BTreeMap<&str, &[String]>,
+        segs: &[String],
+        depth: usize,
+    ) -> Resolution {
+        if segs.is_empty() || depth > 4 {
+            return Resolution::Std;
+        }
+        let head = segs[0].as_str();
+
+        // `use` aliases expand first: `par_map(…)` after `use ml::par::par_map`.
+        if let Some(expansion) = use_map.get(head) {
+            if depth < 4 {
+                let mut full: Vec<String> = expansion.to_vec();
+                full.extend(segs[1..].iter().cloned());
+                // Avoid infinite self-expansion (`use x::par_map;` + call
+                // `par_map(…)` expands once; the expanded head differs).
+                if full.len() != segs.len() || full != segs {
+                    return self.resolve_path(node, module, use_map, &full, depth + 1);
+                }
+            }
+        }
+
+        match head {
+            "crate" => {
+                let mut full = vec![node.crate_name.clone()];
+                full.extend(segs[1..].iter().cloned());
+                return self.lookup_full(&full);
+            }
+            "self" => {
+                let mut full = module.to_vec();
+                full.extend(segs[1..].iter().cloned());
+                return self.lookup_full(&full);
+            }
+            "super" => {
+                let mut full: Vec<String> = module[..module.len().saturating_sub(1)].to_vec();
+                full.extend(segs[1..].iter().cloned());
+                return self.lookup_full(&full);
+            }
+            "Self" => {
+                if let (Some(t), [_, m]) = (&node.self_type, segs) {
+                    return self.lookup_method(&node.crate_name, t, m);
+                }
+                return Resolution::Std;
+            }
+            _ => {}
+        }
+
+        if self.crate_names.contains(head) {
+            return self.lookup_full(segs);
+        }
+
+        if segs.len() == 1 {
+            // Bare call: same module, else same crate root.
+            let mut full = module.to_vec();
+            full.push(segs[0].clone());
+            if let Resolution::Node(n) = self.lookup_full(&full) {
+                return Resolution::Node(n);
+            }
+            let crate_root = vec![node.crate_name.clone(), segs[0].clone()];
+            if let Resolution::Node(n) = self.lookup_full(&crate_root) {
+                return Resolution::Node(n);
+            }
+            // Free fns are also matched by unique name within the caller's
+            // crate (helpers called across sibling modules via `use`
+            // globs — rare, but cheap to cover).
+            return Resolution::Std; // closures / std free fns (drop, …)
+        }
+
+        // `Type::method(…)` — associated call.
+        if segs.len() == 2 && head.chars().next().is_some_and(char::is_uppercase) {
+            let r = self.lookup_method(&node.crate_name, head, &segs[1]);
+            if let Resolution::Node(n) = r {
+                return Resolution::Node(n);
+            }
+            if STD_HEADS.contains(&head) {
+                return Resolution::Std;
+            }
+            return Resolution::Unknown(segs.join("::"));
+        }
+
+        if STD_HEADS.contains(&head) {
+            return Resolution::Std;
+        }
+        // Last resort: full-path lookup (handles `module::fn` written
+        // relative to the crate root from lib.rs).
+        let mut full = vec![node.crate_name.clone()];
+        full.extend(segs.iter().cloned());
+        if let Resolution::Node(n) = self.lookup_full(&full) {
+            return Resolution::Node(n);
+        }
+        Resolution::Unknown(segs.join("::"))
+    }
+
+    fn lookup_full(&self, segs: &[String]) -> Resolution {
+        let id = segs.join("::");
+        match self.by_id.get(&id) {
+            Some(&n) => Resolution::Node(n),
+            None => Resolution::Unknown(id),
+        }
+    }
+
+    /// Methods by `(type, name)`: same-crate candidates win; a unique
+    /// workspace-wide candidate is accepted; ambiguity is unresolved.
+    fn lookup_method(&self, crate_name: &str, ty: &str, name: &str) -> Resolution {
+        let Some(cands) = self.methods.get(&(ty.to_string(), name.to_string())) else {
+            if STD_TYPE_ROOTS.contains(&ty) || STD_METHODS.contains(&name) {
+                return Resolution::Std;
+            }
+            return Resolution::Unknown(format!("{}::{}", ty, name));
+        };
+        let same_crate: Vec<usize> = cands
+            .iter()
+            .copied()
+            .filter(|&n| self.nodes[n].crate_name == crate_name)
+            .collect();
+        match (same_crate.as_slice(), cands.as_slice()) {
+            ([one], _) => Resolution::Node(*one),
+            ([], [one]) => Resolution::Node(*one),
+            ([], []) => Resolution::Std,
+            _ => Resolution::Unknown(format!("{}::{} (ambiguous impls)", ty, name)),
+        }
+    }
+
+    fn resolve_method(
+        &self,
+        node: &FnNode,
+        facts: &crate::facts::FnFacts,
+        recv: &Recv,
+        name: &str,
+    ) -> Resolution {
+        let typed = match recv {
+            Recv::SelfRecv => node.self_type.clone(),
+            Recv::Ident(x) => facts
+                .bindings
+                .get(x)
+                .and_then(|ty| type_root(ty))
+                .or_else(|| self.unique_field_type(x)),
+            Recv::Field(f) => self.unique_field_type(f),
+            Recv::Other => None,
+        };
+        if let Some(ty) = typed {
+            if STD_TYPE_ROOTS.contains(&ty.as_str()) {
+                return Resolution::Std;
+            }
+            match self.lookup_method(&node.crate_name, &ty, name) {
+                Resolution::Node(n) => return Resolution::Node(n),
+                Resolution::Unknown(u) => {
+                    if STD_METHODS.contains(&name) {
+                        return Resolution::Std;
+                    }
+                    return Resolution::Unknown(u);
+                }
+                Resolution::Std => return Resolution::Std,
+            }
+        }
+        // Untyped receiver: std-denylisted names are assumed std; anything
+        // else resolves when the workspace has exactly one method so named.
+        if STD_METHODS.contains(&name) {
+            return Resolution::Std;
+        }
+        let all: Vec<usize> = self
+            .methods
+            .iter()
+            .filter(|((_, m), _)| m == name)
+            .flat_map(|(_, v)| v.iter().copied())
+            .collect();
+        match all.as_slice() {
+            [one] => Resolution::Node(*one),
+            [] => Resolution::Unknown(format!(".{}()", name)),
+            _ => Resolution::Unknown(format!(".{}() (ambiguous receivers)", name)),
+        }
+    }
+
+    fn unique_field_type(&self, field: &str) -> Option<String> {
+        let roots = self.fields.get(field)?;
+        // std-rooted fields (Vec, Option…) are fine to ignore; a unique
+        // workspace root resolves.
+        let ws: Vec<&String> = roots
+            .iter()
+            .filter(|r| !STD_TYPE_ROOTS.contains(&r.as_str()))
+            .collect();
+        match ws.as_slice() {
+            [one] => Some((*one).clone()),
+            _ => roots.iter().next().cloned().filter(|_| roots.len() == 1),
+        }
+    }
+}
+
+enum Resolution {
+    Node(usize),
+    Std,
+    Unknown(String),
+}
+
+/// `*`-wildcard match (each `*` spans any characters, `::` included).
+pub fn wildcard_match(pattern: &str, text: &str) -> bool {
+    let parts: Vec<&str> = pattern.split('*').collect();
+    if parts.len() == 1 {
+        return pattern == text;
+    }
+    let mut pos = 0usize;
+    for (i, part) in parts.iter().enumerate() {
+        if part.is_empty() {
+            continue;
+        }
+        if i == 0 {
+            if !text.starts_with(part) {
+                return false;
+            }
+            pos = part.len();
+        } else if i == parts.len() - 1 {
+            return text.len() >= pos && text[pos..].ends_with(part);
+        } else {
+            match text[pos..].find(part) {
+                Some(at) => pos += at + part.len(),
+                None => return false,
+            }
+        }
+    }
+    // pattern ends with `*`
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::facts::extract;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    fn unit(rel: &str, src: &str) -> FileUnit {
+        let lexed = lex(src);
+        let parsed = parse(&lexed);
+        let facts = extract(&lexed, &parsed);
+        FileUnit {
+            rel: rel.to_string(),
+            parsed,
+            facts,
+        }
+    }
+
+    fn dirs() -> BTreeMap<String, String> {
+        [
+            ("crates/core".to_string(), "moscons".to_string()),
+            ("crates/ml".to_string(), "ml".to_string()),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn module_paths_map_dirs_to_package_names() {
+        let d = dirs();
+        assert_eq!(module_path("crates/core/src/lib.rs", &d), vec!["moscons"]);
+        assert_eq!(
+            module_path("crates/core/src/fleet.rs", &d),
+            vec!["moscons", "fleet"]
+        );
+        assert_eq!(
+            module_path("crates/ml/src/par/thresholds.rs", &d),
+            vec!["ml", "par", "thresholds"]
+        );
+    }
+
+    #[test]
+    fn method_vs_free_fn_resolution() {
+        // Pins the heuristic: `self.step()` resolves to the impl's method,
+        // `helper()` to the same-module free fn, and the two never cross.
+        let files = vec![unit(
+            "crates/ml/src/seq.rs",
+            "fn helper() {}\n\
+             struct Classifier { n: usize }\n\
+             impl Classifier {\n\
+                 fn step(&mut self) { helper(); }\n\
+                 fn run(&mut self) { self.step(); }\n\
+             }\n\
+             fn step() { /* free fn sharing the method's name */ }\n",
+        )];
+        let g = Graph::build(&files, &dirs());
+        let run = g.node_by_id("ml::seq::Classifier::run").unwrap();
+        let step_m = g.node_by_id("ml::seq::Classifier::step").unwrap();
+        let helper = g.node_by_id("ml::seq::helper").unwrap();
+        let step_f = g.node_by_id("ml::seq::step").unwrap();
+        assert_eq!(g.edges[run], vec![step_m], "self.step() is the method");
+        assert_eq!(g.edges[step_m], vec![helper]);
+        assert!(g.edges.iter().all(|e| !e.contains(&step_f)));
+    }
+
+    #[test]
+    fn cross_crate_use_resolution() {
+        let files = vec![
+            unit("crates/ml/src/par.rs", "pub fn par_map() { }\n"),
+            unit(
+                "crates/core/src/attack.rs",
+                "use ml::par::par_map;\n\
+                 pub fn extract() { par_map(); ml::par::par_map(); }\n",
+            ),
+        ];
+        let g = Graph::build(&files, &dirs());
+        let extract_n = g.node_by_id("moscons::attack::extract").unwrap();
+        let par_map = g.node_by_id("ml::par::par_map").unwrap();
+        assert_eq!(g.edges[extract_n], vec![par_map]);
+    }
+
+    #[test]
+    fn typed_and_field_receivers_resolve_untyped_std_names_do_not() {
+        let files = vec![unit(
+            "crates/core/src/stream.rs",
+            "pub struct GapStream { n: usize }\n\
+             impl GapStream { pub fn push(&mut self) {} }\n\
+             pub struct Engine { gap: GapStream }\n\
+             impl Engine {\n\
+                 fn typed(&mut self, g: &mut GapStream) { g.push(); }\n\
+                 fn field(&mut self) { self.gap.push(); }\n\
+                 fn untyped(&mut self, v: &mut Vec<u32>) { v.push(1); }\n\
+             }\n",
+        )];
+        let g = Graph::build(&files, &dirs());
+        let push = g.node_by_id("moscons::stream::GapStream::push").unwrap();
+        let typed = g.node_by_id("moscons::stream::Engine::typed").unwrap();
+        let field = g.node_by_id("moscons::stream::Engine::field").unwrap();
+        let untyped = g.node_by_id("moscons::stream::Engine::untyped").unwrap();
+        assert_eq!(g.edges[typed], vec![push]);
+        assert_eq!(g.edges[field], vec![push]);
+        assert!(g.edges[untyped].is_empty(), "Vec::push is std, no edge");
+    }
+
+    #[test]
+    fn unresolved_bucket_collects_unknown_non_std_calls() {
+        let files = vec![unit(
+            "crates/core/src/x.rs",
+            "fn a() { mystery_fn_nowhere::call(); }\n",
+        )];
+        let g = Graph::build(&files, &dirs());
+        assert_eq!(g.unresolved.len(), 1);
+        assert!(g.unresolved[0].text.contains("mystery_fn_nowhere"));
+    }
+
+    #[test]
+    fn reachability_stops_at_test_fns_and_tracks_roots() {
+        let files = vec![unit(
+            "crates/core/src/x.rs",
+            "pub fn root() { mid(); }\n\
+             fn mid() { leaf(); }\n\
+             fn leaf() {}\n\
+             fn island() {}\n\
+             #[cfg(test)]\n\
+             mod tests { fn t() { super::island(); } }\n",
+        )];
+        let g = Graph::build(&files, &dirs());
+        let roots = g.match_pattern("moscons::x::root");
+        let reach = g.reachable_from(&roots);
+        let leaf = g.node_by_id("moscons::x::leaf").unwrap();
+        let island = g.node_by_id("moscons::x::island").unwrap();
+        assert_eq!(reach[leaf], Some(roots[0]));
+        assert_eq!(reach[island], None, "only test code reaches island");
+    }
+
+    #[test]
+    fn wildcards_span_path_separators() {
+        assert!(wildcard_match("ml::*_into", "ml::matrix::matmul_into"));
+        assert!(wildcard_match(
+            "moscons::stream::AttackStream::*",
+            "moscons::stream::AttackStream::push"
+        ));
+        assert!(!wildcard_match("ml::*_into", "ml::matrix::matmul"));
+        assert!(wildcard_match("exact::path", "exact::path"));
+    }
+}

@@ -7,14 +7,31 @@
 //! configurations; this crate enforces the invariants they rely on
 //! *statically*, across every `.rs` file in the tree, on every CI run.
 //!
-//! The rule set (D1–D7) lives in [`rules`]; severities and path scoping
-//! live in the checked-in `lint.toml` at the workspace root; [`lexer`] is a
-//! hand-rolled token scanner (no `syn` — the workspace builds offline
-//! against std-only stand-ins). Run it as:
+//! Two rule families:
+//!
+//! - **D1–D8** ([`rules`]): token-level rules on one file at a time —
+//!   wall-clock in kernels, hash-order iteration, unseeded RNG, undocumented
+//!   `unsafe`, and friends.
+//! - **A1–A4** ([`arules`]): semantic rules over the workspace call graph —
+//!   hot-path allocation, panic-free serving, float reduction order, and
+//!   threshold confinement. These parse every file into an item skeleton
+//!   ([`parser`]), extract per-function facts ([`facts`]), stitch a
+//!   workspace call graph ([`graph`]), and check reachability from
+//!   configured roots.
+//!
+//! Per-file work (lex → parse → facts → token findings) is content-hash
+//! cached under `target/leaky-lint-cache/` ([`cache`]); the graph passes are
+//! recomputed every run. Severities and path scoping live in the checked-in
+//! `lint.toml` at the workspace root; the lexer is a hand-rolled token
+//! scanner (no `syn` — the workspace builds offline against std-only
+//! stand-ins). Run it as:
 //!
 //! ```text
-//! cargo run -p lint              # human-readable report
-//! cargo run -p lint -- --json    # machine-readable, for the CI jq gate
+//! cargo run -p lint                  # human-readable report
+//! cargo run -p lint -- --json        # machine-readable, for the CI jq gate
+//! cargo run -p lint -- --sarif       # SARIF 2.1.0 for code scanning
+//! cargo run -p lint -- --explain A1  # what a rule means and why
+//! cargo run -p lint -- --check-config  # audit lint.toml for stale entries
 //! ```
 //!
 //! Exit status: `0` clean (warnings allowed), `1` at least one
@@ -22,26 +39,215 @@
 
 #![forbid(unsafe_code)]
 
+pub mod arules;
+pub mod cache;
 pub mod config;
 pub mod diag;
+pub mod facts;
+pub mod graph;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
+pub mod sarif;
 pub mod walk;
 
+use std::collections::BTreeMap;
 use std::path::Path;
 
+use cache::FileAnalysis;
 use config::Config;
 use diag::Diagnostic;
+use graph::{FileUnit, Graph};
+use rules::Waivers;
 
-/// Lints every configured file under `root`, returning sorted diagnostics.
-pub fn run(root: &Path, config: &Config) -> std::io::Result<Vec<Diagnostic>> {
-    let mut diags = Vec::new();
+/// Counters from one full run, surfaced in `--json` output and the
+/// `lint_bench` pipeline benchmark.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct RunStats {
+    /// Files lexed/parsed or loaded from cache this run.
+    pub files_analyzed: usize,
+    /// Files whose per-file analysis came from the warm cache.
+    pub cache_hits: usize,
+    /// Files analyzed from scratch (cold cache, changed content, or
+    /// caching disabled).
+    pub cache_misses: usize,
+    /// Call sites the graph could not resolve to a workspace function or
+    /// plausibly attribute to std (see `graph::Graph::unresolved`).
+    pub unresolved_calls: usize,
+    /// Non-test functions indexed into the call graph.
+    pub fns_indexed: usize,
+}
+
+/// Diagnostics plus run counters.
+#[derive(Debug, Default)]
+pub struct RunOutput {
+    pub diags: Vec<Diagnostic>,
+    pub stats: RunStats,
+}
+
+/// Lints every configured file under `root`: token rules per file, then
+/// the semantic A-rules over the workspace call graph. When `cache_dir`
+/// is given, per-file analyses are loaded/stored there keyed by content
+/// hash; graph construction and policy always run fresh.
+pub fn run_full(
+    root: &Path,
+    config: &Config,
+    cache_dir: Option<&Path>,
+) -> std::io::Result<RunOutput> {
+    let crate_dirs = discover_crates(root);
+    let mut out = RunOutput::default();
+    let mut units: Vec<FileUnit> = Vec::new();
+    let mut waivers: Vec<Waivers> = Vec::new();
+
     for rel in walk::rust_files(root, config)? {
         let src = std::fs::read_to_string(root.join(&rel))?;
-        diags.extend(rules::check_file(&rel, &src, config));
+        let hash = cache::fnv1a64(src.as_bytes());
+        let analysis = match cache_dir.and_then(|d| cache::load(d, &rel, hash)) {
+            Some(a) => {
+                out.stats.cache_hits += 1;
+                a
+            }
+            None => {
+                out.stats.cache_misses += 1;
+                let lexed = lexer::lex(&src);
+                let parsed = parser::parse(&lexed);
+                let facts = facts::extract(&lexed, &parsed);
+                let a = FileAnalysis {
+                    raw: rules::raw_check(&lexed),
+                    parsed,
+                    facts,
+                    waivers: Waivers::harvest(&lexed),
+                };
+                if let Some(d) = cache_dir {
+                    cache::store(d, &rel, hash, &a);
+                }
+                a
+            }
+        };
+        out.stats.files_analyzed += 1;
+        out.diags.extend(rules::report(
+            &rel,
+            &analysis.raw,
+            &analysis.waivers,
+            config,
+        ));
+        units.push(FileUnit {
+            rel,
+            parsed: analysis.parsed,
+            facts: analysis.facts,
+        });
+        waivers.push(analysis.waivers);
     }
-    diag::sort(&mut diags);
-    Ok(diags)
+
+    let graph = Graph::build(&units, &crate_dirs);
+    out.stats.unresolved_calls = graph.unresolved.len();
+    out.stats.fns_indexed = graph.nodes.len();
+    out.diags
+        .extend(arules::check(&units, &waivers, &graph, &crate_dirs, config));
+    diag::sort(&mut out.diags);
+    Ok(out)
+}
+
+/// Compatibility wrapper: diagnostics only, no cache.
+pub fn run(root: &Path, config: &Config) -> std::io::Result<Vec<Diagnostic>> {
+    run_full(root, config, None).map(|o| o.diags)
+}
+
+/// Maps workspace member directories (`crates/core`) to package names
+/// (`moscons`) by scanning each member's `Cargo.toml` for its first
+/// `name = "…"` line. Falls back to the directory name; files outside any
+/// member land in a synthetic `workspace` crate.
+pub fn discover_crates(root: &Path) -> BTreeMap<String, String> {
+    let mut out = BTreeMap::new();
+    let Ok(entries) = std::fs::read_dir(root.join("crates")) else {
+        return out;
+    };
+    for entry in entries.flatten() {
+        let dir = entry.path();
+        let Some(dir_name) = dir.file_name().and_then(|n| n.to_str()).map(String::from) else {
+            continue;
+        };
+        let manifest = dir.join("Cargo.toml");
+        let name = std::fs::read_to_string(&manifest)
+            .ok()
+            .and_then(|src| {
+                src.lines().find_map(|l| {
+                    let l = l.trim();
+                    let rest = l.strip_prefix("name")?.trim_start().strip_prefix('=')?;
+                    let rest = rest.trim();
+                    let rest = rest.strip_prefix('"')?;
+                    Some(rest[..rest.find('"')?].to_string())
+                })
+            })
+            .unwrap_or_else(|| dir_name.clone());
+        if manifest.exists() {
+            out.insert(format!("crates/{dir_name}"), name);
+        }
+    }
+    out
+}
+
+/// Audits `lint.toml` for stale allowlist entries: an `allow` path that
+/// prefixes zero walked files, or whose removal changes no diagnostic
+/// (it suppresses nothing — for D5, no `unsafe` left under it; for A4, no
+/// gate lives there). Returns human-readable problems, empty when clean.
+///
+/// Analyses are computed once; only the (cheap) policy passes re-run per
+/// candidate entry.
+pub fn check_config(root: &Path, config: &Config) -> std::io::Result<Vec<String>> {
+    let crate_dirs = discover_crates(root);
+    let files = walk::rust_files(root, config)?;
+    let mut units: Vec<FileUnit> = Vec::new();
+    let mut waivers: Vec<Waivers> = Vec::new();
+    let mut raws: Vec<rules::RawAnalysis> = Vec::new();
+    for rel in &files {
+        let src = std::fs::read_to_string(root.join(rel))?;
+        let lexed = lexer::lex(&src);
+        let parsed = parser::parse(&lexed);
+        let facts = facts::extract(&lexed, &parsed);
+        raws.push(rules::raw_check(&lexed));
+        waivers.push(Waivers::harvest(&lexed));
+        units.push(FileUnit {
+            rel: rel.clone(),
+            parsed,
+            facts,
+        });
+    }
+    let graph = Graph::build(&units, &crate_dirs);
+    let eval = |cfg: &Config| -> Vec<Diagnostic> {
+        let mut d: Vec<Diagnostic> = units
+            .iter()
+            .zip(&raws)
+            .zip(&waivers)
+            .flat_map(|((u, raw), w)| rules::report(&u.rel, raw, w, cfg))
+            .collect();
+        d.extend(arules::check(&units, &waivers, &graph, &crate_dirs, cfg));
+        diag::sort(&mut d);
+        d
+    };
+    let baseline = eval(config);
+
+    let mut problems = Vec::new();
+    for (id, rc) in &config.rules {
+        for entry in &rc.allow {
+            if !files.iter().any(|f| f.starts_with(entry.as_str())) {
+                problems.push(format!(
+                    "rules.{id}.allow entry `{entry}` matches zero linted files"
+                ));
+                continue;
+            }
+            let mut cfg2 = config.clone();
+            if let Some(rc2) = cfg2.rules.get_mut(id) {
+                rc2.allow.retain(|e| e != entry);
+            }
+            if eval(&cfg2) == baseline {
+                problems.push(format!(
+                    "rules.{id}.allow entry `{entry}` suppresses zero findings (stale)"
+                ));
+            }
+        }
+    }
+    Ok(problems)
 }
 
 /// Loads `lint.toml` from `root`.
@@ -50,4 +256,24 @@ pub fn load_config(root: &Path) -> Result<Config, String> {
     let src = std::fs::read_to_string(&path)
         .map_err(|e| format!("cannot read {}: {}", path.display(), e))?;
     Config::parse(&src).map_err(|e| format!("{}: {}", path.display(), e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discover_crates_maps_this_workspace() {
+        // The lint crate's own manifest dir is crates/lint, two up is root.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .unwrap()
+            .parent()
+            .unwrap()
+            .to_path_buf();
+        let map = discover_crates(&root);
+        assert_eq!(map.get("crates/lint").map(String::as_str), Some("lint"));
+        assert!(map.contains_key("crates/ml"));
+        assert!(map.contains_key("crates/core"));
+    }
 }

@@ -9,6 +9,10 @@ use lint::config::Severity;
 
 struct Args {
     json: bool,
+    sarif: bool,
+    explain: Option<String>,
+    check_config: bool,
+    no_cache: bool,
     root: Option<PathBuf>,
     config: Option<PathBuf>,
 }
@@ -17,10 +21,16 @@ const USAGE: &str = "\
 leaky-lint — determinism & simulator-invariant static analysis
 
 USAGE:
-    leaky-lint [--json] [--root <dir>] [--config <lint.toml>]
+    leaky-lint [--json | --sarif] [--no-cache] [--root <dir>] [--config <lint.toml>]
+    leaky-lint --explain <rule>
+    leaky-lint --check-config [--root <dir>] [--config <lint.toml>]
 
 OPTIONS:
-    --json             machine-readable output (diagnostics + error/warning counts)
+    --json             machine-readable output (diagnostics + counts + run stats)
+    --sarif            SARIF 2.1.0 output (GitHub code scanning)
+    --explain <rule>   print what a rule (D1..D8, A1..A4) means and how to fix it
+    --check-config     audit lint.toml for stale allowlist entries; exit 1 if any
+    --no-cache         skip the per-file analysis cache (target/leaky-lint-cache)
     --root <dir>       workspace root to lint (default: nearest dir with lint.toml,
                        else the workspace this binary was built from)
     --config <path>    config file (default: <root>/lint.toml)
@@ -33,6 +43,10 @@ EXIT STATUS:
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         json: false,
+        sarif: false,
+        explain: None,
+        check_config: false,
+        no_cache: false,
         root: None,
         config: None,
     };
@@ -40,6 +54,12 @@ fn parse_args() -> Result<Args, String> {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--json" => args.json = true,
+            "--sarif" => args.sarif = true,
+            "--explain" => {
+                args.explain = Some(it.next().ok_or("--explain needs a rule id argument")?)
+            }
+            "--check-config" => args.check_config = true,
+            "--no-cache" => args.no_cache = true,
             "--root" => {
                 args.root = Some(PathBuf::from(
                     it.next().ok_or("--root needs a directory argument")?,
@@ -56,6 +76,9 @@ fn parse_args() -> Result<Args, String> {
             }
             other => return Err(format!("unknown argument `{}`", other)),
         }
+    }
+    if args.json && args.sarif {
+        return Err("--json and --sarif are mutually exclusive".into());
     }
     Ok(args)
 }
@@ -88,7 +111,24 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let root = args.root.unwrap_or_else(find_root);
+
+    if let Some(id) = &args.explain {
+        return match lint::arules::explain(id) {
+            Some((name, text)) => {
+                println!("{} ({})\n\n{}", id, name, text);
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!(
+                    "leaky-lint: unknown rule `{}` (expected D1..D8 or A1..A4)",
+                    id
+                );
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    let root = args.root.clone().unwrap_or_else(find_root);
     let config = match &args.config {
         Some(path) => std::fs::read_to_string(path)
             .map_err(|e| format!("cannot read {}: {}", path.display(), e))
@@ -104,19 +144,44 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let diags = match lint::run(&root, &config) {
-        Ok(d) => d,
+
+    if args.check_config {
+        return match lint::check_config(&root, &config) {
+            Ok(problems) if problems.is_empty() => {
+                println!("leaky-lint: config clean (no stale allowlist entries)");
+                ExitCode::SUCCESS
+            }
+            Ok(problems) => {
+                for p in &problems {
+                    println!("leaky-lint: {}", p);
+                }
+                println!("leaky-lint: {} stale config entries", problems.len());
+                ExitCode::from(1)
+            }
+            Err(e) => {
+                eprintln!("leaky-lint: {}", e);
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    let cache_dir = root.join("target/leaky-lint-cache");
+    let cache = (!args.no_cache).then_some(cache_dir.as_path());
+    let out = match lint::run_full(&root, &config, cache) {
+        Ok(o) => o,
         Err(e) => {
             eprintln!("leaky-lint: {}", e);
             return ExitCode::from(2);
         }
     };
     if args.json {
-        println!("{}", lint::diag::render_json(&diags));
+        println!("{}", lint::diag::render_json_full(&out.diags, &out.stats));
+    } else if args.sarif {
+        print!("{}", lint::sarif::render_sarif(&out.diags));
     } else {
-        print!("{}", lint::diag::render_human(&diags));
+        print!("{}", lint::diag::render_human(&out.diags));
     }
-    let errors = diags.iter().any(|d| d.severity == Severity::Error);
+    let errors = out.diags.iter().any(|d| d.severity == Severity::Error);
     if errors {
         ExitCode::from(1)
     } else {

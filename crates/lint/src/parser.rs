@@ -1,0 +1,930 @@
+//! Item-level parser: the layer between the token stream and the call
+//! graph.
+//!
+//! `leaky-lint` v1 saw single tokens; the semantic rules (A1–A4) need to
+//! know *which function* a token lives in and *who calls whom*. This parser
+//! recovers exactly that much structure and nothing more:
+//!
+//! * `fn` items — name, enclosing inline-`mod` path, enclosing `impl` type,
+//!   parameter names/types, return type, and the brace-matched body as a
+//!   token-index range;
+//! * `use` declarations — alias → full path (groups and `as` renames
+//!   expanded, globs ignored);
+//! * `const`/`static` items — for rule A4's threshold confinement;
+//! * `struct`/`enum` field names and types — the receiver-type heuristic's
+//!   fallback for `self.field.method()` and destructured bindings;
+//! * `#[cfg(test)]` / `#[test]` markers — test code is excluded from the
+//!   graph so reachability never flows through assertions-by-design.
+//!
+//! Non-goals (documented in DESIGN.md §13): no expression trees, no trait
+//! resolution, no generics, no macro expansion. Anything the parser cannot
+//! classify is *skipped and counted* (`ParsedFile::unparsed_items`), never
+//! guessed at — the same forgiving posture as the lexer.
+
+use crate::lexer::{Lexed, Tok, TokKind};
+
+/// One function parameter (pattern name and its type, as written).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Last identifier of the pattern (`x` from `mut x`, `b` from
+    /// `(a, b): (usize, usize)` — good enough for binding-type lookups).
+    pub name: String,
+    /// Type text with tokens joined by single spaces (`& mut [ f32 ]`).
+    pub ty: String,
+}
+
+/// One `fn` item.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    pub name: String,
+    /// Inline-`mod` path within the file (outermost first).
+    pub module: Vec<String>,
+    /// Enclosing `impl` target type, if any (`SessionState` from
+    /// `impl<'a> SessionState<'a>`; the *type*, not the trait).
+    pub self_type: Option<String>,
+    pub params: Vec<Param>,
+    /// Whether the parameter list starts with a `self` receiver.
+    pub has_self: bool,
+    /// Return type text (`""` for unit).
+    pub ret: String,
+    /// Token-index range of the body, including both braces.
+    /// `None` for bodiless signatures (trait methods, extern).
+    pub body: Option<(usize, usize)>,
+    pub line: u32,
+    /// Marked `#[test]` / inside `#[cfg(test)]` — excluded from the graph.
+    pub is_test: bool,
+}
+
+/// One expanded `use` binding: `alias` names `path` in this file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UseItem {
+    pub alias: String,
+    /// Full path segments as written (`["crate", "stream", "AttackStream"]`).
+    pub path: Vec<String>,
+}
+
+/// One item-level `const`/`static`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConstItem {
+    pub name: String,
+    pub module: Vec<String>,
+    pub line: u32,
+}
+
+/// One struct/enum field (or enum-variant field): name and type text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldItem {
+    pub name: String,
+    pub ty: String,
+}
+
+/// The parsed form of one source file.
+#[derive(Debug, Default)]
+pub struct ParsedFile {
+    pub fns: Vec<FnItem>,
+    pub uses: Vec<UseItem>,
+    pub consts: Vec<ConstItem>,
+    pub fields: Vec<FieldItem>,
+    /// Items the parser skipped without classifying (macro invocations at
+    /// item level, exotic syntax). Reported, never silently dropped.
+    pub unparsed_items: usize,
+}
+
+impl ParsedFile {
+    /// Parser-side waiver lookup: true when a `// lint: allow(<rule>)`
+    /// comment sits on `line` or the line above. Must agree exactly with
+    /// the lexer-side table ([`Lexed::comment_above_contains`]) — a testkit
+    /// property in `tests/self_test.rs` pins the equivalence.
+    pub fn waived(lexed: &Lexed, line: u32, rule: &str) -> bool {
+        lexed.comment_above_contains(line, 1, &format!("lint: allow({})", rule))
+    }
+}
+
+/// Parses one lexed file.
+pub fn parse(lexed: &Lexed) -> ParsedFile {
+    let mut p = Parser {
+        toks: &lexed.tokens,
+        i: 0,
+        out: ParsedFile::default(),
+        mods: Vec::new(),
+        impls: Vec::new(),
+        in_test: Vec::new(),
+    };
+    p.items(false);
+    p.out
+}
+
+struct Parser<'a> {
+    toks: &'a [Tok],
+    i: usize,
+    out: ParsedFile,
+    /// Inline-`mod` name stack.
+    mods: Vec<String>,
+    /// `impl` target type stack (None for scopes we could not classify).
+    impls: Vec<Option<String>>,
+    /// Whether each enclosing mod scope is `#[cfg(test)]`.
+    in_test: Vec<bool>,
+}
+
+impl<'a> Parser<'a> {
+    fn cur(&self) -> Option<&Tok> {
+        self.toks.get(self.i)
+    }
+
+    fn ident(&self, off: usize) -> Option<&str> {
+        let t = self.toks.get(self.i + off)?;
+        (t.kind == TokKind::Ident).then_some(t.text.as_str())
+    }
+
+    fn punct(&self, off: usize) -> Option<char> {
+        let t = self.toks.get(self.i + off)?;
+        (t.kind == TokKind::Punct).then(|| t.text.chars().next().unwrap_or(' '))
+    }
+
+    fn bump(&mut self) {
+        self.i += 1;
+    }
+
+    fn line(&self) -> u32 {
+        self.cur().map(|t| t.line).unwrap_or(0)
+    }
+
+    fn scope_is_test(&self) -> bool {
+        self.in_test.iter().any(|&t| t)
+    }
+
+    /// Consumes items until EOF (or the matching `}` when `closing`).
+    fn items(&mut self, closing: bool) {
+        // Attribute state for the *next* item.
+        let mut next_is_test = false;
+        while let Some(t) = self.cur() {
+            match (t.kind, t.text.as_str()) {
+                (TokKind::Punct, "}") if closing => {
+                    self.bump();
+                    return;
+                }
+                (TokKind::Punct, "#") => {
+                    next_is_test |= self.attr();
+                }
+                (TokKind::Punct, ";") => self.bump(),
+                (TokKind::Ident, "pub") => {
+                    self.bump();
+                    if self.punct(0) == Some('(') {
+                        self.skip_balanced('(', ')');
+                    }
+                }
+                (TokKind::Ident, "unsafe" | "async" | "default") => self.bump(),
+                (TokKind::Ident, "extern") => {
+                    self.bump();
+                    if self.cur().is_some_and(|t| t.kind == TokKind::Str) {
+                        self.bump();
+                    }
+                    // `extern "C" { … }` block: treat contents as items.
+                    if self.punct(0) == Some('{') {
+                        self.bump();
+                        self.items(true);
+                    }
+                }
+                (TokKind::Ident, "use") => {
+                    self.bump();
+                    self.parse_use();
+                    next_is_test = false;
+                }
+                (TokKind::Ident, "mod") => {
+                    self.bump();
+                    let name = self.ident(0).unwrap_or("").to_string();
+                    self.bump();
+                    if self.punct(0) == Some('{') {
+                        self.bump();
+                        self.mods.push(name);
+                        self.in_test.push(next_is_test);
+                        self.items(true);
+                        self.in_test.pop();
+                        self.mods.pop();
+                    } else {
+                        self.skip_to_semi();
+                    }
+                    next_is_test = false;
+                }
+                (TokKind::Ident, "impl") => {
+                    self.bump();
+                    let ty = self.impl_header();
+                    if self.punct(0) == Some('{') {
+                        self.bump();
+                        self.impls.push(ty);
+                        self.in_test.push(next_is_test);
+                        self.items(true);
+                        self.in_test.pop();
+                        self.impls.pop();
+                    }
+                    next_is_test = false;
+                }
+                (TokKind::Ident, "fn") => {
+                    self.bump();
+                    self.parse_fn(next_is_test);
+                    next_is_test = false;
+                }
+                (TokKind::Ident, "const" | "static") => {
+                    // `const fn` is a fn; `const NAME: T = …;` is an item.
+                    self.bump();
+                    if self.ident(0) == Some("mut") {
+                        self.bump();
+                    }
+                    if self.ident(0) == Some("fn") {
+                        self.bump();
+                        self.parse_fn(next_is_test);
+                    } else if self.ident(0) == Some("unsafe") || self.ident(0) == Some("extern") {
+                        // `const unsafe fn` — strip modifiers.
+                        while matches!(self.ident(0), Some("unsafe" | "extern")) {
+                            self.bump();
+                            if self.cur().is_some_and(|t| t.kind == TokKind::Str) {
+                                self.bump();
+                            }
+                        }
+                        if self.ident(0) == Some("fn") {
+                            self.bump();
+                            self.parse_fn(next_is_test);
+                        }
+                    } else {
+                        let line = self.line();
+                        if let Some(name) = self.ident(0) {
+                            self.out.consts.push(ConstItem {
+                                name: name.to_string(),
+                                module: self.mods.clone(),
+                                line,
+                            });
+                        }
+                        self.skip_to_semi();
+                    }
+                    next_is_test = false;
+                }
+                (TokKind::Ident, "struct" | "enum" | "union") => {
+                    self.bump();
+                    self.parse_adt();
+                    next_is_test = false;
+                }
+                (TokKind::Ident, "trait") => {
+                    // Trait bodies hold signatures and (rare here) default
+                    // methods; skip wholesale — trait-default reachability
+                    // is a documented non-goal.
+                    self.bump();
+                    self.skip_item();
+                    next_is_test = false;
+                }
+                (TokKind::Ident, "type") => {
+                    self.bump();
+                    self.skip_to_semi();
+                    next_is_test = false;
+                }
+                (TokKind::Ident, "macro_rules") => {
+                    self.bump();
+                    self.skip_item();
+                    self.out.unparsed_items += 1;
+                    next_is_test = false;
+                }
+                _ => {
+                    // Unclassifiable item start (e.g. a macro invocation at
+                    // item level): skip one balanced item, count it.
+                    self.skip_item();
+                    self.out.unparsed_items += 1;
+                    next_is_test = false;
+                }
+            }
+        }
+    }
+
+    /// Consumes `#[…]` / `#![…]`; returns true for `#[test]`-ish attrs
+    /// (`#[test]`, `#[cfg(test)]` and friends).
+    fn attr(&mut self) -> bool {
+        self.bump(); // '#'
+        if self.punct(0) == Some('!') {
+            self.bump();
+        }
+        if self.punct(0) != Some('[') {
+            return false;
+        }
+        let start = self.i;
+        self.skip_balanced('[', ']');
+        let inner = &self.toks[start + 1..self.i.saturating_sub(1)];
+        let first_ident = inner.iter().find(|t| t.kind == TokKind::Ident);
+        if first_ident.is_some_and(|t| t.text == "test") {
+            return true;
+        }
+        // `cfg(test)` / `cfg(any(test, …))`: a `cfg` attr mentioning the
+        // bare `test` predicate.
+        let is_cfg = first_ident.is_some_and(|t| t.text == "cfg");
+        is_cfg
+            && inner
+                .iter()
+                .any(|t| t.kind == TokKind::Ident && t.text == "test")
+    }
+
+    /// Parses `use path::{group, x as y};` into expanded aliases.
+    fn parse_use(&mut self) {
+        let mut prefix: Vec<String> = Vec::new();
+        self.use_tree(&mut prefix);
+        self.skip_to_semi();
+    }
+
+    fn use_tree(&mut self, prefix: &mut Vec<String>) {
+        let depth_at_entry = prefix.len();
+        loop {
+            match self.cur() {
+                Some(t) if t.kind == TokKind::Ident => {
+                    let seg = t.text.clone();
+                    self.bump();
+                    if self.ident(0) == Some("as") {
+                        // `path as alias`
+                        self.bump();
+                        let alias = self.ident(0).unwrap_or("").to_string();
+                        self.bump();
+                        let mut path = prefix.clone();
+                        path.push(seg);
+                        self.out.uses.push(UseItem { alias, path });
+                        prefix.truncate(depth_at_entry);
+                        if self.punct(0) == Some(',') {
+                            self.bump();
+                            continue;
+                        }
+                        return;
+                    }
+                    if self.punct(0) == Some(':') && self.punct(1) == Some(':') {
+                        self.bump();
+                        self.bump();
+                        if seg == "self" && prefix.is_empty() {
+                            // leading `self::` — module-relative, keep marker
+                            prefix.push(seg);
+                        } else {
+                            prefix.push(seg);
+                        }
+                        if self.punct(0) == Some('{') {
+                            self.bump();
+                            loop {
+                                if self.punct(0) == Some('}') {
+                                    self.bump();
+                                    break;
+                                }
+                                if self.punct(0) == Some(',') {
+                                    self.bump();
+                                    continue;
+                                }
+                                if self.cur().is_none() {
+                                    break;
+                                }
+                                self.use_tree(prefix);
+                            }
+                            prefix.truncate(depth_at_entry);
+                            return;
+                        }
+                        if self.punct(0) == Some('*') {
+                            self.bump(); // glob: no aliases to record
+                            prefix.truncate(depth_at_entry);
+                            return;
+                        }
+                        continue;
+                    }
+                    // Terminal segment: alias = segment itself, or the
+                    // parent for `self` in a group (`use a::b::{self}`).
+                    let (alias, path) = if seg == "self" {
+                        match prefix.last() {
+                            Some(last) => (last.clone(), prefix.clone()),
+                            None => return,
+                        }
+                    } else {
+                        let mut path = prefix.clone();
+                        path.push(seg.clone());
+                        (seg, path)
+                    };
+                    self.out.uses.push(UseItem { alias, path });
+                    prefix.truncate(depth_at_entry);
+                    return;
+                }
+                _ => return,
+            }
+        }
+    }
+
+    /// Parses an `impl` header up to (not including) its `{`, returning the
+    /// target type's last path segment.
+    fn impl_header(&mut self) -> Option<String> {
+        if self.punct(0) == Some('<') {
+            self.skip_angles();
+        }
+        let mut last_seg: Option<String> = None;
+        let mut after_for = false;
+        let mut ty_for: Option<String> = None;
+        while let Some(t) = self.cur() {
+            match (t.kind, t.text.as_str()) {
+                (TokKind::Punct, "{") => break,
+                (TokKind::Ident, "where") => {
+                    // skip where clause to the `{`
+                    while self.cur().is_some_and(|t| t.text != "{") {
+                        if self.punct(0) == Some('<') {
+                            self.skip_angles();
+                        } else {
+                            self.bump();
+                        }
+                    }
+                    break;
+                }
+                (TokKind::Ident, "for") => {
+                    after_for = true;
+                    last_seg = None;
+                    self.bump();
+                }
+                (TokKind::Ident, _) => {
+                    last_seg = Some(t.text.clone());
+                    self.bump();
+                    if self.punct(0) == Some('<') {
+                        self.skip_angles();
+                    }
+                }
+                _ => self.bump(),
+            }
+            if after_for {
+                ty_for = last_seg.clone().or(ty_for);
+            }
+        }
+        if after_for {
+            ty_for
+        } else {
+            last_seg
+        }
+    }
+
+    /// Parses `fn name<…>(params) -> Ret { body }` after the `fn` keyword.
+    fn parse_fn(&mut self, attr_test: bool) {
+        let line = self.line();
+        let Some(name) = self.ident(0).map(str::to_string) else {
+            self.skip_item();
+            self.out.unparsed_items += 1;
+            return;
+        };
+        self.bump();
+        if self.punct(0) == Some('<') {
+            self.skip_angles();
+        }
+        let (params, has_self) = if self.punct(0) == Some('(') {
+            self.parse_params()
+        } else {
+            (Vec::new(), false)
+        };
+        // Return type: `-> …` until `{`, `;` or `where`.
+        let mut ret = String::new();
+        if self.punct(0) == Some('-') && self.punct(1) == Some('>') {
+            self.bump();
+            self.bump();
+            let mut depth = 0usize;
+            while let Some(t) = self.cur() {
+                match (t.kind, t.text.as_str()) {
+                    (TokKind::Punct, "<" | "(" | "[") => depth += 1,
+                    (TokKind::Punct, ">" | ")" | "]") if depth > 0 => depth -= 1,
+                    (TokKind::Punct, "{" | ";") if depth == 0 => break,
+                    (TokKind::Ident, "where") if depth == 0 => break,
+                    _ => {}
+                }
+                if !ret.is_empty() {
+                    ret.push(' ');
+                }
+                ret.push_str(&t.text);
+                self.bump();
+            }
+        }
+        if self.ident(0) == Some("where") {
+            while self
+                .cur()
+                .is_some_and(|t| !(t.kind == TokKind::Punct && (t.text == "{" || t.text == ";")))
+            {
+                if self.punct(0) == Some('<') {
+                    self.skip_angles();
+                } else {
+                    self.bump();
+                }
+            }
+        }
+        let body = if self.punct(0) == Some('{') {
+            let start = self.i;
+            self.skip_balanced('{', '}');
+            Some((start, self.i))
+        } else {
+            self.skip_to_semi();
+            None
+        };
+        self.out.fns.push(FnItem {
+            name,
+            module: self.mods.clone(),
+            self_type: self.impls.last().cloned().flatten(),
+            params,
+            has_self,
+            ret,
+            body,
+            line,
+            is_test: attr_test || self.scope_is_test(),
+        });
+    }
+
+    /// Parses a parenthesized parameter list, the cursor on `(`.
+    fn parse_params(&mut self) -> (Vec<Param>, bool) {
+        let start = self.i;
+        self.skip_balanced('(', ')');
+        let inner = &self.toks[start + 1..self.i.saturating_sub(1)];
+        let mut params = Vec::new();
+        let mut has_self = false;
+        // Split on top-level commas.
+        let mut depth = 0usize;
+        let mut piece: Vec<&Tok> = Vec::new();
+        let mut pieces: Vec<Vec<&Tok>> = Vec::new();
+        for t in inner {
+            match (t.kind, t.text.as_str()) {
+                (TokKind::Punct, "<" | "(" | "[") => depth += 1,
+                (TokKind::Punct, ">" | ")" | "]") if depth > 0 => depth -= 1,
+                (TokKind::Punct, ",") if depth == 0 => {
+                    pieces.push(std::mem::take(&mut piece));
+                    continue;
+                }
+                _ => {}
+            }
+            piece.push(t);
+        }
+        if !piece.is_empty() {
+            pieces.push(piece);
+        }
+        for (pi, piece) in pieces.iter().enumerate() {
+            let is_self = piece
+                .iter()
+                .any(|t| t.kind == TokKind::Ident && t.text == "self");
+            if pi == 0 && is_self && !piece.iter().any(|t| t.text == ":") {
+                has_self = true;
+                continue;
+            }
+            // Find the top-level `:` splitting pattern from type.
+            let mut depth = 0usize;
+            let mut colon = None;
+            for (ti, t) in piece.iter().enumerate() {
+                match (t.kind, t.text.as_str()) {
+                    (TokKind::Punct, "<" | "(" | "[") => depth += 1,
+                    (TokKind::Punct, ">" | ")" | "]") if depth > 0 => depth -= 1,
+                    (TokKind::Punct, ":") if depth == 0 => {
+                        // `::` is two tokens; a lone `:` splits.
+                        let next_colon = piece.get(ti + 1).is_some_and(|t| t.text == ":");
+                        let prev_colon = ti > 0 && piece[ti - 1].text == ":";
+                        if !next_colon && !prev_colon {
+                            colon = Some(ti);
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            let Some(ci) = colon else { continue };
+            let name = piece[..ci]
+                .iter()
+                .rev()
+                .find(|t| t.kind == TokKind::Ident && t.text != "mut" && t.text != "ref")
+                .map(|t| t.text.clone())
+                .unwrap_or_default();
+            let ty = piece[ci + 1..]
+                .iter()
+                .map(|t| t.text.as_str())
+                .collect::<Vec<_>>()
+                .join(" ");
+            params.push(Param { name, ty });
+        }
+        (params, has_self)
+    }
+
+    /// Parses a struct/enum/union after its keyword: records field
+    /// name/type pairs (including enum-variant fields) for the
+    /// receiver-type heuristic.
+    fn parse_adt(&mut self) {
+        self.bump(); // name
+        if self.punct(0) == Some('<') {
+            self.skip_angles();
+        }
+        while let Some(t) = self.cur() {
+            match (t.kind, t.text.as_str()) {
+                (TokKind::Punct, ";") => {
+                    self.bump();
+                    return;
+                }
+                (TokKind::Punct, "(") => {
+                    // tuple struct / variant args — no named fields
+                    self.skip_balanced('(', ')');
+                }
+                (TokKind::Punct, "{") => {
+                    let start = self.i;
+                    self.skip_balanced('{', '}');
+                    self.harvest_fields(start + 1, self.i.saturating_sub(1));
+                    // enum bodies continue with more variants; struct bodies
+                    // end here. Either way the brace closed the item unless
+                    // we are inside an enum's variant list — handled by the
+                    // caller loop terminating on `;`/next item keywords.
+                    return;
+                }
+                (TokKind::Ident, "where") => self.bump(),
+                (TokKind::Punct, "<") => self.skip_angles(),
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// Harvests `name: Type` pairs at top nesting level(s) of an ADT body.
+    /// Enum variants introduce one extra brace level; both levels are
+    /// scanned (the pattern `ident : type` with a lone colon is
+    /// unambiguous inside ADT bodies).
+    fn harvest_fields(&mut self, lo: usize, hi: usize) {
+        let toks = &self.toks[lo..hi];
+        let mut k = 0usize;
+        while k < toks.len() {
+            let t = &toks[k];
+            if t.kind == TokKind::Punct && t.text == "#" {
+                // field attribute: skip `[…]`
+                let mut j = k + 1;
+                if toks.get(j).is_some_and(|t| t.text == "[") {
+                    let mut depth = 0usize;
+                    while j < toks.len() {
+                        match toks[j].text.as_str() {
+                            "[" => depth += 1,
+                            "]" => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                }
+                k = j + 1;
+                continue;
+            }
+            let is_name = t.kind == TokKind::Ident
+                && toks.get(k + 1).is_some_and(|n| n.text == ":")
+                && toks.get(k + 2).is_none_or(|n| n.text != ":")
+                && !matches!(t.text.as_str(), "pub");
+            if is_name {
+                // type runs to the next top-level `,` or the end
+                let mut depth = 0usize;
+                let mut j = k + 2;
+                let mut ty = String::new();
+                while j < toks.len() {
+                    match toks[j].text.as_str() {
+                        "<" | "(" | "[" | "{" => depth += 1,
+                        ">" | ")" | "]" | "}" if depth > 0 => depth -= 1,
+                        "," if depth == 0 => break,
+                        "}" if depth == 0 => break,
+                        _ => {}
+                    }
+                    if !ty.is_empty() {
+                        ty.push(' ');
+                    }
+                    ty.push_str(&toks[j].text);
+                    j += 1;
+                }
+                self.out.fields.push(FieldItem {
+                    name: t.text.clone(),
+                    ty,
+                });
+                k = j;
+                continue;
+            }
+            k += 1;
+        }
+    }
+
+    /// Skips one balanced delimiter group, the cursor on the opener.
+    fn skip_balanced(&mut self, open: char, close: char) {
+        let mut depth = 0usize;
+        while let Some(t) = self.cur() {
+            if t.kind == TokKind::Punct {
+                let c = t.text.chars().next().unwrap_or(' ');
+                if c == open {
+                    depth += 1;
+                } else if c == close {
+                    depth -= 1;
+                    if depth == 0 {
+                        self.bump();
+                        return;
+                    }
+                }
+            }
+            self.bump();
+        }
+    }
+
+    /// Skips a balanced `<…>` generic group (handles `>>` arriving as two
+    /// tokens; `->` never appears inside a generic header in this
+    /// workspace's code, and if it did the `(`/`)` balance below keeps the
+    /// cursor sane for `Fn(..) -> R` bounds).
+    fn skip_angles(&mut self) {
+        let mut angle = 0isize;
+        let mut paren = 0isize;
+        while let Some(t) = self.cur() {
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "<" => angle += 1,
+                    ">" => {
+                        // `->` inside Fn() bounds: the '-' precedes; only
+                        // count '>' as a closer when not part of `->`.
+                        let prev_minus = self.i > 0 && self.toks[self.i - 1].text == "-";
+                        if !prev_minus {
+                            angle -= 1;
+                            if angle <= 0 && paren == 0 {
+                                self.bump();
+                                return;
+                            }
+                        }
+                    }
+                    "(" => paren += 1,
+                    ")" => paren -= 1,
+                    ";" | "{" if paren == 0 => return, // runaway guard
+                    _ => {}
+                }
+            }
+            self.bump();
+        }
+    }
+
+    /// Skips to just past the next `;` at delimiter depth 0.
+    fn skip_to_semi(&mut self) {
+        let mut depth = 0usize;
+        while let Some(t) = self.cur() {
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" if depth > 0 => depth -= 1,
+                    ";" if depth == 0 => {
+                        self.bump();
+                        return;
+                    }
+                    _ => {}
+                }
+            }
+            self.bump();
+        }
+    }
+
+    /// Skips one item of unknown shape: to a `;` at depth 0 or past the
+    /// first balanced brace group, whichever comes first.
+    fn skip_item(&mut self) {
+        let mut depth = 0usize;
+        while let Some(t) = self.cur() {
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" if depth > 0 => depth -= 1,
+                    "{" => {
+                        self.skip_balanced('{', '}');
+                        if depth == 0 {
+                            return;
+                        }
+                        continue;
+                    }
+                    ";" if depth == 0 => {
+                        self.bump();
+                        return;
+                    }
+                    _ => {}
+                }
+            }
+            self.bump();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> ParsedFile {
+        parse(&lex(src))
+    }
+
+    #[test]
+    fn fn_items_with_modules_and_impls() {
+        let p = parse_src(
+            "fn free(a: usize) -> usize { a }\n\
+             mod inner { pub fn nested() {} }\n\
+             impl<'a> SessionState<'a> {\n\
+                 fn method(&mut self, x: &[f32]) -> Vec<f32> { x.to_vec() }\n\
+             }\n\
+             impl Default for FleetConfig { fn default() -> Self { todo!() } }\n",
+        );
+        let names: Vec<(String, Option<String>, Vec<String>)> = p
+            .fns
+            .iter()
+            .map(|f| (f.name.clone(), f.self_type.clone(), f.module.clone()))
+            .collect();
+        assert_eq!(names[0], ("free".into(), None, vec![]));
+        assert_eq!(names[1], ("nested".into(), None, vec!["inner".into()]));
+        assert_eq!(
+            names[2],
+            ("method".into(), Some("SessionState".into()), vec![])
+        );
+        assert_eq!(
+            names[3],
+            ("default".into(), Some("FleetConfig".into()), vec![])
+        );
+        assert!(p.fns[2].has_self);
+        assert_eq!(p.fns[2].params.len(), 1);
+        assert_eq!(p.fns[2].params[0].name, "x");
+        assert_eq!(p.fns[2].params[0].ty, "& [ f32 ]");
+        assert_eq!(p.fns[2].ret, "Vec < f32 >");
+        assert!(p.fns[2].body.is_some());
+    }
+
+    #[test]
+    fn use_groups_and_renames_expand() {
+        let p = parse_src(
+            "use crate::stream::{AttackStream, GapStream as GS, SplitEvent};\n\
+             use ml::par::par_map;\n\
+             use std::collections::BTreeMap;\n",
+        );
+        let find = |alias: &str| -> Vec<String> {
+            p.uses
+                .iter()
+                .find(|u| u.alias == alias)
+                .map(|u| u.path.clone())
+                .unwrap_or_default()
+        };
+        assert_eq!(
+            find("AttackStream"),
+            vec!["crate", "stream", "AttackStream"]
+        );
+        assert_eq!(find("GS"), vec!["crate", "stream", "GapStream"]);
+        assert_eq!(find("par_map"), vec!["ml", "par", "par_map"]);
+        assert_eq!(find("BTreeMap"), vec!["std", "collections", "BTreeMap"]);
+    }
+
+    #[test]
+    fn cfg_test_modules_and_test_attrs_mark_fns() {
+        let p = parse_src(
+            "fn live() {}\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+                 #[test]\n\
+                 fn a_test() { assert!(true); }\n\
+                 fn helper() {}\n\
+             }\n",
+        );
+        assert!(!p.fns[0].is_test);
+        assert!(p.fns[1].is_test);
+        assert!(p.fns[2].is_test, "helpers inside cfg(test) mods are test");
+    }
+
+    #[test]
+    fn consts_record_module_path() {
+        let p = parse_src(
+            "const MIN_PARALLEL_X: usize = 4;\n\
+             pub mod thresholds { pub const MIN_PARALLEL_Y: usize = 1 << 4; }\n",
+        );
+        assert_eq!(p.consts.len(), 2);
+        assert_eq!(p.consts[0].name, "MIN_PARALLEL_X");
+        assert!(p.consts[0].module.is_empty());
+        assert_eq!(p.consts[1].name, "MIN_PARALLEL_Y");
+        assert_eq!(p.consts[1].module, vec!["thresholds"]);
+    }
+
+    #[test]
+    fn struct_and_enum_fields_are_harvested() {
+        let p = parse_src(
+            "struct S { pub gap: GapStream<'a>, n: usize }\n\
+             enum Engine<'a> { F32 { stream: Option<Box<AttackStream<'a>>> }, Int8 { features: Vec<Vec<f32>> } }\n",
+        );
+        let ty = |name: &str| -> String {
+            p.fields
+                .iter()
+                .find(|f| f.name == name)
+                .map(|f| f.ty.clone())
+                .unwrap_or_default()
+        };
+        assert!(ty("gap").starts_with("GapStream"));
+        assert_eq!(ty("n"), "usize");
+        assert!(ty("stream").contains("AttackStream"));
+        assert!(ty("features").starts_with("Vec"));
+    }
+
+    #[test]
+    fn generics_where_clauses_and_bodiless_fns() {
+        let p = parse_src(
+            "pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>\n\
+             where T: Sync, R: Send, F: Fn(usize, &T) -> R + Sync,\n\
+             { todo!() }\n\
+             trait T { fn sig(&self); }\n",
+        );
+        assert_eq!(p.fns.len(), 1, "trait signatures are skipped");
+        assert_eq!(p.fns[0].name, "par_map");
+        assert_eq!(p.fns[0].ret, "Vec < R >");
+        assert_eq!(p.fns[0].params.len(), 2);
+    }
+
+    #[test]
+    fn unparsed_items_are_counted_not_dropped() {
+        let p = parse_src("thread_local! { static X: u8 = 0; }\nfn after() {}\n");
+        assert_eq!(p.unparsed_items, 1);
+        assert_eq!(p.fns.len(), 1, "parser recovers after unknown items");
+        assert_eq!(p.fns[0].name, "after");
+    }
+}

@@ -47,49 +47,84 @@ use crate::lexer::{lex, Lexed, Tok, TokKind};
 pub struct RuleDef {
     pub id: &'static str,
     pub name: &'static str,
+    /// What the rule protects and how to fix or waive a finding
+    /// (`--explain Dn`).
+    pub explain: &'static str,
     check: fn(&FileCtx<'_>, &mut Vec<Finding>),
 }
 
-/// All rules, in report order.
+/// All token rules, in report order. The semantic rules (A1–A4) live in
+/// [`crate::arules::SEM_RULES`]; `--explain` covers both tables.
 pub const RULES: &[RuleDef] = &[
     RuleDef {
         id: "D1",
         name: "wallclock",
+        explain: "Wall-clock types (`Instant`, `SystemTime`) outside the bench/example \
+                  allowlist couple traces to host scheduling. Simulated time must come \
+                  from the engine. Fix: move timing into crates/bench or an example; \
+                  waive a single line with `// lint: allow(D1)` plus a justification.",
         check: d1_wallclock,
     },
     RuleDef {
         id: "D2",
         name: "hash-iteration",
+        explain: "Iterating a HashMap/HashSet observes per-process hash order; anything \
+                  derived from it breaks bitwise reproducibility. Fix: use a BTree \
+                  collection or sort first; waive with `// lint: sorted` when a sort \
+                  provably follows. Rule A3 deepens this check for float accumulations.",
         check: d2_hash_iteration,
     },
     RuleDef {
         id: "D3",
         name: "parallelism",
+        explain: "`thread::spawn`/`scope`/`Builder`, `.spawn(` and `rayon` outside \
+                  `ml::par` bypass the deterministic worker pool, so results stop being \
+                  thread-count invariant. Fix: route the fan-out through \
+                  `ml::par::par_map`.",
         check: d3_parallelism,
     },
     RuleDef {
         id: "D4",
         name: "unseeded-rng",
+        explain: "`thread_rng`/`from_entropy`/`OsRng` draw entropy a trace cannot \
+                  replay. Fix: derive every RNG from a recorded seed \
+                  (`StdRng::seed_from_u64`).",
         check: d4_unseeded_rng,
     },
     RuleDef {
         id: "D5",
         name: "unsafe-safety",
+        explain: "`unsafe` is only legal in allowlisted files (lint.toml \
+                  `rules.D5.allow`) and must carry a `// SAFETY:` comment within the \
+                  three lines above. The allowlist is audited by `--check-config`: an \
+                  entry whose files contain no `unsafe` at all is a stale-config error.",
         check: d5_unsafe_safety,
     },
     RuleDef {
         id: "D6",
         name: "debug-key",
+        explain: "`{:?}` format strings in cache-key modules derive key material from \
+                  `Debug` output, which is not stable across compiler/library versions. \
+                  Fix: hash canonical fields instead.",
         check: d6_debug_key,
     },
     RuleDef {
         id: "D7",
         name: "float-sum",
+        explain: "Bare f32/f64 `.sum()` in a statement touching `par_map` results: \
+                  float addition is non-associative, so only a serial fold in a fixed \
+                  order is reproducible. Fix: fold serially in input order via a blessed \
+                  reduction helper. Rule A3 generalizes this to `+=` folds whose \
+                  iteration order is not provably fixed.",
         check: d7_float_sum,
     },
     RuleDef {
         id: "D8",
         name: "arch-confinement",
+        explain: "`core::arch`/`std::arch`, `is_x86_feature_detected!` and `_mm*`/`__m*` \
+                  intrinsics outside `ml::simd` make the bitwise f32 contract \
+                  unauditable. Fix: wrap the kernel in `ml::simd` with a dispatch check \
+                  and scalar fallback.",
         check: d8_arch_confinement,
     },
 ];
@@ -135,48 +170,169 @@ impl FileCtx<'_> {
     }
 }
 
-/// Runs every applicable rule on one file.
-pub fn check_file(path: &str, src: &str, config: &Config) -> Vec<Diagnostic> {
-    let lexed = lex(src);
-    let mut diags = Vec::new();
-    for rule in RULES {
-        let rc = config.rule(rule.id);
-        // D5 interprets `allow` itself ("unsafe is permitted here, with a
-        // SAFETY comment") — for every other rule `allow` is an exemption.
-        let applies = if rule.id == "D5" {
-            rc.severity.is_some()
-                && (rc.paths.is_empty() || rc.paths.iter().any(|p| path.starts_with(p.as_str())))
-        } else {
-            rc.applies_to(path)
-        };
-        if !applies {
-            continue;
+/// The line-local waiver table, extracted from comments once per file so
+/// report-time filtering works from the cache without re-lexing.
+#[derive(Debug, Clone, Default)]
+pub struct Waivers {
+    /// `(comment line, rule id)` for each `// lint: allow(<rule>)`.
+    pub allows: Vec<(u32, String)>,
+    /// Lines of `// lint: sorted` comments (A3's semantic waiver).
+    pub sorted: Vec<u32>,
+}
+
+impl Waivers {
+    /// Extracts every waiver comment from a lexed file.
+    pub fn harvest(lexed: &Lexed) -> Waivers {
+        let mut w = Waivers::default();
+        for c in &lexed.comments {
+            let mut rest = c.text.as_str();
+            while let Some(at) = rest.find("lint: allow(") {
+                rest = &rest[at + "lint: allow(".len()..];
+                if let Some(end) = rest.find(')') {
+                    w.allows.push((c.line, rest[..end].trim().to_string()));
+                    rest = &rest[end..];
+                } else {
+                    break;
+                }
+            }
+            if c.text.contains("lint: sorted") {
+                w.sorted.push(c.line);
+            }
+        }
+        w
+    }
+
+    /// True when `// lint: allow(<rule>)` sits on `line` or the line above
+    /// — the same window as [`Lexed::comment_above_contains`] with 1.
+    pub fn allowed(&self, line: u32, rule: &str) -> bool {
+        let lo = line.saturating_sub(1);
+        self.allows
+            .iter()
+            .any(|(l, r)| *l >= lo && *l <= line && r == rule)
+    }
+
+    /// True when `// lint: sorted` sits on `line` or the line above.
+    pub fn sorted_at(&self, line: u32) -> bool {
+        let lo = line.saturating_sub(1);
+        self.sorted.iter().any(|l| *l >= lo && *l <= line)
+    }
+}
+
+/// One config-free finding: an index into [`RULES`], a line, a message.
+#[derive(Debug, Clone)]
+pub struct RawFinding {
+    pub rule: usize,
+    pub line: u32,
+    pub message: String,
+}
+
+/// Everything the token rules can say about a file *before* policy:
+/// findings for D1–D4/D6–D8, and the raw `unsafe` site list for D5 (whose
+/// message depends on the config's allowlist). Content-addressed cacheable.
+#[derive(Debug, Clone, Default)]
+pub struct RawAnalysis {
+    pub findings: Vec<RawFinding>,
+    /// `(line, has SAFETY comment within 3 lines above)` per `unsafe`.
+    pub unsafe_sites: Vec<(u32, bool)>,
+}
+
+/// Runs every token rule on one lexed file, config-free.
+pub fn raw_check(lexed: &Lexed) -> RawAnalysis {
+    let default_rc = RuleConfig::default();
+    let mut out = RawAnalysis::default();
+    for (ri, rule) in RULES.iter().enumerate() {
+        if rule.id == "D5" {
+            continue; // handled below: its message depends on the allowlist
         }
         let ctx = FileCtx {
-            path,
-            lexed: &lexed,
-            rule: &rc,
+            path: "",
+            lexed,
+            rule: &default_rc,
         };
         let mut findings = Vec::new();
         (rule.check)(&ctx, &mut findings);
-        let severity = rc.severity.expect("applies implies enabled");
-        for f in findings {
-            // Line-local escape hatch, checked last so it applies uniformly.
-            let waiver = format!("lint: allow({})", rule.id);
-            if lexed.comment_above_contains(f.line, 1, &waiver) {
-                continue;
-            }
-            diags.push(Diagnostic {
-                rule: rule.id,
-                name: rule.name,
-                severity,
-                path: path.to_string(),
+        out.findings
+            .extend(findings.into_iter().map(|f| RawFinding {
+                rule: ri,
                 line: f.line,
                 message: f.message,
+            }));
+    }
+    for t in &lexed.tokens {
+        if t.kind == TokKind::Ident && t.text == "unsafe" {
+            let has_safety = lexed.comment_above_contains(t.line, 3, "SAFETY:");
+            out.unsafe_sites.push((t.line, has_safety));
+        }
+    }
+    out
+}
+
+/// Applies policy (severity, path scoping, waivers) to a raw analysis.
+pub fn report(
+    path: &str,
+    raw: &RawAnalysis,
+    waivers: &Waivers,
+    config: &Config,
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for f in &raw.findings {
+        let rule = &RULES[f.rule];
+        let rc = config.rule(rule.id);
+        if !rc.applies_to(path) {
+            continue;
+        }
+        if waivers.allowed(f.line, rule.id) {
+            continue;
+        }
+        diags.push(Diagnostic {
+            rule: rule.id,
+            name: rule.name,
+            severity: rc.severity.expect("applies implies enabled"),
+            path: path.to_string(),
+            line: f.line,
+            message: f.message.clone(),
+        });
+    }
+    // D5 interprets `allow` itself ("unsafe is permitted here, with a
+    // SAFETY comment") — for every other rule `allow` is an exemption.
+    let rc = config.rule("D5");
+    let d5_applies = rc.severity.is_some()
+        && (rc.paths.is_empty() || rc.paths.iter().any(|p| path.starts_with(p.as_str())));
+    if d5_applies {
+        let allowed_here = rc.allow.iter().any(|p| path.starts_with(p.as_str()));
+        let severity = rc.severity.expect("checked above");
+        for &(line, has_safety) in &raw.unsafe_sites {
+            if waivers.allowed(line, "D5") {
+                continue;
+            }
+            let message = if !allowed_here {
+                "`unsafe` outside the allowlist (lint.toml `rules.D5.allow`); \
+                 this workspace pins unsafe to the deterministic pool internals"
+                    .to_string()
+            } else if !has_safety {
+                "`unsafe` without a `// SAFETY:` comment in the three lines above".to_string()
+            } else {
+                continue;
+            };
+            diags.push(Diagnostic {
+                rule: "D5",
+                name: "unsafe-safety",
+                severity,
+                path: path.to_string(),
+                line,
+                message,
             });
         }
     }
     diags
+}
+
+/// Runs every applicable rule on one file.
+pub fn check_file(path: &str, src: &str, config: &Config) -> Vec<Diagnostic> {
+    let lexed = lex(src);
+    let raw = raw_check(&lexed);
+    let waivers = Waivers::harvest(&lexed);
+    report(path, &raw, &waivers, config)
 }
 
 // ---------------------------------------------------------------------------
@@ -578,6 +734,7 @@ mod tests {
                 severity: Some(Severity::Error),
                 paths: vec![],
                 allow: vec!["allowed/".into()],
+                ..Default::default()
             },
         );
         c.rules.insert(
@@ -586,6 +743,7 @@ mod tests {
                 severity: Some(Severity::Error),
                 paths: vec!["cachekey/".into()],
                 allow: vec![],
+                ..Default::default()
             },
         );
         c

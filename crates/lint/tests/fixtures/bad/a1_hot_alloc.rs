@@ -1,0 +1,20 @@
+//! A1 bad twin: an allocation is reachable from a `*_into` hot-path root.
+//! The root itself is clean — the violation sits one call deep, which is
+//! exactly what the lexer-only rules could not see.
+
+/// Hot-path root (matched by `workspace::bad::*_into` in lint-bad.toml).
+pub fn gemm_into(out: &mut [f32], a: &[f32], b: &[f32]) {
+    accumulate(out, a, b);
+}
+
+/// Helper on the hot path: the scratch buffer must come from a
+/// caller-owned workspace, not a per-call allocation.
+fn accumulate(out: &mut [f32], a: &[f32], b: &[f32]) {
+    let mut scratch = Vec::with_capacity(a.len());
+    for (x, y) in a.iter().zip(b.iter()) {
+        scratch.push(*x * *y);
+    }
+    for (o, s) in out.iter_mut().zip(scratch.iter()) {
+        *o = *s;
+    }
+}

@@ -1,0 +1,19 @@
+//! A2 bad twin: a panic site and an unguarded index, both reachable from
+//! the fleet-serving root — one malformed session would abort the whole
+//! fleet instead of degrading.
+
+/// Serving root (named in `rules.A2.roots`).
+pub fn run_fleet(queue: &[usize], states: &[f32]) -> f32 {
+    let head = next_session(queue);
+    pick(states, head)
+}
+
+/// `.unwrap()` one call below the root: an empty queue kills the fleet.
+fn next_session(queue: &[usize]) -> usize {
+    queue.first().copied().unwrap()
+}
+
+/// Unguarded `states[i]` in an `index_paths` module.
+fn pick(states: &[f32], i: usize) -> f32 {
+    states[i]
+}

@@ -1,0 +1,16 @@
+//! A3 bad twin: a float `+=` fold over a source whose iteration order is
+//! not provably fixed (an opaque `impl Iterator` producer).
+
+fn samples() -> impl Iterator<Item = f32> {
+    [1.0f32, 2.0].into_iter()
+}
+
+/// The accumulator is provably `f32` and the source order is unproven:
+/// any reordering upstream changes the bitwise result.
+pub fn total() -> f32 {
+    let mut acc: f32 = 0.0;
+    for v in samples() {
+        acc += v;
+    }
+    acc
+}

@@ -1,0 +1,9 @@
+//! A4 bad twin: a work-size gate declared ad hoc next to its consumer
+//! instead of inside the audited `thresholds` module.
+
+/// Should live in `ml::par::thresholds` and be re-exported from there.
+pub const MIN_PARALLEL_ROWS: usize = 4096;
+
+pub fn worth_splitting(rows: usize) -> bool {
+    rows >= MIN_PARALLEL_ROWS
+}

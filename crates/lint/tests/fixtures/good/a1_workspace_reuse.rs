@@ -1,0 +1,22 @@
+//! A1 good twin: the hot path only writes into caller-owned buffers; the
+//! allocation lives in a cold constructor the configured roots never
+//! reach, so reachability — not file location — decides.
+
+/// Cold-path constructor: allocates freely (not reachable from `*_into`).
+pub fn make_workspace(n: usize) -> Vec<f32> {
+    Vec::with_capacity(n)
+}
+
+/// Hot-path root: every buffer is provided by the caller.
+pub fn gemm_into(out: &mut [f32], a: &[f32], b: &[f32], scratch: &mut [f32]) {
+    accumulate(out, a, b, scratch);
+}
+
+fn accumulate(out: &mut [f32], a: &[f32], b: &[f32], scratch: &mut [f32]) {
+    for ((s, x), y) in scratch.iter_mut().zip(a.iter()).zip(b.iter()) {
+        *s = *x * *y;
+    }
+    for (o, s) in out.iter_mut().zip(scratch.iter()) {
+        *o = *s;
+    }
+}

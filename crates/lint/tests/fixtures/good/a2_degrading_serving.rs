@@ -1,0 +1,27 @@
+//! A2 good twin: the serving path degrades (let-else + early return), the
+//! index is guarded by an assert naming both the slice and the index, and
+//! panic sites are confined to offline tooling the root never reaches.
+
+/// Serving root (named in `rules.A2.roots`).
+pub fn run_fleet(queue: &[usize], states: &[f32]) -> f32 {
+    let Some(head) = next_session(queue) else {
+        return 0.0;
+    };
+    pick(states, head)
+}
+
+fn next_session(queue: &[usize]) -> Option<usize> {
+    queue.first().copied()
+}
+
+/// Call-site contract: asserts are allowed on the serving path, and this
+/// one establishes the bounds the subscript below relies on.
+fn pick(states: &[f32], i: usize) -> f32 {
+    assert!(i < states.len(), "session index in range");
+    states[i]
+}
+
+/// Offline tooling may panic: `run_fleet` never reaches it.
+pub fn debug_dump(states: &[f32]) -> f32 {
+    states.first().copied().unwrap()
+}

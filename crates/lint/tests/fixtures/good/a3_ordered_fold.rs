@@ -1,0 +1,22 @@
+//! A3 good twin: folds over order-fixed sources (slice, range) pass, and a
+//! `// lint: sorted` waiver covers the one source whose order is
+//! re-established upstream.
+
+fn samples() -> impl Iterator<Item = f32> {
+    [1.0f32, 2.0].into_iter()
+}
+
+pub fn total(xs: &[f32]) -> f32 {
+    let mut acc: f32 = 0.0;
+    for v in xs.iter() {
+        acc += *v;
+    }
+    for i in 0..4 {
+        acc += i as f32;
+    }
+    // The producer yields ascending values by construction. lint: sorted
+    for v in samples() {
+        acc += v;
+    }
+    acc
+}

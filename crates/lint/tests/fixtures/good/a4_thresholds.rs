@@ -1,0 +1,11 @@
+//! A4 good twin: the gate lives in a `thresholds` module on the
+//! `rules.A4.allow` list — the one place work-size gates are audited.
+
+pub mod thresholds {
+    /// The audited work-size gate.
+    pub const MIN_PARALLEL_ROWS: usize = 4096;
+}
+
+pub fn worth_splitting(rows: usize) -> bool {
+    rows >= thresholds::MIN_PARALLEL_ROWS
+}

@@ -30,7 +30,11 @@ fn load(config_name: &str) -> Config {
 fn every_rule_fires_on_its_bad_fixture() {
     let diags = lint::run(&fixtures_root(), &load("lint-bad.toml")).expect("lint runs");
     let fired: BTreeSet<&str> = diags.iter().map(|d| d.rule).collect();
-    let all: BTreeSet<&str> = lint::rules::RULES.iter().map(|r| r.id).collect();
+    let all: BTreeSet<&str> = lint::rules::RULES
+        .iter()
+        .map(|r| r.id)
+        .chain(lint::arules::SEM_RULES.iter().map(|r| r.id))
+        .collect();
     assert_eq!(fired, all, "rules that never fired are untested");
 
     for d in &diags {
@@ -122,13 +126,164 @@ fn live_workspace_is_clean() {
 #[test]
 fn workspace_config_enables_all_rules() {
     let config = lint::load_config(&workspace_root()).expect("workspace lint.toml parses");
-    for rule in lint::rules::RULES {
+    let ids = lint::rules::RULES
+        .iter()
+        .map(|r| (r.id, r.name))
+        .chain(lint::arules::SEM_RULES.iter().map(|r| (r.id, r.name)));
+    for (id, name) in ids {
         assert_eq!(
-            config.rule(rule.id).severity,
+            config.rule(id).severity,
             Some(Severity::Error),
             "rule {} ({}) must stay at error severity",
-            rule.id,
-            rule.name
+            id,
+            name
         );
     }
+}
+
+/// SARIF output on the bad corpus: the 2.1.0 shape GitHub code-scanning
+/// ingests — schema pointer, tool driver with rule metadata, results with
+/// ruleId/level/physicalLocation.
+#[test]
+fn cli_sarif_shape() {
+    let bin = env!("CARGO_BIN_EXE_leaky-lint");
+    let root = fixtures_root();
+    let out = Command::new(bin)
+        .args(["--sarif", "--no-cache", "--root"])
+        .arg(&root)
+        .arg("--config")
+        .arg(root.join("lint-bad.toml"))
+        .output()
+        .expect("spawn leaky-lint");
+    assert_eq!(out.status.code(), Some(1), "bad corpus still exits 1");
+    let sarif = String::from_utf8(out.stdout).expect("utf8");
+    for needle in [
+        "sarif-schema-2.1.0",
+        "\"version\": \"2.1.0\"",
+        "\"driver\"",
+        "\"ruleId\"",
+        "\"level\"",
+        "\"artifactLocation\"",
+        "\"startLine\"",
+    ] {
+        assert!(
+            sarif.contains(needle),
+            "SARIF missing {}: {}",
+            needle,
+            sarif
+        );
+    }
+    // Every rule family that fired in JSON shows up as a SARIF result too.
+    for id in ["A1", "A2", "A3", "A4", "D1"] {
+        assert!(
+            sarif.contains(&format!("\"ruleId\": \"{}\"", id)),
+            "no SARIF result for {}",
+            id
+        );
+    }
+}
+
+/// `--explain` prints the rationale for token and semantic rules alike, and
+/// exits 2 on an unknown id.
+#[test]
+fn cli_explain() {
+    let bin = env!("CARGO_BIN_EXE_leaky-lint");
+    for (id, needle) in [("D1", "wall-clock"), ("A3", "non-associative")] {
+        let out = Command::new(bin)
+            .args(["--explain", id])
+            .output()
+            .expect("spawn leaky-lint");
+        assert_eq!(out.status.code(), Some(0), "--explain {} exits 0", id);
+        let text = String::from_utf8(out.stdout).expect("utf8").to_lowercase();
+        assert!(
+            text.contains(needle),
+            "--explain {} mentions {}",
+            id,
+            needle
+        );
+    }
+    let out = Command::new(bin)
+        .args(["--explain", "Z9"])
+        .output()
+        .expect("spawn leaky-lint");
+    assert_eq!(out.status.code(), Some(2), "unknown rule id exits 2");
+}
+
+/// The incremental cache is an optimization, never an observable: a warm
+/// run reproduces the cold run's diagnostics exactly and satisfies every
+/// file from the cache.
+#[test]
+fn warm_cache_run_matches_cold() {
+    let cache = std::env::temp_dir().join(format!("leaky-lint-selftest-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache);
+    let root = fixtures_root();
+    let config = load("lint-bad.toml");
+    let cold = lint::run_full(&root, &config, Some(&cache)).expect("cold run");
+    let warm = lint::run_full(&root, &config, Some(&cache)).expect("warm run");
+    assert_eq!(cold.diags, warm.diags, "cache changed the diagnostics");
+    assert_eq!(cold.stats.cache_hits, 0, "first run must be all misses");
+    assert_eq!(
+        warm.stats.cache_hits, warm.stats.files_analyzed,
+        "warm run missed the cache on {} files",
+        warm.stats.cache_misses
+    );
+    let _ = std::fs::remove_dir_all(&cache);
+}
+
+/// The checked-in workspace config carries no stale allowlist entries —
+/// the same gate `--check-config` enforces in CI.
+#[test]
+fn workspace_config_has_no_stale_allows() {
+    let root = workspace_root();
+    let config = lint::load_config(&root).expect("workspace lint.toml parses");
+    let problems = lint::check_config(&root, &config).expect("check runs");
+    assert!(
+        problems.is_empty(),
+        "stale allowlist entries:\n{}",
+        problems.join("\n")
+    );
+}
+
+/// Property: the parser-side waiver lookup (`ParsedFile::waived`) and the
+/// lexer-side table (`rules::Waivers`) agree on every (line, rule) pair of
+/// a randomized source file — same comment forms, same one-line window.
+#[test]
+fn waiver_lookups_round_trip() {
+    use lint::lexer::lex;
+    use lint::parser::ParsedFile;
+    use lint::rules::Waivers;
+
+    let rules = ["A1", "A2", "A3", "A4", "D2", "D7"];
+    let line_gen = testkit::gen::choice(vec![
+        "fn f() { let v = xs[i]; }".to_string(),
+        "let mut acc: f32 = 0.0;".to_string(),
+        "// plain comment".to_string(),
+        "// lint: allow(A1)".to_string(),
+        "// lint: allow(A2)".to_string(),
+        "// lint: allow(D2)".to_string(),
+        "// cold-init scratch, one per session. lint: allow(A1)".to_string(),
+        "let x = y.unwrap(); // lint: allow(A2)".to_string(),
+        "// lint: sorted".to_string(),
+        "// lint: allow(A3) lint: allow(A4)".to_string(),
+        String::new(),
+    ]);
+    let src_gen = testkit::gen::vec_of(line_gen, 1, 24).map(|lines| lines.join("\n"));
+    testkit::prop::check("waiver_lookups_round_trip", &src_gen, |src| {
+        let lexed = lex(src);
+        let table = Waivers::harvest(&lexed);
+        let n_lines = src.lines().count() as u32 + 2;
+        for line in 1..=n_lines {
+            for rule in rules {
+                let via_parser = ParsedFile::waived(&lexed, line, rule);
+                let via_table = table.allowed(line, rule);
+                if via_parser != via_table {
+                    return Err(format!(
+                        "line {} rule {}: parser={} table={}",
+                        line, rule, via_parser, via_table
+                    ));
+                }
+            }
+        }
+        Ok(())
+    });
 }

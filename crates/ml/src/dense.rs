@@ -135,6 +135,7 @@ impl DenseGrads {
     pub fn empty() -> Self {
         DenseGrads {
             w: Matrix::zeros(1, 1),
+            // cold-init: shaped once by backward_into, then reused. lint: allow(A1)
             b: Vec::new(),
         }
     }

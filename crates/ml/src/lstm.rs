@@ -78,6 +78,7 @@ impl LstmGrads {
         LstmGrads {
             wx: Matrix::zeros(1, 1),
             wh: Matrix::zeros(1, 1),
+            // cold-init: shaped once by backward_into, then reused. lint: allow(A1)
             b: Vec::new(),
         }
     }
@@ -124,13 +125,15 @@ impl LstmScratch {
             x_proj: Matrix::zeros(1, 1),
             wxt: Matrix::zeros(1, 1),
             wht: Matrix::zeros(1, 1),
-            h_prev: Vec::new(),
-            c_prev: Vec::new(),
-            pre: Vec::new(),
-            acc: Vec::new(),
+            // cold-init: every buffer below is grown on first use by the
+            // fused passes and reused from then on (pool-slot construction).
+            h_prev: Vec::new(), // lint: allow(A1)
+            c_prev: Vec::new(), // lint: allow(A1)
+            pre: Vec::new(),    // lint: allow(A1)
+            acc: Vec::new(),    // lint: allow(A1)
             da_mat: Matrix::zeros(1, 1),
-            dh_next: Vec::new(),
-            dc_next: Vec::new(),
+            dh_next: Vec::new(), // lint: allow(A1)
+            dc_next: Vec::new(), // lint: allow(A1)
             da_rev: Matrix::zeros(1, 1),
             xs_rev: Matrix::zeros(1, 1),
             da_tail: Matrix::zeros(1, 1),

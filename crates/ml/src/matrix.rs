@@ -61,6 +61,9 @@ impl Matrix {
         Matrix {
             rows,
             cols,
+            // cold-init: `zeros` is the one blessed dense allocator; hot
+            // paths resize pre-sized buffers instead of constructing.
+            // lint: allow(A1)
             data: vec![0.0; rows * cols],
         }
     }
@@ -525,8 +528,7 @@ pub const TILE_M: usize = 4;
 /// Column width of the register-tiled GEMM microkernel accumulator block.
 pub const TILE_N: usize = 8;
 
-/// Products below this many multiply-adds are not worth spawning for.
-const PAR_MIN_FLOPS: usize = 1 << 15;
+use crate::par::thresholds::MIN_PARALLEL_GEMM_FLOPS;
 
 /// Register-tiled `A * B` over a strip of output rows starting at `r0`.
 ///
@@ -652,7 +654,7 @@ fn run_row_blocks(
     kernel: impl Fn(usize, &mut [f32]) + Sync,
 ) {
     let workers = crate::par::threads();
-    if workers <= 1 || rows < 2 || rows * out_cols * inner_dim < PAR_MIN_FLOPS {
+    if workers <= 1 || rows < 2 || rows * out_cols * inner_dim < MIN_PARALLEL_GEMM_FLOPS {
         kernel(0, out);
         return;
     }
@@ -660,12 +662,15 @@ fn run_row_blocks(
     // affect the result, only the schedule.
     let n_blocks = (workers * 4).min(rows);
     let block = rows.div_ceil(n_blocks);
+    // Parallel scatter set-up: one range list and one per-block buffer per
+    // round, amortized over the block GEMM — the same blessing as
+    // ml::par::par_map's own result collection (DESIGN.md §9).
     let ranges: Vec<(usize, usize)> = (0..rows)
         .step_by(block)
         .map(|r0| (r0, (r0 + block).min(rows)))
-        .collect();
+        .collect(); // lint: allow(A1)
     let parts = crate::par::par_map(&ranges, |_, &(r0, r1)| {
-        let mut buf = vec![0.0f32; (r1 - r0) * out_cols];
+        let mut buf = vec![0.0f32; (r1 - r0) * out_cols]; // lint: allow(A1)
         kernel(r0, &mut buf);
         buf
     });
@@ -727,7 +732,7 @@ mod tests {
     /// Generator for GEMM shapes `(m, k, n)`. Dimensions deliberately straddle
     /// every special case in the tiled kernels: 1 (degenerate), values off the
     /// `TILE_M`/`TILE_N` microkernel grid, and products on both sides of the
-    /// `PAR_MIN_FLOPS` fan-out threshold.
+    /// `MIN_PARALLEL_GEMM_FLOPS` fan-out threshold (ml::par::thresholds).
     fn gemm_shape() -> testkit::Gen<(usize, usize, usize)> {
         testkit::gen::zip3(
             testkit::gen::usize_in(1, 96),

@@ -1,0 +1,73 @@
+//! Work-size gates for every parallel fan-out in the workspace.
+//!
+//! Each [`super::par_map`]/[`super::par_map_if_work`] call spawns fresh
+//! scoped workers costing tens of microseconds apiece, so every parallel
+//! site gates on a minimum amount of work below which it stays serial.
+//! Results are bitwise identical on either path (the pool is thread-count
+//! invariant), so each threshold is purely a scheduling decision — but a
+//! *scattered* one is impossible to audit or retune. This module is the
+//! single home for all of them, enforced statically by `leaky-lint` rule
+//! A4 (`threshold-confinement`): a `MIN_PARALLEL_*` constant declared
+//! anywhere else in the workspace is a lint error.
+//!
+//! Tuning provenance: the values below were set against
+//! `BENCH_pipeline.json` stage timings on the 1-core CI reference box
+//! (see each constant's docs); they trade nothing but scheduling overhead,
+//! so retuning them can never change any result bitwise.
+
+/// Minimum number of sequences in a training minibatch before
+/// `ml::seq::SequenceClassifier::fit`'s bucket fan-out spawns pool workers.
+///
+/// Below this the per-call scoped-spawn overhead dwarfs the work — the
+/// pipeline's batch-4 fits ran 0.81x *slower* at 8 threads when every tiny
+/// batch fanned out. Small-batch training stays serial; the thread win
+/// comes from coarse cross-model parallelism in the profiling layer
+/// instead.
+pub const MIN_PARALLEL_FIT_SEQS: usize = 32;
+
+/// Minimum number of feature rows in the base iteration before extraction
+/// fans the five `Mhp` heads out over the worker pool (`moscons::attack`).
+///
+/// Below this, the tens of microseconds `ml::par` pays per spawned scoped
+/// worker outweigh the classification work — `BENCH_pipeline.json`
+/// measured the `attack_extract` stage at a 0.81x "speedup" (i.e. a
+/// slowdown) at quick scale before this gate existed. Paper-scale victim
+/// streams clear the threshold comfortably.
+pub const MIN_PARALLEL_EXTRACT_ROWS: usize = 2048;
+
+/// Minimum multiply-add count before `ml::matrix`'s blocked GEMM fans its
+/// row blocks out over the worker pool. Products below this are not worth
+/// spawning for; the blocked and serial paths accumulate in the same order
+/// and are bitwise equal.
+pub const MIN_PARALLEL_GEMM_FLOPS: usize = 1 << 15;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The gates are scheduling knobs, not correctness knobs — but they do
+    /// have sanity ranges: zero would re-enable the pathological
+    /// every-tiny-batch fan-out, and absurdly large values would silently
+    /// serialize paper-scale runs.
+    #[test]
+    #[allow(clippy::assertions_on_constants)] // asserting consts is the point
+    fn thresholds_are_in_sane_ranges() {
+        assert!(MIN_PARALLEL_FIT_SEQS >= 2, "gate must skip trivial batches");
+        assert!(
+            MIN_PARALLEL_FIT_SEQS <= 1024,
+            "gate must not serialize paper-scale batches"
+        );
+        assert!((1024..=1 << 20).contains(&MIN_PARALLEL_EXTRACT_ROWS));
+        assert!((1 << 10..=1 << 24).contains(&MIN_PARALLEL_GEMM_FLOPS));
+    }
+
+    /// The extraction gate admits paper-scale victim streams (tens of
+    /// thousands of rows) and rejects the quick-scale streams that
+    /// measured the 0.81x regression.
+    #[test]
+    #[allow(clippy::assertions_on_constants)] // asserting consts is the point
+    fn extract_gate_separates_quick_from_paper_scale() {
+        assert!(MIN_PARALLEL_EXTRACT_ROWS > 500); // quick-scale stays serial
+        assert!(MIN_PARALLEL_EXTRACT_ROWS < 20_000); // paper scale fans out
+    }
+}

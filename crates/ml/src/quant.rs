@@ -87,7 +87,7 @@ pub struct QuantizedMatrix {
 
 impl QuantizedMatrix {
     /// Quantizes an f32 weight matrix row by row. A zero row gets scale 1.0
-    /// (see [`quantize_tensor`]).
+    /// (same per-tensor max-abs scheme as `quantize_tensor`).
     pub fn from_f32(m: &Matrix) -> Self {
         let mut data = Vec::with_capacity(m.len());
         let mut scales = Vec::with_capacity(m.rows());

@@ -17,13 +17,10 @@ use crate::matrix::Matrix;
 use crate::optim::{clip_global_norm, Adam, Optimizer};
 use crate::workspace::{BatchWorkspace, BatchWorkspacePool, Workspace, WorkspacePool};
 
-/// Minimum number of sequences in a minibatch before the bucket fan-out
-/// spawns pool workers. Below this the per-call scoped-spawn overhead dwarfs
-/// the work — the pipeline's batch-4 fits ran 0.81x *slower* at 8 threads
-/// when every tiny batch fanned out. Small-batch training stays serial here;
-/// the thread win comes from coarse cross-model parallelism in the profiling
-/// layer instead.
-pub const MIN_PARALLEL_FIT_SEQS: usize = 32;
+// All work-size gates live in one audited module (leaky-lint rule A4);
+// re-exported here so the historical `ml::seq::MIN_PARALLEL_FIT_SEQS` path
+// keeps working.
+pub use crate::par::thresholds::MIN_PARALLEL_FIT_SEQS;
 
 /// Training/topology configuration for a [`SequenceClassifier`].
 #[derive(Debug, Clone)]
@@ -118,6 +115,27 @@ struct ExamplePass {
     /// Loss per unmasked timestep, in timestep order.
     losses: Vec<f32>,
     correct: usize,
+}
+
+/// Per-parameter Adam states for one [`SequenceClassifier::fit`] run,
+/// grouped so the epoch loop can borrow them apart from the model.
+struct FitOptimizers {
+    wx: Vec<Adam>,
+    wh: Vec<Adam>,
+    b: Vec<Adam>,
+    hw: Adam,
+    hb: Adam,
+}
+
+/// Reused gradient accumulators and bucketing scratch for
+/// [`SequenceClassifier::fit_epoch`]; allocated once per `fit` call and
+/// threaded through every epoch.
+struct FitScratch {
+    acc_layers: Vec<LstmGrads>,
+    acc_head: DenseGrads,
+    len_pos: Vec<(usize, usize)>,
+    bucket_spans: Vec<(usize, usize)>,
+    slots: Vec<Option<Workspace>>,
 }
 
 impl SequenceClassifier {
@@ -243,6 +261,9 @@ impl SequenceClassifier {
         // the per-example loss vectors match the per-sequence pass exactly.
         bws.dlogits
             .resize_zeroed(bws.logits.rows(), bws.logits.cols());
+        // Bookkeeping of pool-acquired workspaces (≤ batch_size pairs); the
+        // workspaces inside are reused, only this thin index is per-bucket.
+        // lint: allow(A1)
         let mut passes: Vec<(usize, Workspace)> = Vec::with_capacity(b_n);
         for (bi, &(_, pos)) in bucket.iter().enumerate() {
             let ex = &data[batch[pos]];
@@ -404,43 +425,106 @@ impl SequenceClassifier {
             .map(|ex| Self::features_to_matrix(&ex.features))
             .collect();
 
-        let mut opt_wx: Vec<Adam> = self
+        let opt_wx: Vec<Adam> = self
             .layers
             .iter()
             .map(|l| Adam::new(l.wx.len(), self.config.learning_rate))
             .collect();
-        let mut opt_wh: Vec<Adam> = self
+        let opt_wh: Vec<Adam> = self
             .layers
             .iter()
             .map(|l| Adam::new(l.wh.len(), self.config.learning_rate))
             .collect();
-        let mut opt_b: Vec<Adam> = self
+        let opt_b: Vec<Adam> = self
             .layers
             .iter()
             .map(|l| Adam::new(l.b.len(), self.config.learning_rate))
             .collect();
-        let mut opt_hw = Adam::new(self.head.w.len(), self.config.learning_rate);
-        let mut opt_hb = Adam::new(self.head.b.len(), self.config.learning_rate);
+        let opt_hw = Adam::new(self.head.w.len(), self.config.learning_rate);
+        let opt_hb = Adam::new(self.head.b.len(), self.config.learning_rate);
 
         let pool = WorkspacePool::new(self.layers.len());
         let batch_pool = BatchWorkspacePool::new(self.layers.len());
-        let mut acc_layers: Vec<LstmGrads> =
-            self.layers.iter().map(|_| LstmGrads::empty()).collect();
-        let mut acc_head = DenseGrads::empty();
+        let acc_layers: Vec<LstmGrads> = self.layers.iter().map(|_| LstmGrads::empty()).collect();
+        let acc_head = DenseGrads::empty();
         // Reusable bucketing scratch: (length, position-in-batch) pairs and
         // the half-open spans of equal-length runs after the stable sort.
-        let mut len_pos: Vec<(usize, usize)> = Vec::new();
-        let mut bucket_spans: Vec<(usize, usize)> = Vec::new();
-        let mut slots: Vec<Option<Workspace>> = Vec::new();
+        let len_pos: Vec<(usize, usize)> = Vec::new();
+        let bucket_spans: Vec<(usize, usize)> = Vec::new();
+        let slots: Vec<Option<Workspace>> = Vec::new();
 
         self.history.clear();
         let batch_size = self.config.batch_size.max(1);
+        let mut opts = FitOptimizers {
+            wx: opt_wx,
+            wh: opt_wh,
+            b: opt_b,
+            hw: opt_hw,
+            hb: opt_hb,
+        };
+        let mut scratch = FitScratch {
+            acc_layers,
+            acc_head,
+            len_pos,
+            bucket_spans,
+            slots,
+        };
         let mut last = EpochStats {
             mean_loss: 0.0,
             accuracy: 0.0,
         };
         for _epoch in 0..self.config.epochs {
             order.shuffle(&mut rng);
+            last = self.fit_epoch(
+                data,
+                &inputs,
+                &weights,
+                &order,
+                batch_size,
+                &pool,
+                &batch_pool,
+                &mut opts,
+                &mut scratch,
+            );
+            self.history.push(last);
+        }
+        last
+    }
+
+    /// One epoch of [`SequenceClassifier::fit`]'s batched training loop
+    /// over a pre-shuffled `order`. Extracted so the steady-state training
+    /// loop is a call-graph root for the A1 hot-path-allocation rule
+    /// (lint.toml `rules.A1.roots`): everything reachable from here must
+    /// reuse the pools and accumulators threaded in — a fresh allocation
+    /// per batch is a regression the linter catches.
+    #[allow(clippy::too_many_arguments)]
+    fn fit_epoch(
+        &mut self,
+        data: &[SeqExample],
+        inputs: &[Matrix],
+        weights: &[f32],
+        order: &[usize],
+        batch_size: usize,
+        pool: &WorkspacePool,
+        batch_pool: &BatchWorkspacePool,
+        opts: &mut FitOptimizers,
+        scratch: &mut FitScratch,
+    ) -> EpochStats {
+        let FitScratch {
+            acc_layers,
+            acc_head,
+            len_pos,
+            bucket_spans,
+            slots,
+        } = scratch;
+        let FitOptimizers {
+            wx: opt_wx,
+            wh: opt_wh,
+            b: opt_b,
+            hw: opt_hw,
+            hb: opt_hb,
+        } = opts;
+        {
             let mut loss_sum = 0.0f64;
             let mut loss_count = 0usize;
             let mut correct = 0usize;
@@ -471,12 +555,13 @@ impl SequenceClassifier {
                 }
                 let layers = &self.layers;
                 let head = &self.head;
-                let (pool_ref, batch_pool_ref) = (&pool, &batch_pool);
-                let (inputs_ref, weights_ref, len_pos_ref) = (&inputs, &weights, &len_pos);
+                let (pool_ref, batch_pool_ref) = (pool, batch_pool);
+                let (inputs_ref, weights_ref) = (inputs, weights);
+                let len_pos_ref: &[(usize, usize)] = len_pos;
                 let bucket_results = crate::par::par_map_if_work(
                     batch.len(),
                     MIN_PARALLEL_FIT_SEQS,
-                    &bucket_spans,
+                    bucket_spans,
                     |_, &(s, e)| {
                         let mut bws = batch_pool_ref.acquire();
                         let passes = Self::bucket_pass_into(
@@ -549,6 +634,9 @@ impl SequenceClassifier {
 
                 // Average, clip and apply one optimizer step per batch.
                 {
+                    // 3*layers+2 pointers into the persistent accumulators;
+                    // holds `&mut` so it cannot outlive the batch or be
+                    // pooled. lint: allow(A1)
                     let mut bufs: Vec<&mut [f32]> = Vec::new();
                     for g in acc_layers.iter_mut() {
                         bufs.push(g.wx.as_mut_slice());
@@ -575,7 +663,7 @@ impl SequenceClassifier {
                 opt_hw.step(self.head.w.as_mut_slice(), acc_head.w.as_slice());
                 opt_hb.step(&mut self.head.b, &acc_head.b);
             }
-            last = EpochStats {
+            EpochStats {
                 mean_loss: if loss_count > 0 {
                     (loss_sum / loss_count as f64) as f32
                 } else {
@@ -586,10 +674,8 @@ impl SequenceClassifier {
                 } else {
                     0.0
                 },
-            };
-            self.history.push(last);
+            }
         }
-        last
     }
 
     /// Pre-workspace reference training loop: allocates every intermediate

@@ -112,7 +112,12 @@ pub fn gemm_tile_4x8(
     }
     let _ = use_simd;
     for k in 0..k_dim {
-        let b_strip: &[f32; TILE_N] = b[k * n + j..k * n + j + TILE_N].try_into().expect("strip");
+        let Ok(b_strip) = <&[f32; TILE_N]>::try_from(&b[k * n + j..k * n + j + TILE_N]) else {
+            // The slice is TILE_N wide by construction; skip the strip
+            // rather than panic inside the serving GEMM.
+            debug_assert!(false, "strip is TILE_N wide");
+            continue;
+        };
         for (acc_row, a_row) in acc.iter_mut().zip(a_rows.iter()) {
             let av = a_row[k];
             for (o, &bv) in acc_row.iter_mut().zip(b_strip.iter()) {
@@ -150,10 +155,15 @@ pub fn gemm_t_tile_4x8(
     }
     let _ = use_simd;
     for k in 0..k_dim {
-        let a_strip: &[f32; TILE_M] = a[k * a_cols + i..k * a_cols + i + TILE_M]
-            .try_into()
-            .expect("strip");
-        let b_strip: &[f32; TILE_N] = b[k * n + j..k * n + j + TILE_N].try_into().expect("strip");
+        let (Ok(a_strip), Ok(b_strip)) = (
+            <&[f32; TILE_M]>::try_from(&a[k * a_cols + i..k * a_cols + i + TILE_M]),
+            <&[f32; TILE_N]>::try_from(&b[k * n + j..k * n + j + TILE_N]),
+        ) else {
+            // Both slices are tile-width by construction; skip the strip
+            // rather than panic inside the GEMM.
+            debug_assert!(false, "strips are tile width");
+            continue;
+        };
         for (acc_row, &av) in acc.iter_mut().zip(a_strip.iter()) {
             for (o, &bv) in acc_row.iter_mut().zip(b_strip.iter()) {
                 *o += av * bv;

@@ -68,7 +68,12 @@ impl BinMapper {
     pub fn bin_value(&self, j: usize, v: f32) -> u16 {
         let e = &self.edges[j];
         // First edge >= v; values above all edges land in the last bin.
-        match e.binary_search_by(|probe| probe.partial_cmp(&v).expect("NaN edge")) {
+        // Edges are finite by construction (fit filters non-finite
+        // candidates); an unordered comparison can only mean `v` is NaN, in
+        // which case every probe compares Less and `v` degrades
+        // deterministically into the last bin instead of panicking.
+        match e.binary_search_by(|probe| probe.partial_cmp(&v).unwrap_or(std::cmp::Ordering::Less))
+        {
             Ok(i) => i as u16,
             Err(i) => i as u16,
         }

@@ -4,7 +4,7 @@
 //! `criterion_main!` macros.
 //!
 //! Measurement is wall-clock: a calibration pass sizes each sample at
-//! roughly [`TARGET_SAMPLE_NANOS`], then `sample_size` samples run and the
+//! roughly `TARGET_SAMPLE_NANOS`, then `sample_size` samples run and the
 //! per-iteration minimum / median / mean are printed. No plots, no state
 //! files. When cargo passes `--test` (from `cargo test --benches`), each
 //! bench runs a single iteration so the target merely smoke-checks.
