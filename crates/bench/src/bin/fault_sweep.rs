@@ -11,9 +11,13 @@
 //! (Mild plans can even score above the clean baseline: their preemption
 //! bursts slow the victim down, which is the paper's §IV attack by accident.)
 //!
-//! Appends a `fault_curve` section to `BENCH_pipeline.json` (preserving
-//! whatever `pipeline_perf` wrote there) and prints the table recorded in
-//! EXPERIMENTS.md.
+//! A second sweep runs the model-zoo conformance families
+//! (`dnn_sim::zoo::FAMILIES`, attacked under the zoo op vocabulary) over a
+//! reduced rate grid, recording how each family's op recovery degrades.
+//!
+//! Appends `fault_curve` and `fault_curve_families` sections to
+//! `BENCH_pipeline.json` (preserving whatever `pipeline_perf` wrote there)
+//! and prints the tables recorded in EXPERIMENTS.md.
 //!
 //! Run: `cargo run -p bench --release --bin fault_sweep`
 //! (honours `LEAKY_SCALE=quick` and `LEAKY_DNN_THREADS`).
@@ -57,6 +61,32 @@ struct FaultPoint {
     /// Mean sample count of the attack trace.
     samples: f64,
 }
+
+/// One cell of the per-family fault matrix: a zoo conformance family
+/// attacked (zoo vocabulary) under one fault rate.
+#[derive(Serialize)]
+struct FamilyFaultPoint {
+    /// Family tag from [`zoo::FAMILIES`].
+    family: String,
+    /// Composite fault rate passed to `FaultPlan::uniform`.
+    rate: f64,
+    /// Mean op accuracy against ground truth over [`FAMILY_SEEDS`]
+    /// (`null` when no run recovered an iteration).
+    op_accuracy: Option<f64>,
+    /// Runs (of [`FAMILY_SEEDS`]) that produced a scorable iteration.
+    aligned_runs: usize,
+    /// Mean `AccuracyL` of the recovered structure.
+    layer_accuracy: f64,
+    /// Mean valid iterations recovered by `Mgap`.
+    iterations: f64,
+}
+
+/// Rates of the per-family sweep — a reduced grid (clean, realistic noise,
+/// hostile) to keep the matrix tractable at 5 families.
+const FAMILY_RATES: [f64; 3] = [0.0, 0.25, 0.5];
+
+/// Attack seeds averaged per family cell.
+const FAMILY_SEEDS: [u64; 2] = [9100, 9101];
 
 fn main() {
     let scale = bench::Scale::from_env();
@@ -161,6 +191,76 @@ fn main() {
     );
     println!("decay shape ok: {:?} (clean baseline {clean:.3})", accs);
 
+    // Second sweep: the model-zoo conformance families under the zoo
+    // vocabulary, over the reduced rate grid.
+    let zoo_moscons = bench::train_zoo_moscons(scale);
+    println!(
+        "fault_sweep: {} zoo families, {} rates",
+        zoo::FAMILIES.len(),
+        FAMILY_RATES.len()
+    );
+    println!(
+        "  {:>10}  {:>6}  {:>11}  {:>11}  {:>10}",
+        "family", "rate", "op_acc", "layer_acc", "iterations"
+    );
+    let th_gap = zoo_moscons.config().gap.th_gap;
+    let mut family_curve = Vec::new();
+    for &family in &zoo::FAMILIES {
+        let session = bench::zoo_family_session(family, scale);
+        for &rate in &FAMILY_RATES {
+            let gpu = zoo_moscons
+                .config()
+                .gpu
+                .clone()
+                .with_faults(FaultPlan::uniform(rate, FAULT_SEED));
+            let mut op_accs = Vec::new();
+            let mut layer_acc_sum = 0.0;
+            let mut iter_sum = 0usize;
+            for &seed in &FAMILY_SEEDS {
+                let (extraction, raw) = zoo_moscons.attack_on(&session, seed, &gpu);
+                let labeled = LabeledTrace::from_raw(&raw, session.model().name.clone());
+                if let Some(acc) = bench::op_accuracy_vs_truth(&extraction, &labeled, th_gap) {
+                    op_accs.push(acc);
+                }
+                layer_acc_sum +=
+                    score_structure(session.model(), &extraction.layers, extraction.optimizer)
+                        .layers;
+                iter_sum += extraction.iterations.len();
+            }
+            let runs = FAMILY_SEEDS.len() as f64;
+            let point = FamilyFaultPoint {
+                family: family.to_string(),
+                rate,
+                op_accuracy: (!op_accs.is_empty())
+                    .then(|| op_accs.iter().sum::<f64>() / op_accs.len() as f64),
+                aligned_runs: op_accs.len(),
+                layer_accuracy: layer_acc_sum / runs,
+                iterations: iter_sum as f64 / runs,
+            };
+            println!(
+                "  {:>10}  {:>6.2}  {:>11}  {:>11.3}  {:>10.1}",
+                point.family,
+                rate,
+                point
+                    .op_accuracy
+                    .map_or("-".to_string(), |a| format!("{a:.3}")),
+                point.layer_accuracy,
+                point.iterations,
+            );
+            family_curve.push(point);
+        }
+        // Each family must stay attackable on clean hardware — the gate the
+        // CI bench-smoke job relies on.
+        let clean = family_curve
+            .iter()
+            .rfind(|p| p.family == family && p.rate == 0.0)
+            .expect("clean cell present");
+        assert!(
+            clean.op_accuracy.unwrap_or(0.0) > 0.0,
+            "family {family}: clean op accuracy is zero"
+        );
+    }
+
     // Merge into BENCH_pipeline.json without clobbering pipeline_perf's
     // sections.
     let path = "BENCH_pipeline.json";
@@ -171,12 +271,20 @@ fn main() {
         Some(Value::Object(fields)) => fields,
         _ => Vec::new(),
     };
-    fields.retain(|(k, _)| k != "fault_curve");
+    fields.retain(|(k, _)| k != "fault_curve" && k != "fault_curve_families");
     fields.push((
         "fault_curve".to_string(),
         serde_json::to_value(&curve).expect("curve serializes"),
     ));
+    fields.push((
+        "fault_curve_families".to_string(),
+        serde_json::to_value(&family_curve).expect("family curve serializes"),
+    ));
     let json = serde_json::to_string_pretty(&Value::Object(fields)).expect("bench serializes");
     std::fs::write(path, json).expect("write BENCH_pipeline.json");
-    println!("fault_curve ({} points) -> {path}", curve.len());
+    println!(
+        "fault_curve ({} points) + fault_curve_families ({} points) -> {path}",
+        curve.len(),
+        family_curve.len()
+    );
 }

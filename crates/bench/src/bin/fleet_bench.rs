@@ -17,6 +17,12 @@
 //! (`samples x poll_period_us`). Throughput numbers (`sessions_per_sec`,
 //! `labels_per_sec`) are host wall-clock and vary run to run.
 //!
+//! A third pass runs one streamed session per model-zoo conformance family
+//! (`dnn_sim::zoo::FAMILIES`) under the zoo op vocabulary and scores each
+//! against ground truth; the per-family rows land under `fleet.families`
+//! and CI gates `op_accuracy > 0` and `streaming_agreement == 1.0` on every
+//! row.
+//!
 //! Merges a `fleet` section into `BENCH_pipeline.json` without touching the
 //! other binaries' sections.
 //!
@@ -26,9 +32,12 @@
 
 use std::time::Instant;
 
-use dnn_sim::TrainingSession;
+use dnn_sim::{zoo, TrainingSession};
 use moscons::attack::{AttackConfig, InferencePrecision, Moscons};
-use moscons::{run_fleet, FleetConfig, FleetOutcome, OverflowPolicy, SessionSpec};
+use moscons::{
+    run_fleet, score_structure, FleetConfig, FleetOutcome, LabeledTrace, OverflowPolicy,
+    SessionSpec,
+};
 use serde::Serialize;
 use serde_json::Value;
 
@@ -59,6 +68,27 @@ struct FleetBench {
     streaming_vs_batch_agreement: f64,
     /// Rows evicted across the fleet (always 0 under `Stall`).
     overflow_dropped_total: usize,
+    /// Per-family conformance row of the model-zoo fleet (one streamed
+    /// session per [`zoo::FAMILIES`] entry under the zoo op vocabulary).
+    families: Vec<FamilyBench>,
+}
+
+#[derive(Serialize)]
+struct FamilyBench {
+    /// Family tag from [`zoo::FAMILIES`].
+    family: String,
+    /// Op accuracy of the streamed extraction against the ground-truth
+    /// labeled trace (base-iteration aligned) — CI gates `> 0`.
+    op_accuracy: f64,
+    /// `AccuracyL` of the recovered structure against the family victim.
+    layer_accuracy: f64,
+    /// 1.0 when the streamed report is bitwise equal to the batch attack
+    /// on the same victim/seed/GPU — CI gates `== 1.0`.
+    streaming_agreement: f64,
+    /// Labels the session streamed.
+    labels: usize,
+    /// Valid iterations the streamed extraction recovered.
+    iterations: usize,
 }
 
 fn timed<R>(f: impl FnOnce() -> R) -> (f64, R) {
@@ -150,6 +180,70 @@ fn main() {
     let (int8_secs, int8_run) = timed(|| run_fleet(&moscons, &specs, &int8_cfg));
     let int8_labels = total_labels(&int8_run);
 
+    // Model-zoo family fleet: one streamed session per conformance family
+    // under the zoo op vocabulary, each checked bitwise against its batch
+    // attack and scored against the ground-truth trace labels.
+    let (t_zoo_profile, zoo_moscons) = timed(|| bench::train_zoo_moscons(scale));
+    println!("  zoo-profiled in {:.1}s", t_zoo_profile);
+    let zoo_specs: Vec<SessionSpec> = zoo::FAMILIES
+        .iter()
+        .enumerate()
+        .map(|(i, family)| SessionSpec {
+            victim: bench::zoo_family_session(family, scale),
+            seed: 7000 + 17 * i as u64,
+            gpu: gpu.clone(),
+        })
+        .collect();
+    let zoo_run = run_fleet(&zoo_moscons, &zoo_specs, &fleet_cfg);
+    let th_gap = zoo_moscons.config().gap.th_gap;
+    let families: Vec<FamilyBench> = zoo::FAMILIES
+        .iter()
+        .zip(zoo_specs.iter().zip(&zoo_run.sessions))
+        .map(|(family, (spec, outcome))| {
+            let (batch, raw) = zoo_moscons.attack_on(&spec.victim, spec.seed, &spec.gpu);
+            let agreement = (batch.report() == outcome.extraction.report()) as usize as f64;
+            let labeled = LabeledTrace::from_raw(&raw, spec.victim.model().name.clone());
+            let op_accuracy =
+                bench::op_accuracy_vs_truth(&outcome.extraction, &labeled, th_gap).unwrap_or(0.0);
+            let layer_accuracy = score_structure(
+                spec.victim.model(),
+                &outcome.extraction.layers,
+                outcome.extraction.optimizer,
+            )
+            .layers;
+            FamilyBench {
+                family: family.to_string(),
+                op_accuracy,
+                layer_accuracy,
+                streaming_agreement: agreement,
+                labels: outcome.labels_emitted(),
+                iterations: outcome.extraction.iterations.len(),
+            }
+        })
+        .collect();
+    for fam in &families {
+        println!(
+            "  family {:>9}: op_acc {:.3}, layer_acc {:.3}, agreement {:.1}, \
+             {} labels, {} iterations",
+            fam.family,
+            fam.op_accuracy,
+            fam.layer_accuracy,
+            fam.streaming_agreement,
+            fam.labels,
+            fam.iterations,
+        );
+        assert!(
+            fam.op_accuracy > 0.0,
+            "family {} recovered no correct op samples",
+            fam.family
+        );
+        assert!(
+            (fam.streaming_agreement - 1.0).abs() < f64::EPSILON,
+            "family {} streamed extraction diverged from batch",
+            fam.family
+        );
+    }
+
     let mut latencies: Vec<usize> = f32_run
         .sessions
         .iter()
@@ -178,6 +272,7 @@ fn main() {
             .iter()
             .map(|s| s.overflow_dropped)
             .sum::<usize>(),
+        families,
     };
     println!(
         "fleet ({} sessions, {} rounds): {:.2} sessions/s, {:.0} labels/s f32, \

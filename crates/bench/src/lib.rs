@@ -120,6 +120,40 @@ pub fn train_moscons(scale: Scale) -> Moscons {
     Moscons::profile(&sessions, AttackConfig::default())
 }
 
+/// The zoo profiling suite: randomized residual/separable/attention shapes
+/// covering every [`moscons::OpVocab::Zoo`] op class.
+pub fn zoo_profiling_suite(scale: Scale) -> Vec<TrainingSession> {
+    moscons::random_zoo_profiling_models(6, scale.input(), 19)
+        .into_iter()
+        .map(|m| scale.session(m))
+        .collect()
+}
+
+/// Trains a MoSConS instance under the zoo op vocabulary on the zoo
+/// profiling suite.
+pub fn train_zoo_moscons(scale: Scale) -> Moscons {
+    let config = AttackConfig {
+        vocab: moscons::OpVocab::Zoo,
+        ..AttackConfig::default()
+    };
+    Moscons::profile(&zoo_profiling_suite(scale), config)
+}
+
+/// The victim session of a zoo conformance family at this scale (the
+/// `inference` family runs forward-only iterations).
+pub fn zoo_family_session(family: &str, scale: Scale) -> TrainingSession {
+    let model = zoo::family_model(family)
+        .unwrap_or_else(|| panic!("unknown zoo family {family:?}"))
+        .with_input(scale.input());
+    let batch = scale.batch_for(&model);
+    let config = if family == "inference" {
+        TrainingConfig::inference(batch, scale.iterations)
+    } else {
+        TrainingConfig::new(batch, scale.iterations)
+    };
+    TrainingSession::new(model, config)
+}
+
 /// The collection configuration the benches use (the paper's setting).
 pub fn collection() -> CollectionConfig {
     CollectionConfig::paper()
@@ -201,6 +235,32 @@ pub fn attack_tested_models(moscons: &Moscons, scale: Scale) -> Vec<VictimEval> 
 pub fn common<'a>(a: &'a [OpClass], b: &'a [OpClass]) -> (&'a [OpClass], &'a [OpClass]) {
     let n = a.len().min(b.len());
     (&a[..n], &b[..n])
+}
+
+/// Op accuracy of an extraction against a ground-truth-labeled trace: the
+/// ground-truth iteration aligned with the extraction's base iteration when
+/// one aligns (the paper's tables), otherwise the best-scoring ground-truth
+/// iteration. `None` when either side found no iterations.
+pub fn op_accuracy_vs_truth(
+    extraction: &Extraction,
+    labeled: &LabeledTrace,
+    th_gap: usize,
+) -> Option<f64> {
+    use moscons::report::overall_op_accuracy;
+    let gt_iters = labeled.split_iterations_ground_truth(th_gap);
+    let base = extraction.iterations.first()?;
+    let score = |g: &std::ops::Range<usize>| {
+        let truth: Vec<OpClass> = labeled.samples[g.clone()].iter().map(|s| s.class).collect();
+        let (p, t) = common(&extraction.fused_classes, &truth);
+        overall_op_accuracy(p, t)
+    };
+    match gt_iters.iter().find(|g| g.start.abs_diff(base.start) < 12) {
+        Some(g) => Some(score(g)),
+        None => gt_iters
+            .iter()
+            .map(score)
+            .fold(None, |best, a| Some(best.map_or(a, |b: f64| b.max(a)))),
+    }
 }
 
 // ---------------------------------------------------------------------------

@@ -21,11 +21,11 @@ use crate::gap::{GapConfig, GapModel};
 use crate::hyperparams::{HpKind, HpModel};
 use crate::long_ops::{LongClass, LongOpModel, LstmTrainConfig, QuantizedLongOpModel};
 use crate::opseq::{
-    collapse, forward_boundary, merge_predictions, parse_forward_layers_lenient, structure_string,
-    RecoveredKind, RecoveredLayer,
+    collapse, forward_boundary, merge_predictions, parse_forward_layers_lenient,
+    parse_forward_layers_zoo, structure_string, RecoveredGraph, RecoveredKind, RecoveredLayer,
 };
-use crate::other_ops::{OtherClass, OtherOpModel, QuantizedOtherOpModel};
-use crate::syntax::{correct, SyntaxConfig};
+use crate::other_ops::{OpVocab, OtherClass, OtherOpModel, QuantizedOtherOpModel};
+use crate::syntax::{correct_graph, SyntaxConfig};
 use crate::trace::{collect_trace, CollectionConfig, RawTrace};
 use crate::voting::{VotingExample, VotingModel};
 use std::sync::OnceLock;
@@ -68,6 +68,11 @@ pub struct AttackConfig {
     pub syntax: SyntaxConfig,
     /// Simulated GPU.
     pub gpu: GpuConfig,
+    /// `Mop` label space (serde-defaulted to [`OpVocab::Classic`] so every
+    /// existing config — and cached trace key — keeps deserializing and the
+    /// classic pipeline stays bitwise-identical).
+    #[serde(default)]
+    pub vocab: OpVocab,
 }
 
 impl Default for AttackConfig {
@@ -89,6 +94,7 @@ impl Default for AttackConfig {
             voting_iterations: 5,
             syntax: SyntaxConfig::default(),
             gpu: GpuConfig::gtx_1080_ti(),
+            vocab: OpVocab::default(),
         }
     }
 }
@@ -190,7 +196,7 @@ impl Moscons {
         // workers are available.
         let (m_long, m_op) = ml::par::join(
             || LongOpModel::train(&op_data, &scaler, &config.op_lstm),
-            || OtherOpModel::train(&op_data, &scaler, &config.op_lstm),
+            || OtherOpModel::train(&op_data, &scaler, &config.op_lstm, config.vocab),
         );
 
         // Voting training data: per trace, sliding groups of n iterations.
@@ -301,9 +307,12 @@ impl Moscons {
                 n,
                 &config.voting_lstm,
             )),
-            TailTask::VotingOp => {
-                TailModel::Voting(VotingModel::train(&op_examples, 6, n, &config.voting_lstm))
-            }
+            TailTask::VotingOp => TailModel::Voting(VotingModel::train(
+                &op_examples,
+                config.vocab.other_classes(),
+                n,
+                &config.voting_lstm,
+            )),
             TailTask::Hp(kind) => {
                 TailModel::Hp(HpModel::train(kind, &hp_data, &scaler, &config.hp_lstm))
             }
@@ -529,7 +538,7 @@ impl Moscons {
                 .into_iter()
                 .map(LongClass::from_index)
                 .collect::<Vec<_>>(),
-            &crate::voting::majority_vote(preds_op, 6)
+            &crate::voting::majority_vote(preds_op, self.config.vocab.other_classes())
                 .into_iter()
                 .map(OtherClass::from_index)
                 .collect::<Vec<_>>(),
@@ -547,20 +556,28 @@ impl Moscons {
         );
 
         // Collapse + parse the forward prefix (boundary-bounded, lenient).
+        // Classic keeps the linear-chain parser verbatim; Zoo uses the
+        // graph-aware parser, which degenerates to the same layer list on
+        // traces without zoo ops.
         let runs = collapse(&fused);
         let boundary = forward_boundary(&fused);
-        let mut layers = parse_forward_layers_lenient(&runs, boundary);
+        let mut graph = match self.config.vocab {
+            OpVocab::Classic => {
+                RecoveredGraph::linear(parse_forward_layers_lenient(&runs, boundary))
+            }
+            OpVocab::Zoo => parse_forward_layers_zoo(&runs, boundary),
+        };
 
         // Hyper-parameters at each layer's last forward sample.
-        for layer in layers.iter_mut() {
+        for layer in graph.layers.iter_mut() {
             let pos = layer.last_sample.min(base_len.saturating_sub(1));
             match layer.kind {
-                RecoveredKind::Conv => {
+                RecoveredKind::Conv | RecoveredKind::Separable => {
                     layer.filters = Some(HpKind::Filters.decode(hp_preds[0][pos]));
                     layer.filter_size = Some(HpKind::FilterSize.decode(hp_preds[1][pos]));
                     layer.stride = Some(HpKind::Stride.decode(hp_preds[3][pos]));
                 }
-                RecoveredKind::Dense => {
+                RecoveredKind::Dense | RecoveredKind::Attention => {
                     layer.units = Some(HpKind::Neurons.decode(hp_preds[2][pos]));
                 }
                 RecoveredKind::Pool => {}
@@ -598,11 +615,11 @@ impl Moscons {
             (counts[best] > 0).then(|| HpKind::class_optimizer(best))
         };
 
-        let syntax_edits = correct(&mut layers, &self.config.syntax);
-        let structure = structure_string(&layers, optimizer);
+        let syntax_edits = correct_graph(&mut graph, &self.config.syntax);
+        let structure = structure_string(&graph.layers, optimizer);
 
         Extraction {
-            layers,
+            layers: graph.layers,
             optimizer,
             structure,
             iterations,

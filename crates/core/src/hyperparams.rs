@@ -128,6 +128,15 @@ impl HpKind {
             (HpKind::FilterSize, Layer::Conv2D { filter_size, .. }) => self.encode(*filter_size),
             (HpKind::Stride, Layer::Conv2D { stride, .. }) => self.encode(*stride),
             (HpKind::Neurons, Layer::Dense { units, .. }) => self.encode(*units),
+            (HpKind::Filters, Layer::Residual { filters, .. }) => self.encode(*filters),
+            (HpKind::FilterSize, Layer::Residual { filter_size, .. }) => self.encode(*filter_size),
+            (HpKind::Filters, Layer::SeparableConv2D { filters, .. }) => self.encode(*filters),
+            (HpKind::FilterSize, Layer::SeparableConv2D { filter_size, .. }) => {
+                self.encode(*filter_size)
+            }
+            (HpKind::Stride, Layer::SeparableConv2D { stride, .. }) => self.encode(*stride),
+            // The attention width lives in the neuron space (powers of two).
+            (HpKind::Neurons, Layer::Attention { dim }) => self.encode(*dim),
             _ => None,
         }
     }

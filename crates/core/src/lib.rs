@@ -76,14 +76,18 @@ pub use fleet::{
 pub use gap::{GapConfig, GapModel};
 pub use hyperparams::{HpKind, HpModel};
 pub use long_ops::{LongClass, LongOpModel, LstmTrainConfig, QuantizedLongOpModel};
-pub use opseq::{forward_boundary, parse_forward_layers_lenient, RecoveredKind, RecoveredLayer};
-pub use other_ops::{OtherClass, OtherOpModel, QuantizedOtherOpModel};
-pub use profiling::{hp_sweep_variants, random_profiling_models};
+pub use opseq::{
+    forward_boundary, parse_forward_layers_lenient, parse_forward_layers_zoo, RecoveredGraph,
+    RecoveredKind, RecoveredLayer, Skip,
+};
+pub use other_ops::{OpVocab, OtherClass, OtherOpModel, QuantizedOtherOpModel};
+pub use profiling::{hp_sweep_variants, random_profiling_models, random_zoo_profiling_models};
 pub use report::{score_structure, AttackReport, StructureAccuracy};
 pub use slowdown::SlowdownConfig;
 pub use spy::{sampler_retry_policy, SpyKernelKind};
 pub use stream::{
     AttackStream, GapStream, SegmentSplitter, SplitEvent, StreamLabel, StreamOutcome,
 };
+pub use syntax::{correct, correct_graph, SyntaxConfig};
 pub use trace::{collect_trace, CollectionConfig, RawTrace};
 pub use voting::{majority_vote, VotingModel};

@@ -79,6 +79,10 @@ pub enum RecoveredKind {
     Dense,
     /// Pooling layer.
     Pool,
+    /// Depthwise-separable convolution (depthwise + pointwise pair).
+    Separable,
+    /// Attention block (MatMul–Softmax–MatMul with LayerNorm).
+    Attention,
 }
 
 impl RecoveredKind {
@@ -88,6 +92,8 @@ impl RecoveredKind {
             RecoveredKind::Conv => 'C',
             RecoveredKind::Dense => 'M',
             RecoveredKind::Pool => 'P',
+            RecoveredKind::Separable => 'D',
+            RecoveredKind::Attention => 'A',
         }
     }
 }
@@ -140,6 +146,14 @@ impl RecoveredLayer {
             ),
             RecoveredKind::Dense => format!("M{},{}", num(self.units), act),
             RecoveredKind::Pool => "P".to_owned(),
+            RecoveredKind::Separable => format!(
+                "D{},{},{},{}",
+                num(self.filter_size),
+                num(self.filters),
+                num(self.stride),
+                act
+            ),
+            RecoveredKind::Attention => format!("A{}", num(self.units)),
         }
     }
 }
@@ -243,10 +257,20 @@ pub fn forward_boundary(classes: &[OpClass]) -> usize {
     while i < classes.len() && classes[i].is_long() {
         i += 1;
     }
+    // The zoo classes (`Add`/`Softmax`/`LayerNorm`) also trail a forward
+    // layer — a residual merge or attention tail; classic traces never
+    // contain them, so the classic boundary is unchanged.
     while i < classes.len()
         && matches!(
             classes[i],
-            OpClass::BiasAdd | OpClass::Relu | OpClass::Tanh | OpClass::Sigmoid | OpClass::Nop
+            OpClass::BiasAdd
+                | OpClass::Relu
+                | OpClass::Tanh
+                | OpClass::Sigmoid
+                | OpClass::Nop
+                | OpClass::Add
+                | OpClass::Softmax
+                | OpClass::LayerNorm
         )
     {
         i += 1;
@@ -293,6 +317,172 @@ pub fn parse_forward_layers_lenient(runs: &[OpRun], boundary: usize) -> Vec<Reco
         }
     }
     layers
+}
+
+/// A recovered skip connection: layers `from..=to` sit on a residual
+/// branch whose input (the output of layer `from - 1`, or the model input
+/// when `from == 0`) is element-wise added to the output of layer `to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Skip {
+    /// First layer index on the branch (inclusive).
+    pub from: usize,
+    /// Last layer index on the branch (inclusive) — the merge point.
+    pub to: usize,
+}
+
+/// Recovered structure in graph form: the layer chain plus any skip edges.
+/// Classic parses produce no skips, in which case the graph is exactly the
+/// old linear chain.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveredGraph {
+    /// The recovered layers in execution order.
+    pub layers: Vec<RecoveredLayer>,
+    /// Skip edges over `layers` (empty for linear chains).
+    pub skips: Vec<Skip>,
+}
+
+impl RecoveredGraph {
+    /// Wraps a linear chain (no skip edges).
+    pub fn linear(layers: Vec<RecoveredLayer>) -> Self {
+        RecoveredGraph {
+            layers,
+            skips: Vec::new(),
+        }
+    }
+}
+
+/// Zoo-aware lenient forward parse: extends [`parse_forward_layers_lenient`]
+/// with the model-zoo grammar and returns graph form.
+///
+/// - `MatMul Softmax [MatMul] [LayerNorm]` → one attention layer;
+/// - `Depthwise [Conv] [BiasAdd] [act]` → one separable-conv layer (the
+///   pointwise `Conv` is part of the layer, not a layer of its own);
+/// - an `Add` run closes a residual branch: the trailing activation-less
+///   conv layers (plus the activated conv that opened the block) become the
+///   branch of a [`Skip`] edge, and the post-merge activation attaches to
+///   the merge-point layer.
+///
+/// On a trace with none of the zoo classes this parses exactly like
+/// [`parse_forward_layers_lenient`] and returns an empty skip list.
+pub fn parse_forward_layers_zoo(runs: &[OpRun], boundary: usize) -> RecoveredGraph {
+    let mut layers: Vec<RecoveredLayer> = Vec::new();
+    let mut skips = Vec::new();
+    let mut i = 0;
+    while i < runs.len() && runs[i].start < boundary {
+        match runs[i].class {
+            OpClass::MatMul
+                if i + 1 < runs.len()
+                    && runs[i + 1].start < boundary
+                    && runs[i + 1].class == OpClass::Softmax =>
+            {
+                // Attention block: scores MatMul, Softmax, values MatMul,
+                // LayerNorm (the tail ops tolerate dropout under faults).
+                let mut last = runs[i + 1].end;
+                i += 2;
+                if i < runs.len() && runs[i].start < boundary && runs[i].class == OpClass::MatMul {
+                    last = runs[i].end;
+                    i += 1;
+                }
+                if i < runs.len() && runs[i].start < boundary && runs[i].class == OpClass::LayerNorm
+                {
+                    last = runs[i].end;
+                    i += 1;
+                }
+                layers.push(RecoveredLayer::new(RecoveredKind::Attention, None, last));
+            }
+            OpClass::Conv | OpClass::MatMul => {
+                let kind = if runs[i].class == OpClass::Conv {
+                    RecoveredKind::Conv
+                } else {
+                    RecoveredKind::Dense
+                };
+                let mut last = runs[i].end;
+                i += 1;
+                if i < runs.len() && runs[i].start < boundary && runs[i].class == OpClass::BiasAdd {
+                    last = runs[i].end;
+                    i += 1;
+                }
+                let mut activation = None;
+                if i < runs.len() && runs[i].start < boundary {
+                    if let Some(a) = act_of(runs[i].class) {
+                        activation = Some(a);
+                        last = runs[i].end;
+                        i += 1;
+                    }
+                }
+                layers.push(RecoveredLayer::new(kind, activation, last));
+            }
+            OpClass::Depthwise => {
+                // Separable conv: depthwise, then the pointwise 1x1 conv,
+                // bias and activation all belong to the same layer.
+                let mut last = runs[i].end;
+                i += 1;
+                if i < runs.len() && runs[i].start < boundary && runs[i].class == OpClass::Conv {
+                    last = runs[i].end;
+                    i += 1;
+                }
+                if i < runs.len() && runs[i].start < boundary && runs[i].class == OpClass::BiasAdd {
+                    last = runs[i].end;
+                    i += 1;
+                }
+                let mut activation = None;
+                if i < runs.len() && runs[i].start < boundary {
+                    if let Some(a) = act_of(runs[i].class) {
+                        activation = Some(a);
+                        last = runs[i].end;
+                        i += 1;
+                    }
+                }
+                layers.push(RecoveredLayer::new(
+                    RecoveredKind::Separable,
+                    activation,
+                    last,
+                ));
+            }
+            OpClass::Pool => {
+                layers.push(RecoveredLayer::new(RecoveredKind::Pool, None, runs[i].end));
+                i += 1;
+            }
+            OpClass::Add => {
+                let mut last = runs[i].end;
+                i += 1;
+                // The residual's final activation runs after the merge.
+                let mut activation = None;
+                if i < runs.len() && runs[i].start < boundary {
+                    if let Some(a) = act_of(runs[i].class) {
+                        activation = Some(a);
+                        last = runs[i].end;
+                        i += 1;
+                    }
+                }
+                if let Some(to) = layers.len().checked_sub(1) {
+                    if layers[to].kind == RecoveredKind::Conv {
+                        // Walk back over the branch: its inner convs carry
+                        // no post-activation (it runs after the merge);
+                        // the activated conv before them opened the block.
+                        let mut from = to;
+                        while from > 0
+                            && layers[from].kind == RecoveredKind::Conv
+                            && layers[from].activation.is_none()
+                            && layers[from - 1].kind == RecoveredKind::Conv
+                        {
+                            from -= 1;
+                            if layers[from].activation.is_some() {
+                                break;
+                            }
+                        }
+                        skips.push(Skip { from, to });
+                        if let Some(a) = activation {
+                            layers[to].activation = Some(a);
+                            layers[to].last_sample = last;
+                        }
+                    }
+                }
+            }
+            _ => i += 1, // skip a stray run instead of aborting
+        }
+    }
+    RecoveredGraph { layers, skips }
 }
 
 /// Formats a recovered structure as the paper's Table IX strings, e.g.
@@ -426,6 +616,95 @@ mod tests {
                 Some(Activation::Sigmoid)
             ]
         );
+    }
+
+    #[test]
+    fn zoo_parse_matches_lenient_on_classic_traces() {
+        let classes = vec![
+            Conv, BiasAdd, Relu, Pool, MatMul, BiasAdd, Relu, BiasAdd, MatMul, MatMul,
+        ];
+        let runs = collapse(&classes);
+        let boundary = forward_boundary(&classes);
+        let graph = parse_forward_layers_zoo(&runs, boundary);
+        assert_eq!(graph.layers, parse_forward_layers_lenient(&runs, boundary));
+        assert!(graph.skips.is_empty());
+    }
+
+    #[test]
+    fn zoo_parse_recovers_residual_block_as_skip_edge() {
+        use OpClass::Add;
+        // Stem conv, then a residual block: conv1 (activated), conv2, merge
+        // Add, post-merge activation.
+        let classes = vec![
+            Conv, BiasAdd, Relu, // stem
+            Conv, BiasAdd, Relu, // block conv1
+            Conv, BiasAdd, // block conv2 (no act before the merge)
+            Add, Relu, // merge + block activation
+        ];
+        let runs = collapse(&classes);
+        let graph = parse_forward_layers_zoo(&runs, classes.len());
+        let kinds: Vec<RecoveredKind> = graph.layers.iter().map(|l| l.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                RecoveredKind::Conv,
+                RecoveredKind::Conv,
+                RecoveredKind::Conv
+            ]
+        );
+        assert_eq!(graph.skips, vec![Skip { from: 1, to: 2 }]);
+        // The post-merge activation attaches to the merge-point conv.
+        assert_eq!(graph.layers[2].activation, Some(Activation::Relu));
+        assert_eq!(graph.layers[2].last_sample, 9);
+    }
+
+    #[test]
+    fn zoo_parse_folds_separable_into_one_layer() {
+        use OpClass::Depthwise;
+        let classes = vec![
+            Depthwise, Conv, BiasAdd, Relu, Pool, MatMul, BiasAdd, Sigmoid,
+        ];
+        let runs = collapse(&classes);
+        let graph = parse_forward_layers_zoo(&runs, classes.len());
+        let kinds: Vec<RecoveredKind> = graph.layers.iter().map(|l| l.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                RecoveredKind::Separable,
+                RecoveredKind::Pool,
+                RecoveredKind::Dense
+            ]
+        );
+        assert_eq!(graph.layers[0].activation, Some(Activation::Relu));
+        assert_eq!(graph.layers[0].last_sample, 3);
+        assert!(graph.skips.is_empty());
+    }
+
+    #[test]
+    fn zoo_parse_folds_attention_block() {
+        use OpClass::{LayerNorm, Softmax};
+        let classes = vec![
+            MatMul, Softmax, MatMul, LayerNorm, // attention
+            MatMul, BiasAdd, Relu, // dense head
+        ];
+        let runs = collapse(&classes);
+        let graph = parse_forward_layers_zoo(&runs, classes.len());
+        let kinds: Vec<RecoveredKind> = graph.layers.iter().map(|l| l.kind).collect();
+        assert_eq!(kinds, vec![RecoveredKind::Attention, RecoveredKind::Dense]);
+        assert_eq!(graph.layers[0].last_sample, 3);
+        assert!(graph.skips.is_empty());
+    }
+
+    #[test]
+    fn zoo_fragments_render() {
+        let mut sep = RecoveredLayer::new(RecoveredKind::Separable, Some(Activation::Tanh), 0);
+        sep.filter_size = Some(5);
+        sep.filters = Some(128);
+        sep.stride = Some(1);
+        assert_eq!(sep.structure_fragment(), "D5,128,1,T");
+        let mut att = RecoveredLayer::new(RecoveredKind::Attention, None, 0);
+        att.units = Some(256);
+        assert_eq!(att.structure_fragment(), "A256");
     }
 
     #[test]

@@ -16,7 +16,35 @@ use serde::{Deserialize, Serialize};
 use crate::dataset::LabeledTrace;
 use crate::long_ops::LstmTrainConfig;
 
-/// The `Mop` output alphabet.
+/// Which `Mop` label space an attacker trains and serves with.
+///
+/// `Classic` is the paper's six-class alphabet and is the default: every
+/// existing config deserializes to it (`#[serde(default)]` at the config
+/// field) and its training/inference paths are bitwise-identical to the
+/// pre-zoo pipeline. `Zoo` appends the model-zoo classes (`Add`, `Softmax`,
+/// `LayerNorm`, `Depthwise`), growing the LSTM output layer — a different
+/// model, so a deliberate opt-in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum OpVocab {
+    /// The paper's Table VII alphabet (6 `Mop` classes).
+    #[default]
+    Classic,
+    /// Classic plus the model-zoo classes (10 `Mop` classes).
+    Zoo,
+}
+
+impl OpVocab {
+    /// Number of `Mop` output classes under this vocabulary.
+    pub fn other_classes(self) -> usize {
+        match self {
+            OpVocab::Classic => 6,
+            OpVocab::Zoo => OtherClass::ALL.len(),
+        }
+    }
+}
+
+/// The `Mop` output alphabet (classic classes first so classic model output
+/// indices never move when the zoo classes are appended).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum OtherClass {
     /// Bias addition (forward or gradient).
@@ -31,17 +59,31 @@ pub enum OtherClass {
     Pool,
     /// Optimizer apply op.
     Optimizer,
+    /// Two-input add (residual skip connections).
+    Add,
+    /// Softmax (forward or gradient).
+    Softmax,
+    /// Layer normalization (forward or gradient).
+    LayerNorm,
+    /// Depthwise convolution (forward or backprops) — short enough to sit in
+    /// the `Mop` alphabet rather than `Mlong`'s.
+    Depthwise,
 }
 
 impl OtherClass {
-    /// All classes in model output order.
-    pub const ALL: [OtherClass; 6] = [
+    /// All classes in model output order ([`OpVocab::Classic`] uses the
+    /// first six, [`OpVocab::Zoo`] all of them).
+    pub const ALL: [OtherClass; 10] = [
         OtherClass::BiasAdd,
         OtherClass::Relu,
         OtherClass::Tanh,
         OtherClass::Sigmoid,
         OtherClass::Pool,
         OtherClass::Optimizer,
+        OtherClass::Add,
+        OtherClass::Softmax,
+        OtherClass::LayerNorm,
+        OtherClass::Depthwise,
     ];
 
     /// Maps an op class into the `Mop` alphabet; `None` for long ops / NOP.
@@ -53,6 +95,10 @@ impl OtherClass {
             OpClass::Sigmoid => Some(OtherClass::Sigmoid),
             OpClass::Pool => Some(OtherClass::Pool),
             OpClass::Optimizer => Some(OtherClass::Optimizer),
+            OpClass::Add => Some(OtherClass::Add),
+            OpClass::Softmax => Some(OtherClass::Softmax),
+            OpClass::LayerNorm => Some(OtherClass::LayerNorm),
+            OpClass::Depthwise => Some(OtherClass::Depthwise),
             OpClass::Conv | OpClass::MatMul | OpClass::Nop => None,
         }
     }
@@ -66,6 +112,10 @@ impl OtherClass {
             OtherClass::Sigmoid => OpClass::Sigmoid,
             OtherClass::Pool => OpClass::Pool,
             OtherClass::Optimizer => OpClass::Optimizer,
+            OtherClass::Add => OpClass::Add,
+            OtherClass::Softmax => OpClass::Softmax,
+            OtherClass::LayerNorm => OpClass::LayerNorm,
+            OtherClass::Depthwise => OpClass::Depthwise,
         }
     }
 
@@ -79,11 +129,18 @@ impl OtherClass {
 
     /// Class from a model output index.
     ///
-    /// # Panics
-    ///
-    /// Panics if `index >= 6`.
+    /// An out-of-range index degrades to [`OtherClass::BiasAdd`] (class 0)
+    /// in release builds — this sits on the fleet-serving path, where one
+    /// malformed prediction must not abort the process — and trips a
+    /// `debug_assert!` in debug builds.
     pub fn from_index(index: usize) -> OtherClass {
-        Self::ALL[index]
+        match Self::ALL.get(index) {
+            Some(&c) => c,
+            None => {
+                debug_assert!(false, "OtherClass index {} out of range", index);
+                OtherClass::BiasAdd
+            }
+        }
     }
 }
 
@@ -96,6 +153,11 @@ pub struct OtherOpModel {
 impl OtherOpModel {
     /// Trains on profiling iterations, masking long-op and NOP losses.
     ///
+    /// `vocab` sizes the output layer: under [`OpVocab::Classic`] any sample
+    /// whose label falls outside the six classic classes is additionally
+    /// loss-masked (a no-op on classic profiling data, which never contains
+    /// zoo ops — the classic path stays bitwise-identical).
+    ///
     /// # Panics
     ///
     /// Panics if no iterations are provided.
@@ -103,7 +165,9 @@ impl OtherOpModel {
         data: &[(&LabeledTrace, &[std::ops::Range<usize>])],
         scaler: &MinMaxScaler,
         config: &LstmTrainConfig,
+        vocab: OpVocab,
     ) -> Self {
+        let n_classes = vocab.other_classes();
         let mut examples = Vec::new();
         for (trace, ranges) in data {
             for r in ranges.iter() {
@@ -117,11 +181,11 @@ impl OtherOpModel {
                 let mut mask = Vec::with_capacity(samples.len());
                 for s in samples {
                     match OtherClass::of(s.class) {
-                        Some(c) => {
+                        Some(c) if c.index() < n_classes => {
                             labels.push(c.index());
                             mask.push(true);
                         }
-                        None => {
+                        _ => {
                             labels.push(0);
                             mask.push(false);
                         }
@@ -139,9 +203,10 @@ impl OtherOpModel {
                     .filter(|(_, &m)| m)
                     .map(|(&l, _)| l)
             }),
-            6,
+            n_classes,
         );
-        let mut cfg = SeqClassifierConfig::new(2 * crate::dataset::FEATURE_WIDTH, config.hidden, 6);
+        let mut cfg =
+            SeqClassifierConfig::new(2 * crate::dataset::FEATURE_WIDTH, config.hidden, n_classes);
         cfg.epochs = config.epochs;
         cfg.learning_rate = config.learning_rate;
         cfg.seed = config.seed ^ 0x0707;

@@ -78,6 +78,91 @@ pub fn random_profiling_models(count: usize, input: InputSpec, seed: u64) -> Vec
         .collect()
 }
 
+/// Generates `count` randomized zoo-profiling models on the given input.
+///
+/// Extends [`random_profiling_models`] to the model-zoo op set: the models
+/// rotate through residual-CNN, separable-CNN, attention-net and classic
+/// CNN/MLP shapes, so with `count >= 3` every zoo op class (`Add`,
+/// `Softmax`, `LayerNorm`, `Depthwise`) and every activation appears in the
+/// profiling corpus — the [`crate::other_ops::OpVocab::Zoo`] `Mop` head
+/// needs labeled samples of each.
+///
+/// # Panics
+///
+/// Panics if `count == 0` or `input` is not an image (the zoo's conv
+/// families need spatial input).
+pub fn random_zoo_profiling_models(count: usize, input: InputSpec, seed: u64) -> Vec<Model> {
+    assert!(count > 0, "need at least one profiling model");
+    assert!(
+        matches!(input, InputSpec::Image { .. }),
+        "zoo profiling needs image input"
+    );
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5A00);
+    let acts = [Activation::Relu, Activation::Tanh, Activation::Sigmoid];
+    (0..count)
+        .map(|i| {
+            // Rotate activations deterministically so all three are seen
+            // even with a small corpus.
+            let act = acts[i % acts.len()];
+            let mut layers = Vec::new();
+            match i % 3 {
+                0 => {
+                    // Residual CNN: stem conv, two residual blocks, head.
+                    let f = 1usize << rng.gen_range(6..=7);
+                    layers.push(Layer::conv(3, f, 1));
+                    layers.push(Layer::Residual {
+                        filter_size: 2 * rng.gen_range(0usize..3) + 1,
+                        filters: f,
+                        activation: act,
+                    });
+                    layers.push(Layer::MaxPool);
+                    layers.push(Layer::Residual {
+                        filter_size: 3,
+                        filters: 1usize << rng.gen_range(6..=8),
+                        activation: *acts.choose(&mut rng).expect("nonempty"),
+                    });
+                    layers.push(Layer::MaxPool);
+                    layers.push(Layer::dense(1usize << rng.gen_range(7..=10), act));
+                }
+                1 => {
+                    // Separable CNN.
+                    layers.push(Layer::SeparableConv2D {
+                        filter_size: 2 * rng.gen_range(1usize..4) + 1,
+                        filters: 1usize << rng.gen_range(6..=7),
+                        stride: 1,
+                        activation: act,
+                    });
+                    layers.push(Layer::MaxPool);
+                    layers.push(Layer::SeparableConv2D {
+                        filter_size: 3,
+                        filters: 1usize << rng.gen_range(6..=8),
+                        stride: *[1usize, 2].choose(&mut rng).expect("nonempty"),
+                        activation: *acts.choose(&mut rng).expect("nonempty"),
+                    });
+                    layers.push(Layer::MaxPool);
+                    layers.push(Layer::dense(1usize << rng.gen_range(7..=10), act));
+                }
+                _ => {
+                    // Attention net over the flattened input.
+                    layers.push(Layer::attention(1usize << rng.gen_range(7..=9)));
+                    layers.push(Layer::attention(1usize << rng.gen_range(6..=8)));
+                    layers.push(Layer::dense(1usize << rng.gen_range(7..=9), act));
+                    layers.push(Layer::dense(
+                        1usize << rng.gen_range(6..=8),
+                        *acts.choose(&mut rng).expect("nonempty"),
+                    ));
+                }
+            }
+            Model::new(
+                format!("zoo_profile_{:02}", i),
+                input,
+                layers,
+                Optimizer::ALL[i % Optimizer::ALL.len()],
+            )
+        })
+        .collect()
+}
+
 /// Hyper-parameter sweep variants of a base model: each variant changes one
 /// hyper-parameter of one layer to another value in the Table VIII space
 /// (the paper's procedure for evaluating `Mhp`).
@@ -106,6 +191,27 @@ pub fn hp_sweep_variants(base: &Model, count: usize, seed: u64) -> Vec<Model> {
                 },
                 Layer::Dense { units, .. } => {
                     *units = 1usize << rng.gen_range(6..=14);
+                }
+                Layer::Residual {
+                    filter_size,
+                    filters,
+                    ..
+                } => match rng.gen_range(0..2) {
+                    0 => *filter_size = 2 * rng.gen_range(0usize..3) + 1,
+                    _ => *filters = 1usize << rng.gen_range(4..=8),
+                },
+                Layer::SeparableConv2D {
+                    filter_size,
+                    filters,
+                    stride,
+                    ..
+                } => match rng.gen_range(0..3) {
+                    0 => *filter_size = 2 * rng.gen_range(0usize..7) + 1,
+                    1 => *filters = 1usize << rng.gen_range(6..=12),
+                    _ => *stride = rng.gen_range(1..=4),
+                },
+                Layer::Attention { dim } => {
+                    *dim = 1usize << rng.gen_range(5..=9);
                 }
                 Layer::MaxPool => {}
             }
@@ -167,6 +273,7 @@ mod tests {
                         assert!(HpKind::Neurons.label_for_layer(m, i).is_some());
                     }
                     Layer::MaxPool => {}
+                    _ => unreachable!("classic generator emits no zoo layers"),
                 }
             }
         }

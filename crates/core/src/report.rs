@@ -43,6 +43,11 @@ fn kind_of(layer: &Layer) -> RecoveredKind {
         Layer::Conv2D { .. } => RecoveredKind::Conv,
         Layer::Dense { .. } => RecoveredKind::Dense,
         Layer::MaxPool => RecoveredKind::Pool,
+        // A residual block is recovered as its constituent convs plus a
+        // skip edge, so it aligns against a recovered Conv.
+        Layer::Residual { .. } => RecoveredKind::Conv,
+        Layer::SeparableConv2D { .. } => RecoveredKind::Separable,
+        Layer::Attention { .. } => RecoveredKind::Attention,
     }
 }
 
@@ -121,6 +126,54 @@ pub fn score_structure(
                         hp_correct += 1;
                     }
                     if r.activation == Some(activation) {
+                        hp_correct += 1;
+                    }
+                }
+            }
+            Layer::Residual {
+                filter_size,
+                filters,
+                activation,
+            } => {
+                hp_total += 3;
+                if let Some(r) = matched[t_idx].map(|r| &recovered[r]) {
+                    if r.filter_size == Some(filter_size) {
+                        hp_correct += 1;
+                    }
+                    if r.filters == Some(filters) {
+                        hp_correct += 1;
+                    }
+                    if r.activation == Some(activation) {
+                        hp_correct += 1;
+                    }
+                }
+            }
+            Layer::SeparableConv2D {
+                filter_size,
+                filters,
+                stride,
+                activation,
+            } => {
+                hp_total += 4;
+                if let Some(r) = matched[t_idx].map(|r| &recovered[r]) {
+                    if r.filter_size == Some(filter_size) {
+                        hp_correct += 1;
+                    }
+                    if r.filters == Some(filters) {
+                        hp_correct += 1;
+                    }
+                    if r.stride == Some(stride) {
+                        hp_correct += 1;
+                    }
+                    if r.activation == Some(activation) {
+                        hp_correct += 1;
+                    }
+                }
+            }
+            Layer::Attention { dim } => {
+                hp_total += 1;
+                if let Some(r) = matched[t_idx].map(|r| &recovered[r]) {
+                    if r.units == Some(dim) {
                         hp_correct += 1;
                     }
                 }
@@ -268,6 +321,7 @@ mod tests {
                     units: Some(units),
                 },
                 Layer::MaxPool => rec(RecoveredKind::Pool),
+                _ => unreachable!("vgg16 contains no zoo layers"),
             })
             .collect();
         let score = score_structure(&truth, &recovered, Some(truth.optimizer));

@@ -17,7 +17,7 @@
 use dnn_sim::Activation;
 use serde::{Deserialize, Serialize};
 
-use crate::opseq::{RecoveredKind, RecoveredLayer};
+use crate::opseq::{RecoveredGraph, RecoveredKind, RecoveredLayer};
 
 /// Which corrections to apply (all on by default; the ablation bench turns
 /// them off individually).
@@ -75,7 +75,118 @@ fn majority_activation(layers: &[&RecoveredLayer]) -> Option<(Activation, usize,
 }
 
 /// Applies the syntax corrections in place, returning the number of edits.
+///
+/// Thin linear-chain adapter over [`correct_graph`]: the chain is wrapped
+/// in a skip-free [`RecoveredGraph`], which routes to the original chain
+/// corrector byte-for-byte.
 pub fn correct(layers: &mut Vec<RecoveredLayer>, config: &SyntaxConfig) -> usize {
+    let mut graph = RecoveredGraph::linear(std::mem::take(layers));
+    let edits = correct_graph(&mut graph, config);
+    *layers = graph.layers;
+    edits
+}
+
+/// DAG-aware syntax correction (§IV-D extended to the model zoo).
+///
+/// A graph without skip edges is corrected by the original chain rules —
+/// bitwise-identical to the pre-graph [`correct`]. With skip edges:
+///
+/// - the drop rules run with *in-branch protection*: a layer on a residual
+///   branch is structural (the skip edge proves it executed) and is never
+///   dropped; surviving indices remap the skip edges;
+/// - *merge-point shape agreement*: the element-wise `Add` at a skip's
+///   merge requires every conv on the branch to produce the block's width,
+///   so branch conv filter counts are set to the merge-point conv's
+///   (per-path dimension chaining; the power-of-two rule already holds by
+///   `Mhp` label-space construction);
+/// - the activation fill/harmonize rules are unchanged (branch and trunk
+///   share the block's activation by construction).
+pub fn correct_graph(graph: &mut RecoveredGraph, config: &SyntaxConfig) -> usize {
+    if graph.skips.is_empty() {
+        return correct_chain(&mut graph.layers, config);
+    }
+    let mut edits = 0usize;
+    let n = graph.layers.len();
+    let protected: std::collections::HashSet<usize> = graph
+        .skips
+        .iter()
+        .flat_map(|s| s.from..=s.to.min(n.saturating_sub(1)))
+        .collect();
+    let mut keep = vec![true; n];
+
+    if config.drop_conv_after_dense {
+        let mut seen_dense = false;
+        for (i, l) in graph.layers.iter().enumerate() {
+            match l.kind {
+                RecoveredKind::Dense | RecoveredKind::Attention => seen_dense = true,
+                RecoveredKind::Conv | RecoveredKind::Separable
+                    if seen_dense && !protected.contains(&i) =>
+                {
+                    keep[i] = false;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    if config.drop_orphan_pools {
+        let mut seen_conv = false;
+        for (i, l) in graph.layers.iter().enumerate() {
+            if !keep[i] {
+                continue;
+            }
+            match l.kind {
+                RecoveredKind::Conv | RecoveredKind::Separable => seen_conv = true,
+                RecoveredKind::Dense | RecoveredKind::Attention => seen_conv = false,
+                RecoveredKind::Pool => {
+                    if !seen_conv && !protected.contains(&i) {
+                        keep[i] = false;
+                    }
+                }
+            }
+        }
+    }
+
+    // Rebuild the chain and remap the skip edges onto surviving indices
+    // (branch endpoints are protected, so the remap is total on them).
+    if keep.iter().any(|&k| !k) {
+        let mut remap = vec![usize::MAX; n];
+        let mut survivors = Vec::with_capacity(n);
+        for (i, l) in graph.layers.iter().enumerate() {
+            if keep[i] {
+                remap[i] = survivors.len();
+                survivors.push(*l);
+            }
+        }
+        edits += n - survivors.len();
+        graph.layers = survivors;
+        for s in graph.skips.iter_mut() {
+            s.from = remap[s.from];
+            s.to = remap[s.to];
+        }
+    }
+
+    // Merge-point shape agreement per skip edge.
+    for s in &graph.skips {
+        let Some(target) = graph.layers.get(s.to).and_then(|l| l.filters) else {
+            continue;
+        };
+        for i in s.from..s.to.min(graph.layers.len()) {
+            let l = &mut graph.layers[i];
+            if matches!(l.kind, RecoveredKind::Conv | RecoveredKind::Separable)
+                && l.filters != Some(target)
+            {
+                l.filters = Some(target);
+                edits += 1;
+            }
+        }
+    }
+
+    edits + activation_pass(&mut graph.layers, config)
+}
+
+/// The original linear-chain corrector ([`correct`]'s pre-graph body).
+fn correct_chain(layers: &mut Vec<RecoveredLayer>, config: &SyntaxConfig) -> usize {
     let mut edits = 0usize;
 
     if config.drop_conv_after_dense {
@@ -106,11 +217,11 @@ pub fn correct(layers: &mut Vec<RecoveredLayer>, config: &SyntaxConfig) -> usize
         }
         let mut seen_dense = false;
         layers.retain(|l| match l.kind {
-            RecoveredKind::Dense => {
+            RecoveredKind::Dense | RecoveredKind::Attention => {
                 seen_dense = true;
                 true
             }
-            RecoveredKind::Conv => !seen_dense,
+            RecoveredKind::Conv | RecoveredKind::Separable => !seen_dense,
             RecoveredKind::Pool => true,
         });
         // A lone leading conv in an otherwise all-dense model (no pooling)
@@ -137,11 +248,11 @@ pub fn correct(layers: &mut Vec<RecoveredLayer>, config: &SyntaxConfig) -> usize
         let mut seen_conv = false;
         let before = layers.len();
         layers.retain(|l| match l.kind {
-            RecoveredKind::Conv => {
+            RecoveredKind::Conv | RecoveredKind::Separable => {
                 seen_conv = true;
                 true
             }
-            RecoveredKind::Dense => {
+            RecoveredKind::Dense | RecoveredKind::Attention => {
                 // A dense layer ends the conv stack; later pools are bogus.
                 seen_conv = false;
                 true
@@ -151,13 +262,25 @@ pub fn correct(layers: &mut Vec<RecoveredLayer>, config: &SyntaxConfig) -> usize
         edits += before - layers.len();
     }
 
+    edits + activation_pass(layers, config)
+}
+
+/// The activation fill/harmonize rules, applied per group (the conv stack —
+/// including separable convs — and the dense head). Shared verbatim by the
+/// chain and graph correctors.
+fn activation_pass(layers: &mut [RecoveredLayer], config: &SyntaxConfig) -> usize {
+    let mut edits = 0usize;
     for group_kind in [RecoveredKind::Conv, RecoveredKind::Dense] {
-        let group: Vec<&RecoveredLayer> = layers.iter().filter(|l| l.kind == group_kind).collect();
+        let in_group = |k: RecoveredKind| match group_kind {
+            RecoveredKind::Conv => matches!(k, RecoveredKind::Conv | RecoveredKind::Separable),
+            _ => k == group_kind,
+        };
+        let group: Vec<&RecoveredLayer> = layers.iter().filter(|l| in_group(l.kind)).collect();
         let Some((majority, votes, total)) = majority_activation(&group) else {
             continue;
         };
         let strong_majority = 3 * votes >= 2 * total;
-        for l in layers.iter_mut().filter(|l| l.kind == group_kind) {
+        for l in layers.iter_mut().filter(|l| in_group(l.kind)) {
             match l.activation {
                 None if config.fill_missing_activations => {
                     l.activation = Some(majority);
@@ -176,7 +299,6 @@ pub fn correct(layers: &mut Vec<RecoveredLayer>, config: &SyntaxConfig) -> usize
             }
         }
     }
-
     edits
 }
 
@@ -299,6 +421,143 @@ mod tests {
         assert_eq!(layers[0].kind, RecoveredKind::Conv);
         assert_eq!(layers[1].kind, RecoveredKind::Pool);
         assert_eq!(layers[2].kind, RecoveredKind::Dense);
+    }
+
+    #[test]
+    fn graph_without_skips_is_bitwise_the_chain_corrector() {
+        let layers = vec![
+            dense(Some(Activation::Relu)), // artifact ahead of the stack
+            conv(Some(Activation::Relu)),
+            conv(None),
+            pool(),
+            dense(None),
+        ];
+        let mut chain = layers.clone();
+        let chain_edits = correct(&mut chain, &SyntaxConfig::default());
+        let mut graph = RecoveredGraph::linear(layers);
+        let graph_edits = correct_graph(&mut graph, &SyntaxConfig::default());
+        assert_eq!(graph_edits, chain_edits);
+        assert_eq!(graph.layers, chain);
+        assert!(graph.skips.is_empty());
+    }
+
+    #[test]
+    fn merge_point_shape_agreement_chains_branch_filters() {
+        let mut c1 = conv(Some(Activation::Relu));
+        c1.filters = Some(64); // misread: the merge proves 128
+        let mut c2 = conv(Some(Activation::Relu));
+        c2.filters = Some(128);
+        let mut graph = RecoveredGraph {
+            layers: vec![conv(Some(Activation::Relu)), c1, c2],
+            skips: vec![crate::opseq::Skip { from: 1, to: 2 }],
+        };
+        let edits = correct_graph(&mut graph, &SyntaxConfig::default());
+        assert_eq!(edits, 1);
+        assert_eq!(graph.layers[1].filters, Some(128));
+        // The trunk conv ahead of the branch is untouched.
+        assert_eq!(graph.layers[0].filters, Some(64));
+    }
+
+    #[test]
+    fn dag_correction_beats_linear_on_residual_structures() {
+        use crate::report::score_structure;
+        use dnn_sim::{InputSpec, Layer, Model, Optimizer};
+        let truth = Model::new(
+            "res",
+            InputSpec::Image {
+                height: 32,
+                width: 32,
+                channels: 3,
+            },
+            vec![
+                Layer::conv(3, 64, 1),
+                Layer::Residual {
+                    filter_size: 3,
+                    filters: 128,
+                    activation: Activation::Relu,
+                },
+                Layer::dense(4096, Activation::Relu),
+            ],
+            Optimizer::Adam,
+        );
+        // Recovered: stem + the block's two convs + head. `Mhp` misread the
+        // first branch conv's filter count; only the skip edge carries the
+        // evidence that the merge forces it to 128.
+        let recovered = || {
+            let mut c1 = conv(Some(Activation::Relu));
+            c1.filters = Some(64);
+            let mut c2 = conv(Some(Activation::Relu));
+            c2.filters = Some(128);
+            vec![
+                conv(Some(Activation::Relu)),
+                c1,
+                c2,
+                dense(Some(Activation::Relu)),
+            ]
+        };
+        let mut chain = recovered();
+        correct(&mut chain, &SyntaxConfig::default());
+        let chain_score = score_structure(&truth, &chain, Some(Optimizer::Adam));
+
+        let mut graph = RecoveredGraph {
+            layers: recovered(),
+            skips: vec![crate::opseq::Skip { from: 1, to: 2 }],
+        };
+        correct_graph(&mut graph, &SyntaxConfig::default());
+        let graph_score = score_structure(&truth, &graph.layers, Some(Optimizer::Adam));
+
+        assert!(
+            graph_score.hp_correct > chain_score.hp_correct,
+            "DAG correction must fix the branch filters: chain {} vs graph {}",
+            chain_score.hp_correct,
+            graph_score.hp_correct
+        );
+    }
+
+    #[test]
+    fn skip_branch_layers_survive_drop_rules() {
+        // Two stray leading denses would normally wipe the conv stack
+        // (conv-after-dense rule); the skip edge proves the convs executed.
+        let mut graph = RecoveredGraph {
+            layers: vec![
+                dense(Some(Activation::Relu)),
+                dense(Some(Activation::Relu)),
+                conv(Some(Activation::Relu)),
+                conv(Some(Activation::Relu)),
+                dense(Some(Activation::Relu)),
+            ],
+            skips: vec![crate::opseq::Skip { from: 2, to: 3 }],
+        };
+        correct_graph(&mut graph, &SyntaxConfig::default());
+        assert_eq!(graph.layers.len(), 5, "branch layers are protected");
+
+        // Without the skip, the same chain loses its convs.
+        let mut chain = vec![
+            dense(Some(Activation::Relu)),
+            dense(Some(Activation::Relu)),
+            conv(Some(Activation::Relu)),
+            conv(Some(Activation::Relu)),
+            dense(Some(Activation::Relu)),
+        ];
+        correct(&mut chain, &SyntaxConfig::default());
+        assert_eq!(chain.len(), 3);
+    }
+
+    #[test]
+    fn drop_rules_remap_skip_edges() {
+        let mut graph = RecoveredGraph {
+            layers: vec![
+                pool(), // orphan leading pool: dropped
+                conv(Some(Activation::Relu)),
+                conv(Some(Activation::Relu)),
+                conv(Some(Activation::Relu)),
+                dense(Some(Activation::Relu)),
+            ],
+            skips: vec![crate::opseq::Skip { from: 2, to: 3 }],
+        };
+        correct_graph(&mut graph, &SyntaxConfig::default());
+        assert_eq!(graph.layers.len(), 4);
+        assert_eq!(graph.skips, vec![crate::opseq::Skip { from: 1, to: 2 }]);
     }
 
     #[test]

@@ -118,6 +118,44 @@ pub fn lower_op(op: &Op, seq_index: usize, config: &GpuConfig) -> KernelDesc {
             working_set: 384.0 * 1024.0,
             tex_working_set: 0.0,
         },
+        // Two-input streaming add: reads both operands once (the 2.0 covers
+        // the second input — `in_elems` already counts both tensors, so this
+        // stays structurally an element-wise op with a second read stream).
+        OpKind::Add => elementwise(op, 1.0, 1.0),
+        // Softmax makes a max pass, an exp+sum pass and a normalize pass.
+        OpKind::Softmax => elementwise(op, 2.5, 1.0),
+        OpKind::SoftmaxGrad => elementwise(op, 3.0, 1.0),
+        // LayerNorm: mean/variance reduction pass plus the normalize pass
+        // that re-reads the tensor and the gain/bias vectors.
+        OpKind::LayerNorm => elementwise(op, 2.2, 1.0),
+        OpKind::LayerNormGrad => elementwise(op, 3.2, 1.0),
+        // Depthwise convolutions keep the texture path of the dense convs
+        // but touch only one filter per channel: tiny weight working set,
+        // traffic dominated by the activation tiles.
+        OpKind::DepthwiseConv2dNative => KernelFootprint {
+            flops: op.flops,
+            read_bytes: in_b + w_b,
+            write_bytes: out_b,
+            tex_read_bytes: 0.6 * in_b + w_b,
+            working_set: (w_b + 96.0 * 1024.0).min(WS_WEIGHT_CAP),
+            tex_working_set: (w_b + 64.0 * 1024.0).min(WS_TEX_CAP),
+        },
+        OpKind::DepthwiseConv2dNativeBackpropFilter => KernelFootprint {
+            flops: op.flops,
+            read_bytes: in_b + out_b,
+            write_bytes: w_b,
+            tex_read_bytes: 0.4 * (in_b + out_b),
+            working_set: (w_b + 96.0 * 1024.0).min(WS_WEIGHT_CAP),
+            tex_working_set: (w_b + 32.0 * 1024.0).min(WS_TEX_CAP),
+        },
+        OpKind::DepthwiseConv2dNativeBackpropInput => KernelFootprint {
+            flops: op.flops,
+            read_bytes: in_b + w_b,
+            write_bytes: out_b,
+            tex_read_bytes: 0.5 * in_b + w_b,
+            working_set: (w_b + 96.0 * 1024.0).min(WS_WEIGHT_CAP),
+            tex_working_set: (w_b + 64.0 * 1024.0).min(WS_TEX_CAP),
+        },
         OpKind::ApplyGd => apply(op, 2.0, 1.0),
         OpKind::ApplyAdagrad => apply(op, 3.0, 2.0),
         OpKind::ApplyAdam => apply(op, 4.0, 3.0),
@@ -224,6 +262,31 @@ mod tests {
         let adam = lower_op(&op(OpKind::ApplyAdam, v, v, v, v as f64), 2, &cfg);
         assert!(adam.footprint.stream_bytes() > ag.footprint.stream_bytes());
         assert!(ag.footprint.stream_bytes() > gd.footprint.stream_bytes());
+    }
+
+    #[test]
+    fn depthwise_uses_texture_path_with_small_weight_set() {
+        let cfg = GpuConfig::gtx_1080_ti();
+        let dw = lower_op(
+            &op(OpKind::DepthwiseConv2dNative, 1 << 20, 1 << 20, 9 * 64, 1e8),
+            0,
+            &cfg,
+        );
+        let conv = lower_op(&op(OpKind::Conv2D, 1 << 20, 1 << 20, 1 << 18, 1e9), 1, &cfg);
+        assert!(dw.footprint.tex_read_bytes > 0.0);
+        assert!(dw.footprint.working_set < conv.footprint.working_set);
+    }
+
+    #[test]
+    fn normalization_ops_stream_more_than_relu() {
+        let cfg = GpuConfig::gtx_1080_ti();
+        let n = 1 << 20;
+        let relu = lower_op(&op(OpKind::Relu, n, n, 0, n as f64), 0, &cfg);
+        let sm = lower_op(&op(OpKind::Softmax, n, n, 0, n as f64), 1, &cfg);
+        let ln = lower_op(&op(OpKind::LayerNorm, n, n, 0, n as f64), 2, &cfg);
+        assert!(sm.footprint.read_bytes > relu.footprint.read_bytes);
+        assert!(ln.footprint.read_bytes > relu.footprint.read_bytes);
+        assert_eq!(sm.footprint.tex_read_bytes, 0.0);
     }
 
     #[test]

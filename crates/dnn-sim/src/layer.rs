@@ -117,6 +117,35 @@ pub enum Layer {
     },
     /// 2x2 stride-2 max pooling (the configuration all profiled models use).
     MaxPool,
+    /// ResNet-style residual block: two stride-1 SAME convolutions with a
+    /// skip connection added back before the final activation (plus a 1x1
+    /// projection convolution when the channel count changes).
+    Residual {
+        /// Square filter side of both convolutions.
+        filter_size: usize,
+        /// Number of output filters.
+        filters: usize,
+        /// Activation after each convolution and after the skip-add.
+        activation: Activation,
+    },
+    /// Depthwise-separable convolution: a depthwise pass (one filter per
+    /// input channel) followed by a 1x1 pointwise convolution.
+    SeparableConv2D {
+        /// Square filter side of the depthwise pass.
+        filter_size: usize,
+        /// Number of output filters of the pointwise pass.
+        filters: usize,
+        /// Spatial stride of the depthwise pass.
+        stride: usize,
+        /// Post-pointwise activation.
+        activation: Activation,
+    },
+    /// Transformer-style attention block over the flattened input:
+    /// MatMul (scores) - Softmax - MatMul (values) followed by LayerNorm.
+    Attention {
+        /// Model dimension (per-token width of the projections).
+        dim: usize,
+    },
 }
 
 impl Layer {
@@ -133,6 +162,30 @@ impl Layer {
     /// Convenience constructor for a dense layer.
     pub fn dense(units: usize, activation: Activation) -> Self {
         Layer::Dense { units, activation }
+    }
+
+    /// Convenience constructor for a ReLU residual block.
+    pub fn residual(filter_size: usize, filters: usize) -> Self {
+        Layer::Residual {
+            filter_size,
+            filters,
+            activation: Activation::Relu,
+        }
+    }
+
+    /// Convenience constructor for a ReLU depthwise-separable convolution.
+    pub fn separable(filter_size: usize, filters: usize, stride: usize) -> Self {
+        Layer::SeparableConv2D {
+            filter_size,
+            filters,
+            stride,
+            activation: Activation::Relu,
+        }
+    }
+
+    /// Convenience constructor for an attention block.
+    pub fn attention(dim: usize) -> Self {
+        Layer::Attention { dim }
     }
 
     /// Whether the layer has trainable parameters.
@@ -158,6 +211,24 @@ impl Layer {
             ),
             Layer::Dense { units, activation } => format!("M{},{}", units, activation.letter()),
             Layer::MaxPool => "P".to_owned(),
+            Layer::Residual {
+                filter_size,
+                filters,
+                activation,
+            } => format!("E{},{},{}", filter_size, filters, activation.letter()),
+            Layer::SeparableConv2D {
+                filter_size,
+                filters,
+                stride,
+                activation,
+            } => format!(
+                "D{},{},{},{}",
+                filter_size,
+                filters,
+                stride,
+                activation.letter()
+            ),
+            Layer::Attention { dim } => format!("A{}", dim),
         }
     }
 
@@ -196,6 +267,49 @@ impl Layer {
                 }
             }
             Layer::MaxPool => Ok(()),
+            Layer::Residual {
+                filter_size,
+                filters,
+                ..
+            } => {
+                if filter_size == 0 || filter_size % 2 == 0 {
+                    return Err(format!(
+                        "filter size must be odd and positive: {}",
+                        filter_size
+                    ));
+                }
+                if filters == 0 {
+                    return Err("filters must be positive".into());
+                }
+                Ok(())
+            }
+            Layer::SeparableConv2D {
+                filter_size,
+                filters,
+                stride,
+                ..
+            } => {
+                if filter_size == 0 || filter_size % 2 == 0 {
+                    return Err(format!(
+                        "filter size must be odd and positive: {}",
+                        filter_size
+                    ));
+                }
+                if filters == 0 {
+                    return Err("filters must be positive".into());
+                }
+                if stride == 0 {
+                    return Err("stride must be positive".into());
+                }
+                Ok(())
+            }
+            Layer::Attention { dim } => {
+                if dim == 0 {
+                    Err("attention dim must be positive".into())
+                } else {
+                    Ok(())
+                }
+            }
         }
     }
 }
@@ -230,6 +344,32 @@ mod tests {
         assert_eq!(Optimizer::Gd.state_slots(), 0);
         assert_eq!(Optimizer::Adagrad.state_slots(), 1);
         assert_eq!(Optimizer::Adam.state_slots(), 2);
+    }
+
+    #[test]
+    fn zoo_structure_fragments() {
+        assert_eq!(Layer::residual(3, 64).structure_fragment(), "E3,64,R");
+        assert_eq!(
+            Layer::separable(3, 128, 1).structure_fragment(),
+            "D3,128,1,R"
+        );
+        assert_eq!(Layer::attention(256).structure_fragment(), "A256");
+    }
+
+    #[test]
+    fn zoo_layer_validation() {
+        assert!(Layer::residual(3, 64).validate().is_ok());
+        assert!(Layer::residual(4, 64).validate().is_err()); // even filter
+        assert!(Layer::residual(3, 0).validate().is_err());
+        assert!(Layer::separable(5, 128, 2).validate().is_ok());
+        assert!(Layer::separable(2, 128, 1).validate().is_err());
+        assert!(Layer::separable(3, 0, 1).validate().is_err());
+        assert!(Layer::separable(3, 128, 0).validate().is_err());
+        assert!(Layer::attention(256).validate().is_ok());
+        assert!(Layer::attention(0).validate().is_err());
+        assert!(Layer::residual(3, 64).trainable());
+        assert!(Layer::separable(3, 64, 1).trainable());
+        assert!(Layer::attention(64).trainable());
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub use kernels::{lower_op, op_tag, parse_op_tag};
 pub use layer::{Activation, Layer, Optimizer};
 pub use model::{zoo, InputSpec, Model};
 pub use ops::{Op, OpClass, OpKind};
-pub use planner::plan_iteration;
+pub use planner::{plan_iteration, plan_iteration_mode, ExecutionMode};
 pub use tensor::TensorShape;
 pub use timeline::chrome_trace_json;
 pub use trainer::{TrainingConfig, TrainingSession};

@@ -160,6 +160,59 @@ impl Model {
                         );
                     }
                 }
+                Layer::Residual {
+                    filter_size,
+                    filters,
+                    ..
+                } => {
+                    let (h, w, c) = match shape {
+                        TensorShape::Nhwc {
+                            height,
+                            width,
+                            channels,
+                            ..
+                        } => (height, width, channels),
+                        TensorShape::Flat { .. } => {
+                            panic!("residual layer after flatten in model {}", self.name)
+                        }
+                    };
+                    params += filter_size * filter_size * c * filters + filters;
+                    params += filter_size * filter_size * filters * filters + filters;
+                    if c != filters {
+                        params += c * filters;
+                    }
+                    shape = TensorShape::nhwc(batch, h, w, filters);
+                }
+                Layer::SeparableConv2D {
+                    filter_size,
+                    filters,
+                    stride,
+                    ..
+                } => {
+                    let (h, w, c) = match shape {
+                        TensorShape::Nhwc {
+                            height,
+                            width,
+                            channels,
+                            ..
+                        } => (height, width, channels),
+                        TensorShape::Flat { .. } => {
+                            panic!("separable layer after flatten in model {}", self.name)
+                        }
+                    };
+                    params += filter_size * filter_size * c + c * filters + filters;
+                    shape = TensorShape::nhwc(
+                        batch,
+                        crate::tensor::conv_out_size(h, stride),
+                        crate::tensor::conv_out_size(w, stride),
+                        filters,
+                    );
+                }
+                Layer::Attention { dim } => {
+                    let in_features = shape.elements_per_item();
+                    params += 2 * in_features * dim + 2 * dim;
+                    shape = TensorShape::flat(batch, dim);
+                }
             }
         }
         params
@@ -328,6 +381,91 @@ pub mod zoo {
     pub fn tested_models() -> Vec<Model> {
         vec![tested_mlp(), zfnet(), vgg16()]
     }
+
+    /// Family tags of the victim-zoo conformance matrix. The `inference`
+    /// family reuses the linear CNN under forward-only execution
+    /// ([`crate::ExecutionMode::Inference`]), so [`family_model`] maps it to
+    /// the same structure as `linear`.
+    pub const FAMILIES: [&str; 5] = ["linear", "residual", "separable", "attention", "inference"];
+
+    /// Small linear-chain CNN: the classic Table V/IX shape at zoo scale.
+    pub fn linear_cnn() -> Model {
+        Model::new(
+            "Linear CNN (zoo)",
+            InputSpec::imagenet(),
+            vec![
+                Layer::conv(3, 64, 1),
+                Layer::MaxPool,
+                Layer::conv(5, 128, 1),
+                Layer::MaxPool,
+                Layer::dense(1024, Relu),
+                Layer::dense(256, Relu),
+            ],
+            Optimizer::Adam,
+        )
+    }
+
+    /// ResNet-style victim: conv stem, two residual blocks, dense head.
+    pub fn residual_cnn() -> Model {
+        Model::new(
+            "Residual CNN (zoo)",
+            InputSpec::imagenet(),
+            vec![
+                Layer::conv(3, 64, 1),
+                Layer::MaxPool,
+                Layer::residual(3, 64),
+                Layer::residual(3, 128),
+                Layer::MaxPool,
+                Layer::dense(512, Relu),
+                Layer::dense(128, Relu),
+            ],
+            Optimizer::Adam,
+        )
+    }
+
+    /// MobileNet-style victim built from depthwise-separable convolutions.
+    pub fn separable_cnn() -> Model {
+        Model::new(
+            "Separable CNN (zoo)",
+            InputSpec::imagenet(),
+            vec![
+                Layer::separable(3, 64, 1),
+                Layer::MaxPool,
+                Layer::separable(5, 128, 1),
+                Layer::MaxPool,
+                Layer::dense(1024, Relu),
+                Layer::dense(256, Relu),
+            ],
+            Optimizer::Adagrad,
+        )
+    }
+
+    /// Transformer-style victim: stacked attention blocks and a dense head.
+    pub fn attention_net() -> Model {
+        Model::new(
+            "Attention net (zoo)",
+            InputSpec::imagenet(),
+            vec![
+                Layer::attention(256),
+                Layer::attention(128),
+                Layer::dense(512, Relu),
+                Layer::dense(64, Relu),
+            ],
+            Optimizer::Gd,
+        )
+    }
+
+    /// The victim model of a conformance family ([`FAMILIES`]); `None` for
+    /// unknown tags.
+    pub fn family_model(family: &str) -> Option<Model> {
+        match family {
+            "linear" | "inference" => Some(linear_cnn()),
+            "residual" => Some(residual_cnn()),
+            "separable" => Some(separable_cnn()),
+            "attention" => Some(attention_net()),
+            _ => None,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -401,5 +539,50 @@ mod tests {
     fn zoo_groups() {
         assert_eq!(profiled_models().len(), 3);
         assert_eq!(tested_models().len(), 3);
+    }
+
+    #[test]
+    fn family_models_cover_every_tag() {
+        for family in FAMILIES {
+            let m = family_model(family).unwrap_or_else(|| panic!("no model for {family}"));
+            assert!(m.parameter_count(1) > 0);
+        }
+        assert_eq!(family_model("linear"), family_model("inference"));
+        assert!(family_model("nope").is_none());
+    }
+
+    #[test]
+    fn zoo_family_parameter_counts_flow() {
+        // Exercises the residual/separable/attention shape propagation.
+        let res = residual_cnn().parameter_count(1);
+        let sep = separable_cnn().parameter_count(1);
+        let attn = attention_net().parameter_count(1);
+        assert!(res > 0 && sep > 0 && attn > 0);
+        // A separable conv has far fewer parameters than its dense
+        // counterpart would: depthwise 3x3x64 + pointwise 64x128 vs
+        // 3x3x64x128.
+        let sep_layer = Layer::separable(3, 128, 1);
+        let conv_layer = Layer::conv(3, 128, 1);
+        let mk = |l| {
+            Model::new(
+                "p",
+                InputSpec::Image {
+                    height: 16,
+                    width: 16,
+                    channels: 64,
+                },
+                vec![l],
+                Optimizer::Gd,
+            )
+            .parameter_count(1)
+        };
+        assert!(mk(sep_layer) < mk(conv_layer) / 4);
+    }
+
+    #[test]
+    fn zoo_family_structure_strings() {
+        assert!(residual_cnn().structure_string().contains("E3,64,R"));
+        assert!(separable_cnn().structure_string().contains("D5,128,1,R"));
+        assert!(attention_net().structure_string().starts_with("A256-A128-"));
     }
 }

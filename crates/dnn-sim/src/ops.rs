@@ -30,6 +30,14 @@ pub enum OpKind {
     SigmoidGrad,
     MaxPool,
     MaxPoolGrad,
+    Add,
+    Softmax,
+    SoftmaxGrad,
+    LayerNorm,
+    LayerNormGrad,
+    DepthwiseConv2dNative,
+    DepthwiseConv2dNativeBackpropFilter,
+    DepthwiseConv2dNativeBackpropInput,
     ApplyGd,
     ApplyAdam,
     ApplyAdagrad,
@@ -53,6 +61,14 @@ impl OpKind {
             OpKind::SigmoidGrad => "SigmoidGrad",
             OpKind::MaxPool => "MaxPool",
             OpKind::MaxPoolGrad => "MaxPoolGrad",
+            OpKind::Add => "Add",
+            OpKind::Softmax => "Softmax",
+            OpKind::SoftmaxGrad => "SoftmaxGrad",
+            OpKind::LayerNorm => "LayerNorm",
+            OpKind::LayerNormGrad => "LayerNormGrad",
+            OpKind::DepthwiseConv2dNative => "DepthwiseConv2dNative",
+            OpKind::DepthwiseConv2dNativeBackpropFilter => "DepthwiseConv2dNativeBackpropFilter",
+            OpKind::DepthwiseConv2dNativeBackpropInput => "DepthwiseConv2dNativeBackpropInput",
             OpKind::ApplyGd => "ApplyGradientDescent",
             OpKind::ApplyAdam => "ApplyAdam",
             OpKind::ApplyAdagrad => "ApplyAdagrad",
@@ -71,6 +87,12 @@ impl OpKind {
             OpKind::Tanh | OpKind::TanhGrad => OpClass::Tanh,
             OpKind::Sigmoid | OpKind::SigmoidGrad => OpClass::Sigmoid,
             OpKind::MaxPool | OpKind::MaxPoolGrad => OpClass::Pool,
+            OpKind::Add => OpClass::Add,
+            OpKind::Softmax | OpKind::SoftmaxGrad => OpClass::Softmax,
+            OpKind::LayerNorm | OpKind::LayerNormGrad => OpClass::LayerNorm,
+            OpKind::DepthwiseConv2dNative
+            | OpKind::DepthwiseConv2dNativeBackpropFilter
+            | OpKind::DepthwiseConv2dNativeBackpropInput => OpClass::Depthwise,
             OpKind::ApplyGd | OpKind::ApplyAdam | OpKind::ApplyAdagrad => OpClass::Optimizer,
         }
     }
@@ -86,7 +108,7 @@ impl OpKind {
 
     /// Parses the class back from an op name logged on a timeline.
     pub fn from_op_name(name: &str) -> Option<OpKind> {
-        const ALL: [OpKind; 17] = [
+        const ALL: [OpKind; 25] = [
             OpKind::Conv2D,
             OpKind::Conv2DBackpropFilter,
             OpKind::Conv2DBackpropInput,
@@ -101,6 +123,14 @@ impl OpKind {
             OpKind::SigmoidGrad,
             OpKind::MaxPool,
             OpKind::MaxPoolGrad,
+            OpKind::Add,
+            OpKind::Softmax,
+            OpKind::SoftmaxGrad,
+            OpKind::LayerNorm,
+            OpKind::LayerNormGrad,
+            OpKind::DepthwiseConv2dNative,
+            OpKind::DepthwiseConv2dNativeBackpropFilter,
+            OpKind::DepthwiseConv2dNativeBackpropInput,
             OpKind::ApplyGd,
             OpKind::ApplyAdam,
             OpKind::ApplyAdagrad,
@@ -116,7 +146,8 @@ impl fmt::Display for OpKind {
 }
 
 /// The classification alphabet (paper Table VII letters plus `Optimizer` and
-/// `Nop`).
+/// `Nop`, extended with the model-zoo classes `Add`, `Softmax`, `LayerNorm`
+/// and `Depthwise` — classic-first so classic class indices never move).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 #[allow(missing_docs)]
 pub enum OpClass {
@@ -129,11 +160,16 @@ pub enum OpClass {
     Pool,
     Optimizer,
     Nop,
+    Add,
+    Softmax,
+    LayerNorm,
+    Depthwise,
 }
 
 impl OpClass {
-    /// All classes, in a stable order.
-    pub const ALL: [OpClass; 9] = [
+    /// All classes, in a stable order (classic Table VII alphabet first, zoo
+    /// extensions appended).
+    pub const ALL: [OpClass; 13] = [
         OpClass::Conv,
         OpClass::MatMul,
         OpClass::BiasAdd,
@@ -143,9 +179,16 @@ impl OpClass {
         OpClass::Pool,
         OpClass::Optimizer,
         OpClass::Nop,
+        OpClass::Add,
+        OpClass::Softmax,
+        OpClass::LayerNorm,
+        OpClass::Depthwise,
     ];
 
-    /// The paper's single-letter code (`N` for NOP, `O` for optimizer).
+    /// The paper's single-letter code (`N` for NOP, `O` for optimizer). Zoo
+    /// classes use letters outside the Table VII alphabet: `A` (Add), `F`
+    /// (soFtmax — `S` is taken by sigmoid and `X` renders unknowns), `L`
+    /// (LayerNorm) and `D` (Depthwise).
     pub fn letter(self) -> char {
         match self {
             OpClass::Conv => 'C',
@@ -157,6 +200,10 @@ impl OpClass {
             OpClass::Pool => 'P',
             OpClass::Optimizer => 'O',
             OpClass::Nop => 'N',
+            OpClass::Add => 'A',
+            OpClass::Softmax => 'F',
+            OpClass::LayerNorm => 'L',
+            OpClass::Depthwise => 'D',
         }
     }
 
@@ -238,10 +285,46 @@ mod tests {
             OpKind::BiasAddGrad,
             OpKind::ApplyAdam,
             OpKind::MaxPoolGrad,
+            OpKind::Add,
+            OpKind::SoftmaxGrad,
+            OpKind::LayerNorm,
+            OpKind::DepthwiseConv2dNativeBackpropInput,
         ] {
             assert_eq!(OpKind::from_op_name(k.op_name()), Some(k));
         }
         assert_eq!(OpKind::from_op_name("NotAnOp"), None);
+    }
+
+    #[test]
+    fn zoo_kinds_map_to_zoo_classes() {
+        assert_eq!(OpKind::Add.class(), OpClass::Add);
+        assert_eq!(OpKind::Softmax.class(), OpClass::Softmax);
+        assert_eq!(OpKind::SoftmaxGrad.class(), OpClass::Softmax);
+        assert_eq!(OpKind::LayerNormGrad.class(), OpClass::LayerNorm);
+        assert_eq!(
+            OpKind::DepthwiseConv2dNativeBackpropFilter.class(),
+            OpClass::Depthwise
+        );
+        // Depthwise kernels are short relative to dense convolutions, so the
+        // zoo classes all stay out of Mlong's long-op alphabet.
+        for c in [
+            OpClass::Add,
+            OpClass::Softmax,
+            OpClass::LayerNorm,
+            OpClass::Depthwise,
+        ] {
+            assert!(!c.is_long());
+        }
+    }
+
+    #[test]
+    fn class_letters_are_unique() {
+        let letters: std::collections::HashSet<char> =
+            OpClass::ALL.iter().map(|c| c.letter()).collect();
+        assert_eq!(letters.len(), OpClass::ALL.len());
+        // 'X' renders unknown fragments in recovered structure strings, so no
+        // class may claim it.
+        assert!(!letters.contains(&'X'));
     }
 
     #[test]

@@ -12,7 +12,7 @@ use gpu_sim::{ContextId, Gpu};
 use crate::kernels::lower_op;
 use crate::model::Model;
 use crate::ops::Op;
-use crate::planner::plan_iteration;
+use crate::planner::{plan_iteration_mode, ExecutionMode};
 
 /// Host-side training-loop configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -29,6 +29,11 @@ pub struct TrainingConfig {
     pub intra_stall_prob: f64,
     /// Length of an intra-iteration stall, microseconds.
     pub intra_stall_us: f64,
+    /// Execution mode: full training steps or forward-only inference
+    /// (serde-defaulted to [`ExecutionMode::Training`] so cached trace keys
+    /// of existing configs keep deserializing).
+    #[serde(default)]
+    pub mode: ExecutionMode,
 }
 
 impl TrainingConfig {
@@ -42,6 +47,16 @@ impl TrainingConfig {
             gap_jitter: 0.25,
             intra_stall_prob: 0.015,
             intra_stall_us: 3_000.0,
+            mode: ExecutionMode::Training,
+        }
+    }
+
+    /// [`TrainingConfig::new`] with forward-only iterations (an inference
+    /// serving loop instead of a training loop).
+    pub fn inference(batch: usize, iterations: usize) -> Self {
+        TrainingConfig {
+            mode: ExecutionMode::Inference,
+            ..TrainingConfig::new(batch, iterations)
         }
     }
 }
@@ -57,7 +72,7 @@ pub struct TrainingSession {
 impl TrainingSession {
     /// Plans the per-iteration op sequence for the model.
     pub fn new(model: Model, config: TrainingConfig) -> Self {
-        let ops = plan_iteration(&model, config.batch);
+        let ops = plan_iteration_mode(&model, config.batch, config.mode);
         TrainingSession { model, config, ops }
     }
 
@@ -163,6 +178,17 @@ mod tests {
             session.ops().len() * 3,
             "every op of every iteration must execute"
         );
+    }
+
+    #[test]
+    fn inference_sessions_plan_forward_only() {
+        let train = TrainingSession::new(small_model(), TrainingConfig::new(4, 2));
+        let infer = TrainingSession::new(small_model(), TrainingConfig::inference(4, 2));
+        assert!(infer.ops().len() < train.ops().len());
+        assert!(infer.ops().iter().all(|o| {
+            let name = o.kind.op_name();
+            !name.contains("Grad") && !name.contains("Backprop") && !name.starts_with("Apply")
+        }));
     }
 
     #[test]

@@ -8,10 +8,12 @@
 // binary skips.
 #![allow(dead_code)]
 
-use dnn_sim::{Activation, InputSpec, Layer, Model, Optimizer, TrainingConfig, TrainingSession};
+use dnn_sim::{
+    zoo, Activation, InputSpec, Layer, Model, Optimizer, TrainingConfig, TrainingSession,
+};
 use gpu_sim::{FaultPlan, GpuConfig};
 use moscons::attack::{AttackConfig, Moscons};
-use moscons::{random_profiling_models, AttackReport};
+use moscons::{random_profiling_models, random_zoo_profiling_models, AttackReport, OpVocab};
 
 pub fn input() -> InputSpec {
     InputSpec::Image {
@@ -77,4 +79,39 @@ pub fn quick_attack_setup(faults: FaultPlan, batch_size: usize) -> (Moscons, Tra
     );
     let victim = TrainingSession::new(victim_model, TrainingConfig::new(48, 4));
     (moscons, victim)
+}
+
+/// The quick-scale zoo attacker: profiled on the zoo corpus (residual,
+/// separable and attention shapes) under [`OpVocab::Zoo`], with the same
+/// smoke-scale LSTM knobs as [`quick_attack_setup`].
+pub fn zoo_attack_setup(faults: FaultPlan) -> Moscons {
+    let profiled: Vec<TrainingSession> = random_zoo_profiling_models(6, input(), 19)
+        .into_iter()
+        .map(|m| TrainingSession::new(m, TrainingConfig::new(48, 4)))
+        .collect();
+    let mut config = AttackConfig::default();
+    config.op_lstm.epochs = 8;
+    config.op_lstm.hidden = 32;
+    config.voting_lstm.epochs = 6;
+    config.hp_lstm.epochs = 3;
+    config.hp_lstm.hidden = 24;
+    config.voting_iterations = 3;
+    config.vocab = OpVocab::Zoo;
+    config.gpu = GpuConfig::gtx_1080_ti().with_faults(faults);
+    Moscons::profile(&profiled, config)
+}
+
+/// The conformance victim of a zoo family, at smoke scale: the family's
+/// model rescaled to the quick test input, with the `inference` family
+/// running under forward-only execution.
+pub fn zoo_victim(family: &str) -> TrainingSession {
+    let model = zoo::family_model(family)
+        .unwrap_or_else(|| panic!("unknown zoo family {family:?}"))
+        .with_input(input());
+    let config = if family == "inference" {
+        TrainingConfig::inference(48, 4)
+    } else {
+        TrainingConfig::new(48, 4)
+    };
+    TrainingSession::new(model, config)
 }
