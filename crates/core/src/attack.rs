@@ -276,7 +276,7 @@ impl Moscons {
         // `Vlong`, `Vop` and the five `Mhp` heads are mutually independent
         // models, so all seven train as one coarse fan-out over the worker
         // pool — one model per task, the granularity at which there is
-        // enough work to amortize a spawn. Every individual training is
+        // enough work to amortize a dispatch. Every individual training is
         // bitwise thread-count invariant and `par_map` returns results in
         // task order, so the fan-out is bitwise identical to the serial
         // sequence. The five `Mhp` heads go first: they are the oversized

@@ -13,8 +13,9 @@
 //!   anything derived from it breaks bitwise reproducibility. Waivable with
 //!   `// lint: sorted` when a sort or BTree collection provably follows.
 //! * **D3 `parallelism`** — `thread::spawn`/`scope`/`Builder`, `.spawn(`,
-//!   `rayon` outside `ml::par`. All concurrency must flow through the
-//!   deterministic pool so results stay thread-count invariant.
+//!   `rayon` outside `ml::par` / `ml::par::pool`. All concurrency must
+//!   flow through the persistent deterministic pool so results stay
+//!   thread-count invariant.
 //! * **D4 `unseeded-rng`** — `thread_rng`/`from_entropy`/`OsRng`: entropy
 //!   that is not derived from a recorded seed.
 //! * **D5 `unsafe-safety`** — `unsafe` is only legal in allowlisted files
@@ -512,8 +513,8 @@ fn d3_parallelism(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
                 out.push(Finding {
                     line: toks[i].line,
                     message: format!(
-                        "`thread::{}` outside `ml::par`; all parallelism must go through \
-                         the deterministic worker pool",
+                        "`thread::{}` outside `ml::par::pool`; all parallelism must go \
+                         through the persistent deterministic worker pool",
                         member
                     ),
                 });
@@ -529,8 +530,8 @@ fn d3_parallelism(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
         if ctx.is_method(i, "spawn") && ctx.is_punct(i + 2, '(') {
             out.push(Finding {
                 line: toks[i + 1].line,
-                message: "`.spawn(…)` outside `ml::par`; all parallelism must go through \
-                          the deterministic worker pool"
+                message: "`.spawn(…)` outside `ml::par::pool`; all parallelism must go \
+                          through the persistent deterministic worker pool"
                     .into(),
             });
         }

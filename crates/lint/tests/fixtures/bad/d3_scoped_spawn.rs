@@ -1,0 +1,9 @@
+// D3 fixture: per-call scoped spawning outside ml::par::pool — the
+// pre-pool idiom the persistent worker pool replaced. Hand-rolled scopes
+// re-pay the spawn tax and sit outside the deterministic-dispatch audit.
+pub fn fan_out_scoped(xs: &[u64]) -> Vec<u64> {
+    std::thread::scope(|s| {
+        let handle = s.spawn(|| xs.iter().map(|x| x * 2).collect::<Vec<u64>>());
+        handle.join().unwrap()
+    })
+}

@@ -1,0 +1,13 @@
+// D3 good case: fan-out through the persistent deterministic worker pool —
+// in-place chunked dispatch and two-sided join both route via ml::par, so
+// no thread is ever spawned outside ml::par::pool.
+pub fn advance_in_place(states: &mut [u64]) -> Vec<u64> {
+    ml::par::par_map_mut(states, |_, s| {
+        *s += 1;
+        *s
+    })
+}
+
+pub fn both_sides(xs: &[u64]) -> (u64, usize) {
+    ml::par::join(|| xs.iter().sum(), || xs.len())
+}

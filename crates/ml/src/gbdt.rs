@@ -3,7 +3,7 @@
 //! paper's `Mgap` NOP/BUSY classifier (§IV-A uses LightGBM).
 
 use crate::activation::sigmoid;
-use crate::tree::{BinMapper, RegressionTree, TreeParams};
+use crate::tree::{BinMapper, NodeArena, RegressionTree, TreeParams};
 
 /// Configuration for [`GbdtBinaryClassifier`].
 #[derive(Debug, Clone)]
@@ -47,6 +47,11 @@ pub struct GbdtBinaryClassifier {
     mapper: BinMapper,
     base_score: f32,
     trees: Vec<RegressionTree>,
+    /// SoA flattening of `trees` — the inference path. Built once at the end
+    /// of `fit`; bitwise equal to walking `trees` (pinned by a testkit
+    /// property), just cache-friendly: `Mgap`/`Mhp` score every streamed
+    /// window, so the ensemble walk sits on the serving hot path.
+    arena: NodeArena,
     learning_rate: f32,
     train_log_loss: Vec<f64>,
 }
@@ -103,17 +108,36 @@ impl GbdtBinaryClassifier {
             trees.push(tree);
         }
 
+        let mut arena = NodeArena::new();
+        for tree in &trees {
+            arena.push_tree(tree);
+        }
+
         GbdtBinaryClassifier {
             mapper,
             base_score,
             trees,
+            arena,
             learning_rate: config.learning_rate,
             train_log_loss,
         }
     }
 
-    /// Raw additive score (logit).
+    /// Raw additive score (logit), evaluated over the flattened node arena.
+    /// Bitwise equal to [`Self::decision_function_reference`]: identical
+    /// leaf values, descend rule, and accumulation order.
     pub fn decision_function(&self, row: &[f32]) -> f32 {
+        let binned = self.mapper.bin_row(row);
+        let mut score = self.base_score;
+        for t in 0..self.arena.tree_count() {
+            score += self.learning_rate * self.arena.predict_binned(t, &binned);
+        }
+        score
+    }
+
+    /// Reference logit via the pointer-walk trees — the oracle the arena
+    /// path is property-tested against. Not used on serving paths.
+    pub fn decision_function_reference(&self, row: &[f32]) -> f32 {
         let binned = self.mapper.bin_row(row);
         let mut score = self.base_score;
         for tree in &self.trees {
@@ -255,6 +279,41 @@ mod tests {
                 testkit::prop::holds(
                     model.decision_function(r) == other.decision_function(r),
                     "fit is not thread-count invariant on edge shapes",
+                )?;
+            }
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn arena_inference_matches_pointer_walk_reference() {
+        // Property: the SoA arena logit is bitwise identical to the enum
+        // pointer walk across dataset shapes, bin budgets, and round counts.
+        let shapes = testkit::gen::zip3(
+            testkit::gen::usize_in(2, 120), // rows
+            testkit::gen::usize_in(1, 4),   // feature width
+            testkit::gen::usize_in(1, 30),  // boosting rounds
+        );
+        testkit::check("gbdt_arena_vs_reference", &shapes, |&(n, width, rounds)| {
+            let mut rng = StdRng::seed_from_u64(((n * 8 + width) * 64 + rounds) as u64);
+            let rows: Vec<Vec<f32>> = (0..n)
+                .map(|_| (0..width).map(|_| rng.gen_range(0.0..1.0f32)).collect())
+                .collect();
+            let labels: Vec<bool> = rows
+                .iter()
+                .map(|r| r[0] + 0.07 * r[width - 1] > 0.5)
+                .collect();
+            let cfg = GbdtConfig {
+                rounds,
+                max_bins: 8 + rounds,
+                ..GbdtConfig::default()
+            };
+            let model = GbdtBinaryClassifier::fit(&rows, &labels, &cfg);
+            for r in &rows {
+                testkit::prop::holds(
+                    model.decision_function(r).to_bits()
+                        == model.decision_function_reference(r).to_bits(),
+                    "arena logit diverged from pointer-walk reference",
                 )?;
             }
             Ok(())

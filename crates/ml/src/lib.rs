@@ -14,8 +14,8 @@
 //! * [`tree`] / [`gbdt`] — histogram gradient-boosted trees (the LightGBM
 //!   stand-in);
 //! * [`optim`] — SGD / Adam / Adagrad and gradient clipping;
-//! * [`par`] — deterministic scoped worker pool used by the data-parallel
-//!   training and inference paths;
+//! * [`par`] — persistent deterministic worker pool used by the
+//!   data-parallel training and inference paths;
 //! * [`simd`] — explicit-lane AVX2 kernels behind runtime dispatch, bitwise
 //!   pinned to the scalar microkernel (the only `core::arch` user, lint D8);
 //! * [`quant`] — post-training int8 quantization and the

@@ -1,12 +1,18 @@
 //! Deterministic data-parallel execution primitives.
 //!
-//! Everything here is built on `std::thread::scope` — no pool threads outlive
-//! a call, no `unsafe`, no external dependencies. The core guarantee is that
-//! results are **thread-count invariant**: [`par_map`] returns results in
-//! input order regardless of how work was distributed, so any caller that
-//! combines them in that order is bitwise reproducible across `1..=N`
-//! threads. Callers that need associativity-sensitive reductions (e.g.
-//! floating-point sums) must therefore fold the returned `Vec` serially.
+//! Dispatch runs on a lazily-initialized persistent worker pool
+//! ([`pool`]) by default — workers spawn once and park on a condvar, so a
+//! call costs an enqueue + wake instead of fresh `std::thread::scope`
+//! spawns. The legacy scoped-spawn path is kept behind `LEAKY_DNN_POOL=off`
+//! (or [`with_pool`]) for differential testing; both backends are bitwise
+//! identical. The core guarantee is that results are **thread-count
+//! invariant**: [`par_map`] returns results in input order regardless of
+//! how work was distributed, so any caller that combines them in that order
+//! is bitwise reproducible across `1..=N` threads. Callers that need
+//! associativity-sensitive reductions (e.g. floating-point sums) must
+//! therefore fold the returned `Vec` serially. All `unsafe` in the
+//! workspace's parallel machinery lives in [`pool`] (leaky-lint rule D5
+//! enforces the confinement).
 //!
 //! The worker count is resolved per call by [`threads`]:
 //!
@@ -33,6 +39,7 @@ use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+pub mod pool;
 pub mod thresholds;
 
 /// Process-wide thread-count override; 0 means "not set".
@@ -109,14 +116,55 @@ pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
     f()
 }
 
+/// Runs `f` with the dispatch backend pinned to the persistent pool
+/// (`true`) or the legacy scoped-spawn fallback (`false`), restoring the
+/// previous override afterwards (also on panic).
+///
+/// Process-wide rather than thread-local, like [`crate::simd::with_simd`]:
+/// pool workers do not inherit the caller's thread-locals, and since both
+/// backends are bitwise identical a concurrent caller observing the other
+/// backend is a scheduling detail, never an arithmetic one.
+pub fn with_pool<R>(enable: bool, f: impl FnOnce() -> R) -> R {
+    struct Restore(u8);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            pool::set_override(self.0);
+        }
+    }
+    let _restore = Restore(pool::set_override(if enable { 2 } else { 1 }));
+    f()
+}
+
+/// Marks the calling thread as a resident pool worker for the rest of its
+/// life: nested parallel calls run serially ([`threads`] reports 1) instead
+/// of oversubscribing the machine.
+fn enter_worker_context() {
+    IN_POOL.with(|c| c.set(true));
+}
+
+/// Marks the calling thread as executing pool chunks for the duration of
+/// the returned guard (the dispatcher helping drain its own job): nested
+/// parallel calls serialize exactly as they do on resident workers.
+fn enter_pool_scope() -> impl Drop {
+    struct Restore(bool);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            IN_POOL.with(|c| c.set(self.0));
+        }
+    }
+    Restore(IN_POOL.with(|c| c.replace(true)))
+}
+
 /// Maps `f` over `items` on up to [`threads`] workers, returning results in
 /// input order.
 ///
-/// Work is distributed by an atomic index counter (dynamic load balancing);
-/// each worker tags results with their input index and the merged output is
-/// sorted by that index, so the result is identical for any worker count.
-/// A panic inside `f` propagates to the caller once all workers have
-/// stopped picking up new work.
+/// On the default pool backend the items are divided into a static chunk
+/// partition (a pure function of worker count and item count) whose chunks
+/// are claimed dynamically in index order and write into pre-assigned
+/// output slots; the scoped fallback distributes single items by an atomic
+/// counter and sorts by input index. Either way the result is identical for
+/// any worker count. A panic inside `f` propagates to the caller once the
+/// whole dispatch has drained.
 pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
@@ -127,6 +175,20 @@ where
     if workers <= 1 || IN_POOL.with(Cell::get) {
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
+    if pool::enabled() {
+        return pool::par_map_pooled(items, &f, workers);
+    }
+    par_map_scoped(items, f, workers)
+}
+
+/// Scoped-spawn fallback backend of [`par_map`] (`LEAKY_DNN_POOL=off`),
+/// kept for differential testing against the pool.
+fn par_map_scoped<T, R, F>(items: &[T], f: F, workers: usize) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
     let next = AtomicUsize::new(0);
     let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
     std::thread::scope(|s| {
@@ -159,11 +221,13 @@ where
 /// Like [`par_map`], but stays on the calling thread when `work` — any
 /// caller-chosen unit: items, samples, rows — is below `min_work`.
 ///
-/// Every [`par_map`] call spawns fresh scoped workers (tens of microseconds
-/// each); for small inputs that fan-out is pure overhead — the
-/// `attack_extract` stage of `BENCH_pipeline.json` measured a 0.81×
-/// "speedup" before callers gated on work size. Results are bitwise
-/// identical on either path, so the gate is purely a scheduling decision.
+/// Even a pool dispatch is not free (enqueue, wake, completion latch —
+/// single-digit microseconds; the `pool` section of `BENCH_pipeline.json`
+/// tracks it, and the retired scoped-spawn backend cost tens of
+/// microseconds *per worker*, enough that the `attack_extract` stage once
+/// measured a 0.81× "speedup"); for small inputs the fan-out is still pure
+/// overhead. Results are bitwise identical on either path, so the gate is
+/// purely a scheduling decision.
 pub fn par_map_if_work<T, R, F>(work: usize, min_work: usize, items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
@@ -182,11 +246,10 @@ where
 ///
 /// The mutable counterpart of [`par_map`] for element-wise state machines
 /// (e.g. the fleet orchestrator advancing per-session simulations): the
-/// slice is statically partitioned into one contiguous chunk per worker, so
-/// every element is visited exactly once with exclusive access and no
-/// `unsafe`. As long as `f` is a pure function of the element (no shared
-/// mutable state), results and final element states are bitwise identical
-/// for any worker count.
+/// slice is statically partitioned into disjoint contiguous chunks, so
+/// every element is visited exactly once with exclusive access. As long as
+/// `f` is a pure function of the element (no shared mutable state), results
+/// and final element states are bitwise identical for any worker count.
 pub fn par_map_mut<T, R, F>(items: &mut [T], f: F) -> Vec<R>
 where
     T: Send,
@@ -197,6 +260,20 @@ where
     if workers <= 1 || IN_POOL.with(Cell::get) {
         return items.iter_mut().enumerate().map(|(i, t)| f(i, t)).collect();
     }
+    if pool::enabled() {
+        return pool::par_map_mut_pooled(items, &f, workers);
+    }
+    par_map_mut_scoped(items, f, workers)
+}
+
+/// Scoped-spawn fallback backend of [`par_map_mut`] (`LEAKY_DNN_POOL=off`):
+/// one contiguous chunk per worker via safe `chunks_mut`.
+fn par_map_mut_scoped<T, R, F>(items: &mut [T], f: F, workers: usize) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T) -> R + Sync,
+{
     let chunk = items.len().div_ceil(workers);
     std::thread::scope(|s| {
         let handles: Vec<_> = items
@@ -230,6 +307,9 @@ where
 {
     if threads() <= 1 {
         return (a(), b());
+    }
+    if pool::enabled() {
+        return pool::join_pooled(a, b);
     }
     std::thread::scope(|s| {
         let hb = s.spawn(b);
@@ -391,5 +471,53 @@ mod tests {
             })
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn pool_and_scoped_backends_agree_bitwise() {
+        let items: Vec<f32> = (0..321).map(|i| i as f32 * 0.41).collect();
+        let run = || {
+            with_threads(4, || {
+                let mapped = par_map(&items, |i, &x| x.sin().mul_add(x.cos(), i as f32));
+                let mut state: Vec<f32> = items.clone();
+                let mutated = par_map_mut(&mut state, |_, x| {
+                    *x = x.exp_m1();
+                    *x
+                });
+                let (a, b) = join(|| items.iter().sum::<f32>(), || items.len());
+                (mapped, state, mutated, a, b)
+            })
+        };
+        let pooled = with_pool(true, run);
+        let scoped = with_pool(false, run);
+        assert_eq!(pooled, scoped);
+    }
+
+    #[test]
+    fn with_pool_restores_override_on_panic() {
+        let before = pool::set_override(0);
+        pool::set_override(before);
+        let result = std::panic::catch_unwind(|| with_pool(false, || panic!("boom")));
+        assert!(result.is_err());
+        let after = pool::set_override(before);
+        assert_eq!(after, before);
+    }
+
+    #[test]
+    fn join_propagates_local_closure_panic_without_losing_remote_side() {
+        // The local (`a`) side panicking must still drain the remote job
+        // before the borrowed frame unwinds — and the next dispatch must
+        // work normally.
+        let result = std::panic::catch_unwind(|| {
+            with_threads(4, || {
+                join(
+                    || panic!("local side failed"),
+                    || std::hint::black_box(7) * 6,
+                )
+            })
+        });
+        assert!(result.is_err());
+        let (a, b) = with_threads(4, || join(|| 1 + 1, || 2 + 2));
+        assert_eq!((a, b), (2, 4));
     }
 }

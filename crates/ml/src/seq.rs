@@ -536,7 +536,7 @@ impl SequenceClassifier {
                 // position and are scattered back below, so bucket
                 // composition cannot affect the reduction order. Buckets
                 // only fan out over the worker pool when the batch is big
-                // enough to pay for the spawn.
+                // enough to pay for the dispatch.
                 len_pos.clear();
                 len_pos.extend(
                     batch

@@ -16,8 +16,8 @@
 //! architecture always takes the scalar path. Tests pin both paths against
 //! each other through [`with_simd`], which installs a *process-wide*
 //! override — process-wide rather than thread-local on purpose, because
-//! [`crate::par::par_map`] workers are fresh scoped threads that would not
-//! inherit a thread-local. Cross-thread visibility of the override is
+//! [`crate::par::par_map`] runs on persistent pool workers that never
+//! inherit the caller's thread-locals. Cross-thread visibility of the override is
 //! harmless: both paths produce bitwise-identical results, so which one a
 //! concurrent caller observes is a scheduling detail, never an arithmetic
 //! one.

@@ -292,6 +292,109 @@ impl RegressionTree {
     }
 }
 
+/// Sentinel in [`NodeArena::feature`] marking a leaf node.
+const ARENA_LEAF: u32 = u32::MAX;
+
+/// Contiguous structure-of-arrays flattening of one or more
+/// [`RegressionTree`]s for cache-friendly inference.
+///
+/// The pointer-walk [`RegressionTree::predict_binned`] chases boxed enum
+/// nodes scattered across per-tree allocations; an ensemble evaluation
+/// (e.g. `Mgap`'s 40-tree logit on the streaming hot path) touches every
+/// tree for every row. The arena packs all nodes of all trees into parallel
+/// arrays — split feature, threshold bin, child indices, leaf value — so a
+/// traversal is index arithmetic over a handful of dense buffers that stay
+/// resident in cache across rows.
+///
+/// Scores are **bitwise identical** to the pointer walk: leaf values are
+/// copied verbatim, the descend rule (`bin <= threshold_bin` goes left) is
+/// unchanged, and evaluation order is untouched. `ml::gbdt` pins that
+/// equality with a testkit property against the enum-walk reference.
+#[derive(Debug, Clone, Default)]
+pub struct NodeArena {
+    /// Split feature per node; [`ARENA_LEAF`] marks a leaf.
+    feature: Vec<u32>,
+    /// Go left when `bin <= threshold_bin` (unused for leaves).
+    threshold_bin: Vec<u16>,
+    /// Arena index of the left child (unused for leaves).
+    left: Vec<u32>,
+    /// Arena index of the right child (unused for leaves).
+    right: Vec<u32>,
+    /// Leaf value (unused for splits).
+    value: Vec<f32>,
+    /// Arena index of each pushed tree's root.
+    roots: Vec<u32>,
+}
+
+impl NodeArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        NodeArena::default()
+    }
+
+    /// Appends every node of `tree`, relocating child indices by the
+    /// current base offset, and returns the tree's arena id. The tree's
+    /// root is its node 0 (growth pushes it first).
+    pub fn push_tree(&mut self, tree: &RegressionTree) -> usize {
+        // u32 indices halve the child-pointer footprint; a depth-bounded
+        // ensemble is thousands of nodes, nowhere near the 4 G ceiling.
+        debug_assert!(self.feature.len() + tree.nodes.len() < u32::MAX as usize);
+        let base = self.feature.len() as u32;
+        for node in &tree.nodes {
+            match node {
+                Node::Split {
+                    feature,
+                    threshold_bin,
+                    left,
+                    right,
+                } => {
+                    self.feature.push(*feature as u32);
+                    self.threshold_bin.push(*threshold_bin);
+                    self.left.push(base + *left as u32);
+                    self.right.push(base + *right as u32);
+                    self.value.push(0.0);
+                }
+                Node::Leaf { value } => {
+                    self.feature.push(ARENA_LEAF);
+                    self.threshold_bin.push(0);
+                    self.left.push(0);
+                    self.right.push(0);
+                    self.value.push(*value);
+                }
+            }
+        }
+        self.roots.push(base);
+        self.roots.len() - 1
+    }
+
+    /// Number of flattened trees.
+    pub fn tree_count(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// Total nodes across all flattened trees.
+    pub fn node_count(&self) -> usize {
+        self.feature.len()
+    }
+
+    /// Evaluates flattened tree `tree` on one binned row — the arena
+    /// counterpart of [`RegressionTree::predict_binned`], bitwise equal.
+    pub fn predict_binned(&self, tree: usize, row: &[u16]) -> f32 {
+        let mut n = self.roots[tree] as usize;
+        loop {
+            let f = self.feature[n];
+            if f == ARENA_LEAF {
+                return self.value[n];
+            }
+            n = if row[f as usize] <= self.threshold_bin[n] {
+                self.left[n] as usize
+            } else {
+                self.right[n] as usize
+            };
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -356,6 +459,39 @@ mod tests {
         for (row, &t) in binned.iter().zip(&targets) {
             let p = tree.predict_binned(row);
             assert!((p - t).abs() < 0.2, "pred {} target {}", p, t);
+        }
+    }
+
+    #[test]
+    fn arena_walk_matches_pointer_walk_bitwise() {
+        let (rows, targets) = xor_like_data();
+        let mapper = BinMapper::fit(&rows, 32);
+        let binned: Vec<Vec<u16>> = rows.iter().map(|r| mapper.bin_row(r)).collect();
+        let hess = vec![1.0f32; targets.len()];
+        let idx: Vec<usize> = (0..rows.len()).collect();
+        let params = TreeParams {
+            max_depth: 4,
+            min_samples_split: 2,
+            lambda: 0.5,
+            min_gain: 1e-9,
+        };
+        // Two differently-shaped trees in one arena exercise the base-offset
+        // relocation of child indices.
+        let grads_a: Vec<f32> = targets.iter().map(|&t| -t).collect();
+        let grads_b: Vec<f32> = targets.iter().map(|&t| t * 0.3 - 0.1).collect();
+        let tree_a = RegressionTree::fit(&binned, &mapper, &grads_a, &hess, &idx, &params);
+        let tree_b = RegressionTree::fit(&binned, &mapper, &grads_b, &hess, &idx, &params);
+        let mut arena = NodeArena::new();
+        assert_eq!(arena.push_tree(&tree_a), 0);
+        assert_eq!(arena.push_tree(&tree_b), 1);
+        assert_eq!(arena.tree_count(), 2);
+        assert_eq!(
+            arena.node_count(),
+            tree_a.node_count() + tree_b.node_count()
+        );
+        for row in &binned {
+            assert_eq!(arena.predict_binned(0, row), tree_a.predict_binned(row));
+            assert_eq!(arena.predict_binned(1, row), tree_b.predict_binned(row));
         }
     }
 

@@ -10,8 +10,8 @@
 //!
 //! Workspaces are recycled through a [`WorkspacePool`] — a mutex-protected
 //! free list — rather than thread-locals, because [`crate::par::par_map`]
-//! spawns fresh scoped workers per call and thread-local storage would not
-//! survive between batches. Every pass fully overwrites whatever buffer
+//! dispatches to shared pool workers whose thread-local storage would
+//! leak buffers across unrelated callers. Every pass fully overwrites whatever buffer
 //! state it later reads, so results never depend on *which* workspace an
 //! example happens to draw, keeping training bitwise thread-count invariant.
 
